@@ -1,0 +1,74 @@
+//! Criterion ablations of the SB design choices (small scale; the
+//! `ablation` binary runs the full-scale versions):
+//!
+//! * multi-pair reporting (§IV-C) on vs off,
+//! * incremental maintenance (§IV-B) vs per-loop BBS recomputation,
+//! * TA best-pair search (§IV-A) vs linear scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mpq_core::{BestPairMode, MaintenanceMode, Matcher, SkylineMatcher};
+use mpq_datagen::{Distribution, WorkloadBuilder};
+
+fn bench_ablations(c: &mut Criterion) {
+    let w = WorkloadBuilder::new()
+        .objects(10_000)
+        .functions(500)
+        .dim(3)
+        .distribution(Distribution::Independent)
+        .seed(2009)
+        .build();
+
+    let mut group = c.benchmark_group("sb_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    let configs: Vec<(&str, SkylineMatcher)> = vec![
+        ("baseline", SkylineMatcher::default()),
+        (
+            "single_pair",
+            SkylineMatcher {
+                multi_pair: false,
+                ..SkylineMatcher::default()
+            },
+        ),
+        (
+            "rescan",
+            SkylineMatcher {
+                maintenance: MaintenanceMode::Rescan,
+                ..SkylineMatcher::default()
+            },
+        ),
+        (
+            "scan_best_pair",
+            SkylineMatcher {
+                best_pair: BestPairMode::Scan,
+                ..SkylineMatcher::default()
+            },
+        ),
+        (
+            "naive_threshold",
+            SkylineMatcher {
+                best_pair: BestPairMode::TaNaiveThreshold,
+                ..SkylineMatcher::default()
+            },
+        ),
+    ];
+
+    for (name, m) in &configs {
+        group.bench_function(*name, |b| b.iter(|| m.run(&w.objects, &w.functions)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_ablations
+}
+criterion_main!(benches);

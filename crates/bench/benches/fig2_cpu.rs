@@ -1,0 +1,59 @@
+//! Criterion version of Figure 2(c)/(d): CPU time vs dimensionality for
+//! SB, Brute Force and Chain, on independent and anti-correlated data.
+//!
+//! Criterion needs many iterations, so this runs at 1/5 of the paper's
+//! scale (`|O|` = 20 K, `|F|` = 1 K); the `fig2` binary reproduces the
+//! full-scale numbers. The *shape* — who wins and how the gap moves with
+//! `D` — is identical at both scales.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpq_core::{BruteForceMatcher, ChainMatcher, Matcher, SkylineMatcher};
+use mpq_datagen::{Distribution, WorkloadBuilder};
+
+const N_OBJECTS: usize = 10_000;
+const N_FUNCTIONS: usize = 500;
+
+fn bench_fig2(c: &mut Criterion) {
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        let mut group = c.benchmark_group(format!("fig2_cpu/{}", dist.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(3));
+        for dim in [3usize, 4, 5, 6] {
+            let w = WorkloadBuilder::new()
+                .objects(N_OBJECTS)
+                .functions(N_FUNCTIONS)
+                .dim(dim)
+                .distribution(dist)
+                .seed(2009)
+                .build();
+            let matchers: Vec<Box<dyn Matcher>> = vec![
+                Box::new(SkylineMatcher::default()),
+                Box::new(BruteForceMatcher::default()),
+                Box::new(ChainMatcher::default()),
+            ];
+            for m in &matchers {
+                group.bench_with_input(
+                    BenchmarkId::new(m.name(), dim),
+                    &w,
+                    |b, w| b.iter(|| m.run(&w.objects, &w.functions)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_fig2
+}
+criterion_main!(benches);

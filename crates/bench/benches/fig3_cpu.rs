@@ -1,0 +1,52 @@
+//! Criterion version of Figure 3(b): CPU time vs `|O|` on the Zillow
+//! surrogate (5 attributes, skewed + correlated).
+//!
+//! Reduced scale for iteration count (`|F|` = 1 K, `|O|` up to 100 K);
+//! the `fig3` binary covers the paper's full 400 K / 5 K configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mpq_core::{BruteForceMatcher, ChainMatcher, Matcher, SkylineMatcher};
+use mpq_datagen::functions::uniform_weights;
+use mpq_datagen::{zillow_preference_space, Workload};
+
+fn bench_fig3(c: &mut Criterion) {
+    let full = zillow_preference_space(100_000, 2009);
+    let functions = uniform_weights(500, 5, 7);
+
+    let mut group = c.benchmark_group("fig3_cpu/zillow");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    for n in [10_000usize, 50_000, 100_000] {
+        let mut objects = full.clone();
+        objects.truncate(n);
+        let w = Workload {
+            objects,
+            functions: functions.clone(),
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        let matchers: Vec<Box<dyn Matcher>> = vec![
+            Box::new(SkylineMatcher::default()),
+            Box::new(BruteForceMatcher::default()),
+            Box::new(ChainMatcher::default()),
+        ];
+        for m in &matchers {
+            group.bench_with_input(BenchmarkId::new(m.name(), n), &w, |b, w| {
+                b.iter(|| m.run(&w.objects, &w.functions))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Microbenchmarks of the R-tree substrate: bulk loading, point
+//! insertion/deletion, range queries, and branch-and-bound top-1 search.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use mpq_datagen::objects::independent;
+use mpq_rtree::{RTree, RTreeParams};
+
+fn params() -> RTreeParams {
+    RTreeParams {
+        page_size: 4096,
+        min_fill_ratio: 0.4,
+        buffer_capacity: 100_000, // fully buffered: measure CPU, not IO
+    }
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree/bulk_load");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    for n in [10_000usize, 50_000] {
+        let ps = independent(n, 3, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ps, |b, ps| {
+            b.iter(|| RTree::bulk_load(ps, params()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_delete(c: &mut Criterion) {
+    let ps = independent(20_000, 3, 2);
+    let extra = independent(1_000, 3, 3);
+    c.bench_function("rtree/insert_1k", |b| {
+        b.iter_batched(
+            || RTree::bulk_load(&ps, params()),
+            |mut tree| {
+                for (i, p) in extra.iter() {
+                    tree.insert(p, (100_000 + i) as u64);
+                }
+                tree
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("rtree/delete_1k", |b| {
+        b.iter_batched(
+            || RTree::bulk_load(&ps, params()),
+            |mut tree| {
+                for (i, p) in ps.iter().take(1_000) {
+                    tree.delete(p, i as u64);
+                }
+                tree
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let ps = independent(50_000, 3, 4);
+    let tree = RTree::bulk_load(&ps, params());
+    c.bench_function("rtree/top1", |b| {
+        let w = [0.2, 0.3, 0.5];
+        b.iter(|| tree.top1(&w))
+    });
+    c.bench_function("rtree/top100", |b| {
+        let w = [0.2, 0.3, 0.5];
+        b.iter(|| tree.top_k(&w, 100))
+    });
+    c.bench_function("rtree/range_1pct", |b| {
+        b.iter(|| tree.range(&[0.4, 0.4, 0.4], &[0.6, 0.5, 0.5]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_bulk_load, bench_insert_delete, bench_queries
+}
+criterion_main!(benches);

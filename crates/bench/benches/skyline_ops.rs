@@ -1,0 +1,75 @@
+//! Microbenchmarks of skyline computation and incremental maintenance:
+//! initial BBS cost per distribution, and the per-removal maintenance
+//! cost vs the recompute-from-scratch strawman (§IV-B).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use mpq_datagen::Distribution;
+use mpq_rtree::{RTree, RTreeParams};
+use mpq_skyline::{compute_skyline_excluding, SkylineMaintainer};
+use std::collections::HashSet;
+
+fn params() -> RTreeParams {
+    RTreeParams {
+        page_size: 4096,
+        min_fill_ratio: 0.4,
+        buffer_capacity: 100_000,
+    }
+}
+
+fn bench_bbs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skyline/bbs_build");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        let ps = dist.generate(20_000, 3, 5);
+        let tree = RTree::bulk_load(&ps, params());
+        group.bench_with_input(BenchmarkId::from_parameter(dist.name()), &tree, |b, t| {
+            b.iter(|| SkylineMaintainer::build(t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let ps = Distribution::Independent.generate(20_000, 3, 6);
+    let tree = RTree::bulk_load(&ps, params());
+
+    c.bench_function("skyline/incremental_remove_10", |b| {
+        b.iter_batched(
+            || SkylineMaintainer::build(&tree),
+            |mut m| {
+                for _ in 0..10 {
+                    let victim = m.iter().next().unwrap().oid;
+                    m.remove(&[victim]);
+                }
+                m.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("skyline/rescan_remove_10", |b| {
+        b.iter(|| {
+            // the strawman: recompute the skyline after each removal
+            let mut removed: HashSet<u64> = HashSet::new();
+            for _ in 0..10 {
+                let sky = compute_skyline_excluding(&tree, |o| removed.contains(&o));
+                removed.insert(sky[0].0);
+            }
+            removed.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_bbs, bench_maintenance
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microbenchmarks of reverse top-1 search (§IV-A): the TA scan with the
+//! paper's tight threshold vs the classic naive threshold vs a full
+//! linear scan of `F`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpq_datagen::functions::uniform_weights;
+use mpq_datagen::objects::independent;
+use mpq_ta::{ReverseTopOne, ThresholdMode};
+
+fn bench_reverse_top1(c: &mut Criterion) {
+    for dim in [3usize, 5] {
+        let fs = uniform_weights(5_000, dim, 11);
+        let objects = independent(64, dim, 12);
+        let mut group = c.benchmark_group(format!("ta/reverse_top1_d{dim}"));
+
+        group.bench_function("tight", |b| {
+            let mut rt1 = ReverseTopOne::build(&fs);
+            let mut i = 0;
+            b.iter(|| {
+                let o = objects.get(i % objects.len());
+                i += 1;
+                rt1.best_for_with(&fs, o, ThresholdMode::Tight)
+            })
+        });
+        group.bench_function("naive", |b| {
+            let mut rt1 = ReverseTopOne::build(&fs);
+            let mut i = 0;
+            b.iter(|| {
+                let o = objects.get(i % objects.len());
+                i += 1;
+                rt1.best_for_with(&fs, o, ThresholdMode::Naive)
+            })
+        });
+        group.bench_function("scan", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let o = objects.get(i % objects.len());
+                i += 1;
+                fs.scan_best(o)
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_top_m(c: &mut Criterion) {
+    let fs = uniform_weights(5_000, 4, 13);
+    let objects = independent(64, 4, 14);
+    let mut group = c.benchmark_group("ta/top_m_d4");
+    for m in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut rt1 = ReverseTopOne::build(&fs);
+            let mut i = 0;
+            b.iter(|| {
+                let o = objects.get(i % objects.len());
+                i += 1;
+                rt1.top_m_for(&fs, o, m, ThresholdMode::Tight)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_reverse_top1, bench_top_m
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 2 of the paper: effect of dimensionality `D ∈ {3,4,5,6}` on
+//! I/O accesses and CPU time, for independent and anti-correlated object
+//! sets. Base configuration: `|O|` = 100 K, `|F|` = 5 K, 4 KiB pages,
+//! LRU buffer = 2% of the tree.
+//!
+//! ```text
+//! cargo run --release -p mpq-bench --bin fig2
+//! MPQ_OBJECTS=20000 MPQ_FUNCTIONS=1000 cargo run --release -p mpq-bench --bin fig2
+//! MPQ_SKIP_CHAIN=1 ... # drop the slowest competitor
+//! ```
+//!
+//! Expected shape (paper): SB incurs 2–3 orders of magnitude fewer I/Os
+//! than Brute Force; Brute Force beats Chain; I/O grows with `D` for all
+//! methods; SB also wins CPU, with Chain slowest.
+
+use mpq_bench::{env_flag, env_usize, print_cell, print_header, run_cell};
+use mpq_core::{BruteForceMatcher, ChainMatcher, SkylineMatcher};
+use mpq_datagen::{Distribution, WorkloadBuilder};
+
+fn main() {
+    let n_objects = env_usize("MPQ_OBJECTS", 100_000);
+    let n_functions = env_usize("MPQ_FUNCTIONS", 5_000);
+    let seed = env_usize("MPQ_SEED", 2009) as u64;
+    let skip_chain = env_flag("MPQ_SKIP_CHAIN");
+    let skip_bf = env_flag("MPQ_SKIP_BF");
+
+    println!("Figure 2 reproduction: |O| = {n_objects}, |F| = {n_functions}, D = 3..6");
+    println!("(io = physical page accesses on the object R-tree, 4KiB pages, LRU = 2%)");
+
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        for dim in 3..=6 {
+            let w = WorkloadBuilder::new()
+                .objects(n_objects)
+                .functions(n_functions)
+                .dim(dim)
+                .distribution(dist)
+                .seed(seed)
+                .build();
+            print_header(&format!("{} D={dim}", dist.name()));
+            let sb = SkylineMatcher::default();
+            print_cell("", &run_cell(&sb, &w));
+            if !skip_bf {
+                let bf = BruteForceMatcher::default();
+                print_cell("", &run_cell(&bf, &w));
+            }
+            if !skip_chain {
+                let ch = ChainMatcher::default();
+                print_cell("", &run_cell(&ch, &w));
+            }
+        }
+    }
+    println!("\n(figure 2(a)/(b) = io column; figure 2(c)/(d) = cpu column)");
+}

@@ -1,0 +1,54 @@
+//! Developer probe: timing breakdown of the SB phases at one
+//! configuration. Not part of the figure reproduction.
+
+use std::time::Instant;
+
+use mpq_bench::env_usize;
+use mpq_core::{IndexConfig, Matcher, SkylineMatcher};
+use mpq_datagen::{Distribution, WorkloadBuilder};
+use mpq_skyline::SkylineMaintainer;
+
+fn main() {
+    let n = env_usize("MPQ_OBJECTS", 100_000);
+    let f = env_usize("MPQ_FUNCTIONS", 5_000);
+    let dim = env_usize("MPQ_DIM", 6);
+    let anti = env_usize("MPQ_ANTI", 0) == 1;
+    let dist = if anti {
+        Distribution::AntiCorrelated
+    } else {
+        Distribution::Independent
+    };
+    let w = WorkloadBuilder::new()
+        .objects(n)
+        .functions(f)
+        .dim(dim)
+        .distribution(dist)
+        .seed(2009)
+        .build();
+
+    let cfg = IndexConfig::default();
+    let t0 = Instant::now();
+    let tree = cfg.build_tree(&w.objects);
+    println!("build tree: {:.2}s ({} pages)", t0.elapsed().as_secs_f64(), tree.page_count());
+
+    let t1 = Instant::now();
+    let m = SkylineMaintainer::build(&tree);
+    println!(
+        "initial BBS: {:.2}s, |sky| = {}, stats = {:?}",
+        t1.elapsed().as_secs_f64(),
+        m.len(),
+        m.stats()
+    );
+
+    let t2 = Instant::now();
+    let matching = SkylineMatcher::default().run(&w.objects, &w.functions);
+    let met = matching.metrics();
+    println!(
+        "full SB: {:.2}s (loops {}, rtop1 {}, skyline {:?}, ta {:?})",
+        t2.elapsed().as_secs_f64(),
+        met.loops,
+        met.reverse_top1_calls,
+        met.skyline,
+        met.ta
+    );
+}

@@ -1,0 +1,129 @@
+//! Shared infrastructure of the experiment harness: run one matcher on
+//! one workload, collect the metrics the paper plots, and print aligned
+//! tables.
+//!
+//! Every figure of the paper has a binary in `src/bin/` that regenerates
+//! its series (see `DESIGN.md` §3 for the experiment index); Criterion
+//! micro/macro benchmarks live in `benches/`.
+
+use std::time::Instant;
+
+use mpq_core::{Matcher, Matching};
+use mpq_datagen::Workload;
+
+/// One experiment cell: a matcher's cost on one workload.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Matcher name ("SB", "BruteForce", "Chain", ...).
+    pub method: String,
+    /// Physical I/O accesses on the object tree (the paper's metric).
+    pub io: u64,
+    /// Logical node requests (buffer-independent).
+    pub logical: u64,
+    /// CPU (wall) seconds of the matching phase.
+    pub cpu_secs: f64,
+    /// Seconds spent building the index (not part of the paper metric).
+    pub build_secs: f64,
+    /// Number of stable pairs produced.
+    pub pairs: usize,
+    /// Algorithm loop count.
+    pub loops: u64,
+    /// Top-1 searches on the object tree (BF/Chain).
+    pub top1: u64,
+    /// Reverse top-1 calls (SB).
+    pub rtop1: u64,
+    /// Checksum of the matching (sum of scores) to confirm all methods
+    /// agree.
+    pub total_score: f64,
+}
+
+/// Run `matcher` on the workload and collect a [`Cell`].
+pub fn run_cell(matcher: &dyn Matcher, w: &Workload) -> Cell {
+    let build_start = Instant::now();
+    // The matcher builds its own tree internally; we time the whole call
+    // and subtract the matching phase reported in the metrics.
+    let m: Matching = matcher.run(&w.objects, &w.functions);
+    let total = build_start.elapsed().as_secs_f64();
+    let met = m.metrics();
+    Cell {
+        method: matcher.name().to_string(),
+        io: met.io.physical(),
+        logical: met.io.logical,
+        cpu_secs: met.elapsed.as_secs_f64(),
+        build_secs: total - met.elapsed.as_secs_f64(),
+        pairs: m.len(),
+        loops: met.loops,
+        top1: met.top1_searches,
+        rtop1: met.reverse_top1_calls,
+        total_score: m.total_score(),
+    }
+}
+
+/// Print a table header for a series of cells.
+pub fn print_header(title: &str) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10} {:>8} {:>9} {:>9} {:>9} {:>14}",
+        "method", "io", "logical", "cpu(s)", "pairs", "loops", "top1", "rtop1", "score-sum"
+    );
+}
+
+/// Print one cell as a table row.
+pub fn print_cell(label: &str, c: &Cell) {
+    println!(
+        "{:<22} {:>12} {:>12} {:>10.3} {:>8} {:>9} {:>9} {:>9} {:>14.4}",
+        format!("{label}{}", c.method),
+        c.io,
+        c.logical,
+        c.cpu_secs,
+        c.pairs,
+        c.loops,
+        c.top1,
+        c.rtop1,
+        c.total_score
+    );
+}
+
+/// Read an environment override (used to scale experiments up/down
+/// without recompiling), e.g. `MPQ_OBJECTS=100000`.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `true` iff the named env toggle is set to a truthy value.
+pub fn env_flag(name: &str) -> bool {
+    matches!(
+        std::env::var(name).ok().as_deref(),
+        Some("1") | Some("true") | Some("yes")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_core::SkylineMatcher;
+    use mpq_datagen::WorkloadBuilder;
+
+    #[test]
+    fn run_cell_populates_metrics() {
+        let w = WorkloadBuilder::new().objects(500).functions(20).dim(2).seed(1).build();
+        let c = run_cell(&SkylineMatcher::default(), &w);
+        assert_eq!(c.method, "SB");
+        assert_eq!(c.pairs, 20);
+        assert!(c.logical > 0);
+        assert!(c.total_score > 0.0);
+    }
+
+    #[test]
+    fn env_parsing() {
+        std::env::set_var("MPQ_TEST_KNOB", "123");
+        assert_eq!(env_usize("MPQ_TEST_KNOB", 5), 123);
+        assert_eq!(env_usize("MPQ_TEST_KNOB_MISSING", 5), 5);
+        std::env::set_var("MPQ_TEST_FLAG", "1");
+        assert!(env_flag("MPQ_TEST_FLAG"));
+        assert!(!env_flag("MPQ_TEST_FLAG_MISSING"));
+    }
+}

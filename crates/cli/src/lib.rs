@@ -1,0 +1,12 @@
+//! Library backing the `mpq` command-line tool: a minimal, dependency-
+//! free CSV layer plus the argument-driven matching pipeline.
+//!
+//! CSV dialect: comma-separated, first line is a header, numeric cells
+//! parsed as `f64`, no quoting/escaping (preference data is numeric).
+//! The first column may be a non-numeric identifier; it is carried
+//! through to the output.
+
+pub mod csv;
+pub mod run;
+
+pub use run::{run_cli, CliError};

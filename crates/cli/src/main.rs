@@ -1,0 +1,19 @@
+//! `mpq` — stable matching of preference queries over CSV inventories.
+//!
+//! See `mpq --help` or the crate docs of [`mpq_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mpq_cli::run_cli(&args) {
+        Ok(stdout) => {
+            print!("{stdout}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}", e.message);
+            ExitCode::from(e.code as u8)
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The `mpq` command-line pipeline: parse arguments, load CSVs, run a
+//! matcher, emit the assignment as CSV on stdout and metrics on stderr.
+//!
+//! ```text
+//! mpq match --objects rooms.csv --functions users.csv [--algorithm sb|bf|chain]
+//!           [--output out.csv] [--no-normalize-check]
+//! mpq generate --distribution independent|correlated|anti-correlated|zillow
+//!              --objects N --dim D [--seed S]   # emits an objects CSV
+//! ```
+//!
+//! Object attribute values are expected in `[0, 1]` larger-is-better
+//! space (use `mpq generate` for synthetic inputs, or normalize your
+//! data upstream — see the `real_estate` example for a normalization
+//! recipe). Function rows are weights; they are normalized to sum to 1.
+
+use std::fs;
+
+use mpq_core::{BruteForceMatcher, ChainMatcher, Matcher, SkylineMatcher};
+use mpq_datagen::Distribution;
+use mpq_rtree::PointSet;
+use mpq_ta::FunctionSet;
+
+use crate::csv::{parse, write_rows, Table};
+
+/// A user-facing CLI failure (message + process exit code).
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable description.
+    pub message: String,
+    /// Suggested process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
+    }
+
+    fn runtime(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 1,
+        }
+    }
+}
+
+/// Entry point used by `main` and by the tests. `args` excludes the
+/// program name. Returns the stdout payload.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("match") => cmd_match(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("--help" | "-h" | "help") | None => Err(CliError::usage(USAGE)),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
+    }
+}
+
+const USAGE: &str = "usage:
+  mpq match --objects <objects.csv> --functions <functions.csv>
+            [--algorithm sb|bf|chain] [--output <file>]
+  mpq generate --distribution <independent|correlated|anti-correlated|clustered|zillow>
+               --objects <N> --dim <D> [--seed <S>]";
+
+fn arg_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_match(args: &[String]) -> Result<String, CliError> {
+    let objects_path = arg_value(args, "--objects")
+        .ok_or_else(|| CliError::usage(format!("--objects is required\n{USAGE}")))?;
+    let functions_path = arg_value(args, "--functions")
+        .ok_or_else(|| CliError::usage(format!("--functions is required\n{USAGE}")))?;
+    let algorithm = arg_value(args, "--algorithm").unwrap_or("sb");
+
+    let objects_text = fs::read_to_string(objects_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {objects_path}: {e}")))?;
+    let functions_text = fs::read_to_string(functions_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {functions_path}: {e}")))?;
+    let objects_table =
+        parse(&objects_text).map_err(|e| CliError::runtime(format!("{objects_path}: {e}")))?;
+    let functions_table =
+        parse(&functions_text).map_err(|e| CliError::runtime(format!("{functions_path}: {e}")))?;
+
+    if objects_table.columns.len() != functions_table.columns.len() {
+        return Err(CliError::runtime(format!(
+            "dimensionality mismatch: objects have {} attributes, functions have {}",
+            objects_table.columns.len(),
+            functions_table.columns.len()
+        )));
+    }
+    let (objects, functions) = build_inputs(&objects_table, &functions_table)?;
+
+    let matcher: Box<dyn Matcher> = match algorithm {
+        "sb" => Box::new(SkylineMatcher::default()),
+        "bf" => Box::new(BruteForceMatcher::default()),
+        "chain" => Box::new(ChainMatcher::default()),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown algorithm '{other}' (expected sb, bf or chain)"
+            )))
+        }
+    };
+
+    let matching = matcher.run(&objects, &functions);
+    let met = matching.metrics();
+    eprintln!(
+        "{}: {} pairs, {:.3}s matching, {} physical I/Os ({} loops)",
+        matcher.name(),
+        matching.len(),
+        met.elapsed.as_secs_f64(),
+        met.io.physical(),
+        met.loops
+    );
+
+    let rows: Vec<Vec<String>> = matching
+        .sorted_pairs()
+        .iter()
+        .map(|p| {
+            vec![
+                functions_table.ids[p.fid as usize].clone(),
+                objects_table.ids[p.oid as usize].clone(),
+                format!("{:.6}", p.score),
+            ]
+        })
+        .collect();
+    let out = write_rows(&["function", "object", "score"], &rows);
+
+    if let Some(path) = arg_value(args, "--output") {
+        fs::write(path, &out)
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        Ok(format!("wrote {} assignments to {path}\n", rows.len()))
+    } else {
+        Ok(out)
+    }
+}
+
+fn build_inputs(
+    objects_table: &Table,
+    functions_table: &Table,
+) -> Result<(PointSet, FunctionSet), CliError> {
+    let dim = objects_table.columns.len();
+    let mut objects = PointSet::with_capacity(dim, objects_table.rows());
+    for i in 0..objects_table.rows() {
+        let row = objects_table.row(i);
+        if row.iter().any(|&v| !(0.0..=1.0).contains(&v)) {
+            return Err(CliError::runtime(format!(
+                "object '{}' has attributes outside [0,1]; normalize your data \
+                 to larger-is-better unit scale first",
+                objects_table.ids[i]
+            )));
+        }
+        objects.push(row);
+    }
+    let mut functions = FunctionSet::new(dim);
+    for i in 0..functions_table.rows() {
+        let row = functions_table.row(i);
+        if row.iter().any(|&v| v < 0.0) || row.iter().all(|&v| v == 0.0) {
+            return Err(CliError::runtime(format!(
+                "function '{}' must have non-negative, not-all-zero weights",
+                functions_table.ids[i]
+            )));
+        }
+        functions.push(row);
+    }
+    Ok((objects, functions))
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let dist = match arg_value(args, "--distribution").unwrap_or("independent") {
+        "independent" => Distribution::Independent,
+        "correlated" => Distribution::Correlated,
+        "anti-correlated" => Distribution::AntiCorrelated,
+        "clustered" => Distribution::Clustered { clusters: 10 },
+        "zillow" => Distribution::Zillow,
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown distribution '{other}'"
+            )))
+        }
+    };
+    let n: usize = arg_value(args, "--objects")
+        .unwrap_or("1000")
+        .parse()
+        .map_err(|_| CliError::usage("--objects must be an integer"))?;
+    let dim: usize = arg_value(args, "--dim")
+        .unwrap_or(if dist == Distribution::Zillow { "5" } else { "3" })
+        .parse()
+        .map_err(|_| CliError::usage("--dim must be an integer"))?;
+    let seed: u64 = arg_value(args, "--seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| CliError::usage("--seed must be an integer"))?;
+
+    let ps = dist.generate(n, dim, seed);
+    let header: Vec<String> = (0..dim).map(|d| format!("attr{d}")).collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = ps
+        .iter()
+        .map(|(_, p)| p.iter().map(|v| format!("{v:.6}")).collect())
+        .collect();
+    Ok(write_rows(&header_refs, &rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert_eq!(run_cli(&[]).unwrap_err().code, 2);
+        assert_eq!(run_cli(&args(&["bogus"])).unwrap_err().code, 2);
+        assert!(run_cli(&args(&["--help"])).unwrap_err().message.contains("usage"));
+    }
+
+    #[test]
+    fn generate_then_match_end_to_end() {
+        let dir = std::env::temp_dir().join("mpq_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let objects_csv = run_cli(&args(&[
+            "generate",
+            "--distribution",
+            "independent",
+            "--objects",
+            "200",
+            "--dim",
+            "3",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        let opath = dir.join("objects.csv");
+        fs::write(&opath, &objects_csv).unwrap();
+
+        let fpath = dir.join("functions.csv");
+        fs::write(
+            &fpath,
+            "user,w0,w1,w2\nana,0.7,0.2,0.1\nboris,0.1,0.1,0.8\nchloe,0.33,0.33,0.34\n",
+        )
+        .unwrap();
+
+        for algo in ["sb", "bf", "chain"] {
+            let out = run_cli(&args(&[
+                "match",
+                "--objects",
+                opath.to_str().unwrap(),
+                "--functions",
+                fpath.to_str().unwrap(),
+                "--algorithm",
+                algo,
+            ]))
+            .unwrap();
+            let lines: Vec<&str> = out.trim().lines().collect();
+            assert_eq!(lines[0], "function,object,score");
+            assert_eq!(lines.len(), 4, "3 users must be matched ({algo})");
+            assert!(lines[1].starts_with("ana,") || lines[1].contains("boris"));
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_csv_input() {
+        let dir = std::env::temp_dir().join("mpq_cli_agree");
+        fs::create_dir_all(&dir).unwrap();
+        let objects_csv = run_cli(&args(&[
+            "generate",
+            "--distribution",
+            "anti-correlated",
+            "--objects",
+            "300",
+            "--dim",
+            "2",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        let opath = dir.join("objects.csv");
+        fs::write(&opath, &objects_csv).unwrap();
+        let fpath = dir.join("functions.csv");
+        let mut fcsv = String::from("w0,w1\n");
+        for i in 0..20 {
+            fcsv.push_str(&format!("0.{:02},0.{:02}\n", 30 + i, 70 - i));
+        }
+        fs::write(&fpath, &fcsv).unwrap();
+
+        let run = |algo: &str| {
+            let mut out: Vec<String> = run_cli(&args(&[
+                "match",
+                "--objects",
+                opath.to_str().unwrap(),
+                "--functions",
+                fpath.to_str().unwrap(),
+                "--algorithm",
+                algo,
+            ]))
+            .unwrap()
+            .trim()
+            .lines()
+            .skip(1)
+            .map(str::to_string)
+            .collect();
+            out.sort();
+            out
+        };
+        let sb = run("sb");
+        assert_eq!(sb, run("bf"));
+        assert_eq!(sb, run("chain"));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let dir = std::env::temp_dir().join("mpq_cli_dim");
+        fs::create_dir_all(&dir).unwrap();
+        let opath = dir.join("objects.csv");
+        fs::write(&opath, "a,b\n0.5,0.5\n").unwrap();
+        let fpath = dir.join("functions.csv");
+        fs::write(&fpath, "a,b,c\n0.3,0.3,0.4\n").unwrap();
+        let err = run_cli(&args(&[
+            "match",
+            "--objects",
+            opath.to_str().unwrap(),
+            "--functions",
+            fpath.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("dimensionality mismatch"));
+    }
+
+    #[test]
+    fn out_of_range_objects_are_rejected() {
+        let dir = std::env::temp_dir().join("mpq_cli_range");
+        fs::create_dir_all(&dir).unwrap();
+        let opath = dir.join("objects.csv");
+        fs::write(&opath, "a,b\n1.5,0.5\n").unwrap();
+        let fpath = dir.join("functions.csv");
+        fs::write(&fpath, "a,b\n0.5,0.5\n").unwrap();
+        let err = run_cli(&args(&[
+            "match",
+            "--objects",
+            opath.to_str().unwrap(),
+            "--functions",
+            fpath.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("outside [0,1]"), "{}", err.message);
+    }
+}

@@ -1,0 +1,347 @@
+//! Capacity extension: objects that can serve more than one user.
+//!
+//! The paper's model assigns each object to at most one function. Real
+//! booking inventories often have *types* — a hotel lists one "deluxe
+//! double" object with 7 identical rooms. This module generalizes the
+//! stable assignment to per-object capacities (the hospitals/residents
+//! variant with symmetric score preferences): the greedy process picks
+//! the globally best `(f, o)` pair among unassigned functions and
+//! objects with remaining capacity, and an object leaves the skyline
+//! bookkeeping only when its capacity is exhausted.
+//!
+//! With every capacity equal to 1 this reduces exactly to the 1-1
+//! matching (asserted by tests).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use mpq_rtree::PointSet;
+use mpq_skyline::SkylineMaintainer;
+use mpq_ta::{FunctionSet, ReverseTopOne};
+
+use crate::matching::{IndexConfig, Pair, RunMetrics};
+
+/// Result of a capacitated run: assignment pairs in emission order and
+/// the per-object resident lists.
+#[derive(Debug, Clone, Default)]
+pub struct CapacityMatching {
+    /// Pairs in assignment (descending canonical) order.
+    pub pairs: Vec<Pair>,
+    /// For each object id, the functions assigned to it.
+    pub residents: HashMap<u64, Vec<u32>>,
+    /// Cost metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Stable many-to-one matcher with per-object capacities.
+#[derive(Debug, Clone, Default)]
+pub struct CapacityMatcher {
+    /// Object R-tree construction/buffering parameters.
+    pub index: IndexConfig,
+}
+
+impl CapacityMatcher {
+    /// Run the capacitated assignment. `capacities[i]` is the capacity
+    /// of object `i`; it must cover every object.
+    ///
+    /// # Panics
+    /// Panics if `capacities.len() != objects.len()`.
+    pub fn run(
+        &self,
+        objects: &PointSet,
+        functions: &FunctionSet,
+        capacities: &[u32],
+    ) -> CapacityMatching {
+        assert_eq!(
+            capacities.len(),
+            objects.len(),
+            "one capacity per object required"
+        );
+        let tree = self.index.build_tree(objects);
+        let start = Instant::now();
+        let mut fs = functions.clone();
+        let mut rt1 = ReverseTopOne::build(&fs);
+        let mut maintainer = SkylineMaintainer::build(&tree);
+        let mut metrics = RunMetrics::default();
+
+        let mut remaining: Vec<u32> = capacities.to_vec();
+        // objects with zero initial capacity are unavailable from the start
+        let zero_cap: Vec<u64> = maintainer
+            .iter()
+            .filter(|e| remaining[e.oid as usize] == 0)
+            .map(|e| e.oid)
+            .collect();
+        // removing them may promote other zero-capacity objects; iterate
+        let mut to_remove = zero_cap;
+        while !to_remove.is_empty() {
+            let promoted = maintainer.remove(&to_remove);
+            to_remove = promoted
+                .iter()
+                .filter(|(oid, _)| remaining[*oid as usize] == 0)
+                .map(|(oid, _)| *oid)
+                .collect();
+        }
+
+        let mut fbest: HashMap<u64, (u32, f64)> = HashMap::new();
+        let mut pairs: Vec<Pair> = Vec::new();
+        let mut residents: HashMap<u64, Vec<u32>> = HashMap::new();
+
+        while fs.n_alive() > 0 && !maintainer.is_empty() {
+            metrics.loops += 1;
+            // refresh cached best functions
+            for e in maintainer.iter() {
+                if let Entry::Vacant(slot) = fbest.entry(e.oid) {
+                    metrics.reverse_top1_calls += 1;
+                    let best = rt1.best_for(&fs, e.point).expect("functions remain");
+                    slot.insert(best);
+                }
+            }
+            // globally best pair in canonical order
+            let mut best: Option<Pair> = None;
+            for e in maintainer.iter() {
+                let (fid, score) = fbest[&e.oid];
+                let cand = Pair {
+                    fid,
+                    oid: e.oid,
+                    score,
+                };
+                if best.is_none() || cand.beats(best.as_ref().unwrap()) {
+                    best = Some(cand);
+                }
+            }
+            let pair = best.expect("skyline non-empty");
+
+            fs.remove(pair.fid);
+            residents.entry(pair.oid).or_default().push(pair.fid);
+            pairs.push(pair);
+            remaining[pair.oid as usize] -= 1;
+
+            if remaining[pair.oid as usize] == 0 {
+                fbest.remove(&pair.oid);
+                let mut to_remove = vec![pair.oid];
+                while !to_remove.is_empty() {
+                    let promoted = maintainer.remove(&to_remove);
+                    to_remove = promoted
+                        .iter()
+                        .filter(|(oid, _)| remaining[*oid as usize] == 0)
+                        .map(|(oid, _)| *oid)
+                        .collect();
+                }
+            }
+            // entries whose best function was just assigned are stale
+            fbest.retain(|_, (fid, _)| *fid != pair.fid);
+        }
+
+        metrics.elapsed = start.elapsed();
+        metrics.io = tree.io_stats();
+        metrics.skyline = Some(maintainer.stats());
+        metrics.ta = Some(rt1.stats());
+        CapacityMatching {
+            pairs,
+            residents,
+            metrics,
+        }
+    }
+}
+
+/// Exact reference for the capacitated matching: greedy over all pairs.
+pub fn reference_capacity_matching(
+    objects: &PointSet,
+    functions: &FunctionSet,
+    capacities: &[u32],
+) -> Vec<Pair> {
+    assert_eq!(capacities.len(), objects.len());
+    let mut all: Vec<Pair> = Vec::new();
+    for (fid, _) in functions.iter_alive() {
+        for (i, p) in objects.iter() {
+            all.push(Pair {
+                fid,
+                oid: i as u64,
+                score: functions.score(fid, p),
+            });
+        }
+    }
+    all.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.fid.cmp(&b.fid))
+            .then_with(|| a.oid.cmp(&b.oid))
+    });
+    let mut remaining = capacities.to_vec();
+    let mut f_taken = vec![false; functions.len()];
+    let mut out = Vec::new();
+    for p in all {
+        if f_taken[p.fid as usize] || remaining[p.oid as usize] == 0 {
+            continue;
+        }
+        f_taken[p.fid as usize] = true;
+        remaining[p.oid as usize] -= 1;
+        out.push(p);
+    }
+    out
+}
+
+/// Verify capacitated stability: no function strictly prefers an object
+/// that either has spare capacity or hosts a strictly worse resident.
+pub fn verify_capacity_stable(
+    objects: &PointSet,
+    functions: &FunctionSet,
+    capacities: &[u32],
+    pairs: &[Pair],
+) -> Result<(), String> {
+    let mut f_match: HashMap<u32, &Pair> = HashMap::new();
+    let mut residents: HashMap<u64, Vec<&Pair>> = HashMap::new();
+    for p in pairs {
+        if f_match.insert(p.fid, p).is_some() {
+            return Err(format!("function {} assigned twice", p.fid));
+        }
+        residents.entry(p.oid).or_default().push(p);
+    }
+    for (&oid, rs) in &residents {
+        if rs.len() > capacities[oid as usize] as usize {
+            return Err(format!("object {oid} exceeds its capacity"));
+        }
+    }
+    for (fid, _) in functions.iter_alive() {
+        for (i, point) in objects.iter() {
+            let oid = i as u64;
+            let cand = Pair {
+                fid,
+                oid,
+                score: functions.score(fid, point),
+            };
+            let f_prefers = match f_match.get(&fid) {
+                None => true,
+                Some(assigned) => cand.beats(assigned),
+            };
+            if !f_prefers {
+                continue;
+            }
+            let o_accepts = match residents.get(&oid) {
+                None => capacities[oid as usize] > 0,
+                Some(rs) => {
+                    rs.len() < capacities[oid as usize] as usize
+                        || rs.iter().any(|r| cand.beats(r))
+                }
+            };
+            if o_accepts {
+                return Err(format!(
+                    "blocking pair: function {fid} and object {oid} (score {})",
+                    cand.score
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_matching;
+    use mpq_datagen::WorkloadBuilder;
+
+    fn tiny_index() -> IndexConfig {
+        IndexConfig {
+            page_size: 256,
+            buffer_fraction: 0.1,
+            min_buffer_pages: 4,
+        }
+    }
+
+    fn sorted(pairs: &[Pair]) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = pairs.iter().map(|p| (p.fid, p.oid)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn unit_capacities_reduce_to_one_to_one() {
+        let w = WorkloadBuilder::new()
+            .objects(150)
+            .functions(30)
+            .dim(3)
+            .seed(81)
+            .build();
+        let caps = vec![1u32; w.objects.len()];
+        let m = CapacityMatcher {
+            index: tiny_index(),
+        }
+        .run(&w.objects, &w.functions, &caps);
+        let expect = reference_matching(&w.objects, &w.functions);
+        assert_eq!(m.pairs, expect, "capacity-1 must equal the 1-1 matching");
+    }
+
+    #[test]
+    fn matches_capacity_reference_and_is_stable() {
+        let w = WorkloadBuilder::new()
+            .objects(60)
+            .functions(40)
+            .dim(2)
+            .seed(83)
+            .build();
+        let caps: Vec<u32> = (0..w.objects.len()).map(|i| (i % 3) as u32).collect();
+        let m = CapacityMatcher {
+            index: tiny_index(),
+        }
+        .run(&w.objects, &w.functions, &caps);
+        let expect = reference_capacity_matching(&w.objects, &w.functions, &caps);
+        assert_eq!(sorted(&m.pairs), sorted(&expect));
+        verify_capacity_stable(&w.objects, &w.functions, &caps, &m.pairs).unwrap();
+    }
+
+    #[test]
+    fn popular_object_fills_to_capacity() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[0.95, 0.95]); // everyone's favourite
+        ps.push(&[0.3, 0.3]);
+        let fs = FunctionSet::from_rows(
+            2,
+            &[vec![0.5, 0.5], vec![0.6, 0.4], vec![0.4, 0.6]],
+        );
+        let m = CapacityMatcher {
+            index: tiny_index(),
+        }
+        .run(&ps, &fs, &[2, 5]);
+        assert_eq!(m.residents[&0].len(), 2, "object 0 fills its 2 slots");
+        assert_eq!(m.residents[&1].len(), 1, "last user overflows to object 1");
+    }
+
+    #[test]
+    fn zero_capacity_objects_are_never_assigned() {
+        let w = WorkloadBuilder::new()
+            .objects(40)
+            .functions(10)
+            .dim(2)
+            .seed(87)
+            .build();
+        let mut caps = vec![1u32; 40];
+        for c in caps.iter_mut().take(20) {
+            *c = 0;
+        }
+        let m = CapacityMatcher {
+            index: tiny_index(),
+        }
+        .run(&w.objects, &w.functions, &caps);
+        assert!(m.pairs.iter().all(|p| p.oid >= 20));
+        verify_capacity_stable(&w.objects, &w.functions, &caps, &m.pairs).unwrap();
+    }
+
+    #[test]
+    fn capacity_exhaustion_limits_assignments() {
+        let w = WorkloadBuilder::new()
+            .objects(5)
+            .functions(30)
+            .dim(2)
+            .seed(89)
+            .build();
+        let caps = vec![2u32; 5]; // 10 slots for 30 users
+        let m = CapacityMatcher {
+            index: tiny_index(),
+        }
+        .run(&w.objects, &w.functions, &caps);
+        assert_eq!(m.pairs.len(), 10);
+        verify_capacity_stable(&w.objects, &w.functions, &caps, &m.pairs).unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! # mpq-core — stable matching of multiple preference queries
+//!
+//! The paper's problem: `|F|` users issue linear preference queries over
+//! the same object set `O` *simultaneously*, and each object can be
+//! assigned to at most one user. The fair outcome is the stable-marriage
+//! matching obtained by repeatedly assigning the `(f, o)` pair with the
+//! globally highest score `f(o)` and removing both.
+//!
+//! Three matchers implement the same contract ([`Matcher`]):
+//!
+//! * [`SkylineMatcher`] — the paper's contribution ("SB", §III-B/§IV):
+//!   maintain the skyline of the remaining objects incrementally
+//!   ([`mpq_skyline`]), find each skyline object's best function with a
+//!   reverse top-1 TA scan ([`mpq_ta`]), and report *all* mutually-best
+//!   pairs per loop (§IV-C).
+//! * [`BruteForceMatcher`] — §III-A: one top-1 ranked query per function
+//!   against the object R-tree, a global heap with lazy invalidation,
+//!   and physical deletion of assigned objects.
+//! * [`ChainMatcher`] — the adapted competitor of §V (Wong et al., VLDB
+//!   2007): functions indexed by a main-memory R-tree on their weights;
+//!   chains of alternating top-1 searches until a mutually-best pair
+//!   surfaces.
+//!
+//! All three produce the **same matching** (asserted by the test suite):
+//! scores are tie-broken deterministically by `(score desc, function id
+//! asc, object id asc)` end to end, which makes the stable matching
+//! unique even on adversarial tie-heavy inputs.
+//!
+//! [`verify::verify_stable`] checks Property 1 (no blocking pair) in
+//! `O(|F|·|O|)`, and [`reference::reference_matching`] is the exact
+//! sort-all-pairs greedy used as ground truth in tests.
+//!
+//! The [`capacity`] module extends the model with object capacities
+//! (e.g. a room *type* with `c` identical rooms), which the examples use.
+
+#![warn(missing_docs)]
+
+pub mod brute_force;
+pub mod capacity;
+pub mod chain;
+pub mod matching;
+pub mod monotone;
+pub mod online;
+pub mod reference;
+pub mod sb;
+pub mod verify;
+
+pub use brute_force::{BfStrategy, BruteForceMatcher};
+pub use capacity::{CapacityMatcher, CapacityMatching};
+pub use chain::ChainMatcher;
+pub use matching::{IndexConfig, Matcher, Matching, Pair, RunMetrics};
+pub use monotone::{MonotoneFunction, MonotoneSkylineMatcher};
+pub use online::OnlineSession;
+pub use reference::{reference_matching, reference_matching_excluding};
+pub use sb::{BestPairMode, MaintenanceMode, SbStream, SkylineMatcher};
+pub use verify::{verify_stable, verify_weakly_stable};

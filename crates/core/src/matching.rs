@@ -1,0 +1,218 @@
+//! Shared vocabulary of the matchers: assignment pairs, run metrics, the
+//! [`Matcher`] trait, and index construction defaults.
+
+use std::time::Duration;
+
+use mpq_rtree::{IoStats, PointSet, RTree, RTreeParams};
+use mpq_skyline::SkylineStats;
+use mpq_ta::{FunctionSet, TaStats};
+
+/// One stable assignment: function `fid` gets object `oid` at `score`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pair {
+    /// The assigned preference function (user).
+    pub fid: u32,
+    /// The object assigned to it.
+    pub oid: u64,
+    /// The score `f(o)` of the pair.
+    pub score: f64,
+}
+
+impl Pair {
+    /// The canonical total order on pairs used by every matcher for
+    /// tie-breaking: higher score first, then smaller function id, then
+    /// smaller object id. Returns `true` iff `self` precedes `other`.
+    #[inline]
+    pub fn beats(&self, other: &Pair) -> bool {
+        match self.score.total_cmp(&other.score) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => {
+                (self.fid, self.oid) < (other.fid, other.oid)
+            }
+        }
+    }
+}
+
+/// Cost counters for one matcher run. The object-tree `io` counters are
+/// the paper's "I/O accesses"; everything else is introspection.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunMetrics {
+    /// Object R-tree page traffic during matching (build excluded).
+    pub io: IoStats,
+    /// Wall-clock time of the matching phase (index build excluded).
+    pub elapsed: Duration,
+    /// Algorithm outer loops (SB loops, BF pops, chain steps).
+    pub loops: u64,
+    /// Top-1 ranked searches against the *object* tree (BF, Chain).
+    pub top1_searches: u64,
+    /// Top-1 searches against the in-memory *function* tree (Chain only).
+    pub fun_top1_searches: u64,
+    /// Page traffic of the in-memory function tree (Chain only; not part
+    /// of `io` because the paper keeps `F` in memory).
+    pub fun_io: IoStats,
+    /// Reverse top-1 (TA) invocations (SB only).
+    pub reverse_top1_calls: u64,
+    /// Peak total size of persistent search frontiers (incremental
+    /// Brute Force only) — the memory footprint that makes the paper's
+    /// BF run out of memory on anti-correlated `D = 6` data.
+    pub peak_frontier: u64,
+    /// Skyline computation/maintenance counters (SB only).
+    pub skyline: Option<SkylineStats>,
+    /// TA scan counters (SB only).
+    pub ta: Option<TaStats>,
+}
+
+/// The result of a matcher run: the stable pairs in the order the
+/// algorithm emitted them, plus cost metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Matching {
+    pairs: Vec<Pair>,
+    metrics: RunMetrics,
+}
+
+impl Matching {
+    /// Assemble a result (used by the matcher implementations).
+    pub fn new(pairs: Vec<Pair>, metrics: RunMetrics) -> Matching {
+        Matching { pairs, metrics }
+    }
+
+    /// The stable pairs, in emission order.
+    pub fn pairs(&self) -> &[Pair] {
+        &self.pairs
+    }
+
+    /// Number of assignments made.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True iff no assignment was made.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Cost metrics of the run.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Sum of all pair scores (the "social welfare" of the assignment).
+    pub fn total_score(&self) -> f64 {
+        self.pairs.iter().map(|p| p.score).sum()
+    }
+
+    /// Pairs sorted into the canonical order (for set comparisons).
+    pub fn sorted_pairs(&self) -> Vec<Pair> {
+        let mut v = self.pairs.clone();
+        v.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.fid.cmp(&b.fid))
+                .then_with(|| a.oid.cmp(&b.oid))
+        });
+        v
+    }
+}
+
+/// A stable-matching algorithm over `(objects, functions)`.
+pub trait Matcher {
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Compute the stable matching. Implementations build their own
+    /// index over `objects` and work on a private copy of `functions`;
+    /// the inputs are not mutated.
+    fn run(&self, objects: &PointSet, functions: &FunctionSet) -> Matching;
+}
+
+/// How matchers build and buffer the object R-tree.
+///
+/// Defaults follow the paper's setup: 4 KiB pages and an LRU buffer
+/// sized at 2% of the tree.
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Buffer capacity as a fraction of the tree's page count.
+    pub buffer_fraction: f64,
+    /// Lower bound on the buffer capacity, in pages.
+    pub min_buffer_pages: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            page_size: 4096,
+            buffer_fraction: 0.02,
+            min_buffer_pages: 8,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// Bulk-load `objects` and size the buffer; I/O counters start at
+    /// zero with a cold buffer.
+    pub fn build_tree(&self, objects: &PointSet) -> RTree {
+        let params = RTreeParams {
+            page_size: self.page_size,
+            min_fill_ratio: 0.4,
+            buffer_capacity: self.min_buffer_pages.max(1),
+        };
+        let tree = RTree::bulk_load(objects, params);
+        let cap = ((tree.page_count() as f64 * self.buffer_fraction) as usize)
+            .max(self.min_buffer_pages);
+        tree.set_buffer_capacity(cap);
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_order_breaks_ties_by_fid_then_oid() {
+        let a = Pair { fid: 1, oid: 5, score: 0.9 };
+        let b = Pair { fid: 2, oid: 1, score: 0.9 };
+        let c = Pair { fid: 1, oid: 6, score: 0.9 };
+        let d = Pair { fid: 0, oid: 0, score: 0.8 };
+        assert!(a.beats(&b), "same score: smaller fid wins");
+        assert!(a.beats(&c), "same score+fid: smaller oid wins");
+        assert!(a.beats(&d), "higher score wins regardless of ids");
+        assert!(!d.beats(&a));
+    }
+
+    #[test]
+    fn matching_total_score_and_sorting() {
+        let m = Matching::new(
+            vec![
+                Pair { fid: 2, oid: 2, score: 0.5 },
+                Pair { fid: 1, oid: 1, score: 0.7 },
+            ],
+            RunMetrics::default(),
+        );
+        assert!((m.total_score() - 1.2).abs() < 1e-12);
+        let sorted = m.sorted_pairs();
+        assert_eq!(sorted[0].fid, 1);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn index_config_sizes_buffer_as_fraction() {
+        let mut ps = PointSet::new(2);
+        let mut state = 1u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = ((state >> 33) as f64) / (1u64 << 31) as f64;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = ((state >> 33) as f64) / (1u64 << 31) as f64;
+            ps.push(&[a, b]);
+        }
+        let cfg = IndexConfig::default();
+        let tree = cfg.build_tree(&ps);
+        let expect = ((tree.page_count() as f64 * 0.02) as usize).max(8);
+        assert_eq!(tree.buffer_capacity(), expect);
+        assert_eq!(tree.io_stats(), IoStats::default(), "build I/O must be reset");
+    }
+}

@@ -1,0 +1,818 @@
+//! The Skyline-Based (SB) stable matcher — the paper's contribution
+//! (§III-B, implemented with the optimizations of §IV).
+//!
+//! Key facts exploited:
+//!
+//! 1. The top-1 object of every monotone preference function lies in the
+//!    **skyline** of the remaining objects, so the best-pair search only
+//!    has to look at skyline objects (§III-B).
+//! 2. The skyline can be maintained **incrementally** under removals via
+//!    pruned-entry lists, instead of recomputed per loop (§IV-B,
+//!    [`mpq_skyline::SkylineMaintainer`]).
+//! 3. The best function for a skyline object is found by a **reverse
+//!    top-1 TA scan with tight thresholds** instead of scanning `F`
+//!    (§IV-A, [`mpq_ta::ReverseTopOne`]).
+//! 4. *All* mutually-best pairs of a loop can be reported at once,
+//!    reducing the number of maintenance rounds (§IV-C).
+//!
+//! Beyond the paper's text, this implementation memoizes across loops
+//! with *rank-list caches*:
+//!
+//! * per skyline object, the certified top-`M` functions from one TA
+//!   scan ([`mpq_ta::ReverseTopOne::top_m_for`]). Functions are only
+//!   ever removed from `F`, so after dropping dead prefix entries the
+//!   first alive entry is the current reverse top-1 — one scan survives
+//!   up to `M` invalidations;
+//! * per function, the top-`K` skyline objects. Skyline objects are
+//!   removed (assigned) or promoted; removals delete prefix ranks (the
+//!   surviving head remains the true maximum), and promotions are folded
+//!   in by insertion, so a full skyline rescan is needed only when all
+//!   `K` entries die.
+//!
+//! Neither cache changes the output (asserted by tests); they only
+//! remove redundant reverse-top-1 calls and skyline scans.
+//!
+//! [`SbStream`] exposes the algorithm *progressively*: stable pairs are
+//! yielded as soon as they are identified, which is the paper's
+//! motivating deployment (a booking site confirming reservations while
+//! the rest of the batch is still being matched).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
+
+use mpq_rtree::{IoStats, PointSet, RTree};
+use mpq_skyline::bbs::compute_skyline_excluding;
+use mpq_skyline::SkylineMaintainer;
+use mpq_ta::{FunctionSet, ReverseTopOne, ThresholdMode};
+
+use crate::matching::{IndexConfig, Matcher, Matching, Pair, RunMetrics};
+
+/// Certified reverse-top-`M` cached per skyline object. Deeper lists
+/// amortize one TA scan over more function removals; the marginal scan
+/// depth is small because the threshold, not the rank count, dominates
+/// termination (measured sweet spot on the paper's workloads: 8).
+const FBEST_RANKS: usize = 8;
+/// Top-`K` skyline objects cached per function.
+const OBEST_RANKS: usize = 8;
+
+/// How the best function for a skyline object is located (ablation A3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BestPairMode {
+    /// Reverse top-1 TA scan over sorted coefficient lists (§IV-A).
+    #[default]
+    Ta,
+    /// TA with the classic (loose) threshold instead of the tight one.
+    TaNaiveThreshold,
+    /// Linear scan of all alive functions (the brute-force inner loop
+    /// the paper's TA replaces).
+    Scan,
+}
+
+/// How the skyline is kept current across loops (ablation A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceMode {
+    /// Incremental maintenance with plists (§IV-B).
+    #[default]
+    Incremental,
+    /// Recompute BBS from scratch every loop — the strawman the paper
+    /// calls "unacceptably expensive".
+    Rescan,
+}
+
+/// The paper's SB algorithm with configurable ablations.
+#[derive(Debug, Clone)]
+pub struct SkylineMatcher {
+    /// Object R-tree construction/buffering parameters.
+    pub index: IndexConfig,
+    /// Report all mutually-best pairs per loop (§IV-C) instead of one.
+    pub multi_pair: bool,
+    /// Best-function search strategy.
+    pub best_pair: BestPairMode,
+    /// Skyline currency strategy.
+    pub maintenance: MaintenanceMode,
+}
+
+impl Default for SkylineMatcher {
+    fn default() -> Self {
+        SkylineMatcher {
+            index: IndexConfig::default(),
+            multi_pair: true,
+            best_pair: BestPairMode::Ta,
+            maintenance: MaintenanceMode::Incremental,
+        }
+    }
+}
+
+impl Matcher for SkylineMatcher {
+    fn name(&self) -> &'static str {
+        match self.maintenance {
+            MaintenanceMode::Incremental => "SB",
+            MaintenanceMode::Rescan => "SB-rescan",
+        }
+    }
+
+    fn run(&self, objects: &PointSet, functions: &FunctionSet) -> Matching {
+        let tree = self.index.build_tree(objects);
+        match self.maintenance {
+            MaintenanceMode::Incremental => {
+                let start = Instant::now();
+                let mut stream = self.stream(&tree, functions);
+                let mut pairs = Vec::new();
+                for p in &mut stream {
+                    pairs.push(p);
+                }
+                let mut metrics = stream.into_metrics();
+                metrics.elapsed = start.elapsed();
+                Matching::new(pairs, metrics)
+            }
+            MaintenanceMode::Rescan => self.run_rescan(&tree, functions),
+        }
+    }
+}
+
+impl SkylineMatcher {
+    /// Progressive evaluation over a caller-provided tree: pairs are
+    /// yielded as soon as they are identified.
+    ///
+    /// # Panics
+    /// Panics if configured with [`MaintenanceMode::Rescan`] (streaming
+    /// is only meaningful for the incremental algorithm) or if the tree
+    /// and function dimensionalities disagree.
+    pub fn stream<'a>(&self, tree: &'a RTree, functions: &FunctionSet) -> SbStream<'a> {
+        assert_eq!(
+            self.maintenance,
+            MaintenanceMode::Incremental,
+            "streaming requires incremental maintenance"
+        );
+        assert_eq!(
+            tree.dim(),
+            functions.dim(),
+            "tree and functions must share dimensionality"
+        );
+        let io_start = tree.io_stats();
+        let fs = functions.clone();
+        let rt1 = match self.best_pair {
+            BestPairMode::Scan => None,
+            _ => Some(ReverseTopOne::build(&fs)),
+        };
+        let maintainer = SkylineMaintainer::build(tree);
+        SbStream {
+            tree,
+            fs,
+            rt1,
+            maintainer,
+            best_pair: self.best_pair,
+            multi_pair: self.multi_pair,
+            fbest: HashMap::new(),
+            obest: HashMap::new(),
+            pending: VecDeque::new(),
+            metrics: RunMetrics::default(),
+            io_start,
+            done: false,
+        }
+    }
+
+    /// The §IV-B strawman: full BBS recomputation per loop, no caches.
+    fn run_rescan(&self, tree: &RTree, functions: &FunctionSet) -> Matching {
+        let start = Instant::now();
+        let mut fs = functions.clone();
+        let mut rt1 = match self.best_pair {
+            BestPairMode::Scan => None,
+            _ => Some(ReverseTopOne::build(&fs)),
+        };
+        let mut metrics = RunMetrics::default();
+        let mut assigned: HashSet<u64> = HashSet::new();
+        let mut pairs: Vec<Pair> = Vec::new();
+
+        while fs.n_alive() > 0 {
+            let sky = compute_skyline_excluding(tree, |o| assigned.contains(&o));
+            if sky.is_empty() {
+                break;
+            }
+            metrics.loops += 1;
+
+            // best function per skyline object
+            let mut fbest: HashMap<u64, (u32, f64)> = HashMap::with_capacity(sky.len());
+            for (oid, point) in &sky {
+                metrics.reverse_top1_calls += 1;
+                let best = best_function(&mut rt1, &fs, point, self.best_pair)
+                    .expect("functions remain alive");
+                fbest.insert(*oid, best);
+            }
+            let loop_pairs =
+                mutual_pairs(&sky, &fbest, &fs, self.multi_pair);
+            debug_assert!(!loop_pairs.is_empty(), "each loop must emit a pair");
+            for p in &loop_pairs {
+                fs.remove(p.fid);
+                assigned.insert(p.oid);
+            }
+            pairs.extend(loop_pairs);
+        }
+
+        metrics.elapsed = start.elapsed();
+        metrics.io = tree.io_stats();
+        if let Some(rt1) = &rt1 {
+            metrics.ta = Some(rt1.stats());
+        }
+        Matching::new(pairs, metrics)
+    }
+}
+
+/// Best alive function for `point` under the configured mode.
+fn best_function(
+    rt1: &mut Option<ReverseTopOne>,
+    fs: &FunctionSet,
+    point: &[f64],
+    mode: BestPairMode,
+) -> Option<(u32, f64)> {
+    match mode {
+        BestPairMode::Ta => rt1
+            .as_mut()
+            .expect("TA mode has an index")
+            .best_for_with(fs, point, ThresholdMode::Tight),
+        BestPairMode::TaNaiveThreshold => rt1
+            .as_mut()
+            .expect("TA mode has an index")
+            .best_for_with(fs, point, ThresholdMode::Naive),
+        BestPairMode::Scan => fs.scan_best(point),
+    }
+}
+
+/// Certified top-`M` alive functions for `point` (rank-list cache fill).
+/// Scan mode certifies only the top-1, so its lists hold one entry.
+pub(crate) fn best_functions(
+    rt1: &mut Option<ReverseTopOne>,
+    fs: &FunctionSet,
+    point: &[f64],
+    mode: BestPairMode,
+) -> Vec<(u32, f64)> {
+    match mode {
+        BestPairMode::Ta => rt1
+            .as_mut()
+            .expect("TA mode has an index")
+            .top_m_for(fs, point, FBEST_RANKS, ThresholdMode::Tight),
+        BestPairMode::TaNaiveThreshold => rt1
+            .as_mut()
+            .expect("TA mode has an index")
+            .top_m_for(fs, point, FBEST_RANKS, ThresholdMode::Naive),
+        BestPairMode::Scan => fs.scan_best(point).into_iter().collect(),
+    }
+}
+
+/// Given the current skyline and each skyline object's best function,
+/// compute the mutually-best pairs of this loop (Property 1): for every
+/// function `f` that is the best of some object, find its best skyline
+/// object `f.obest`; report `(f, f.obest)` iff `fbest(f.obest) == f`.
+/// With `multi_pair == false`, only the canonical best pair is returned.
+fn mutual_pairs(
+    sky: &[(u64, Box<[f64]>)],
+    fbest: &HashMap<u64, (u32, f64)>,
+    fs: &FunctionSet,
+    multi_pair: bool,
+) -> Vec<Pair> {
+    let fbest_fns: HashSet<u32> = fbest.values().map(|&(f, _)| f).collect();
+    let mut out = Vec::new();
+    for &fid in &fbest_fns {
+        // obest by full scan (the rescan path has no caches)
+        let mut best: Option<(u64, f64)> = None;
+        for (oid, point) in sky {
+            let s = fs.score(fid, point);
+            let better = match best {
+                None => true,
+                Some((bo, bs)) => s > bs || (s == bs && *oid < bo),
+            };
+            if better {
+                best = Some((*oid, s));
+            }
+        }
+        let (oid, score) = best.expect("skyline is non-empty");
+        if fbest[&oid].0 == fid {
+            out.push(Pair { fid, oid, score });
+        }
+    }
+    finalize_loop_pairs(out, multi_pair)
+}
+
+/// Sort a loop's pairs canonically; truncate to the single best pair
+/// when multi-pair reporting is disabled.
+pub(crate) fn finalize_loop_pairs(mut pairs: Vec<Pair>, multi_pair: bool) -> Vec<Pair> {
+    pairs.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.fid.cmp(&b.fid))
+            .then_with(|| a.oid.cmp(&b.oid))
+    });
+    if !multi_pair {
+        pairs.truncate(1);
+    }
+    pairs
+}
+
+/// Progressive SB evaluation (see [`SkylineMatcher::stream`]).
+///
+/// Implements [`Iterator`]: each item is the next stable pair. Pairs
+/// within one internal loop are yielded in canonical order; across loops
+/// scores are non-increasing.
+pub struct SbStream<'a> {
+    tree: &'a RTree,
+    fs: FunctionSet,
+    rt1: Option<ReverseTopOne>,
+    maintainer: SkylineMaintainer<'a>,
+    best_pair: BestPairMode,
+    multi_pair: bool,
+    /// oid → certified top-`M` alive functions (dead prefix entries are
+    /// drained lazily; empty ⇒ re-run the TA scan).
+    fbest: HashMap<u64, Vec<(u32, f64)>>,
+    /// fid → top-`K` current skyline objects (entries whose object left
+    /// the skyline are drained lazily; promotions are folded in; empty ⇒
+    /// rescan the skyline).
+    obest: HashMap<u32, Vec<(u64, f64)>>,
+    pending: VecDeque<Pair>,
+    metrics: RunMetrics,
+    io_start: IoStats,
+    done: bool,
+}
+
+impl SbStream<'_> {
+    /// Metrics accumulated so far (typically read after exhaustion).
+    /// `elapsed` is not populated by the stream — callers time their own
+    /// consumption (see [`SkylineMatcher::run`]).
+    pub fn metrics(&self) -> RunMetrics {
+        let mut m = self.metrics;
+        m.io = self.tree.io_stats().since(self.io_start);
+        m.skyline = Some(self.maintainer.stats());
+        if let Some(rt1) = &self.rt1 {
+            m.ta = Some(rt1.stats());
+        }
+        m
+    }
+
+    /// Consume the stream, returning the final metrics.
+    pub fn into_metrics(self) -> RunMetrics {
+        self.metrics()
+    }
+
+    /// Number of objects currently on the maintained skyline.
+    pub fn skyline_len(&self) -> usize {
+        self.maintainer.len()
+    }
+
+    /// Number of functions still awaiting assignment.
+    pub fn unassigned_functions(&self) -> usize {
+        self.fs.n_alive()
+    }
+
+    /// One SB loop (Algorithm 1 lines 3–9): refresh caches, find the
+    /// mutually-best pairs, apply the removals, and queue the pairs.
+    fn loop_once(&mut self) {
+        if self.fs.n_alive() == 0 || self.maintainer.is_empty() {
+            self.done = true;
+            return;
+        }
+        self.metrics.loops += 1;
+
+        // 1. Every skyline object needs a valid best function: drain
+        // dead prefix entries from its rank list; if the list empties,
+        // re-run the (top-M) reverse search. A surviving head entry is
+        // the true reverse top-1 because removals can only have deleted
+        // better-ranked functions.
+        {
+            let Self {
+                maintainer,
+                fbest,
+                rt1,
+                fs,
+                metrics,
+                best_pair,
+                ..
+            } = self;
+            for e in maintainer.iter() {
+                let list = fbest.entry(e.oid).or_default();
+                while let Some(&(fid, _)) = list.first() {
+                    if fs.is_alive(fid) {
+                        break;
+                    }
+                    list.remove(0);
+                }
+                if list.is_empty() {
+                    metrics.reverse_top1_calls += 1;
+                    *list = best_functions(rt1, fs, e.point, *best_pair);
+                    debug_assert!(!list.is_empty(), "fs.n_alive() > 0");
+                }
+            }
+        }
+
+        // 2. For each function that is some object's best, ensure a
+        // valid best-object rank list: drain entries that left the
+        // skyline; a surviving head is the true maximum (better-ranked
+        // objects were all assigned, and promotions were folded in);
+        // empty ⇒ full skyline rescan.
+        let fbest_fns: HashSet<u32> = self
+            .maintainer
+            .iter()
+            .map(|e| self.fbest[&e.oid][0].0)
+            .collect();
+        for &fid in &fbest_fns {
+            let list = self.obest.entry(fid).or_default();
+            while let Some(&(oid, _)) = list.first() {
+                if self.maintainer.contains(oid) {
+                    break;
+                }
+                list.remove(0);
+            }
+            if list.is_empty() {
+                for e in self.maintainer.iter() {
+                    let s = self.fs.score(fid, e.point);
+                    insert_ranked(list, OBEST_RANKS, e.oid, s);
+                }
+                debug_assert!(!list.is_empty(), "skyline is non-empty");
+            }
+        }
+
+        // 3. Mutually-best pairs (Property 1).
+        let mut loop_pairs = Vec::new();
+        for &fid in &fbest_fns {
+            let (oid, score) = self.obest[&fid][0];
+            if self.fbest[&oid][0].0 == fid {
+                loop_pairs.push(Pair { fid, oid, score });
+            }
+        }
+        let loop_pairs = finalize_loop_pairs(loop_pairs, self.multi_pair);
+        assert!(
+            !loop_pairs.is_empty(),
+            "SB invariant violated: the globally best remaining pair is always \
+             mutually best, so every loop must emit at least one pair"
+        );
+
+        // 4. Apply removals and maintain the caches.
+        let removed_fids: HashSet<u32> = loop_pairs.iter().map(|p| p.fid).collect();
+        let removed_oids: Vec<u64> = loop_pairs.iter().map(|p| p.oid).collect();
+        for &fid in &removed_fids {
+            self.fs.remove(fid);
+        }
+        let removed_oid_set: HashSet<u64> = removed_oids.iter().copied().collect();
+
+        // Assigned objects never return: drop their fbest lists. Dead
+        // functions inside surviving lists are drained lazily in step 1.
+        self.fbest.retain(|oid, _| !removed_oid_set.contains(oid));
+        // Assigned functions never return: drop their obest lists. Dead
+        // objects inside surviving lists are drained lazily in step 2.
+        for fid in &removed_fids {
+            self.obest.remove(fid);
+        }
+
+        // Skyline maintenance (§IV-B): promotions are folded into every
+        // cached obest rank list to preserve its "nothing better than
+        // the stored minimum is missing" invariant.
+        let promoted = self.maintainer.remove(&removed_oids);
+        for (oid, point) in &promoted {
+            for (fid, list) in self.obest.iter_mut() {
+                let s = self.fs.score(*fid, point);
+                fold_promotion(list, OBEST_RANKS, *oid, s);
+            }
+        }
+
+        self.pending.extend(loop_pairs);
+
+        #[cfg(debug_assertions)]
+        if std::env::var("MPQ_SB_CHECK").is_ok() {
+            self.check_obest_invariant();
+        }
+    }
+
+    /// Debug-only invariant check: every current skyline object scoring
+    /// above an obest list's stored minimum must be in that list.
+    #[cfg(debug_assertions)]
+    fn check_obest_invariant(&self) {
+        for (fid, list) in &self.obest {
+            if list.is_empty() {
+                continue;
+            }
+            let (mo, ms) = *list.last().unwrap();
+            for e in self.maintainer.iter() {
+                let s = self.fs.score(*fid, e.point);
+                let better = s > ms || (s == ms && e.oid < mo);
+                if better && !list.iter().any(|&(o, _)| o == e.oid) {
+                    panic!(
+                        "loop {}: J violated for fid={fid}: skyline oid={} score={s} \
+                         beats stored min ({mo}, {ms}) but is missing; list={list:?}",
+                        self.metrics.loops, e.oid
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Insert `(oid, s)` into a rank list sorted by `(score desc, oid asc)`,
+/// keeping at most `k` entries. Used only while *building* a list by a
+/// full scan, where lowering the current minimum is correct.
+#[inline]
+pub(crate) fn insert_ranked(list: &mut Vec<(u64, f64)>, k: usize, oid: u64, s: f64) {
+    if list.len() == k {
+        let (wo, ws) = list[k - 1];
+        if s < ws || (s == ws && oid > wo) {
+            return;
+        }
+    }
+    let pos = list
+        .iter()
+        .position(|&(o, v)| s > v || (s == v && oid < o))
+        .unwrap_or(list.len());
+    list.insert(pos, (oid, s));
+    list.truncate(k);
+}
+
+/// Fold a *promotion* into an existing rank list. Unlike
+/// [`insert_ranked`], the stored minimum acts as the list's **coverage
+/// bound**: objects canonically below it may have been excluded when the
+/// list was built, so accepting a new entry below the minimum would
+/// silently widen the list's claimed coverage and make a stale head look
+/// authoritative (the very bug that truncated matchings on tie-heavy
+/// Zillow data). A promotion is therefore inserted only if it beats the
+/// stored minimum; the minimum never decreases.
+#[inline]
+pub(crate) fn fold_promotion(list: &mut Vec<(u64, f64)>, k: usize, oid: u64, s: f64) {
+    let Some(&(mo, ms)) = list.last() else {
+        return; // empty ⇒ the next access rescans anyway
+    };
+    if s < ms || (s == ms && oid > mo) {
+        return;
+    }
+    let pos = list
+        .iter()
+        .position(|&(o, v)| s > v || (s == v && oid < o))
+        .unwrap_or(list.len());
+    list.insert(pos, (oid, s));
+    list.truncate(k);
+}
+
+impl Iterator for SbStream<'_> {
+    type Item = Pair;
+
+    fn next(&mut self) -> Option<Pair> {
+        loop {
+            if let Some(p) = self.pending.pop_front() {
+                return Some(p);
+            }
+            if self.done {
+                return None;
+            }
+            self.loop_once();
+            if self.pending.is_empty() && !self.done {
+                // loop_once always emits or finishes; defensive guard
+                self.done = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_matching;
+    use crate::verify::verify_stable;
+    use mpq_datagen::{Distribution, WorkloadBuilder};
+
+    fn tiny_index() -> IndexConfig {
+        IndexConfig {
+            page_size: 256,
+            buffer_fraction: 0.1,
+            min_buffer_pages: 4,
+        }
+    }
+
+    fn sb() -> SkylineMatcher {
+        SkylineMatcher {
+            index: tiny_index(),
+            ..SkylineMatcher::default()
+        }
+    }
+
+    fn sorted(pairs: &[Pair]) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = pairs.iter().map(|p| (p.fid, p.oid)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_reference_on_random_workload() {
+        for (dist, seed) in [
+            (Distribution::Independent, 41),
+            (Distribution::AntiCorrelated, 42),
+            (Distribution::Correlated, 43),
+            (Distribution::Clustered { clusters: 4 }, 44),
+        ] {
+            let w = WorkloadBuilder::new()
+                .objects(300)
+                .functions(45)
+                .dim(3)
+                .distribution(dist)
+                .seed(seed)
+                .build();
+            let m = sb().run(&w.objects, &w.functions);
+            let expect = reference_matching(&w.objects, &w.functions);
+            assert_eq!(
+                sorted(m.pairs()),
+                sorted(&expect),
+                "distribution {dist:?}"
+            );
+            verify_stable(&w.objects, &w.functions, m.pairs()).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_pair_mode_reproduces_exact_greedy_sequence() {
+        let w = WorkloadBuilder::new()
+            .objects(200)
+            .functions(30)
+            .dim(2)
+            .seed(51)
+            .build();
+        let m = SkylineMatcher {
+            multi_pair: false,
+            ..sb()
+        }
+        .run(&w.objects, &w.functions);
+        let expect = reference_matching(&w.objects, &w.functions);
+        assert_eq!(m.pairs(), &expect[..], "single-pair SB is exactly greedy");
+    }
+
+    #[test]
+    fn all_ablation_configs_agree() {
+        let w = WorkloadBuilder::new()
+            .objects(250)
+            .functions(35)
+            .dim(3)
+            .distribution(Distribution::AntiCorrelated)
+            .seed(53)
+            .build();
+        let baseline = sb().run(&w.objects, &w.functions);
+        for cfg in [
+            SkylineMatcher {
+                best_pair: BestPairMode::Scan,
+                ..sb()
+            },
+            SkylineMatcher {
+                best_pair: BestPairMode::TaNaiveThreshold,
+                ..sb()
+            },
+            SkylineMatcher {
+                maintenance: MaintenanceMode::Rescan,
+                ..sb()
+            },
+            SkylineMatcher {
+                multi_pair: false,
+                ..sb()
+            },
+        ] {
+            let m = cfg.run(&w.objects, &w.functions);
+            assert_eq!(
+                sorted(m.pairs()),
+                sorted(baseline.pairs()),
+                "config {cfg:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_yields_pairs_progressively() {
+        let w = WorkloadBuilder::new()
+            .objects(300)
+            .functions(25)
+            .dim(2)
+            .seed(57)
+            .build();
+        let matcher = sb();
+        let tree = matcher.index.build_tree(&w.objects);
+        let mut stream = matcher.stream(&tree, &w.functions);
+        let first = stream.next().expect("at least one pair");
+        // the very first pair is the global best
+        let expect = reference_matching(&w.objects, &w.functions);
+        assert_eq!((first.fid, first.oid), (expect[0].fid, expect[0].oid));
+        assert!(stream.unassigned_functions() < 25);
+        let rest: Vec<Pair> = stream.collect();
+        assert_eq!(rest.len(), 24);
+    }
+
+    #[test]
+    fn multi_pair_reduces_loop_count() {
+        let w = WorkloadBuilder::new()
+            .objects(400)
+            .functions(60)
+            .dim(3)
+            .seed(61)
+            .build();
+        let multi = sb().run(&w.objects, &w.functions);
+        let single = SkylineMatcher {
+            multi_pair: false,
+            ..sb()
+        }
+        .run(&w.objects, &w.functions);
+        assert!(multi.metrics().loops <= single.metrics().loops);
+        assert_eq!(single.metrics().loops, 60, "one loop per pair");
+    }
+
+    #[test]
+    fn sb_does_not_write_to_the_tree() {
+        let w = WorkloadBuilder::new()
+            .objects(500)
+            .functions(40)
+            .dim(2)
+            .seed(67)
+            .build();
+        let m = sb().run(&w.objects, &w.functions);
+        assert_eq!(
+            m.metrics().io.physical_writes,
+            0,
+            "SB never deletes from the R-tree"
+        );
+    }
+
+    #[test]
+    fn more_functions_than_objects_exhausts_objects() {
+        let w = WorkloadBuilder::new()
+            .objects(12)
+            .functions(30)
+            .dim(2)
+            .seed(71)
+            .build();
+        let m = sb().run(&w.objects, &w.functions);
+        assert_eq!(m.len(), 12);
+        verify_stable(&w.objects, &w.functions, m.pairs()).unwrap();
+    }
+
+    #[test]
+    fn duplicate_objects_resolve_canonically() {
+        let mut ps = PointSet::new(2);
+        for _ in 0..5 {
+            ps.push(&[0.8, 0.8]);
+        }
+        ps.push(&[0.2, 0.9]);
+        let fs = FunctionSet::from_rows(
+            2,
+            &[vec![0.5, 0.5], vec![0.6, 0.4], vec![0.4, 0.6]],
+        );
+        let m = sb().run(&ps, &fs);
+        let expect = reference_matching(&ps, &fs);
+        assert_eq!(sorted(m.pairs()), sorted(&expect));
+        verify_stable(&ps, &fs, m.pairs()).unwrap();
+    }
+
+    #[test]
+    fn tie_heavy_grid_with_positive_weights_matches_reference() {
+        let mut ps = PointSet::new(2);
+        for x in 0..5 {
+            for y in 0..5 {
+                ps.push(&[x as f64 / 4.0, y as f64 / 4.0]);
+            }
+        }
+        let fs = FunctionSet::from_rows(
+            2,
+            &[
+                vec![0.5, 0.5],
+                vec![0.5, 0.5],
+                vec![0.3, 0.7],
+                vec![0.7, 0.3],
+            ],
+        );
+        let m = sb().run(&ps, &fs);
+        assert_eq!(sorted(m.pairs()), sorted(&reference_matching(&ps, &fs)));
+        verify_stable(&ps, &fs, m.pairs()).unwrap();
+    }
+
+    #[test]
+    fn zillow_tie_heavy_data_regression() {
+        // Regression for a coverage bug in the obest rank-list fold:
+        // on the skewed, tie-heavy Zillow surrogate the stream used to
+        // terminate after a fraction of the pairs. The full matching
+        // must come out and equal the reference.
+        use mpq_datagen::functions::uniform_weights;
+        use mpq_datagen::zillow_preference_space;
+        let objects = zillow_preference_space(800, 1234);
+        let functions = uniform_weights(120, 5, 99);
+        let m = sb().run(&objects, &functions);
+        assert_eq!(m.len(), 120, "every buyer must be assigned");
+        let expect = reference_matching(&objects, &functions);
+        assert_eq!(sorted(m.pairs()), sorted(&expect));
+        verify_stable(&objects, &functions, m.pairs()).unwrap();
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let w = WorkloadBuilder::new()
+            .objects(300)
+            .functions(30)
+            .dim(3)
+            .seed(73)
+            .build();
+        let m = sb().run(&w.objects, &w.functions);
+        let met = m.metrics();
+        assert!(met.loops >= 1);
+        assert!(met.reverse_top1_calls >= 30);
+        assert!(met.skyline.is_some());
+        assert!(met.ta.is_some());
+        assert!(met.io.logical > 0);
+        assert!(met.elapsed.as_nanos() > 0);
+    }
+}

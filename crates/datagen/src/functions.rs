@@ -1,0 +1,117 @@
+//! Preference-function (weight vector) generators.
+//!
+//! The paper: "The preference functions are linear with weights generated
+//! independently", normalized so that `Σᵢ αᵢ = 1`. The natural model for
+//! independent-then-normalized weights is the uniform distribution on the
+//! simplex ([`uniform_weights`]). [`skewed_weights`] additionally models
+//! populations where most users care predominantly about one attribute
+//! (e.g. price-sensitive hotel shoppers), used by the examples and the
+//! |F|-sweep ablation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mpq_ta::FunctionSet;
+
+use crate::dist::simplex_uniform;
+
+/// `n` weight vectors uniform on the `dim`-simplex.
+pub fn uniform_weights(n: usize, dim: usize, seed: u64) -> FunctionSet {
+    assert!(dim > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut fs = FunctionSet::new(dim);
+    let mut w = Vec::with_capacity(dim);
+    for _ in 0..n {
+        simplex_uniform(&mut rng, dim, &mut w);
+        fs.push(&w);
+    }
+    fs
+}
+
+/// `n` weight vectors where each user focuses on one random attribute:
+/// the focus attribute receives weight `focus ∈ [0.5, 0.95]` and the
+/// remainder is split uniformly across the other attributes.
+pub fn skewed_weights(n: usize, dim: usize, seed: u64) -> FunctionSet {
+    assert!(dim > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut fs = FunctionSet::new(dim);
+    let mut rest = Vec::with_capacity(dim.saturating_sub(1));
+    for _ in 0..n {
+        let focus_dim = rng.gen_range(0..dim);
+        if dim == 1 {
+            fs.push(&[1.0]);
+            continue;
+        }
+        let focus: f64 = rng.gen_range(0.5..0.95);
+        simplex_uniform(&mut rng, dim - 1, &mut rest);
+        let mut w = vec![0.0; dim];
+        let mut k = 0;
+        for (d, x) in w.iter_mut().enumerate() {
+            if d == focus_dim {
+                *x = focus;
+            } else {
+                *x = (1.0 - focus) * rest[k];
+                k += 1;
+            }
+        }
+        fs.push(&w);
+    }
+    fs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_are_normalized() {
+        let fs = uniform_weights(500, 4, 1);
+        assert_eq!(fs.n_alive(), 500);
+        for (_, w) in fs.iter_alive() {
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn uniform_weights_cover_the_simplex_symmetrically() {
+        let fs = uniform_weights(30_000, 3, 2);
+        let mut means = [0.0; 3];
+        for (_, w) in fs.iter_alive() {
+            for d in 0..3 {
+                means[d] += w[d];
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= 30_000.0;
+        }
+        for d in 0..3 {
+            assert!((means[d] - 1.0 / 3.0).abs() < 0.01, "dim {d} mean {}", means[d]);
+        }
+    }
+
+    #[test]
+    fn skewed_weights_have_a_dominant_attribute() {
+        let fs = skewed_weights(1000, 5, 3);
+        for (_, w) in fs.iter_alive() {
+            let max = w.iter().cloned().fold(0.0, f64::max);
+            assert!(max >= 0.5 - 1e-12, "no dominant weight in {w:?}");
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_dimensional_functions_degenerate_to_unit_weight() {
+        let fs = skewed_weights(10, 1, 4);
+        for (_, w) in fs.iter_alive() {
+            assert_eq!(w, &[1.0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = uniform_weights(50, 3, 9);
+        let b = uniform_weights(50, 3, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,45 @@
+//! # mpq-datagen — synthetic workloads for preference-query experiments
+//!
+//! Reproduces the data methodology of the paper's evaluation (§V):
+//!
+//! * **Independent** and **anti-correlated** object sets following the
+//!   benchmark generators of Börzsönyi et al. (*The Skyline Operator*,
+//!   ICDE 2001), plus correlated and clustered variants ([`objects`]).
+//! * A **Zillow surrogate** ([`zillow`]): the paper evaluates on a crawl
+//!   of 2M real-estate records (bathrooms, bedrooms, living area, price,
+//!   lot area) that is proprietary; we synthesize records with the same
+//!   schema, skew and cross-attribute correlation, which are the
+//!   distributional properties the experiment exercises.
+//! * **Preference-function generators** ([`functions`]): normalized
+//!   linear weights, uniform on the simplex or skewed toward a focus
+//!   attribute.
+//! * A [`WorkloadBuilder`] that packages objects + functions for the
+//!   matchers and benchmark harness.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! ```
+//! use mpq_datagen::{Distribution, WorkloadBuilder};
+//!
+//! let w = WorkloadBuilder::new()
+//!     .objects(1000)
+//!     .functions(50)
+//!     .dim(3)
+//!     .distribution(Distribution::AntiCorrelated)
+//!     .seed(7)
+//!     .build();
+//! assert_eq!(w.objects.len(), 1000);
+//! assert_eq!(w.functions.n_alive(), 50);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod functions;
+pub mod objects;
+pub mod workload;
+pub mod zillow;
+
+pub use objects::Distribution;
+pub use workload::{FunctionStyle, Workload, WorkloadBuilder};
+pub use zillow::{record_to_preference, zillow_preference_space, zillow_records, ZillowRecord};

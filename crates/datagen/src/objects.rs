@@ -1,0 +1,252 @@
+//! Object-set generators following the skyline-benchmark methodology of
+//! Börzsönyi et al. (ICDE 2001).
+//!
+//! All generators emit points in `[0,1]^D` under the larger-is-better
+//! convention and are deterministic for a given seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mpq_rtree::PointSet;
+
+use crate::dist::{normal, simplex_uniform, unit_clamp};
+
+/// The object-value distributions used across the experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Attribute values i.i.d. uniform in `[0,1]` ("independent" in the
+    /// paper; small skylines).
+    Independent,
+    /// Attributes positively correlated: objects good in one dimension
+    /// tend to be good in all (tiny skylines).
+    Correlated,
+    /// Attributes negatively correlated: objects good in one dimension
+    /// tend to be poor in the others (large skylines; the paper's hard
+    /// case).
+    AntiCorrelated,
+    /// Gaussian clusters around random centers.
+    Clustered {
+        /// Number of cluster centers.
+        clusters: usize,
+    },
+    /// The Zillow real-estate surrogate (fixed `D = 5`); see
+    /// [`crate::zillow`].
+    Zillow,
+}
+
+impl Distribution {
+    /// Generate `n` points of dimensionality `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, or for [`Distribution::Zillow`] when
+    /// `dim != 5`.
+    pub fn generate(&self, n: usize, dim: usize, seed: u64) -> PointSet {
+        match *self {
+            Distribution::Independent => independent(n, dim, seed),
+            Distribution::Correlated => correlated(n, dim, seed),
+            Distribution::AntiCorrelated => anti_correlated(n, dim, seed),
+            Distribution::Clustered { clusters } => clustered(n, dim, clusters, seed),
+            Distribution::Zillow => {
+                assert_eq!(dim, 5, "the Zillow schema has exactly 5 attributes");
+                crate::zillow::zillow_preference_space(n, seed)
+            }
+        }
+    }
+
+    /// Short name used by the benchmark harness output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distribution::Independent => "independent",
+            Distribution::Correlated => "correlated",
+            Distribution::AntiCorrelated => "anti-correlated",
+            Distribution::Clustered { .. } => "clustered",
+            Distribution::Zillow => "zillow",
+        }
+    }
+}
+
+/// i.i.d. uniform points in `[0,1]^dim`.
+pub fn independent(n: usize, dim: usize, seed: u64) -> PointSet {
+    assert!(dim > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ps = PointSet::with_capacity(dim, n);
+    let mut p = vec![0.0; dim];
+    for _ in 0..n {
+        for c in p.iter_mut() {
+            *c = rng.gen();
+        }
+        ps.push(&p);
+    }
+    ps
+}
+
+/// Correlated points: a common "quality" value per object plus small
+/// Gaussian jitter per attribute.
+pub fn correlated(n: usize, dim: usize, seed: u64) -> PointSet {
+    assert!(dim > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ps = PointSet::with_capacity(dim, n);
+    let mut p = vec![0.0; dim];
+    for _ in 0..n {
+        let base: f64 = rng.gen();
+        for c in p.iter_mut() {
+            *c = unit_clamp(base + normal(&mut rng, 0.0, 0.05));
+        }
+        ps.push(&p);
+    }
+    ps
+}
+
+/// Anti-correlated points: each point lies near the hyperplane
+/// `Σxᵢ ≈ dim/2`, with its "budget" split uniformly across dimensions
+/// (Dirichlet split), so a high value in one attribute forces low values
+/// elsewhere. Points with any coordinate outside `[0,1]` are resampled.
+pub fn anti_correlated(n: usize, dim: usize, seed: u64) -> PointSet {
+    assert!(dim > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ps = PointSet::with_capacity(dim, n);
+    let mut w = Vec::with_capacity(dim);
+    let mut p = vec![0.0; dim];
+    for _ in 0..n {
+        loop {
+            let budget = normal(&mut rng, 0.5, 0.05) * dim as f64;
+            simplex_uniform(&mut rng, dim, &mut w);
+            let mut ok = true;
+            for i in 0..dim {
+                p[i] = w[i] * budget;
+                if !(0.0..=1.0).contains(&p[i]) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                break;
+            }
+        }
+        ps.push(&p);
+    }
+    ps
+}
+
+/// Gaussian clusters around `clusters` uniform random centers
+/// (σ = 0.05 per attribute, clamped to the unit cube).
+pub fn clustered(n: usize, dim: usize, clusters: usize, seed: u64) -> PointSet {
+    assert!(dim > 0);
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.gen()).collect())
+        .collect();
+    let mut ps = PointSet::with_capacity(dim, n);
+    let mut p = vec![0.0; dim];
+    for i in 0..n {
+        let c = &centers[i % clusters];
+        for (j, x) in p.iter_mut().enumerate() {
+            *x = unit_clamp(c[j] + normal(&mut rng, 0.0, 0.05));
+        }
+        ps.push(&p);
+    }
+    ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pearson(ps: &PointSet, a: usize, b: usize) -> f64 {
+        let n = ps.len() as f64;
+        let (mut ma, mut mb) = (0.0, 0.0);
+        for (_, p) in ps.iter() {
+            ma += p[a];
+            mb += p[b];
+        }
+        ma /= n;
+        mb /= n;
+        let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+        for (_, p) in ps.iter() {
+            let (da, db) = (p[a] - ma, p[b] - mb);
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn independent_is_roughly_uncorrelated_and_uniform() {
+        let ps = independent(20_000, 3, 1);
+        assert_eq!(ps.len(), 20_000);
+        let r = pearson(&ps, 0, 1);
+        assert!(r.abs() < 0.03, "correlation {r}");
+        let mean0: f64 = ps.iter().map(|(_, p)| p[0]).sum::<f64>() / 20_000.0;
+        assert!((mean0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn correlated_has_strong_positive_correlation() {
+        let ps = correlated(10_000, 4, 2);
+        let r = pearson(&ps, 0, 3);
+        assert!(r > 0.8, "correlation {r}");
+    }
+
+    #[test]
+    fn anti_correlated_has_negative_pairwise_correlation() {
+        for dim in [2, 4, 6] {
+            let ps = anti_correlated(10_000, dim, 3);
+            let r = pearson(&ps, 0, dim - 1);
+            assert!(r < -0.1, "dim {dim}: correlation {r}");
+            // all in the unit cube
+            assert!(ps.iter().all(|(_, p)| p.iter().all(|&x| (0.0..=1.0).contains(&x))));
+        }
+    }
+
+    #[test]
+    fn anti_correlated_budget_concentrates() {
+        let ps = anti_correlated(5_000, 4, 4);
+        let sums: Vec<f64> = ps.iter().map(|(_, p)| p.iter().sum()).collect();
+        // rejection of out-of-cube points biases the mean slightly low
+        let mean = sums.iter().sum::<f64>() / sums.len() as f64;
+        assert!((mean - 2.0).abs() < 0.15, "budget mean {mean}");
+        let var = sums.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sums.len() as f64;
+        assert!(var < 0.1, "budget variance {var} too large");
+    }
+
+    #[test]
+    fn clustered_points_hug_their_centers() {
+        let ps = clustered(5_000, 3, 5, 5);
+        assert_eq!(ps.len(), 5_000);
+        // with sigma 0.05, points are within 0.3 of their center w.h.p.;
+        // so the set of rounded "cells" is small
+        let mut cells = std::collections::HashSet::new();
+        for (_, p) in ps.iter() {
+            let cell: Vec<i32> = p.iter().map(|&x| (x * 5.0) as i32).collect();
+            cells.insert(cell);
+        }
+        assert!(cells.len() < 200, "too many occupied cells: {}", cells.len());
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = anti_correlated(100, 3, 42);
+        let b = anti_correlated(100, 3, 42);
+        let c = anti_correlated(100, 3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distribution_enum_dispatch() {
+        for d in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+            Distribution::Clustered { clusters: 3 },
+        ] {
+            let ps = d.generate(50, 3, 9);
+            assert_eq!(ps.len(), 50);
+            assert_eq!(ps.dim(), 3);
+        }
+        let z = Distribution::Zillow.generate(50, 5, 9);
+        assert_eq!(z.dim(), 5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Workload assembly: an object set plus a function set, built from one
+//! seed.
+
+use mpq_rtree::PointSet;
+use mpq_ta::FunctionSet;
+
+use crate::functions::{skewed_weights, uniform_weights};
+use crate::objects::Distribution;
+
+/// How preference weights are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FunctionStyle {
+    /// Uniform on the simplex (the paper's setting).
+    #[default]
+    Uniform,
+    /// One dominant attribute per user.
+    Skewed,
+}
+
+/// A complete experiment input.
+#[derive(Debug)]
+pub struct Workload {
+    /// The object set `O`.
+    pub objects: PointSet,
+    /// The preference functions `F`.
+    pub functions: FunctionSet,
+}
+
+/// Builder for [`Workload`]s.
+///
+/// Defaults mirror the paper's base configuration: 100 K independent
+/// objects, 5 K uniform functions, `D = 3`.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    n_objects: usize,
+    n_functions: usize,
+    dim: usize,
+    distribution: Distribution,
+    style: FunctionStyle,
+    seed: u64,
+}
+
+impl Default for WorkloadBuilder {
+    fn default() -> Self {
+        WorkloadBuilder {
+            n_objects: 100_000,
+            n_functions: 5_000,
+            dim: 3,
+            distribution: Distribution::Independent,
+            style: FunctionStyle::Uniform,
+            seed: 0,
+        }
+    }
+}
+
+impl WorkloadBuilder {
+    /// Start from the paper's defaults.
+    pub fn new() -> WorkloadBuilder {
+        WorkloadBuilder::default()
+    }
+
+    /// Number of objects `|O|`.
+    pub fn objects(mut self, n: usize) -> Self {
+        self.n_objects = n;
+        self
+    }
+
+    /// Number of preference functions `|F|`.
+    pub fn functions(mut self, n: usize) -> Self {
+        self.n_functions = n;
+        self
+    }
+
+    /// Dimensionality `D` (forced to 5 by [`Distribution::Zillow`]).
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Object-value distribution.
+    pub fn distribution(mut self, d: Distribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// Weight-vector style.
+    pub fn function_style(mut self, s: FunctionStyle) -> Self {
+        self.style = s;
+        self
+    }
+
+    /// Seed for both generators (object and function streams are
+    /// decorrelated internally).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate the workload.
+    pub fn build(&self) -> Workload {
+        let dim = if self.distribution == Distribution::Zillow {
+            5
+        } else {
+            self.dim
+        };
+        let objects = self
+            .distribution
+            .generate(self.n_objects, dim, self.seed);
+        let fseed = self.seed ^ 0xF00D_F00D_F00D_F00D;
+        let functions = match self.style {
+            FunctionStyle::Uniform => uniform_weights(self.n_functions, dim, fseed),
+            FunctionStyle::Skewed => skewed_weights(self.n_functions, dim, fseed),
+        };
+        Workload { objects, functions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_requested_sizes() {
+        let w = WorkloadBuilder::new()
+            .objects(123)
+            .functions(7)
+            .dim(4)
+            .distribution(Distribution::AntiCorrelated)
+            .seed(5)
+            .build();
+        assert_eq!(w.objects.len(), 123);
+        assert_eq!(w.objects.dim(), 4);
+        assert_eq!(w.functions.n_alive(), 7);
+        assert_eq!(w.functions.dim(), 4);
+    }
+
+    #[test]
+    fn zillow_overrides_dim() {
+        let w = WorkloadBuilder::new()
+            .objects(10)
+            .functions(3)
+            .dim(3) // ignored
+            .distribution(Distribution::Zillow)
+            .build();
+        assert_eq!(w.objects.dim(), 5);
+        assert_eq!(w.functions.dim(), 5);
+    }
+
+    #[test]
+    fn object_and_function_streams_differ() {
+        let w = WorkloadBuilder::new()
+            .objects(5)
+            .functions(5)
+            .dim(2)
+            .seed(1)
+            .build();
+        // functions are not a copy of the objects
+        let o0 = w.objects.get(0);
+        let f0 = w.functions.weights(0);
+        assert_ne!(o0, f0);
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let a = WorkloadBuilder::new().objects(20).functions(4).seed(9).build();
+        let b = WorkloadBuilder::new().objects(20).functions(4).seed(9).build();
+        assert_eq!(a.objects, b.objects);
+        assert_eq!(a.functions, b.functions);
+    }
+}

@@ -1,0 +1,406 @@
+//! LRU buffer pool caching decoded nodes above the pager.
+//!
+//! The paper's experiments use "an LRU memory buffer with default size 2%
+//! of the tree size"; all reported I/O numbers are physical accesses that
+//! miss this buffer. [`BufferPool`] implements exactly that: a bounded
+//! cache of decoded nodes with O(1) least-recently-used eviction
+//! (hash map + intrusive doubly-linked list), write-back of dirty pages,
+//! and the [`IoStats`] counters.
+//!
+//! Nodes are handed out as `Arc<Node>` clones so read paths never copy
+//! node payloads; writers install fresh nodes with [`BufferPool::put`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::node::Node;
+use crate::pager::{MemPager, PageId};
+use crate::stats::IoStats;
+
+const NIL: usize = usize::MAX;
+
+struct Frame {
+    pid: u32,
+    node: Arc<Node>,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+struct BufInner {
+    pager: MemPager,
+    dim: usize,
+    cap: usize,
+    map: HashMap<u32, usize>,
+    frames: Vec<Frame>,
+    free_slots: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    stats: IoStats,
+    scratch: Vec<u8>,
+}
+
+/// A thread-safe LRU buffer pool over a [`MemPager`].
+///
+/// All node traffic of an [`crate::RTree`] flows through this type, which
+/// is what makes the I/O accounting exact: `logical` counts every request,
+/// `physical_reads` counts misses, `physical_writes` counts dirty
+/// write-backs.
+pub struct BufferPool {
+    inner: Mutex<BufInner>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("BufferPool")
+            .field("capacity", &g.cap)
+            .field("resident", &g.map.len())
+            .field("stats", &g.stats)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Create a pool over `pager` caching up to `capacity` nodes of a
+    /// `dim`-dimensional tree. Capacities below 1 are clamped to 1.
+    pub fn new(pager: MemPager, dim: usize, capacity: usize) -> BufferPool {
+        let page = pager.page_size();
+        BufferPool {
+            inner: Mutex::new(BufInner {
+                pager,
+                dim,
+                cap: capacity.max(1),
+                map: HashMap::new(),
+                frames: Vec::new(),
+                free_slots: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                stats: IoStats::default(),
+                scratch: vec![0u8; page],
+            }),
+        }
+    }
+
+    /// Fetch a node, reading and decoding the page on a miss.
+    pub fn get(&self, pid: PageId) -> Arc<Node> {
+        let mut g = self.inner.lock();
+        g.stats.logical += 1;
+        if let Some(&slot) = g.map.get(&pid.0) {
+            g.touch(slot);
+            return Arc::clone(&g.frames[slot].node);
+        }
+        g.stats.physical_reads += 1;
+        let node = Arc::new(Node::decode(g.dim, g.pager.read(pid)));
+        g.install(pid, Arc::clone(&node), false);
+        node
+    }
+
+    /// Install a (possibly new) node image for `pid`, marking it dirty.
+    pub fn put(&self, pid: PageId, node: Node) {
+        let mut g = self.inner.lock();
+        g.stats.logical += 1;
+        let node = Arc::new(node);
+        if let Some(&slot) = g.map.get(&pid.0) {
+            g.frames[slot].node = node;
+            g.frames[slot].dirty = true;
+            g.touch(slot);
+        } else {
+            g.install(pid, node, true);
+        }
+    }
+
+    /// Allocate a fresh page in the underlying pager.
+    pub fn allocate(&self) -> PageId {
+        self.inner.lock().pager.allocate()
+    }
+
+    /// Drop any cached copy of `pid` (without write-back) and free the
+    /// page in the pager.
+    pub fn free(&self, pid: PageId) {
+        let mut g = self.inner.lock();
+        if let Some(slot) = g.map.remove(&pid.0) {
+            g.unlink(slot);
+            g.frames[slot].node = Arc::new(Node::Leaf(crate::node::LeafNode::new(1)));
+            g.free_slots.push(slot);
+        }
+        g.pager.free(pid);
+    }
+
+    /// Write back all dirty frames (counted as physical writes).
+    pub fn flush(&self) {
+        let mut g = self.inner.lock();
+        let slots: Vec<usize> = g.map.values().copied().collect();
+        for slot in slots {
+            g.write_back(slot);
+        }
+    }
+
+    /// Flush, then drop every cached frame (a "cold" buffer), leaving the
+    /// stats untouched. Useful before measuring a query from a cold start.
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        let slots: Vec<usize> = g.map.values().copied().collect();
+        for slot in slots {
+            g.write_back(slot);
+        }
+        g.map.clear();
+        g.frames.clear();
+        g.free_slots.clear();
+        g.head = NIL;
+        g.tail = NIL;
+    }
+
+    /// Change the capacity (clamped to ≥ 1), evicting LRU victims if the
+    /// pool is over the new bound.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut g = self.inner.lock();
+        g.cap = capacity.max(1);
+        while g.map.len() > g.cap {
+            g.evict_lru();
+        }
+    }
+
+    /// Current capacity in nodes/pages.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().cap
+    }
+
+    /// Number of nodes currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Number of live pages in the pager (i.e., size of the tree on
+    /// "disk", in pages).
+    pub fn live_pages(&self) -> usize {
+        self.inner.lock().pager.live_pages()
+    }
+
+    /// Page size of the underlying pager, in bytes.
+    pub fn page_size(&self) -> usize {
+        self.inner.lock().pager.page_size()
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().stats
+    }
+
+    /// Zero the I/O counters (e.g., after bulk loading, so experiments
+    /// measure query cost only).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = IoStats::default();
+    }
+}
+
+impl BufInner {
+    fn push_front(&mut self, slot: usize) {
+        self.frames[slot].prev = NIL;
+        self.frames[slot].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.frames[slot].prev, self.frames[slot].next);
+        if prev != NIL {
+            self.frames[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.frames[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+    }
+
+    fn install(&mut self, pid: PageId, node: Arc<Node>, dirty: bool) {
+        while self.map.len() >= self.cap {
+            self.evict_lru();
+        }
+        let slot = if let Some(s) = self.free_slots.pop() {
+            self.frames[s] = Frame {
+                pid: pid.0,
+                node,
+                dirty,
+                prev: NIL,
+                next: NIL,
+            };
+            s
+        } else {
+            self.frames.push(Frame {
+                pid: pid.0,
+                node,
+                dirty,
+                prev: NIL,
+                next: NIL,
+            });
+            self.frames.len() - 1
+        };
+        self.map.insert(pid.0, slot);
+        self.push_front(slot);
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        debug_assert!(victim != NIL, "evict called on empty pool");
+        self.write_back(victim);
+        let pid = self.frames[victim].pid;
+        self.unlink(victim);
+        self.map.remove(&pid);
+        self.free_slots.push(victim);
+    }
+
+    fn write_back(&mut self, slot: usize) {
+        if !self.frames[slot].dirty {
+            return;
+        }
+        let pid = PageId(self.frames[slot].pid);
+        let node = Arc::clone(&self.frames[slot].node);
+        self.scratch.fill(0);
+        node.encode(&mut self.scratch);
+        let len = node.encoded_len();
+        // borrow split: copy out of scratch into pager
+        let scratch = std::mem::take(&mut self.scratch);
+        self.pager.write(pid, &scratch[..len]);
+        self.scratch = scratch;
+        self.frames[slot].dirty = false;
+        self.stats.physical_writes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LeafNode;
+
+    fn leaf_node(dim: usize, seed: f64) -> Node {
+        let mut n = LeafNode::new(dim);
+        n.push(&vec![seed; dim], seed as u64);
+        Node::Leaf(n)
+    }
+
+    fn pool(cap: usize) -> (BufferPool, Vec<PageId>) {
+        let pager = MemPager::new(256);
+        let pool = BufferPool::new(pager, 2, cap);
+        let mut pids = Vec::new();
+        for i in 0..5 {
+            let pid = pool.allocate();
+            pool.put(pid, leaf_node(2, i as f64 * 0.1));
+            pids.push(pid);
+        }
+        pool.flush();
+        (pool, pids)
+    }
+
+    #[test]
+    fn hit_does_not_cost_physical_read() {
+        let (pool, pids) = pool(8);
+        pool.reset_stats();
+        let a = pool.get(pids[0]);
+        let b = pool.get(pids[0]);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = pool.stats();
+        assert_eq!(s.logical, 2);
+        assert_eq!(s.physical_reads, 0, "both were buffer hits");
+    }
+
+    #[test]
+    fn miss_after_eviction_costs_read() {
+        let (pool, pids) = pool(2);
+        pool.clear();
+        pool.reset_stats();
+        pool.get(pids[0]);
+        pool.get(pids[1]);
+        pool.get(pids[2]); // evicts pids[0]
+        pool.get(pids[0]); // miss again
+        let s = pool.stats();
+        assert_eq!(s.physical_reads, 4);
+    }
+
+    #[test]
+    fn lru_order_protects_recently_used() {
+        let (pool, pids) = pool(2);
+        pool.clear();
+        pool.reset_stats();
+        pool.get(pids[0]);
+        pool.get(pids[1]);
+        pool.get(pids[0]); // touch 0 so 1 is the LRU victim
+        pool.get(pids[2]); // evicts 1
+        pool.get(pids[0]); // still resident -> hit
+        let s = pool.stats();
+        assert_eq!(s.physical_reads, 3, "pids[0] stayed hot");
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let pager = MemPager::new(256);
+        let pool = BufferPool::new(pager, 2, 1);
+        let a = pool.allocate();
+        let b = pool.allocate();
+        pool.put(a, leaf_node(2, 0.25)); // dirty
+        pool.put(b, leaf_node(2, 0.5)); // evicts a -> must write it
+        let s = pool.stats();
+        assert_eq!(s.physical_writes, 1);
+        // a round-trips through the pager correctly
+        let back = pool.get(a);
+        assert_eq!(back.as_leaf().point(0), &[0.25, 0.25]);
+    }
+
+    #[test]
+    fn flush_writes_all_dirty_frames_once() {
+        let (pool, pids) = pool(8);
+        pool.reset_stats();
+        pool.put(pids[0], leaf_node(2, 0.9));
+        pool.put(pids[1], leaf_node(2, 0.8));
+        pool.flush();
+        assert_eq!(pool.stats().physical_writes, 2);
+        pool.flush(); // now clean: no extra writes
+        assert_eq!(pool.stats().physical_writes, 2);
+    }
+
+    #[test]
+    fn set_capacity_evicts_down_to_bound() {
+        let (pool, _pids) = pool(8);
+        assert_eq!(pool.resident(), 5);
+        pool.set_capacity(2);
+        assert_eq!(pool.resident(), 2);
+        assert_eq!(pool.capacity(), 2);
+    }
+
+    #[test]
+    fn free_drops_frame_without_write_back() {
+        let (pool, pids) = pool(8);
+        pool.reset_stats();
+        pool.put(pids[3], leaf_node(2, 0.7)); // dirty
+        pool.free(pids[3]);
+        assert_eq!(pool.stats().physical_writes, 0);
+        assert_eq!(pool.resident(), 4);
+    }
+
+    #[test]
+    fn clear_leaves_pool_cold_but_consistent() {
+        let (pool, pids) = pool(8);
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        pool.reset_stats();
+        pool.get(pids[4]);
+        assert_eq!(pool.stats().physical_reads, 1);
+    }
+}

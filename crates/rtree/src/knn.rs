@@ -1,0 +1,278 @@
+//! Best-first k-nearest-neighbor search (Hjaltason & Samet, TODS 1999).
+//!
+//! The Chain competitor adapts the spatial matching of Wong et al.
+//! (VLDB 2007), whose native primitive is incremental NN search; this
+//! module provides that primitive for completeness of the substrate
+//! (the matcher itself replaces NN by ranked search, as the paper
+//! prescribes). Distances are Euclidean; ties break by ascending object
+//! id, mirroring the ranked-search conventions.
+
+use std::collections::BinaryHeap;
+
+use crate::node::Node;
+use crate::pager::PageId;
+use crate::tree::RTree;
+
+/// One k-NN result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnHit {
+    /// Object id.
+    pub oid: u64,
+    /// Euclidean distance to the query point.
+    pub distance: f64,
+    /// The matching point.
+    pub point: Box<[f64]>,
+}
+
+/// Squared Euclidean distance from `q` to the rectangle `[lo, hi]`
+/// (zero when `q` is inside).
+#[inline]
+pub fn mindist_sq(q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+    let mut d = 0.0;
+    for i in 0..q.len() {
+        let delta = if q[i] < lo[i] {
+            lo[i] - q[i]
+        } else if q[i] > hi[i] {
+            q[i] - hi[i]
+        } else {
+            0.0
+        };
+        d += delta * delta;
+    }
+    d
+}
+
+#[inline]
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    let mut d = 0.0;
+    for i in 0..a.len() {
+        let delta = a[i] - b[i];
+        d += delta * delta;
+    }
+    d
+}
+
+enum Cand {
+    Node { pid: u32 },
+    Point { oid: u64, point: Box<[f64]> },
+}
+
+struct Item {
+    key: f64, // squared distance
+    cand: Cand,
+}
+
+impl Item {
+    fn tie(&self) -> (u8, u64) {
+        match &self.cand {
+            Cand::Node { pid } => (1, *pid as u64),
+            Cand::Point { oid, .. } => (0, *oid),
+        }
+    }
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Item {}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // min-heap on distance; nodes before points at equal distance so
+        // hidden ties surface before a point is emitted; then id asc
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| {
+                let (ka, ia) = self.tie();
+                let (kb, ib) = other.tie();
+                kb.cmp(&ka).then_with(|| ib.cmp(&ia))
+            })
+    }
+}
+
+/// Incremental nearest-neighbor iterator: yields points in ascending
+/// distance from the query.
+pub struct NnIter<'t> {
+    tree: &'t RTree,
+    query: Box<[f64]>,
+    heap: BinaryHeap<Item>,
+}
+
+impl<'t> NnIter<'t> {
+    fn new(tree: &'t RTree, query: &[f64]) -> NnIter<'t> {
+        assert_eq!(query.len(), tree.dim(), "query dimensionality mismatch");
+        let root = tree.read_node(tree.root_page());
+        let mut it = NnIter {
+            tree,
+            query: query.into(),
+            heap: BinaryHeap::new(),
+        };
+        it.expand(&root);
+        it
+    }
+
+    fn expand(&mut self, node: &Node) {
+        match node {
+            Node::Leaf(leaf) => {
+                for (oid, p) in leaf.iter() {
+                    self.heap.push(Item {
+                        key: dist_sq(&self.query, p),
+                        cand: Cand::Point {
+                            oid,
+                            point: p.into(),
+                        },
+                    });
+                }
+            }
+            Node::Inner(inner) => {
+                for i in 0..inner.len() {
+                    self.heap.push(Item {
+                        key: mindist_sq(&self.query, inner.lo(i), inner.hi(i)),
+                        cand: Cand::Node {
+                            pid: inner.child(i).0,
+                        },
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for NnIter<'_> {
+    type Item = NnHit;
+
+    fn next(&mut self) -> Option<NnHit> {
+        while let Some(item) = self.heap.pop() {
+            match item.cand {
+                Cand::Point { oid, point } => {
+                    return Some(NnHit {
+                        oid,
+                        distance: item.key.sqrt(),
+                        point,
+                    });
+                }
+                Cand::Node { pid } => {
+                    let node = self.tree.read_node(PageId(pid));
+                    self.expand(&node);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl RTree {
+    /// Incremental nearest-neighbor search from `query`.
+    pub fn nn_iter(&self, query: &[f64]) -> NnIter<'_> {
+        NnIter::new(self, query)
+    }
+
+    /// The `k` nearest neighbors of `query` in ascending distance.
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<NnHit> {
+        self.nn_iter(query).take(k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::PointSet;
+    use crate::tree::RTreeParams;
+
+    fn params() -> RTreeParams {
+        RTreeParams {
+            page_size: 256,
+            min_fill_ratio: 0.4,
+            buffer_capacity: 1024,
+        }
+    }
+
+    fn seeded_points(n: usize, dim: usize, seed: u64) -> PointSet {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut ps = PointSet::with_capacity(dim, n);
+        for _ in 0..n {
+            let p: Vec<f64> = (0..dim).map(|_| next()).collect();
+            ps.push(&p);
+        }
+        ps
+    }
+
+    fn brute_knn(ps: &PointSet, q: &[f64], k: usize) -> Vec<(u64, f64)> {
+        let mut all: Vec<(u64, f64)> = ps
+            .iter()
+            .map(|(i, p)| (i as u64, dist_sq(q, p).sqrt()))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let ps = seeded_points(700, 3, 61);
+        let tree = RTree::bulk_load(&ps, params());
+        for q in [[0.5, 0.5, 0.5], [0.0, 0.0, 0.0], [0.9, 0.1, 0.4]] {
+            let got: Vec<(u64, f64)> = tree.knn(&q, 15).iter().map(|h| (h.oid, h.distance)).collect();
+            let expect = brute_knn(&ps, &q, 15);
+            for ((go, gd), (eo, ed)) in got.iter().zip(expect.iter()) {
+                assert_eq!(go, eo, "query {q:?}");
+                assert!((gd - ed).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nn_iter_is_distance_sorted_and_complete() {
+        let ps = seeded_points(400, 2, 62);
+        let tree = RTree::bulk_load(&ps, params());
+        let mut last = -1.0f64;
+        let mut n = 0;
+        for hit in tree.nn_iter(&[0.3, 0.7]) {
+            assert!(hit.distance >= last - 1e-12);
+            last = hit.distance;
+            n += 1;
+        }
+        assert_eq!(n, 400);
+    }
+
+    #[test]
+    fn query_outside_the_unit_cube_works() {
+        let ps = seeded_points(200, 2, 63);
+        let tree = RTree::bulk_load(&ps, params());
+        let got = tree.knn(&[2.0, 2.0], 3);
+        let expect = brute_knn(&ps, &[2.0, 2.0], 3);
+        assert_eq!(got[0].oid, expect[0].0);
+    }
+
+    #[test]
+    fn exact_match_has_distance_zero() {
+        let ps = seeded_points(100, 2, 64);
+        let tree = RTree::bulk_load(&ps, params());
+        let target = ps.get(42);
+        let hit = tree.knn(target, 1).remove(0);
+        assert_eq!(hit.oid, 42);
+        assert_eq!(hit.distance, 0.0);
+    }
+
+    #[test]
+    fn mindist_sq_handles_inside_and_outside() {
+        assert_eq!(mindist_sq(&[0.5, 0.5], &[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        let d = mindist_sq(&[2.0, 0.5], &[0.0, 0.0], &[1.0, 1.0]);
+        assert!((d - 1.0).abs() < 1e-12);
+        let d = mindist_sq(&[-1.0, -1.0], &[0.0, 0.0], &[1.0, 1.0]);
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+}

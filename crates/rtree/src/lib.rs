@@ -1,0 +1,62 @@
+//! # mpq-rtree — a disk-simulated, paged R\*-tree
+//!
+//! This crate provides the storage substrate used by the ICDE 2009 paper
+//! *"Efficient Evaluation of Multiple Preference Queries"*: a
+//! multidimensional R-tree whose nodes live on fixed-size pages behind an
+//! LRU buffer pool, so that experiments can report **I/O accesses** the way
+//! the database literature does (physical page reads/writes that miss the
+//! buffer).
+//!
+//! Features:
+//!
+//! * **Paged storage** ([`pager::MemPager`]) — every node occupies exactly
+//!   one page (default 4096 bytes, as in the paper); nodes are serialized
+//!   to a compact binary layout ([`node`]).
+//! * **LRU buffer pool** ([`buffer::BufferPool`]) with logical/physical
+//!   access counters ([`stats::IoStats`]).
+//! * **STR bulk loading** ([`RTree::bulk_load`]) — Sort-Tile-Recursive
+//!   packing for the initial dataset.
+//! * **Dynamic updates** — R\*-style [`RTree::insert`] and Guttman
+//!   condense-tree [`RTree::delete`] (needed by the Brute Force and Chain
+//!   matchers, which remove assigned objects from the index).
+//! * **Branch-and-bound ranked search** ([`topk`]) — the "BRS" top-k /
+//!   top-1 algorithm of Tao et al. (Information Systems 32(3), 2007) for
+//!   linear scoring functions, plus an incremental iterator.
+//!
+//! Scores follow the *larger-is-better* convention: points live in
+//! `[0,1]^D` and a query is a non-negative weight vector.
+//!
+//! ```
+//! use mpq_rtree::{RTree, RTreeParams, PointSet};
+//!
+//! let mut points = PointSet::new(2);
+//! points.push(&[0.9, 0.1]);
+//! points.push(&[0.6, 0.5]);
+//! points.push(&[0.2, 0.8]);
+//! let tree = RTree::bulk_load(&points, RTreeParams::default());
+//! let best = tree.top1(&[0.5, 0.5]).unwrap();
+//! assert_eq!(best.oid, 1); // 0.5*0.6 + 0.5*0.5 = 0.55 is the max score
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod bulk;
+pub mod geometry;
+pub mod knn;
+pub mod node;
+pub mod pager;
+pub mod points;
+pub mod split;
+pub mod stats;
+pub mod topk;
+pub mod tree;
+
+pub use geometry::Mbr;
+pub use knn::{NnHit, NnIter};
+pub use node::{InnerNode, LeafNode, Node};
+pub use pager::PageId;
+pub use points::PointSet;
+pub use stats::IoStats;
+pub use topk::{LinearScorer, MonotoneScorer, RankedHit, RankedIter, Scorer};
+pub use tree::{RTree, RTreeParams};

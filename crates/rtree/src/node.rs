@@ -1,0 +1,526 @@
+//! R-tree node representation and its on-page binary codec.
+//!
+//! Every node occupies exactly one page. The layout (little-endian) is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     tag: 0 = leaf, 1 = inner
+//! 1       1     level (0 for leaves; child level + 1 for inner nodes)
+//! 2       2     entry count (u16)
+//! 4       4     reserved
+//! 8       ...   entries
+//! ```
+//!
+//! Leaf entry: `dim` × f64 point coordinates followed by a u64 object id
+//! (`8·dim + 8` bytes). Inner entry: `2·dim` × f64 MBR (lower corner then
+//! upper corner) followed by a u32 child page id (`16·dim + 4` bytes).
+//!
+//! With the paper's 4096-byte pages this yields, e.g. for `D = 3`, a leaf
+//! fanout of 127 and an inner fanout of 78 — the same regime as the C++
+//! implementation the paper measured.
+
+use bytes::{Buf, BufMut};
+
+use crate::geometry::Mbr;
+use crate::pager::PageId;
+
+const HEADER_BYTES: usize = 8;
+const TAG_LEAF: u8 = 0;
+const TAG_INNER: u8 = 1;
+
+/// A decoded R-tree node: either a leaf of points or an inner node of
+/// child MBRs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Level-0 node holding data points.
+    Leaf(LeafNode),
+    /// Node at level ≥ 1 holding child page references.
+    Inner(InnerNode),
+}
+
+/// A leaf node: `count` points with object ids, stored flat.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LeafNode {
+    dim: usize,
+    /// Flat coordinates, stride `dim`.
+    points: Vec<f64>,
+    /// Object id of each point.
+    oids: Vec<u64>,
+}
+
+/// An inner node: `count` child entries, each an MBR plus a child page id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InnerNode {
+    dim: usize,
+    /// Level of *this* node (≥ 1).
+    level: u8,
+    /// Flat MBRs, stride `2·dim`: `lo` corner then `hi` corner.
+    mbrs: Vec<f64>,
+    /// Child page of each entry.
+    children: Vec<u32>,
+}
+
+impl Node {
+    /// Level of the node (0 = leaf).
+    #[inline]
+    pub fn level(&self) -> u8 {
+        match self {
+            Node::Leaf(_) => 0,
+            Node::Inner(n) => n.level,
+        }
+    }
+
+    /// Number of entries in the node.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(n) => n.len(),
+            Node::Inner(n) => n.len(),
+        }
+    }
+
+    /// True iff the node holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the indexed space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        match self {
+            Node::Leaf(n) => n.dim,
+            Node::Inner(n) => n.dim,
+        }
+    }
+
+    /// The tight MBR covering everything in this node.
+    pub fn mbr(&self) -> Mbr {
+        let mut m = Mbr::empty(self.dim());
+        match self {
+            Node::Leaf(n) => {
+                for i in 0..n.len() {
+                    m.union_point(n.point(i));
+                }
+            }
+            Node::Inner(n) => {
+                for i in 0..n.len() {
+                    m.union_rect(n.lo(i), n.hi(i));
+                }
+            }
+        }
+        m
+    }
+
+    /// Borrow as a leaf.
+    ///
+    /// # Panics
+    /// Panics if the node is an inner node.
+    #[inline]
+    pub fn as_leaf(&self) -> &LeafNode {
+        match self {
+            Node::Leaf(n) => n,
+            Node::Inner(_) => panic!("expected leaf node, found inner node"),
+        }
+    }
+
+    /// Borrow as an inner node.
+    ///
+    /// # Panics
+    /// Panics if the node is a leaf.
+    #[inline]
+    pub fn as_inner(&self) -> &InnerNode {
+        match self {
+            Node::Inner(n) => n,
+            Node::Leaf(_) => panic!("expected inner node, found leaf node"),
+        }
+    }
+
+    /// Mutable leaf accessor (see [`Node::as_leaf`]).
+    #[inline]
+    pub fn as_leaf_mut(&mut self) -> &mut LeafNode {
+        match self {
+            Node::Leaf(n) => n,
+            Node::Inner(_) => panic!("expected leaf node, found inner node"),
+        }
+    }
+
+    /// Mutable inner accessor (see [`Node::as_inner`]).
+    #[inline]
+    pub fn as_inner_mut(&mut self) -> &mut InnerNode {
+        match self {
+            Node::Inner(n) => n,
+            Node::Leaf(_) => panic!("expected inner node, found leaf node"),
+        }
+    }
+
+    /// Serialized size in bytes (must fit the page).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Node::Leaf(n) => HEADER_BYTES + n.len() * (8 * n.dim + 8),
+            Node::Inner(n) => HEADER_BYTES + n.len() * (16 * n.dim + 4),
+        }
+    }
+
+    /// Encode into `buf` (the page image). `buf.len()` must be at least
+    /// [`Node::encoded_len`].
+    pub fn encode(&self, buf: &mut [u8]) {
+        let need = self.encoded_len();
+        assert!(
+            buf.len() >= need,
+            "node of {need} bytes does not fit page of {} bytes",
+            buf.len()
+        );
+        let mut w = &mut buf[..];
+        match self {
+            Node::Leaf(n) => {
+                w.put_u8(TAG_LEAF);
+                w.put_u8(0);
+                w.put_u16_le(n.len() as u16);
+                w.put_u32_le(0);
+                for i in 0..n.len() {
+                    for &c in n.point(i) {
+                        w.put_f64_le(c);
+                    }
+                    w.put_u64_le(n.oids[i]);
+                }
+            }
+            Node::Inner(n) => {
+                w.put_u8(TAG_INNER);
+                w.put_u8(n.level);
+                w.put_u16_le(n.len() as u16);
+                w.put_u32_le(0);
+                for i in 0..n.len() {
+                    for &c in n.lo(i) {
+                        w.put_f64_le(c);
+                    }
+                    for &c in n.hi(i) {
+                        w.put_f64_le(c);
+                    }
+                    w.put_u32_le(n.children[i]);
+                }
+            }
+        }
+    }
+
+    /// Decode a node from a page image.
+    ///
+    /// # Panics
+    /// Panics on a malformed page (wrong tag, truncated entries); pages
+    /// are produced only by [`Node::encode`], so corruption is a logic
+    /// error in the simulation, not a runtime condition to recover from.
+    pub fn decode(dim: usize, buf: &[u8]) -> Node {
+        let mut r = buf;
+        assert!(r.len() >= HEADER_BYTES, "page too small for node header");
+        let tag = r.get_u8();
+        let level = r.get_u8();
+        let count = r.get_u16_le() as usize;
+        let _reserved = r.get_u32_le();
+        match tag {
+            TAG_LEAF => {
+                let mut n = LeafNode::new(dim);
+                assert!(r.len() >= count * (8 * dim + 8), "truncated leaf page");
+                for _ in 0..count {
+                    let mut p = Vec::with_capacity(dim);
+                    for _ in 0..dim {
+                        p.push(r.get_f64_le());
+                    }
+                    let oid = r.get_u64_le();
+                    n.push(&p, oid);
+                }
+                Node::Leaf(n)
+            }
+            TAG_INNER => {
+                assert!(level >= 1, "inner node with level 0");
+                let mut n = InnerNode::new(dim, level);
+                assert!(r.len() >= count * (16 * dim + 4), "truncated inner page");
+                let mut lo = vec![0.0; dim];
+                let mut hi = vec![0.0; dim];
+                for _ in 0..count {
+                    for c in lo.iter_mut() {
+                        *c = r.get_f64_le();
+                    }
+                    for c in hi.iter_mut() {
+                        *c = r.get_f64_le();
+                    }
+                    let child = PageId(r.get_u32_le());
+                    n.push(&lo, &hi, child);
+                }
+                Node::Inner(n)
+            }
+            other => panic!("unknown node tag {other}"),
+        }
+    }
+}
+
+impl LeafNode {
+    /// New empty leaf for a `dim`-dimensional space.
+    pub fn new(dim: usize) -> LeafNode {
+        LeafNode {
+            dim,
+            points: Vec::new(),
+            oids: Vec::new(),
+        }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.oids.len()
+    }
+
+    /// True iff the leaf is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.oids.is_empty()
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Object id of point `i`.
+    #[inline]
+    pub fn oid(&self, i: usize) -> u64 {
+        self.oids[i]
+    }
+
+    /// Append a `(point, oid)` entry.
+    pub fn push(&mut self, p: &[f64], oid: u64) {
+        debug_assert_eq!(p.len(), self.dim);
+        self.points.extend_from_slice(p);
+        self.oids.push(oid);
+    }
+
+    /// Remove entry `i` (order is not preserved; `swap_remove` semantics
+    /// keep removal O(dim)).
+    pub fn swap_remove(&mut self, i: usize) {
+        let last = self.len() - 1;
+        if i != last {
+            let (head, tail) = self.points.split_at_mut(last * self.dim);
+            head[i * self.dim..(i + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+            self.oids.swap(i, last);
+        }
+        self.points.truncate(last * self.dim);
+        self.oids.pop();
+    }
+
+    /// Index of the entry with the given point and id, if present.
+    pub fn find(&self, p: &[f64], oid: u64) -> Option<usize> {
+        (0..self.len()).find(|&i| self.oids[i] == oid && self.point(i) == p)
+    }
+
+    /// Iterate `(oid, point)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (u64, &[f64])> + '_ {
+        self.oids
+            .iter()
+            .copied()
+            .zip(self.points.chunks_exact(self.dim))
+    }
+}
+
+impl InnerNode {
+    /// New empty inner node at `level` (≥ 1).
+    pub fn new(dim: usize, level: u8) -> InnerNode {
+        debug_assert!(level >= 1);
+        InnerNode {
+            dim,
+            level,
+            mbrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Number of child entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True iff the node has no children.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Level of this node.
+    #[inline]
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Lower corner of entry `i`'s MBR.
+    #[inline]
+    pub fn lo(&self, i: usize) -> &[f64] {
+        &self.mbrs[i * 2 * self.dim..i * 2 * self.dim + self.dim]
+    }
+
+    /// Upper corner of entry `i`'s MBR.
+    #[inline]
+    pub fn hi(&self, i: usize) -> &[f64] {
+        &self.mbrs[i * 2 * self.dim + self.dim..(i + 1) * 2 * self.dim]
+    }
+
+    /// Child page of entry `i`.
+    #[inline]
+    pub fn child(&self, i: usize) -> PageId {
+        PageId(self.children[i])
+    }
+
+    /// Append a child entry.
+    pub fn push(&mut self, lo: &[f64], hi: &[f64], child: PageId) {
+        debug_assert_eq!(lo.len(), self.dim);
+        debug_assert_eq!(hi.len(), self.dim);
+        self.mbrs.extend_from_slice(lo);
+        self.mbrs.extend_from_slice(hi);
+        self.children.push(child.0);
+    }
+
+    /// Replace the MBR of entry `i`.
+    pub fn set_mbr(&mut self, i: usize, lo: &[f64], hi: &[f64]) {
+        let base = i * 2 * self.dim;
+        self.mbrs[base..base + self.dim].copy_from_slice(lo);
+        self.mbrs[base + self.dim..base + 2 * self.dim].copy_from_slice(hi);
+    }
+
+    /// Remove entry `i` (order not preserved).
+    pub fn swap_remove(&mut self, i: usize) {
+        let last = self.len() - 1;
+        let stride = 2 * self.dim;
+        if i != last {
+            let (head, tail) = self.mbrs.split_at_mut(last * stride);
+            head[i * stride..(i + 1) * stride].copy_from_slice(&tail[..stride]);
+            self.children.swap(i, last);
+        }
+        self.mbrs.truncate(last * stride);
+        self.children.pop();
+    }
+
+    /// Index of the entry pointing at `child`, if present.
+    pub fn position_of(&self, child: PageId) -> Option<usize> {
+        self.children.iter().position(|&c| c == child.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_leaf() -> LeafNode {
+        let mut n = LeafNode::new(2);
+        n.push(&[0.1, 0.9], 7);
+        n.push(&[0.5, 0.5], 8);
+        n.push(&[0.9, 0.1], 9);
+        n
+    }
+
+    #[test]
+    fn leaf_encode_decode_round_trip() {
+        let n = Node::Leaf(sample_leaf());
+        let mut page = vec![0u8; 4096];
+        n.encode(&mut page);
+        let back = Node::decode(2, &page);
+        assert_eq!(back, n);
+        assert_eq!(back.level(), 0);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn inner_encode_decode_round_trip() {
+        let mut n = InnerNode::new(3, 2);
+        n.push(&[0.0, 0.0, 0.0], &[0.5, 0.5, 0.5], PageId(11));
+        n.push(&[0.5, 0.1, 0.2], &[1.0, 0.9, 0.8], PageId(12));
+        let n = Node::Inner(n);
+        let mut page = vec![0u8; 4096];
+        n.encode(&mut page);
+        let back = Node::decode(3, &page);
+        assert_eq!(back, n);
+        assert_eq!(back.level(), 2);
+    }
+
+    #[test]
+    fn empty_nodes_round_trip() {
+        for n in [Node::Leaf(LeafNode::new(4)), Node::Inner(InnerNode::new(4, 1))] {
+            let mut page = vec![0u8; 256];
+            n.encode(&mut page);
+            assert_eq!(Node::decode(4, &page), n);
+        }
+    }
+
+    #[test]
+    fn leaf_swap_remove_keeps_remaining_entries() {
+        let mut n = sample_leaf();
+        n.swap_remove(0);
+        assert_eq!(n.len(), 2);
+        // last entry moved into slot 0
+        assert_eq!(n.point(0), &[0.9, 0.1]);
+        assert_eq!(n.oid(0), 9);
+        assert_eq!(n.point(1), &[0.5, 0.5]);
+        n.swap_remove(1);
+        n.swap_remove(0);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn leaf_find_matches_point_and_oid() {
+        let n = sample_leaf();
+        assert_eq!(n.find(&[0.5, 0.5], 8), Some(1));
+        assert_eq!(n.find(&[0.5, 0.5], 99), None);
+        assert_eq!(n.find(&[0.4, 0.5], 8), None);
+    }
+
+    #[test]
+    fn inner_swap_remove_and_set_mbr() {
+        let mut n = InnerNode::new(2, 1);
+        n.push(&[0.0, 0.0], &[0.4, 0.4], PageId(1));
+        n.push(&[0.4, 0.4], &[0.8, 0.8], PageId(2));
+        n.push(&[0.8, 0.8], &[1.0, 1.0], PageId(3));
+        n.set_mbr(1, &[0.3, 0.3], &[0.9, 0.9]);
+        assert_eq!(n.lo(1), &[0.3, 0.3]);
+        assert_eq!(n.hi(1), &[0.9, 0.9]);
+        n.swap_remove(0);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.child(0), PageId(3));
+        assert_eq!(n.position_of(PageId(2)), Some(1));
+        assert_eq!(n.position_of(PageId(1)), None);
+    }
+
+    #[test]
+    fn node_mbr_covers_all_entries() {
+        let n = Node::Leaf(sample_leaf());
+        let m = n.mbr();
+        assert_eq!(&*m.lo, &[0.1, 0.1]);
+        assert_eq!(&*m.hi, &[0.9, 0.9]);
+    }
+
+    #[test]
+    fn encoded_len_matches_layout_math() {
+        let n = Node::Leaf(sample_leaf());
+        assert_eq!(n.encoded_len(), 8 + 3 * (16 + 8));
+        let mut i = InnerNode::new(2, 1);
+        i.push(&[0.0, 0.0], &[1.0, 1.0], PageId(5));
+        assert_eq!(Node::Inner(i).encoded_len(), 8 + (32 + 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node tag")]
+    fn decode_rejects_bad_tag() {
+        let mut page = vec![0u8; 64];
+        page[0] = 9;
+        let _ = Node::decode(2, &page);
+    }
+}

@@ -1,0 +1,200 @@
+//! The simulated disk: a page-granular byte store.
+//!
+//! Real deployments of the paper's system would put the object R-tree on
+//! disk; for a reproducible laptop-scale experiment we simulate the disk
+//! with an in-memory page store. The simulation is faithful at the level
+//! that matters for the paper's metrics: every node access that misses the
+//! LRU buffer pool costs one *physical* page transfer, counted by
+//! [`crate::stats::IoStats`] in the buffer layer above.
+
+/// Identifier of a fixed-size page in a [`MemPager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel value meaning "no page".
+    pub const INVALID: PageId = PageId(u32::MAX);
+
+    /// True iff this id refers to an actual page.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != PageId::INVALID
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An in-memory page store with a free list.
+///
+/// Pages are `page_size` bytes. Freed pages are recycled before new ones
+/// are allocated, like a real database file.
+#[derive(Debug)]
+pub struct MemPager {
+    page_size: usize,
+    pages: Vec<Option<Box<[u8]>>>,
+    free: Vec<u32>,
+}
+
+impl MemPager {
+    /// Create a pager with the given page size (bytes).
+    ///
+    /// # Panics
+    /// Panics if `page_size < 64` (too small to hold any node header plus
+    /// one entry at any supported dimensionality).
+    pub fn new(page_size: usize) -> MemPager {
+        assert!(page_size >= 64, "page size {page_size} is too small");
+        MemPager {
+            page_size,
+            pages: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of live (allocated, not freed) pages.
+    pub fn live_pages(&self) -> usize {
+        self.pages.len() - self.free.len()
+    }
+
+    /// Allocate a page and return its id. Contents are undefined until the
+    /// first [`MemPager::write`].
+    pub fn allocate(&mut self) -> PageId {
+        if let Some(id) = self.free.pop() {
+            self.pages[id as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
+            return PageId(id);
+        }
+        let id = self.pages.len() as u32;
+        assert!(id != u32::MAX, "pager exhausted the PageId space");
+        self.pages
+            .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+        PageId(id)
+    }
+
+    /// Return a page to the free list.
+    ///
+    /// # Panics
+    /// Panics if the page is not currently allocated (double free).
+    pub fn free(&mut self, id: PageId) {
+        let slot = self
+            .pages
+            .get_mut(id.0 as usize)
+            .unwrap_or_else(|| panic!("free of out-of-range page {id}"));
+        assert!(slot.is_some(), "double free of page {id}");
+        *slot = None;
+        self.free.push(id.0);
+    }
+
+    /// Read a page's bytes.
+    ///
+    /// # Panics
+    /// Panics if the page is not allocated.
+    pub fn read(&self, id: PageId) -> &[u8] {
+        self.pages
+            .get(id.0 as usize)
+            .and_then(|p| p.as_deref())
+            .unwrap_or_else(|| panic!("read of unallocated page {id}"))
+    }
+
+    /// Overwrite a page's bytes. `data` may be shorter than the page; the
+    /// remainder is zero-filled.
+    ///
+    /// # Panics
+    /// Panics if the page is not allocated or `data` exceeds the page size.
+    pub fn write(&mut self, id: PageId, data: &[u8]) {
+        assert!(
+            data.len() <= self.page_size,
+            "write of {} bytes exceeds page size {}",
+            data.len(),
+            self.page_size
+        );
+        let page = self
+            .pages
+            .get_mut(id.0 as usize)
+            .and_then(|p| p.as_deref_mut())
+            .unwrap_or_else(|| panic!("write to unallocated page {id}"));
+        page[..data.len()].copy_from_slice(data);
+        page[data.len()..].fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_write_read_round_trip() {
+        let mut p = MemPager::new(128);
+        let a = p.allocate();
+        let b = p.allocate();
+        assert_ne!(a, b);
+        p.write(a, &[1, 2, 3]);
+        p.write(b, &[9; 128]);
+        assert_eq!(&p.read(a)[..3], &[1, 2, 3]);
+        assert_eq!(p.read(a)[3], 0, "tail must be zero-filled");
+        assert_eq!(p.read(b)[127], 9);
+    }
+
+    #[test]
+    fn free_list_recycles_pages() {
+        let mut p = MemPager::new(128);
+        let a = p.allocate();
+        let _b = p.allocate();
+        p.free(a);
+        assert_eq!(p.live_pages(), 1);
+        let c = p.allocate();
+        assert_eq!(c, a, "freed page id should be recycled");
+        assert_eq!(p.live_pages(), 2);
+    }
+
+    #[test]
+    fn recycled_page_is_zeroed() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        p.write(a, &[7; 64]);
+        p.free(a);
+        let b = p.allocate();
+        assert_eq!(b, a);
+        assert!(p.read(b).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        p.free(a);
+        p.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn read_after_free_panics() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        p.free(a);
+        let _ = p.read(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn oversized_write_panics() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        p.write(a, &[0u8; 65]);
+    }
+
+    #[test]
+    fn invalid_page_id_sentinel() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+    }
+}

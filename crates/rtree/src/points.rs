@@ -1,0 +1,169 @@
+//! A compact container for fixed-dimensionality point collections.
+//!
+//! Storing every point in its own `Vec<f64>` would cost one heap
+//! allocation per object; [`PointSet`] instead keeps a single flat
+//! `Vec<f64>` with stride `dim`, which is both cache-friendly and
+//! allocation-free per point (a recommendation of the Rust Performance
+//! Book for oft-instantiated data).
+
+/// A set of `D`-dimensional points stored as one flat buffer.
+///
+/// Point `i` occupies `data[i*dim .. (i+1)*dim]`. Object identifiers are
+/// implicit: the point at index `i` has id `i` (as `u64`) unless callers
+/// maintain their own mapping.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointSet {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl PointSet {
+    /// Create an empty point set of the given dimensionality.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> PointSet {
+        assert!(dim > 0, "PointSet dimensionality must be positive");
+        PointSet {
+            dim,
+            data: Vec::new(),
+        }
+    }
+
+    /// Create an empty point set with room for `n` points.
+    pub fn with_capacity(dim: usize, n: usize) -> PointSet {
+        assert!(dim > 0, "PointSet dimensionality must be positive");
+        PointSet {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
+    }
+
+    /// Wrap an existing flat buffer (length must be a multiple of `dim`).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn from_flat(dim: usize, data: Vec<f64>) -> PointSet {
+        assert!(dim > 0, "PointSet dimensionality must be positive");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        PointSet { dim, data }
+    }
+
+    /// Dimensionality of every point in the set.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True iff the set holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a point; returns its index.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != self.dim()`.
+    pub fn push(&mut self, p: &[f64]) -> usize {
+        assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        self.data.extend_from_slice(p);
+        self.len() - 1
+    }
+
+    /// Borrow point `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterate over `(index, point)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (usize, &[f64])> + '_ {
+        self.data.chunks_exact(self.dim).enumerate()
+    }
+
+    /// The underlying flat buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Keep only the first `n` points (no-op if `n >= len`). Used to carve
+    /// cardinality subsets out of a generated dataset, as the paper does
+    /// with the Zillow samples.
+    pub fn truncate(&mut self, n: usize) {
+        let keep = n.min(self.len());
+        self.data.truncate(keep * self.dim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut ps = PointSet::new(3);
+        assert!(ps.is_empty());
+        let i = ps.push(&[0.1, 0.2, 0.3]);
+        let j = ps.push(&[0.4, 0.5, 0.6]);
+        assert_eq!((i, j), (0, 1));
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.get(1), &[0.4, 0.5, 0.6]);
+    }
+
+    #[test]
+    fn iter_yields_indexed_points() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[1.0, 2.0]);
+        ps.push(&[3.0, 4.0]);
+        let v: Vec<_> = ps.iter().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], (0, &[1.0, 2.0][..]));
+        assert_eq!(v[1], (1, &[3.0, 4.0][..]));
+    }
+
+    #[test]
+    fn from_flat_validates_length() {
+        let ps = PointSet::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged_buffer() {
+        let _ = PointSet::from_flat(2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn push_rejects_wrong_dim() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[1.0]);
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let mut ps = PointSet::from_flat(2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        ps.truncate(2);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.get(1), &[3.0, 4.0]);
+        ps.truncate(10); // no-op beyond length
+        assert_eq!(ps.len(), 2);
+    }
+}

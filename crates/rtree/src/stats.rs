@@ -1,0 +1,140 @@
+//! I/O accounting for the simulated disk.
+//!
+//! The experimental sections of the skyline / preference-query literature
+//! report *I/O accesses*: page requests that could not be served by the
+//! buffer pool. [`IoStats`] tracks three counters:
+//!
+//! * `logical` — every node/page request issued by an algorithm,
+//! * `physical_reads` — requests that missed the buffer and hit the pager,
+//! * `physical_writes` — dirty pages written back on eviction or flush.
+//!
+//! The paper's "I/O accesses" metric corresponds to
+//! [`IoStats::physical`], the sum of physical reads and writes.
+
+use std::ops::Sub;
+
+/// Counters of logical and physical page accesses.
+///
+/// Obtain a snapshot with [`crate::RTree::io_stats`], run a query, take a
+/// second snapshot, and subtract to get the cost of that query.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Node requests issued against the buffer pool (hits + misses).
+    pub logical: u64,
+    /// Page reads that missed the buffer and were served by the pager.
+    pub physical_reads: u64,
+    /// Dirty pages written back to the pager (eviction or explicit flush).
+    pub physical_writes: u64,
+}
+
+impl IoStats {
+    /// Total physical I/O: reads plus writes. This is the "I/O accesses"
+    /// metric plotted in the paper's figures.
+    #[inline]
+    pub fn physical(&self) -> u64 {
+        self.physical_reads + self.physical_writes
+    }
+
+    /// Buffer hit ratio in `[0, 1]`; `1.0` when no request was issued.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical == 0 {
+            1.0
+        } else {
+            1.0 - self.physical_reads as f64 / self.logical as f64
+        }
+    }
+
+    /// Saturating component-wise difference (`self - earlier`), useful for
+    /// diffing two snapshots taken around a measured operation.
+    pub fn since(&self, earlier: IoStats) -> IoStats {
+        IoStats {
+            logical: self.logical.saturating_sub(earlier.logical),
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
+        }
+    }
+}
+
+impl Sub for IoStats {
+    type Output = IoStats;
+
+    fn sub(self, rhs: IoStats) -> IoStats {
+        self.since(rhs)
+    }
+}
+
+impl std::fmt::Display for IoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "logical={} phys_reads={} phys_writes={} (physical={})",
+            self.logical,
+            self.physical_reads,
+            self.physical_writes,
+            self.physical()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_sums_reads_and_writes() {
+        let s = IoStats {
+            logical: 10,
+            physical_reads: 3,
+            physical_writes: 2,
+        };
+        assert_eq!(s.physical(), 5);
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let a = IoStats {
+            logical: 5,
+            physical_reads: 1,
+            physical_writes: 0,
+        };
+        let b = IoStats {
+            logical: 7,
+            physical_reads: 4,
+            physical_writes: 1,
+        };
+        let d = b.since(a);
+        assert_eq!(d.logical, 2);
+        assert_eq!(d.physical_reads, 3);
+        assert_eq!(d.physical_writes, 1);
+        // reversed order saturates to zero rather than underflowing
+        let z = a.since(b);
+        assert_eq!(z.logical, 0);
+        assert_eq!(z.physical_reads, 0);
+    }
+
+    #[test]
+    fn hit_ratio_handles_zero_requests() {
+        assert_eq!(IoStats::default().hit_ratio(), 1.0);
+        let s = IoStats {
+            logical: 4,
+            physical_reads: 1,
+            physical_writes: 0,
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_operator_matches_since() {
+        let a = IoStats {
+            logical: 2,
+            physical_reads: 2,
+            physical_writes: 2,
+        };
+        let b = IoStats {
+            logical: 9,
+            physical_reads: 5,
+            physical_writes: 3,
+        };
+        assert_eq!(b - a, b.since(a));
+    }
+}

@@ -1,0 +1,906 @@
+//! The paged R\*-tree.
+//!
+//! [`RTree`] ties the substrate together: nodes live on pages
+//! ([`crate::pager`]), all traffic flows through the LRU buffer pool
+//! ([`crate::buffer`]), construction uses STR packing ([`crate::bulk`]),
+//! overflow handling uses the R\* topological split ([`crate::split`]),
+//! and deletion uses Guttman's condense-tree with re-insertion.
+//!
+//! The tree stores points (objects with `D` attributes in `[0,1]`), keyed
+//! by a `u64` object id. Duplicate points and duplicate ids are allowed;
+//! a deletion removes the entry matching both the coordinates and the id.
+
+use std::sync::Arc;
+
+use crate::buffer::BufferPool;
+use crate::bulk::str_bulk_load;
+use crate::geometry::{enlargement, rect_area, rect_contains_point, rect_overlap, Mbr};
+use crate::node::{InnerNode, LeafNode, Node};
+use crate::pager::{MemPager, PageId};
+use crate::points::PointSet;
+use crate::split::{rstar_split, SplitEntry};
+use crate::stats::IoStats;
+
+/// Construction parameters for an [`RTree`].
+#[derive(Debug, Clone)]
+pub struct RTreeParams {
+    /// Page (node) size in bytes. The paper uses 4096.
+    pub page_size: usize,
+    /// Minimum node fill as a fraction of capacity (R\* default 0.4).
+    pub min_fill_ratio: f64,
+    /// Buffer-pool capacity in pages. Experiments typically override this
+    /// to 2% of the tree size after bulk loading
+    /// (see [`RTree::set_buffer_capacity`]).
+    pub buffer_capacity: usize,
+}
+
+impl Default for RTreeParams {
+    fn default() -> Self {
+        RTreeParams {
+            page_size: 4096,
+            min_fill_ratio: 0.4,
+            buffer_capacity: 128,
+        }
+    }
+}
+
+/// A disk-simulated R\*-tree over `D`-dimensional points.
+///
+/// See the [crate docs](crate) for an example.
+pub struct RTree {
+    dim: usize,
+    leaf_cap: usize,
+    inner_cap: usize,
+    leaf_min: usize,
+    inner_min: usize,
+    buf: BufferPool,
+    root: PageId,
+    height: u32,
+    len: u64,
+}
+
+impl std::fmt::Debug for RTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RTree")
+            .field("dim", &self.dim)
+            .field("len", &self.len)
+            .field("height", &self.height)
+            .field("pages", &self.buf.live_pages())
+            .finish()
+    }
+}
+
+/// An entry waiting to be (re-)inserted at a specific level.
+#[derive(Debug, Clone)]
+enum Pending {
+    Point { p: Box<[f64]>, oid: u64 },
+    Child { pid: PageId, level: u8, mbr: Mbr },
+}
+
+impl Pending {
+    /// Level of the node that should *host* this entry.
+    fn host_level(&self) -> u8 {
+        match self {
+            Pending::Point { .. } => 0,
+            Pending::Child { level, .. } => level + 1,
+        }
+    }
+
+    fn lo(&self) -> &[f64] {
+        match self {
+            Pending::Point { p, .. } => p,
+            Pending::Child { mbr, .. } => &mbr.lo,
+        }
+    }
+
+    fn hi(&self) -> &[f64] {
+        match self {
+            Pending::Point { p, .. } => p,
+            Pending::Child { mbr, .. } => &mbr.hi,
+        }
+    }
+}
+
+struct RecResult {
+    /// Tight MBR of the visited node after the insertion.
+    mbr: Mbr,
+    /// Set when the visited node split: the new sibling and its MBR.
+    split: Option<(Mbr, PageId)>,
+}
+
+impl RTree {
+    /// Create an empty tree.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or the page size cannot hold at least two
+    /// entries per node.
+    pub fn new(dim: usize, params: RTreeParams) -> RTree {
+        let (leaf_cap, inner_cap) = Self::capacities(params.page_size, dim);
+        let buf = BufferPool::new(
+            MemPager::new(params.page_size),
+            dim,
+            params.buffer_capacity,
+        );
+        let root = buf.allocate();
+        buf.put(root, Node::Leaf(LeafNode::new(dim)));
+        let (leaf_min, inner_min) = Self::min_fills(leaf_cap, inner_cap, params.min_fill_ratio);
+        RTree {
+            dim,
+            leaf_cap,
+            inner_cap,
+            leaf_min,
+            inner_min,
+            buf,
+            root,
+            height: 1,
+            len: 0,
+        }
+    }
+
+    /// Build a tree over `points` with STR bulk loading. Object ids are
+    /// the point indices. The buffer is flushed, emptied and the I/O
+    /// counters reset afterwards, so subsequent queries are measured from
+    /// a cold buffer.
+    pub fn bulk_load(points: &PointSet, params: RTreeParams) -> RTree {
+        let dim = points.dim();
+        let (leaf_cap, inner_cap) = Self::capacities(params.page_size, dim);
+        let buf = BufferPool::new(
+            MemPager::new(params.page_size),
+            dim,
+            params.buffer_capacity,
+        );
+        let res = str_bulk_load(&buf, points, leaf_cap, inner_cap);
+        buf.clear();
+        buf.reset_stats();
+        let (leaf_min, inner_min) = Self::min_fills(leaf_cap, inner_cap, params.min_fill_ratio);
+        RTree {
+            dim,
+            leaf_cap,
+            inner_cap,
+            leaf_min,
+            inner_min,
+            buf,
+            root: res.root,
+            height: res.height,
+            len: res.len,
+        }
+    }
+
+    fn capacities(page_size: usize, dim: usize) -> (usize, usize) {
+        assert!(dim > 0, "dimensionality must be positive");
+        let leaf_cap = (page_size - 8) / (8 * dim + 8);
+        let inner_cap = (page_size - 8) / (16 * dim + 4);
+        assert!(
+            leaf_cap >= 2 && inner_cap >= 2,
+            "page size {page_size} too small for dimensionality {dim}"
+        );
+        (leaf_cap, inner_cap)
+    }
+
+    fn min_fills(leaf_cap: usize, inner_cap: usize, ratio: f64) -> (usize, usize) {
+        assert!(
+            (0.0..=0.5).contains(&ratio),
+            "min fill ratio must be in [0, 0.5]"
+        );
+        let lf = ((leaf_cap as f64 * ratio) as usize).max(1);
+        let inf = ((inner_cap as f64 * ratio) as usize).max(1);
+        (lf, inf)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Dimensionality of the indexed space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff the tree holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels (1 = the root is a leaf).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Root page id (for external traversals such as BBS skyline).
+    #[inline]
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Maximum entries per leaf node.
+    #[inline]
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_cap
+    }
+
+    /// Maximum entries per inner node.
+    #[inline]
+    pub fn inner_capacity(&self) -> usize {
+        self.inner_cap
+    }
+
+    /// Number of live pages ("size of the tree on disk").
+    pub fn page_count(&self) -> usize {
+        self.buf.live_pages()
+    }
+
+    /// Fetch a node through the buffer pool (costs I/O on a miss). This
+    /// is the access path external algorithms (skyline, ranked search)
+    /// must use so their page accesses are accounted.
+    #[inline]
+    pub fn read_node(&self, pid: PageId) -> Arc<Node> {
+        self.buf.get(pid)
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.buf.stats()
+    }
+
+    /// Zero the I/O counters.
+    pub fn reset_io_stats(&self) {
+        self.buf.reset_stats();
+    }
+
+    /// Resize the LRU buffer. The paper sizes it at 2% of the tree:
+    /// `tree.set_buffer_capacity((tree.page_count() as f64 * 0.02) as usize)`.
+    pub fn set_buffer_capacity(&self, pages: usize) {
+        self.buf.set_capacity(pages);
+    }
+
+    /// Flush dirty pages and drop all cached frames (cold buffer).
+    pub fn clear_buffer(&self) {
+        self.buf.clear();
+    }
+
+    /// Current buffer capacity in pages.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Collect all `(oid, point)` entries whose point lies in the
+    /// rectangle `[lo, hi]` (inclusive).
+    pub fn range(&self, lo: &[f64], hi: &[f64]) -> Vec<(u64, Box<[f64]>)> {
+        assert_eq!(lo.len(), self.dim);
+        assert_eq!(hi.len(), self.dim);
+        let mut out = Vec::new();
+        self.range_rec(self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn range_rec(&self, pid: PageId, lo: &[f64], hi: &[f64], out: &mut Vec<(u64, Box<[f64]>)>) {
+        let node = self.buf.get(pid);
+        match &*node {
+            Node::Leaf(leaf) => {
+                for (oid, p) in leaf.iter() {
+                    if rect_contains_point(lo, hi, p) {
+                        out.push((oid, p.into()));
+                    }
+                }
+            }
+            Node::Inner(inner) => {
+                for i in 0..inner.len() {
+                    if crate::geometry::rects_intersect(inner.lo(i), inner.hi(i), lo, hi) {
+                        self.range_rec(inner.child(i), lo, hi, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True iff the exact entry `(p, oid)` is indexed.
+    pub fn contains(&self, p: &[f64], oid: u64) -> bool {
+        let mut path = Vec::new();
+        self.find_leaf(self.root, p, oid, &mut path).is_some()
+    }
+
+    /// Visit every `(oid, point)` entry (full scan; for tests and
+    /// reference algorithms).
+    pub fn for_each_point(&self, mut f: impl FnMut(u64, &[f64])) {
+        self.scan_rec(self.root, &mut f);
+    }
+
+    fn scan_rec(&self, pid: PageId, f: &mut impl FnMut(u64, &[f64])) {
+        let node = self.buf.get(pid);
+        match &*node {
+            Node::Leaf(leaf) => {
+                for (oid, p) in leaf.iter() {
+                    f(oid, p);
+                }
+            }
+            Node::Inner(inner) => {
+                for i in 0..inner.len() {
+                    self.scan_rec(inner.child(i), f);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Insert a point with the given object id.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != self.dim()` or any coordinate is not finite.
+    pub fn insert(&mut self, p: &[f64], oid: u64) {
+        assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        assert!(
+            p.iter().all(|c| c.is_finite()),
+            "point coordinates must be finite"
+        );
+        self.insert_pending(Pending::Point {
+            p: p.into(),
+            oid,
+        });
+        self.len += 1;
+    }
+
+    fn insert_pending(&mut self, ent: Pending) {
+        let res = self.insert_rec(self.root, &ent);
+        if let Some((smbr, spid)) = res.split {
+            let old_root = self.root;
+            let old_level = self.buf.get(old_root).level();
+            let mut root = InnerNode::new(self.dim, old_level + 1);
+            root.push(&res.mbr.lo, &res.mbr.hi, old_root);
+            root.push(&smbr.lo, &smbr.hi, spid);
+            let new_pid = self.buf.allocate();
+            self.buf.put(new_pid, Node::Inner(root));
+            self.root = new_pid;
+            self.height += 1;
+        }
+    }
+
+    fn insert_rec(&mut self, pid: PageId, ent: &Pending) -> RecResult {
+        let node_arc = self.buf.get(pid);
+        let host = ent.host_level();
+        debug_assert!(node_arc.level() >= host, "descended below host level");
+        if node_arc.level() == host {
+            let mut node = (*node_arc).clone();
+            drop(node_arc);
+            match (&mut node, ent) {
+                (Node::Leaf(leaf), Pending::Point { p, oid }) => leaf.push(p, *oid),
+                (Node::Inner(inner), Pending::Child { pid: cpid, mbr, .. }) => {
+                    inner.push(&mbr.lo, &mbr.hi, *cpid)
+                }
+                _ => unreachable!("host level and entry kind disagree"),
+            }
+            let cap = match &node {
+                Node::Leaf(_) => self.leaf_cap,
+                Node::Inner(_) => self.inner_cap,
+            };
+            if node.len() > cap {
+                self.split_node(pid, node)
+            } else {
+                let mbr = node.mbr();
+                self.buf.put(pid, node);
+                RecResult { mbr, split: None }
+            }
+        } else {
+            let (ci, child_pid) = {
+                let inner = node_arc.as_inner();
+                let ci = self.choose_subtree(inner, ent);
+                (ci, inner.child(ci))
+            };
+            let res = self.insert_rec(child_pid, ent);
+            let mut node = (*node_arc).clone();
+            drop(node_arc);
+            let inner = node.as_inner_mut();
+            inner.set_mbr(ci, &res.mbr.lo, &res.mbr.hi);
+            if let Some((smbr, spid)) = res.split {
+                inner.push(&smbr.lo, &smbr.hi, spid);
+                if inner.len() > self.inner_cap {
+                    return self.split_node(pid, node);
+                }
+            }
+            let mbr = node.mbr();
+            self.buf.put(pid, node);
+            RecResult { mbr, split: None }
+        }
+    }
+
+    /// R\* subtree choice: minimal overlap enlargement directly above the
+    /// host level, minimal area enlargement higher up.
+    fn choose_subtree(&self, inner: &InnerNode, ent: &Pending) -> usize {
+        let (elo, ehi) = (ent.lo(), ent.hi());
+        let n = inner.len();
+        debug_assert!(n > 0, "choose_subtree on empty node");
+        if inner.level() == ent.host_level() + 1 {
+            // children host the entry: minimize overlap enlargement
+            let mut best = 0usize;
+            let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            for j in 0..n {
+                let mut enlarged = Mbr {
+                    lo: inner.lo(j).into(),
+                    hi: inner.hi(j).into(),
+                };
+                enlarged.union_rect(elo, ehi);
+                let mut d_overlap = 0.0;
+                for k in 0..n {
+                    if k == j {
+                        continue;
+                    }
+                    d_overlap += rect_overlap(&enlarged.lo, &enlarged.hi, inner.lo(k), inner.hi(k))
+                        - rect_overlap(inner.lo(j), inner.hi(j), inner.lo(k), inner.hi(k));
+                }
+                let d_area = enlargement(inner.lo(j), inner.hi(j), elo, ehi);
+                let area = rect_area(inner.lo(j), inner.hi(j));
+                let key = (d_overlap, d_area, area);
+                if key < best_key {
+                    best_key = key;
+                    best = j;
+                }
+            }
+            best
+        } else {
+            let mut best = 0usize;
+            let mut best_key = (f64::INFINITY, f64::INFINITY);
+            for j in 0..n {
+                let d_area = enlargement(inner.lo(j), inner.hi(j), elo, ehi);
+                let area = rect_area(inner.lo(j), inner.hi(j));
+                let key = (d_area, area);
+                if key < best_key {
+                    best_key = key;
+                    best = j;
+                }
+            }
+            best
+        }
+    }
+
+    /// Split an overflowing node in place: `pid` keeps the left group, a
+    /// new page receives the right group.
+    fn split_node(&mut self, pid: PageId, node: Node) -> RecResult {
+        let new_pid = self.buf.allocate();
+        let (left, right, left_mbr, right_mbr) = match node {
+            Node::Leaf(leaf) => {
+                let entries: Vec<SplitEntry> = (0..leaf.len())
+                    .map(|i| SplitEntry::from_point(leaf.point(i)))
+                    .collect();
+                let (li, ri) = rstar_split(&entries, self.leaf_min);
+                let mut l = LeafNode::new(self.dim);
+                let mut r = LeafNode::new(self.dim);
+                let mut lm = Mbr::empty(self.dim);
+                let mut rm = Mbr::empty(self.dim);
+                for &i in &li {
+                    l.push(leaf.point(i), leaf.oid(i));
+                    lm.union_point(leaf.point(i));
+                }
+                for &i in &ri {
+                    r.push(leaf.point(i), leaf.oid(i));
+                    rm.union_point(leaf.point(i));
+                }
+                (Node::Leaf(l), Node::Leaf(r), lm, rm)
+            }
+            Node::Inner(inner) => {
+                let entries: Vec<SplitEntry> = (0..inner.len())
+                    .map(|i| SplitEntry::from_rect(inner.lo(i), inner.hi(i)))
+                    .collect();
+                let (li, ri) = rstar_split(&entries, self.inner_min);
+                let mut l = InnerNode::new(self.dim, inner.level());
+                let mut r = InnerNode::new(self.dim, inner.level());
+                let mut lm = Mbr::empty(self.dim);
+                let mut rm = Mbr::empty(self.dim);
+                for &i in &li {
+                    l.push(inner.lo(i), inner.hi(i), inner.child(i));
+                    lm.union_rect(inner.lo(i), inner.hi(i));
+                }
+                for &i in &ri {
+                    r.push(inner.lo(i), inner.hi(i), inner.child(i));
+                    rm.union_rect(inner.lo(i), inner.hi(i));
+                }
+                (Node::Inner(l), Node::Inner(r), lm, rm)
+            }
+        };
+        self.buf.put(pid, left);
+        self.buf.put(new_pid, right);
+        RecResult {
+            mbr: left_mbr,
+            split: Some((right_mbr, new_pid)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Delete the entry matching both `p` and `oid`. Returns `true` if an
+    /// entry was removed. Underflowing nodes are dissolved and their
+    /// entries re-inserted (Guttman's condense-tree).
+    pub fn delete(&mut self, p: &[f64], oid: u64) -> bool {
+        assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        let mut path: Vec<(PageId, usize)> = Vec::new();
+        let Some(leaf_pid) = self.find_leaf(self.root, p, oid, &mut path) else {
+            return false;
+        };
+
+        let leaf_arc = self.buf.get(leaf_pid);
+        let mut leaf = leaf_arc.as_leaf().clone();
+        drop(leaf_arc);
+        let ei = leaf
+            .find(p, oid)
+            .expect("find_leaf returned a leaf without the entry");
+        leaf.swap_remove(ei);
+        self.len -= 1;
+
+        let mut orphans: Vec<Pending> = Vec::new();
+        let mut child_pid = leaf_pid;
+        let mut child_node = Node::Leaf(leaf);
+
+        for &(ppid, cidx) in path.iter().rev() {
+            let parent_arc = self.buf.get(ppid);
+            let mut parent = parent_arc.as_inner().clone();
+            drop(parent_arc);
+            debug_assert_eq!(parent.child(cidx), child_pid, "stale deletion path");
+            let underflow = match &child_node {
+                Node::Leaf(l) => l.len() < self.leaf_min,
+                Node::Inner(n) => n.len() < self.inner_min,
+            };
+            if underflow {
+                parent.swap_remove(cidx);
+                match &child_node {
+                    Node::Leaf(l) => {
+                        for (o, pt) in l.iter() {
+                            orphans.push(Pending::Point {
+                                p: pt.into(),
+                                oid: o,
+                            });
+                        }
+                    }
+                    Node::Inner(n) => {
+                        for i in 0..n.len() {
+                            orphans.push(Pending::Child {
+                                pid: n.child(i),
+                                level: n.level() - 1,
+                                mbr: Mbr {
+                                    lo: n.lo(i).into(),
+                                    hi: n.hi(i).into(),
+                                },
+                            });
+                        }
+                    }
+                }
+                self.buf.free(child_pid);
+            } else {
+                let mbr = child_node.mbr();
+                parent.set_mbr(cidx, &mbr.lo, &mbr.hi);
+                self.buf.put(child_pid, child_node);
+            }
+            child_pid = ppid;
+            child_node = Node::Inner(parent);
+        }
+        self.buf.put(child_pid, child_node);
+
+        // A root left with no children can only host points again.
+        let root_arc = self.buf.get(self.root);
+        if let Node::Inner(n) = &*root_arc {
+            if n.is_empty() {
+                drop(root_arc);
+                self.buf.put(self.root, Node::Leaf(LeafNode::new(self.dim)));
+                self.height = 1;
+                // all surviving data is in `orphans`; demote subtrees to points
+                let mut points: Vec<Pending> = Vec::new();
+                for o in orphans {
+                    match o {
+                        Pending::Point { .. } => points.push(o),
+                        Pending::Child { pid, .. } => self.drain_subtree(pid, &mut points),
+                    }
+                }
+                orphans = points;
+            }
+        }
+
+        // Re-insert orphans, subtrees before points so host levels exist.
+        orphans.sort_by_key(|e| std::cmp::Reverse(e.host_level()));
+        for ent in orphans {
+            self.insert_pending(ent);
+        }
+
+        // Collapse chains of single-child roots.
+        loop {
+            let root_arc = self.buf.get(self.root);
+            match &*root_arc {
+                Node::Inner(n) if n.len() == 1 => {
+                    let child = n.child(0);
+                    drop(root_arc);
+                    self.buf.free(self.root);
+                    self.root = child;
+                    self.height -= 1;
+                }
+                _ => break,
+            }
+        }
+        true
+    }
+
+    /// Read all points under `pid` into `out` and free the subtree's
+    /// pages (used only on the degenerate empty-root path).
+    fn drain_subtree(&mut self, pid: PageId, out: &mut Vec<Pending>) {
+        let node = self.buf.get(pid);
+        match &*node {
+            Node::Leaf(l) => {
+                for (o, pt) in l.iter() {
+                    out.push(Pending::Point {
+                        p: pt.into(),
+                        oid: o,
+                    });
+                }
+            }
+            Node::Inner(n) => {
+                let children: Vec<PageId> = (0..n.len()).map(|i| n.child(i)).collect();
+                drop(node);
+                for c in children {
+                    self.drain_subtree(c, out);
+                }
+                self.buf.free(pid);
+                return;
+            }
+        }
+        drop(node);
+        self.buf.free(pid);
+    }
+
+    fn find_leaf(
+        &self,
+        pid: PageId,
+        p: &[f64],
+        oid: u64,
+        path: &mut Vec<(PageId, usize)>,
+    ) -> Option<PageId> {
+        let node = self.buf.get(pid);
+        match &*node {
+            Node::Leaf(leaf) => {
+                if leaf.find(p, oid).is_some() {
+                    Some(pid)
+                } else {
+                    None
+                }
+            }
+            Node::Inner(inner) => {
+                for i in 0..inner.len() {
+                    if rect_contains_point(inner.lo(i), inner.hi(i), p) {
+                        path.push((pid, i));
+                        if let Some(found) = self.find_leaf(inner.child(i), p, oid, path) {
+                            return Some(found);
+                        }
+                        path.pop();
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Validation (for tests)
+    // ------------------------------------------------------------------
+
+    /// Exhaustively verify structural invariants: level consistency,
+    /// capacity bounds, exact (tight) parent MBRs, and the entry count.
+    /// Panics on violation; intended for tests.
+    pub fn check_invariants(&self) {
+        let root = self.buf.get(self.root);
+        assert_eq!(
+            root.level() as u32 + 1,
+            self.height,
+            "height does not match root level"
+        );
+        let (_, count) = self.check_rec(self.root, root.level());
+        assert_eq!(count, self.len, "entry count mismatch");
+    }
+
+    fn check_rec(&self, pid: PageId, expected_level: u8) -> (Mbr, u64) {
+        let node = self.buf.get(pid);
+        assert_eq!(node.level(), expected_level, "level mismatch at {pid}");
+        match &*node {
+            Node::Leaf(leaf) => {
+                assert!(leaf.len() <= self.leaf_cap, "leaf overflow at {pid}");
+                (node.mbr(), leaf.len() as u64)
+            }
+            Node::Inner(inner) => {
+                assert!(inner.len() <= self.inner_cap, "inner overflow at {pid}");
+                assert!(!inner.is_empty() || pid == self.root, "empty inner node");
+                let mut count = 0;
+                for i in 0..inner.len() {
+                    let (child_mbr, child_count) =
+                        self.check_rec(inner.child(i), expected_level - 1);
+                    assert_eq!(
+                        inner.lo(i),
+                        &*child_mbr.lo,
+                        "stale lo MBR at {pid} entry {i}"
+                    );
+                    assert_eq!(
+                        inner.hi(i),
+                        &*child_mbr.hi,
+                        "stale hi MBR at {pid} entry {i}"
+                    );
+                    count += child_count;
+                }
+                (node.mbr(), count)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> RTreeParams {
+        RTreeParams {
+            page_size: 256, // tiny pages force deep trees on small data
+            min_fill_ratio: 0.4,
+            buffer_capacity: 64,
+        }
+    }
+
+    fn seeded_points(n: usize, dim: usize, seed: u64) -> PointSet {
+        // xorshift-style deterministic pseudo-random points
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut ps = PointSet::with_capacity(dim, n);
+        for _ in 0..n {
+            let p: Vec<f64> = (0..dim).map(|_| next()).collect();
+            ps.push(&p);
+        }
+        ps
+    }
+
+    #[test]
+    fn incremental_inserts_match_linear_scan_range() {
+        let ps = seeded_points(500, 2, 42);
+        let mut tree = RTree::new(2, small_params());
+        for (i, p) in ps.iter() {
+            tree.insert(p, i as u64);
+        }
+        tree.check_invariants();
+        assert_eq!(tree.len(), 500);
+
+        let lo = [0.2, 0.3];
+        let hi = [0.7, 0.9];
+        let mut expect: Vec<u64> = ps
+            .iter()
+            .filter(|(_, p)| p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] && p[1] <= hi[1])
+            .map(|(i, _)| i as u64)
+            .collect();
+        expect.sort_unstable();
+        let mut got: Vec<u64> = tree.range(&lo, &hi).into_iter().map(|(o, _)| o).collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bulk_load_matches_linear_scan_range() {
+        let ps = seeded_points(2000, 3, 7);
+        let tree = RTree::bulk_load(&ps, small_params());
+        tree.check_invariants();
+        let lo = [0.1, 0.1, 0.1];
+        let hi = [0.6, 0.8, 0.9];
+        let mut expect: Vec<u64> = ps
+            .iter()
+            .filter(|(_, p)| p.iter().zip(lo.iter().zip(hi.iter())).all(|(&x, (&l, &h))| l <= x && x <= h))
+            .map(|(i, _)| i as u64)
+            .collect();
+        expect.sort_unstable();
+        let mut got: Vec<u64> = tree.range(&lo, &hi).into_iter().map(|(o, _)| o).collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn delete_removes_exactly_the_requested_entry() {
+        let ps = seeded_points(300, 2, 3);
+        let mut tree = RTree::bulk_load(&ps, small_params());
+        assert!(tree.contains(ps.get(17), 17));
+        assert!(tree.delete(ps.get(17), 17));
+        assert!(!tree.contains(ps.get(17), 17));
+        assert!(!tree.delete(ps.get(17), 17), "double delete must fail");
+        assert_eq!(tree.len(), 299);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn delete_everything_empties_the_tree() {
+        let ps = seeded_points(200, 2, 11);
+        let mut tree = RTree::bulk_load(&ps, small_params());
+        for (i, p) in ps.iter() {
+            assert!(tree.delete(p, i as u64), "entry {i} vanished early");
+            if i % 37 == 0 {
+                tree.check_invariants();
+            }
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes_stay_consistent() {
+        let ps = seeded_points(400, 2, 99);
+        let mut tree = RTree::new(2, small_params());
+        for (i, p) in ps.iter().take(200) {
+            tree.insert(p, i as u64);
+        }
+        for (i, p) in ps.iter().take(100) {
+            assert!(tree.delete(p, i as u64));
+        }
+        for (i, p) in ps.iter().skip(200) {
+            tree.insert(p, i as u64);
+        }
+        tree.check_invariants();
+        assert_eq!(tree.len(), 300);
+        // remaining = 100..400
+        let mut seen = Vec::new();
+        tree.for_each_point(|oid, _| seen.push(oid));
+        seen.sort_unstable();
+        let expect: Vec<u64> = (100..400).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn duplicate_points_with_distinct_ids_coexist() {
+        let mut tree = RTree::new(2, small_params());
+        for i in 0..50 {
+            tree.insert(&[0.5, 0.5], i);
+        }
+        assert_eq!(tree.len(), 50);
+        assert!(tree.delete(&[0.5, 0.5], 17));
+        assert!(!tree.contains(&[0.5, 0.5], 17));
+        assert!(tree.contains(&[0.5, 0.5], 18));
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn queries_cost_io_and_buffer_absorbs_repeats() {
+        let ps = seeded_points(5000, 2, 5);
+        let tree = RTree::bulk_load(
+            &ps,
+            RTreeParams {
+                page_size: 512,
+                min_fill_ratio: 0.4,
+                buffer_capacity: 4096,
+            },
+        );
+        tree.reset_io_stats();
+        let _ = tree.range(&[0.0, 0.0], &[1.0, 1.0]); // full scan, cold
+        let cold = tree.io_stats();
+        assert!(cold.physical_reads > 0);
+        let _ = tree.range(&[0.0, 0.0], &[1.0, 1.0]); // warm: all hits
+        let warm = tree.io_stats().since(cold);
+        assert_eq!(warm.physical_reads, 0, "warm scan should be all hits");
+        assert!(warm.logical > 0);
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let mut tree = RTree::new(3, small_params());
+        assert!(tree.is_empty());
+        assert_eq!(tree.range(&[0.0; 3], &[1.0; 3]), vec![]);
+        assert!(!tree.delete(&[0.5; 3], 0));
+        tree.check_invariants();
+    }
+}

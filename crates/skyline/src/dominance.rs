@@ -1,0 +1,62 @@
+//! Dominance tests under the larger-is-better convention.
+//!
+//! Object `a` *dominates* `b` iff `a[i] >= b[i]` in every dimension and
+//! `a != b`. The paper's skyline definition excludes objects for which an
+//! "equal or better" object exists, so duplicate points keep exactly one
+//! representative in the skyline; pruning therefore uses the weak test
+//! [`dominates_or_equal`].
+
+/// `a[i] >= b[i]` for every `i`, with strict inequality somewhere.
+#[inline]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strict = false;
+    for i in 0..a.len() {
+        if a[i] < b[i] {
+            return false;
+        }
+        if a[i] > b[i] {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// `a[i] >= b[i]` for every `i` (equality allowed everywhere). This is
+/// the pruning test: a skyline point prunes an R-tree entry when it
+/// dominates-or-equals the entry's *upper corner*, because every point
+/// inside the entry is then equal-or-worse in all dimensions.
+#[inline]
+pub fn dominates_or_equal(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).all(|(&x, &y)| x >= y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_dominance_requires_one_strict_coordinate() {
+        assert!(dominates(&[0.5, 0.5], &[0.5, 0.4]));
+        assert!(dominates(&[0.6, 0.6], &[0.5, 0.5]));
+        assert!(!dominates(&[0.5, 0.5], &[0.5, 0.5]), "equal points do not dominate");
+        assert!(!dominates(&[0.5, 0.4], &[0.4, 0.5]), "incomparable points");
+        assert!(!dominates(&[0.4, 0.5], &[0.5, 0.4]));
+    }
+
+    #[test]
+    fn weak_dominance_includes_equality() {
+        assert!(dominates_or_equal(&[0.5, 0.5], &[0.5, 0.5]));
+        assert!(dominates_or_equal(&[0.5, 0.6], &[0.5, 0.5]));
+        assert!(!dominates_or_equal(&[0.5, 0.4], &[0.5, 0.5]));
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric_on_distinct_points() {
+        let a = [0.7, 0.3, 0.9];
+        let b = [0.6, 0.3, 0.8];
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+}

@@ -1,0 +1,82 @@
+//! Quadratic reference skylines for correctness testing.
+
+use std::collections::HashSet;
+
+use mpq_rtree::PointSet;
+
+use crate::dominance::dominates_or_equal;
+
+/// Skyline object ids (sorted ascending) of the points in `ps` whose ids
+/// are not in `excluded`, by exhaustive pairwise comparison.
+///
+/// Duplicate points keep exactly one representative: the one with the
+/// smallest id (matching the "no equal-or-better object" definition with
+/// deterministic tie-breaking).
+pub fn naive_skyline_excluding(ps: &PointSet, excluded: &HashSet<u64>) -> Vec<u64> {
+    let alive: Vec<(u64, &[f64])> = ps
+        .iter()
+        .map(|(i, p)| (i as u64, p))
+        .filter(|(i, _)| !excluded.contains(i))
+        .collect();
+    let mut out = Vec::new();
+    'outer: for &(i, p) in &alive {
+        for &(j, q) in &alive {
+            if i == j {
+                continue;
+            }
+            if dominates_or_equal(q, p) && (q != p || j < i) {
+                continue 'outer;
+            }
+        }
+        out.push(i);
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Skyline of all points in `ps` (see [`naive_skyline_excluding`]).
+pub fn naive_skyline(ps: &PointSet) -> Vec<u64> {
+    naive_skyline_excluding(ps, &HashSet::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_skyline_basic() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[0.9, 0.1]); // 0: skyline
+        ps.push(&[0.1, 0.9]); // 1: skyline
+        ps.push(&[0.5, 0.5]); // 2: skyline
+        ps.push(&[0.4, 0.4]); // 3: dominated by 2
+        assert_eq!(naive_skyline(&ps), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn naive_skyline_duplicates_keep_smallest_id() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[0.5, 0.5]);
+        ps.push(&[0.5, 0.5]);
+        ps.push(&[0.5, 0.5]);
+        assert_eq!(naive_skyline(&ps), vec![0]);
+    }
+
+    #[test]
+    fn exclusion_changes_result() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[0.9, 0.9]); // dominates everything
+        ps.push(&[0.8, 0.5]);
+        ps.push(&[0.5, 0.8]);
+        assert_eq!(naive_skyline(&ps), vec![0]);
+        let mut ex = HashSet::new();
+        ex.insert(0);
+        assert_eq!(naive_skyline_excluding(&ps, &ex), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ps = PointSet::new(3);
+        assert!(naive_skyline(&ps).is_empty());
+    }
+}

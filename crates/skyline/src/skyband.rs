@@ -1,0 +1,267 @@
+//! K-skyband computation: the objects dominated by fewer than `k`
+//! others.
+//!
+//! The skyline is the 1-skyband. The k-skyband is the natural
+//! generalization when each user may need up to `k` alternatives (e.g.
+//! presenting a short list instead of a single best offer): no object
+//! outside the k-skyband can ever be among *any* monotone function's
+//! top-k results, by the same argument that puts every top-1 result on
+//! the skyline.
+//!
+//! The implementation extends BBS (Papadias et al.): entries are popped
+//! in ascending L1 distance to the best corner, but an entry is pruned
+//! only when **at least `k`** already-reported skyband points dominate
+//! its upper corner; a popped point with fewer than `k` dominators
+//! joins the skyband. Correctness follows from the BBS pop order: every
+//! point that could dominate a candidate pops (and is reported or
+//! pruned) before the candidate, and pruned points cannot dominate
+//! anything their own `k` dominators do not already dominate... for
+//! points; for duplicates the weak-dominance count is used, matching
+//! [`crate::naive`]'s conventions.
+
+use std::collections::BinaryHeap;
+
+use mpq_rtree::geometry::mindist_to_best;
+use mpq_rtree::pager::PageId;
+use mpq_rtree::{Node, RTree};
+
+use crate::dominance::dominates_or_equal;
+
+enum Cand {
+    Point { oid: u64, point: Box<[f64]> },
+    Subtree { pid: PageId, hi: Box<[f64]> },
+}
+
+impl Cand {
+    fn hi(&self) -> &[f64] {
+        match self {
+            Cand::Point { point, .. } => point,
+            Cand::Subtree { hi, .. } => hi,
+        }
+    }
+}
+
+struct Item {
+    key: f64,
+    kind: u8,
+    id: u64,
+    cand: Cand,
+}
+
+impl Item {
+    fn new(cand: Cand) -> Item {
+        let key = mindist_to_best(cand.hi());
+        let (kind, id) = match &cand {
+            Cand::Point { oid, .. } => (0u8, *oid),
+            Cand::Subtree { pid, .. } => (1u8, pid.0 as u64),
+        };
+        Item {
+            key,
+            kind,
+            id,
+            cand,
+        }
+    }
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Item {}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.kind.cmp(&self.kind))
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// The `k`-skyband of the tree's objects: every `(oid, point)` weakly
+/// dominated by fewer than `k` other objects. `k = 1` is the skyline.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn compute_skyband(tree: &RTree, k: usize) -> Vec<(u64, Box<[f64]>)> {
+    assert!(k >= 1, "the 0-skyband is empty by definition");
+    let mut heap: BinaryHeap<Item> = BinaryHeap::new();
+    heap.push(Item::new(Cand::Subtree {
+        pid: tree.root_page(),
+        hi: vec![1.0; tree.dim()].into(),
+    }));
+    let mut band: Vec<(u64, Box<[f64]>)> = Vec::new();
+
+    // count of reported skyband points weakly dominating `x`
+    let dominators = |band: &[(u64, Box<[f64]>)], x: &[f64]| -> usize {
+        band.iter()
+            .filter(|(_, p)| dominates_or_equal(p, x))
+            .count()
+    };
+
+    while let Some(item) = heap.pop() {
+        if dominators(&band, item.cand.hi()) >= k {
+            continue;
+        }
+        match item.cand {
+            Cand::Point { oid, point } => band.push((oid, point)),
+            Cand::Subtree { pid, .. } => {
+                let node = tree.read_node(pid);
+                match &*node {
+                    Node::Leaf(leaf) => {
+                        for (oid, p) in leaf.iter() {
+                            if dominators(&band, p) >= k {
+                                continue;
+                            }
+                            heap.push(Item::new(Cand::Point {
+                                oid,
+                                point: p.into(),
+                            }));
+                        }
+                    }
+                    Node::Inner(inner) => {
+                        for i in 0..inner.len() {
+                            if dominators(&band, inner.hi(i)) >= k {
+                                continue;
+                            }
+                            heap.push(Item::new(Cand::Subtree {
+                                pid: inner.child(i),
+                                hi: inner.hi(i).into(),
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    band
+}
+
+/// Quadratic reference: ids of points weakly dominated by fewer than
+/// `k` others (sorted ascending). A point weakly dominates another when
+/// it is `>=` everywhere and either differs somewhere or (for exact
+/// duplicates) has a smaller id — so `d` identical copies count as
+/// `0, 1, .., d-1` dominators respectively, mirroring the BBS pop
+/// order.
+pub fn naive_skyband(ps: &mpq_rtree::PointSet, k: usize) -> Vec<u64> {
+    assert!(k >= 1);
+    let mut out = Vec::new();
+    for (i, p) in ps.iter() {
+        let mut dominators = 0usize;
+        for (j, q) in ps.iter() {
+            if i == j {
+                continue;
+            }
+            if dominates_or_equal(q, p) && (q != p || j < i) {
+                dominators += 1;
+            }
+        }
+        if dominators < k {
+            out.push(i as u64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_rtree::{PointSet, RTreeParams};
+
+    fn params() -> RTreeParams {
+        RTreeParams {
+            page_size: 256,
+            min_fill_ratio: 0.4,
+            buffer_capacity: 4096,
+        }
+    }
+
+    fn seeded_points(n: usize, dim: usize, seed: u64) -> PointSet {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut ps = PointSet::with_capacity(dim, n);
+        for _ in 0..n {
+            let p: Vec<f64> = (0..dim).map(|_| next()).collect();
+            ps.push(&p);
+        }
+        ps
+    }
+
+    #[test]
+    fn one_skyband_is_the_skyline() {
+        let ps = seeded_points(500, 3, 1);
+        let tree = RTree::bulk_load(&ps, params());
+        let mut band: Vec<u64> = compute_skyband(&tree, 1).into_iter().map(|(o, _)| o).collect();
+        band.sort_unstable();
+        let mut sky: Vec<u64> = crate::bbs::compute_skyline(&tree)
+            .into_iter()
+            .map(|(o, _)| o)
+            .collect();
+        sky.sort_unstable();
+        assert_eq!(band, sky);
+    }
+
+    #[test]
+    fn skyband_matches_naive_for_small_k() {
+        for k in [1usize, 2, 3, 5] {
+            let ps = seeded_points(300, 2, k as u64 + 10);
+            let tree = RTree::bulk_load(&ps, params());
+            let mut got: Vec<u64> = compute_skyband(&tree, k).into_iter().map(|(o, _)| o).collect();
+            got.sort_unstable();
+            assert_eq!(got, naive_skyband(&ps, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn skyband_is_monotone_in_k() {
+        let ps = seeded_points(400, 3, 30);
+        let tree = RTree::bulk_load(&ps, params());
+        let mut prev = 0usize;
+        for k in 1..=4 {
+            let band = compute_skyband(&tree, k);
+            assert!(band.len() >= prev, "skyband must grow with k");
+            prev = band.len();
+        }
+    }
+
+    #[test]
+    fn duplicates_occupy_band_slots() {
+        let mut ps = PointSet::new(2);
+        for _ in 0..4 {
+            ps.push(&[0.9, 0.9]);
+        }
+        ps.push(&[0.1, 0.1]);
+        let tree = RTree::bulk_load(&ps, params());
+        assert_eq!(compute_skyband(&tree, 1).len(), 1);
+        assert_eq!(compute_skyband(&tree, 2).len(), 2);
+        // with k = 5 even the dominated point and all copies qualify
+        assert_eq!(compute_skyband(&tree, 5).len(), 5);
+    }
+
+    #[test]
+    fn large_k_returns_everything() {
+        let ps = seeded_points(120, 2, 40);
+        let tree = RTree::bulk_load(&ps, params());
+        assert_eq!(compute_skyband(&tree, 1_000).len(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "0-skyband")]
+    fn zero_k_is_rejected() {
+        let ps = seeded_points(10, 2, 50);
+        let tree = RTree::bulk_load(&ps, params());
+        let _ = compute_skyband(&tree, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # mpq — Efficient Evaluation of Multiple Preference Queries
+//!
+//! A Rust reproduction of the ICDE 2009 paper by Leong Hou U, Nikos
+//! Mamoulis and Kyriakos Mouratidis: stable 1-1 matching between a set of
+//! linear preference functions and a set of multidimensional objects,
+//! evaluated efficiently by maintaining the *skyline* of the remaining
+//! objects.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`rtree`] — the disk-simulated, paged R\*-tree substrate with LRU
+//!   buffering and I/O accounting.
+//! * [`skyline`] — BBS skyline computation and the paper's incremental
+//!   maintenance with pruned-entry lists (§IV-B).
+//! * [`ta`] — reverse top-1 search over the function set via the
+//!   Threshold Algorithm with tight thresholds (§IV-A).
+//! * [`datagen`] — synthetic workload generators (independent,
+//!   anti-correlated, clustered, Zillow surrogate).
+//! * [`core`] — the matchers: skyline-based **SB** (the paper's
+//!   contribution, §III-B/§IV), **Brute Force** (§III-A) and **Chain**
+//!   (the adapted competitor of §V), plus verification utilities.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpq::prelude::*;
+//!
+//! // Six hotel rooms scored on (size, cheapness) in [0,1].
+//! let mut objects = PointSet::new(2);
+//! for p in [
+//!     [0.9_f64, 0.2],
+//!     [0.2, 0.9],
+//!     [0.7, 0.7],
+//!     [0.5, 0.4],
+//!     [0.3, 0.3],
+//!     [0.8, 0.6],
+//! ] {
+//!     objects.push(&p);
+//! }
+//!
+//! // Three users with different priorities (weights sum to 1).
+//! let functions = FunctionSet::from_rows(2, &[
+//!     vec![0.8, 0.2], // cares about size
+//!     vec![0.2, 0.8], // cares about price
+//!     vec![0.5, 0.5], // balanced
+//! ]);
+//!
+//! let matching = SkylineMatcher::default().run(&objects, &functions);
+//! assert_eq!(matching.pairs().len(), 3); // every user got a room
+//! // Pairs come out in descending score order and are stable:
+//! assert!(matching.pairs().windows(2).all(|w| w[0].score >= w[1].score));
+//! ```
+
+pub use mpq_core as core;
+pub use mpq_datagen as datagen;
+pub use mpq_rtree as rtree;
+pub use mpq_skyline as skyline;
+pub use mpq_ta as ta;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use mpq_core::{
+        BruteForceMatcher, CapacityMatcher, ChainMatcher, Matcher, Matching,
+        MonotoneSkylineMatcher, OnlineSession, Pair, SkylineMatcher,
+    };
+    pub use mpq_datagen::{Distribution, WorkloadBuilder};
+    pub use mpq_rtree::{PointSet, RTree, RTreeParams};
+    pub use mpq_ta::FunctionSet;
+}

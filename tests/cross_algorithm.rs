@@ -1,0 +1,126 @@
+//! Cross-algorithm agreement: SB (in every ablation configuration),
+//! Brute Force (both strategies) and Chain must produce the identical
+//! stable matching on every workload, and that matching must equal the
+//! exact reference and pass the Property-1 verifier.
+
+use mpq::core::{
+    reference_matching, verify_stable, BestPairMode, BfStrategy, BruteForceMatcher, ChainMatcher,
+    MaintenanceMode, Matcher, Pair, SkylineMatcher,
+};
+use mpq::datagen::{Distribution, FunctionStyle, WorkloadBuilder};
+
+fn sorted(pairs: &[Pair]) -> Vec<(u32, u64)> {
+    let mut v: Vec<(u32, u64)> = pairs.iter().map(|p| (p.fid, p.oid)).collect();
+    v.sort_unstable();
+    v
+}
+
+fn all_matchers() -> Vec<Box<dyn Matcher>> {
+    vec![
+        Box::new(SkylineMatcher::default()),
+        Box::new(SkylineMatcher {
+            multi_pair: false,
+            ..SkylineMatcher::default()
+        }),
+        Box::new(SkylineMatcher {
+            best_pair: BestPairMode::Scan,
+            ..SkylineMatcher::default()
+        }),
+        Box::new(SkylineMatcher {
+            best_pair: BestPairMode::TaNaiveThreshold,
+            ..SkylineMatcher::default()
+        }),
+        Box::new(SkylineMatcher {
+            maintenance: MaintenanceMode::Rescan,
+            ..SkylineMatcher::default()
+        }),
+        Box::new(BruteForceMatcher::default()),
+        Box::new(BruteForceMatcher {
+            strategy: BfStrategy::Restart,
+            ..BruteForceMatcher::default()
+        }),
+        Box::new(ChainMatcher::default()),
+    ]
+}
+
+fn check_workload(dist: Distribution, n: usize, f: usize, dim: usize, seed: u64) {
+    let w = WorkloadBuilder::new()
+        .objects(n)
+        .functions(f)
+        .dim(dim)
+        .distribution(dist)
+        .seed(seed)
+        .build();
+    let expect = reference_matching(&w.objects, &w.functions);
+    let expect_sorted = sorted(&expect);
+    for m in all_matchers() {
+        let got = m.run(&w.objects, &w.functions);
+        assert_eq!(
+            sorted(got.pairs()),
+            expect_sorted,
+            "{} diverged on {} n={n} f={f} dim={dim} seed={seed}",
+            m.name(),
+            dist.name()
+        );
+        verify_stable(&w.objects, &w.functions, got.pairs())
+            .unwrap_or_else(|e| panic!("{} unstable: {e}", m.name()));
+    }
+}
+
+#[test]
+fn independent_workloads() {
+    check_workload(Distribution::Independent, 400, 60, 3, 1);
+    check_workload(Distribution::Independent, 200, 35, 2, 2);
+}
+
+#[test]
+fn anti_correlated_workloads() {
+    check_workload(Distribution::AntiCorrelated, 300, 50, 3, 3);
+    check_workload(Distribution::AntiCorrelated, 150, 25, 5, 4);
+}
+
+#[test]
+fn correlated_and_clustered_workloads() {
+    check_workload(Distribution::Correlated, 300, 40, 3, 5);
+    check_workload(Distribution::Clustered { clusters: 5 }, 300, 40, 3, 6);
+}
+
+#[test]
+fn zillow_workload() {
+    check_workload(Distribution::Zillow, 400, 60, 5, 7);
+}
+
+#[test]
+fn skewed_functions() {
+    let w = WorkloadBuilder::new()
+        .objects(250)
+        .functions(40)
+        .dim(4)
+        .function_style(FunctionStyle::Skewed)
+        .seed(8)
+        .build();
+    let expect = sorted(&reference_matching(&w.objects, &w.functions));
+    for m in all_matchers() {
+        let got = m.run(&w.objects, &w.functions);
+        assert_eq!(sorted(got.pairs()), expect, "{}", m.name());
+    }
+}
+
+#[test]
+fn demand_exceeds_supply() {
+    // |F| > |O|: every object is assigned, some users go home empty
+    check_workload(Distribution::Independent, 30, 90, 3, 9);
+    check_workload(Distribution::AntiCorrelated, 20, 100, 2, 10);
+}
+
+#[test]
+fn single_object_and_single_function() {
+    check_workload(Distribution::Independent, 1, 10, 2, 11);
+    check_workload(Distribution::Independent, 50, 1, 2, 12);
+    check_workload(Distribution::Independent, 1, 1, 2, 13);
+}
+
+#[test]
+fn one_dimensional_degenerate_case() {
+    check_workload(Distribution::Independent, 120, 30, 1, 14);
+}

@@ -1,0 +1,157 @@
+//! End-to-end integration tests across the facade: streaming vs batch
+//! equivalence, capacity matching, metric consistency, and the
+//! public-API workflow a downstream user would follow.
+
+use mpq::core::capacity::{reference_capacity_matching, verify_capacity_stable, CapacityMatcher};
+use mpq::core::{Matcher, Pair, SkylineMatcher};
+use mpq::datagen::{Distribution, WorkloadBuilder};
+use mpq::prelude::*;
+
+fn sorted(pairs: &[Pair]) -> Vec<(u32, u64)> {
+    let mut v: Vec<(u32, u64)> = pairs.iter().map(|p| (p.fid, p.oid)).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn streaming_equals_batch() {
+    let w = WorkloadBuilder::new()
+        .objects(800)
+        .functions(120)
+        .dim(3)
+        .distribution(Distribution::AntiCorrelated)
+        .seed(21)
+        .build();
+    let matcher = SkylineMatcher::default();
+    let batch = matcher.run(&w.objects, &w.functions);
+
+    let tree = matcher.index.build_tree(&w.objects);
+    let streamed: Vec<Pair> = matcher.stream(&tree, &w.functions).collect();
+    assert_eq!(batch.pairs(), &streamed[..]);
+}
+
+#[test]
+fn stream_order_guarantees() {
+    let w = WorkloadBuilder::new()
+        .objects(500)
+        .functions(80)
+        .dim(2)
+        .seed(22)
+        .build();
+
+    // Multi-pair streams are *not* globally score-sorted (a pair that was
+    // not yet mutually best in loop L can beat loop L's weakest mutual
+    // pair), but the first emitted pair is the global optimum.
+    let matcher = SkylineMatcher::default();
+    let tree = matcher.index.build_tree(&w.objects);
+    let pairs: Vec<Pair> = matcher.stream(&tree, &w.functions).collect();
+    let max = pairs
+        .iter()
+        .map(|p| p.score)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert_eq!(pairs[0].score, max, "first streamed pair is the global best");
+
+    // Single-pair mode is the pure greedy process: globally sorted.
+    let single = SkylineMatcher {
+        multi_pair: false,
+        ..SkylineMatcher::default()
+    };
+    let tree2 = single.index.build_tree(&w.objects);
+    let seq: Vec<Pair> = single.stream(&tree2, &w.functions).collect();
+    assert!(
+        seq.windows(2).all(|w| w[0].score >= w[1].score),
+        "single-pair stream must be globally sorted by score"
+    );
+}
+
+#[test]
+fn stream_can_be_abandoned_early() {
+    let w = WorkloadBuilder::new()
+        .objects(2_000)
+        .functions(500)
+        .dim(3)
+        .seed(23)
+        .build();
+    let matcher = SkylineMatcher::default();
+    let tree = matcher.index.build_tree(&w.objects);
+    let mut stream = matcher.stream(&tree, &w.functions);
+    let first_ten: Vec<Pair> = stream.by_ref().take(10).collect();
+    assert_eq!(first_ten.len(), 10);
+    // early abandonment must have read far less than a full run would
+    let io_so_far = stream.metrics().io.logical;
+    let full = matcher.run(&w.objects, &w.functions);
+    assert!(
+        io_so_far <= full.metrics().io.logical,
+        "partial consumption cannot cost more than the full run"
+    );
+    // the 10 pairs are the true top of the full matching
+    assert_eq!(&full.pairs()[..10], &first_ten[..]);
+}
+
+#[test]
+fn capacity_matching_against_reference() {
+    let w = WorkloadBuilder::new()
+        .objects(120)
+        .functions(90)
+        .dim(3)
+        .distribution(Distribution::Clustered { clusters: 6 })
+        .seed(24)
+        .build();
+    let caps: Vec<u32> = (0..w.objects.len()).map(|i| (i % 4) as u32).collect();
+    let got = CapacityMatcher::default().run(&w.objects, &w.functions, &caps);
+    let expect = reference_capacity_matching(&w.objects, &w.functions, &caps);
+    assert_eq!(sorted(&got.pairs), sorted(&expect));
+    verify_capacity_stable(&w.objects, &w.functions, &caps, &got.pairs).unwrap();
+    // residents bookkeeping is consistent with the pair list
+    let total: usize = got.residents.values().map(|v| v.len()).sum();
+    assert_eq!(total, got.pairs.len());
+}
+
+#[test]
+fn prelude_workflow_compiles_and_runs() {
+    // the README quickstart, as a test
+    let mut objects = PointSet::new(2);
+    for p in [[0.9_f64, 0.2], [0.2, 0.9], [0.7, 0.7], [0.5, 0.4]] {
+        objects.push(&p);
+    }
+    let functions = FunctionSet::from_rows(2, &[vec![0.8, 0.2], vec![0.2, 0.8]]);
+    let matching = SkylineMatcher::default().run(&objects, &functions);
+    assert_eq!(matching.len(), 2);
+    let bf = BruteForceMatcher::default().run(&objects, &functions);
+    let ch = ChainMatcher::default().run(&objects, &functions);
+    assert_eq!(matching.sorted_pairs(), bf.sorted_pairs());
+    assert_eq!(matching.sorted_pairs(), ch.sorted_pairs());
+}
+
+#[test]
+fn metrics_io_accounting_is_exclusive_to_the_run() {
+    let w = WorkloadBuilder::new()
+        .objects(5_000)
+        .functions(200)
+        .dim(3)
+        .seed(25)
+        .build();
+    let m1 = SkylineMatcher::default().run(&w.objects, &w.functions);
+    let m2 = SkylineMatcher::default().run(&w.objects, &w.functions);
+    // identical runs over identical data must report identical I/O
+    assert_eq!(m1.metrics().io, m2.metrics().io);
+    assert_eq!(m1.pairs(), m2.pairs());
+}
+
+#[test]
+fn zero_weight_dimension_still_yields_weakly_stable_matching() {
+    // With a zero weight, a dominated object can tie its dominator.
+    // SB resolves such ties from the skyline representative, which may
+    // differ from the global id-order choice; the matching is still
+    // stable w.r.t. scores (no pair strictly improves both sides).
+    let mut objects = PointSet::new(2);
+    objects.push(&[0.5, 0.3]);
+    objects.push(&[0.5, 0.9]); // dominates object 0
+    objects.push(&[0.4, 0.1]);
+    let functions = FunctionSet::from_rows(2, &[vec![1.0, 0.0]]);
+    let m = SkylineMatcher::default().run(&objects, &functions);
+    assert_eq!(m.len(), 1);
+    let p = m.pairs()[0];
+    // the assigned object scores 0.5 — no object scores higher
+    assert!((p.score - 0.5).abs() < 1e-12);
+}

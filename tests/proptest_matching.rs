@@ -1,0 +1,174 @@
+//! Property-based tests for the matchers on adversarial inputs:
+//! grid-valued coordinates force massive score ties and duplicate
+//! points, which is exactly where naive tie handling breaks.
+//!
+//! With strictly positive weights the stable matching under the
+//! canonical tie-broken order is unique *up to duplicate-point
+//! substitution*: Brute Force and Chain see every individual object and
+//! reproduce the reference exactly, while the skyline-based matcher
+//! keeps one implementation-defined representative per duplicate group
+//! (see the duplicate-semantics note in `mpq_skyline::maintain`), so it
+//! is compared modulo the identity of duplicates — i.e. on
+//! `(function, coordinates)` multisets, which *are* uniquely determined.
+
+use proptest::prelude::*;
+
+use mpq::core::{
+    reference_matching, verify_stable, verify_weakly_stable, BfStrategy, BruteForceMatcher,
+    ChainMatcher, Matcher, Pair, SkylineMatcher,
+};
+use mpq::rtree::PointSet;
+use mpq::ta::FunctionSet;
+
+fn sorted(pairs: &[Pair]) -> Vec<(u32, u64)> {
+    let mut v: Vec<(u32, u64)> = pairs.iter().map(|p| (p.fid, p.oid)).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Pairs as `(fid, point bit patterns)` — the duplicate-insensitive view.
+fn sorted_by_point(pairs: &[Pair], objects: &PointSet) -> Vec<(u32, Vec<u64>)> {
+    let mut v: Vec<(u32, Vec<u64>)> = pairs
+        .iter()
+        .map(|p| {
+            let pt = objects.get(p.oid as usize);
+            (p.fid, pt.iter().map(|c| c.to_bits()).collect())
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Objects on a coarse grid: duplicates and ties abound.
+fn grid_objects(dim: usize) -> impl Strategy<Value = PointSet> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u8..=6, dim),
+        1..50,
+    )
+    .prop_map(move |rows| {
+        let mut ps = PointSet::new(dim);
+        for r in rows {
+            let p: Vec<f64> = r.iter().map(|&v| v as f64 / 6.0).collect();
+            ps.push(&p);
+        }
+        ps
+    })
+}
+
+/// Strictly positive integer weights (normalized by FunctionSet).
+fn positive_functions(dim: usize) -> impl Strategy<Value = FunctionSet> {
+    proptest::collection::vec(
+        proptest::collection::vec(1u8..=9, dim),
+        1..16,
+    )
+    .prop_map(move |rows| {
+        let rows: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| v as f64).collect())
+            .collect();
+        FunctionSet::from_rows(dim, &rows)
+    })
+}
+
+fn check_all(objects: &PointSet, functions: &FunctionSet) -> Result<(), TestCaseError> {
+    let expect = reference_matching(objects, functions);
+    let expect_sorted = sorted(&expect);
+    let expect_by_point = sorted_by_point(&expect, objects);
+
+    // Brute Force and Chain examine every individual object: exact
+    // agreement with the reference, including duplicate identities.
+    let exact: Vec<Box<dyn Matcher>> = vec![
+        Box::new(BruteForceMatcher::default()),
+        Box::new(BruteForceMatcher {
+            strategy: BfStrategy::Restart,
+            ..BruteForceMatcher::default()
+        }),
+        Box::new(ChainMatcher::default()),
+    ];
+    for m in exact {
+        let got = m.run(objects, functions);
+        prop_assert_eq!(
+            sorted(got.pairs()),
+            expect_sorted.clone(),
+            "{} diverged",
+            m.name()
+        );
+        if let Err(e) = verify_stable(objects, functions, got.pairs()) {
+            panic!("{} produced an unstable matching: {e}", m.name());
+        }
+    }
+
+    // SB: agreement modulo duplicate substitution, plus weak stability.
+    let skyline: Vec<Box<dyn Matcher>> = vec![
+        Box::new(SkylineMatcher::default()),
+        Box::new(SkylineMatcher {
+            multi_pair: false,
+            ..SkylineMatcher::default()
+        }),
+    ];
+    for m in skyline {
+        let got = m.run(objects, functions);
+        prop_assert_eq!(
+            sorted_by_point(got.pairs(), objects),
+            expect_by_point.clone(),
+            "{} diverged modulo duplicates",
+            m.name()
+        );
+        if let Err(e) = verify_weakly_stable(objects, functions, got.pairs()) {
+            panic!("{} produced a weakly unstable matching: {e}", m.name());
+        }
+    }
+
+    // single-pair SB reproduces the greedy score sequence exactly
+    let seq = SkylineMatcher {
+        multi_pair: false,
+        ..SkylineMatcher::default()
+    }
+    .run(objects, functions);
+    let got_scores: Vec<u64> = seq.pairs().iter().map(|p| p.score.to_bits()).collect();
+    let expect_scores: Vec<u64> = expect.iter().map(|p| p.score.to_bits()).collect();
+    prop_assert_eq!(got_scores, expect_scores);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tie_heavy_2d((objects, functions) in (grid_objects(2), positive_functions(2))) {
+        check_all(&objects, &functions)?;
+    }
+
+    #[test]
+    fn tie_heavy_3d((objects, functions) in (grid_objects(3), positive_functions(3))) {
+        check_all(&objects, &functions)?;
+    }
+
+    #[test]
+    fn tie_heavy_4d((objects, functions) in (grid_objects(4), positive_functions(4))) {
+        check_all(&objects, &functions)?;
+    }
+
+    #[test]
+    fn matching_invariants_hold(
+        (objects, functions) in (grid_objects(3), positive_functions(3))
+    ) {
+        let m = SkylineMatcher::default().run(&objects, &functions);
+        // size = min(|F|, |O|)
+        prop_assert_eq!(m.len(), functions.n_alive().min(objects.len()));
+        // 1-1
+        let mut fids: Vec<u32> = m.pairs().iter().map(|p| p.fid).collect();
+        let mut oids: Vec<u64> = m.pairs().iter().map(|p| p.oid).collect();
+        fids.sort_unstable();
+        fids.dedup();
+        oids.sort_unstable();
+        oids.dedup();
+        prop_assert_eq!(fids.len(), m.len());
+        prop_assert_eq!(oids.len(), m.len());
+        // scores recompute exactly
+        for p in m.pairs() {
+            let s = functions.score(p.fid, objects.get(p.oid as usize));
+            prop_assert_eq!(s.to_bits(), p.score.to_bits());
+        }
+    }
+}
