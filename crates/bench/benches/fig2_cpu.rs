@@ -37,11 +37,9 @@ fn bench_fig2(c: &mut Criterion) {
                 Box::new(ChainMatcher::default()),
             ];
             for m in &matchers {
-                group.bench_with_input(
-                    BenchmarkId::new(m.name(), dim),
-                    &w,
-                    |b, w| b.iter(|| m.run(&w.objects, &w.functions)),
-                );
+                group.bench_with_input(BenchmarkId::new(m.name(), dim), &w, |b, w| {
+                    b.iter(|| m.run(&w.objects, &w.functions))
+                });
             }
         }
         group.finish();

@@ -30,12 +30,13 @@ fn workload(n: usize, f: usize, dim: usize) -> Workload {
 }
 
 fn multipair() {
-    let w = workload(env_usize("MPQ_OBJECTS", 100_000), env_usize("MPQ_FUNCTIONS", 5_000), 4);
-    print_header("A1 multi-pair per loop (independent, D=4)");
-    print_cell(
-        "multi/",
-        &run_cell(&SkylineMatcher::default(), &w),
+    let w = workload(
+        env_usize("MPQ_OBJECTS", 100_000),
+        env_usize("MPQ_FUNCTIONS", 5_000),
+        4,
     );
+    print_header("A1 multi-pair per loop (independent, D=4)");
+    print_cell("multi/", &run_cell(&SkylineMatcher::default(), &w));
     print_cell(
         "single/",
         &run_cell(
@@ -70,7 +71,11 @@ fn maintenance() {
 }
 
 fn threshold() {
-    let w = workload(env_usize("MPQ_OBJECTS", 100_000), env_usize("MPQ_FUNCTIONS", 5_000), 4);
+    let w = workload(
+        env_usize("MPQ_OBJECTS", 100_000),
+        env_usize("MPQ_FUNCTIONS", 5_000),
+        4,
+    );
     print_header("A3 best-pair search (independent, D=4)");
     for (label, mode) in [
         ("ta-tight/", BestPairMode::Ta),
@@ -91,7 +96,11 @@ fn threshold() {
 }
 
 fn buffer() {
-    let w = workload(env_usize("MPQ_OBJECTS", 100_000), env_usize("MPQ_FUNCTIONS", 5_000), 4);
+    let w = workload(
+        env_usize("MPQ_OBJECTS", 100_000),
+        env_usize("MPQ_FUNCTIONS", 5_000),
+        4,
+    );
     print_header("A4 LRU buffer size (independent, D=4, BruteForce + SB)");
     for frac in [0.01, 0.02, 0.04, 0.08, 0.16] {
         let index = IndexConfig {
@@ -134,7 +143,11 @@ fn functions() {
 }
 
 fn bf() {
-    let w = workload(env_usize("MPQ_OBJECTS", 50_000), env_usize("MPQ_FUNCTIONS", 2_000), 4);
+    let w = workload(
+        env_usize("MPQ_OBJECTS", 50_000),
+        env_usize("MPQ_FUNCTIONS", 2_000),
+        4,
+    );
     print_header("A6 Brute Force strategy (independent, D=4)");
     for strategy in [BfStrategy::Incremental, BfStrategy::Restart] {
         print_cell(

@@ -29,7 +29,11 @@ fn main() {
     let cfg = IndexConfig::default();
     let t0 = Instant::now();
     let tree = cfg.build_tree(&w.objects);
-    println!("build tree: {:.2}s ({} pages)", t0.elapsed().as_secs_f64(), tree.page_count());
+    println!(
+        "build tree: {:.2}s ({} pages)",
+        t0.elapsed().as_secs_f64(),
+        tree.page_count()
+    );
 
     let t1 = Instant::now();
     let m = SkylineMaintainer::build(&tree);

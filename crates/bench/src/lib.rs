@@ -109,7 +109,12 @@ mod tests {
 
     #[test]
     fn run_cell_populates_metrics() {
-        let w = WorkloadBuilder::new().objects(500).functions(20).dim(2).seed(1).build();
+        let w = WorkloadBuilder::new()
+            .objects(500)
+            .functions(20)
+            .dim(2)
+            .seed(1)
+            .build();
         let c = run_cell(&SkylineMatcher::default(), &w);
         assert_eq!(c.method, "SB");
         assert_eq!(c.pairs, 20);

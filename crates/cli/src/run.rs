@@ -180,18 +180,18 @@ fn cmd_generate(args: &[String]) -> Result<String, CliError> {
         "anti-correlated" => Distribution::AntiCorrelated,
         "clustered" => Distribution::Clustered { clusters: 10 },
         "zillow" => Distribution::Zillow,
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown distribution '{other}'"
-            )))
-        }
+        other => return Err(CliError::usage(format!("unknown distribution '{other}'"))),
     };
     let n: usize = arg_value(args, "--objects")
         .unwrap_or("1000")
         .parse()
         .map_err(|_| CliError::usage("--objects must be an integer"))?;
     let dim: usize = arg_value(args, "--dim")
-        .unwrap_or(if dist == Distribution::Zillow { "5" } else { "3" })
+        .unwrap_or(if dist == Distribution::Zillow {
+            "5"
+        } else {
+            "3"
+        })
         .parse()
         .map_err(|_| CliError::usage("--dim must be an integer"))?;
     let seed: u64 = arg_value(args, "--seed")
@@ -221,7 +221,10 @@ mod tests {
     fn help_and_unknown_commands() {
         assert_eq!(run_cli(&[]).unwrap_err().code, 2);
         assert_eq!(run_cli(&args(&["bogus"])).unwrap_err().code, 2);
-        assert!(run_cli(&args(&["--help"])).unwrap_err().message.contains("usage"));
+        assert!(run_cli(&args(&["--help"]))
+            .unwrap_err()
+            .message
+            .contains("usage"));
     }
 
     #[test]

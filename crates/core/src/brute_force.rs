@@ -28,7 +28,7 @@ use std::collections::BinaryHeap;
 use std::collections::HashSet;
 use std::time::Instant;
 
-use mpq_rtree::{PointSet, RankedIter, RTree};
+use mpq_rtree::{PointSet, RTree, RankedIter};
 use mpq_ta::FunctionSet;
 
 use crate::matching::{IndexConfig, Matcher, Matching, Pair, RunMetrics};
@@ -344,7 +344,11 @@ mod tests {
 
     #[test]
     fn empty_function_set_gives_empty_matching() {
-        let w = WorkloadBuilder::new().objects(20).functions(1).dim(2).build();
+        let w = WorkloadBuilder::new()
+            .objects(20)
+            .functions(1)
+            .dim(2)
+            .build();
         let fs = mpq_ta::FunctionSet::new(2);
         for strategy in [BfStrategy::Incremental, BfStrategy::Restart] {
             let m = bf(strategy).run(&w.objects, &fs);

@@ -221,8 +221,7 @@ pub fn verify_capacity_stable(
             let o_accepts = match residents.get(&oid) {
                 None => capacities[oid as usize] > 0,
                 Some(rs) => {
-                    rs.len() < capacities[oid as usize] as usize
-                        || rs.iter().any(|r| cand.beats(r))
+                    rs.len() < capacities[oid as usize] as usize || rs.iter().any(|r| cand.beats(r))
                 }
             };
             if o_accepts {
@@ -296,10 +295,7 @@ mod tests {
         let mut ps = PointSet::new(2);
         ps.push(&[0.95, 0.95]); // everyone's favourite
         ps.push(&[0.3, 0.3]);
-        let fs = FunctionSet::from_rows(
-            2,
-            &[vec![0.5, 0.5], vec![0.6, 0.4], vec![0.4, 0.6]],
-        );
+        let fs = FunctionSet::from_rows(2, &[vec![0.5, 0.5], vec![0.6, 0.4], vec![0.4, 0.6]]);
         let m = CapacityMatcher {
             index: tiny_index(),
         }

@@ -27,9 +27,7 @@ impl Pair {
         match self.score.total_cmp(&other.score) {
             std::cmp::Ordering::Greater => true,
             std::cmp::Ordering::Less => false,
-            std::cmp::Ordering::Equal => {
-                (self.fid, self.oid) < (other.fid, other.oid)
-            }
+            std::cmp::Ordering::Equal => (self.fid, self.oid) < (other.fid, other.oid),
         }
     }
 }
@@ -160,8 +158,8 @@ impl IndexConfig {
             buffer_capacity: self.min_buffer_pages.max(1),
         };
         let tree = RTree::bulk_load(objects, params);
-        let cap = ((tree.page_count() as f64 * self.buffer_fraction) as usize)
-            .max(self.min_buffer_pages);
+        let cap =
+            ((tree.page_count() as f64 * self.buffer_fraction) as usize).max(self.min_buffer_pages);
         tree.set_buffer_capacity(cap);
         tree
     }
@@ -173,10 +171,26 @@ mod tests {
 
     #[test]
     fn pair_order_breaks_ties_by_fid_then_oid() {
-        let a = Pair { fid: 1, oid: 5, score: 0.9 };
-        let b = Pair { fid: 2, oid: 1, score: 0.9 };
-        let c = Pair { fid: 1, oid: 6, score: 0.9 };
-        let d = Pair { fid: 0, oid: 0, score: 0.8 };
+        let a = Pair {
+            fid: 1,
+            oid: 5,
+            score: 0.9,
+        };
+        let b = Pair {
+            fid: 2,
+            oid: 1,
+            score: 0.9,
+        };
+        let c = Pair {
+            fid: 1,
+            oid: 6,
+            score: 0.9,
+        };
+        let d = Pair {
+            fid: 0,
+            oid: 0,
+            score: 0.8,
+        };
         assert!(a.beats(&b), "same score: smaller fid wins");
         assert!(a.beats(&c), "same score+fid: smaller oid wins");
         assert!(a.beats(&d), "higher score wins regardless of ids");
@@ -187,8 +201,16 @@ mod tests {
     fn matching_total_score_and_sorting() {
         let m = Matching::new(
             vec![
-                Pair { fid: 2, oid: 2, score: 0.5 },
-                Pair { fid: 1, oid: 1, score: 0.7 },
+                Pair {
+                    fid: 2,
+                    oid: 2,
+                    score: 0.5,
+                },
+                Pair {
+                    fid: 1,
+                    oid: 1,
+                    score: 0.7,
+                },
             ],
             RunMetrics::default(),
         );
@@ -213,6 +235,10 @@ mod tests {
         let tree = cfg.build_tree(&ps);
         let expect = ((tree.page_count() as f64 * 0.02) as usize).max(8);
         assert_eq!(tree.buffer_capacity(), expect);
-        assert_eq!(tree.io_stats(), IoStats::default(), "build I/O must be reset");
+        assert_eq!(
+            tree.io_stats(),
+            IoStats::default(),
+            "build I/O must be reset"
+        );
     }
 }

@@ -133,7 +133,7 @@ impl MonotoneSkylineMatcher {
             for e in maintainer.iter() {
                 let stale = fbest
                     .get(&e.oid)
-                    .map_or(true, |(fid, _)| !alive[*fid as usize]);
+                    .is_none_or(|(fid, _)| !alive[*fid as usize]);
                 if stale {
                     metrics.reverse_top1_calls += 1;
                     let mut best: Option<(u32, f64)> = None;
@@ -142,7 +142,7 @@ impl MonotoneSkylineMatcher {
                             continue;
                         }
                         let s = f.eval(e.point);
-                        if best.map_or(true, |(_, bs)| s > bs) {
+                        if best.is_none_or(|(_, bs)| s > bs) {
                             best = Some((fid as u32, s));
                         }
                     }
@@ -313,7 +313,7 @@ mod tests {
         use mpq_ta::FunctionSet;
         let ps = objects(200, 2, 43);
         let rows = [vec![0.7, 0.3], vec![0.4, 0.6], vec![0.55, 0.45]];
-        let fs = FunctionSet::from_rows(2, &rows.to_vec());
+        let fs = FunctionSet::from_rows(2, rows.as_ref());
         let linear = crate::SkylineMatcher {
             index: tiny_index(),
             ..Default::default()

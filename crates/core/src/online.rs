@@ -124,11 +124,8 @@ impl<'t> OnlineSession<'t> {
             }
 
             // obest rank lists
-            let fbest_fns: HashSet<u32> = self
-                .maintainer
-                .iter()
-                .map(|e| fbest[&e.oid][0].0)
-                .collect();
+            let fbest_fns: HashSet<u32> =
+                self.maintainer.iter().map(|e| fbest[&e.oid][0].0).collect();
             for &fid in &fbest_fns {
                 let list = obest.entry(fid).or_default();
                 while let Some(&(oid, _)) = list.first() {

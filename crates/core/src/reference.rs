@@ -105,7 +105,12 @@ mod tests {
         let ps = objects(&[[0.5, 0.5], [0.4, 0.4]]);
         let fs = FunctionSet::from_rows(
             2,
-            &[vec![0.5, 0.5], vec![0.3, 0.7], vec![0.9, 0.1], vec![0.2, 0.8]],
+            &[
+                vec![0.5, 0.5],
+                vec![0.3, 0.7],
+                vec![0.9, 0.1],
+                vec![0.2, 0.8],
+            ],
         );
         let m = reference_matching(&ps, &fs);
         assert_eq!(m.len(), 2, "only two objects exist");
@@ -118,7 +123,12 @@ mod tests {
         let ps = objects(&[[0.9, 0.1], [0.1, 0.9], [0.6, 0.6], [0.3, 0.2]]);
         let fs = FunctionSet::from_rows(
             2,
-            &[vec![0.8, 0.2], vec![0.2, 0.8], vec![0.5, 0.5], vec![0.4, 0.6]],
+            &[
+                vec![0.8, 0.2],
+                vec![0.2, 0.8],
+                vec![0.5, 0.5],
+                vec![0.4, 0.6],
+            ],
         );
         let m = reference_matching(&ps, &fs);
         assert!(m.windows(2).all(|w| w[0].score >= w[1].score));

@@ -199,8 +199,7 @@ impl SkylineMatcher {
                     .expect("functions remain alive");
                 fbest.insert(*oid, best);
             }
-            let loop_pairs =
-                mutual_pairs(&sky, &fbest, &fs, self.multi_pair);
+            let loop_pairs = mutual_pairs(&sky, &fbest, &fs, self.multi_pair);
             debug_assert!(!loop_pairs.is_empty(), "each loop must emit a pair");
             for p in &loop_pairs {
                 fs.remove(p.fid);
@@ -226,10 +225,11 @@ fn best_function(
     mode: BestPairMode,
 ) -> Option<(u32, f64)> {
     match mode {
-        BestPairMode::Ta => rt1
-            .as_mut()
-            .expect("TA mode has an index")
-            .best_for_with(fs, point, ThresholdMode::Tight),
+        BestPairMode::Ta => rt1.as_mut().expect("TA mode has an index").best_for_with(
+            fs,
+            point,
+            ThresholdMode::Tight,
+        ),
         BestPairMode::TaNaiveThreshold => rt1
             .as_mut()
             .expect("TA mode has an index")
@@ -247,14 +247,18 @@ pub(crate) fn best_functions(
     mode: BestPairMode,
 ) -> Vec<(u32, f64)> {
     match mode {
-        BestPairMode::Ta => rt1
-            .as_mut()
-            .expect("TA mode has an index")
-            .top_m_for(fs, point, FBEST_RANKS, ThresholdMode::Tight),
-        BestPairMode::TaNaiveThreshold => rt1
-            .as_mut()
-            .expect("TA mode has an index")
-            .top_m_for(fs, point, FBEST_RANKS, ThresholdMode::Naive),
+        BestPairMode::Ta => rt1.as_mut().expect("TA mode has an index").top_m_for(
+            fs,
+            point,
+            FBEST_RANKS,
+            ThresholdMode::Tight,
+        ),
+        BestPairMode::TaNaiveThreshold => rt1.as_mut().expect("TA mode has an index").top_m_for(
+            fs,
+            point,
+            FBEST_RANKS,
+            ThresholdMode::Naive,
+        ),
         BestPairMode::Scan => fs.scan_best(point).into_iter().collect(),
     }
 }
@@ -612,11 +616,7 @@ mod tests {
                 .build();
             let m = sb().run(&w.objects, &w.functions);
             let expect = reference_matching(&w.objects, &w.functions);
-            assert_eq!(
-                sorted(m.pairs()),
-                sorted(&expect),
-                "distribution {dist:?}"
-            );
+            assert_eq!(sorted(m.pairs()), sorted(&expect), "distribution {dist:?}");
             verify_stable(&w.objects, &w.functions, m.pairs()).unwrap();
         }
     }
@@ -749,10 +749,7 @@ mod tests {
             ps.push(&[0.8, 0.8]);
         }
         ps.push(&[0.2, 0.9]);
-        let fs = FunctionSet::from_rows(
-            2,
-            &[vec![0.5, 0.5], vec![0.6, 0.4], vec![0.4, 0.6]],
-        );
+        let fs = FunctionSet::from_rows(2, &[vec![0.5, 0.5], vec![0.6, 0.4], vec![0.4, 0.6]]);
         let m = sb().run(&ps, &fs);
         let expect = reference_matching(&ps, &fs);
         assert_eq!(sorted(m.pairs()), sorted(&expect));

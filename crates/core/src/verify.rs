@@ -133,8 +133,8 @@ pub fn verify_weakly_stable(
         for (i, point) in objects.iter() {
             let oid = i as u64;
             let s = functions.score(fid, point);
-            let f_better = f_score.get(&fid).map_or(true, |&a| s > a);
-            let o_better = o_score.get(&oid).map_or(true, |&a| s > a);
+            let f_better = f_score.get(&fid).is_none_or(|&a| s > a);
+            let o_better = o_score.get(&oid).is_none_or(|&a| s > a);
             if f_better && o_better {
                 return Err(format!(
                     "weak blocking pair: function {fid} and object {oid} (score {s})"

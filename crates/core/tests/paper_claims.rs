@@ -15,9 +15,7 @@
 //!    memory on anti-correlated high-dimensional data (the paper's OOM
 //!    note).
 
-use mpq_core::{
-    BruteForceMatcher, ChainMatcher, MaintenanceMode, Matcher, SkylineMatcher,
-};
+use mpq_core::{BruteForceMatcher, ChainMatcher, MaintenanceMode, Matcher, SkylineMatcher};
 use mpq_datagen::{Distribution, WorkloadBuilder};
 use mpq_ta::{FunctionSet, ReverseTopOne, ThresholdMode};
 

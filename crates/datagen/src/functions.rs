@@ -85,8 +85,8 @@ mod tests {
         for m in means.iter_mut() {
             *m /= 30_000.0;
         }
-        for d in 0..3 {
-            assert!((means[d] - 1.0 / 3.0).abs() < 0.01, "dim {d} mean {}", means[d]);
+        for (d, m) in means.iter().enumerate() {
+            assert!((m - 1.0 / 3.0).abs() < 0.01, "dim {d} mean {m}");
         }
     }
 

@@ -196,7 +196,9 @@ mod tests {
             let r = pearson(&ps, 0, dim - 1);
             assert!(r < -0.1, "dim {dim}: correlation {r}");
             // all in the unit cube
-            assert!(ps.iter().all(|(_, p)| p.iter().all(|&x| (0.0..=1.0).contains(&x))));
+            assert!(ps
+                .iter()
+                .all(|(_, p)| p.iter().all(|&x| (0.0..=1.0).contains(&x))));
         }
     }
 
@@ -222,7 +224,11 @@ mod tests {
             let cell: Vec<i32> = p.iter().map(|&x| (x * 5.0) as i32).collect();
             cells.insert(cell);
         }
-        assert!(cells.len() < 200, "too many occupied cells: {}", cells.len());
+        assert!(
+            cells.len() < 200,
+            "too many occupied cells: {}",
+            cells.len()
+        );
     }
 
     #[test]

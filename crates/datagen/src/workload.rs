@@ -103,9 +103,7 @@ impl WorkloadBuilder {
         } else {
             self.dim
         };
-        let objects = self
-            .distribution
-            .generate(self.n_objects, dim, self.seed);
+        let objects = self.distribution.generate(self.n_objects, dim, self.seed);
         let fseed = self.seed ^ 0xF00D_F00D_F00D_F00D;
         let functions = match self.style {
             FunctionStyle::Uniform => uniform_weights(self.n_functions, dim, fseed),
@@ -162,8 +160,16 @@ mod tests {
 
     #[test]
     fn same_seed_same_workload() {
-        let a = WorkloadBuilder::new().objects(20).functions(4).seed(9).build();
-        let b = WorkloadBuilder::new().objects(20).functions(4).seed(9).build();
+        let a = WorkloadBuilder::new()
+            .objects(20)
+            .functions(4)
+            .seed(9)
+            .build();
+        let b = WorkloadBuilder::new()
+            .objects(20)
+            .functions(4)
+            .seed(9)
+            .build();
         assert_eq!(a.objects, b.objects);
         assert_eq!(a.functions, b.functions);
     }

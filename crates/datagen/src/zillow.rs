@@ -50,8 +50,8 @@ pub fn zillow_records(n: usize, seed: u64) -> Vec<ZillowRecord> {
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let bedrooms = (discrete(&mut rng, &BEDROOM_WEIGHTS) + 1) as u8;
-        let bathrooms = ((bedrooms as f64 / 2.0 + normal(&mut rng, 0.5, 0.6)).round() as i64)
-            .clamp(1, 5) as u8;
+        let bathrooms =
+            ((bedrooms as f64 / 2.0 + normal(&mut rng, 0.5, 0.6)).round() as i64).clamp(1, 5) as u8;
         // living area: ~700 sqft per bedroom with multiplicative noise
         let living_sqft = (450.0 + 520.0 * bedrooms as f64) * log_normal(&mut rng, 0.0, 0.28);
         // lot: house plus a heavy-tailed yard multiplier

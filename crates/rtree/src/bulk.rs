@@ -43,14 +43,9 @@ pub(crate) fn str_bulk_load(
     // --- leaf level ---
     let mut idx: Vec<u32> = (0..points.len() as u32).collect();
     let mut groups: Vec<(usize, usize)> = Vec::new(); // ranges into idx
-    tile(
-        &mut idx,
-        0,
-        &mut groups,
-        dim,
-        leaf_cap,
-        &|i, axis| points.get(i as usize)[axis],
-    );
+    tile(&mut idx, 0, &mut groups, dim, leaf_cap, &|i, axis| {
+        points.get(i as usize)[axis]
+    });
 
     let mut level_entries: Vec<(Mbr, PageId)> = Vec::with_capacity(groups.len());
     for &(start, end) in &groups {
@@ -174,7 +169,12 @@ mod tests {
 
     fn load(points: &PointSet, page: usize) -> (BufferPool, BulkResult) {
         let buf = BufferPool::new(MemPager::new(page), points.dim(), 1024);
-        let res = str_bulk_load(&buf, points, leaf_cap(page, points.dim()), inner_cap(page, points.dim()));
+        let res = str_bulk_load(
+            &buf,
+            points,
+            leaf_cap(page, points.dim()),
+            inner_cap(page, points.dim()),
+        );
         (buf, res)
     }
 

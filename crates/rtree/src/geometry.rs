@@ -43,12 +43,12 @@ impl Mbr {
     /// Grow this MBR to cover `p`.
     pub fn union_point(&mut self, p: &[f64]) {
         debug_assert_eq!(p.len(), self.dim());
-        for i in 0..p.len() {
-            if p[i] < self.lo[i] {
-                self.lo[i] = p[i];
+        for (i, &c) in p.iter().enumerate() {
+            if c < self.lo[i] {
+                self.lo[i] = c;
             }
-            if p[i] > self.hi[i] {
-                self.hi[i] = p[i];
+            if c > self.hi[i] {
+                self.hi[i] = c;
             }
         }
     }
@@ -109,7 +109,10 @@ pub fn rect_area(lo: &[f64], hi: &[f64]) -> f64 {
 /// heuristic minimizes this quantity when choosing a split axis.
 #[inline]
 pub fn rect_margin(lo: &[f64], hi: &[f64]) -> f64 {
-    lo.iter().zip(hi.iter()).map(|(&l, &h)| (h - l).max(0.0)).sum()
+    lo.iter()
+        .zip(hi.iter())
+        .map(|(&l, &h)| (h - l).max(0.0))
+        .sum()
 }
 
 /// Hyper-volume of the intersection of two rectangles (0 if disjoint).

@@ -86,14 +86,11 @@ impl Ord for Item {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // min-heap on distance; nodes before points at equal distance so
         // hidden ties surface before a point is emitted; then id asc
-        other
-            .key
-            .total_cmp(&self.key)
-            .then_with(|| {
-                let (ka, ia) = self.tie();
-                let (kb, ib) = other.tie();
-                kb.cmp(&ka).then_with(|| ib.cmp(&ia))
-            })
+        other.key.total_cmp(&self.key).then_with(|| {
+            let (ka, ia) = self.tie();
+            let (kb, ib) = other.tie();
+            kb.cmp(&ka).then_with(|| ib.cmp(&ia))
+        })
     }
 }
 
@@ -225,7 +222,11 @@ mod tests {
         let ps = seeded_points(700, 3, 61);
         let tree = RTree::bulk_load(&ps, params());
         for q in [[0.5, 0.5, 0.5], [0.0, 0.0, 0.0], [0.9, 0.1, 0.4]] {
-            let got: Vec<(u64, f64)> = tree.knn(&q, 15).iter().map(|h| (h.oid, h.distance)).collect();
+            let got: Vec<(u64, f64)> = tree
+                .knn(&q, 15)
+                .iter()
+                .map(|h| (h.oid, h.distance))
+                .collect();
             let expect = brute_knn(&ps, &q, 15);
             for ((go, gd), (eo, ed)) in got.iter().zip(expect.iter()) {
                 assert_eq!(go, eo, "query {q:?}");

@@ -454,7 +454,10 @@ mod tests {
 
     #[test]
     fn empty_nodes_round_trip() {
-        for n in [Node::Leaf(LeafNode::new(4)), Node::Inner(InnerNode::new(4, 1))] {
+        for n in [
+            Node::Leaf(LeafNode::new(4)),
+            Node::Inner(InnerNode::new(4, 1)),
+        ] {
             let mut page = vec![0u8; 256];
             n.encode(&mut page);
             assert_eq!(Node::decode(4, &page), n);

@@ -89,9 +89,7 @@ pub fn rstar_split(entries: &[SplitEntry], min_fill: usize) -> (Vec<usize>, Vec<
             let area = rect_area(&g1.lo, &g1.hi) + rect_area(&g2.lo, &g2.hi);
             let better = match &best {
                 None => true,
-                Some((bo, ba, _, _)) => {
-                    overlap < *bo || (overlap == *bo && area < *ba)
-                }
+                Some((bo, ba, _, _)) => overlap < *bo || (overlap == *bo && area < *ba),
             };
             if better {
                 best = Some((overlap, area, order.clone(), k));

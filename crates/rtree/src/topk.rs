@@ -143,14 +143,12 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap: larger = popped first.
-        self.bound
-            .total_cmp(&other.bound)
-            .then_with(|| {
-                let (ka, ia) = self.tie_rank();
-                let (kb, ib) = other.tie_rank();
-                // nodes (rank 1) before points (rank 0), then smaller ids first
-                ka.cmp(&kb).then_with(|| ib.cmp(&ia))
-            })
+        self.bound.total_cmp(&other.bound).then_with(|| {
+            let (ka, ia) = self.tie_rank();
+            let (kb, ib) = other.tie_rank();
+            // nodes (rank 1) before points (rank 0), then smaller ids first
+            ka.cmp(&kb).then_with(|| ib.cmp(&ia))
+        })
     }
 }
 
@@ -301,10 +299,7 @@ mod tests {
     }
 
     fn brute_top_k(ps: &PointSet, w: &[f64], k: usize) -> Vec<(u64, f64)> {
-        let mut scored: Vec<(u64, f64)> = ps
-            .iter()
-            .map(|(i, p)| (i as u64, dot(w, p)))
-            .collect();
+        let mut scored: Vec<(u64, f64)> = ps.iter().map(|(i, p)| (i as u64, dot(w, p))).collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         scored

@@ -116,11 +116,7 @@ impl RTree {
     /// entries per node.
     pub fn new(dim: usize, params: RTreeParams) -> RTree {
         let (leaf_cap, inner_cap) = Self::capacities(params.page_size, dim);
-        let buf = BufferPool::new(
-            MemPager::new(params.page_size),
-            dim,
-            params.buffer_capacity,
-        );
+        let buf = BufferPool::new(MemPager::new(params.page_size), dim, params.buffer_capacity);
         let root = buf.allocate();
         buf.put(root, Node::Leaf(LeafNode::new(dim)));
         let (leaf_min, inner_min) = Self::min_fills(leaf_cap, inner_cap, params.min_fill_ratio);
@@ -144,11 +140,7 @@ impl RTree {
     pub fn bulk_load(points: &PointSet, params: RTreeParams) -> RTree {
         let dim = points.dim();
         let (leaf_cap, inner_cap) = Self::capacities(params.page_size, dim);
-        let buf = BufferPool::new(
-            MemPager::new(params.page_size),
-            dim,
-            params.buffer_capacity,
-        );
+        let buf = BufferPool::new(MemPager::new(params.page_size), dim, params.buffer_capacity);
         let res = str_bulk_load(&buf, points, leaf_cap, inner_cap);
         buf.clear();
         buf.reset_stats();
@@ -348,10 +340,7 @@ impl RTree {
             p.iter().all(|c| c.is_finite()),
             "point coordinates must be finite"
         );
-        self.insert_pending(Pending::Point {
-            p: p.into(),
-            oid,
-        });
+        self.insert_pending(Pending::Point { p: p.into(), oid });
         self.len += 1;
     }
 
@@ -802,7 +791,11 @@ mod tests {
         let hi = [0.6, 0.8, 0.9];
         let mut expect: Vec<u64> = ps
             .iter()
-            .filter(|(_, p)| p.iter().zip(lo.iter().zip(hi.iter())).all(|(&x, (&l, &h))| l <= x && x <= h))
+            .filter(|(_, p)| {
+                p.iter()
+                    .zip(lo.iter().zip(hi.iter()))
+                    .all(|(&x, (&l, &h))| l <= x && x <= h)
+            })
             .map(|(i, _)| i as u64)
             .collect();
         expect.sort_unstable();

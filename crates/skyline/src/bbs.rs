@@ -101,9 +101,8 @@ pub fn compute_skyline_excluding(
     }));
     let mut sky: Vec<(u64, Box<[f64]>)> = Vec::new();
 
-    let dominated = |sky: &[(u64, Box<[f64]>)], x: &[f64]| {
-        sky.iter().any(|(_, p)| dominates_or_equal(p, x))
-    };
+    let dominated =
+        |sky: &[(u64, Box<[f64]>)], x: &[f64]| sky.iter().any(|(_, p)| dominates_or_equal(p, x));
 
     while let Some(item) = heap.pop() {
         if dominated(&sky, item.cand.hi()) {

@@ -40,7 +40,10 @@ mod tests {
     fn strict_dominance_requires_one_strict_coordinate() {
         assert!(dominates(&[0.5, 0.5], &[0.5, 0.4]));
         assert!(dominates(&[0.6, 0.6], &[0.5, 0.5]));
-        assert!(!dominates(&[0.5, 0.5], &[0.5, 0.5]), "equal points do not dominate");
+        assert!(
+            !dominates(&[0.5, 0.5], &[0.5, 0.5]),
+            "equal points do not dominate"
+        );
         assert!(!dominates(&[0.5, 0.4], &[0.4, 0.5]), "incomparable points");
         assert!(!dominates(&[0.4, 0.5], &[0.5, 0.4]));
     }

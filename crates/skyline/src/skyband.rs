@@ -203,7 +203,10 @@ mod tests {
     fn one_skyband_is_the_skyline() {
         let ps = seeded_points(500, 3, 1);
         let tree = RTree::bulk_load(&ps, params());
-        let mut band: Vec<u64> = compute_skyband(&tree, 1).into_iter().map(|(o, _)| o).collect();
+        let mut band: Vec<u64> = compute_skyband(&tree, 1)
+            .into_iter()
+            .map(|(o, _)| o)
+            .collect();
         band.sort_unstable();
         let mut sky: Vec<u64> = crate::bbs::compute_skyline(&tree)
             .into_iter()
@@ -218,7 +221,10 @@ mod tests {
         for k in [1usize, 2, 3, 5] {
             let ps = seeded_points(300, 2, k as u64 + 10);
             let tree = RTree::bulk_load(&ps, params());
-            let mut got: Vec<u64> = compute_skyband(&tree, k).into_iter().map(|(o, _)| o).collect();
+            let mut got: Vec<u64> = compute_skyband(&tree, k)
+                .into_iter()
+                .map(|(o, _)| o)
+                .collect();
             got.sort_unstable();
             assert_eq!(got, naive_skyband(&ps, k), "k = {k}");
         }

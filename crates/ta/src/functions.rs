@@ -50,7 +50,11 @@ impl FunctionSet {
 
     /// Build from a flat buffer with stride `dim` (each row normalized).
     pub fn from_flat(dim: usize, flat: &[f64]) -> FunctionSet {
-        assert_eq!(flat.len() % dim, 0, "flat buffer length not a multiple of dim");
+        assert_eq!(
+            flat.len() % dim,
+            0,
+            "flat buffer length not a multiple of dim"
+        );
         let mut fs = FunctionSet::new(dim);
         for row in flat.chunks_exact(dim) {
             fs.push(row);

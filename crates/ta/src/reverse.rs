@@ -270,7 +270,11 @@ mod tests {
                 let o: Vec<f64> = (0..dim).map(|_| next()).collect();
                 let got = rt1.best_for(&fs, &o);
                 let expect = fs.scan_best(&o);
-                assert_eq!(got.map(|x| x.0), expect.map(|x| x.0), "dim {dim} object {o:?}");
+                assert_eq!(
+                    got.map(|x| x.0),
+                    expect.map(|x| x.0),
+                    "dim {dim} object {o:?}"
+                );
                 let (gs, es) = (got.unwrap().1, expect.unwrap().1);
                 assert_eq!(gs.to_bits(), es.to_bits(), "scores must be identical");
             }

@@ -17,17 +17,15 @@ fn full_ranking(fs: &FunctionSet, point: &[f64]) -> Vec<(u32, f64)> {
 }
 
 fn functions_strategy(dim: usize) -> impl Strategy<Value = FunctionSet> {
-    proptest::collection::vec(
-        proptest::collection::vec(1u32..=1000, dim),
-        1..60,
+    proptest::collection::vec(proptest::collection::vec(1u32..=1000, dim), 1..60).prop_map(
+        move |rows| {
+            let rows: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| r.iter().map(|&v| v as f64).collect())
+                .collect();
+            FunctionSet::from_rows(dim, &rows)
+        },
     )
-    .prop_map(move |rows| {
-        let rows: Vec<Vec<f64>> = rows
-            .iter()
-            .map(|r| r.iter().map(|&v| v as f64).collect())
-            .collect();
-        FunctionSet::from_rows(dim, &rows)
-    })
 }
 
 fn point_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {

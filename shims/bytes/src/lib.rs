@@ -1,0 +1,130 @@
+//! Offline stand-in for the `bytes` crate: the [`Buf`]/[`BufMut`]
+//! cursor traits implemented over plain byte slices, which is how the
+//! R-tree node codec consumes them. Reads and writes advance the slice
+//! in place, so `let mut r = &page[..]` behaves as a cursor.
+
+/// Sequential reader over a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read `n` bytes into `dst` and advance.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Sequential writer over a byte buffer.
+pub trait BufMut {
+    /// Bytes left to write.
+    fn remaining_mut(&self) -> usize;
+    /// Write all of `src` and advance.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Write one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Write a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Write a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Write a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Write a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn remaining_mut(&self) -> usize {
+        self.len()
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(self.len() >= src.len(), "buffer overflow");
+        let (head, tail) = std::mem::take(self).split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn remaining_mut(&self) -> usize {
+        usize::MAX - self.len()
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut};
+
+    #[test]
+    fn roundtrip_through_slice_cursor() {
+        let mut page = [0u8; 32];
+        let mut w = &mut page[..];
+        w.put_u8(7);
+        w.put_u16_le(513);
+        w.put_u32_le(70_000);
+        w.put_u64_le(1 << 40);
+        w.put_f64_le(-0.25);
+
+        let mut r = &page[..];
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 513);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_f64_le(), -0.25);
+        assert_eq!(r.remaining(), 32 - 1 - 2 - 4 - 8 - 8);
+    }
+}

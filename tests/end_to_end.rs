@@ -49,7 +49,10 @@ fn stream_order_guarantees() {
         .iter()
         .map(|p| p.score)
         .fold(f64::NEG_INFINITY, f64::max);
-    assert_eq!(pairs[0].score, max, "first streamed pair is the global best");
+    assert_eq!(
+        pairs[0].score, max,
+        "first streamed pair is the global best"
+    );
 
     // Single-pair mode is the pure greedy process: globally sorted.
     let single = SkylineMatcher {

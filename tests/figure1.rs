@@ -89,8 +89,16 @@ fn sb_reports_f1_e_then_f2_d() {
     let m = SkylineMatcher::default().run(&objects(), &functions());
     let pairs = m.pairs();
     assert_eq!(pairs.len(), 2);
-    assert_eq!((pairs[0].fid, pairs[0].oid), (0, E), "first stable pair (f1, e)");
-    assert_eq!((pairs[1].fid, pairs[1].oid), (1, D), "second stable pair (f2, d)");
+    assert_eq!(
+        (pairs[0].fid, pairs[0].oid),
+        (0, E),
+        "first stable pair (f1, e)"
+    );
+    assert_eq!(
+        (pairs[1].fid, pairs[1].oid),
+        (1, D),
+        "second stable pair (f2, d)"
+    );
     assert!((pairs[0].score - 0.735).abs() < 1e-12);
     assert!((pairs[1].score - 0.600).abs() < 1e-12);
 }

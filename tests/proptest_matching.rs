@@ -41,33 +41,29 @@ fn sorted_by_point(pairs: &[Pair], objects: &PointSet) -> Vec<(u32, Vec<u64>)> {
 
 /// Objects on a coarse grid: duplicates and ties abound.
 fn grid_objects(dim: usize) -> impl Strategy<Value = PointSet> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u8..=6, dim),
-        1..50,
+    proptest::collection::vec(proptest::collection::vec(0u8..=6, dim), 1..50).prop_map(
+        move |rows| {
+            let mut ps = PointSet::new(dim);
+            for r in rows {
+                let p: Vec<f64> = r.iter().map(|&v| v as f64 / 6.0).collect();
+                ps.push(&p);
+            }
+            ps
+        },
     )
-    .prop_map(move |rows| {
-        let mut ps = PointSet::new(dim);
-        for r in rows {
-            let p: Vec<f64> = r.iter().map(|&v| v as f64 / 6.0).collect();
-            ps.push(&p);
-        }
-        ps
-    })
 }
 
 /// Strictly positive integer weights (normalized by FunctionSet).
 fn positive_functions(dim: usize) -> impl Strategy<Value = FunctionSet> {
-    proptest::collection::vec(
-        proptest::collection::vec(1u8..=9, dim),
-        1..16,
+    proptest::collection::vec(proptest::collection::vec(1u8..=9, dim), 1..16).prop_map(
+        move |rows| {
+            let rows: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| r.iter().map(|&v| v as f64).collect())
+                .collect();
+            FunctionSet::from_rows(dim, &rows)
+        },
     )
-    .prop_map(move |rows| {
-        let rows: Vec<Vec<f64>> = rows
-            .iter()
-            .map(|r| r.iter().map(|&v| v as f64).collect())
-            .collect();
-        FunctionSet::from_rows(dim, &rows)
-    })
 }
 
 fn check_all(objects: &PointSet, functions: &FunctionSet) -> Result<(), TestCaseError> {
