@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mpq_core::{BestPairMode, MaintenanceMode, Matcher, SkylineMatcher};
+use mpq_core::{BestPairMode, Engine, MaintenanceMode, Matcher, SkylineMatcher};
 use mpq_datagen::{Distribution, WorkloadBuilder};
 
 fn bench_ablations(c: &mut Criterion) {
@@ -57,8 +57,12 @@ fn bench_ablations(c: &mut Criterion) {
         ),
     ];
 
+    // index built once, outside the measured loop
+    let engine = Engine::builder().objects(&w.objects).build().unwrap();
     for (name, m) in &configs {
-        group.bench_function(*name, |b| b.iter(|| m.run(&w.objects, &w.functions)));
+        group.bench_function(*name, |b| {
+            b.iter(|| m.run_on(&engine, &w.functions).unwrap())
+        });
     }
     group.finish();
 }

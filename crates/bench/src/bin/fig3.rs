@@ -12,7 +12,7 @@
 //! highly skewed, which hurts the top-1-search-based competitors but not
 //! the skyline-based SB.
 
-use mpq_bench::{env_flag, env_usize, print_cell, print_header, run_cell};
+use mpq_bench::{build_engine, env_flag, env_usize, print_cell, print_header, run_cell_on};
 use mpq_core::{BruteForceMatcher, ChainMatcher, SkylineMatcher};
 use mpq_datagen::functions::uniform_weights;
 use mpq_datagen::{zillow_preference_space, Workload};
@@ -47,12 +47,22 @@ fn main() {
             functions: functions.clone(),
         };
         print_header(&format!("zillow |O| = {}K", n / 1000));
-        print_cell("", &run_cell(&SkylineMatcher::default(), &w));
+        let (engine, build_secs) = build_engine(&w);
+        print_cell(
+            "",
+            &run_cell_on(&SkylineMatcher::default(), &engine, &w, build_secs),
+        );
         if !skip_bf {
-            print_cell("", &run_cell(&BruteForceMatcher::default(), &w));
+            print_cell(
+                "",
+                &run_cell_on(&BruteForceMatcher::default(), &engine, &w, build_secs),
+            );
         }
         if !skip_chain {
-            print_cell("", &run_cell(&ChainMatcher::default(), &w));
+            print_cell(
+                "",
+                &run_cell_on(&ChainMatcher::default(), &engine, &w, build_secs),
+            );
         }
     }
     println!("\n(figure 3(a) = io column; figure 3(b) = cpu column)");

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use mpq_bench::env_usize;
-use mpq_core::{IndexConfig, Matcher, SkylineMatcher};
+use mpq_core::{Engine, IndexConfig, Matcher, SkylineMatcher};
 use mpq_datagen::{Distribution, WorkloadBuilder};
 use mpq_skyline::SkylineMaintainer;
 
@@ -26,17 +26,20 @@ fn main() {
         .seed(2009)
         .build();
 
-    let cfg = IndexConfig::default();
     let t0 = Instant::now();
-    let tree = cfg.build_tree(&w.objects);
+    let engine = Engine::builder()
+        .index(IndexConfig::default())
+        .objects(&w.objects)
+        .build()
+        .unwrap();
     println!(
-        "build tree: {:.2}s ({} pages)",
+        "build engine: {:.2}s ({} pages)",
         t0.elapsed().as_secs_f64(),
-        tree.page_count()
+        engine.tree().page_count()
     );
 
     let t1 = Instant::now();
-    let m = SkylineMaintainer::build(&tree);
+    let m = SkylineMaintainer::build(engine.tree());
     println!(
         "initial BBS: {:.2}s, |sky| = {}, stats = {:?}",
         t1.elapsed().as_secs_f64(),
@@ -45,7 +48,9 @@ fn main() {
     );
 
     let t2 = Instant::now();
-    let matching = SkylineMatcher::default().run(&w.objects, &w.functions);
+    let matching = SkylineMatcher::default()
+        .run_on(&engine, &w.functions)
+        .unwrap();
     let met = matching.metrics();
     println!(
         "full SB: {:.2}s (loops {}, rtop1 {}, skyline {:?}, ta {:?})",

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use mpq_core::{Matcher, Matching};
+use mpq_core::{Engine, Matcher, Matching};
 use mpq_datagen::Workload;
 
 /// One experiment cell: a matcher's cost on one workload.
@@ -37,26 +37,73 @@ pub struct Cell {
     pub total_score: f64,
 }
 
-/// Run `matcher` on the workload and collect a [`Cell`].
-pub fn run_cell(matcher: &dyn Matcher, w: &Workload) -> Cell {
-    let build_start = Instant::now();
-    // The matcher builds its own tree internally; we time the whole call
-    // and subtract the matching phase reported in the metrics.
-    let m: Matching = matcher.run(&w.objects, &w.functions);
-    let total = build_start.elapsed().as_secs_f64();
+/// Build an engine over the workload's objects, timing the index
+/// construction. Build it **once** per workload and pass it to every
+/// [`run_cell_on`] so the cells measure matching, never index builds.
+pub fn build_engine(w: &Workload) -> (Engine, f64) {
+    let t = Instant::now();
+    let engine = Engine::builder()
+        .objects(&w.objects)
+        .build()
+        .expect("workload objects are valid");
+    (engine, t.elapsed().as_secs_f64())
+}
+
+/// Run `matcher` against a prepared engine and collect a [`Cell`].
+/// `build_secs` is the (shared, already-paid) index build time passed in
+/// from [`build_engine`] — it is reported, not re-measured, because the
+/// engine amortizes it over every cell of the series.
+///
+/// The shared LRU buffer is **cold-started before the run**, so cells
+/// are order-independent and match the paper's cold-buffer methodology
+/// (without the reset, method N+1 would read pages method N left hot).
+/// Consequently this is a sequential measurement harness — do not share
+/// the engine with concurrent requests while cells run.
+///
+/// # Panics
+/// Panics if the engine was built with a different [`mpq_core::IndexConfig`]
+/// than the matcher carries — the cell would otherwise be labeled with a
+/// configuration that never ran.
+pub fn run_cell_on(matcher: &dyn Matcher, engine: &Engine, w: &Workload, build_secs: f64) -> Cell {
+    assert_eq!(
+        engine.index_config(),
+        matcher.index_config(),
+        "engine/matcher index configurations disagree; use run_cell() for \
+         index-parameter sweeps"
+    );
+    engine.tree().clear_buffer();
+    let m: Matching = matcher
+        .run_on(engine, &w.functions)
+        .expect("workload inputs are valid");
     let met = m.metrics();
     Cell {
         method: matcher.name().to_string(),
         io: met.io.physical(),
         logical: met.io.logical,
         cpu_secs: met.elapsed.as_secs_f64(),
-        build_secs: total - met.elapsed.as_secs_f64(),
+        build_secs,
         pairs: m.len(),
         loops: met.loops,
         top1: met.top1_searches,
         rtop1: met.reverse_top1_calls,
         total_score: m.total_score(),
     }
+}
+
+/// One-shot convenience: build a private engine with the **matcher's**
+/// index configuration (timed) and run one cell. Prefer
+/// [`build_engine`] + [`run_cell_on`] when several matchers share a
+/// workload — but not when the cells sweep index parameters (e.g. the
+/// A4 buffer-size ablation), which is exactly what this variant is for.
+pub fn run_cell(matcher: &dyn Matcher, w: &Workload) -> Cell {
+    let t = Instant::now();
+    let engine = Engine::builder()
+        .index(matcher.index_config().clone())
+        .objects(&w.objects)
+        .build()
+        .expect("workload objects are valid");
+    let build_secs = t.elapsed().as_secs_f64();
+    run_cell_on(matcher, &engine, w, build_secs)
 }
 
 /// Print a table header for a series of cells.

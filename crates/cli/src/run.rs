@@ -15,7 +15,7 @@
 
 use std::fs;
 
-use mpq_core::{BruteForceMatcher, ChainMatcher, Matcher, SkylineMatcher};
+use mpq_core::{Algorithm, Engine, MpqError};
 use mpq_datagen::Distribution;
 use mpq_rtree::PointSet;
 use mpq_ta::FunctionSet;
@@ -62,7 +62,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
 
 const USAGE: &str = "usage:
   mpq match --objects <objects.csv> --functions <functions.csv>
-            [--algorithm sb|bf|chain] [--output <file>]
+            [--algo sb|bf|chain] [--output <file>]
   mpq generate --distribution <independent|correlated|anti-correlated|clustered|zillow>
                --objects <N> --dim <D> [--seed <S>]";
 
@@ -78,7 +78,12 @@ fn cmd_match(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| CliError::usage(format!("--objects is required\n{USAGE}")))?;
     let functions_path = arg_value(args, "--functions")
         .ok_or_else(|| CliError::usage(format!("--functions is required\n{USAGE}")))?;
-    let algorithm = arg_value(args, "--algorithm").unwrap_or("sb");
+    // `--algo` is canonical; `--algorithm` stays accepted.
+    let algorithm: Algorithm = arg_value(args, "--algo")
+        .or_else(|| arg_value(args, "--algorithm"))
+        .unwrap_or("sb")
+        .parse()
+        .map_err(CliError::usage)?;
 
     let objects_text = fs::read_to_string(objects_path)
         .map_err(|e| CliError::runtime(format!("cannot read {objects_path}: {e}")))?;
@@ -98,22 +103,19 @@ fn cmd_match(args: &[String]) -> Result<String, CliError> {
     }
     let (objects, functions) = build_inputs(&objects_table, &functions_table)?;
 
-    let matcher: Box<dyn Matcher> = match algorithm {
-        "sb" => Box::new(SkylineMatcher::default()),
-        "bf" => Box::new(BruteForceMatcher::default()),
-        "chain" => Box::new(ChainMatcher::default()),
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown algorithm '{other}' (expected sb, bf or chain)"
-            )))
-        }
-    };
-
-    let matching = matcher.run(&objects, &functions);
+    let engine = Engine::builder()
+        .objects(&objects)
+        .build()
+        .map_err(cli_from_mpq)?;
+    let matching = engine
+        .request(&functions)
+        .algorithm(algorithm)
+        .evaluate()
+        .map_err(cli_from_mpq)?;
     let met = matching.metrics();
     eprintln!(
         "{}: {} pairs, {:.3}s matching, {} physical I/Os ({} loops)",
-        matcher.name(),
+        algorithm.name(),
         matching.len(),
         met.elapsed.as_secs_f64(),
         met.io.physical(),
@@ -140,6 +142,11 @@ fn cmd_match(args: &[String]) -> Result<String, CliError> {
     } else {
         Ok(out)
     }
+}
+
+/// Engine-boundary validation errors become runtime CLI failures.
+fn cli_from_mpq(e: MpqError) -> CliError {
+    CliError::runtime(e.to_string())
 }
 
 fn build_inputs(

@@ -9,7 +9,7 @@
 //! Two re-search strategies are provided:
 //!
 //! * [`BfStrategy::Incremental`] (default, the paper's adaptation of the
-//!   branch-and-bound ranked search of Tao et al. [3]): every function
+//!   branch-and-bound ranked search of Tao et al.): every function
 //!   keeps its **incremental top-k iterator** alive; when a popped
 //!   candidate's object has been assigned, the iterator simply resumes
 //!   to the next-best object. Cheap per re-search, but the per-function
@@ -17,29 +17,45 @@
 //!   reports Brute Force exceeding 4 GB on anti-correlated `D = 6` data
 //!   (we track the frontier size in
 //!   [`crate::matching::RunMetrics::peak_frontier`]).
-//! * [`BfStrategy::Restart`]: assigned objects are physically deleted
-//!   from the R-tree and an invalidated function re-runs a fresh top-1
-//!   search. No persistent state, but popular objects trigger storms of
-//!   full searches.
+//! * [`BfStrategy::Restart`]: an invalidated function re-runs a fresh
+//!   top-1 search from the root, skipping assigned objects. No
+//!   persistent state, but popular objects trigger storms of full
+//!   searches.
 //!
-//! Both strategies produce the identical stable matching.
+//! Both strategies read the shared engine index without mutating it:
+//! assigned objects are masked per run (the paper's variant physically
+//! deleted them, which would make the index unshareable across
+//! concurrent requests). Both produce the identical stable matching.
 
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
 use std::time::Instant;
 
-use mpq_rtree::{PointSet, RTree, RankedIter};
+use mpq_rtree::{LinearScorer, NodeSource, RankedIter};
 use mpq_ta::FunctionSet;
 
+use crate::engine::{Algorithm, Engine};
+use crate::error::MpqError;
 use crate::matching::{IndexConfig, Matcher, Matching, Pair, RunMetrics};
 
-/// Candidate heap entry, ordered by (score desc, fid asc).
+/// Candidate heap entry, ordered so the canonically first [`Pair`] is
+/// popped first (max-heap: the reverse of the canonical `Ord`).
 #[derive(Debug)]
 struct Cand {
     score: f64,
     fid: u32,
     oid: u64,
-    point: Box<[f64]>,
+}
+
+impl Cand {
+    #[inline]
+    fn pair(&self) -> Pair {
+        Pair {
+            fid: self.fid,
+            oid: self.oid,
+            score: self.score,
+        }
+    }
 }
 
 impl PartialEq for Cand {
@@ -55,10 +71,9 @@ impl PartialOrd for Cand {
 }
 impl Ord for Cand {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.score
-            .total_cmp(&other.score)
-            .then_with(|| other.fid.cmp(&self.fid))
-            .then_with(|| other.oid.cmp(&self.oid))
+        // Canonical order says Less = assigned first; BinaryHeap pops the
+        // max, so reverse it.
+        self.pair().cmp(&other.pair()).reverse()
     }
 }
 
@@ -68,7 +83,7 @@ pub enum BfStrategy {
     /// Persistent incremental ranked iterators (the paper's method).
     #[default]
     Incremental,
-    /// Physical deletion + fresh top-1 search per invalidation.
+    /// Fresh top-1 search (skipping assigned objects) per invalidation.
     Restart,
 }
 
@@ -90,157 +105,171 @@ impl Matcher for BruteForceMatcher {
         }
     }
 
-    fn run(&self, objects: &PointSet, functions: &FunctionSet) -> Matching {
-        match self.strategy {
-            BfStrategy::Incremental => self.run_incremental(objects, functions),
-            BfStrategy::Restart => self.run_restart(objects, functions),
-        }
+    fn index_config(&self) -> &IndexConfig {
+        &self.index
+    }
+
+    fn run_on(&self, engine: &Engine, functions: &FunctionSet) -> Result<Matching, MpqError> {
+        engine
+            .request(functions)
+            .algorithm(Algorithm::BruteForce)
+            .bf_strategy(self.strategy)
+            .evaluate()
     }
 }
 
-impl BruteForceMatcher {
-    fn run_incremental(&self, objects: &PointSet, functions: &FunctionSet) -> Matching {
-        let tree: RTree = self.index.build_tree(objects);
-        let mut fs = functions.clone();
-        let mut metrics = RunMetrics::default();
-        let start = Instant::now();
+/// Incremental Brute Force over any node source. Objects in `excluded`
+/// are invisible (treated as pre-assigned).
+pub(crate) fn run_incremental_on<R: NodeSource>(
+    src: &R,
+    functions: &FunctionSet,
+    excluded: &HashSet<u64>,
+) -> Matching {
+    let mut fs = functions.clone();
+    let mut metrics = RunMetrics::default();
+    let start = Instant::now();
+    let io_start = src.io_snapshot();
 
-        let budget = fs.n_alive().min(objects.len());
-        let mut pairs: Vec<Pair> = Vec::with_capacity(budget);
-        let mut assigned_objects: HashSet<u64> = HashSet::with_capacity(budget);
+    let available = (src.len() as usize).saturating_sub(excluded.len());
+    let budget = fs.n_alive().min(available);
+    let mut pairs: Vec<Pair> = Vec::with_capacity(budget);
+    let mut assigned_objects: HashSet<u64> = excluded.clone();
 
-        // One persistent incremental iterator per function. `iters[i]`
-        // belongs to the i-th alive function.
-        let fids: Vec<u32> = fs.iter_alive().map(|(fid, _)| fid).collect();
-        let mut iters: Vec<Option<RankedIter>> = Vec::with_capacity(fids.len());
-        let mut iter_of_fid = vec![usize::MAX; fs.len()];
-        let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(fids.len());
-        let mut frontier_sizes: Vec<usize> = vec![0; fids.len()];
-        let mut frontier_total: usize = 0;
-        let mut peak_frontier: usize = 0;
+    // One persistent incremental iterator per function. `iters[i]`
+    // belongs to the i-th alive function.
+    let fids: Vec<u32> = fs.iter_alive().map(|(fid, _)| fid).collect();
+    let mut iters: Vec<Option<RankedIter<'_, LinearScorer, R>>> = Vec::with_capacity(fids.len());
+    let mut iter_of_fid = vec![usize::MAX; fs.len()];
+    let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(fids.len());
+    let mut frontier_sizes: Vec<usize> = vec![0; fids.len()];
+    let mut frontier_total: usize = 0;
+    let mut peak_frontier: usize = 0;
 
-        for (i, &fid) in fids.iter().enumerate() {
-            let mut it = tree.ranked_iter(fs.weights(fid));
-            metrics.top1_searches += 1;
-            if let Some(hit) = it.next() {
-                heap.push(Cand {
-                    score: hit.score,
-                    fid,
-                    oid: hit.oid,
-                    point: hit.point,
-                });
+    for (i, &fid) in fids.iter().enumerate() {
+        let mut it = RankedIter::over(src, LinearScorer::new(fs.weights(fid)));
+        metrics.top1_searches += 1;
+        let mut first = None;
+        for hit in it.by_ref() {
+            if !assigned_objects.contains(&hit.oid) {
+                first = Some(hit);
+                break;
             }
-            frontier_total += it.frontier_len();
-            frontier_sizes[i] = it.frontier_len();
-            iter_of_fid[fid as usize] = i;
-            iters.push(Some(it));
         }
-        peak_frontier = peak_frontier.max(frontier_total);
-
-        while let Some(cand) = heap.pop() {
-            metrics.loops += 1;
-            let slot = iter_of_fid[cand.fid as usize];
-            if assigned_objects.contains(&cand.oid) {
-                // Resume this function's iterator to its next available
-                // object; scores decrease monotonically, so re-inserting
-                // keeps the global heap correct.
-                metrics.top1_searches += 1;
-                let it = iters[slot].as_mut().expect("iterator alive");
-                let mut next = None;
-                for hit in it.by_ref() {
-                    if !assigned_objects.contains(&hit.oid) {
-                        next = Some(hit);
-                        break;
-                    }
-                }
-                frontier_total -= frontier_sizes[slot];
-                frontier_sizes[slot] = it.frontier_len();
-                frontier_total += frontier_sizes[slot];
-                peak_frontier = peak_frontier.max(frontier_total);
-                if let Some(hit) = next {
-                    heap.push(Cand {
-                        score: hit.score,
-                        fid: cand.fid,
-                        oid: hit.oid,
-                        point: hit.point,
-                    });
-                }
-                continue;
-            }
-            // Fresh: globally best remaining pair -> stable.
-            pairs.push(Pair {
-                fid: cand.fid,
-                oid: cand.oid,
-                score: cand.score,
+        if let Some(hit) = first {
+            heap.push(Cand {
+                score: hit.score,
+                fid,
+                oid: hit.oid,
             });
-            fs.remove(cand.fid);
-            assigned_objects.insert(cand.oid);
+        }
+        frontier_total += it.frontier_len();
+        frontier_sizes[i] = it.frontier_len();
+        iter_of_fid[fid as usize] = i;
+        iters.push(Some(it));
+    }
+    peak_frontier = peak_frontier.max(frontier_total);
+
+    while let Some(cand) = heap.pop() {
+        metrics.loops += 1;
+        let slot = iter_of_fid[cand.fid as usize];
+        if assigned_objects.contains(&cand.oid) {
+            // Resume this function's iterator to its next available
+            // object; scores decrease monotonically, so re-inserting
+            // keeps the global heap correct.
+            metrics.top1_searches += 1;
+            let it = iters[slot].as_mut().expect("iterator alive");
+            let mut next = None;
+            for hit in it.by_ref() {
+                if !assigned_objects.contains(&hit.oid) {
+                    next = Some(hit);
+                    break;
+                }
+            }
             frontier_total -= frontier_sizes[slot];
-            frontier_sizes[slot] = 0;
-            iters[slot] = None; // drop the finished function's frontier
-        }
-
-        metrics.elapsed = start.elapsed();
-        metrics.io = tree.io_stats();
-        metrics.peak_frontier = peak_frontier as u64;
-        Matching::new(pairs, metrics)
-    }
-
-    fn run_restart(&self, objects: &PointSet, functions: &FunctionSet) -> Matching {
-        let mut tree = self.index.build_tree(objects);
-        let mut fs = functions.clone();
-        let mut metrics = RunMetrics::default();
-        let start = Instant::now();
-
-        let budget = fs.n_alive().min(objects.len());
-        let mut pairs: Vec<Pair> = Vec::with_capacity(budget);
-        let mut assigned_objects: HashSet<u64> = HashSet::with_capacity(budget);
-
-        let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(fs.n_alive());
-        let fids: Vec<u32> = fs.iter_alive().map(|(fid, _)| fid).collect();
-        for fid in fids {
-            metrics.top1_searches += 1;
-            if let Some(hit) = tree.top1(fs.weights(fid)) {
+            frontier_sizes[slot] = it.frontier_len();
+            frontier_total += frontier_sizes[slot];
+            peak_frontier = peak_frontier.max(frontier_total);
+            if let Some(hit) = next {
                 heap.push(Cand {
                     score: hit.score,
-                    fid,
+                    fid: cand.fid,
                     oid: hit.oid,
-                    point: hit.point,
                 });
             }
+            continue;
         }
-
-        while let Some(cand) = heap.pop() {
-            metrics.loops += 1;
-            if assigned_objects.contains(&cand.oid) {
-                // stale: the object was taken since this search ran; the
-                // stored score upper-bounds the function's current best,
-                // so a fresh search re-inserts it at the right position.
-                metrics.top1_searches += 1;
-                if let Some(hit) = tree.top1(fs.weights(cand.fid)) {
-                    heap.push(Cand {
-                        score: hit.score,
-                        fid: cand.fid,
-                        oid: hit.oid,
-                        point: hit.point,
-                    });
-                }
-                continue;
-            }
-            pairs.push(Pair {
-                fid: cand.fid,
-                oid: cand.oid,
-                score: cand.score,
-            });
-            fs.remove(cand.fid);
-            assigned_objects.insert(cand.oid);
-            tree.delete(&cand.point, cand.oid);
-        }
-
-        metrics.elapsed = start.elapsed();
-        metrics.io = tree.io_stats();
-        Matching::new(pairs, metrics)
+        // Fresh: globally best remaining pair -> stable.
+        pairs.push(cand.pair());
+        fs.remove(cand.fid);
+        assigned_objects.insert(cand.oid);
+        frontier_total -= frontier_sizes[slot];
+        frontier_sizes[slot] = 0;
+        iters[slot] = None; // drop the finished function's frontier
     }
+
+    metrics.elapsed = start.elapsed();
+    metrics.io = src.io_snapshot().since(io_start);
+    metrics.peak_frontier = peak_frontier as u64;
+    Matching::new(pairs, metrics)
+}
+
+/// Restart Brute Force over any node source: no persistent frontiers; an
+/// invalidated function re-runs a fresh masked top-1 search.
+pub(crate) fn run_restart_on<R: NodeSource>(
+    src: &R,
+    functions: &FunctionSet,
+    excluded: &HashSet<u64>,
+) -> Matching {
+    let mut fs = functions.clone();
+    let mut metrics = RunMetrics::default();
+    let start = Instant::now();
+    let io_start = src.io_snapshot();
+
+    let available = (src.len() as usize).saturating_sub(excluded.len());
+    let budget = fs.n_alive().min(available);
+    let mut pairs: Vec<Pair> = Vec::with_capacity(budget);
+    let mut assigned_objects: HashSet<u64> = excluded.clone();
+
+    let top1_excluding = |assigned: &HashSet<u64>, weights: &[f64], m: &mut RunMetrics| {
+        m.top1_searches += 1;
+        RankedIter::over(src, LinearScorer::new(weights)).find(|h| !assigned.contains(&h.oid))
+    };
+
+    let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(fs.n_alive());
+    let fids: Vec<u32> = fs.iter_alive().map(|(fid, _)| fid).collect();
+    for fid in fids {
+        if let Some(hit) = top1_excluding(&assigned_objects, fs.weights(fid), &mut metrics) {
+            heap.push(Cand {
+                score: hit.score,
+                fid,
+                oid: hit.oid,
+            });
+        }
+    }
+
+    while let Some(cand) = heap.pop() {
+        metrics.loops += 1;
+        if assigned_objects.contains(&cand.oid) {
+            // stale: the object was taken since this search ran; the
+            // stored score upper-bounds the function's current best, so
+            // a fresh search re-inserts it at the right position.
+            if let Some(hit) = top1_excluding(&assigned_objects, fs.weights(cand.fid), &mut metrics)
+            {
+                heap.push(Cand {
+                    score: hit.score,
+                    fid: cand.fid,
+                    oid: hit.oid,
+                });
+            }
+            continue;
+        }
+        pairs.push(cand.pair());
+        fs.remove(cand.fid);
+        assigned_objects.insert(cand.oid);
+    }
+    metrics.elapsed = start.elapsed();
+    metrics.io = src.io_snapshot().since(io_start);
+    Matching::new(pairs, metrics)
 }
 
 #[cfg(test)]
@@ -249,6 +278,7 @@ mod tests {
     use crate::reference::reference_matching;
     use crate::verify::verify_stable;
     use mpq_datagen::{Distribution, WorkloadBuilder};
+    use mpq_rtree::PointSet;
 
     fn tiny_index() -> IndexConfig {
         IndexConfig {
@@ -265,6 +295,15 @@ mod tests {
         }
     }
 
+    fn run(m: &BruteForceMatcher, objects: &PointSet, functions: &FunctionSet) -> Matching {
+        let engine = Engine::builder()
+            .index(m.index.clone())
+            .objects(objects)
+            .build()
+            .unwrap();
+        m.run_on(&engine, functions).unwrap()
+    }
+
     #[test]
     fn both_strategies_match_reference_on_random_workload() {
         let w = WorkloadBuilder::new()
@@ -275,7 +314,7 @@ mod tests {
             .build();
         let expect = reference_matching(&w.objects, &w.functions);
         for strategy in [BfStrategy::Incremental, BfStrategy::Restart] {
-            let m = bf(strategy).run(&w.objects, &w.functions);
+            let m = run(&bf(strategy), &w.objects, &w.functions);
             assert_eq!(
                 m.pairs(),
                 &expect[..],
@@ -294,7 +333,7 @@ mod tests {
             .distribution(Distribution::AntiCorrelated)
             .seed(3)
             .build();
-        let m = bf(BfStrategy::Incremental).run(&w.objects, &w.functions);
+        let m = run(&bf(BfStrategy::Incremental), &w.objects, &w.functions);
         assert!(m.pairs().windows(2).all(|p| p[0].score >= p[1].score));
     }
 
@@ -307,7 +346,7 @@ mod tests {
             .seed(7)
             .build();
         for strategy in [BfStrategy::Incremental, BfStrategy::Restart] {
-            let m = bf(strategy).run(&w.objects, &w.functions);
+            let m = run(&bf(strategy), &w.objects, &w.functions);
             assert_eq!(m.len(), 10, "{strategy:?}");
             verify_stable(&w.objects, &w.functions, m.pairs()).unwrap();
         }
@@ -321,39 +360,57 @@ mod tests {
             .dim(2)
             .seed(9)
             .build();
-        let m = bf(BfStrategy::Incremental).run(&w.objects, &w.functions);
+        let m = run(&bf(BfStrategy::Incremental), &w.objects, &w.functions);
         let met = m.metrics();
         assert!(met.peak_frontier > 0, "frontier memory must be tracked");
-        assert_eq!(met.io.physical_writes, 0, "incremental BF never deletes");
+        assert_eq!(met.io.physical_writes, 0, "BF never mutates the index");
         assert!(met.top1_searches >= 50);
     }
 
     #[test]
-    fn restart_deletes_and_costs_writes() {
+    fn restart_re_searches_without_mutating_the_index() {
         let w = WorkloadBuilder::new()
             .objects(400)
             .functions(50)
             .dim(2)
             .seed(9)
             .build();
-        let m = bf(BfStrategy::Restart).run(&w.objects, &w.functions);
+        let m = run(&bf(BfStrategy::Restart), &w.objects, &w.functions);
         let met = m.metrics();
-        assert!(met.io.physical_writes > 0, "deletions must cost writes");
+        assert_eq!(
+            met.io.physical_writes, 0,
+            "restart masks assigned objects instead of deleting them"
+        );
+        assert_eq!(met.peak_frontier, 0, "restart keeps no frontiers");
         assert!(met.top1_searches >= 50);
     }
 
     #[test]
-    fn empty_function_set_gives_empty_matching() {
+    fn empty_function_set_is_rejected_by_the_engine() {
         let w = WorkloadBuilder::new()
             .objects(20)
             .functions(1)
             .dim(2)
             .build();
         let fs = mpq_ta::FunctionSet::new(2);
+        let engine = Engine::builder().objects(&w.objects).build().unwrap();
         for strategy in [BfStrategy::Incremental, BfStrategy::Restart] {
-            let m = bf(strategy).run(&w.objects, &fs);
-            assert!(m.is_empty());
+            let err = bf(strategy).run_on(&engine, &fs).unwrap_err();
+            assert_eq!(err, MpqError::EmptyFunctions, "{strategy:?}");
         }
+    }
+
+    #[test]
+    fn deprecated_run_shim_still_returns_empty_matching() {
+        let w = WorkloadBuilder::new()
+            .objects(20)
+            .functions(1)
+            .dim(2)
+            .build();
+        let fs = mpq_ta::FunctionSet::new(2);
+        #[allow(deprecated)]
+        let m = bf(BfStrategy::Incremental).run(&w.objects, &fs);
+        assert!(m.is_empty());
     }
 
     #[test]
@@ -375,7 +432,7 @@ mod tests {
         );
         let expect = reference_matching(&ps, &fs);
         for strategy in [BfStrategy::Incremental, BfStrategy::Restart] {
-            let m = bf(strategy).run(&ps, &fs);
+            let m = run(&bf(strategy), &ps, &fs);
             assert_eq!(m.pairs(), &expect[..], "{strategy:?}");
         }
     }

@@ -13,14 +13,15 @@
 //! matching (asserted by tests).
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
-use mpq_rtree::PointSet;
+use mpq_rtree::{NodeSource, PointSet};
 use mpq_skyline::SkylineMaintainer;
 use mpq_ta::{FunctionSet, ReverseTopOne};
 
-use crate::matching::{IndexConfig, Pair, RunMetrics};
+use crate::engine::Engine;
+use crate::matching::{IndexConfig, Matching, Pair, RunMetrics};
 
 /// Result of a capacitated run: assignment pairs in emission order and
 /// the per-object resident lists.
@@ -45,8 +46,13 @@ impl CapacityMatcher {
     /// Run the capacitated assignment. `capacities[i]` is the capacity
     /// of object `i`; it must cover every object.
     ///
+    /// Builds a single-use engine; to amortize the index over many
+    /// requests, prefer `engine.request(functions).capacities(caps)`.
+    ///
     /// # Panics
-    /// Panics if `capacities.len() != objects.len()`.
+    /// Panics if `capacities.len() != objects.len()` or the inputs are
+    /// otherwise invalid (the engine path reports [`crate::MpqError`]
+    /// values instead).
     pub fn run(
         &self,
         objects: &PointSet,
@@ -58,91 +64,129 @@ impl CapacityMatcher {
             objects.len(),
             "one capacity per object required"
         );
-        let tree = self.index.build_tree(objects);
-        let start = Instant::now();
-        let mut fs = functions.clone();
-        let mut rt1 = ReverseTopOne::build(&fs);
-        let mut maintainer = SkylineMaintainer::build(&tree);
-        let mut metrics = RunMetrics::default();
+        let engine = Engine::builder()
+            .index(self.index.clone())
+            .objects(objects)
+            .build()
+            .unwrap_or_else(|e| panic!("invalid capacity-matcher input: {e}"));
+        let matching = engine
+            .request(functions)
+            .capacities(capacities)
+            .evaluate()
+            .unwrap_or_else(|e| panic!("invalid capacity-matcher input: {e}"));
+        CapacityMatching::from_matching(matching)
+    }
+}
 
-        let mut remaining: Vec<u32> = capacities.to_vec();
-        // objects with zero initial capacity are unavailable from the start
-        let zero_cap: Vec<u64> = maintainer
-            .iter()
-            .filter(|e| remaining[e.oid as usize] == 0)
-            .map(|e| e.oid)
-            .collect();
-        // removing them may promote other zero-capacity objects; iterate
-        let mut to_remove = zero_cap;
-        while !to_remove.is_empty() {
-            let promoted = maintainer.remove(&to_remove);
-            to_remove = promoted
-                .iter()
-                .filter(|(oid, _)| remaining[*oid as usize] == 0)
-                .map(|(oid, _)| *oid)
-                .collect();
-        }
-
-        let mut fbest: HashMap<u64, (u32, f64)> = HashMap::new();
-        let mut pairs: Vec<Pair> = Vec::new();
+impl CapacityMatching {
+    /// Reconstruct the per-object resident lists from a pair list in
+    /// assignment order (as produced by the engine's capacity path).
+    pub fn from_matching(matching: Matching) -> CapacityMatching {
+        let metrics = *matching.metrics();
+        let pairs = matching.pairs().to_vec();
         let mut residents: HashMap<u64, Vec<u32>> = HashMap::new();
-
-        while fs.n_alive() > 0 && !maintainer.is_empty() {
-            metrics.loops += 1;
-            // refresh cached best functions
-            for e in maintainer.iter() {
-                if let Entry::Vacant(slot) = fbest.entry(e.oid) {
-                    metrics.reverse_top1_calls += 1;
-                    let best = rt1.best_for(&fs, e.point).expect("functions remain");
-                    slot.insert(best);
-                }
-            }
-            // globally best pair in canonical order
-            let mut best: Option<Pair> = None;
-            for e in maintainer.iter() {
-                let (fid, score) = fbest[&e.oid];
-                let cand = Pair {
-                    fid,
-                    oid: e.oid,
-                    score,
-                };
-                if best.is_none() || cand.beats(best.as_ref().unwrap()) {
-                    best = Some(cand);
-                }
-            }
-            let pair = best.expect("skyline non-empty");
-
-            fs.remove(pair.fid);
-            residents.entry(pair.oid).or_default().push(pair.fid);
-            pairs.push(pair);
-            remaining[pair.oid as usize] -= 1;
-
-            if remaining[pair.oid as usize] == 0 {
-                fbest.remove(&pair.oid);
-                let mut to_remove = vec![pair.oid];
-                while !to_remove.is_empty() {
-                    let promoted = maintainer.remove(&to_remove);
-                    to_remove = promoted
-                        .iter()
-                        .filter(|(oid, _)| remaining[*oid as usize] == 0)
-                        .map(|(oid, _)| *oid)
-                        .collect();
-                }
-            }
-            // entries whose best function was just assigned are stale
-            fbest.retain(|_, (fid, _)| *fid != pair.fid);
+        for p in &pairs {
+            residents.entry(p.oid).or_default().push(p.fid);
         }
-
-        metrics.elapsed = start.elapsed();
-        metrics.io = tree.io_stats();
-        metrics.skyline = Some(maintainer.stats());
-        metrics.ta = Some(rt1.stats());
         CapacityMatching {
             pairs,
             residents,
             metrics,
         }
     }
+}
+
+/// Capacitated matching over any node source. Objects in `excluded` are
+/// treated as having zero capacity.
+pub(crate) fn run_capacity_on<R: NodeSource>(
+    src: &R,
+    functions: &FunctionSet,
+    capacities: &[u32],
+    excluded: &HashSet<u64>,
+) -> Matching {
+    let start = Instant::now();
+    let io_start = src.io_snapshot();
+    let mut fs = functions.clone();
+    let mut rt1 = ReverseTopOne::build(&fs);
+    let mut maintainer = SkylineMaintainer::build(src);
+    let mut metrics = RunMetrics::default();
+
+    let mut remaining: Vec<u32> = capacities.to_vec();
+    for &oid in excluded {
+        if let Some(slot) = remaining.get_mut(oid as usize) {
+            *slot = 0;
+        }
+    }
+    // objects with zero initial capacity are unavailable from the start
+    let zero_cap: Vec<u64> = maintainer
+        .iter()
+        .filter(|e| remaining[e.oid as usize] == 0)
+        .map(|e| e.oid)
+        .collect();
+    // removing them may promote other zero-capacity objects; iterate
+    let mut to_remove = zero_cap;
+    while !to_remove.is_empty() {
+        let promoted = maintainer.remove(&to_remove, src);
+        to_remove = promoted
+            .iter()
+            .filter(|(oid, _)| remaining[*oid as usize] == 0)
+            .map(|(oid, _)| *oid)
+            .collect();
+    }
+
+    let mut fbest: HashMap<u64, (u32, f64)> = HashMap::new();
+    let mut pairs: Vec<Pair> = Vec::new();
+
+    while fs.n_alive() > 0 && !maintainer.is_empty() {
+        metrics.loops += 1;
+        // refresh cached best functions
+        for e in maintainer.iter() {
+            if let Entry::Vacant(slot) = fbest.entry(e.oid) {
+                metrics.reverse_top1_calls += 1;
+                let best = rt1.best_for(&fs, e.point).expect("functions remain");
+                slot.insert(best);
+            }
+        }
+        // globally best pair in canonical order
+        let mut best: Option<Pair> = None;
+        for e in maintainer.iter() {
+            let (fid, score) = fbest[&e.oid];
+            let cand = Pair {
+                fid,
+                oid: e.oid,
+                score,
+            };
+            if best.is_none() || cand.beats(best.as_ref().unwrap()) {
+                best = Some(cand);
+            }
+        }
+        let pair = best.expect("skyline non-empty");
+
+        fs.remove(pair.fid);
+        pairs.push(pair);
+        remaining[pair.oid as usize] -= 1;
+
+        if remaining[pair.oid as usize] == 0 {
+            fbest.remove(&pair.oid);
+            let mut to_remove = vec![pair.oid];
+            while !to_remove.is_empty() {
+                let promoted = maintainer.remove(&to_remove, src);
+                to_remove = promoted
+                    .iter()
+                    .filter(|(oid, _)| remaining[*oid as usize] == 0)
+                    .map(|(oid, _)| *oid)
+                    .collect();
+            }
+        }
+        // entries whose best function was just assigned are stale
+        fbest.retain(|_, (fid, _)| *fid != pair.fid);
+    }
+
+    metrics.elapsed = start.elapsed();
+    metrics.io = src.io_snapshot().since(io_start);
+    metrics.skyline = Some(maintainer.stats());
+    metrics.ta = Some(rt1.stats());
+    Matching::new(pairs, metrics)
 }
 
 /// Exact reference for the capacitated matching: greedy over all pairs.
@@ -162,12 +206,7 @@ pub fn reference_capacity_matching(
             });
         }
     }
-    all.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then_with(|| a.fid.cmp(&b.fid))
-            .then_with(|| a.oid.cmp(&b.oid))
-    });
+    all.sort_unstable();
     let mut remaining = capacities.to_vec();
     let mut f_taken = vec![false; functions.len()];
     let mut out = Vec::new();

@@ -11,23 +11,32 @@
 //! A *chain* grows from an arbitrary unassigned function: each element's
 //! best partner is stacked until two consecutive elements are each
 //! other's best — a mutually-best, hence stable, pair. The pair is
-//! emitted, both elements are deleted from their trees, and the chain
-//! resumes from the element below.
+//! emitted, both elements are removed, and the chain resumes from the
+//! element below.
+//!
+//! The object index is the engine's **shared** tree, so assigned objects
+//! are masked from the ranked searches rather than physically deleted
+//! (the paper's standalone variant deleted them). The function tree is
+//! request-local and still shrinks by deletion, keeping its searches
+//! cheap as the batch drains.
 //!
 //! Chain performs even more top-1 searches than Brute Force (every chain
 //! step is a search, and the function R-tree is ineffective because
 //! normalized weights are inherently anti-correlated), which is why the
 //! paper shows it losing on both I/O and CPU.
 
+use std::collections::HashSet;
 use std::time::Instant;
 
-use mpq_rtree::{PointSet, RTree, RTreeParams};
+use mpq_rtree::{LinearScorer, NodeSource, PointSet, RTree, RTreeParams, RankedIter};
 use mpq_ta::FunctionSet;
 
+use crate::engine::{Algorithm, Engine};
+use crate::error::MpqError;
 use crate::matching::{IndexConfig, Matcher, Matching, Pair, RunMetrics};
 
 /// A chain element: a function or an object (with its point, needed for
-/// searching the function tree and for deletion).
+/// searching the function tree).
 #[derive(Debug, Clone)]
 enum Elem {
     F(u32),
@@ -46,109 +55,131 @@ impl Matcher for ChainMatcher {
         "Chain"
     }
 
-    fn run(&self, objects: &PointSet, functions: &FunctionSet) -> Matching {
-        let mut obj_tree = self.index.build_tree(objects);
-        let mut fs = functions.clone();
-        let mut metrics = RunMetrics::default();
-        let start = Instant::now();
+    fn index_config(&self) -> &IndexConfig {
+        &self.index
+    }
 
-        // The function R-tree lives in main memory: same page structure,
-        // but the buffer holds the whole tree, so it contributes CPU and
-        // `fun_io` counters, not paper-metric I/O.
-        let mut fun_points = PointSet::new(fs.dim());
-        let mut fid_of_row: Vec<u32> = Vec::with_capacity(fs.n_alive());
-        for (fid, w) in fs.iter_alive() {
-            fun_points.push(w);
-            fid_of_row.push(fid);
+    fn run_on(&self, engine: &Engine, functions: &FunctionSet) -> Result<Matching, MpqError> {
+        engine
+            .request(functions)
+            .algorithm(Algorithm::Chain)
+            .evaluate()
+    }
+}
+
+/// Chain matching over any node source. Objects in `excluded` are
+/// invisible (masked from every object-side search).
+pub(crate) fn run_chain_on<R: NodeSource>(
+    index: &IndexConfig,
+    src: &R,
+    functions: &FunctionSet,
+    excluded: &HashSet<u64>,
+) -> Matching {
+    let mut fs = functions.clone();
+    let mut metrics = RunMetrics::default();
+    let start = Instant::now();
+    let io_start = src.io_snapshot();
+
+    // The function R-tree lives in main memory: same page structure,
+    // but the buffer holds the whole tree, so it contributes CPU and
+    // `fun_io` counters, not paper-metric I/O.
+    let mut fun_points = PointSet::new(fs.dim());
+    let mut fid_of_row: Vec<u32> = Vec::with_capacity(fs.n_alive());
+    for (fid, w) in fs.iter_alive() {
+        fun_points.push(w);
+        fid_of_row.push(fid);
+    }
+    let mut fun_tree = RTree::bulk_load(
+        &fun_points,
+        RTreeParams {
+            page_size: index.page_size,
+            min_fill_ratio: 0.4,
+            buffer_capacity: 64,
+        },
+    );
+    fun_tree.set_buffer_capacity(fun_tree.page_count() + 16);
+
+    let available = (src.len() as usize).saturating_sub(excluded.len());
+    let budget = fs.n_alive().min(available);
+    let mut pairs: Vec<Pair> = Vec::with_capacity(budget);
+    let mut assigned: HashSet<u64> = excluded.clone();
+    let mut stack: Vec<Elem> = Vec::new();
+
+    'outer: for start_row in 0..fid_of_row.len() {
+        let start_fid = fid_of_row[start_row];
+        if !fs.is_alive(start_fid) {
+            continue;
         }
-        let mut fun_tree = RTree::bulk_load(
-            &fun_points,
-            RTreeParams {
-                page_size: self.index.page_size,
-                min_fill_ratio: 0.4,
-                buffer_capacity: 64,
-            },
-        );
-        fun_tree.set_buffer_capacity(fun_tree.page_count() + 16);
+        debug_assert!(stack.is_empty());
+        stack.push(Elem::F(start_fid));
 
-        let budget = fs.n_alive().min(objects.len());
-        let mut pairs: Vec<Pair> = Vec::with_capacity(budget);
-        let mut stack: Vec<Elem> = Vec::new();
-
-        'outer: for start_row in 0..fid_of_row.len() {
-            let start_fid = fid_of_row[start_row];
-            if !fs.is_alive(start_fid) {
-                continue;
-            }
-            debug_assert!(stack.is_empty());
-            stack.push(Elem::F(start_fid));
-
-            while let Some(top) = stack.last().cloned() {
-                metrics.loops += 1;
-                match top {
-                    Elem::F(fid) => {
-                        metrics.top1_searches += 1;
-                        let Some(hit) = obj_tree.top1(fs.weights(fid)) else {
-                            // objects exhausted: remaining functions stay
-                            // unmatched
-                            break 'outer;
-                        };
-                        let mutual = matches!(
-                            stack.len().checked_sub(2).map(|i| &stack[i]),
-                            Some(Elem::O(oid, _)) if *oid == hit.oid
-                        );
-                        if mutual {
-                            pairs.push(Pair {
-                                fid,
-                                oid: hit.oid,
-                                score: hit.score,
-                            });
-                            stack.pop(); // the function
-                            stack.pop(); // its partner object
-                            fs.remove(fid);
-                            let row = fid_of_row.iter().position(|&f| f == fid).unwrap();
-                            fun_tree.delete(fun_points.get(row), fid as u64);
-                            obj_tree.delete(&hit.point, hit.oid);
-                        } else {
-                            stack.push(Elem::O(hit.oid, hit.point));
-                        }
+        while let Some(top) = stack.last().cloned() {
+            metrics.loops += 1;
+            match top {
+                Elem::F(fid) => {
+                    metrics.top1_searches += 1;
+                    let hit = RankedIter::over(src, LinearScorer::new(fs.weights(fid)))
+                        .find(|h| !assigned.contains(&h.oid));
+                    let Some(hit) = hit else {
+                        // objects exhausted: remaining functions stay
+                        // unmatched
+                        break 'outer;
+                    };
+                    let mutual = matches!(
+                        stack.len().checked_sub(2).map(|i| &stack[i]),
+                        Some(Elem::O(oid, _)) if *oid == hit.oid
+                    );
+                    if mutual {
+                        pairs.push(Pair {
+                            fid,
+                            oid: hit.oid,
+                            score: hit.score,
+                        });
+                        stack.pop(); // the function
+                        stack.pop(); // its partner object
+                        fs.remove(fid);
+                        let row = fid_of_row.iter().position(|&f| f == fid).unwrap();
+                        fun_tree.delete(fun_points.get(row), fid as u64);
+                        assigned.insert(hit.oid);
+                    } else {
+                        stack.push(Elem::O(hit.oid, hit.point));
                     }
-                    Elem::O(oid, ref opoint) => {
-                        metrics.fun_top1_searches += 1;
-                        let Some(hit) = fun_tree.top1(opoint) else {
-                            // no functions left: abandon the chain
-                            stack.clear();
-                            break;
-                        };
-                        let best_fid = hit.oid as u32;
-                        let mutual = matches!(
-                            stack.len().checked_sub(2).map(|i| &stack[i]),
-                            Some(Elem::F(f)) if *f == best_fid
-                        );
-                        if mutual {
-                            pairs.push(Pair {
-                                fid: best_fid,
-                                oid,
-                                score: hit.score,
-                            });
-                            stack.pop(); // the object
-                            stack.pop(); // its partner function
-                            fs.remove(best_fid);
-                            fun_tree.delete(&hit.point, best_fid as u64);
-                            obj_tree.delete(opoint, oid);
-                        } else {
-                            stack.push(Elem::F(best_fid));
-                        }
+                }
+                Elem::O(oid, ref opoint) => {
+                    metrics.fun_top1_searches += 1;
+                    let Some(hit) = fun_tree.top1(opoint) else {
+                        // no functions left: abandon the chain
+                        stack.clear();
+                        break;
+                    };
+                    let best_fid = hit.oid as u32;
+                    let mutual = matches!(
+                        stack.len().checked_sub(2).map(|i| &stack[i]),
+                        Some(Elem::F(f)) if *f == best_fid
+                    );
+                    if mutual {
+                        pairs.push(Pair {
+                            fid: best_fid,
+                            oid,
+                            score: hit.score,
+                        });
+                        stack.pop(); // the object
+                        stack.pop(); // its partner function
+                        fs.remove(best_fid);
+                        fun_tree.delete(&hit.point, best_fid as u64);
+                        assigned.insert(oid);
+                    } else {
+                        stack.push(Elem::F(best_fid));
                     }
                 }
             }
         }
-
-        metrics.elapsed = start.elapsed();
-        metrics.io = obj_tree.io_stats();
-        metrics.fun_io = fun_tree.io_stats();
-        Matching::new(pairs, metrics)
     }
+
+    metrics.elapsed = start.elapsed();
+    metrics.io = src.io_snapshot().since(io_start);
+    metrics.fun_io = fun_tree.io_stats();
+    Matching::new(pairs, metrics)
 }
 
 #[cfg(test)]
@@ -166,6 +197,19 @@ mod tests {
         }
     }
 
+    fn run(objects: &PointSet, functions: &FunctionSet) -> Matching {
+        let engine = Engine::builder()
+            .index(tiny_index())
+            .objects(objects)
+            .build()
+            .unwrap();
+        ChainMatcher {
+            index: tiny_index(),
+        }
+        .run_on(&engine, functions)
+        .unwrap()
+    }
+
     fn sorted(pairs: &[Pair]) -> Vec<(u32, u64)> {
         let mut v: Vec<(u32, u64)> = pairs.iter().map(|p| (p.fid, p.oid)).collect();
         v.sort_unstable();
@@ -180,10 +224,7 @@ mod tests {
             .dim(3)
             .seed(17)
             .build();
-        let m = ChainMatcher {
-            index: tiny_index(),
-        }
-        .run(&w.objects, &w.functions);
+        let m = run(&w.objects, &w.functions);
         let expect = reference_matching(&w.objects, &w.functions);
         // Chain emits pairs in chain order, not score order: compare sets
         assert_eq!(sorted(m.pairs()), sorted(&expect));
@@ -199,10 +240,7 @@ mod tests {
             .distribution(Distribution::AntiCorrelated)
             .seed(23)
             .build();
-        let m = ChainMatcher {
-            index: tiny_index(),
-        }
-        .run(&w.objects, &w.functions);
+        let m = run(&w.objects, &w.functions);
         verify_stable(&w.objects, &w.functions, m.pairs()).unwrap();
         assert_eq!(
             sorted(m.pairs()),
@@ -218,30 +256,28 @@ mod tests {
             .dim(2)
             .seed(31)
             .build();
-        let m = ChainMatcher {
-            index: tiny_index(),
-        }
-        .run(&w.objects, &w.functions);
+        let m = run(&w.objects, &w.functions);
         assert_eq!(m.len(), 15);
         verify_stable(&w.objects, &w.functions, m.pairs()).unwrap();
     }
 
     #[test]
-    fn chain_uses_both_trees() {
+    fn chain_uses_both_trees_and_never_writes_the_shared_one() {
         let w = WorkloadBuilder::new()
             .objects(300)
             .functions(50)
             .dim(2)
             .seed(37)
             .build();
-        let m = ChainMatcher {
-            index: tiny_index(),
-        }
-        .run(&w.objects, &w.functions);
+        let m = run(&w.objects, &w.functions);
         let met = m.metrics();
         assert!(met.top1_searches >= 50);
         assert!(met.fun_top1_searches >= 50);
         assert!(met.io.physical_reads > 0);
+        assert_eq!(
+            met.io.physical_writes, 0,
+            "the shared object index is read-only; assignment masks, not deletes"
+        );
         // the function tree is fully buffered: reads happen only on the
         // cold first touch of each page
         assert!(met.fun_io.logical > 0);
@@ -266,10 +302,7 @@ mod tests {
                 vec![0.4, 0.6],
             ],
         );
-        let m = ChainMatcher {
-            index: tiny_index(),
-        }
-        .run(&ps, &fs);
+        let m = run(&ps, &fs);
         assert_eq!(sorted(m.pairs()), sorted(&reference_matching(&ps, &fs)));
         verify_stable(&ps, &fs, m.pairs()).unwrap();
     }

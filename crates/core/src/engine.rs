@@ -1,0 +1,568 @@
+//! The long-lived matching engine: build the object index **once**,
+//! evaluate many requests against it.
+//!
+//! The paper's motivating deployment (§I) is a reservation site where
+//! preference-query batches arrive continuously against one persistent
+//! inventory. The legacy [`crate::Matcher::run`] API forced every call to
+//! bulk-load a private R-tree, so serving N requests paid N index
+//! builds and nothing could be shared across threads. [`Engine`] inverts
+//! that: [`Engine::builder`] validates the object set and bulk-loads the
+//! R-tree exactly once (observable via
+//! [`crate::matching::index_build_count`]); evaluation then goes through
+//! [`MatchRequest`]s that read the shared index without mutating it, so
+//! any number of requests — also concurrently from multiple threads —
+//! can target one engine.
+//!
+//! Per-request cost accounting stays exact under sharing because every
+//! evaluation reads the tree through its own run-scoped
+//! [`mpq_rtree::IoSession`]: the [`RunMetrics::io`] of one request
+//! contains precisely the page traffic that request caused.
+//!
+//! ```
+//! use mpq_core::{Algorithm, Engine};
+//! use mpq_rtree::PointSet;
+//! use mpq_ta::FunctionSet;
+//!
+//! let mut objects = PointSet::new(2);
+//! for p in [[0.9_f64, 0.2], [0.2, 0.9], [0.7, 0.7], [0.5, 0.4]] {
+//!     objects.push(&p);
+//! }
+//! let engine = Engine::builder().objects(&objects).build().unwrap();
+//!
+//! let functions = FunctionSet::from_rows(2, &[vec![0.8, 0.2], vec![0.2, 0.8]]);
+//! let sb = engine.request(&functions).evaluate().unwrap();
+//! let bf = engine
+//!     .request(&functions)
+//!     .algorithm(Algorithm::BruteForce)
+//!     .evaluate()
+//!     .unwrap();
+//! assert_eq!(sb.sorted_pairs(), bf.sorted_pairs());
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use mpq_rtree::{IoSession, PointSet, RTree};
+use mpq_skyline::SkylineMaintainer;
+use mpq_ta::{FunctionSet, ReverseTopOne};
+
+use crate::brute_force::{run_incremental_on, run_restart_on, BfStrategy};
+use crate::capacity::run_capacity_on;
+use crate::chain::run_chain_on;
+use crate::error::MpqError;
+use crate::matching::{IndexConfig, Matching, Pair, RunMetrics};
+use crate::sb::{
+    run_rescan_on, sb_loop_round, stream_on, BestPairMode, MaintenanceMode, SbStream,
+    SkylineMatcher,
+};
+
+/// Which stable-matching algorithm a [`MatchRequest`] runs.
+///
+/// All three produce the identical matching (the canonical tie-broken
+/// stable assignment); they differ in cost profile. `Sb` is the paper's
+/// contribution and the right default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Skyline-based matching (§III-B/§IV) — the paper's algorithm.
+    #[default]
+    Sb,
+    /// Per-function top-1 queries with lazy invalidation (§III-A).
+    BruteForce,
+    /// Chains of alternating top-1 searches (adapted competitor, §V).
+    Chain,
+}
+
+impl Algorithm {
+    /// Canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Sb => "SB",
+            Algorithm::BruteForce => "BruteForce",
+            Algorithm::Chain => "Chain",
+        }
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Accepts the CLI spellings: `sb`, `bf`/`brute-force`, `chain`.
+    fn from_str(s: &str) -> Result<Algorithm, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "sb" | "skyline" => Ok(Algorithm::Sb),
+            "bf" | "brute-force" | "bruteforce" => Ok(Algorithm::BruteForce),
+            "chain" => Ok(Algorithm::Chain),
+            other => Err(format!(
+                "unknown algorithm '{other}' (expected sb, bf or chain)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builder for [`Engine`]: configure the index, validate the inventory,
+/// bulk-load once.
+#[derive(Debug, Default)]
+pub struct EngineBuilder<'o> {
+    index: IndexConfig,
+    objects: Option<&'o PointSet>,
+}
+
+impl<'o> EngineBuilder<'o> {
+    /// Index construction/buffering parameters (defaults follow the
+    /// paper: 4 KiB pages, LRU buffer at 2% of the tree).
+    pub fn index(mut self, config: IndexConfig) -> EngineBuilder<'o> {
+        self.index = config;
+        self
+    }
+
+    /// The object inventory to index. Points are copied into the index;
+    /// the set does not need to outlive the engine.
+    pub fn objects(mut self, objects: &'o PointSet) -> EngineBuilder<'o> {
+        self.objects = Some(objects);
+        self
+    }
+
+    /// Validate the inventory and bulk-load the object R-tree (exactly
+    /// once for the engine's lifetime).
+    ///
+    /// Validation happens before the bulk load: an empty set, a NaN or
+    /// infinite coordinate, or a coordinate outside the `[0, 1]`
+    /// preference space is reported as an [`MpqError`] without paying
+    /// for index construction.
+    pub fn build(self) -> Result<Engine, MpqError> {
+        let objects = self.objects.ok_or(MpqError::EmptyObjects)?;
+        if objects.is_empty() {
+            return Err(MpqError::EmptyObjects);
+        }
+        for (i, p) in objects.iter() {
+            for (d, &v) in p.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(MpqError::NonFiniteCoordinate {
+                        oid: i as u64,
+                        dim: d,
+                        value: v,
+                    });
+                }
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(MpqError::CoordinateOutOfRange {
+                        oid: i as u64,
+                        dim: d,
+                        value: v,
+                    });
+                }
+            }
+        }
+        let tree = self.index.build_tree(objects);
+        Ok(Engine {
+            dim: objects.dim(),
+            n_objects: objects.len(),
+            config: self.index,
+            tree,
+        })
+    }
+}
+
+/// A prepared matching engine: one validated, bulk-loaded object index
+/// serving any number of [`MatchRequest`]s.
+///
+/// `Engine` is `Sync`: share it behind an `Arc` (or plain borrows with
+/// scoped threads) and evaluate requests concurrently. Evaluation never
+/// mutates the index — assigned objects are masked per run, not deleted
+/// — so requests cannot observe each other.
+pub struct Engine {
+    dim: usize,
+    n_objects: usize,
+    config: IndexConfig,
+    tree: RTree,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("dim", &self.dim)
+            .field("objects", &self.n_objects)
+            .field("pages", &self.tree.page_count())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Start building an engine.
+    pub fn builder<'o>() -> EngineBuilder<'o> {
+        EngineBuilder::default()
+    }
+
+    /// Dimensionality of the indexed preference space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of indexed objects.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    /// The index configuration the engine was built with.
+    pub fn index_config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The shared object R-tree (read-only access; engine evaluation
+    /// never mutates it).
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// Build a [`FunctionSet`] from raw weight rows, reporting malformed
+    /// rows as [`MpqError::InvalidFunction`] instead of panicking.
+    pub fn functions_from_rows(&self, rows: &[Vec<f64>]) -> Result<FunctionSet, MpqError> {
+        FunctionSet::try_from_rows(self.dim, rows)
+            .map_err(|(index, source)| MpqError::InvalidFunction { index, source })
+    }
+
+    /// Start a [`MatchRequest`] for `functions` with default options
+    /// (SB algorithm, multi-pair reporting, no exclusions).
+    pub fn request<'e, 'f>(&'e self, functions: &'f FunctionSet) -> MatchRequest<'e, 'f> {
+        MatchRequest {
+            engine: self,
+            functions,
+            algorithm: Algorithm::Sb,
+            best_pair: BestPairMode::Ta,
+            maintenance: MaintenanceMode::Incremental,
+            multi_pair: true,
+            bf_strategy: BfStrategy::Incremental,
+            exclude: HashSet::new(),
+            capacities: None,
+        }
+    }
+
+    /// Progressive SB evaluation with default options: stable pairs are
+    /// yielded as soon as they are identified. Shorthand for
+    /// [`MatchRequest::stream`].
+    pub fn stream(&self, functions: &FunctionSet) -> Result<SbStream<IoSession<'_>>, MpqError> {
+        self.request(functions).stream()
+    }
+
+    /// Open a persistent [`MatchSession`]: batches submitted over time
+    /// consume the inventory, and the incrementally-maintained skyline
+    /// survives across batches (the paper's online deployment, §IV-B).
+    pub fn session(&self) -> MatchSession<'_> {
+        let io = IoSession::new(&self.tree);
+        let maintainer = SkylineMaintainer::build(&io);
+        MatchSession {
+            engine: self,
+            io,
+            maintainer,
+            assigned: 0,
+            batches: 0,
+        }
+    }
+
+    fn validate_functions(&self, functions: &FunctionSet) -> Result<(), MpqError> {
+        if functions.n_alive() == 0 {
+            return Err(MpqError::EmptyFunctions);
+        }
+        if functions.dim() != self.dim {
+            return Err(MpqError::DimensionMismatch {
+                engine: self.dim,
+                functions: functions.dim(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One evaluation against a prepared [`Engine`], configured fluently.
+///
+/// ```
+/// # use mpq_core::{Algorithm, Engine};
+/// # use mpq_rtree::PointSet;
+/// # use mpq_ta::FunctionSet;
+/// # let mut objects = PointSet::new(2);
+/// # for p in [[0.9_f64, 0.2], [0.2, 0.9], [0.7, 0.7]] { objects.push(&p); }
+/// # let engine = Engine::builder().objects(&objects).build().unwrap();
+/// # let functions = FunctionSet::from_rows(2, &[vec![0.5, 0.5]]);
+/// let matching = engine
+///     .request(&functions)
+///     .algorithm(Algorithm::Sb)
+///     .exclude([1u64]) // object 1 is already reserved
+///     .evaluate()
+///     .unwrap();
+/// ```
+#[derive(Debug)]
+pub struct MatchRequest<'e, 'f> {
+    engine: &'e Engine,
+    functions: &'f FunctionSet,
+    algorithm: Algorithm,
+    best_pair: BestPairMode,
+    maintenance: MaintenanceMode,
+    multi_pair: bool,
+    bf_strategy: BfStrategy,
+    exclude: HashSet<u64>,
+    capacities: Option<Vec<u32>>,
+}
+
+impl<'e> MatchRequest<'e, '_> {
+    /// Select the algorithm (default [`Algorithm::Sb`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// SB only: how the best function per skyline object is located
+    /// (default [`BestPairMode::Ta`]).
+    pub fn best_pair(mut self, mode: BestPairMode) -> Self {
+        self.best_pair = mode;
+        self
+    }
+
+    /// SB only: skyline currency strategy (default
+    /// [`MaintenanceMode::Incremental`]).
+    pub fn maintenance(mut self, mode: MaintenanceMode) -> Self {
+        self.maintenance = mode;
+        self
+    }
+
+    /// SB only: report all mutually-best pairs per loop (§IV-C, default
+    /// `true`) or only the canonical best.
+    pub fn multi_pair(mut self, multi: bool) -> Self {
+        self.multi_pair = multi;
+        self
+    }
+
+    /// Brute Force only: re-search strategy (default
+    /// [`BfStrategy::Incremental`]).
+    pub fn bf_strategy(mut self, strategy: BfStrategy) -> Self {
+        self.bf_strategy = strategy;
+        self
+    }
+
+    /// Mask out objects (e.g. already-reserved inventory). Excluded
+    /// objects are invisible to this request: they are neither assigned
+    /// nor allowed to shadow other objects. Ids not present in the
+    /// engine are ignored. Accumulates across calls.
+    pub fn exclude<I: IntoIterator<Item = u64>>(mut self, oids: I) -> Self {
+        self.exclude.extend(oids);
+        self
+    }
+
+    /// Per-object capacities (the many-to-one extension): `caps[oid]`
+    /// users may share object `oid`. Requires [`Algorithm::Sb`] and a
+    /// capacity for every object.
+    pub fn capacities(mut self, caps: &[u32]) -> Self {
+        self.capacities = Some(caps.to_vec());
+        self
+    }
+
+    /// Validate and evaluate the request against the engine's shared
+    /// index. The index is read, never mutated; concurrent evaluations
+    /// are independent and each [`Matching::metrics`] reports only its
+    /// own run's I/O.
+    pub fn evaluate(&self) -> Result<Matching, MpqError> {
+        self.engine.validate_functions(self.functions)?;
+        let session = IoSession::new(&self.engine.tree);
+
+        if let Some(caps) = &self.capacities {
+            if caps.len() != self.engine.n_objects {
+                return Err(MpqError::CapacityMismatch {
+                    expected: self.engine.n_objects,
+                    got: caps.len(),
+                });
+            }
+            if self.algorithm != Algorithm::Sb {
+                return Err(MpqError::UnsupportedRequest(
+                    "capacities are only supported with Algorithm::Sb",
+                ));
+            }
+            // Reject — rather than silently ignore — SB ablation knobs
+            // the capacitated path does not implement. (multi_pair does
+            // not apply: the capacitated greedy emits one pair per loop.)
+            if self.maintenance != MaintenanceMode::Incremental {
+                return Err(MpqError::UnsupportedRequest(
+                    "capacities do not support the rescan maintenance ablation",
+                ));
+            }
+            if self.best_pair != BestPairMode::Ta {
+                return Err(MpqError::UnsupportedRequest(
+                    "capacities only support the TA best-pair mode",
+                ));
+            }
+            return Ok(run_capacity_on(
+                &session,
+                self.functions,
+                caps,
+                &self.exclude,
+            ));
+        }
+
+        match self.algorithm {
+            Algorithm::Sb => {
+                let cfg = self.sb_config();
+                match self.maintenance {
+                    MaintenanceMode::Incremental => {
+                        let start = Instant::now();
+                        let mut stream = stream_on(&cfg, &session, self.functions, &self.exclude);
+                        let mut pairs = Vec::new();
+                        for p in &mut stream {
+                            pairs.push(p);
+                        }
+                        let mut metrics = stream.into_metrics();
+                        metrics.elapsed = start.elapsed();
+                        Ok(Matching::new(pairs, metrics))
+                    }
+                    MaintenanceMode::Rescan => {
+                        Ok(run_rescan_on(&cfg, &session, self.functions, &self.exclude))
+                    }
+                }
+            }
+            Algorithm::BruteForce => match self.bf_strategy {
+                BfStrategy::Incremental => {
+                    Ok(run_incremental_on(&session, self.functions, &self.exclude))
+                }
+                BfStrategy::Restart => Ok(run_restart_on(&session, self.functions, &self.exclude)),
+            },
+            Algorithm::Chain => Ok(run_chain_on(
+                &self.engine.config,
+                &session,
+                self.functions,
+                &self.exclude,
+            )),
+        }
+    }
+
+    /// Progressive SB evaluation: returns a stream that yields stable
+    /// pairs as soon as they are identified, reading the shared index
+    /// through its own run-scoped I/O session.
+    ///
+    /// Requires [`Algorithm::Sb`] with incremental maintenance and no
+    /// capacities.
+    pub fn stream(&self) -> Result<SbStream<IoSession<'e>>, MpqError> {
+        self.engine.validate_functions(self.functions)?;
+        if self.algorithm != Algorithm::Sb {
+            return Err(MpqError::UnsupportedRequest(
+                "streaming is only supported with Algorithm::Sb",
+            ));
+        }
+        if self.maintenance != MaintenanceMode::Incremental {
+            return Err(MpqError::UnsupportedRequest(
+                "streaming requires incremental skyline maintenance",
+            ));
+        }
+        if self.capacities.is_some() {
+            return Err(MpqError::UnsupportedRequest(
+                "streaming does not support capacities",
+            ));
+        }
+        let session = IoSession::new(&self.engine.tree);
+        Ok(stream_on(
+            &self.sb_config(),
+            session,
+            self.functions,
+            &self.exclude,
+        ))
+    }
+
+    fn sb_config(&self) -> SkylineMatcher {
+        SkylineMatcher {
+            index: self.engine.config.clone(),
+            multi_pair: self.multi_pair,
+            best_pair: self.best_pair,
+            maintenance: self.maintenance,
+        }
+    }
+}
+
+/// A persistent matching session over one engine: batches submitted over
+/// time consume the inventory, and the R-tree **and** the
+/// incrementally-maintained skyline (with its plists, §IV-B) survive
+/// across batches — each batch pays only for its own best-pair search
+/// plus the maintenance its assignments cause.
+///
+/// Unlike stateless [`MatchRequest`]s, a session holds state (the
+/// consumed inventory), so it is a `&mut self` API; open one session per
+/// logical inventory stream. Sessions account their page traffic in
+/// their own [`mpq_rtree::IoSession`], so stateless requests may keep
+/// hitting the same engine concurrently.
+pub struct MatchSession<'e> {
+    engine: &'e Engine,
+    io: IoSession<'e>,
+    maintainer: SkylineMaintainer,
+    assigned: u64,
+    batches: u64,
+}
+
+impl MatchSession<'_> {
+    /// Objects not yet reserved by any earlier batch.
+    pub fn objects_remaining(&self) -> u64 {
+        self.engine.tree.len() - self.assigned
+    }
+
+    /// Number of batches processed so far.
+    pub fn batches_processed(&self) -> u64 {
+        self.batches
+    }
+
+    /// Current skyline size (diagnostic).
+    pub fn skyline_len(&self) -> usize {
+        self.maintainer.len()
+    }
+
+    /// Total I/O this session has caused since it was opened (including
+    /// the initial skyline computation).
+    pub fn io_stats(&self) -> mpq_rtree::IoStats {
+        self.io.stats()
+    }
+
+    /// Match one arriving batch against the remaining inventory.
+    /// Returns the batch's stable matching; the assigned objects stay
+    /// reserved for subsequent batches.
+    pub fn submit(&mut self, functions: &FunctionSet) -> Result<Matching, MpqError> {
+        self.engine.validate_functions(functions)?;
+        self.batches += 1;
+        let start = Instant::now();
+        let io_start = self.io.stats();
+        let mut metrics = RunMetrics::default();
+
+        let mut fs = functions.clone();
+        let mut rt1 = Some(ReverseTopOne::build(&fs));
+        // rank-list caches are fresh per batch; the maintainer persists
+        let mut fbest: HashMap<u64, Vec<(u32, f64)>> = HashMap::new();
+        let mut obest: HashMap<u32, Vec<(u64, f64)>> = HashMap::new();
+        let no_exclusions = HashSet::new();
+        let mut pairs: Vec<Pair> = Vec::new();
+
+        while fs.n_alive() > 0 && !self.maintainer.is_empty() {
+            let loop_pairs = sb_loop_round(
+                &self.io,
+                &mut self.maintainer,
+                &mut fs,
+                &mut rt1,
+                &mut fbest,
+                &mut obest,
+                &no_exclusions,
+                BestPairMode::Ta,
+                true,
+                &mut metrics,
+            );
+            // every pair removed one distinct object from the inventory
+            self.assigned += loop_pairs.len() as u64;
+            pairs.extend(loop_pairs);
+        }
+
+        metrics.elapsed = start.elapsed();
+        metrics.io = self.io.stats().since(io_start);
+        metrics.skyline = Some(self.maintainer.stats());
+        if let Some(rt1) = &rt1 {
+            metrics.ta = Some(rt1.stats());
+        }
+        Ok(Matching::new(pairs, metrics))
+    }
+}

@@ -1,0 +1,132 @@
+//! Typed errors for the engine API.
+//!
+//! The legacy [`crate::Matcher::run`] path reported malformed input by
+//! panicking somewhere inside the index or matcher internals. The engine
+//! API validates at the boundary instead — [`crate::Engine::builder`]
+//! checks the object set before paying for a bulk load, and
+//! [`crate::MatchRequest::evaluate`] checks the request against the
+//! prepared engine — and reports what is wrong with a [`MpqError`].
+
+use mpq_ta::WeightError;
+
+/// Why an engine could not be built or a match request not evaluated.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MpqError {
+    /// The object set contains no points; there is nothing to index.
+    EmptyObjects,
+    /// The function set contains no alive functions; there is nobody to
+    /// match.
+    EmptyFunctions,
+    /// An object coordinate is NaN or infinite.
+    NonFiniteCoordinate {
+        /// Object id (point index) of the offending point.
+        oid: u64,
+        /// Dimension of the offending coordinate.
+        dim: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An object coordinate lies outside the `[0, 1]` preference space
+    /// the skyline and ranked-search bounds assume.
+    CoordinateOutOfRange {
+        /// Object id (point index) of the offending point.
+        oid: u64,
+        /// Dimension of the offending coordinate.
+        dim: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The request's functions do not share the engine's dimensionality.
+    DimensionMismatch {
+        /// Dimensionality the engine was built with.
+        engine: usize,
+        /// Dimensionality of the request's functions.
+        functions: usize,
+    },
+    /// A weight row was rejected while assembling a function set.
+    InvalidFunction {
+        /// Row index of the offending function.
+        index: usize,
+        /// What was wrong with the row.
+        source: WeightError,
+    },
+    /// The capacity vector does not cover every object exactly once.
+    CapacityMismatch {
+        /// Number of objects in the engine.
+        expected: usize,
+        /// Length of the provided capacity vector.
+        got: usize,
+    },
+    /// The request combines options the engine cannot serve together
+    /// (e.g. capacities with a non-SB algorithm).
+    UnsupportedRequest(&'static str),
+}
+
+impl std::fmt::Display for MpqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpqError::EmptyObjects => write!(f, "object set is empty"),
+            MpqError::EmptyFunctions => write!(f, "function set is empty"),
+            MpqError::NonFiniteCoordinate { oid, dim, value } => write!(
+                f,
+                "object {oid} has non-finite coordinate {value} at dimension {dim}"
+            ),
+            MpqError::CoordinateOutOfRange { oid, dim, value } => write!(
+                f,
+                "object {oid} has coordinate {value} at dimension {dim} outside [0, 1]; \
+                 normalize attributes to larger-is-better unit scale first"
+            ),
+            MpqError::DimensionMismatch { engine, functions } => write!(
+                f,
+                "functions have dimensionality {functions}, engine was built with {engine}"
+            ),
+            MpqError::InvalidFunction { index, source } => {
+                write!(f, "function row {index}: {source}")
+            }
+            MpqError::CapacityMismatch { expected, got } => write!(
+                f,
+                "capacity vector has {got} entries, engine holds {expected} objects"
+            ),
+            MpqError::UnsupportedRequest(msg) => write!(f, "unsupported request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MpqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpqError::InvalidFunction { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = MpqError::CoordinateOutOfRange {
+            oid: 7,
+            dim: 2,
+            value: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("object 7"), "{msg}");
+        assert!(msg.contains("1.5"), "{msg}");
+        assert!(msg.contains("normalize"), "{msg}");
+    }
+
+    #[test]
+    fn invalid_function_carries_source() {
+        use std::error::Error;
+        let e = MpqError::InvalidFunction {
+            index: 3,
+            source: WeightError::AllZero,
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("row 3"));
+    }
+}

@@ -32,12 +32,28 @@
 //!
 //! The [`capacity`] module extends the model with object capacities
 //! (e.g. a room *type* with `c` identical rooms), which the examples use.
+//!
+//! ## Evaluation goes through the [`Engine`]
+//!
+//! The index over `O` is expensive; the paper's deployment serves many
+//! query batches against one inventory. Build an [`Engine`] **once**
+//! ([`Engine::builder`] validates the inputs and bulk-loads the R-tree),
+//! then evaluate any number of [`MatchRequest`]s against it — also
+//! concurrently, since evaluation never mutates the shared index and
+//! every run accounts its own I/O through a run-scoped
+//! [`mpq_rtree::IoSession`]. [`Engine::session`] additionally keeps the
+//! maintained skyline alive across batches (the online deployment), and
+//! [`Engine::stream`] yields stable pairs progressively. The legacy
+//! one-shot [`Matcher::run`] survives as a deprecated shim that builds a
+//! private engine per call.
 
 #![warn(missing_docs)]
 
 pub mod brute_force;
 pub mod capacity;
 pub mod chain;
+pub mod engine;
+pub mod error;
 pub mod matching;
 pub mod monotone;
 pub mod online;
@@ -48,9 +64,10 @@ pub mod verify;
 pub use brute_force::{BfStrategy, BruteForceMatcher};
 pub use capacity::{CapacityMatcher, CapacityMatching};
 pub use chain::ChainMatcher;
-pub use matching::{IndexConfig, Matcher, Matching, Pair, RunMetrics};
+pub use engine::{Algorithm, Engine, EngineBuilder, MatchRequest, MatchSession};
+pub use error::MpqError;
+pub use matching::{index_build_count, IndexConfig, Matcher, Matching, Pair, RunMetrics};
 pub use monotone::{MonotoneFunction, MonotoneSkylineMatcher};
-pub use online::OnlineSession;
 pub use reference::{reference_matching, reference_matching_excluding};
 pub use sb::{BestPairMode, MaintenanceMode, SbStream, SkylineMatcher};
 pub use verify::{verify_stable, verify_weakly_stable};

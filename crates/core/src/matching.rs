@@ -1,14 +1,25 @@
 //! Shared vocabulary of the matchers: assignment pairs, run metrics, the
 //! [`Matcher`] trait, and index construction defaults.
 
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::time::Duration;
 
 use mpq_rtree::{IoStats, PointSet, RTree, RTreeParams};
 use mpq_skyline::SkylineStats;
 use mpq_ta::{FunctionSet, TaStats};
 
+use crate::engine::Engine;
+use crate::error::MpqError;
+
 /// One stable assignment: function `fid` gets object `oid` at `score`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Pairs are totally ordered by the **canonical order** every matcher
+/// uses for tie-breaking: higher score first ([`f64::total_cmp`]), then
+/// smaller function id, then smaller object id. [`Ord`] follows that
+/// order, so sorting a `Vec<Pair>` ascending yields assignment
+/// (descending-score) order; equality is `total_cmp`-based, making the
+/// order total even on non-finite scores.
+#[derive(Debug, Clone, Copy)]
 pub struct Pair {
     /// The assigned preference function (user).
     pub fid: u32,
@@ -19,16 +30,39 @@ pub struct Pair {
 }
 
 impl Pair {
-    /// The canonical total order on pairs used by every matcher for
-    /// tie-breaking: higher score first, then smaller function id, then
-    /// smaller object id. Returns `true` iff `self` precedes `other`.
+    /// `true` iff `self` precedes `other` in the canonical order (see
+    /// the type-level docs). Equivalent to `self < other`.
     #[inline]
     pub fn beats(&self, other: &Pair) -> bool {
-        match self.score.total_cmp(&other.score) {
-            std::cmp::Ordering::Greater => true,
-            std::cmp::Ordering::Less => false,
-            std::cmp::Ordering::Equal => (self.fid, self.oid) < (other.fid, other.oid),
-        }
+        self.cmp(other) == std::cmp::Ordering::Less
+    }
+}
+
+impl PartialEq for Pair {
+    #[inline]
+    fn eq(&self, other: &Pair) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Pair {}
+
+impl PartialOrd for Pair {
+    #[inline]
+    fn partial_cmp(&self, other: &Pair) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pair {
+    /// The canonical order: `Less` means `self` is assigned first.
+    #[inline]
+    fn cmp(&self, other: &Pair) -> std::cmp::Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.fid.cmp(&other.fid))
+            .then_with(|| self.oid.cmp(&other.oid))
     }
 }
 
@@ -103,32 +137,65 @@ impl Matching {
     /// Pairs sorted into the canonical order (for set comparisons).
     pub fn sorted_pairs(&self) -> Vec<Pair> {
         let mut v = self.pairs.clone();
-        v.sort_by(|a, b| {
-            b.score
-                .total_cmp(&a.score)
-                .then_with(|| a.fid.cmp(&b.fid))
-                .then_with(|| a.oid.cmp(&b.oid))
-        });
+        v.sort_unstable();
         v
     }
 }
 
 /// A stable-matching algorithm over `(objects, functions)`.
+///
+/// A matcher value is a bundle of algorithm configuration. Evaluation
+/// goes through a prepared [`Engine`]: build the engine once (paying the
+/// index bulk load once), then evaluate any number of requests against
+/// it with [`Matcher::run_on`] — or, more directly, with
+/// [`Engine::request`].
 pub trait Matcher {
     /// Human-readable name used in experiment output.
     fn name(&self) -> &'static str;
 
-    /// Compute the stable matching. Implementations build their own
-    /// index over `objects` and work on a private copy of `functions`;
-    /// the inputs are not mutated.
-    fn run(&self, objects: &PointSet, functions: &FunctionSet) -> Matching;
+    /// The index configuration this matcher uses when it must build its
+    /// own engine (the deprecated [`Matcher::run`] path).
+    fn index_config(&self) -> &IndexConfig;
+
+    /// Evaluate this matcher's configuration against a prepared engine.
+    /// The engine's shared index is not mutated; any number of `run_on`
+    /// calls (also from different threads) may target one engine.
+    fn run_on(&self, engine: &Engine, functions: &FunctionSet) -> Result<Matching, MpqError>;
+
+    /// Compute the stable matching, building a private single-use engine
+    /// over `objects` first.
+    ///
+    /// Every call pays a full index bulk load; serving more than one
+    /// request this way is exactly the cost the engine API exists to
+    /// avoid. Kept as a migration shim.
+    ///
+    /// # Panics
+    /// Panics if the inputs are invalid (the engine path reports the
+    /// same conditions as [`MpqError`] values instead).
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an Engine once with Engine::builder() and evaluate \
+                MatchRequests (or Matcher::run_on) against it"
+    )]
+    fn run(&self, objects: &PointSet, functions: &FunctionSet) -> Matching {
+        if objects.is_empty() || functions.n_alive() == 0 {
+            return Matching::default();
+        }
+        let engine = Engine::builder()
+            .index(self.index_config().clone())
+            .objects(objects)
+            .build()
+            .unwrap_or_else(|e| panic!("invalid matcher input: {e}"));
+        self.run_on(&engine, functions)
+            .unwrap_or_else(|e| panic!("invalid matcher input: {e}"))
+    }
 }
 
 /// How matchers build and buffer the object R-tree.
 ///
 /// Defaults follow the paper's setup: 4 KiB pages and an LRU buffer
 /// sized at 2% of the tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndexConfig {
     /// Page size in bytes.
     pub page_size: usize,
@@ -148,18 +215,35 @@ impl Default for IndexConfig {
     }
 }
 
+/// Process-wide count of object R-tree bulk loads performed through
+/// [`IndexConfig::build_tree`] (see [`index_build_count`]).
+static INDEX_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide number of object R-tree bulk loads performed so far.
+///
+/// Diagnostic: lets deployments (and tests) assert that a shared
+/// [`Engine`] really amortizes index construction — N requests against
+/// one engine advance this counter by exactly 1.
+pub fn index_build_count() -> u64 {
+    INDEX_BUILDS.load(AtomicOrdering::Relaxed)
+}
+
 impl IndexConfig {
     /// Bulk-load `objects` and size the buffer; I/O counters start at
     /// zero with a cold buffer.
     pub fn build_tree(&self, objects: &PointSet) -> RTree {
+        INDEX_BUILDS.fetch_add(1, AtomicOrdering::Relaxed);
         let params = RTreeParams {
             page_size: self.page_size,
             min_fill_ratio: 0.4,
             buffer_capacity: self.min_buffer_pages.max(1),
         };
         let tree = RTree::bulk_load(objects, params);
-        let cap =
-            ((tree.page_count() as f64 * self.buffer_fraction) as usize).max(self.min_buffer_pages);
+        // Round to the nearest page: truncation under-sizes the buffer by
+        // up to one page, which is visible at the paper's 2% default on
+        // small trees.
+        let cap = ((tree.page_count() as f64 * self.buffer_fraction).round() as usize)
+            .max(self.min_buffer_pages);
         tree.set_buffer_capacity(cap);
         tree
     }
@@ -233,12 +317,55 @@ mod tests {
         }
         let cfg = IndexConfig::default();
         let tree = cfg.build_tree(&ps);
-        let expect = ((tree.page_count() as f64 * 0.02) as usize).max(8);
+        let expect = ((tree.page_count() as f64 * 0.02).round() as usize).max(8);
         assert_eq!(tree.buffer_capacity(), expect);
         assert_eq!(
             tree.io_stats(),
             IoStats::default(),
             "build I/O must be reset"
         );
+    }
+
+    #[test]
+    fn buffer_sizing_rounds_the_fractional_page() {
+        // Pin the rounding boundary: a fractional product of exactly
+        // k + 0.5 pages must round up to k + 1, not truncate to k.
+        let mut ps = PointSet::new(2);
+        let mut state = 7u64;
+        for _ in 0..5_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = ((state >> 33) as f64) / (1u64 << 31) as f64;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = ((state >> 33) as f64) / (1u64 << 31) as f64;
+            ps.push(&[a, b]);
+        }
+        let probe = IndexConfig {
+            page_size: 512,
+            buffer_fraction: 0.02,
+            min_buffer_pages: 1,
+        };
+        let pages = probe.build_tree(&ps).page_count();
+        assert!(pages > 20, "need a multi-page tree for the boundary case");
+        let cfg = IndexConfig {
+            page_size: 512,
+            buffer_fraction: 8.5 / pages as f64,
+            min_buffer_pages: 1,
+        };
+        let tree = cfg.build_tree(&ps);
+        assert_eq!(
+            tree.buffer_capacity(),
+            9,
+            "8.5 pages must round up to 9, not truncate to 8"
+        );
+    }
+
+    #[test]
+    fn build_tree_advances_the_build_counter() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[0.5, 0.5]);
+        ps.push(&[0.2, 0.8]);
+        let before = index_build_count();
+        let _ = IndexConfig::default().build_tree(&ps);
+        assert!(index_build_count() > before);
     }
 }

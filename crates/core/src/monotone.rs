@@ -179,12 +179,7 @@ impl MonotoneSkylineMatcher {
                     loop_pairs.push(Pair { fid, oid, score });
                 }
             }
-            loop_pairs.sort_by(|a, b| {
-                b.score
-                    .total_cmp(&a.score)
-                    .then_with(|| a.fid.cmp(&b.fid))
-                    .then_with(|| a.oid.cmp(&b.oid))
-            });
+            loop_pairs.sort_unstable();
             if !self.multi_pair {
                 loop_pairs.truncate(1);
             }
@@ -196,7 +191,7 @@ impl MonotoneSkylineMatcher {
                 n_alive -= 1;
                 fbest.remove(&p.oid);
             }
-            maintainer.remove(&removed_oids);
+            maintainer.remove(&removed_oids, &tree);
             pairs.extend(loop_pairs);
         }
 
@@ -314,11 +309,17 @@ mod tests {
         let ps = objects(200, 2, 43);
         let rows = [vec![0.7, 0.3], vec![0.4, 0.6], vec![0.55, 0.45]];
         let fs = FunctionSet::from_rows(2, rows.as_ref());
+        let engine = crate::Engine::builder()
+            .index(tiny_index())
+            .objects(&ps)
+            .build()
+            .unwrap();
         let linear = crate::SkylineMatcher {
             index: tiny_index(),
             ..Default::default()
         }
-        .run(&ps, &fs);
+        .run_on(&engine, &fs)
+        .unwrap();
 
         // the same functions as monotone closures, using the normalized
         // weights so scores are bitwise identical

@@ -3,195 +3,68 @@
 //!
 //! The paper's motivating deployment (§I) is a popular reservation site
 //! where preference queries arrive *continuously*. The offline model
-//! matches one fixed `F` against `O`; this module keeps the expensive
+//! matches one fixed `F` against `O`; the engine keeps the expensive
 //! state — the R-tree and the incrementally-maintained skyline with its
 //! plists — alive across batches, so each arriving batch only pays for
 //! its own best-pair search plus the skyline maintenance its
 //! assignments cause. This is precisely where §IV-B's plist design
 //! shines: the alternative would re-run BBS for every batch.
 //!
+//! This module is a thin veneer over [`crate::Engine::session`], which
+//! owns the implementation ([`MatchSession`]):
+//!
+//! ```
+//! use mpq_core::Engine;
+//! use mpq_ta::FunctionSet;
+//! use mpq_rtree::PointSet;
+//!
+//! let mut inventory = PointSet::new(2);
+//! for p in [[0.9_f64, 0.2], [0.2, 0.9], [0.7, 0.7], [0.4, 0.4]] {
+//!     inventory.push(&p);
+//! }
+//! let engine = Engine::builder().objects(&inventory).build().unwrap();
+//! let mut session = engine.session();
+//!
+//! // first customer batch takes the best matches...
+//! let b1 = session
+//!     .submit(&FunctionSet::from_rows(2, &[vec![0.5, 0.5]]))
+//!     .unwrap();
+//! assert_eq!(b1.pairs()[0].oid, 2); // (0.7, 0.7) wins for balanced weights
+//!
+//! // ...the next batch sees only what is left
+//! let b2 = session
+//!     .submit(&FunctionSet::from_rows(2, &[vec![0.5, 0.5]]))
+//!     .unwrap();
+//! assert_ne!(b2.pairs()[0].oid, 2);
+//! assert_eq!(session.objects_remaining(), 2);
+//! ```
+//!
 //! Each batch is matched greedily against the *remaining* inventory
 //! (earlier batches hold their reservations); within a batch the result
 //! is the same stable matching the offline SB computes, which the tests
 //! assert against a reference with the consumed objects excluded.
 
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+pub use crate::engine::MatchSession;
 
-use mpq_rtree::RTree;
-use mpq_skyline::SkylineMaintainer;
-use mpq_ta::{FunctionSet, ReverseTopOne};
-
-use crate::matching::{Matching, Pair, RunMetrics};
-use crate::sb::{best_functions, finalize_loop_pairs, fold_promotion, insert_ranked, BestPairMode};
-
-const OBEST_RANKS: usize = 8;
-
-/// A long-lived matching session over one object inventory.
-///
-/// ```
-/// use mpq_core::online::OnlineSession;
-/// use mpq_core::IndexConfig;
-/// use mpq_ta::FunctionSet;
-/// use mpq_rtree::PointSet;
-///
-/// let mut inventory = PointSet::new(2);
-/// for p in [[0.9_f64, 0.2], [0.2, 0.9], [0.7, 0.7], [0.4, 0.4]] {
-///     inventory.push(&p);
-/// }
-/// let tree = IndexConfig::default().build_tree(&inventory);
-/// let mut session = OnlineSession::new(&tree);
-///
-/// // first customer batch takes the best matches...
-/// let b1 = session.submit(&FunctionSet::from_rows(2, &[vec![0.5, 0.5]]));
-/// assert_eq!(b1.pairs()[0].oid, 2); // (0.7, 0.7) wins for balanced weights
-///
-/// // ...the next batch sees only what is left
-/// let b2 = session.submit(&FunctionSet::from_rows(2, &[vec![0.5, 0.5]]));
-/// assert_ne!(b2.pairs()[0].oid, 2);
-/// assert_eq!(session.objects_remaining(), 2);
-/// ```
-pub struct OnlineSession<'t> {
-    tree: &'t RTree,
-    maintainer: SkylineMaintainer<'t>,
-    assigned: u64,
-    batches: u64,
-}
-
-impl<'t> OnlineSession<'t> {
-    /// Open a session: computes the initial skyline of the inventory.
-    pub fn new(tree: &'t RTree) -> OnlineSession<'t> {
-        OnlineSession {
-            maintainer: SkylineMaintainer::build(tree),
-            tree,
-            assigned: 0,
-            batches: 0,
-        }
-    }
-
-    /// Objects not yet reserved by any earlier batch.
-    pub fn objects_remaining(&self) -> u64 {
-        self.tree.len() - self.assigned
-    }
-
-    /// Number of batches processed so far.
-    pub fn batches_processed(&self) -> u64 {
-        self.batches
-    }
-
-    /// Current skyline size (diagnostic).
-    pub fn skyline_len(&self) -> usize {
-        self.maintainer.len()
-    }
-
-    /// Match one arriving batch against the remaining inventory.
-    /// Returns the batch's stable matching; the assigned objects stay
-    /// reserved for subsequent batches.
-    pub fn submit(&mut self, functions: &FunctionSet) -> Matching {
-        assert_eq!(
-            functions.dim(),
-            self.tree.dim(),
-            "batch dimensionality must match the inventory"
-        );
-        self.batches += 1;
-        let start = Instant::now();
-        let io_start = self.tree.io_stats();
-        let mut metrics = RunMetrics::default();
-
-        let mut fs = functions.clone();
-        let mut rt1 = Some(ReverseTopOne::build(&fs));
-        let mut fbest: HashMap<u64, Vec<(u32, f64)>> = HashMap::new();
-        let mut obest: HashMap<u32, Vec<(u64, f64)>> = HashMap::new();
-        let mut pairs: Vec<Pair> = Vec::new();
-
-        while fs.n_alive() > 0 && !self.maintainer.is_empty() {
-            metrics.loops += 1;
-
-            // fbest rank lists (fresh for this batch's functions)
-            for e in self.maintainer.iter() {
-                let list = fbest.entry(e.oid).or_default();
-                while let Some(&(fid, _)) = list.first() {
-                    if fs.is_alive(fid) {
-                        break;
-                    }
-                    list.remove(0);
-                }
-                if list.is_empty() {
-                    metrics.reverse_top1_calls += 1;
-                    *list = best_functions(&mut rt1, &fs, e.point, BestPairMode::Ta);
-                    debug_assert!(!list.is_empty());
-                }
-            }
-
-            // obest rank lists
-            let fbest_fns: HashSet<u32> =
-                self.maintainer.iter().map(|e| fbest[&e.oid][0].0).collect();
-            for &fid in &fbest_fns {
-                let list = obest.entry(fid).or_default();
-                while let Some(&(oid, _)) = list.first() {
-                    if self.maintainer.contains(oid) {
-                        break;
-                    }
-                    list.remove(0);
-                }
-                if list.is_empty() {
-                    for e in self.maintainer.iter() {
-                        let s = fs.score(fid, e.point);
-                        insert_ranked(list, OBEST_RANKS, e.oid, s);
-                    }
-                }
-            }
-
-            // mutually-best pairs
-            let mut loop_pairs = Vec::new();
-            for &fid in &fbest_fns {
-                let (oid, score) = obest[&fid][0];
-                if fbest[&oid][0].0 == fid {
-                    loop_pairs.push(Pair { fid, oid, score });
-                }
-            }
-            let loop_pairs = finalize_loop_pairs(loop_pairs, true);
-            assert!(!loop_pairs.is_empty(), "global best pair is mutually best");
-
-            let removed_fids: HashSet<u32> = loop_pairs.iter().map(|p| p.fid).collect();
-            let removed_oids: Vec<u64> = loop_pairs.iter().map(|p| p.oid).collect();
-            for &fid in &removed_fids {
-                fs.remove(fid);
-            }
-            let removed_oid_set: HashSet<u64> = removed_oids.iter().copied().collect();
-            fbest.retain(|oid, _| !removed_oid_set.contains(oid));
-            for fid in &removed_fids {
-                obest.remove(fid);
-            }
-
-            self.assigned += removed_oids.len() as u64;
-            let promoted = self.maintainer.remove(&removed_oids);
-            for (oid, point) in &promoted {
-                for (fid, list) in obest.iter_mut() {
-                    let s = fs.score(*fid, point);
-                    fold_promotion(list, OBEST_RANKS, *oid, s);
-                }
-            }
-            pairs.extend(loop_pairs);
-        }
-
-        metrics.elapsed = start.elapsed();
-        metrics.io = self.tree.io_stats().since(io_start);
-        metrics.skyline = Some(self.maintainer.stats());
-        if let Some(rt1) = &rt1 {
-            metrics.ta = Some(rt1.stats());
-        }
-        Matching::new(pairs, metrics)
-    }
-}
+/// Deprecated name for [`MatchSession`]. Open sessions with
+/// [`crate::Engine::session`].
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to MatchSession; open one with Engine::session()"
+)]
+pub type OnlineSession<'e> = MatchSession<'e>;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::matching::{IndexConfig, Matcher};
+    use std::collections::HashSet;
+
+    use crate::engine::Engine;
+    use crate::matching::{IndexConfig, Pair};
     use crate::reference::reference_matching_excluding;
-    use crate::SkylineMatcher;
+    use crate::sb::SkylineMatcher;
+    use crate::Matcher;
     use mpq_datagen::{Distribution, WorkloadBuilder};
+    use mpq_ta::FunctionSet;
 
     fn tiny_index() -> IndexConfig {
         IndexConfig {
@@ -199,6 +72,14 @@ mod tests {
             buffer_fraction: 0.1,
             min_buffer_pages: 4,
         }
+    }
+
+    fn engine(objects: &mpq_rtree::PointSet) -> Engine {
+        Engine::builder()
+            .index(tiny_index())
+            .objects(objects)
+            .build()
+            .unwrap()
     }
 
     fn sorted(pairs: &[Pair]) -> Vec<(u32, u64)> {
@@ -215,15 +96,16 @@ mod tests {
             .dim(3)
             .seed(91)
             .build();
+        let eng = engine(&w.objects);
         let offline = SkylineMatcher {
             index: tiny_index(),
             ..Default::default()
         }
-        .run(&w.objects, &w.functions);
+        .run_on(&eng, &w.functions)
+        .unwrap();
 
-        let tree = tiny_index().build_tree(&w.objects);
-        let mut session = OnlineSession::new(&tree);
-        let online = session.submit(&w.functions);
+        let mut session = eng.session();
+        let online = session.submit(&w.functions).unwrap();
         assert_eq!(sorted(online.pairs()), sorted(offline.pairs()));
     }
 
@@ -247,11 +129,11 @@ mod tests {
             .map(|c| FunctionSet::from_rows(2, c))
             .collect();
 
-        let tree = tiny_index().build_tree(&w.objects);
-        let mut session = OnlineSession::new(&tree);
+        let eng = engine(&w.objects);
+        let mut session = eng.session();
         let mut consumed: HashSet<u64> = HashSet::new();
         for batch in &batches {
-            let got = session.submit(batch);
+            let got = session.submit(batch).unwrap();
             // ground truth: reference matching over the remaining objects
             let expect =
                 reference_matching_excluding(&w.objects, batch, &|o| consumed.contains(&o));
@@ -278,19 +160,25 @@ mod tests {
             .iter_alive()
             .map(|(_, weights)| weights.to_vec())
             .collect();
-        let tree = tiny_index().build_tree(&w.objects);
-        let mut session = OnlineSession::new(&tree);
-        let first = session.submit(&FunctionSet::from_rows(2, &rows[..10]));
+        let eng = engine(&w.objects);
+        let mut session = eng.session();
+        let first = session
+            .submit(&FunctionSet::from_rows(2, &rows[..10]))
+            .unwrap();
         assert_eq!(first.len(), 10);
-        let second = session.submit(&FunctionSet::from_rows(2, &rows[10..]));
+        let second = session
+            .submit(&FunctionSet::from_rows(2, &rows[10..]))
+            .unwrap();
         assert_eq!(second.len(), 5, "only 5 objects remain for 20 users");
         assert_eq!(session.objects_remaining(), 0);
-        let third = session.submit(&FunctionSet::from_rows(2, &rows[..3]));
+        let third = session
+            .submit(&FunctionSet::from_rows(2, &rows[..3]))
+            .unwrap();
         assert!(third.is_empty(), "an empty inventory matches nobody");
     }
 
     #[test]
-    fn later_batches_cost_less_io_than_a_fresh_session() {
+    fn later_batches_cost_less_io_than_the_initial_skyline() {
         let w = WorkloadBuilder::new()
             .objects(5_000)
             .functions(100)
@@ -302,16 +190,38 @@ mod tests {
             .iter_alive()
             .map(|(_, weights)| weights.to_vec())
             .collect();
-        let tree = tiny_index().build_tree(&w.objects);
-        let mut session = OnlineSession::new(&tree);
-        let init_io = tree.io_stats().logical; // initial BBS
+        let eng = engine(&w.objects);
+        let mut session = eng.session();
+        let init_io = session.io_stats().logical; // initial BBS
 
-        let b1 = session.submit(&FunctionSet::from_rows(3, &rows[..50]));
-        let b2 = session.submit(&FunctionSet::from_rows(3, &rows[50..]));
+        let b1 = session
+            .submit(&FunctionSet::from_rows(3, &rows[..50]))
+            .unwrap();
+        let b2 = session
+            .submit(&FunctionSet::from_rows(3, &rows[50..]))
+            .unwrap();
         assert_eq!(b1.len() + b2.len(), 100);
         // each batch's own I/O is small relative to the initial skyline
         // computation: the point of keeping the session alive
         assert!(b1.metrics().io.logical < init_io);
         assert!(b2.metrics().io.logical < init_io);
+    }
+
+    #[test]
+    fn session_rejects_mismatched_batches() {
+        let w = WorkloadBuilder::new()
+            .objects(30)
+            .functions(5)
+            .dim(2)
+            .seed(95)
+            .build();
+        let eng = engine(&w.objects);
+        let mut session = eng.session();
+        let err = session.submit(&FunctionSet::new(3)).unwrap_err();
+        assert_eq!(err, crate::MpqError::EmptyFunctions);
+        let err = session
+            .submit(&FunctionSet::from_rows(3, &[vec![0.3, 0.3, 0.4]]))
+            .unwrap_err();
+        assert!(matches!(err, crate::MpqError::DimensionMismatch { .. }));
     }
 }

@@ -42,12 +42,7 @@ pub fn reference_matching_excluding(
             });
         }
     }
-    all.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then_with(|| a.fid.cmp(&b.fid))
-            .then_with(|| a.oid.cmp(&b.oid))
-    });
+    all.sort_unstable();
 
     let budget = functions.n_alive().min(n_objects);
     let mut out = Vec::with_capacity(budget);

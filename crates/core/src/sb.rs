@@ -40,11 +40,13 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Instant;
 
-use mpq_rtree::{IoStats, PointSet, RTree};
+use mpq_rtree::{IoStats, NodeSource, RTree};
 use mpq_skyline::bbs::compute_skyline_excluding;
 use mpq_skyline::SkylineMaintainer;
 use mpq_ta::{FunctionSet, ReverseTopOne, ThresholdMode};
 
+use crate::engine::{Algorithm, Engine};
+use crate::error::MpqError;
 use crate::matching::{IndexConfig, Matcher, Matching, Pair, RunMetrics};
 
 /// Certified reverse-top-`M` cached per skyline object. Deeper lists
@@ -111,110 +113,148 @@ impl Matcher for SkylineMatcher {
         }
     }
 
-    fn run(&self, objects: &PointSet, functions: &FunctionSet) -> Matching {
-        let tree = self.index.build_tree(objects);
-        match self.maintenance {
-            MaintenanceMode::Incremental => {
-                let start = Instant::now();
-                let mut stream = self.stream(&tree, functions);
-                let mut pairs = Vec::new();
-                for p in &mut stream {
-                    pairs.push(p);
-                }
-                let mut metrics = stream.into_metrics();
-                metrics.elapsed = start.elapsed();
-                Matching::new(pairs, metrics)
-            }
-            MaintenanceMode::Rescan => self.run_rescan(&tree, functions),
-        }
+    fn index_config(&self) -> &IndexConfig {
+        &self.index
+    }
+
+    fn run_on(&self, engine: &Engine, functions: &FunctionSet) -> Result<Matching, MpqError> {
+        engine
+            .request(functions)
+            .algorithm(Algorithm::Sb)
+            .best_pair(self.best_pair)
+            .maintenance(self.maintenance)
+            .multi_pair(self.multi_pair)
+            .evaluate()
     }
 }
 
 impl SkylineMatcher {
     /// Progressive evaluation over a caller-provided tree: pairs are
-    /// yielded as soon as they are identified.
+    /// yielded as soon as they are identified. Prefer
+    /// [`Engine::stream`](crate::Engine::stream), which reads a shared
+    /// engine index through a run-scoped I/O session.
     ///
     /// # Panics
     /// Panics if configured with [`MaintenanceMode::Rescan`] (streaming
     /// is only meaningful for the incremental algorithm) or if the tree
     /// and function dimensionalities disagree.
-    pub fn stream<'a>(&self, tree: &'a RTree, functions: &FunctionSet) -> SbStream<'a> {
-        assert_eq!(
-            self.maintenance,
-            MaintenanceMode::Incremental,
-            "streaming requires incremental maintenance"
-        );
-        assert_eq!(
-            tree.dim(),
-            functions.dim(),
-            "tree and functions must share dimensionality"
-        );
-        let io_start = tree.io_stats();
-        let fs = functions.clone();
-        let rt1 = match self.best_pair {
-            BestPairMode::Scan => None,
-            _ => Some(ReverseTopOne::build(&fs)),
-        };
-        let maintainer = SkylineMaintainer::build(tree);
-        SbStream {
-            tree,
-            fs,
-            rt1,
-            maintainer,
-            best_pair: self.best_pair,
-            multi_pair: self.multi_pair,
-            fbest: HashMap::new(),
-            obest: HashMap::new(),
-            pending: VecDeque::new(),
-            metrics: RunMetrics::default(),
-            io_start,
-            done: false,
+    pub fn stream<'a>(&self, tree: &'a RTree, functions: &FunctionSet) -> SbStream<&'a RTree> {
+        stream_on(self, tree, functions, &HashSet::new())
+    }
+}
+
+/// Build a progressive SB stream over any node source (a bare tree or a
+/// run-scoped I/O session, which the source *owns*). Objects in
+/// `excluded` are invisible: removed from the initial skyline along with
+/// every excluded promotion they uncover.
+///
+/// # Panics
+/// Panics if `cfg` uses [`MaintenanceMode::Rescan`] or dimensionalities
+/// disagree (the engine request path validates these up front).
+pub(crate) fn stream_on<R: NodeSource>(
+    cfg: &SkylineMatcher,
+    src: R,
+    functions: &FunctionSet,
+    excluded: &HashSet<u64>,
+) -> SbStream<R> {
+    assert_eq!(
+        cfg.maintenance,
+        MaintenanceMode::Incremental,
+        "streaming requires incremental maintenance"
+    );
+    assert_eq!(
+        src.dim(),
+        functions.dim(),
+        "tree and functions must share dimensionality"
+    );
+    let io_start = src.io_snapshot();
+    let fs = functions.clone();
+    let rt1 = match cfg.best_pair {
+        BestPairMode::Scan => None,
+        _ => Some(ReverseTopOne::build(&fs)),
+    };
+    let mut maintainer = SkylineMaintainer::build(&src);
+    // Masked objects may sit on the skyline; peeling them can promote
+    // further masked objects, so iterate until the skyline is clean.
+    let mut to_remove: Vec<u64> = maintainer
+        .iter()
+        .filter(|e| excluded.contains(&e.oid))
+        .map(|e| e.oid)
+        .collect();
+    while !to_remove.is_empty() {
+        let promoted = maintainer.remove(&to_remove, &src);
+        to_remove = promoted
+            .into_iter()
+            .filter(|(oid, _)| excluded.contains(oid))
+            .map(|(oid, _)| oid)
+            .collect();
+    }
+    SbStream {
+        src,
+        fs,
+        rt1,
+        maintainer,
+        excluded: excluded.clone(),
+        best_pair: cfg.best_pair,
+        multi_pair: cfg.multi_pair,
+        fbest: HashMap::new(),
+        obest: HashMap::new(),
+        pending: VecDeque::new(),
+        metrics: RunMetrics::default(),
+        io_start,
+        done: false,
+    }
+}
+
+/// The §IV-B strawman: full BBS recomputation per loop, no caches.
+/// Objects in `excluded` are invisible throughout.
+pub(crate) fn run_rescan_on<R: NodeSource>(
+    cfg: &SkylineMatcher,
+    src: &R,
+    functions: &FunctionSet,
+    excluded: &HashSet<u64>,
+) -> Matching {
+    let start = Instant::now();
+    let io_start = src.io_snapshot();
+    let mut fs = functions.clone();
+    let mut rt1 = match cfg.best_pair {
+        BestPairMode::Scan => None,
+        _ => Some(ReverseTopOne::build(&fs)),
+    };
+    let mut metrics = RunMetrics::default();
+    let mut assigned: HashSet<u64> = excluded.clone();
+    let mut pairs: Vec<Pair> = Vec::new();
+
+    while fs.n_alive() > 0 {
+        let sky = compute_skyline_excluding(src, |o| assigned.contains(&o));
+        if sky.is_empty() {
+            break;
         }
+        metrics.loops += 1;
+
+        // best function per skyline object
+        let mut fbest: HashMap<u64, (u32, f64)> = HashMap::with_capacity(sky.len());
+        for (oid, point) in &sky {
+            metrics.reverse_top1_calls += 1;
+            let best =
+                best_function(&mut rt1, &fs, point, cfg.best_pair).expect("functions remain alive");
+            fbest.insert(*oid, best);
+        }
+        let loop_pairs = mutual_pairs(&sky, &fbest, &fs, cfg.multi_pair);
+        debug_assert!(!loop_pairs.is_empty(), "each loop must emit a pair");
+        for p in &loop_pairs {
+            fs.remove(p.fid);
+            assigned.insert(p.oid);
+        }
+        pairs.extend(loop_pairs);
     }
 
-    /// The §IV-B strawman: full BBS recomputation per loop, no caches.
-    fn run_rescan(&self, tree: &RTree, functions: &FunctionSet) -> Matching {
-        let start = Instant::now();
-        let mut fs = functions.clone();
-        let mut rt1 = match self.best_pair {
-            BestPairMode::Scan => None,
-            _ => Some(ReverseTopOne::build(&fs)),
-        };
-        let mut metrics = RunMetrics::default();
-        let mut assigned: HashSet<u64> = HashSet::new();
-        let mut pairs: Vec<Pair> = Vec::new();
-
-        while fs.n_alive() > 0 {
-            let sky = compute_skyline_excluding(tree, |o| assigned.contains(&o));
-            if sky.is_empty() {
-                break;
-            }
-            metrics.loops += 1;
-
-            // best function per skyline object
-            let mut fbest: HashMap<u64, (u32, f64)> = HashMap::with_capacity(sky.len());
-            for (oid, point) in &sky {
-                metrics.reverse_top1_calls += 1;
-                let best = best_function(&mut rt1, &fs, point, self.best_pair)
-                    .expect("functions remain alive");
-                fbest.insert(*oid, best);
-            }
-            let loop_pairs = mutual_pairs(&sky, &fbest, &fs, self.multi_pair);
-            debug_assert!(!loop_pairs.is_empty(), "each loop must emit a pair");
-            for p in &loop_pairs {
-                fs.remove(p.fid);
-                assigned.insert(p.oid);
-            }
-            pairs.extend(loop_pairs);
-        }
-
-        metrics.elapsed = start.elapsed();
-        metrics.io = tree.io_stats();
-        if let Some(rt1) = &rt1 {
-            metrics.ta = Some(rt1.stats());
-        }
-        Matching::new(pairs, metrics)
+    metrics.elapsed = start.elapsed();
+    metrics.io = src.io_snapshot().since(io_start);
+    if let Some(rt1) = &rt1 {
+        metrics.ta = Some(rt1.stats());
     }
+    Matching::new(pairs, metrics)
 }
 
 /// Best alive function for `point` under the configured mode.
@@ -297,31 +337,35 @@ fn mutual_pairs(
     finalize_loop_pairs(out, multi_pair)
 }
 
-/// Sort a loop's pairs canonically; truncate to the single best pair
-/// when multi-pair reporting is disabled.
+/// Sort a loop's pairs canonically (the [`Pair`] `Ord`); truncate to the
+/// single best pair when multi-pair reporting is disabled.
 pub(crate) fn finalize_loop_pairs(mut pairs: Vec<Pair>, multi_pair: bool) -> Vec<Pair> {
-    pairs.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then_with(|| a.fid.cmp(&b.fid))
-            .then_with(|| a.oid.cmp(&b.oid))
-    });
+    pairs.sort_unstable();
     if !multi_pair {
         pairs.truncate(1);
     }
     pairs
 }
 
-/// Progressive SB evaluation (see [`SkylineMatcher::stream`]).
+/// Progressive SB evaluation (see [`SkylineMatcher::stream`] and
+/// [`crate::MatchRequest::stream`]).
 ///
 /// Implements [`Iterator`]: each item is the next stable pair. Pairs
 /// within one internal loop are yielded in canonical order; across loops
 /// scores are non-increasing.
-pub struct SbStream<'a> {
-    tree: &'a RTree,
+///
+/// Generic over the node source it *owns*: `&RTree` for the legacy
+/// direct path, or an [`mpq_rtree::IoSession`] when streaming from a
+/// shared [`Engine`] (per-run I/O attribution).
+pub struct SbStream<R: NodeSource> {
+    src: R,
     fs: FunctionSet,
     rt1: Option<ReverseTopOne>,
-    maintainer: SkylineMaintainer<'a>,
+    maintainer: SkylineMaintainer,
+    /// Masked objects: peeled from the initial skyline at construction
+    /// and from every mid-run promotion wave, so they can neither be
+    /// assigned nor shadow other objects.
+    excluded: HashSet<u64>,
     best_pair: BestPairMode,
     multi_pair: bool,
     /// oid → certified top-`M` alive functions (dead prefix entries are
@@ -337,13 +381,13 @@ pub struct SbStream<'a> {
     done: bool,
 }
 
-impl SbStream<'_> {
+impl<R: NodeSource> SbStream<R> {
     /// Metrics accumulated so far (typically read after exhaustion).
     /// `elapsed` is not populated by the stream — callers time their own
-    /// consumption (see [`SkylineMatcher::run`]).
+    /// consumption (see [`crate::MatchRequest::evaluate`]).
     pub fn metrics(&self) -> RunMetrics {
         let mut m = self.metrics;
-        m.io = self.tree.io_stats().since(self.io_start);
+        m.io = self.src.io_snapshot().since(self.io_start);
         m.skyline = Some(self.maintainer.stats());
         if let Some(rt1) = &self.rt1 {
             m.ta = Some(rt1.stats());
@@ -373,109 +417,18 @@ impl SbStream<'_> {
             self.done = true;
             return;
         }
-        self.metrics.loops += 1;
-
-        // 1. Every skyline object needs a valid best function: drain
-        // dead prefix entries from its rank list; if the list empties,
-        // re-run the (top-M) reverse search. A surviving head entry is
-        // the true reverse top-1 because removals can only have deleted
-        // better-ranked functions.
-        {
-            let Self {
-                maintainer,
-                fbest,
-                rt1,
-                fs,
-                metrics,
-                best_pair,
-                ..
-            } = self;
-            for e in maintainer.iter() {
-                let list = fbest.entry(e.oid).or_default();
-                while let Some(&(fid, _)) = list.first() {
-                    if fs.is_alive(fid) {
-                        break;
-                    }
-                    list.remove(0);
-                }
-                if list.is_empty() {
-                    metrics.reverse_top1_calls += 1;
-                    *list = best_functions(rt1, fs, e.point, *best_pair);
-                    debug_assert!(!list.is_empty(), "fs.n_alive() > 0");
-                }
-            }
-        }
-
-        // 2. For each function that is some object's best, ensure a
-        // valid best-object rank list: drain entries that left the
-        // skyline; a surviving head is the true maximum (better-ranked
-        // objects were all assigned, and promotions were folded in);
-        // empty ⇒ full skyline rescan.
-        let fbest_fns: HashSet<u32> = self
-            .maintainer
-            .iter()
-            .map(|e| self.fbest[&e.oid][0].0)
-            .collect();
-        for &fid in &fbest_fns {
-            let list = self.obest.entry(fid).or_default();
-            while let Some(&(oid, _)) = list.first() {
-                if self.maintainer.contains(oid) {
-                    break;
-                }
-                list.remove(0);
-            }
-            if list.is_empty() {
-                for e in self.maintainer.iter() {
-                    let s = self.fs.score(fid, e.point);
-                    insert_ranked(list, OBEST_RANKS, e.oid, s);
-                }
-                debug_assert!(!list.is_empty(), "skyline is non-empty");
-            }
-        }
-
-        // 3. Mutually-best pairs (Property 1).
-        let mut loop_pairs = Vec::new();
-        for &fid in &fbest_fns {
-            let (oid, score) = self.obest[&fid][0];
-            if self.fbest[&oid][0].0 == fid {
-                loop_pairs.push(Pair { fid, oid, score });
-            }
-        }
-        let loop_pairs = finalize_loop_pairs(loop_pairs, self.multi_pair);
-        assert!(
-            !loop_pairs.is_empty(),
-            "SB invariant violated: the globally best remaining pair is always \
-             mutually best, so every loop must emit at least one pair"
+        let loop_pairs = sb_loop_round(
+            &self.src,
+            &mut self.maintainer,
+            &mut self.fs,
+            &mut self.rt1,
+            &mut self.fbest,
+            &mut self.obest,
+            &self.excluded,
+            self.best_pair,
+            self.multi_pair,
+            &mut self.metrics,
         );
-
-        // 4. Apply removals and maintain the caches.
-        let removed_fids: HashSet<u32> = loop_pairs.iter().map(|p| p.fid).collect();
-        let removed_oids: Vec<u64> = loop_pairs.iter().map(|p| p.oid).collect();
-        for &fid in &removed_fids {
-            self.fs.remove(fid);
-        }
-        let removed_oid_set: HashSet<u64> = removed_oids.iter().copied().collect();
-
-        // Assigned objects never return: drop their fbest lists. Dead
-        // functions inside surviving lists are drained lazily in step 1.
-        self.fbest.retain(|oid, _| !removed_oid_set.contains(oid));
-        // Assigned functions never return: drop their obest lists. Dead
-        // objects inside surviving lists are drained lazily in step 2.
-        for fid in &removed_fids {
-            self.obest.remove(fid);
-        }
-
-        // Skyline maintenance (§IV-B): promotions are folded into every
-        // cached obest rank list to preserve its "nothing better than
-        // the stored minimum is missing" invariant.
-        let promoted = self.maintainer.remove(&removed_oids);
-        for (oid, point) in &promoted {
-            for (fid, list) in self.obest.iter_mut() {
-                let s = self.fs.score(*fid, point);
-                fold_promotion(list, OBEST_RANKS, *oid, s);
-            }
-        }
-
         self.pending.extend(loop_pairs);
 
         #[cfg(debug_assertions)]
@@ -506,6 +459,134 @@ impl SbStream<'_> {
             }
         }
     }
+}
+
+/// One SB matching round (Algorithm 1 lines 3–9) over shared cache
+/// state: refresh the fbest/obest rank lists, report this round's
+/// mutually-best pairs (canonically sorted), and apply the removals —
+/// function tombstones, cache drops, and skyline maintenance with
+/// masked-promotion peeling. The single implementation behind both the
+/// progressive [`SbStream`] and the engine's persistent
+/// [`crate::MatchSession`] batches.
+///
+/// Preconditions: `fs.n_alive() > 0` and a non-empty skyline.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sb_loop_round<R: NodeSource>(
+    src: &R,
+    maintainer: &mut SkylineMaintainer,
+    fs: &mut FunctionSet,
+    rt1: &mut Option<ReverseTopOne>,
+    fbest: &mut HashMap<u64, Vec<(u32, f64)>>,
+    obest: &mut HashMap<u32, Vec<(u64, f64)>>,
+    excluded: &HashSet<u64>,
+    best_pair: BestPairMode,
+    multi_pair: bool,
+    metrics: &mut RunMetrics,
+) -> Vec<Pair> {
+    metrics.loops += 1;
+
+    // 1. Every skyline object needs a valid best function: drain dead
+    // prefix entries from its rank list; if the list empties, re-run
+    // the (top-M) reverse search. A surviving head entry is the true
+    // reverse top-1 because removals can only have deleted
+    // better-ranked functions.
+    for e in maintainer.iter() {
+        let list = fbest.entry(e.oid).or_default();
+        while let Some(&(fid, _)) = list.first() {
+            if fs.is_alive(fid) {
+                break;
+            }
+            list.remove(0);
+        }
+        if list.is_empty() {
+            metrics.reverse_top1_calls += 1;
+            *list = best_functions(rt1, fs, e.point, best_pair);
+            debug_assert!(!list.is_empty(), "fs.n_alive() > 0");
+        }
+    }
+
+    // 2. For each function that is some object's best, ensure a valid
+    // best-object rank list: drain entries that left the skyline; a
+    // surviving head is the true maximum (better-ranked objects were
+    // all assigned, and promotions were folded in); empty ⇒ full
+    // skyline rescan.
+    let fbest_fns: HashSet<u32> = maintainer.iter().map(|e| fbest[&e.oid][0].0).collect();
+    for &fid in &fbest_fns {
+        let list = obest.entry(fid).or_default();
+        while let Some(&(oid, _)) = list.first() {
+            if maintainer.contains(oid) {
+                break;
+            }
+            list.remove(0);
+        }
+        if list.is_empty() {
+            for e in maintainer.iter() {
+                let s = fs.score(fid, e.point);
+                insert_ranked(list, OBEST_RANKS, e.oid, s);
+            }
+            debug_assert!(!list.is_empty(), "skyline is non-empty");
+        }
+    }
+
+    // 3. Mutually-best pairs (Property 1).
+    let mut loop_pairs = Vec::new();
+    for &fid in &fbest_fns {
+        let (oid, score) = obest[&fid][0];
+        if fbest[&oid][0].0 == fid {
+            loop_pairs.push(Pair { fid, oid, score });
+        }
+    }
+    let loop_pairs = finalize_loop_pairs(loop_pairs, multi_pair);
+    assert!(
+        !loop_pairs.is_empty(),
+        "SB invariant violated: the globally best remaining pair is always \
+         mutually best, so every loop must emit at least one pair"
+    );
+
+    // 4. Apply removals and maintain the caches.
+    let removed_fids: HashSet<u32> = loop_pairs.iter().map(|p| p.fid).collect();
+    let removed_oids: Vec<u64> = loop_pairs.iter().map(|p| p.oid).collect();
+    for &fid in &removed_fids {
+        fs.remove(fid);
+    }
+    let removed_oid_set: HashSet<u64> = removed_oids.iter().copied().collect();
+
+    // Assigned objects never return: drop their fbest lists. Dead
+    // functions inside surviving lists are drained lazily in step 1.
+    fbest.retain(|oid, _| !removed_oid_set.contains(oid));
+    // Assigned functions never return: drop their obest lists. Dead
+    // objects inside surviving lists are drained lazily in step 2.
+    for fid in &removed_fids {
+        obest.remove(fid);
+    }
+
+    // Skyline maintenance (§IV-B): promotions are folded into every
+    // cached obest rank list to preserve its "nothing better than the
+    // stored minimum is missing" invariant. An assignment can promote a
+    // *masked* object (its dominator just left); peel those immediately
+    // — each peel wave can surface further masked objects — so they
+    // never reach the caches or the skyline.
+    let mut promoted = maintainer.remove(&removed_oids, src);
+    while !excluded.is_empty() {
+        let masked: Vec<u64> = promoted
+            .iter()
+            .filter(|(oid, _)| excluded.contains(oid))
+            .map(|(oid, _)| *oid)
+            .collect();
+        if masked.is_empty() {
+            break;
+        }
+        promoted.retain(|(oid, _)| !excluded.contains(oid));
+        promoted.extend(maintainer.remove(&masked, src));
+    }
+    for (oid, point) in &promoted {
+        for (fid, list) in obest.iter_mut() {
+            let s = fs.score(*fid, point);
+            fold_promotion(list, OBEST_RANKS, *oid, s);
+        }
+    }
+
+    loop_pairs
 }
 
 /// Insert `(oid, s)` into a rank list sorted by `(score desc, oid asc)`,
@@ -551,7 +632,7 @@ pub(crate) fn fold_promotion(list: &mut Vec<(u64, f64)>, k: usize, oid: u64, s: 
     list.truncate(k);
 }
 
-impl Iterator for SbStream<'_> {
+impl<R: NodeSource> Iterator for SbStream<R> {
     type Item = Pair;
 
     fn next(&mut self) -> Option<Pair> {
@@ -577,6 +658,7 @@ mod tests {
     use crate::reference::reference_matching;
     use crate::verify::verify_stable;
     use mpq_datagen::{Distribution, WorkloadBuilder};
+    use mpq_rtree::PointSet;
 
     fn tiny_index() -> IndexConfig {
         IndexConfig {
@@ -591,6 +673,17 @@ mod tests {
             index: tiny_index(),
             ..SkylineMatcher::default()
         }
+    }
+
+    /// Evaluate through the engine path (index built once per call here;
+    /// the engine tests cover multi-request sharing).
+    fn run(m: &SkylineMatcher, objects: &PointSet, functions: &FunctionSet) -> Matching {
+        let engine = Engine::builder()
+            .index(m.index.clone())
+            .objects(objects)
+            .build()
+            .unwrap();
+        m.run_on(&engine, functions).unwrap()
     }
 
     fn sorted(pairs: &[Pair]) -> Vec<(u32, u64)> {
@@ -614,7 +707,7 @@ mod tests {
                 .distribution(dist)
                 .seed(seed)
                 .build();
-            let m = sb().run(&w.objects, &w.functions);
+            let m = run(&sb(), &w.objects, &w.functions);
             let expect = reference_matching(&w.objects, &w.functions);
             assert_eq!(sorted(m.pairs()), sorted(&expect), "distribution {dist:?}");
             verify_stable(&w.objects, &w.functions, m.pairs()).unwrap();
@@ -629,11 +722,14 @@ mod tests {
             .dim(2)
             .seed(51)
             .build();
-        let m = SkylineMatcher {
-            multi_pair: false,
-            ..sb()
-        }
-        .run(&w.objects, &w.functions);
+        let m = run(
+            &SkylineMatcher {
+                multi_pair: false,
+                ..sb()
+            },
+            &w.objects,
+            &w.functions,
+        );
         let expect = reference_matching(&w.objects, &w.functions);
         assert_eq!(m.pairs(), &expect[..], "single-pair SB is exactly greedy");
     }
@@ -647,7 +743,7 @@ mod tests {
             .distribution(Distribution::AntiCorrelated)
             .seed(53)
             .build();
-        let baseline = sb().run(&w.objects, &w.functions);
+        let baseline = run(&sb(), &w.objects, &w.functions);
         for cfg in [
             SkylineMatcher {
                 best_pair: BestPairMode::Scan,
@@ -666,7 +762,7 @@ mod tests {
                 ..sb()
             },
         ] {
-            let m = cfg.run(&w.objects, &w.functions);
+            let m = run(&cfg, &w.objects, &w.functions);
             assert_eq!(
                 sorted(m.pairs()),
                 sorted(baseline.pairs()),
@@ -703,12 +799,15 @@ mod tests {
             .dim(3)
             .seed(61)
             .build();
-        let multi = sb().run(&w.objects, &w.functions);
-        let single = SkylineMatcher {
-            multi_pair: false,
-            ..sb()
-        }
-        .run(&w.objects, &w.functions);
+        let multi = run(&sb(), &w.objects, &w.functions);
+        let single = run(
+            &SkylineMatcher {
+                multi_pair: false,
+                ..sb()
+            },
+            &w.objects,
+            &w.functions,
+        );
         assert!(multi.metrics().loops <= single.metrics().loops);
         assert_eq!(single.metrics().loops, 60, "one loop per pair");
     }
@@ -721,7 +820,7 @@ mod tests {
             .dim(2)
             .seed(67)
             .build();
-        let m = sb().run(&w.objects, &w.functions);
+        let m = run(&sb(), &w.objects, &w.functions);
         assert_eq!(
             m.metrics().io.physical_writes,
             0,
@@ -737,7 +836,7 @@ mod tests {
             .dim(2)
             .seed(71)
             .build();
-        let m = sb().run(&w.objects, &w.functions);
+        let m = run(&sb(), &w.objects, &w.functions);
         assert_eq!(m.len(), 12);
         verify_stable(&w.objects, &w.functions, m.pairs()).unwrap();
     }
@@ -750,7 +849,7 @@ mod tests {
         }
         ps.push(&[0.2, 0.9]);
         let fs = FunctionSet::from_rows(2, &[vec![0.5, 0.5], vec![0.6, 0.4], vec![0.4, 0.6]]);
-        let m = sb().run(&ps, &fs);
+        let m = run(&sb(), &ps, &fs);
         let expect = reference_matching(&ps, &fs);
         assert_eq!(sorted(m.pairs()), sorted(&expect));
         verify_stable(&ps, &fs, m.pairs()).unwrap();
@@ -773,7 +872,7 @@ mod tests {
                 vec![0.7, 0.3],
             ],
         );
-        let m = sb().run(&ps, &fs);
+        let m = run(&sb(), &ps, &fs);
         assert_eq!(sorted(m.pairs()), sorted(&reference_matching(&ps, &fs)));
         verify_stable(&ps, &fs, m.pairs()).unwrap();
     }
@@ -788,7 +887,7 @@ mod tests {
         use mpq_datagen::zillow_preference_space;
         let objects = zillow_preference_space(800, 1234);
         let functions = uniform_weights(120, 5, 99);
-        let m = sb().run(&objects, &functions);
+        let m = run(&sb(), &objects, &functions);
         assert_eq!(m.len(), 120, "every buyer must be assigned");
         let expect = reference_matching(&objects, &functions);
         assert_eq!(sorted(m.pairs()), sorted(&expect));
@@ -803,7 +902,7 @@ mod tests {
             .dim(3)
             .seed(73)
             .build();
-        let m = sb().run(&w.objects, &w.functions);
+        let m = run(&sb(), &w.objects, &w.functions);
         let met = m.metrics();
         assert!(met.loops >= 1);
         assert!(met.reverse_top1_calls >= 30);

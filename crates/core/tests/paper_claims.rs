@@ -15,7 +15,9 @@
 //!    memory on anti-correlated high-dimensional data (the paper's OOM
 //!    note).
 
-use mpq_core::{BruteForceMatcher, ChainMatcher, MaintenanceMode, Matcher, SkylineMatcher};
+use mpq_core::{
+    BruteForceMatcher, ChainMatcher, Engine, MaintenanceMode, Matcher, Matching, SkylineMatcher,
+};
 use mpq_datagen::{Distribution, WorkloadBuilder};
 use mpq_ta::{FunctionSet, ReverseTopOne, ThresholdMode};
 
@@ -29,13 +31,27 @@ fn workload(dist: Distribution, n: usize, f: usize, dim: usize) -> mpq_datagen::
         .build()
 }
 
+/// One engine per workload: the index is built once and shared by every
+/// matcher under comparison (the engine API's whole point).
+fn engine(w: &mpq_datagen::Workload) -> Engine {
+    Engine::builder().objects(&w.objects).build().unwrap()
+}
+
+fn run(m: &dyn Matcher, e: &Engine, fs: &FunctionSet) -> Matching {
+    // cold buffer per method: the I/O comparisons stay order-independent
+    // even though the methods share one engine
+    e.tree().clear_buffer();
+    m.run_on(e, fs).unwrap()
+}
+
 #[test]
 fn sb_beats_brute_force_beats_chain_in_io() {
     for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
         let w = workload(dist, 20_000, 500, 3);
-        let sb = SkylineMatcher::default().run(&w.objects, &w.functions);
-        let bf = BruteForceMatcher::default().run(&w.objects, &w.functions);
-        let ch = ChainMatcher::default().run(&w.objects, &w.functions);
+        let e = engine(&w);
+        let sb = run(&SkylineMatcher::default(), &e, &w.functions);
+        let bf = run(&BruteForceMatcher::default(), &e, &w.functions);
+        let ch = run(&ChainMatcher::default(), &e, &w.functions);
 
         let (sb_io, bf_io, ch_io) = (
             sb.metrics().io.physical(),
@@ -66,7 +82,7 @@ fn io_grows_with_dimensionality() {
     let mut last = 0u64;
     for dim in [2usize, 4, 6] {
         let w = workload(Distribution::Independent, 10_000, 200, dim);
-        let sb = SkylineMatcher::default().run(&w.objects, &w.functions);
+        let sb = run(&SkylineMatcher::default(), &engine(&w), &w.functions);
         let io = sb.metrics().io.physical();
         assert!(
             io > last,
@@ -79,12 +95,16 @@ fn io_grows_with_dimensionality() {
 #[test]
 fn incremental_maintenance_beats_rescan() {
     let w = workload(Distribution::Independent, 8_000, 300, 3);
-    let incr = SkylineMatcher::default().run(&w.objects, &w.functions);
-    let rescan = SkylineMatcher {
-        maintenance: MaintenanceMode::Rescan,
-        ..SkylineMatcher::default()
-    }
-    .run(&w.objects, &w.functions);
+    let e = engine(&w);
+    let incr = run(&SkylineMatcher::default(), &e, &w.functions);
+    let rescan = run(
+        &SkylineMatcher {
+            maintenance: MaintenanceMode::Rescan,
+            ..SkylineMatcher::default()
+        },
+        &e,
+        &w.functions,
+    );
     assert_eq!(incr.sorted_pairs(), rescan.sorted_pairs());
     let (a, b) = (incr.metrics().io.logical, rescan.metrics().io.logical);
     assert!(
@@ -118,12 +138,16 @@ fn tight_threshold_scans_less_than_naive() {
 #[test]
 fn multi_pair_reduces_loops_substantially() {
     let w = workload(Distribution::Independent, 20_000, 1_000, 3);
-    let multi = SkylineMatcher::default().run(&w.objects, &w.functions);
-    let single = SkylineMatcher {
-        multi_pair: false,
-        ..SkylineMatcher::default()
-    }
-    .run(&w.objects, &w.functions);
+    let e = engine(&w);
+    let multi = run(&SkylineMatcher::default(), &e, &w.functions);
+    let single = run(
+        &SkylineMatcher {
+            multi_pair: false,
+            ..SkylineMatcher::default()
+        },
+        &e,
+        &w.functions,
+    );
     assert_eq!(single.metrics().loops, 1_000);
     assert!(
         multi.metrics().loops * 2 < single.metrics().loops,
@@ -140,8 +164,16 @@ fn bf_frontier_memory_explodes_on_anticorrelated_data() {
     // the skyline-based state
     let independent = workload(Distribution::Independent, 10_000, 300, 3);
     let anti = workload(Distribution::AntiCorrelated, 10_000, 300, 6);
-    let bf_ind = BruteForceMatcher::default().run(&independent.objects, &independent.functions);
-    let bf_anti = BruteForceMatcher::default().run(&anti.objects, &anti.functions);
+    let bf_ind = run(
+        &BruteForceMatcher::default(),
+        &engine(&independent),
+        &independent.functions,
+    );
+    let bf_anti = run(
+        &BruteForceMatcher::default(),
+        &engine(&anti),
+        &anti.functions,
+    );
     assert!(
         bf_anti.metrics().peak_frontier > 4 * bf_ind.metrics().peak_frontier,
         "anti-correlated D=6 frontiers ({}) must dwarf independent D=3 ({})",
@@ -151,16 +183,30 @@ fn bf_frontier_memory_explodes_on_anticorrelated_data() {
 }
 
 #[test]
-fn sb_never_writes_but_bf_restart_does() {
+fn no_algorithm_writes_to_the_shared_index() {
+    // The engine's index is shared across requests, so every algorithm
+    // masks assigned objects instead of physically deleting them; the
+    // restart strategy pays with extra top-1 searches instead.
     let w = workload(Distribution::Independent, 5_000, 100, 3);
-    let sb = SkylineMatcher::default().run(&w.objects, &w.functions);
+    let e = engine(&w);
+    let sb = run(&SkylineMatcher::default(), &e, &w.functions);
     assert_eq!(sb.metrics().io.physical_writes, 0);
-    let bf = BruteForceMatcher {
-        strategy: mpq_core::BfStrategy::Restart,
-        ..BruteForceMatcher::default()
-    }
-    .run(&w.objects, &w.functions);
-    assert!(bf.metrics().io.physical_writes > 0);
+    let incr = run(&BruteForceMatcher::default(), &e, &w.functions);
+    let restart = run(
+        &BruteForceMatcher {
+            strategy: mpq_core::BfStrategy::Restart,
+            ..BruteForceMatcher::default()
+        },
+        &e,
+        &w.functions,
+    );
+    assert_eq!(incr.metrics().io.physical_writes, 0);
+    assert_eq!(restart.metrics().io.physical_writes, 0);
+    assert_eq!(incr.sorted_pairs(), restart.sorted_pairs());
+    assert!(
+        restart.metrics().io.logical >= incr.metrics().io.logical,
+        "restart re-reads from the root, incremental resumes its frontier"
+    );
 }
 
 #[test]
@@ -173,8 +219,9 @@ fn zillow_skew_hurts_top1_searchers_more_than_sb() {
         .distribution(Distribution::Zillow)
         .seed(2009)
         .build();
-    let sb = SkylineMatcher::default().run(&w.objects, &w.functions);
-    let bf = BruteForceMatcher::default().run(&w.objects, &w.functions);
+    let e = engine(&w);
+    let sb = run(&SkylineMatcher::default(), &e, &w.functions);
+    let bf = run(&BruteForceMatcher::default(), &e, &w.functions);
     let ratio = bf.metrics().io.physical() as f64 / sb.metrics().io.physical().max(1) as f64;
     assert!(
         ratio > 50.0,

@@ -86,16 +86,23 @@ impl BufferPool {
 
     /// Fetch a node, reading and decoding the page on a miss.
     pub fn get(&self, pid: PageId) -> Arc<Node> {
+        self.get_probe(pid).0
+    }
+
+    /// Like [`BufferPool::get`], but also reports whether the request
+    /// missed the buffer (i.e. cost a physical read). Used by run-scoped
+    /// I/O sessions to attribute the miss to the requesting run.
+    pub fn get_probe(&self, pid: PageId) -> (Arc<Node>, bool) {
         let mut g = self.inner.lock();
         g.stats.logical += 1;
         if let Some(&slot) = g.map.get(&pid.0) {
             g.touch(slot);
-            return Arc::clone(&g.frames[slot].node);
+            return (Arc::clone(&g.frames[slot].node), false);
         }
         g.stats.physical_reads += 1;
         let node = Arc::new(Node::decode(g.dim, g.pager.read(pid)));
         g.install(pid, Arc::clone(&node), false);
-        node
+        (node, true)
     }
 
     /// Install a (possibly new) node image for `pid`, marking it dirty.

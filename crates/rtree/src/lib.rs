@@ -47,6 +47,7 @@ pub mod knn;
 pub mod node;
 pub mod pager;
 pub mod points;
+pub mod session;
 pub mod split;
 pub mod stats;
 pub mod topk;
@@ -57,6 +58,7 @@ pub use knn::{NnHit, NnIter};
 pub use node::{InnerNode, LeafNode, Node};
 pub use pager::PageId;
 pub use points::PointSet;
+pub use session::{IoSession, NodeSource};
 pub use stats::IoStats;
 pub use topk::{LinearScorer, MonotoneScorer, RankedHit, RankedIter, Scorer};
 pub use tree::{RTree, RTreeParams};

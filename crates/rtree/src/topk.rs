@@ -21,6 +21,7 @@ use std::collections::BinaryHeap;
 
 use crate::geometry::{dot, upper_score};
 use crate::node::Node;
+use crate::session::NodeSource;
 use crate::tree::RTree;
 
 /// One result of a ranked search.
@@ -154,17 +155,30 @@ impl Ord for HeapItem {
 
 /// Incremental top-k iterator: each [`RankedIter::next`] call returns the
 /// next-best point in descending score order, reading tree pages lazily.
-pub struct RankedIter<'t, S: Scorer = LinearScorer> {
-    tree: &'t RTree,
+///
+/// Generic over the node access path ([`NodeSource`]): searches run
+/// against a bare [`RTree`] (the default) or a run-scoped
+/// [`crate::IoSession`], which attributes the page traffic to one run.
+pub struct RankedIter<'t, S: Scorer = LinearScorer, Src: NodeSource = RTree> {
+    src: &'t Src,
     scorer: S,
     heap: BinaryHeap<HeapItem>,
 }
 
-impl<'t, S: Scorer> RankedIter<'t, S> {
-    pub(crate) fn with_scorer(tree: &'t RTree, scorer: S) -> RankedIter<'t, S> {
-        let root = tree.read_node(tree.root_page());
+impl<'t, S: Scorer, Src: NodeSource> RankedIter<'t, S, Src> {
+    /// Ranked search over any [`NodeSource`] — a bare tree or a
+    /// run-scoped [`crate::IoSession`].
+    ///
+    /// The scorer's bound must be admissible over the source's tree (see
+    /// the [`Scorer`] contract).
+    pub fn over(src: &'t Src, scorer: S) -> RankedIter<'t, S, Src> {
+        Self::with_scorer(src, scorer)
+    }
+
+    pub(crate) fn with_scorer(src: &'t Src, scorer: S) -> RankedIter<'t, S, Src> {
+        let root = src.read_node(src.root_page());
         let mut it = RankedIter {
-            tree,
+            src,
             scorer,
             heap: BinaryHeap::new(),
         };
@@ -209,7 +223,7 @@ impl<'t, S: Scorer> RankedIter<'t, S> {
     }
 }
 
-impl<S: Scorer> Iterator for RankedIter<'_, S> {
+impl<S: Scorer, Src: NodeSource> Iterator for RankedIter<'_, S, Src> {
     type Item = RankedHit;
 
     fn next(&mut self) -> Option<RankedHit> {
@@ -223,7 +237,7 @@ impl<S: Scorer> Iterator for RankedIter<'_, S> {
                     });
                 }
                 Cand::Node { pid } => {
-                    let node = self.tree.read_node(crate::pager::PageId(pid));
+                    let node = self.src.read_node(crate::pager::PageId(pid));
                     self.expand(&node);
                 }
             }

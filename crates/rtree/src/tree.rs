@@ -238,6 +238,14 @@ impl RTree {
         self.buf.get(pid)
     }
 
+    /// Like [`RTree::read_node`], additionally reporting whether the
+    /// access missed the buffer. This is the hook run-scoped
+    /// [`crate::IoSession`] accounting builds on.
+    #[inline]
+    pub fn read_node_probe(&self, pid: PageId) -> (Arc<Node>, bool) {
+        self.buf.get_probe(pid)
+    }
+
     /// Snapshot of the I/O counters.
     pub fn io_stats(&self) -> IoStats {
         self.buf.stats()

@@ -17,7 +17,7 @@ use std::collections::BinaryHeap;
 
 use mpq_rtree::geometry::mindist_to_best;
 use mpq_rtree::pager::PageId;
-use mpq_rtree::{Node, RTree};
+use mpq_rtree::{Node, NodeSource};
 
 use crate::dominance::dominates_or_equal;
 
@@ -81,7 +81,10 @@ impl Ord for Item {
 
 /// Skyline of every object in the tree, as `(oid, point)` pairs in BBS
 /// discovery order (ascending L1 distance to the best corner).
-pub fn compute_skyline(tree: &RTree) -> Vec<(u64, Box<[f64]>)> {
+///
+/// Generic over the node access path: pass a `&RTree` directly, or a
+/// run-scoped [`mpq_rtree::IoSession`] to attribute the page traffic.
+pub fn compute_skyline<R: NodeSource>(tree: &R) -> Vec<(u64, Box<[f64]>)> {
     compute_skyline_excluding(tree, |_| false)
 }
 
@@ -90,8 +93,8 @@ pub fn compute_skyline(tree: &RTree) -> Vec<(u64, Box<[f64]>)> {
 /// Excluded objects are invisible: they are skipped when popped and never
 /// used for pruning, so objects dominated *only* by excluded objects are
 /// reported.
-pub fn compute_skyline_excluding(
-    tree: &RTree,
+pub fn compute_skyline_excluding<R: NodeSource>(
+    tree: &R,
     excluded: impl Fn(u64) -> bool,
 ) -> Vec<(u64, Box<[f64]>)> {
     let mut heap: BinaryHeap<Item> = BinaryHeap::new();
@@ -152,7 +155,7 @@ mod tests {
     use super::*;
     use crate::maintain::SkylineMaintainer;
     use crate::naive::naive_skyline_excluding;
-    use mpq_rtree::{PointSet, RTreeParams};
+    use mpq_rtree::{PointSet, RTree, RTreeParams};
     use std::collections::HashSet;
 
     fn params() -> RTreeParams {

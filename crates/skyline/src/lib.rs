@@ -38,7 +38,7 @@
 //! assert_eq!(ids, vec![0, 1, 2]); // (0.3,0.3) and (0.5,0.55) are dominated by (0.6,0.6)
 //!
 //! // Assigning object 2 promotes (0.5,0.55), which only (0.6,0.6) dominated:
-//! sky.remove(&[2]);
+//! sky.remove(&[2], &tree);
 //! let mut ids: Vec<u64> = sky.iter().map(|e| e.oid).collect();
 //! ids.sort_unstable();
 //! assert_eq!(ids, vec![0, 1, 4]);

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 
 use mpq_rtree::geometry::mindist_to_best;
 use mpq_rtree::pager::PageId;
-use mpq_rtree::{Node, RTree};
+use mpq_rtree::{Node, NodeSource};
 
 use crate::dominance::dominates_or_equal;
 
@@ -148,8 +148,14 @@ struct SkyObj {
 /// Build it once with [`SkylineMaintainer::build`], then call
 /// [`SkylineMaintainer::remove`] as objects get assigned; the structure
 /// incrementally promotes newly undominated objects.
-pub struct SkylineMaintainer<'t> {
-    tree: &'t RTree,
+///
+/// The maintainer does not hold a borrow of the tree: the methods that
+/// traverse pages take the node source per call, so the same maintainer
+/// state can be driven through a bare `&RTree` or a run-scoped
+/// [`mpq_rtree::IoSession`] owned alongside it. Callers must pass a
+/// source backed by the same tree across calls (page ids recorded in the
+/// plists are meaningless in any other tree).
+pub struct SkylineMaintainer {
     /// Stable slab: `None` = removed. plist owners are slab indices.
     slab: Vec<Option<SkyObj>>,
     alive: usize,
@@ -168,12 +174,11 @@ pub struct SkylineMaintainer<'t> {
     stats: SkylineStats,
 }
 
-impl<'t> SkylineMaintainer<'t> {
+impl SkylineMaintainer {
     /// Compute the initial skyline of the whole tree (BBS), recording
     /// pruned entries for later maintenance.
-    pub fn build(tree: &'t RTree) -> SkylineMaintainer<'t> {
+    pub fn build<R: NodeSource>(tree: &R) -> SkylineMaintainer {
         let mut m = SkylineMaintainer {
-            tree,
             slab: Vec::new(),
             alive: 0,
             by_oid: HashMap::new(),
@@ -191,7 +196,7 @@ impl<'t> SkylineMaintainer<'t> {
             }
             .heap_entry(),
         );
-        m.run();
+        m.run(tree);
         m.rebuild_order();
         m.entered.clear(); // build's "entries" are the initial skyline
         m
@@ -239,15 +244,16 @@ impl<'t> SkylineMaintainer<'t> {
     }
 
     /// Remove assigned skyline objects and restore the skyline property
-    /// over the remaining set. Returns the objects *promoted into* the
-    /// skyline by this removal (in promotion order).
+    /// over the remaining set, reading any newly undominated pages
+    /// through `tree`. Returns the objects *promoted into* the skyline
+    /// by this removal (in promotion order).
     ///
     /// # Panics
     /// Panics if any of the `oids` is not currently in the skyline —
     /// removing a non-skyline object through the maintainer is a logic
     /// error in the caller (the SB algorithm only assigns skyline
     /// objects).
-    pub fn remove(&mut self, oids: &[u64]) -> Vec<(u64, Box<[f64]>)> {
+    pub fn remove<R: NodeSource>(&mut self, oids: &[u64], tree: &R) -> Vec<(u64, Box<[f64]>)> {
         let mut orphaned: Vec<Pruned> = Vec::new();
         for &oid in oids {
             let idx = self
@@ -272,7 +278,7 @@ impl<'t> SkylineMaintainer<'t> {
             }
         }
 
-        self.run();
+        self.run(tree);
         std::mem::take(&mut self.entered)
     }
 
@@ -294,7 +300,7 @@ impl<'t> SkylineMaintainer<'t> {
     }
 
     /// Drain the candidate heap: standard BBS with plist recording.
-    fn run(&mut self) {
+    fn run<R: NodeSource>(&mut self, tree: &R) {
         while let Some(e) = self.heap.pop() {
             if let Some(owner) = self.find_dominator(e.payload.hi()) {
                 self.stats.entries_pruned += 1;
@@ -304,7 +310,7 @@ impl<'t> SkylineMaintainer<'t> {
             match e.payload {
                 Pruned::Point { oid, point } => self.promote(oid, point),
                 Pruned::Subtree { pid, .. } => {
-                    let node = self.tree.read_node(pid);
+                    let node = tree.read_node(pid);
                     self.stats.nodes_expanded += 1;
                     self.expand(&node);
                 }
@@ -428,7 +434,7 @@ impl<'t> SkylineMaintainer<'t> {
 mod tests {
     use super::*;
     use crate::naive::naive_skyline_excluding;
-    use mpq_rtree::{PointSet, RTreeParams};
+    use mpq_rtree::{PointSet, RTree, RTreeParams};
     use std::collections::HashSet;
 
     fn params() -> RTreeParams {
@@ -490,7 +496,7 @@ mod tests {
             for &v in &victims {
                 removed.insert(v);
             }
-            m.remove(&victims);
+            m.remove(&victims, &tree);
             let expect = naive_skyline_excluding(&ps, &removed);
             assert_eq!(sky_ids(&m), expect, "round {round}");
         }
@@ -503,7 +509,7 @@ mod tests {
         let mut m = SkylineMaintainer::build(&tree);
         let before: HashSet<u64> = m.iter().map(|e| e.oid).collect();
         let victim = m.iter().next().unwrap().oid;
-        let promoted = m.remove(&[victim]);
+        let promoted = m.remove(&[victim], &tree);
         let after: HashSet<u64> = m.iter().map(|e| e.oid).collect();
         let mut expected_new: Vec<u64> = after.difference(&before).copied().collect();
         expected_new.sort_unstable();
@@ -528,14 +534,14 @@ mod tests {
         assert_eq!(m.len(), 1, "duplicates must collapse to one skyline object");
         // removing the representative promotes the next duplicate
         let rep = m.iter().next().unwrap().oid;
-        m.remove(&[rep]);
+        m.remove(&[rep], &tree);
         assert_eq!(m.len(), 1);
         assert!(!m.contains(rep));
         // removing both remaining duplicates exposes the dominated point
         let rep2 = m.iter().next().unwrap().oid;
-        m.remove(&[rep2]);
+        m.remove(&[rep2], &tree);
         let rep3 = m.iter().next().unwrap().oid;
-        m.remove(&[rep3]);
+        m.remove(&[rep3], &tree);
         assert_eq!(sky_ids(&m), vec![3]);
     }
 
@@ -547,7 +553,7 @@ mod tests {
         let mut total = 0usize;
         while !m.is_empty() {
             let victim = m.iter().next().unwrap().oid;
-            m.remove(&[victim]);
+            m.remove(&[victim], &tree);
             total += 1;
             assert!(total <= 120, "more removals than objects");
         }
@@ -560,7 +566,7 @@ mod tests {
         let ps = seeded_points(50, 2, 10);
         let tree = RTree::bulk_load(&ps, params());
         let mut m = SkylineMaintainer::build(&tree);
-        m.remove(&[u64::MAX]);
+        m.remove(&[u64::MAX], &tree);
     }
 
     #[test]
@@ -573,9 +579,9 @@ mod tests {
         let mut b = SkylineMaintainer::build(&tree2);
 
         let victims: Vec<u64> = a.iter().take(3).map(|e| e.oid).collect();
-        a.remove(&victims);
+        a.remove(&victims, &tree);
         for &v in &victims {
-            b.remove(&[v]);
+            b.remove(&[v], &tree2);
         }
         assert_eq!(sky_ids(&a), sky_ids(&b));
     }
@@ -595,7 +601,7 @@ mod tests {
         for _ in 0..20 {
             let victim = m.iter().next().unwrap().oid;
             removed.insert(victim);
-            m.remove(&[victim]);
+            m.remove(&[victim], &tree);
         }
         let maint_logical = tree.io_stats().logical;
 
@@ -641,7 +647,7 @@ mod tests {
             for &v in &victims {
                 removed.insert(v);
             }
-            m.remove(&victims);
+            m.remove(&victims, &tree);
             if round % 10 == 0 {
                 assert_eq!(
                     sky_ids(&m),

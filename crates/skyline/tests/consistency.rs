@@ -41,7 +41,7 @@ fn drain_and_compare(dist: Distribution, n: usize, dim: usize, batch: usize, rou
         for &v in &victims {
             removed.insert(v);
         }
-        m.remove(&victims);
+        m.remove(&victims, &tree);
 
         let maintained = point_set_of(
             m.iter()
@@ -102,7 +102,7 @@ fn full_exhaustion_on_small_zillow() {
     while !m.is_empty() {
         let victims: Vec<u64> = m.iter().take(3).map(|e| e.oid).collect();
         drained += victims.len();
-        m.remove(&victims);
+        m.remove(&victims, &tree);
         assert!(drained <= 600);
     }
     assert_eq!(drained, 600, "every object must surface exactly once");

@@ -11,6 +11,46 @@
 //! ("no function is favored over another") and is what makes the tight
 //! threshold of [`crate::threshold`] a valid bound.
 
+/// Why a weight row was rejected by [`FunctionSet::try_push`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightError {
+    /// The row's length does not match the set's dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the set.
+        expected: usize,
+        /// Length of the offending row.
+        got: usize,
+    },
+    /// A weight is NaN, infinite, or negative.
+    InvalidWeight {
+        /// Index of the offending weight within its row.
+        dim: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Every weight in the row is zero, so the function scores nothing.
+    AllZero,
+}
+
+impl std::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightError::DimensionMismatch { expected, got } => {
+                write!(f, "weight row has {got} entries, expected {expected}")
+            }
+            WeightError::InvalidWeight { dim, value } => {
+                write!(
+                    f,
+                    "weight {value} at dimension {dim} is not finite and non-negative"
+                )
+            }
+            WeightError::AllZero => write!(f, "weights must not be all zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
 /// A set of linear preference functions over `D` non-negative weights.
 ///
 /// Function ids are dense `u32` indices in insertion order and remain
@@ -68,18 +108,49 @@ impl FunctionSet {
     /// # Panics
     /// Panics if the weights are not finite and non-negative, or all zero.
     pub fn push(&mut self, weights: &[f64]) -> u32 {
-        assert_eq!(weights.len(), self.dim, "weight dimensionality mismatch");
-        assert!(
-            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
-            "weights must be finite and non-negative"
-        );
+        match self.try_push(weights) {
+            Ok(fid) => fid,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`FunctionSet::push`]: append a function, rejecting
+    /// malformed rows with a [`WeightError`] instead of panicking. On
+    /// error the set is unchanged.
+    pub fn try_push(&mut self, weights: &[f64]) -> Result<u32, WeightError> {
+        if weights.len() != self.dim {
+            return Err(WeightError::DimensionMismatch {
+                expected: self.dim,
+                got: weights.len(),
+            });
+        }
+        for (dim, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightError::InvalidWeight { dim, value: w });
+            }
+        }
         let sum: f64 = weights.iter().sum();
-        assert!(sum > 0.0, "weights must not be all zero");
+        if sum <= 0.0 {
+            return Err(WeightError::AllZero);
+        }
         let fid = self.alive.len() as u32;
         self.coefs.extend(weights.iter().map(|&w| w / sum));
         self.alive.push(true);
         self.n_alive += 1;
-        fid
+        Ok(fid)
+    }
+
+    /// Non-panicking [`FunctionSet::from_rows`]: build a set, rejecting
+    /// the first malformed row with its index and the [`WeightError`].
+    pub fn try_from_rows(
+        dim: usize,
+        rows: &[Vec<f64>],
+    ) -> Result<FunctionSet, (usize, WeightError)> {
+        let mut fs = FunctionSet::new(dim);
+        for (i, r) in rows.iter().enumerate() {
+            fs.try_push(r).map_err(|e| (i, e))?;
+        }
+        Ok(fs)
     }
 
     /// Dimensionality of the functions.

@@ -37,6 +37,6 @@ pub mod functions;
 pub mod reverse;
 pub mod threshold;
 
-pub use functions::FunctionSet;
+pub use functions::{FunctionSet, WeightError};
 pub use reverse::{ReverseTopOne, TaStats, ThresholdMode};
 pub use threshold::{naive_threshold, tight_threshold};

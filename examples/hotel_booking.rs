@@ -6,7 +6,8 @@
 //! cargo run --release --example hotel_booking
 //! ```
 
-use mpq::core::capacity::{verify_capacity_stable, CapacityMatcher};
+use mpq::core::capacity::{verify_capacity_stable, CapacityMatching};
+use mpq::core::Engine;
 use mpq::datagen::functions::skewed_weights;
 use mpq::datagen::objects::clustered;
 
@@ -30,8 +31,13 @@ fn main() {
         users.n_alive()
     );
 
-    let matcher = CapacityMatcher::default();
-    let result = matcher.run(&rooms, &users, &capacities);
+    let engine = Engine::builder().objects(&rooms).build().unwrap();
+    let matching = engine
+        .request(&users)
+        .capacities(&capacities)
+        .evaluate()
+        .unwrap();
+    let result = CapacityMatching::from_matching(matching);
 
     println!(
         "assigned {} users in {} loops ({:.2}s matching, {} physical I/Os)",

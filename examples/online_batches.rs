@@ -8,34 +8,32 @@
 //! cargo run --release --example online_batches
 //! ```
 
-use mpq::core::online::OnlineSession;
-use mpq::core::IndexConfig;
+use mpq::core::Engine;
 use mpq::datagen::functions::uniform_weights;
 use mpq::datagen::objects::independent;
 
 fn main() {
-    // Monday morning: 200,000 rooms are listed.
+    // Monday morning: 200,000 rooms are listed. The engine validates
+    // the inventory and builds the index exactly once.
     let inventory = independent(200_000, 4, 11);
-    let index = IndexConfig::default();
-    let tree = index.build_tree(&inventory);
+    let engine = Engine::builder().objects(&inventory).build().unwrap();
     println!(
         "inventory indexed: {} objects, {} pages",
         inventory.len(),
-        tree.page_count()
+        engine.tree().page_count()
     );
 
-    let mut session = OnlineSession::new(&tree);
-    let after_build = tree.io_stats();
+    let mut session = engine.session();
     println!(
         "initial skyline: {} objects ({} page reads)\n",
         session.skyline_len(),
-        after_build.physical_reads
+        session.io_stats().physical_reads
     );
 
     // Batches of users arrive through the day.
     for (hour, batch_size) in [(9, 800), (11, 1_500), (14, 2_500), (18, 4_000), (21, 1_200)] {
         let batch = uniform_weights(batch_size, 4, hour as u64);
-        let result = session.submit(&batch);
+        let result = session.submit(&batch).unwrap();
         let met = result.metrics();
         println!(
             "{hour:>2}:00  {batch_size:>5} users -> {:>5} rooms reserved \

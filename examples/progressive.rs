@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use mpq::core::SkylineMatcher;
+use mpq::core::Engine;
 use mpq::datagen::{Distribution, WorkloadBuilder};
 
 fn main() {
@@ -25,17 +25,16 @@ fn main() {
         .seed(5)
         .build();
 
-    let matcher = SkylineMatcher::default();
-    let tree = matcher.index.build_tree(&w.objects);
+    let engine = Engine::builder().objects(&w.objects).build().unwrap();
     println!(
         "index: {} pages over {} objects; buffer {} pages",
-        tree.page_count(),
+        engine.tree().page_count(),
         w.objects.len(),
-        tree.buffer_capacity()
+        engine.tree().buffer_capacity()
     );
 
     let start = Instant::now();
-    let mut stream = matcher.stream(&tree, &w.functions);
+    let mut stream = engine.stream(&w.functions).unwrap();
 
     let mut emitted = 0usize;
     let checkpoints = [1usize, 10, 100, 500, 1000, 2000];

@@ -34,9 +34,12 @@ fn main() {
     let functions =
         FunctionSet::from_rows(3, &users.iter().map(|(_, w)| w.clone()).collect::<Vec<_>>());
 
-    // The paper's skyline-based matcher. `run` bulk-loads an R-tree over
-    // the objects, computes the skyline, and emits stable pairs.
-    let matching = SkylineMatcher::default().run(&objects, &functions);
+    // Build the engine once: it validates the inventory and bulk-loads
+    // the object R-tree. Every request below shares that index.
+    let engine = Engine::builder().objects(&objects).build().unwrap();
+
+    // The paper's skyline-based matcher (the default algorithm).
+    let matching = engine.request(&functions).evaluate().unwrap();
 
     println!("stable assignment (in order of decreasing score):");
     for pair in matching.pairs() {
@@ -52,9 +55,18 @@ fn main() {
         matching.metrics().io.physical()
     );
 
-    // Every matcher produces the same assignment:
-    let bf = BruteForceMatcher::default().run(&objects, &functions);
-    let chain = ChainMatcher::default().run(&objects, &functions);
+    // Every algorithm produces the same assignment — and reuses the
+    // same prepared index, no rebuild:
+    let bf = engine
+        .request(&functions)
+        .algorithm(Algorithm::BruteForce)
+        .evaluate()
+        .unwrap();
+    let chain = engine
+        .request(&functions)
+        .algorithm(Algorithm::Chain)
+        .evaluate()
+        .unwrap();
     assert_eq!(matching.sorted_pairs(), bf.sorted_pairs());
     assert_eq!(matching.sorted_pairs(), chain.sorted_pairs());
     println!("BruteForce and Chain agree with SB ✓");

@@ -8,7 +8,7 @@
 //! cargo run --release --example real_estate
 //! ```
 
-use mpq::core::{BruteForceMatcher, ChainMatcher, Matcher, SkylineMatcher};
+use mpq::core::{Algorithm, Engine};
 use mpq::datagen::functions::uniform_weights;
 use mpq::datagen::{record_to_preference, zillow_records};
 use mpq::rtree::PointSet;
@@ -26,19 +26,17 @@ fn main() {
     let buyers = uniform_weights(n_buyers, 5, 99);
 
     println!("{n_listings} listings, {n_buyers} simultaneous buyers\n");
-    let matchers: Vec<Box<dyn Matcher>> = vec![
-        Box::new(SkylineMatcher::default()),
-        Box::new(BruteForceMatcher::default()),
-        Box::new(ChainMatcher::default()),
-    ];
+    // One engine, one index build — all three algorithms share it.
+    let engine = Engine::builder().objects(&listings).build().unwrap();
+    let algorithms = [Algorithm::Sb, Algorithm::BruteForce, Algorithm::Chain];
 
     let mut reference: Option<Vec<(u32, u64)>> = None;
-    for m in &matchers {
-        let result = m.run(&listings, &buyers);
+    for algo in algorithms {
+        let result = engine.request(&buyers).algorithm(algo).evaluate().unwrap();
         let met = result.metrics();
         println!(
             "{:<12} {:>9} physical I/Os, {:>8.3}s CPU, {} pairs",
-            m.name(),
+            algo.name(),
             met.io.physical(),
             met.elapsed.as_secs_f64(),
             result.len()
@@ -70,7 +68,7 @@ fn main() {
                 reference = Some(pairs);
             }
             Some(expect) => {
-                assert_eq!(&pairs, expect, "{} diverged from SB", m.name());
+                assert_eq!(&pairs, expect, "{} diverged from SB", algo.name());
             }
         }
     }

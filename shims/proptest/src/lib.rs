@@ -122,6 +122,94 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Keep only values satisfying `f`, retrying generation. Unlike real
+    /// proptest this does not track global rejection budgets; it panics
+    /// after 1000 consecutive rejections (an over-restrictive filter is
+    /// a test bug either way).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({}) rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// One boxed variant generator inside a [`Union`].
+pub type UnionVariant<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Uniform choice among boxed strategies of one output type; built by
+/// the [`prop_oneof!`] macro. Weights are not supported (the real
+/// `w => strategy` syntax is not accepted by the shim's macro).
+pub struct Union<T> {
+    variants: Vec<UnionVariant<T>>,
+}
+
+impl<T> Union<T> {
+    /// Wrap pre-boxed variant generators (used by [`prop_oneof!`]).
+    pub fn new(variants: Vec<UnionVariant<T>>) -> Union<T> {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Union { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.variants.len() as u64) as usize;
+        (self.variants[i])(rng)
+    }
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::Union::new(vec![
+            $(
+                {
+                    let s = $strategy;
+                    Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::generate(&s, rng))
+                        as Box<dyn Fn(&mut $crate::TestRng) -> _>
+                }
+            ),+
+        ])
+    }};
 }
 
 /// Strategy adapter returned by [`Strategy::prop_map`].
@@ -282,7 +370,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Number of elements a [`vec`] strategy may produce.
+    /// Number of elements a [`vec()`] strategy may produce.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -347,8 +435,8 @@ pub mod collection {
 /// Everything the tests import with `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy, TestCaseError, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 }
 

@@ -9,18 +9,24 @@
 //! This facade crate re-exports the workspace members:
 //!
 //! * [`rtree`] — the disk-simulated, paged R\*-tree substrate with LRU
-//!   buffering and I/O accounting.
+//!   buffering and I/O accounting (per-run attribution via
+//!   [`rtree::IoSession`]).
 //! * [`skyline`] — BBS skyline computation and the paper's incremental
 //!   maintenance with pruned-entry lists (§IV-B).
 //! * [`ta`] — reverse top-1 search over the function set via the
 //!   Threshold Algorithm with tight thresholds (§IV-A).
 //! * [`datagen`] — synthetic workload generators (independent,
 //!   anti-correlated, clustered, Zillow surrogate).
-//! * [`core`] — the matchers: skyline-based **SB** (the paper's
-//!   contribution, §III-B/§IV), **Brute Force** (§III-A) and **Chain**
-//!   (the adapted competitor of §V), plus verification utilities.
+//! * [`core`] — the [`core::Engine`] plus the matchers: skyline-based
+//!   **SB** (the paper's contribution, §III-B/§IV), **Brute Force**
+//!   (§III-A) and **Chain** (the adapted competitor of §V), plus
+//!   verification utilities.
 //!
 //! ## Quickstart
+//!
+//! Build an [`Engine`](core::Engine) **once** over the inventory — it
+//! validates the input and bulk-loads the object R-tree — then evaluate
+//! any number of requests against it:
 //!
 //! ```
 //! use mpq::prelude::*;
@@ -37,6 +43,7 @@
 //! ] {
 //!     objects.push(&p);
 //! }
+//! let engine = Engine::builder().objects(&objects).build().unwrap();
 //!
 //! // Three users with different priorities (weights sum to 1).
 //! let functions = FunctionSet::from_rows(2, &[
@@ -45,11 +52,43 @@
 //!     vec![0.5, 0.5], // balanced
 //! ]);
 //!
-//! let matching = SkylineMatcher::default().run(&objects, &functions);
+//! let matching = engine.request(&functions).evaluate().unwrap();
 //! assert_eq!(matching.pairs().len(), 3); // every user got a room
 //! // Pairs come out in descending score order and are stable:
 //! assert!(matching.pairs().windows(2).all(|w| w[0].score >= w[1].score));
+//!
+//! // The same engine serves further requests without another index
+//! // build — other algorithms, masked inventory, capacities, ...
+//! let bf = engine
+//!     .request(&functions)
+//!     .algorithm(Algorithm::BruteForce)
+//!     .evaluate()
+//!     .unwrap();
+//! assert_eq!(matching.sorted_pairs(), bf.sorted_pairs());
 //! ```
+//!
+//! ## Migration from `Matcher::run`
+//!
+//! Before this release, every evaluation went through
+//! `matcher.run(&objects, &functions)`, which bulk-loaded a private
+//! R-tree per call and panicked on malformed input. That method still
+//! works (as a deprecated shim that builds a single-use engine), but new
+//! code should hold an engine:
+//!
+//! | before | after |
+//! |---|---|
+//! | `SkylineMatcher::default().run(&o, &f)` | `engine.request(&f).evaluate()?` |
+//! | `BruteForceMatcher::default().run(&o, &f)` | `engine.request(&f).algorithm(Algorithm::BruteForce).evaluate()?` |
+//! | `ChainMatcher::default().run(&o, &f)` | `engine.request(&f).algorithm(Algorithm::Chain).evaluate()?` |
+//! | `CapacityMatcher::default().run(&o, &f, &caps)` | `engine.request(&f).capacities(&caps).evaluate()?` |
+//! | `matcher.stream(&tree, &f)` | `engine.stream(&f)?` |
+//! | `OnlineSession::new(&tree)` | `engine.session()` |
+//!
+//! where `let engine = Engine::builder().objects(&o).build()?;` is built
+//! once and shared (it is `Sync`; evaluation never mutates the index).
+//! Invalid input now surfaces as a typed [`core::MpqError`] instead of a
+//! panic, and per-run [`core::RunMetrics`] stay exact even when requests
+//! run concurrently.
 
 pub use mpq_core as core;
 pub use mpq_datagen as datagen;
@@ -60,10 +99,10 @@ pub use mpq_ta as ta;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use mpq_core::{
-        BruteForceMatcher, CapacityMatcher, ChainMatcher, Matcher, Matching,
-        MonotoneSkylineMatcher, OnlineSession, Pair, SkylineMatcher,
+        Algorithm, BruteForceMatcher, CapacityMatcher, ChainMatcher, Engine, MatchRequest,
+        MatchSession, Matcher, Matching, MonotoneSkylineMatcher, MpqError, Pair, SkylineMatcher,
     };
     pub use mpq_datagen::{Distribution, WorkloadBuilder};
-    pub use mpq_rtree::{PointSet, RTree, RTreeParams};
+    pub use mpq_rtree::{IoSession, PointSet, RTree, RTreeParams};
     pub use mpq_ta::FunctionSet;
 }

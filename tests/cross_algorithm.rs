@@ -2,10 +2,13 @@
 //! Brute Force (both strategies) and Chain must produce the identical
 //! stable matching on every workload, and that matching must equal the
 //! exact reference and pass the Property-1 verifier.
+//!
+//! Every evaluation is routed through the engine's `MatchRequest` path:
+//! one engine (one index build) per workload serves all configurations.
 
 use mpq::core::{
     reference_matching, verify_stable, BestPairMode, BfStrategy, BruteForceMatcher, ChainMatcher,
-    MaintenanceMode, Matcher, Pair, SkylineMatcher,
+    Engine, MaintenanceMode, Matcher, Pair, SkylineMatcher,
 };
 use mpq::datagen::{Distribution, FunctionStyle, WorkloadBuilder};
 
@@ -53,8 +56,10 @@ fn check_workload(dist: Distribution, n: usize, f: usize, dim: usize, seed: u64)
         .build();
     let expect = reference_matching(&w.objects, &w.functions);
     let expect_sorted = sorted(&expect);
+    // One shared engine: the index is built once for all configurations.
+    let engine = Engine::builder().objects(&w.objects).build().unwrap();
     for m in all_matchers() {
-        let got = m.run(&w.objects, &w.functions);
+        let got = m.run_on(&engine, &w.functions).unwrap();
         assert_eq!(
             sorted(got.pairs()),
             expect_sorted,
@@ -100,8 +105,9 @@ fn skewed_functions() {
         .seed(8)
         .build();
     let expect = sorted(&reference_matching(&w.objects, &w.functions));
+    let engine = Engine::builder().objects(&w.objects).build().unwrap();
     for m in all_matchers() {
-        let got = m.run(&w.objects, &w.functions);
+        let got = m.run_on(&engine, &w.functions).unwrap();
         assert_eq!(sorted(got.pairs()), expect, "{}", m.name());
     }
 }

@@ -2,10 +2,14 @@
 //! equivalence, capacity matching, metric consistency, and the
 //! public-API workflow a downstream user would follow.
 
-use mpq::core::capacity::{reference_capacity_matching, verify_capacity_stable, CapacityMatcher};
-use mpq::core::{Matcher, Pair, SkylineMatcher};
+use mpq::core::capacity::{reference_capacity_matching, verify_capacity_stable, CapacityMatching};
+use mpq::core::Pair;
 use mpq::datagen::{Distribution, WorkloadBuilder};
 use mpq::prelude::*;
+
+fn engine(objects: &PointSet) -> Engine {
+    Engine::builder().objects(objects).build().unwrap()
+}
 
 fn sorted(pairs: &[Pair]) -> Vec<(u32, u64)> {
     let mut v: Vec<(u32, u64)> = pairs.iter().map(|p| (p.fid, p.oid)).collect();
@@ -22,11 +26,9 @@ fn streaming_equals_batch() {
         .distribution(Distribution::AntiCorrelated)
         .seed(21)
         .build();
-    let matcher = SkylineMatcher::default();
-    let batch = matcher.run(&w.objects, &w.functions);
-
-    let tree = matcher.index.build_tree(&w.objects);
-    let streamed: Vec<Pair> = matcher.stream(&tree, &w.functions).collect();
+    let eng = engine(&w.objects);
+    let batch = eng.request(&w.functions).evaluate().unwrap();
+    let streamed: Vec<Pair> = eng.stream(&w.functions).unwrap().collect();
     assert_eq!(batch.pairs(), &streamed[..]);
 }
 
@@ -42,9 +44,8 @@ fn stream_order_guarantees() {
     // Multi-pair streams are *not* globally score-sorted (a pair that was
     // not yet mutually best in loop L can beat loop L's weakest mutual
     // pair), but the first emitted pair is the global optimum.
-    let matcher = SkylineMatcher::default();
-    let tree = matcher.index.build_tree(&w.objects);
-    let pairs: Vec<Pair> = matcher.stream(&tree, &w.functions).collect();
+    let eng = engine(&w.objects);
+    let pairs: Vec<Pair> = eng.stream(&w.functions).unwrap().collect();
     let max = pairs
         .iter()
         .map(|p| p.score)
@@ -55,12 +56,12 @@ fn stream_order_guarantees() {
     );
 
     // Single-pair mode is the pure greedy process: globally sorted.
-    let single = SkylineMatcher {
-        multi_pair: false,
-        ..SkylineMatcher::default()
-    };
-    let tree2 = single.index.build_tree(&w.objects);
-    let seq: Vec<Pair> = single.stream(&tree2, &w.functions).collect();
+    let seq: Vec<Pair> = eng
+        .request(&w.functions)
+        .multi_pair(false)
+        .stream()
+        .unwrap()
+        .collect();
     assert!(
         seq.windows(2).all(|w| w[0].score >= w[1].score),
         "single-pair stream must be globally sorted by score"
@@ -75,14 +76,13 @@ fn stream_can_be_abandoned_early() {
         .dim(3)
         .seed(23)
         .build();
-    let matcher = SkylineMatcher::default();
-    let tree = matcher.index.build_tree(&w.objects);
-    let mut stream = matcher.stream(&tree, &w.functions);
+    let eng = engine(&w.objects);
+    let mut stream = eng.stream(&w.functions).unwrap();
     let first_ten: Vec<Pair> = stream.by_ref().take(10).collect();
     assert_eq!(first_ten.len(), 10);
     // early abandonment must have read far less than a full run would
     let io_so_far = stream.metrics().io.logical;
-    let full = matcher.run(&w.objects, &w.functions);
+    let full = eng.request(&w.functions).evaluate().unwrap();
     assert!(
         io_so_far <= full.metrics().io.logical,
         "partial consumption cannot cost more than the full run"
@@ -101,7 +101,13 @@ fn capacity_matching_against_reference() {
         .seed(24)
         .build();
     let caps: Vec<u32> = (0..w.objects.len()).map(|i| (i % 4) as u32).collect();
-    let got = CapacityMatcher::default().run(&w.objects, &w.functions, &caps);
+    let eng = engine(&w.objects);
+    let got = CapacityMatching::from_matching(
+        eng.request(&w.functions)
+            .capacities(&caps)
+            .evaluate()
+            .unwrap(),
+    );
     let expect = reference_capacity_matching(&w.objects, &w.functions, &caps);
     assert_eq!(sorted(&got.pairs), sorted(&expect));
     verify_capacity_stable(&w.objects, &w.functions, &caps, &got.pairs).unwrap();
@@ -118,10 +124,19 @@ fn prelude_workflow_compiles_and_runs() {
         objects.push(&p);
     }
     let functions = FunctionSet::from_rows(2, &[vec![0.8, 0.2], vec![0.2, 0.8]]);
-    let matching = SkylineMatcher::default().run(&objects, &functions);
+    let eng = engine(&objects);
+    let matching = eng.request(&functions).evaluate().unwrap();
     assert_eq!(matching.len(), 2);
-    let bf = BruteForceMatcher::default().run(&objects, &functions);
-    let ch = ChainMatcher::default().run(&objects, &functions);
+    let bf = eng
+        .request(&functions)
+        .algorithm(Algorithm::BruteForce)
+        .evaluate()
+        .unwrap();
+    let ch = eng
+        .request(&functions)
+        .algorithm(Algorithm::Chain)
+        .evaluate()
+        .unwrap();
     assert_eq!(matching.sorted_pairs(), bf.sorted_pairs());
     assert_eq!(matching.sorted_pairs(), ch.sorted_pairs());
 }
@@ -134,10 +149,14 @@ fn metrics_io_accounting_is_exclusive_to_the_run() {
         .dim(3)
         .seed(25)
         .build();
-    let m1 = SkylineMatcher::default().run(&w.objects, &w.functions);
-    let m2 = SkylineMatcher::default().run(&w.objects, &w.functions);
-    // identical runs over identical data must report identical I/O
-    assert_eq!(m1.metrics().io, m2.metrics().io);
+    let eng = engine(&w.objects);
+    let m1 = eng.request(&w.functions).evaluate().unwrap();
+    let m2 = eng.request(&w.functions).evaluate().unwrap();
+    // Identical runs over identical data must report identical logical
+    // I/O (physical reads depend on the shared buffer's warmth, which
+    // the first run changes — exactly like two queries on one database).
+    assert_eq!(m1.metrics().io.logical, m2.metrics().io.logical);
+    assert!(m2.metrics().io.physical_reads <= m1.metrics().io.physical_reads);
     assert_eq!(m1.pairs(), m2.pairs());
 }
 
@@ -152,7 +171,7 @@ fn zero_weight_dimension_still_yields_weakly_stable_matching() {
     objects.push(&[0.5, 0.9]); // dominates object 0
     objects.push(&[0.4, 0.1]);
     let functions = FunctionSet::from_rows(2, &[vec![1.0, 0.0]]);
-    let m = SkylineMatcher::default().run(&objects, &functions);
+    let m = engine(&objects).request(&functions).evaluate().unwrap();
     assert_eq!(m.len(), 1);
     let p = m.pairs()[0];
     // the assigned object scores 0.5 — no object scores higher

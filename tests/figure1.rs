@@ -9,7 +9,7 @@
 //! The figure gives the geometry qualitatively; the coordinates below
 //! are chosen to satisfy every relation the text states.
 
-use mpq::core::{BruteForceMatcher, ChainMatcher, Matcher, SkylineMatcher};
+use mpq::core::{Algorithm, Engine};
 use mpq::rtree::{PointSet, RTree, RTreeParams};
 use mpq::skyline::SkylineMaintainer;
 use mpq::ta::FunctionSet;
@@ -74,7 +74,7 @@ fn initial_skyline_is_a_and_e() {
 fn removing_e_updates_skyline_to_a_c_d_i() {
     let tree = RTree::bulk_load(&objects(), RTreeParams::default());
     let mut sky = SkylineMaintainer::build(&tree);
-    let promoted = sky.remove(&[E]);
+    let promoted = sky.remove(&[E], &tree);
     let mut ids: Vec<u64> = sky.iter().map(|e| e.oid).collect();
     ids.sort_unstable();
     assert_eq!(ids, vec![A, C, D, 8], "updated skyline of Figure 1(b)");
@@ -86,7 +86,9 @@ fn removing_e_updates_skyline_to_a_c_d_i() {
 
 #[test]
 fn sb_reports_f1_e_then_f2_d() {
-    let m = SkylineMatcher::default().run(&objects(), &functions());
+    let ps = objects();
+    let engine = Engine::builder().objects(&ps).build().unwrap();
+    let m = engine.request(&functions()).evaluate().unwrap();
     let pairs = m.pairs();
     assert_eq!(pairs.len(), 2);
     assert_eq!(
@@ -107,9 +109,18 @@ fn sb_reports_f1_e_then_f2_d() {
 fn all_matchers_agree_on_the_figure() {
     let ps = objects();
     let fs = functions();
-    let sb = SkylineMatcher::default().run(&ps, &fs);
-    let bf = BruteForceMatcher::default().run(&ps, &fs);
-    let ch = ChainMatcher::default().run(&ps, &fs);
+    let engine = Engine::builder().objects(&ps).build().unwrap();
+    let sb = engine.request(&fs).evaluate().unwrap();
+    let bf = engine
+        .request(&fs)
+        .algorithm(Algorithm::BruteForce)
+        .evaluate()
+        .unwrap();
+    let ch = engine
+        .request(&fs)
+        .algorithm(Algorithm::Chain)
+        .evaluate()
+        .unwrap();
     assert_eq!(sb.sorted_pairs(), bf.sorted_pairs());
     assert_eq!(sb.sorted_pairs(), ch.sorted_pairs());
 }

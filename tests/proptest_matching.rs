@@ -15,7 +15,7 @@ use proptest::prelude::*;
 
 use mpq::core::{
     reference_matching, verify_stable, verify_weakly_stable, BfStrategy, BruteForceMatcher,
-    ChainMatcher, Matcher, Pair, SkylineMatcher,
+    ChainMatcher, Engine, Matcher, Pair, SkylineMatcher,
 };
 use mpq::rtree::PointSet;
 use mpq::ta::FunctionSet;
@@ -70,6 +70,8 @@ fn check_all(objects: &PointSet, functions: &FunctionSet) -> Result<(), TestCase
     let expect = reference_matching(objects, functions);
     let expect_sorted = sorted(&expect);
     let expect_by_point = sorted_by_point(&expect, objects);
+    // one index build serves every configuration below
+    let engine = Engine::builder().objects(objects).build().unwrap();
 
     // Brute Force and Chain examine every individual object: exact
     // agreement with the reference, including duplicate identities.
@@ -82,7 +84,7 @@ fn check_all(objects: &PointSet, functions: &FunctionSet) -> Result<(), TestCase
         Box::new(ChainMatcher::default()),
     ];
     for m in exact {
-        let got = m.run(objects, functions);
+        let got = m.run_on(&engine, functions).unwrap();
         prop_assert_eq!(
             sorted(got.pairs()),
             expect_sorted.clone(),
@@ -103,7 +105,7 @@ fn check_all(objects: &PointSet, functions: &FunctionSet) -> Result<(), TestCase
         }),
     ];
     for m in skyline {
-        let got = m.run(objects, functions);
+        let got = m.run_on(&engine, functions).unwrap();
         prop_assert_eq!(
             sorted_by_point(got.pairs(), objects),
             expect_by_point.clone(),
@@ -120,7 +122,8 @@ fn check_all(objects: &PointSet, functions: &FunctionSet) -> Result<(), TestCase
         multi_pair: false,
         ..SkylineMatcher::default()
     }
-    .run(objects, functions);
+    .run_on(&engine, functions)
+    .unwrap();
     let got_scores: Vec<u64> = seq.pairs().iter().map(|p| p.score.to_bits()).collect();
     let expect_scores: Vec<u64> = expect.iter().map(|p| p.score.to_bits()).collect();
     prop_assert_eq!(got_scores, expect_scores);
@@ -149,7 +152,8 @@ proptest! {
     fn matching_invariants_hold(
         (objects, functions) in (grid_objects(3), positive_functions(3))
     ) {
-        let m = SkylineMatcher::default().run(&objects, &functions);
+        let engine = Engine::builder().objects(&objects).build().unwrap();
+        let m = SkylineMatcher::default().run_on(&engine, &functions).unwrap();
         // size = min(|F|, |O|)
         prop_assert_eq!(m.len(), functions.n_alive().min(objects.len()));
         // 1-1

@@ -131,7 +131,7 @@ proptest! {
         for _ in 0..removals {
             let Some(victim) = m.iter().next().map(|e| e.oid) else { break };
             removed.insert(victim);
-            m.remove(&[victim]);
+            m.remove(&[victim], &tree);
             // compare as coordinate sets (duplicate-insensitive), and
             // confirm every reported id is a real, unremoved object with
             // those coordinates

@@ -8,6 +8,10 @@
 use mpq::core::{reference_matching, verify_stable};
 use mpq::prelude::*;
 
+fn engine(objects: &PointSet) -> Engine {
+    Engine::builder().objects(objects).build().unwrap()
+}
+
 /// 5×5 grid restricted to a diagonal band: many exact score ties under
 /// the balanced function, plus one duplicate point.
 fn fixed_objects() -> PointSet {
@@ -80,9 +84,12 @@ fn all_matchers_agree_on_fixed_workload() {
         "every function must be matched on this workload"
     );
 
-    let sb = SkylineMatcher::default().run(&objects, &functions);
-    let bf = BruteForceMatcher::default().run(&objects, &functions);
-    let chain = ChainMatcher::default().run(&objects, &functions);
+    let eng = engine(&objects);
+    let sb = SkylineMatcher::default().run_on(&eng, &functions).unwrap();
+    let bf = BruteForceMatcher::default()
+        .run_on(&eng, &functions)
+        .unwrap();
+    let chain = ChainMatcher::default().run_on(&eng, &functions).unwrap();
 
     // Brute Force and Chain see every individual object: exact agreement.
     assert_eq!(
@@ -117,18 +124,35 @@ fn all_matchers_agree_on_fixed_workload() {
 fn matchers_are_deterministic_across_runs() {
     let objects = fixed_objects();
     let functions = fixed_functions();
+    let eng = engine(&objects);
     for _ in 0..3 {
         assert_eq!(
-            pair_set(SkylineMatcher::default().run(&objects, &functions).pairs()),
-            pair_set(SkylineMatcher::default().run(&objects, &functions).pairs()),
+            pair_set(
+                SkylineMatcher::default()
+                    .run_on(&eng, &functions)
+                    .unwrap()
+                    .pairs()
+            ),
+            pair_set(
+                SkylineMatcher::default()
+                    .run_on(&eng, &functions)
+                    .unwrap()
+                    .pairs()
+            ),
         );
         assert_eq!(
             pair_set(
                 BruteForceMatcher::default()
-                    .run(&objects, &functions)
+                    .run_on(&eng, &functions)
+                    .unwrap()
                     .pairs()
             ),
-            pair_set(ChainMatcher::default().run(&objects, &functions).pairs()),
+            pair_set(
+                ChainMatcher::default()
+                    .run_on(&eng, &functions)
+                    .unwrap()
+                    .pairs()
+            ),
             "BruteForce and Chain must agree bit-for-bit on every run"
         );
     }
