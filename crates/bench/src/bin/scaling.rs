@@ -1,0 +1,379 @@
+//! Multi-core scaling harness: requests/sec of `Engine::evaluate_batch`
+//! vs. thread count × algorithm, against the sequential request loop.
+//!
+//! This is the repo's first *perf-trajectory* benchmark: it emits a
+//! machine-readable `BENCH_pr3.json` that CI validates and archives, so
+//! future PRs extend the series instead of re-measuring ad hoc.
+//!
+//! ```text
+//! cargo run --release -p mpq_bench --bin scaling                 # full run
+//! cargo run --release -p mpq_bench --bin scaling -- --quick      # CI smoke
+//! cargo run --release -p mpq_bench --bin scaling -- --out results.json
+//! cargo run -p mpq_bench --bin scaling -- --validate BENCH_pr3.json
+//! MPQ_OBJECTS=50000 MPQ_REQUESTS=64 MPQ_THREADS=1,2,4,8 ... # env overrides
+//! ```
+//!
+//! The workload is fig2-style (independent distribution, `D = 3`, 4 KiB
+//! pages, LRU buffer at 2% of the tree) — one shared engine, a stream of
+//! independent `MatchRequest`s each carrying its own preference-function
+//! batch. Every parallel cell is checked **pair-for-pair, bit-for-bit**
+//! against the sequential evaluation of the same requests; a mismatch
+//! aborts the run. The engine's buffer is sharded to the maximum tested
+//! thread count (`EngineBuilder::buffer_shards`).
+//!
+//! Speedup is machine-dependent: the `host.cores` field records how many
+//! cores the measurement actually had. The acceptance target (≥ 2× at
+//! ≥ 4 threads) is only reachable on a ≥ 4-core host; on fewer cores the
+//! harness still measures and records honestly and `acceptance.achieved`
+//! reports `null` (not applicable) rather than a fake pass/fail.
+
+use std::time::Instant;
+
+use mpq_bench::json::Json;
+use mpq_bench::{env_flag, env_usize};
+use mpq_core::{Algorithm, Engine, MatchRequest, Matching};
+use mpq_datagen::{Distribution, WorkloadBuilder};
+use mpq_ta::FunctionSet;
+
+const SCHEMA: &str = "mpq.bench.scaling/1";
+const ACCEPT_THREADS: usize = 4;
+const ACCEPT_SPEEDUP: f64 = 2.0;
+
+struct Config {
+    objects: usize,
+    requests: usize,
+    functions_per_request: usize,
+    dim: usize,
+    threads: Vec<usize>,
+    algorithms: Vec<Algorithm>,
+    out: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_pr3.json");
+        match validate_file(path) {
+            Ok(summary) => println!("{path}: OK ({summary})"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick") || env_flag("MPQ_QUICK");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+
+    let cfg = Config {
+        objects: env_usize("MPQ_OBJECTS", if quick { 4_000 } else { 30_000 }),
+        requests: env_usize("MPQ_REQUESTS", if quick { 12 } else { 48 }),
+        functions_per_request: env_usize("MPQ_FUNCTIONS", if quick { 20 } else { 50 }),
+        dim: env_usize("MPQ_DIM", 3),
+        threads: parse_threads(&std::env::var("MPQ_THREADS").unwrap_or_default(), quick),
+        algorithms: vec![Algorithm::Sb, Algorithm::BruteForce, Algorithm::Chain],
+        out,
+    };
+    run(&cfg);
+}
+
+fn parse_threads(spec: &str, quick: bool) -> Vec<usize> {
+    let parsed: Vec<usize> = spec
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&t| t >= 1)
+        .collect();
+    if !parsed.is_empty() {
+        return parsed;
+    }
+    if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+fn run(cfg: &Config) {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let max_threads = cfg.threads.iter().copied().max().unwrap_or(1);
+    println!(
+        "scaling harness: |O|={} requests={} |F|/req={} D={} threads={:?} cores={}",
+        cfg.objects, cfg.requests, cfg.functions_per_request, cfg.dim, cfg.threads, cores
+    );
+
+    // fig2-style objects, one shared engine, buffer sharded to the
+    // widest tested thread count
+    let w = WorkloadBuilder::new()
+        .objects(cfg.objects)
+        .functions(1)
+        .dim(cfg.dim)
+        .distribution(Distribution::Independent)
+        .seed(2009)
+        .build();
+    let build_start = Instant::now();
+    let engine = Engine::builder()
+        .objects(&w.objects)
+        .buffer_shards(max_threads)
+        .build()
+        .expect("workload objects are valid");
+    let build_secs = build_start.elapsed().as_secs_f64();
+
+    // one independent preference batch per request
+    let function_sets: Vec<FunctionSet> = (0..cfg.requests)
+        .map(|i| {
+            WorkloadBuilder::new()
+                .objects(1)
+                .functions(cfg.functions_per_request)
+                .dim(cfg.dim)
+                .seed(40_000 + i as u64)
+                .build()
+                .functions
+        })
+        .collect();
+
+    let mut series: Vec<Json> = Vec::new();
+    let mut accept_best: Option<f64> = None;
+
+    for &algo in &cfg.algorithms {
+        let requests: Vec<MatchRequest> = function_sets
+            .iter()
+            .map(|fs| engine.request(fs).algorithm(algo))
+            .collect();
+
+        // sequential baseline (the pre-batch serving loop)
+        engine.tree().clear_buffer();
+        let seq_start = Instant::now();
+        let sequential: Vec<Matching> = requests
+            .iter()
+            .map(|r| r.evaluate().expect("valid request"))
+            .collect();
+        let seq_wall = seq_start.elapsed().as_secs_f64();
+        let seq_rps = cfg.requests as f64 / seq_wall;
+        println!(
+            "  {:<12} sequential: {:>8.2} req/s ({:.3}s)",
+            algo.name(),
+            seq_rps,
+            seq_wall
+        );
+        series.push(cell(
+            algo,
+            "sequential",
+            1,
+            cfg,
+            seq_wall,
+            seq_rps,
+            1.0,
+            true,
+        ));
+
+        for &threads in &cfg.threads {
+            engine.tree().clear_buffer();
+            let outcome = engine
+                .evaluate_batch(&requests, threads)
+                .expect("valid requests");
+            let wall = outcome.metrics().wall.as_secs_f64();
+            let rps = outcome.metrics().requests_per_sec();
+            let identical = outcome
+                .matchings()
+                .iter()
+                .zip(&sequential)
+                .all(|(a, b)| identical_matchings(a, b));
+            assert!(
+                identical,
+                "{algo}: parallel matchings diverged from sequential — this is a bug"
+            );
+            let speedup = if seq_rps > 0.0 { rps / seq_rps } else { 0.0 };
+            println!(
+                "  {:<12} t={:<2}      : {:>8.2} req/s  speedup {:>5.2}x  identical={}",
+                algo.name(),
+                threads,
+                rps,
+                speedup,
+                identical
+            );
+            if threads >= ACCEPT_THREADS {
+                accept_best = Some(accept_best.map_or(speedup, |b: f64| b.max(speedup)));
+            }
+            series.push(cell(
+                algo, "batch", threads, cfg, wall, rps, speedup, identical,
+            ));
+        }
+    }
+
+    // acceptance verdict: only meaningful with enough cores to scale
+    let acceptance = Json::obj([
+        ("threshold_speedup", Json::Num(ACCEPT_SPEEDUP)),
+        ("at_threads", Json::Num(ACCEPT_THREADS as f64)),
+        (
+            "best_speedup_at_threshold",
+            accept_best.map_or(Json::Null, Json::Num),
+        ),
+        (
+            "achieved",
+            if cores < ACCEPT_THREADS {
+                Json::Null // not measurable on this host
+            } else {
+                Json::Bool(accept_best.unwrap_or(0.0) >= ACCEPT_SPEEDUP)
+            },
+        ),
+    ]);
+
+    let doc = Json::obj([
+        ("schema", Json::Str(SCHEMA.into())),
+        ("host", Json::obj([("cores", Json::Num(cores as f64))])),
+        (
+            "workload",
+            Json::obj([
+                ("style", Json::Str("fig2".into())),
+                ("distribution", Json::Str("independent".into())),
+                ("objects", Json::Num(cfg.objects as f64)),
+                ("requests", Json::Num(cfg.requests as f64)),
+                (
+                    "functions_per_request",
+                    Json::Num(cfg.functions_per_request as f64),
+                ),
+                ("dim", Json::Num(cfg.dim as f64)),
+                ("build_secs", Json::Num(build_secs)),
+                (
+                    "buffer_shards",
+                    Json::Num(engine.tree().buffer_shards() as f64),
+                ),
+            ]),
+        ),
+        ("series", Json::Arr(series)),
+        ("acceptance", acceptance),
+    ]);
+
+    std::fs::write(&cfg.out, doc.render() + "\n").expect("write benchmark artifact");
+    println!("wrote {}", cfg.out);
+    match validate_file(&cfg.out) {
+        Ok(summary) => println!("self-validation: OK ({summary})"),
+        Err(e) => {
+            eprintln!("self-validation FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cell(
+    algo: Algorithm,
+    mode: &str,
+    threads: usize,
+    cfg: &Config,
+    wall: f64,
+    rps: f64,
+    speedup: f64,
+    identical: bool,
+) -> Json {
+    Json::obj([
+        ("algorithm", Json::Str(algo.name().into())),
+        ("mode", Json::Str(mode.into())),
+        ("threads", Json::Num(threads as f64)),
+        ("requests", Json::Num(cfg.requests as f64)),
+        ("wall_secs", Json::Num(wall)),
+        ("requests_per_sec", Json::Num(rps)),
+        ("speedup_vs_sequential", Json::Num(speedup)),
+        ("identical_to_sequential", Json::Bool(identical)),
+    ])
+}
+
+fn identical_matchings(a: &Matching, b: &Matching) -> bool {
+    a.len() == b.len()
+        && a.pairs().iter().zip(b.pairs()).all(|(x, y)| {
+            x.fid == y.fid && x.oid == y.oid && x.score.to_bits() == y.score.to_bits()
+        })
+}
+
+/// Validate a `BENCH_pr3.json` artifact: parse, check the schema tag and
+/// the shape every series entry must have. Returns a one-line summary.
+fn validate_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = Json::parse(&text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing 'schema'")?;
+    if schema != SCHEMA {
+        return Err(format!("schema '{schema}' != '{SCHEMA}'"));
+    }
+    doc.get("host")
+        .and_then(|h| h.get("cores"))
+        .and_then(Json::as_f64)
+        .ok_or("missing 'host.cores'")?;
+    let workload = doc.get("workload").ok_or("missing 'workload'")?;
+    for key in ["objects", "requests", "functions_per_request", "dim"] {
+        workload
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("missing numeric 'workload.{key}'"))?;
+    }
+    let series = doc
+        .get("series")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'series' array")?;
+    if series.is_empty() {
+        return Err("empty 'series'".to_string());
+    }
+    let mut identical = 0usize;
+    for (i, entry) in series.iter().enumerate() {
+        entry
+            .get("algorithm")
+            .and_then(Json::as_str)
+            .ok_or(format!("series[{i}]: missing 'algorithm'"))?;
+        let mode = entry
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or(format!("series[{i}]: missing 'mode'"))?;
+        if mode != "sequential" && mode != "batch" {
+            return Err(format!("series[{i}]: bad mode '{mode}'"));
+        }
+        for key in [
+            "threads",
+            "requests",
+            "wall_secs",
+            "requests_per_sec",
+            "speedup_vs_sequential",
+        ] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("series[{i}]: missing numeric '{key}'"))?;
+            if v < 0.0 {
+                return Err(format!("series[{i}]: negative '{key}'"));
+            }
+        }
+        if entry
+            .get("identical_to_sequential")
+            .and_then(Json::as_bool)
+            .ok_or(format!("series[{i}]: missing 'identical_to_sequential'"))?
+        {
+            identical += 1;
+        }
+    }
+    if identical != series.len() {
+        return Err(format!(
+            "{} of {} series entries were not identical to sequential",
+            series.len() - identical,
+            series.len()
+        ));
+    }
+    let acceptance = doc.get("acceptance").ok_or("missing 'acceptance'")?;
+    acceptance
+        .get("threshold_speedup")
+        .and_then(Json::as_f64)
+        .ok_or("missing 'acceptance.threshold_speedup'")?;
+    Ok(format!(
+        "{} series entries, all identical to sequential",
+        series.len()
+    ))
+}

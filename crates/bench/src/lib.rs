@@ -11,6 +11,8 @@ use std::time::Instant;
 use mpq_core::{Engine, Matcher, Matching};
 use mpq_datagen::Workload;
 
+pub mod json;
+
 /// One experiment cell: a matcher's cost on one workload.
 #[derive(Debug, Clone)]
 pub struct Cell {

@@ -6,6 +6,9 @@
 //!           [--output out.csv] [--no-normalize-check]
 //! mpq generate --distribution independent|correlated|anti-correlated|zillow
 //!              --objects N --dim D [--seed S]   # emits an objects CSV
+//! mpq throughput --objects rooms.csv --functions users.csv
+//!                [--algo sb|bf|chain] [--requests R] [--threads T]
+//!                # serve R copies of the request on T threads and report req/s
 //! ```
 //!
 //! Object attribute values are expected in `[0, 1]` larger-is-better
@@ -53,6 +56,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("match") => cmd_match(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("throughput") => cmd_throughput(&args[1..]),
         Some("--help" | "-h" | "help") | None => Err(CliError::usage(USAGE)),
         Some(other) => Err(CliError::usage(format!(
             "unknown command '{other}'\n{USAGE}"
@@ -64,7 +68,9 @@ const USAGE: &str = "usage:
   mpq match --objects <objects.csv> --functions <functions.csv>
             [--algo sb|bf|chain] [--output <file>]
   mpq generate --distribution <independent|correlated|anti-correlated|clustered|zillow>
-               --objects <N> --dim <D> [--seed <S>]";
+               --objects <N> --dim <D> [--seed <S>]
+  mpq throughput --objects <objects.csv> --functions <functions.csv>
+                 [--algo sb|bf|chain] [--requests <R>] [--threads <T>]";
 
 fn arg_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -178,6 +184,109 @@ fn build_inputs(
         functions.push(row);
     }
     Ok((objects, functions))
+}
+
+/// Parallel serving demo: load one `(objects, functions)` pair, build
+/// the engine once (buffer sharded to the worker count), then serve `R`
+/// copies of the request on `T` threads via `Engine::evaluate_batch` and
+/// report the throughput against the sequential loop. The batch results
+/// are verified identical to the sequential ones before anything is
+/// reported.
+fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
+    let objects_path = arg_value(args, "--objects")
+        .ok_or_else(|| CliError::usage(format!("--objects is required\n{USAGE}")))?;
+    let functions_path = arg_value(args, "--functions")
+        .ok_or_else(|| CliError::usage(format!("--functions is required\n{USAGE}")))?;
+    let algorithm: Algorithm = arg_value(args, "--algo")
+        .or_else(|| arg_value(args, "--algorithm"))
+        .unwrap_or("sb")
+        .parse()
+        .map_err(CliError::usage)?;
+    let requests: usize = arg_value(args, "--requests")
+        .unwrap_or("32")
+        .parse()
+        .map_err(|_| CliError::usage("--requests must be an integer"))?;
+    let threads: usize = arg_value(args, "--threads")
+        .unwrap_or("0") // 0 = one worker per core
+        .parse()
+        .map_err(|_| CliError::usage("--threads must be an integer"))?;
+
+    let objects_text = fs::read_to_string(objects_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {objects_path}: {e}")))?;
+    let functions_text = fs::read_to_string(functions_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {functions_path}: {e}")))?;
+    let objects_table =
+        parse(&objects_text).map_err(|e| CliError::runtime(format!("{objects_path}: {e}")))?;
+    let functions_table =
+        parse(&functions_text).map_err(|e| CliError::runtime(format!("{functions_path}: {e}")))?;
+    if objects_table.columns.len() != functions_table.columns.len() {
+        return Err(CliError::runtime(format!(
+            "dimensionality mismatch: objects have {} attributes, functions have {}",
+            objects_table.columns.len(),
+            functions_table.columns.len()
+        )));
+    }
+    let (objects, functions) = build_inputs(&objects_table, &functions_table)?;
+
+    let effective_threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    };
+    let engine = Engine::builder()
+        .objects(&objects)
+        .buffer_shards(effective_threads)
+        .build()
+        .map_err(cli_from_mpq)?;
+
+    let batch: Vec<_> = (0..requests)
+        .map(|_| engine.request(&functions).algorithm(algorithm))
+        .collect();
+
+    // Cold-start the shared buffer before each timed phase, like the
+    // scaling harness does — otherwise the batch pass would run on a
+    // buffer the sequential pass warmed and the speedup would conflate
+    // parallelism with cache warmth.
+    engine.tree().clear_buffer();
+    let seq_start = std::time::Instant::now();
+    let mut sequential = Vec::with_capacity(requests);
+    for r in &batch {
+        sequential.push(r.evaluate().map_err(cli_from_mpq)?);
+    }
+    let seq_secs = seq_start.elapsed().as_secs_f64();
+
+    engine.tree().clear_buffer();
+    let outcome = engine
+        .evaluate_batch(&batch, threads)
+        .map_err(cli_from_mpq)?;
+    let met = outcome.metrics();
+    for (a, b) in outcome.matchings().iter().zip(&sequential) {
+        if a.sorted_pairs() != b.sorted_pairs() {
+            return Err(CliError::runtime(
+                "batch result diverged from sequential evaluation".to_string(),
+            ));
+        }
+    }
+
+    let seq_rps = requests as f64 / seq_secs.max(f64::MIN_POSITIVE);
+    let par_rps = met.requests_per_sec();
+    Ok(format!(
+        "{} x{requests} requests over {} objects\n\
+         sequential: {:.2} req/s ({:.3}s)\n\
+         batch t={}: {:.2} req/s ({:.3}s)  speedup {:.2}x  (all matchings identical)\n",
+        algorithm.name(),
+        objects.len(),
+        seq_rps,
+        seq_secs,
+        met.threads,
+        par_rps,
+        met.wall.as_secs_f64(),
+        if seq_rps > 0.0 {
+            par_rps / seq_rps
+        } else {
+            0.0
+        },
+    ))
 }
 
 fn cmd_generate(args: &[String]) -> Result<String, CliError> {
@@ -325,6 +434,44 @@ mod tests {
         let sb = run("sb");
         assert_eq!(sb, run("bf"));
         assert_eq!(sb, run("chain"));
+    }
+
+    #[test]
+    fn throughput_reports_identical_parallel_serving() {
+        let dir = std::env::temp_dir().join("mpq_cli_throughput");
+        fs::create_dir_all(&dir).unwrap();
+        let objects_csv = run_cli(&args(&[
+            "generate",
+            "--distribution",
+            "independent",
+            "--objects",
+            "400",
+            "--dim",
+            "2",
+            "--seed",
+            "13",
+        ]))
+        .unwrap();
+        let opath = dir.join("objects.csv");
+        fs::write(&opath, &objects_csv).unwrap();
+        let fpath = dir.join("functions.csv");
+        fs::write(&fpath, "w0,w1\n0.7,0.3\n0.4,0.6\n0.5,0.5\n").unwrap();
+
+        let out = run_cli(&args(&[
+            "throughput",
+            "--objects",
+            opath.to_str().unwrap(),
+            "--functions",
+            fpath.to_str().unwrap(),
+            "--requests",
+            "6",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("sequential:"), "{out}");
+        assert!(out.contains("batch t=2:"), "{out}");
+        assert!(out.contains("all matchings identical"), "{out}");
     }
 
     #[test]

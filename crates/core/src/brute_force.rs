@@ -31,12 +31,13 @@ use std::collections::BinaryHeap;
 use std::collections::HashSet;
 use std::time::Instant;
 
-use mpq_rtree::{LinearScorer, NodeSource, RankedIter};
+use mpq_rtree::{LinearScorer, LinearScorerRef, NodeSource, RankedHit, RankedIter, SearchBuf};
 use mpq_ta::FunctionSet;
 
 use crate::engine::{Algorithm, Engine};
 use crate::error::MpqError;
 use crate::matching::{IndexConfig, Matcher, Matching, Pair, RunMetrics};
+use crate::scratch::Scratch;
 
 /// Candidate heap entry, ordered so the canonically first [`Pair`] is
 /// popped first (max-heap: the reverse of the canonical `Ord`).
@@ -119,13 +120,19 @@ impl Matcher for BruteForceMatcher {
 }
 
 /// Incremental Brute Force over any node source. Objects in `excluded`
-/// are invisible (treated as pre-assigned).
+/// are invisible (treated as pre-assigned). The working function set and
+/// the assigned-object set come from `scratch`; the per-function search
+/// frontiers are inherently per-run state (they all live concurrently —
+/// this is the memory footprint the paper reports) and stay run-local.
 pub(crate) fn run_incremental_on<R: NodeSource>(
     src: &R,
     functions: &FunctionSet,
     excluded: &HashSet<u64>,
+    scratch: &mut Scratch,
 ) -> Matching {
-    let mut fs = functions.clone();
+    scratch.fs.copy_from(functions);
+    scratch.seed_assigned(excluded);
+    let fs = &mut scratch.fs;
     let mut metrics = RunMetrics::default();
     let start = Instant::now();
     let io_start = src.io_snapshot();
@@ -133,7 +140,7 @@ pub(crate) fn run_incremental_on<R: NodeSource>(
     let available = (src.len() as usize).saturating_sub(excluded.len());
     let budget = fs.n_alive().min(available);
     let mut pairs: Vec<Pair> = Vec::with_capacity(budget);
-    let mut assigned_objects: HashSet<u64> = excluded.clone();
+    let assigned_objects = &mut scratch.assigned;
 
     // One persistent incremental iterator per function. `iters[i]`
     // belongs to the i-th alive function.
@@ -213,14 +220,37 @@ pub(crate) fn run_incremental_on<R: NodeSource>(
     Matching::new(pairs, metrics)
 }
 
+/// One masked top-1 ranked search, reusing `buf` as frontier storage so
+/// search storms (restart Brute Force, Chain) stop churning the
+/// allocator.
+pub(crate) fn masked_top1<R: NodeSource>(
+    src: &R,
+    weights: &[f64],
+    assigned: &HashSet<u64>,
+    buf: &mut SearchBuf,
+    metrics: &mut RunMetrics,
+) -> Option<RankedHit> {
+    metrics.top1_searches += 1;
+    let mut it = RankedIter::over_reusing(src, LinearScorerRef::new(weights), std::mem::take(buf));
+    let hit = it.by_ref().find(|h| !assigned.contains(&h.oid));
+    *buf = it.recycle();
+    hit
+}
+
 /// Restart Brute Force over any node source: no persistent frontiers; an
-/// invalidated function re-runs a fresh masked top-1 search.
+/// invalidated function re-runs a fresh masked top-1 search (on the
+/// scratch's reused frontier storage).
 pub(crate) fn run_restart_on<R: NodeSource>(
     src: &R,
     functions: &FunctionSet,
     excluded: &HashSet<u64>,
+    scratch: &mut Scratch,
 ) -> Matching {
-    let mut fs = functions.clone();
+    scratch.fs.copy_from(functions);
+    scratch.seed_assigned(excluded);
+    let fs = &mut scratch.fs;
+    let assigned_objects = &mut scratch.assigned;
+    let search = &mut scratch.search;
     let mut metrics = RunMetrics::default();
     let start = Instant::now();
     let io_start = src.io_snapshot();
@@ -228,17 +258,12 @@ pub(crate) fn run_restart_on<R: NodeSource>(
     let available = (src.len() as usize).saturating_sub(excluded.len());
     let budget = fs.n_alive().min(available);
     let mut pairs: Vec<Pair> = Vec::with_capacity(budget);
-    let mut assigned_objects: HashSet<u64> = excluded.clone();
-
-    let top1_excluding = |assigned: &HashSet<u64>, weights: &[f64], m: &mut RunMetrics| {
-        m.top1_searches += 1;
-        RankedIter::over(src, LinearScorer::new(weights)).find(|h| !assigned.contains(&h.oid))
-    };
 
     let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(fs.n_alive());
     let fids: Vec<u32> = fs.iter_alive().map(|(fid, _)| fid).collect();
     for fid in fids {
-        if let Some(hit) = top1_excluding(&assigned_objects, fs.weights(fid), &mut metrics) {
+        if let Some(hit) = masked_top1(src, fs.weights(fid), assigned_objects, search, &mut metrics)
+        {
             heap.push(Cand {
                 score: hit.score,
                 fid,
@@ -253,8 +278,13 @@ pub(crate) fn run_restart_on<R: NodeSource>(
             // stale: the object was taken since this search ran; the
             // stored score upper-bounds the function's current best, so
             // a fresh search re-inserts it at the right position.
-            if let Some(hit) = top1_excluding(&assigned_objects, fs.weights(cand.fid), &mut metrics)
-            {
+            if let Some(hit) = masked_top1(
+                src,
+                fs.weights(cand.fid),
+                assigned_objects,
+                search,
+                &mut metrics,
+            ) {
                 heap.push(Cand {
                     score: hit.score,
                     fid: cand.fid,

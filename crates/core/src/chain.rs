@@ -28,12 +28,14 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use mpq_rtree::{LinearScorer, NodeSource, PointSet, RTree, RTreeParams, RankedIter};
+use mpq_rtree::{LinearScorerRef, NodeSource, PointSet, RTree, RTreeParams, RankedIter};
 use mpq_ta::FunctionSet;
 
+use crate::brute_force::masked_top1;
 use crate::engine::{Algorithm, Engine};
 use crate::error::MpqError;
 use crate::matching::{IndexConfig, Matcher, Matching, Pair, RunMetrics};
+use crate::scratch::Scratch;
 
 /// A chain element: a function or an object (with its point, needed for
 /// searching the function tree).
@@ -68,14 +70,20 @@ impl Matcher for ChainMatcher {
 }
 
 /// Chain matching over any node source. Objects in `excluded` are
-/// invisible (masked from every object-side search).
+/// invisible (masked from every object-side search). Both sides' top-1
+/// search storms reuse the scratch's frontier storage; the working
+/// function set and assigned-object set come from the scratch too.
 pub(crate) fn run_chain_on<R: NodeSource>(
     index: &IndexConfig,
     src: &R,
     functions: &FunctionSet,
     excluded: &HashSet<u64>,
+    scratch: &mut Scratch,
 ) -> Matching {
-    let mut fs = functions.clone();
+    scratch.fs.copy_from(functions);
+    scratch.seed_assigned(excluded);
+    let fs = &mut scratch.fs;
+    let search = &mut scratch.search;
     let mut metrics = RunMetrics::default();
     let start = Instant::now();
     let io_start = src.io_snapshot();
@@ -102,7 +110,7 @@ pub(crate) fn run_chain_on<R: NodeSource>(
     let available = (src.len() as usize).saturating_sub(excluded.len());
     let budget = fs.n_alive().min(available);
     let mut pairs: Vec<Pair> = Vec::with_capacity(budget);
-    let mut assigned: HashSet<u64> = excluded.clone();
+    let assigned = &mut scratch.assigned;
     let mut stack: Vec<Elem> = Vec::new();
 
     'outer: for start_row in 0..fid_of_row.len() {
@@ -117,9 +125,7 @@ pub(crate) fn run_chain_on<R: NodeSource>(
             metrics.loops += 1;
             match top {
                 Elem::F(fid) => {
-                    metrics.top1_searches += 1;
-                    let hit = RankedIter::over(src, LinearScorer::new(fs.weights(fid)))
-                        .find(|h| !assigned.contains(&h.oid));
+                    let hit = masked_top1(src, fs.weights(fid), assigned, search, &mut metrics);
                     let Some(hit) = hit else {
                         // objects exhausted: remaining functions stay
                         // unmatched
@@ -147,7 +153,17 @@ pub(crate) fn run_chain_on<R: NodeSource>(
                 }
                 Elem::O(oid, ref opoint) => {
                     metrics.fun_top1_searches += 1;
-                    let Some(hit) = fun_tree.top1(opoint) else {
+                    let hit = {
+                        let mut it = RankedIter::over_reusing(
+                            &fun_tree,
+                            LinearScorerRef::new(opoint),
+                            std::mem::take(search),
+                        );
+                        let hit = it.next();
+                        *search = it.recycle();
+                        hit
+                    };
+                    let Some(hit) = hit else {
                         // no functions left: abandon the chain
                         stack.clear();
                         break;

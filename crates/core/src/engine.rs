@@ -39,10 +39,13 @@
 //! assert_eq!(sb.sorted_pairs(), bf.sorted_pairs());
 //! ```
 
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::time::{Duration, Instant};
 
-use mpq_rtree::{IoSession, PointSet, RTree};
+use parking_lot::Mutex;
+
+use mpq_rtree::{IoSession, IoStats, PointSet, RTree};
 use mpq_skyline::SkylineMaintainer;
 use mpq_ta::{FunctionSet, ReverseTopOne};
 
@@ -52,9 +55,10 @@ use crate::chain::run_chain_on;
 use crate::error::MpqError;
 use crate::matching::{IndexConfig, Matching, Pair, RunMetrics};
 use crate::sb::{
-    run_rescan_on, sb_loop_round, stream_on, BestPairMode, MaintenanceMode, SbStream,
+    run_rescan_on, run_sb_on, sb_loop_round, stream_on, BestPairMode, MaintenanceMode, SbStream,
     SkylineMatcher,
 };
+use crate::scratch::Scratch;
 
 /// Which stable-matching algorithm a [`MatchRequest`] runs.
 ///
@@ -111,6 +115,7 @@ impl std::fmt::Display for Algorithm {
 pub struct EngineBuilder<'o> {
     index: IndexConfig,
     objects: Option<&'o PointSet>,
+    buffer_shards: Option<usize>,
 }
 
 impl<'o> EngineBuilder<'o> {
@@ -125,6 +130,19 @@ impl<'o> EngineBuilder<'o> {
     /// the set does not need to outlive the engine.
     pub fn objects(mut self, objects: &'o PointSet) -> EngineBuilder<'o> {
         self.objects = Some(objects);
+        self
+    }
+
+    /// Split the shared LRU buffer into `shards` lock shards so
+    /// concurrent evaluations on distinct pages stop contending on one
+    /// mutex (see the `mpq_rtree::buffer` docs). A good value is the
+    /// thread count passed to [`Engine::evaluate_batch`]. Clamped to
+    /// `[1, buffer capacity]` so every shard caches at least one page.
+    ///
+    /// Default: 1 shard — the classic single LRU of the paper's
+    /// experiments, with bit-identical eviction order and I/O counts.
+    pub fn buffer_shards(mut self, shards: usize) -> EngineBuilder<'o> {
+        self.buffer_shards = Some(shards);
         self
     }
 
@@ -158,7 +176,10 @@ impl<'o> EngineBuilder<'o> {
                 }
             }
         }
-        let tree = self.index.build_tree(objects);
+        let mut tree = self.index.build_tree(objects);
+        if let Some(shards) = self.buffer_shards {
+            tree.set_buffer_shards(shards.clamp(1, tree.buffer_capacity()));
+        }
         Ok(Engine {
             dim: objects.dim(),
             n_objects: objects.len(),
@@ -261,9 +282,92 @@ impl Engine {
             engine: self,
             io,
             maintainer,
+            scratch: Scratch::new(),
             assigned: 0,
             batches: 0,
         }
+    }
+
+    /// Evaluate a slice of independent requests on a built-in scoped
+    /// worker pool, returning the matchings **in input order** plus
+    /// aggregated [`BatchMetrics`].
+    ///
+    /// `threads == 0` means "one worker per available core". Workers
+    /// pull requests from a shared atomic cursor, each reusing one
+    /// [`Scratch`] across its whole stream, and read the shared index
+    /// through per-run [`IoSession`]s — so every returned
+    /// [`Matching::metrics`] still reports exactly its own run's I/O,
+    /// and the result of every request is **identical to evaluating it
+    /// sequentially** (each evaluation is deterministic and the index is
+    /// never mutated; only buffer hit/miss counts feel the concurrency).
+    ///
+    /// For multi-core scaling pair this with
+    /// [`EngineBuilder::buffer_shards`] (shards ≈ threads), otherwise
+    /// every worker funnels through the buffer pool's single lock.
+    ///
+    /// If any request fails validation, the error of the first failing
+    /// request (in input order) is returned.
+    pub fn evaluate_batch(
+        &self,
+        requests: &[MatchRequest<'_, '_>],
+        threads: usize,
+    ) -> Result<BatchOutcome, MpqError> {
+        let wall_start = Instant::now();
+        let n = requests.len();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        }
+        .clamp(1, n.max(1));
+
+        // Fail fast: all evaluation errors are request-shape errors, so
+        // an invalid request is caught here — in input order — before
+        // any work is spent on the rest of the batch.
+        for request in requests {
+            request.validate()?;
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Matching, MpqError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut scratch = Scratch::new();
+                    loop {
+                        let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let result = requests[i].evaluate_with(&mut scratch);
+                        *slots[i].lock() = Some(result);
+                    }
+                });
+            }
+        });
+
+        let mut matchings = Vec::with_capacity(n);
+        let mut metrics = BatchMetrics {
+            threads,
+            requests: n,
+            ..BatchMetrics::default()
+        };
+        for slot in slots {
+            let result = slot
+                .into_inner()
+                .expect("every slot is filled before the scope ends");
+            let m = result?;
+            let met = m.metrics();
+            metrics.io += met.io;
+            metrics.cpu_total += met.elapsed;
+            metrics.loops += met.loops;
+            metrics.top1_searches += met.top1_searches;
+            metrics.reverse_top1_calls += met.reverse_top1_calls;
+            matchings.push(m);
+        }
+        metrics.wall = wall_start.elapsed();
+        Ok(BatchOutcome { matchings, metrics })
     }
 
     fn validate_functions(&self, functions: &FunctionSet) -> Result<(), MpqError> {
@@ -366,35 +470,26 @@ impl<'e> MatchRequest<'e, '_> {
     /// index. The index is read, never mutated; concurrent evaluations
     /// are independent and each [`Matching::metrics`] reports only its
     /// own run's I/O.
+    ///
+    /// Equivalent to [`MatchRequest::evaluate_with`] on a fresh
+    /// [`Scratch`]; serving many requests from one reused scratch (as
+    /// [`Engine::evaluate_batch`] does per worker) skips the per-run
+    /// allocations.
     pub fn evaluate(&self) -> Result<Matching, MpqError> {
-        self.engine.validate_functions(self.functions)?;
+        self.evaluate_with(&mut Scratch::new())
+    }
+
+    /// Like [`MatchRequest::evaluate`], but serving the run's working
+    /// state — function-set copy, assigned sets, SB rank-list caches,
+    /// search frontiers — from a caller-owned reusable [`Scratch`]. The
+    /// scratch never changes what is computed, only how often the
+    /// allocator is hit; reuse one per thread across any sequence of
+    /// requests.
+    pub fn evaluate_with(&self, scratch: &mut Scratch) -> Result<Matching, MpqError> {
+        self.validate()?;
         let session = IoSession::new(&self.engine.tree);
 
         if let Some(caps) = &self.capacities {
-            if caps.len() != self.engine.n_objects {
-                return Err(MpqError::CapacityMismatch {
-                    expected: self.engine.n_objects,
-                    got: caps.len(),
-                });
-            }
-            if self.algorithm != Algorithm::Sb {
-                return Err(MpqError::UnsupportedRequest(
-                    "capacities are only supported with Algorithm::Sb",
-                ));
-            }
-            // Reject — rather than silently ignore — SB ablation knobs
-            // the capacitated path does not implement. (multi_pair does
-            // not apply: the capacitated greedy emits one pair per loop.)
-            if self.maintenance != MaintenanceMode::Incremental {
-                return Err(MpqError::UnsupportedRequest(
-                    "capacities do not support the rescan maintenance ablation",
-                ));
-            }
-            if self.best_pair != BestPairMode::Ta {
-                return Err(MpqError::UnsupportedRequest(
-                    "capacities only support the TA best-pair mode",
-                ));
-            }
             return Ok(run_capacity_on(
                 &session,
                 self.functions,
@@ -407,33 +502,42 @@ impl<'e> MatchRequest<'e, '_> {
             Algorithm::Sb => {
                 let cfg = self.sb_config();
                 match self.maintenance {
-                    MaintenanceMode::Incremental => {
-                        let start = Instant::now();
-                        let mut stream = stream_on(&cfg, &session, self.functions, &self.exclude);
-                        let mut pairs = Vec::new();
-                        for p in &mut stream {
-                            pairs.push(p);
-                        }
-                        let mut metrics = stream.into_metrics();
-                        metrics.elapsed = start.elapsed();
-                        Ok(Matching::new(pairs, metrics))
-                    }
-                    MaintenanceMode::Rescan => {
-                        Ok(run_rescan_on(&cfg, &session, self.functions, &self.exclude))
-                    }
+                    MaintenanceMode::Incremental => Ok(run_sb_on(
+                        &cfg,
+                        &session,
+                        self.functions,
+                        &self.exclude,
+                        scratch,
+                    )),
+                    MaintenanceMode::Rescan => Ok(run_rescan_on(
+                        &cfg,
+                        &session,
+                        self.functions,
+                        &self.exclude,
+                        scratch,
+                    )),
                 }
             }
             Algorithm::BruteForce => match self.bf_strategy {
-                BfStrategy::Incremental => {
-                    Ok(run_incremental_on(&session, self.functions, &self.exclude))
-                }
-                BfStrategy::Restart => Ok(run_restart_on(&session, self.functions, &self.exclude)),
+                BfStrategy::Incremental => Ok(run_incremental_on(
+                    &session,
+                    self.functions,
+                    &self.exclude,
+                    scratch,
+                )),
+                BfStrategy::Restart => Ok(run_restart_on(
+                    &session,
+                    self.functions,
+                    &self.exclude,
+                    scratch,
+                )),
             },
             Algorithm::Chain => Ok(run_chain_on(
                 &self.engine.config,
                 &session,
                 self.functions,
                 &self.exclude,
+                scratch,
             )),
         }
     }
@@ -470,12 +574,124 @@ impl<'e> MatchRequest<'e, '_> {
         ))
     }
 
+    /// All the request-shape checks evaluation can fail on, with no
+    /// evaluation work. [`Engine::evaluate_batch`] runs this over every
+    /// request *before* spawning workers, so an invalid request aborts
+    /// the batch up front instead of after every other request has been
+    /// evaluated and discarded.
+    fn validate(&self) -> Result<(), MpqError> {
+        self.engine.validate_functions(self.functions)?;
+        if let Some(caps) = &self.capacities {
+            if caps.len() != self.engine.n_objects {
+                return Err(MpqError::CapacityMismatch {
+                    expected: self.engine.n_objects,
+                    got: caps.len(),
+                });
+            }
+            if self.algorithm != Algorithm::Sb {
+                return Err(MpqError::UnsupportedRequest(
+                    "capacities are only supported with Algorithm::Sb",
+                ));
+            }
+            // Reject — rather than silently ignore — SB ablation knobs
+            // the capacitated path does not implement. (multi_pair does
+            // not apply: the capacitated greedy emits one pair per loop.)
+            if self.maintenance != MaintenanceMode::Incremental {
+                return Err(MpqError::UnsupportedRequest(
+                    "capacities do not support the rescan maintenance ablation",
+                ));
+            }
+            if self.best_pair != BestPairMode::Ta {
+                return Err(MpqError::UnsupportedRequest(
+                    "capacities only support the TA best-pair mode",
+                ));
+            }
+        }
+        Ok(())
+    }
+
     fn sb_config(&self) -> SkylineMatcher {
         SkylineMatcher {
             index: self.engine.config.clone(),
             multi_pair: self.multi_pair,
             best_pair: self.best_pair,
             maintenance: self.maintenance,
+        }
+    }
+}
+
+/// Results of one [`Engine::evaluate_batch`] call: the matchings in
+/// input order plus aggregated cost metrics.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    matchings: Vec<Matching>,
+    metrics: BatchMetrics,
+}
+
+impl BatchOutcome {
+    /// The matchings, one per request, **in input order**.
+    pub fn matchings(&self) -> &[Matching] {
+        &self.matchings
+    }
+
+    /// Consume the outcome, yielding the matchings in input order.
+    pub fn into_matchings(self) -> Vec<Matching> {
+        self.matchings
+    }
+
+    /// Aggregated metrics of the whole batch.
+    pub fn metrics(&self) -> &BatchMetrics {
+        &self.metrics
+    }
+
+    /// Number of evaluated requests.
+    pub fn len(&self) -> usize {
+        self.matchings.len()
+    }
+
+    /// True iff the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.matchings.is_empty()
+    }
+}
+
+/// Aggregated cost counters of one [`Engine::evaluate_batch`] call.
+///
+/// `wall` is the end-to-end time of the batch (the throughput
+/// denominator); `cpu_total` is the *sum* of per-request matching times,
+/// so `cpu_total / wall` approximates the achieved parallelism. The
+/// I/O and algorithm counters are sums over the per-request
+/// [`RunMetrics`]; the per-request values stay available on each
+/// [`Matching`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchMetrics {
+    /// End-to-end wall-clock time of the batch.
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Number of requests evaluated.
+    pub requests: usize,
+    /// Summed per-request object-tree I/O.
+    pub io: IoStats,
+    /// Summed per-request matching (CPU) time.
+    pub cpu_total: Duration,
+    /// Summed algorithm outer loops.
+    pub loops: u64,
+    /// Summed object-tree top-1 searches (BF, Chain).
+    pub top1_searches: u64,
+    /// Summed reverse top-1 (TA) invocations (SB).
+    pub reverse_top1_calls: u64,
+}
+
+impl BatchMetrics {
+    /// Batch throughput: requests per wall-clock second (0 for an empty
+    /// or unmeasurably fast batch).
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.requests as f64 / secs
+        } else {
+            0.0
         }
     }
 }
@@ -495,6 +711,9 @@ pub struct MatchSession<'e> {
     engine: &'e Engine,
     io: IoSession<'e>,
     maintainer: SkylineMaintainer,
+    /// Per-batch working state (function-set copy, rank-list caches,
+    /// round buffers), reused across batches.
+    scratch: Scratch,
     assigned: u64,
     batches: u64,
 }
@@ -531,30 +750,32 @@ impl MatchSession<'_> {
         let io_start = self.io.stats();
         let mut metrics = RunMetrics::default();
 
-        let mut fs = functions.clone();
-        let mut rt1 = Some(ReverseTopOne::build(&fs));
-        // rank-list caches are fresh per batch; the maintainer persists
-        let mut fbest: HashMap<u64, Vec<(u32, f64)>> = HashMap::new();
-        let mut obest: HashMap<u32, Vec<(u64, f64)>> = HashMap::new();
+        self.scratch.fs.copy_from(functions);
+        let mut rt1 = Some(ReverseTopOne::build(&self.scratch.fs));
+        // rank-list caches are fresh per batch (cleared, buffers
+        // reused); the maintainer persists
+        self.scratch.fbest.clear();
+        self.scratch.obest.clear();
         let no_exclusions = HashSet::new();
         let mut pairs: Vec<Pair> = Vec::new();
 
-        while fs.n_alive() > 0 && !self.maintainer.is_empty() {
-            let loop_pairs = sb_loop_round(
+        while self.scratch.fs.n_alive() > 0 && !self.maintainer.is_empty() {
+            sb_loop_round(
                 &self.io,
                 &mut self.maintainer,
-                &mut fs,
+                &mut self.scratch.fs,
                 &mut rt1,
-                &mut fbest,
-                &mut obest,
+                &mut self.scratch.fbest,
+                &mut self.scratch.obest,
+                &mut self.scratch.round,
                 &no_exclusions,
                 BestPairMode::Ta,
                 true,
                 &mut metrics,
             );
             // every pair removed one distinct object from the inventory
-            self.assigned += loop_pairs.len() as u64;
-            pairs.extend(loop_pairs);
+            self.assigned += self.scratch.round.pairs.len() as u64;
+            pairs.extend_from_slice(&self.scratch.round.pairs);
         }
 
         metrics.elapsed = start.elapsed();

@@ -59,15 +59,19 @@ pub mod monotone;
 pub mod online;
 pub mod reference;
 pub mod sb;
+pub mod scratch;
 pub mod verify;
 
 pub use brute_force::{BfStrategy, BruteForceMatcher};
 pub use capacity::{CapacityMatcher, CapacityMatching};
 pub use chain::ChainMatcher;
-pub use engine::{Algorithm, Engine, EngineBuilder, MatchRequest, MatchSession};
+pub use engine::{
+    Algorithm, BatchMetrics, BatchOutcome, Engine, EngineBuilder, MatchRequest, MatchSession,
+};
 pub use error::MpqError;
 pub use matching::{index_build_count, IndexConfig, Matcher, Matching, Pair, RunMetrics};
 pub use monotone::{MonotoneFunction, MonotoneSkylineMatcher};
 pub use reference::{reference_matching, reference_matching_excluding};
 pub use sb::{BestPairMode, MaintenanceMode, SbStream, SkylineMatcher};
+pub use scratch::Scratch;
 pub use verify::{verify_stable, verify_weakly_stable};

@@ -41,13 +41,14 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Instant;
 
 use mpq_rtree::{IoStats, NodeSource, RTree};
-use mpq_skyline::bbs::compute_skyline_excluding;
+use mpq_skyline::bbs::compute_skyline_excluding_with;
 use mpq_skyline::SkylineMaintainer;
 use mpq_ta::{FunctionSet, ReverseTopOne, ThresholdMode};
 
 use crate::engine::{Algorithm, Engine};
 use crate::error::MpqError;
 use crate::matching::{IndexConfig, Matcher, Matching, Pair, RunMetrics};
+use crate::scratch::Scratch;
 
 /// Certified reverse-top-`M` cached per skyline object. Deeper lists
 /// amortize one TA scan over more function removals; the marginal scan
@@ -143,6 +144,62 @@ impl SkylineMatcher {
     }
 }
 
+/// Round-local buffers of the SB matching loop, reused across rounds
+/// (and, through [`Scratch`], across runs) so a round allocates nothing.
+///
+/// Every field is cleared before use; the buffers carry capacity, never
+/// state, between rounds.
+#[derive(Debug, Default)]
+pub(crate) struct RoundBufs {
+    /// This round's mutually-best pairs — the round's *output*, read by
+    /// the caller after [`sb_loop_round`] returns.
+    pub(crate) pairs: Vec<Pair>,
+    /// Functions that are some skyline object's current best.
+    fbest_fns: HashSet<u32>,
+    /// Functions assigned this round.
+    removed_fids: HashSet<u32>,
+    /// Objects assigned this round (in pair order).
+    removed_oids: Vec<u64>,
+    /// Same objects as a set, for the cache retain pass.
+    removed_oid_set: HashSet<u64>,
+    /// Masked promotions peeled during skyline maintenance.
+    masked: Vec<u64>,
+    /// Per-loop best function per skyline object (SB-rescan only).
+    rescan_best: HashMap<u64, (u32, f64)>,
+}
+
+/// Remove every masked (`excluded`) object from the maintained skyline.
+/// Peeling can promote further masked objects — their dominator just
+/// left — so iterate until the skyline is clean. `buf` is scratch
+/// storage for the per-wave removal list.
+fn peel_masked<R: NodeSource>(
+    maintainer: &mut SkylineMaintainer,
+    src: &R,
+    excluded: &HashSet<u64>,
+    buf: &mut Vec<u64>,
+) {
+    if excluded.is_empty() {
+        return;
+    }
+    buf.clear();
+    buf.extend(
+        maintainer
+            .iter()
+            .filter(|e| excluded.contains(&e.oid))
+            .map(|e| e.oid),
+    );
+    while !buf.is_empty() {
+        let promoted = maintainer.remove(buf, src);
+        buf.clear();
+        buf.extend(
+            promoted
+                .into_iter()
+                .filter(|(oid, _)| excluded.contains(oid))
+                .map(|(oid, _)| oid),
+        );
+    }
+}
+
 /// Build a progressive SB stream over any node source (a bare tree or a
 /// run-scoped I/O session, which the source *owns*). Objects in
 /// `excluded` are invisible: removed from the initial skyline along with
@@ -174,21 +231,8 @@ pub(crate) fn stream_on<R: NodeSource>(
         _ => Some(ReverseTopOne::build(&fs)),
     };
     let mut maintainer = SkylineMaintainer::build(&src);
-    // Masked objects may sit on the skyline; peeling them can promote
-    // further masked objects, so iterate until the skyline is clean.
-    let mut to_remove: Vec<u64> = maintainer
-        .iter()
-        .filter(|e| excluded.contains(&e.oid))
-        .map(|e| e.oid)
-        .collect();
-    while !to_remove.is_empty() {
-        let promoted = maintainer.remove(&to_remove, &src);
-        to_remove = promoted
-            .into_iter()
-            .filter(|(oid, _)| excluded.contains(oid))
-            .map(|(oid, _)| oid)
-            .collect();
-    }
+    let mut bufs = RoundBufs::default();
+    peel_masked(&mut maintainer, &src, excluded, &mut bufs.masked);
     SbStream {
         src,
         fs,
@@ -199,6 +243,7 @@ pub(crate) fn stream_on<R: NodeSource>(
         multi_pair: cfg.multi_pair,
         fbest: HashMap::new(),
         obest: HashMap::new(),
+        bufs,
         pending: VecDeque::new(),
         metrics: RunMetrics::default(),
         io_start,
@@ -206,47 +251,129 @@ pub(crate) fn stream_on<R: NodeSource>(
     }
 }
 
-/// The §IV-B strawman: full BBS recomputation per loop, no caches.
-/// Objects in `excluded` are invisible throughout.
+/// Non-streaming SB evaluation over any node source, serving its entire
+/// per-run state — working function set, rank-list caches, round
+/// buffers — from a reusable [`Scratch`]. This is the engine's
+/// [`evaluate`](crate::MatchRequest::evaluate) path: after the first
+/// request on a warm scratch, a run makes no per-round allocations and
+/// no per-run `FunctionSet`/exclusion-set clones (the request's
+/// `excluded` set is borrowed for the whole run instead of copied).
+///
+/// Produces exactly the pairs the progressive [`SbStream`] would, in the
+/// same order (asserted by tests).
+pub(crate) fn run_sb_on<R: NodeSource>(
+    cfg: &SkylineMatcher,
+    src: &R,
+    functions: &FunctionSet,
+    excluded: &HashSet<u64>,
+    scratch: &mut Scratch,
+) -> Matching {
+    assert_eq!(
+        cfg.maintenance,
+        MaintenanceMode::Incremental,
+        "run_sb_on implements the incremental algorithm"
+    );
+    let start = Instant::now();
+    let io_start = src.io_snapshot();
+    let mut metrics = RunMetrics::default();
+    scratch.fs.copy_from(functions);
+    let mut rt1 = match cfg.best_pair {
+        BestPairMode::Scan => None,
+        _ => Some(ReverseTopOne::build(&scratch.fs)),
+    };
+    let mut maintainer = SkylineMaintainer::build(src);
+    peel_masked(&mut maintainer, src, excluded, &mut scratch.round.masked);
+    scratch.fbest.clear();
+    scratch.obest.clear();
+
+    let budget = scratch.fs.n_alive().min(src.len() as usize);
+    let mut pairs: Vec<Pair> = Vec::with_capacity(budget);
+    while scratch.fs.n_alive() > 0 && !maintainer.is_empty() {
+        sb_loop_round(
+            src,
+            &mut maintainer,
+            &mut scratch.fs,
+            &mut rt1,
+            &mut scratch.fbest,
+            &mut scratch.obest,
+            &mut scratch.round,
+            excluded,
+            cfg.best_pair,
+            cfg.multi_pair,
+            &mut metrics,
+        );
+        pairs.extend_from_slice(&scratch.round.pairs);
+    }
+
+    metrics.elapsed = start.elapsed();
+    metrics.io = src.io_snapshot().since(io_start);
+    metrics.skyline = Some(maintainer.stats());
+    if let Some(rt1) = &rt1 {
+        metrics.ta = Some(rt1.stats());
+    }
+    Matching::new(pairs, metrics)
+}
+
+/// The §IV-B strawman: full BBS recomputation per loop, no rank-list
+/// caches — but still scratch-served, so the per-loop BBS heap, skyline
+/// buffer, and pair buffers are reused instead of reallocated. Objects
+/// in `excluded` are invisible throughout.
 pub(crate) fn run_rescan_on<R: NodeSource>(
     cfg: &SkylineMatcher,
     src: &R,
     functions: &FunctionSet,
     excluded: &HashSet<u64>,
+    scratch: &mut Scratch,
 ) -> Matching {
     let start = Instant::now();
     let io_start = src.io_snapshot();
-    let mut fs = functions.clone();
+    scratch.fs.copy_from(functions);
+    scratch.seed_assigned(excluded);
+    let fs = &mut scratch.fs;
+    let assigned = &mut scratch.assigned;
+    let bufs = &mut scratch.round;
     let mut rt1 = match cfg.best_pair {
         BestPairMode::Scan => None,
-        _ => Some(ReverseTopOne::build(&fs)),
+        _ => Some(ReverseTopOne::build(fs)),
     };
     let mut metrics = RunMetrics::default();
-    let mut assigned: HashSet<u64> = excluded.clone();
     let mut pairs: Vec<Pair> = Vec::new();
 
     while fs.n_alive() > 0 {
-        let sky = compute_skyline_excluding(src, |o| assigned.contains(&o));
+        compute_skyline_excluding_with(
+            src,
+            |o| assigned.contains(&o),
+            &mut scratch.bbs,
+            &mut scratch.sky,
+        );
+        let sky = &scratch.sky;
         if sky.is_empty() {
             break;
         }
         metrics.loops += 1;
 
         // best function per skyline object
-        let mut fbest: HashMap<u64, (u32, f64)> = HashMap::with_capacity(sky.len());
-        for (oid, point) in &sky {
+        bufs.rescan_best.clear();
+        for (oid, point) in sky {
             metrics.reverse_top1_calls += 1;
             let best =
-                best_function(&mut rt1, &fs, point, cfg.best_pair).expect("functions remain alive");
-            fbest.insert(*oid, best);
+                best_function(&mut rt1, fs, point, cfg.best_pair).expect("functions remain alive");
+            bufs.rescan_best.insert(*oid, best);
         }
-        let loop_pairs = mutual_pairs(&sky, &fbest, &fs, cfg.multi_pair);
-        debug_assert!(!loop_pairs.is_empty(), "each loop must emit a pair");
-        for p in &loop_pairs {
+        mutual_pairs(
+            sky,
+            &bufs.rescan_best,
+            fs,
+            cfg.multi_pair,
+            &mut bufs.fbest_fns,
+            &mut bufs.pairs,
+        );
+        debug_assert!(!bufs.pairs.is_empty(), "each loop must emit a pair");
+        for p in &bufs.pairs {
             fs.remove(p.fid);
             assigned.insert(p.oid);
         }
-        pairs.extend(loop_pairs);
+        pairs.extend_from_slice(&bufs.pairs);
     }
 
     metrics.elapsed = start.elapsed();
@@ -307,16 +434,21 @@ pub(crate) fn best_functions(
 /// compute the mutually-best pairs of this loop (Property 1): for every
 /// function `f` that is the best of some object, find its best skyline
 /// object `f.obest`; report `(f, f.obest)` iff `fbest(f.obest) == f`.
-/// With `multi_pair == false`, only the canonical best pair is returned.
+/// With `multi_pair == false`, only the canonical best pair is kept.
+/// `fbest_fns` is scratch storage; the pairs are written into `out`
+/// (cleared first).
 fn mutual_pairs(
     sky: &[(u64, Box<[f64]>)],
     fbest: &HashMap<u64, (u32, f64)>,
     fs: &FunctionSet,
     multi_pair: bool,
-) -> Vec<Pair> {
-    let fbest_fns: HashSet<u32> = fbest.values().map(|&(f, _)| f).collect();
-    let mut out = Vec::new();
-    for &fid in &fbest_fns {
+    fbest_fns: &mut HashSet<u32>,
+    out: &mut Vec<Pair>,
+) {
+    fbest_fns.clear();
+    fbest_fns.extend(fbest.values().map(|&(f, _)| f));
+    out.clear();
+    for &fid in fbest_fns.iter() {
         // obest by full scan (the rescan path has no caches)
         let mut best: Option<(u64, f64)> = None;
         for (oid, point) in sky {
@@ -334,17 +466,17 @@ fn mutual_pairs(
             out.push(Pair { fid, oid, score });
         }
     }
-    finalize_loop_pairs(out, multi_pair)
+    finalize_loop_pairs(out, multi_pair);
 }
 
-/// Sort a loop's pairs canonically (the [`Pair`] `Ord`); truncate to the
-/// single best pair when multi-pair reporting is disabled.
-pub(crate) fn finalize_loop_pairs(mut pairs: Vec<Pair>, multi_pair: bool) -> Vec<Pair> {
+/// Sort a loop's pairs canonically in place (the [`Pair`] `Ord`);
+/// truncate to the single best pair when multi-pair reporting is
+/// disabled.
+pub(crate) fn finalize_loop_pairs(pairs: &mut Vec<Pair>, multi_pair: bool) {
     pairs.sort_unstable();
     if !multi_pair {
         pairs.truncate(1);
     }
-    pairs
 }
 
 /// Progressive SB evaluation (see [`SkylineMatcher::stream`] and
@@ -375,6 +507,8 @@ pub struct SbStream<R: NodeSource> {
     /// the skyline are drained lazily; promotions are folded in; empty ⇒
     /// rescan the skyline).
     obest: HashMap<u32, Vec<(u64, f64)>>,
+    /// Round-local buffers, reused so a loop allocates nothing.
+    bufs: RoundBufs,
     pending: VecDeque<Pair>,
     metrics: RunMetrics,
     io_start: IoStats,
@@ -417,19 +551,20 @@ impl<R: NodeSource> SbStream<R> {
             self.done = true;
             return;
         }
-        let loop_pairs = sb_loop_round(
+        sb_loop_round(
             &self.src,
             &mut self.maintainer,
             &mut self.fs,
             &mut self.rt1,
             &mut self.fbest,
             &mut self.obest,
+            &mut self.bufs,
             &self.excluded,
             self.best_pair,
             self.multi_pair,
             &mut self.metrics,
         );
-        self.pending.extend(loop_pairs);
+        self.pending.extend(self.bufs.pairs.iter().copied());
 
         #[cfg(debug_assertions)]
         if std::env::var("MPQ_SB_CHECK").is_ok() {
@@ -463,11 +598,15 @@ impl<R: NodeSource> SbStream<R> {
 
 /// One SB matching round (Algorithm 1 lines 3–9) over shared cache
 /// state: refresh the fbest/obest rank lists, report this round's
-/// mutually-best pairs (canonically sorted), and apply the removals —
-/// function tombstones, cache drops, and skyline maintenance with
-/// masked-promotion peeling. The single implementation behind both the
-/// progressive [`SbStream`] and the engine's persistent
+/// mutually-best pairs (canonically sorted, left in `bufs.pairs` for the
+/// caller), and apply the removals — function tombstones, cache drops,
+/// and skyline maintenance with masked-promotion peeling. The single
+/// implementation behind the progressive [`SbStream`], the scratch-based
+/// [`run_sb_on`] evaluation, and the engine's persistent
 /// [`crate::MatchSession`] batches.
+///
+/// All round-local collections live in `bufs`, so a round performs no
+/// heap allocation once the buffers are warm.
 ///
 /// Preconditions: `fs.n_alive() > 0` and a non-empty skyline.
 #[allow(clippy::too_many_arguments)]
@@ -478,11 +617,12 @@ pub(crate) fn sb_loop_round<R: NodeSource>(
     rt1: &mut Option<ReverseTopOne>,
     fbest: &mut HashMap<u64, Vec<(u32, f64)>>,
     obest: &mut HashMap<u32, Vec<(u64, f64)>>,
+    bufs: &mut RoundBufs,
     excluded: &HashSet<u64>,
     best_pair: BestPairMode,
     multi_pair: bool,
     metrics: &mut RunMetrics,
-) -> Vec<Pair> {
+) {
     metrics.loops += 1;
 
     // 1. Every skyline object needs a valid best function: drain dead
@@ -510,8 +650,10 @@ pub(crate) fn sb_loop_round<R: NodeSource>(
     // surviving head is the true maximum (better-ranked objects were
     // all assigned, and promotions were folded in); empty ⇒ full
     // skyline rescan.
-    let fbest_fns: HashSet<u32> = maintainer.iter().map(|e| fbest[&e.oid][0].0).collect();
-    for &fid in &fbest_fns {
+    bufs.fbest_fns.clear();
+    bufs.fbest_fns
+        .extend(maintainer.iter().map(|e| fbest[&e.oid][0].0));
+    for &fid in &bufs.fbest_fns {
         let list = obest.entry(fid).or_default();
         while let Some(&(oid, _)) = list.first() {
             if maintainer.contains(oid) {
@@ -529,34 +671,39 @@ pub(crate) fn sb_loop_round<R: NodeSource>(
     }
 
     // 3. Mutually-best pairs (Property 1).
-    let mut loop_pairs = Vec::new();
-    for &fid in &fbest_fns {
+    bufs.pairs.clear();
+    for &fid in &bufs.fbest_fns {
         let (oid, score) = obest[&fid][0];
         if fbest[&oid][0].0 == fid {
-            loop_pairs.push(Pair { fid, oid, score });
+            bufs.pairs.push(Pair { fid, oid, score });
         }
     }
-    let loop_pairs = finalize_loop_pairs(loop_pairs, multi_pair);
+    finalize_loop_pairs(&mut bufs.pairs, multi_pair);
     assert!(
-        !loop_pairs.is_empty(),
+        !bufs.pairs.is_empty(),
         "SB invariant violated: the globally best remaining pair is always \
          mutually best, so every loop must emit at least one pair"
     );
 
     // 4. Apply removals and maintain the caches.
-    let removed_fids: HashSet<u32> = loop_pairs.iter().map(|p| p.fid).collect();
-    let removed_oids: Vec<u64> = loop_pairs.iter().map(|p| p.oid).collect();
-    for &fid in &removed_fids {
+    bufs.removed_fids.clear();
+    bufs.removed_fids.extend(bufs.pairs.iter().map(|p| p.fid));
+    bufs.removed_oids.clear();
+    bufs.removed_oids.extend(bufs.pairs.iter().map(|p| p.oid));
+    for &fid in &bufs.removed_fids {
         fs.remove(fid);
     }
-    let removed_oid_set: HashSet<u64> = removed_oids.iter().copied().collect();
+    bufs.removed_oid_set.clear();
+    bufs.removed_oid_set
+        .extend(bufs.removed_oids.iter().copied());
 
     // Assigned objects never return: drop their fbest lists. Dead
     // functions inside surviving lists are drained lazily in step 1.
+    let removed_oid_set = &bufs.removed_oid_set;
     fbest.retain(|oid, _| !removed_oid_set.contains(oid));
     // Assigned functions never return: drop their obest lists. Dead
     // objects inside surviving lists are drained lazily in step 2.
-    for fid in &removed_fids {
+    for fid in &bufs.removed_fids {
         obest.remove(fid);
     }
 
@@ -566,18 +713,20 @@ pub(crate) fn sb_loop_round<R: NodeSource>(
     // *masked* object (its dominator just left); peel those immediately
     // — each peel wave can surface further masked objects — so they
     // never reach the caches or the skyline.
-    let mut promoted = maintainer.remove(&removed_oids, src);
+    let mut promoted = maintainer.remove(&bufs.removed_oids, src);
     while !excluded.is_empty() {
-        let masked: Vec<u64> = promoted
-            .iter()
-            .filter(|(oid, _)| excluded.contains(oid))
-            .map(|(oid, _)| *oid)
-            .collect();
-        if masked.is_empty() {
+        bufs.masked.clear();
+        bufs.masked.extend(
+            promoted
+                .iter()
+                .filter(|(oid, _)| excluded.contains(oid))
+                .map(|(oid, _)| *oid),
+        );
+        if bufs.masked.is_empty() {
             break;
         }
         promoted.retain(|(oid, _)| !excluded.contains(oid));
-        promoted.extend(maintainer.remove(&masked, src));
+        promoted.extend(maintainer.remove(&bufs.masked, src));
     }
     for (oid, point) in &promoted {
         for (fid, list) in obest.iter_mut() {
@@ -585,8 +734,6 @@ pub(crate) fn sb_loop_round<R: NodeSource>(
             fold_promotion(list, OBEST_RANKS, *oid, s);
         }
     }
-
-    loop_pairs
 }
 
 /// Insert `(oid, s)` into a rank list sorted by `(score desc, oid asc)`,

@@ -1,0 +1,84 @@
+//! Reusable per-run working state for engine evaluations.
+//!
+//! Every matcher run needs private mutable state: a working copy of the
+//! request's [`FunctionSet`] (functions are tombstoned as they are
+//! assigned), the set of assigned/masked objects, the SB rank-list
+//! caches, and the per-round buffers of the matching loop. Allocating
+//! all of that from scratch per request is invisible for one request and
+//! dominant for a high-throughput batch: under
+//! [`Engine::evaluate_batch`](crate::Engine::evaluate_batch) each worker
+//! thread owns one [`Scratch`] and serves its entire request stream from
+//! it, so after the first request the per-run state is built by reuse —
+//! `clear()` + `copy_from` on warm buffers — instead of fresh heap
+//! allocations.
+//!
+//! A `Scratch` carries **no results**: it never affects what a run
+//! computes (asserted by the determinism tests), only how often the
+//! allocator is hit. Reuse it across any sequence of requests, engines,
+//! and algorithms; it is `Send`, so it can hop worker threads, but it is
+//! deliberately not shared (`&mut` everywhere) — one scratch per thread.
+
+use std::collections::{HashMap, HashSet};
+
+use mpq_rtree::SearchBuf;
+use mpq_skyline::BbsScratch;
+use mpq_ta::FunctionSet;
+
+use crate::sb::RoundBufs;
+
+/// Reusable working state for [`MatchRequest::evaluate_with`]
+/// (see the [module docs](self)).
+///
+/// [`MatchRequest::evaluate_with`]: crate::MatchRequest::evaluate_with
+#[derive(Debug)]
+pub struct Scratch {
+    /// Working copy of the request's functions, refreshed per run with
+    /// [`FunctionSet::copy_from`].
+    pub(crate) fs: FunctionSet,
+    /// Objects invisible to the run: the request's exclusions plus the
+    /// assignments made so far (Brute Force, Chain, SB-rescan).
+    pub(crate) assigned: HashSet<u64>,
+    /// Frontier storage for the short ranked searches of the Brute Force
+    /// restart and Chain matchers.
+    pub(crate) search: SearchBuf,
+    /// BBS traversal heap for SB-rescan's per-loop skyline recomputation.
+    pub(crate) bbs: BbsScratch,
+    /// Per-loop skyline buffer for SB-rescan.
+    pub(crate) sky: Vec<(u64, Box<[f64]>)>,
+    /// SB rank-list cache: oid → certified top-`M` alive functions.
+    pub(crate) fbest: HashMap<u64, Vec<(u32, f64)>>,
+    /// SB rank-list cache: fid → top-`K` current skyline objects.
+    pub(crate) obest: HashMap<u32, Vec<(u64, f64)>>,
+    /// Round-local buffers of the SB matching loop.
+    pub(crate) round: RoundBufs,
+}
+
+impl Scratch {
+    /// An empty scratch. Buffers grow to the workload's size on first
+    /// use and are reused afterwards.
+    pub fn new() -> Scratch {
+        Scratch {
+            // placeholder dimensionality; copy_from adopts the source's
+            fs: FunctionSet::new(1),
+            assigned: HashSet::new(),
+            search: SearchBuf::new(),
+            bbs: BbsScratch::default(),
+            sky: Vec::new(),
+            fbest: HashMap::new(),
+            obest: HashMap::new(),
+            round: RoundBufs::default(),
+        }
+    }
+
+    /// Seed the assigned-set with a run's exclusions, reusing the table.
+    pub(crate) fn seed_assigned(&mut self, excluded: &HashSet<u64>) {
+        self.assigned.clear();
+        self.assigned.extend(excluded.iter().copied());
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Scratch {
+        Scratch::new()
+    }
+}

@@ -1,4 +1,4 @@
-//! LRU buffer pool caching decoded nodes above the pager.
+//! Sharded LRU buffer pool caching decoded nodes above the pager.
 //!
 //! The paper's experiments use "an LRU memory buffer with default size 2%
 //! of the tree size"; all reported I/O numbers are physical accesses that
@@ -7,13 +7,42 @@
 //! (hash map + intrusive doubly-linked list), write-back of dirty pages,
 //! and the [`IoStats`] counters.
 //!
+//! # Sharding
+//!
+//! A long-lived engine serves many concurrent evaluations from one tree,
+//! and with a single lock every node access of every thread funnels
+//! through the same mutex. The pool is therefore split into `N` **lock
+//! shards keyed by page id** (`pid % N`): concurrent `get` calls on
+//! pages of different shards never contend, and the pager below is an
+//! `RwLock`, so cache misses on distinct pages decode concurrently too.
+//!
+//! Sharding changes *synchronization*, not *semantics*:
+//!
+//! * the **capacity is a global bound** — per-shard LRU bounds sum to
+//!   exactly the configured capacity (shard `i` gets `cap/N`, with the
+//!   remainder spread over the first `cap % N` shards), and
+//!   [`BufferPool::set_capacity`] / [`BufferPool::clear`] evict down to
+//!   the global bound across every shard;
+//! * the [`IoStats`] counters are kept per shard and summed on read, so
+//!   whole-pool accounting stays exact;
+//! * with one shard (the [`BufferPool::new`] default) the pool is
+//!   bit-for-bit the classic single-LRU of the paper's experiments —
+//!   eviction order, counters, everything.
+//!
+//! A shard whose capacity share is zero (more shards than buffer pages)
+//! caches nothing: reads on it are served straight from the pager and
+//! writes go through immediately. Eviction is LRU *within* a shard; with
+//! `N > 1` the global reference order is only approximated, which is the
+//! usual trade sharded caches make.
+//!
 //! Nodes are handed out as `Arc<Node>` clones so read paths never copy
 //! node payloads; writers install fresh nodes with [`BufferPool::put`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::node::Node;
 use crate::pager::{MemPager, PageId};
@@ -29,10 +58,7 @@ struct Frame {
     next: usize,
 }
 
-struct BufInner {
-    pager: MemPager,
-    dim: usize,
-    cap: usize,
+struct Shard {
     map: HashMap<u32, usize>,
     frames: Vec<Frame>,
     free_slots: Vec<usize>,
@@ -42,46 +68,96 @@ struct BufInner {
     scratch: Vec<u8>,
 }
 
-/// A thread-safe LRU buffer pool over a [`MemPager`].
+/// A thread-safe, sharded LRU buffer pool over a [`MemPager`].
 ///
 /// All node traffic of an [`crate::RTree`] flows through this type, which
 /// is what makes the I/O accounting exact: `logical` counts every request,
 /// `physical_reads` counts misses, `physical_writes` counts dirty
-/// write-backs.
+/// write-backs. See the [module docs](self) for the sharding model.
 pub struct BufferPool {
-    inner: Mutex<BufInner>,
+    pager: RwLock<MemPager>,
+    dim: usize,
+    page_size: usize,
+    cap: AtomicUsize,
+    shards: Box<[Mutex<Shard>]>,
 }
 
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let g = self.inner.lock();
         f.debug_struct("BufferPool")
-            .field("capacity", &g.cap)
-            .field("resident", &g.map.len())
-            .field("stats", &g.stats)
+            .field("capacity", &self.capacity())
+            .field("shards", &self.shards.len())
+            .field("resident", &self.resident())
+            .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl BufferPool {
-    /// Create a pool over `pager` caching up to `capacity` nodes of a
-    /// `dim`-dimensional tree. Capacities below 1 are clamped to 1.
+    /// Create a single-shard pool over `pager` caching up to `capacity`
+    /// nodes of a `dim`-dimensional tree — the classic one-lock LRU.
+    /// Capacities below 1 are clamped to 1.
     pub fn new(pager: MemPager, dim: usize, capacity: usize) -> BufferPool {
+        BufferPool::with_shards(pager, dim, capacity, 1)
+    }
+
+    /// Create a pool with `shards` lock shards (clamped to ≥ 1). The
+    /// `capacity` is the **global** bound across all shards.
+    pub fn with_shards(pager: MemPager, dim: usize, capacity: usize, shards: usize) -> BufferPool {
         let page = pager.page_size();
+        let n = shards.max(1);
+        let shards = (0..n)
+            .map(|_| {
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    frames: Vec::new(),
+                    free_slots: Vec::new(),
+                    head: NIL,
+                    tail: NIL,
+                    stats: IoStats::default(),
+                    scratch: vec![0u8; page],
+                })
+            })
+            .collect();
         BufferPool {
-            inner: Mutex::new(BufInner {
-                pager,
-                dim,
-                cap: capacity.max(1),
-                map: HashMap::new(),
-                frames: Vec::new(),
-                free_slots: Vec::new(),
-                head: NIL,
-                tail: NIL,
-                stats: IoStats::default(),
-                scratch: vec![0u8; page],
-            }),
+            pager: RwLock::new(pager),
+            dim,
+            page_size: page,
+            cap: AtomicUsize::new(capacity.max(1)),
+            shards,
         }
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, pid: PageId) -> usize {
+        pid.0 as usize % self.shards.len()
+    }
+
+    /// Capacity share of shard `i`: `cap/N` plus one of the `cap % N`
+    /// remainder pages. Shares sum to exactly the global capacity.
+    #[inline]
+    fn share(&self, i: usize) -> usize {
+        let cap = self.cap.load(Ordering::Relaxed);
+        let n = self.shards.len();
+        cap / n + usize::from(i < cap % n)
+    }
+
+    /// Flush every shard and unwrap the underlying pager (used when the
+    /// pool is rebuilt with a different shard count).
+    pub(crate) fn into_pager(self) -> MemPager {
+        self.flush();
+        self.pager.into_inner()
+    }
+
+    /// Seed the aggregate I/O counters (credited to shard 0). Used when a
+    /// pool is rebuilt so re-sharding never loses accounting history.
+    pub(crate) fn seed_stats(&self, stats: IoStats) {
+        self.shards[0].lock().stats = stats;
     }
 
     /// Fetch a node, reading and decoding the page on a miss.
@@ -93,117 +169,152 @@ impl BufferPool {
     /// missed the buffer (i.e. cost a physical read). Used by run-scoped
     /// I/O sessions to attribute the miss to the requesting run.
     pub fn get_probe(&self, pid: PageId) -> (Arc<Node>, bool) {
-        let mut g = self.inner.lock();
+        let si = self.shard_of(pid);
+        let mut g = self.shards[si].lock();
         g.stats.logical += 1;
         if let Some(&slot) = g.map.get(&pid.0) {
             g.touch(slot);
             return (Arc::clone(&g.frames[slot].node), false);
         }
         g.stats.physical_reads += 1;
-        let node = Arc::new(Node::decode(g.dim, g.pager.read(pid)));
-        g.install(pid, Arc::clone(&node), false);
+        let node = {
+            let pager = self.pager.read();
+            Arc::new(Node::decode(self.dim, pager.read(pid)))
+        };
+        let share = self.share(si);
+        if share > 0 {
+            g.install(pid, Arc::clone(&node), false, share, &self.pager);
+        }
         (node, true)
     }
 
     /// Install a (possibly new) node image for `pid`, marking it dirty.
+    /// On a shard with a zero capacity share the page is written through
+    /// to the pager instead of cached.
     pub fn put(&self, pid: PageId, node: Node) {
-        let mut g = self.inner.lock();
+        let si = self.shard_of(pid);
+        let mut g = self.shards[si].lock();
         g.stats.logical += 1;
         let node = Arc::new(node);
         if let Some(&slot) = g.map.get(&pid.0) {
             g.frames[slot].node = node;
             g.frames[slot].dirty = true;
             g.touch(slot);
+            return;
+        }
+        let share = self.share(si);
+        if share > 0 {
+            g.install(pid, node, true, share, &self.pager);
         } else {
-            g.install(pid, node, true);
+            g.write_through(pid, &node, &self.pager);
         }
     }
 
     /// Allocate a fresh page in the underlying pager.
     pub fn allocate(&self) -> PageId {
-        self.inner.lock().pager.allocate()
+        self.pager.write().allocate()
     }
 
     /// Drop any cached copy of `pid` (without write-back) and free the
     /// page in the pager.
     pub fn free(&self, pid: PageId) {
-        let mut g = self.inner.lock();
+        let si = self.shard_of(pid);
+        let mut g = self.shards[si].lock();
         if let Some(slot) = g.map.remove(&pid.0) {
             g.unlink(slot);
             g.frames[slot].node = Arc::new(Node::Leaf(crate::node::LeafNode::new(1)));
             g.free_slots.push(slot);
         }
-        g.pager.free(pid);
+        self.pager.write().free(pid);
     }
 
     /// Write back all dirty frames (counted as physical writes).
     pub fn flush(&self) {
-        let mut g = self.inner.lock();
-        let slots: Vec<usize> = g.map.values().copied().collect();
-        for slot in slots {
-            g.write_back(slot);
+        for shard in self.shards.iter() {
+            let mut g = shard.lock();
+            let slots: Vec<usize> = g.map.values().copied().collect();
+            for slot in slots {
+                g.write_back(slot, &self.pager);
+            }
         }
     }
 
-    /// Flush, then drop every cached frame (a "cold" buffer), leaving the
-    /// stats untouched. Useful before measuring a query from a cold start.
+    /// Flush, then drop every cached frame in every shard (a "cold"
+    /// buffer), leaving the stats untouched. Useful before measuring a
+    /// query from a cold start.
     pub fn clear(&self) {
-        let mut g = self.inner.lock();
-        let slots: Vec<usize> = g.map.values().copied().collect();
-        for slot in slots {
-            g.write_back(slot);
+        for shard in self.shards.iter() {
+            let mut g = shard.lock();
+            let slots: Vec<usize> = g.map.values().copied().collect();
+            for slot in slots {
+                g.write_back(slot, &self.pager);
+            }
+            g.map.clear();
+            g.frames.clear();
+            g.free_slots.clear();
+            g.head = NIL;
+            g.tail = NIL;
         }
-        g.map.clear();
-        g.frames.clear();
-        g.free_slots.clear();
-        g.head = NIL;
-        g.tail = NIL;
     }
 
-    /// Change the capacity (clamped to ≥ 1), evicting LRU victims if the
-    /// pool is over the new bound.
+    /// Change the **global** capacity (clamped to ≥ 1), evicting LRU
+    /// victims in every shard until the pool is within the new bound:
+    /// each shard is trimmed to its share of the global capacity, so the
+    /// total resident count never exceeds the bound.
     pub fn set_capacity(&self, capacity: usize) {
-        let mut g = self.inner.lock();
-        g.cap = capacity.max(1);
-        while g.map.len() > g.cap {
-            g.evict_lru();
+        self.cap.store(capacity.max(1), Ordering::Relaxed);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let share = self.share(i);
+            let mut g = shard.lock();
+            while g.map.len() > share {
+                g.evict_lru(&self.pager);
+            }
         }
     }
 
-    /// Current capacity in nodes/pages.
+    /// Current global capacity in nodes/pages.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().cap
+        self.cap.load(Ordering::Relaxed)
     }
 
-    /// Number of nodes currently resident.
+    /// Number of nodes currently resident across all shards.
     pub fn resident(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Number of live pages in the pager (i.e., size of the tree on
     /// "disk", in pages).
     pub fn live_pages(&self) -> usize {
-        self.inner.lock().pager.live_pages()
+        self.pager.read().live_pages()
     }
 
     /// Page size of the underlying pager, in bytes.
     pub fn page_size(&self) -> usize {
-        self.inner.lock().pager.page_size()
+        self.page_size
     }
 
-    /// Snapshot of the I/O counters.
+    /// Snapshot of the I/O counters, summed across shards.
     pub fn stats(&self) -> IoStats {
-        self.inner.lock().stats
+        let mut total = IoStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.lock().stats;
+            total.logical += s.logical;
+            total.physical_reads += s.physical_reads;
+            total.physical_writes += s.physical_writes;
+        }
+        total
     }
 
     /// Zero the I/O counters (e.g., after bulk loading, so experiments
     /// measure query cost only).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = IoStats::default();
+        for shard in self.shards.iter() {
+            shard.lock().stats = IoStats::default();
+        }
     }
 }
 
-impl BufInner {
+impl Shard {
     fn push_front(&mut self, slot: usize) {
         self.frames[slot].prev = NIL;
         self.frames[slot].next = self.head;
@@ -237,9 +348,17 @@ impl BufInner {
         }
     }
 
-    fn install(&mut self, pid: PageId, node: Arc<Node>, dirty: bool) {
-        while self.map.len() >= self.cap {
-            self.evict_lru();
+    fn install(
+        &mut self,
+        pid: PageId,
+        node: Arc<Node>,
+        dirty: bool,
+        share: usize,
+        pager: &RwLock<MemPager>,
+    ) {
+        debug_assert!(share > 0, "zero-share shards must not cache");
+        while self.map.len() >= share {
+            self.evict_lru(pager);
         }
         let slot = if let Some(s) = self.free_slots.pop() {
             self.frames[s] = Frame {
@@ -264,31 +383,38 @@ impl BufInner {
         self.push_front(slot);
     }
 
-    fn evict_lru(&mut self) {
+    fn evict_lru(&mut self, pager: &RwLock<MemPager>) {
         let victim = self.tail;
-        debug_assert!(victim != NIL, "evict called on empty pool");
-        self.write_back(victim);
+        debug_assert!(victim != NIL, "evict called on empty shard");
+        self.write_back(victim, pager);
         let pid = self.frames[victim].pid;
         self.unlink(victim);
         self.map.remove(&pid);
         self.free_slots.push(victim);
     }
 
-    fn write_back(&mut self, slot: usize) {
+    fn write_back(&mut self, slot: usize, pager: &RwLock<MemPager>) {
         if !self.frames[slot].dirty {
             return;
         }
         let pid = PageId(self.frames[slot].pid);
         let node = Arc::clone(&self.frames[slot].node);
+        self.encode_and_write(pid, &node, pager);
+        self.frames[slot].dirty = false;
+        self.stats.physical_writes += 1;
+    }
+
+    /// Uncached write of `node` to `pid` (zero-share shards).
+    fn write_through(&mut self, pid: PageId, node: &Node, pager: &RwLock<MemPager>) {
+        self.encode_and_write(pid, node, pager);
+        self.stats.physical_writes += 1;
+    }
+
+    fn encode_and_write(&mut self, pid: PageId, node: &Node, pager: &RwLock<MemPager>) {
         self.scratch.fill(0);
         node.encode(&mut self.scratch);
         let len = node.encoded_len();
-        // borrow split: copy out of scratch into pager
-        let scratch = std::mem::take(&mut self.scratch);
-        self.pager.write(pid, &scratch[..len]);
-        self.scratch = scratch;
-        self.frames[slot].dirty = false;
-        self.stats.physical_writes += 1;
+        pager.write().write(pid, &self.scratch[..len]);
     }
 }
 
@@ -304,8 +430,12 @@ mod tests {
     }
 
     fn pool(cap: usize) -> (BufferPool, Vec<PageId>) {
+        pool_sharded(cap, 1)
+    }
+
+    fn pool_sharded(cap: usize, shards: usize) -> (BufferPool, Vec<PageId>) {
         let pager = MemPager::new(256);
-        let pool = BufferPool::new(pager, 2, cap);
+        let pool = BufferPool::with_shards(pager, 2, cap, shards);
         let mut pids = Vec::new();
         for i in 0..5 {
             let pid = pool.allocate();
@@ -409,5 +539,149 @@ mod tests {
         pool.reset_stats();
         pool.get(pids[4]);
         assert_eq!(pool.stats().physical_reads, 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded-pool behavior
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn sharded_pool_round_trips_all_pages() {
+        let (pool, pids) = pool_sharded(8, 3);
+        assert_eq!(pool.shard_count(), 3);
+        for (i, &pid) in pids.iter().enumerate() {
+            let node = pool.get(pid);
+            assert_eq!(node.as_leaf().point(0), &[i as f64 * 0.1, i as f64 * 0.1]);
+        }
+    }
+
+    #[test]
+    fn shard_shares_sum_to_global_capacity() {
+        // cap 5 over 3 shards: shares 2, 2, 1.
+        let (pool, _) = pool_sharded(5, 3);
+        let shares: Vec<usize> = (0..3).map(|i| pool.share(i)).collect();
+        assert_eq!(shares, vec![2, 2, 1]);
+        assert_eq!(shares.iter().sum::<usize>(), pool.capacity());
+    }
+
+    #[test]
+    fn sharded_resident_never_exceeds_global_capacity() {
+        // Regression for the shard-boundary semantics: 5 sequential pids
+        // over 2 shards (pids 0,2,4 -> shard 0; 1,3 -> shard 1) with
+        // global cap 3 (shares 2 + 1). Warming every page must leave
+        // exactly share-many residents per shard: 2 + 1 = 3 — the global
+        // bound, not a per-shard bound of 3 each.
+        let (pool, pids) = pool_sharded(3, 2);
+        pool.clear();
+        for &pid in &pids {
+            pool.get(pid);
+        }
+        assert_eq!(pool.resident(), 3);
+        // shard 0 holds the 2 most recent of {0,2,4}; shard 1 holds 3
+        assert!(
+            !pool.shards.iter().any(|s| s.lock().map.len() > 2),
+            "no shard may exceed its share"
+        );
+    }
+
+    #[test]
+    fn set_capacity_trims_across_shards_to_global_bound() {
+        // 5 pages over 4 shards; pids 0..5 land on shards 0,1,2,3,0.
+        let (pool, pids) = pool_sharded(8, 4);
+        pool.clear();
+        for &pid in &pids {
+            pool.get(pid);
+        }
+        assert_eq!(pool.resident(), 5);
+        // Global cap 5 -> shares (2,1,1,1): shard 0 keeps both its pages.
+        pool.set_capacity(5);
+        assert_eq!(pool.resident(), 5);
+        // Global cap 2 -> shares (1,1,0,0): shards 2 and 3 fully evict.
+        pool.set_capacity(2);
+        assert_eq!(pool.resident(), 2, "evicted to the global bound");
+        // And a dirty page trimmed away must have been written back.
+        pool.reset_stats();
+        for &pid in &pids {
+            let n = pool.get(pid);
+            let _ = n;
+        }
+        assert!(pool.stats().physical_reads >= 3, "trimmed pages are cold");
+    }
+
+    #[test]
+    fn zero_share_shard_serves_uncached_reads_and_writes() {
+        // cap 1 over 2 shards: shard 1 has share 0 and caches nothing.
+        let pager = MemPager::new(256);
+        let pool = BufferPool::with_shards(pager, 2, 1, 2);
+        let a = pool.allocate(); // pid 0 -> shard 0 (share 1)
+        let b = pool.allocate(); // pid 1 -> shard 1 (share 0)
+        pool.put(a, leaf_node(2, 0.3));
+        pool.put(b, leaf_node(2, 0.6)); // write-through
+        assert_eq!(pool.resident(), 1, "only the share-1 shard caches");
+        pool.reset_stats();
+        let n1 = pool.get(b);
+        let n2 = pool.get(b);
+        assert_eq!(n1.as_leaf().point(0), &[0.6, 0.6]);
+        assert_eq!(n2.as_leaf().point(0), &[0.6, 0.6]);
+        let s = pool.stats();
+        assert_eq!(s.physical_reads, 2, "share-0 shard never caches");
+    }
+
+    #[test]
+    fn sharded_clear_leaves_every_shard_cold() {
+        let (pool, pids) = pool_sharded(8, 3);
+        for &pid in &pids {
+            pool.get(pid);
+        }
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        pool.reset_stats();
+        for &pid in &pids {
+            pool.get(pid);
+        }
+        assert_eq!(pool.stats().physical_reads, 5, "all shards were cold");
+    }
+
+    #[test]
+    fn sharded_stats_sum_exactly() {
+        let (pool, pids) = pool_sharded(16, 4);
+        pool.clear();
+        pool.reset_stats();
+        for &pid in &pids {
+            pool.get(pid); // 5 misses
+        }
+        for &pid in &pids {
+            pool.get(pid); // 5 hits
+        }
+        let s = pool.stats();
+        assert_eq!(s.logical, 10);
+        assert_eq!(s.physical_reads, 5);
+    }
+
+    #[test]
+    fn concurrent_gets_on_distinct_shards_stay_consistent() {
+        use std::sync::Arc as StdArc;
+        let (pool, pids) = pool_sharded(8, 4);
+        pool.clear();
+        pool.reset_stats();
+        let pool = StdArc::new(pool);
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let pool = StdArc::clone(&pool);
+            let pids = pids.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let pid = pids[(t + i) % pids.len()];
+                    let node = pool.get(pid);
+                    assert!(!node.as_leaf().is_empty());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.logical, 4 * 200, "every access is counted");
+        assert!(pool.resident() <= pool.capacity());
     }
 }

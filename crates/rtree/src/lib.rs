@@ -60,5 +60,7 @@ pub use pager::PageId;
 pub use points::PointSet;
 pub use session::{IoSession, NodeSource};
 pub use stats::IoStats;
-pub use topk::{LinearScorer, MonotoneScorer, RankedHit, RankedIter, Scorer};
+pub use topk::{
+    LinearScorer, LinearScorerRef, MonotoneScorer, RankedHit, RankedIter, Scorer, SearchBuf,
+};
 pub use tree::{RTree, RTreeParams};

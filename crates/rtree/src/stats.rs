@@ -11,7 +11,7 @@
 //! The paper's "I/O accesses" metric corresponds to
 //! [`IoStats::physical`], the sum of physical reads and writes.
 
-use std::ops::Sub;
+use std::ops::{Add, AddAssign, Sub};
 
 /// Counters of logical and physical page accesses.
 ///
@@ -60,6 +60,25 @@ impl Sub for IoStats {
 
     fn sub(self, rhs: IoStats) -> IoStats {
         self.since(rhs)
+    }
+}
+
+impl AddAssign for IoStats {
+    /// Component-wise accumulation, e.g. summing per-request counters
+    /// into a batch total.
+    fn add_assign(&mut self, rhs: IoStats) {
+        self.logical += rhs.logical;
+        self.physical_reads += rhs.physical_reads;
+        self.physical_writes += rhs.physical_writes;
+    }
+}
+
+impl Add for IoStats {
+    type Output = IoStats;
+
+    fn add(mut self, rhs: IoStats) -> IoStats {
+        self += rhs;
+        self
     }
 }
 

@@ -84,6 +84,41 @@ impl Scorer for LinearScorer {
     }
 }
 
+/// Borrowing variant of [`LinearScorer`]: scores `w · p` without copying
+/// the weight vector. Built for hot loops that issue one short ranked
+/// search per iteration (the Brute Force restart and Chain matchers),
+/// where the per-search `Box<[f64]>` of [`LinearScorer`] is measurable
+/// churn.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearScorerRef<'w>(&'w [f64]);
+
+impl<'w> LinearScorerRef<'w> {
+    /// Borrow a weight vector.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite (the upper-corner
+    /// bound would be inadmissible).
+    pub fn new(weights: &'w [f64]) -> LinearScorerRef<'w> {
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "ranked search requires finite, non-negative weights"
+        );
+        LinearScorerRef(weights)
+    }
+}
+
+impl Scorer for LinearScorerRef<'_> {
+    #[inline]
+    fn score(&self, point: &[f64]) -> f64 {
+        dot(self.0, point)
+    }
+
+    #[inline]
+    fn bound(&self, hi: &[f64]) -> f64 {
+        upper_score(self.0, hi)
+    }
+}
+
 /// Adapter turning any monotone non-decreasing function into a
 /// [`Scorer`] via the upper-corner bound.
 ///
@@ -153,6 +188,39 @@ impl Ord for HeapItem {
     }
 }
 
+/// Reusable frontier storage for [`RankedIter`].
+///
+/// Every ranked search keeps a priority queue of candidate entries; a
+/// matcher that issues thousands of short top-1 searches (Brute Force
+/// restart, Chain) otherwise allocates and drops that queue thousands of
+/// times. A `SearchBuf` owns the queue's backing storage across
+/// searches: pass it to [`RankedIter::over_reusing`], and take it back
+/// with [`RankedIter::recycle`] when the search is done. The buffer is
+/// opaque and starts every search empty — reuse affects allocation only,
+/// never results.
+#[derive(Default)]
+pub struct SearchBuf(Vec<HeapItem>);
+
+impl SearchBuf {
+    /// An empty buffer (no allocation until first use).
+    pub fn new() -> SearchBuf {
+        SearchBuf::default()
+    }
+
+    /// Number of heap entries the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+}
+
+impl std::fmt::Debug for SearchBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchBuf")
+            .field("capacity", &self.0.capacity())
+            .finish()
+    }
+}
+
 /// Incremental top-k iterator: each [`RankedIter::next`] call returns the
 /// next-best point in descending score order, reading tree pages lazily.
 ///
@@ -172,20 +240,35 @@ impl<'t, S: Scorer, Src: NodeSource> RankedIter<'t, S, Src> {
     /// The scorer's bound must be admissible over the source's tree (see
     /// the [`Scorer`] contract).
     pub fn over(src: &'t Src, scorer: S) -> RankedIter<'t, S, Src> {
-        Self::with_scorer(src, scorer)
+        Self::over_reusing(src, scorer, SearchBuf::new())
     }
 
-    pub(crate) fn with_scorer(src: &'t Src, scorer: S) -> RankedIter<'t, S, Src> {
+    /// Like [`RankedIter::over`], but reusing the frontier storage of an
+    /// earlier search (see [`SearchBuf`]). Recover the storage with
+    /// [`RankedIter::recycle`].
+    pub fn over_reusing(src: &'t Src, scorer: S, buf: SearchBuf) -> RankedIter<'t, S, Src> {
+        let mut storage = buf.0;
+        storage.clear();
         let root = src.read_node(src.root_page());
         let mut it = RankedIter {
             src,
             scorer,
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::from(storage),
         };
         // Seed with the root's entries (reading the root costs 1 logical
         // access, matching how the paper counts a query's first page).
         it.expand(&root);
         it
+    }
+
+    pub(crate) fn with_scorer(src: &'t Src, scorer: S) -> RankedIter<'t, S, Src> {
+        Self::over(src, scorer)
+    }
+
+    /// Abandon the search, keeping the frontier's backing allocation for
+    /// the next one.
+    pub fn recycle(self) -> SearchBuf {
+        SearchBuf(self.heap.into_vec())
     }
 
     /// Number of entries currently held in the search frontier (the
@@ -451,6 +534,44 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 300);
+    }
+
+    #[test]
+    fn reused_search_buf_matches_fresh_searches_and_keeps_capacity() {
+        let ps = seeded_points(800, 2, 47);
+        let tree = RTree::bulk_load(&ps, params());
+        let mut buf = SearchBuf::new();
+        let mut grown = 0usize;
+        for w in [[0.9, 0.1], [0.5, 0.5], [0.1, 0.9], [0.7, 0.3]] {
+            let mut it = RankedIter::over_reusing(&tree, LinearScorerRef::new(&w), buf);
+            let hit = it.next().unwrap();
+            let fresh = tree.top1(&w).unwrap();
+            assert_eq!(hit.oid, fresh.oid);
+            assert_eq!(hit.score, fresh.score);
+            buf = it.recycle();
+            grown = grown.max(buf.capacity());
+            assert!(buf.capacity() > 0, "storage survives recycling");
+        }
+        assert_eq!(buf.capacity(), grown, "allocation is reused, not redone");
+    }
+
+    #[test]
+    fn borrowing_scorer_agrees_with_owning_scorer() {
+        let ps = seeded_points(300, 3, 53);
+        let tree = RTree::bulk_load(&ps, params());
+        let w = [0.2, 0.5, 0.3];
+        let owned: Vec<u64> = tree.ranked_iter(&w).take(30).map(|h| h.oid).collect();
+        let borrowed: Vec<u64> = RankedIter::over(&tree, LinearScorerRef::new(&w))
+            .take(30)
+            .map(|h| h.oid)
+            .collect();
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn borrowing_scorer_rejects_negative_weights() {
+        let _ = LinearScorerRef::new(&[0.5, -0.1]);
     }
 
     #[test]

@@ -79,6 +79,25 @@ impl Ord for Item {
     }
 }
 
+/// Reusable priority-queue storage for BBS traversals.
+///
+/// The *SB-rescan* ablation recomputes the skyline once per matching
+/// loop; without reuse each recomputation allocates (and drops) the
+/// traversal heap. A `BbsScratch` keeps the heap's backing storage alive
+/// across calls to [`compute_skyline_excluding_with`]. The scratch is
+/// opaque and starts every traversal empty — reuse affects allocation
+/// only, never results.
+#[derive(Default)]
+pub struct BbsScratch(Vec<Item>);
+
+impl std::fmt::Debug for BbsScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BbsScratch")
+            .field("capacity", &self.0.capacity())
+            .finish()
+    }
+}
+
 /// Skyline of every object in the tree, as `(oid, point)` pairs in BBS
 /// discovery order (ascending L1 distance to the best corner).
 ///
@@ -97,18 +116,34 @@ pub fn compute_skyline_excluding<R: NodeSource>(
     tree: &R,
     excluded: impl Fn(u64) -> bool,
 ) -> Vec<(u64, Box<[f64]>)> {
-    let mut heap: BinaryHeap<Item> = BinaryHeap::new();
+    let mut sky = Vec::new();
+    compute_skyline_excluding_with(tree, excluded, &mut BbsScratch::default(), &mut sky);
+    sky
+}
+
+/// Like [`compute_skyline_excluding`], but reusing the traversal heap of
+/// `scratch` and writing the skyline into `sky` (cleared first), so
+/// repeated recomputations stop churning the allocator.
+pub fn compute_skyline_excluding_with<R: NodeSource>(
+    tree: &R,
+    excluded: impl Fn(u64) -> bool,
+    scratch: &mut BbsScratch,
+    sky: &mut Vec<(u64, Box<[f64]>)>,
+) {
+    let mut storage = std::mem::take(&mut scratch.0);
+    storage.clear();
+    let mut heap: BinaryHeap<Item> = BinaryHeap::from(storage);
     heap.push(Item::new(Cand::Subtree {
         pid: tree.root_page(),
         hi: vec![1.0; tree.dim()].into(),
     }));
-    let mut sky: Vec<(u64, Box<[f64]>)> = Vec::new();
+    sky.clear();
 
     let dominated =
         |sky: &[(u64, Box<[f64]>)], x: &[f64]| sky.iter().any(|(_, p)| dominates_or_equal(p, x));
 
     while let Some(item) = heap.pop() {
-        if dominated(&sky, item.cand.hi()) {
+        if dominated(sky, item.cand.hi()) {
             continue;
         }
         match item.cand {
@@ -123,7 +158,7 @@ pub fn compute_skyline_excluding<R: NodeSource>(
                 match &*node {
                     Node::Leaf(leaf) => {
                         for (oid, p) in leaf.iter() {
-                            if excluded(oid) || dominated(&sky, p) {
+                            if excluded(oid) || dominated(sky, p) {
                                 continue;
                             }
                             heap.push(Item::new(Cand::Point {
@@ -134,7 +169,7 @@ pub fn compute_skyline_excluding<R: NodeSource>(
                     }
                     Node::Inner(inner) => {
                         for i in 0..inner.len() {
-                            if dominated(&sky, inner.hi(i)) {
+                            if dominated(sky, inner.hi(i)) {
                                 continue;
                             }
                             heap.push(Item::new(Cand::Subtree {
@@ -147,7 +182,7 @@ pub fn compute_skyline_excluding<R: NodeSource>(
             }
         }
     }
-    sky
+    scratch.0 = heap.into_vec();
 }
 
 #[cfg(test)]
@@ -190,6 +225,21 @@ mod tests {
             let mut got: Vec<u64> = compute_skyline(&tree).into_iter().map(|(o, _)| o).collect();
             got.sort_unstable();
             assert_eq!(got, naive_skyline_excluding(&ps, &HashSet::new()));
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_computation() {
+        let ps = seeded_points(600, 3, 9);
+        let tree = RTree::bulk_load(&ps, params());
+        let mut scratch = BbsScratch::default();
+        let mut sky = Vec::new();
+        for round in 0..3 {
+            // grow the exclusion set across rounds like SB-rescan does
+            let excl: HashSet<u64> = (0..round * 40).map(|i| i as u64).collect();
+            compute_skyline_excluding_with(&tree, |o| excl.contains(&o), &mut scratch, &mut sky);
+            let fresh = compute_skyline_excluding(&tree, |o| excl.contains(&o));
+            assert_eq!(sky, fresh, "round {round} diverged under scratch reuse");
         }
     }
 

@@ -209,6 +209,22 @@ impl FunctionSet {
         s
     }
 
+    /// Overwrite `self` with a copy of `src`, **reusing** this set's
+    /// existing buffer allocations (a derived `clone` would allocate
+    /// fresh ones). This is the backbone of scratch-based evaluation:
+    /// every matcher run needs a private, mutable working copy of the
+    /// request's functions, and a reused scratch set makes that copy
+    /// allocation-free once the buffers have grown to the workload's
+    /// size.
+    pub fn copy_from(&mut self, src: &FunctionSet) {
+        self.dim = src.dim;
+        self.coefs.clear();
+        self.coefs.extend_from_slice(&src.coefs);
+        self.alive.clear();
+        self.alive.extend_from_slice(&src.alive);
+        self.n_alive = src.n_alive;
+    }
+
     /// Tombstone function `fid`.
     ///
     /// # Panics
@@ -284,6 +300,30 @@ mod tests {
         assert_eq!(fs.weights(0), &[0.5, 0.5]); // still readable
         let alive: Vec<u32> = fs.iter_alive().map(|(f, _)| f).collect();
         assert_eq!(alive, vec![1]);
+    }
+
+    #[test]
+    fn copy_from_reuses_buffers_and_equals_clone() {
+        let mut scratch = FunctionSet::from_rows(3, &vec![vec![0.2, 0.3, 0.5]; 40]);
+        scratch.remove(7);
+        let cap_before = scratch.coefs.capacity();
+        let src = {
+            let mut s = FunctionSet::from_rows(3, &vec![vec![0.5, 0.25, 0.25]; 10]);
+            s.remove(3);
+            s
+        };
+        scratch.copy_from(&src);
+        assert_eq!(scratch, src.clone());
+        assert_eq!(
+            scratch.coefs.capacity(),
+            cap_before,
+            "copy_from must reuse the existing allocation"
+        );
+        // dimensionality follows the source
+        let src2 = FunctionSet::from_rows(2, &[vec![0.5, 0.5]]);
+        scratch.copy_from(&src2);
+        assert_eq!(scratch.dim(), 2);
+        assert_eq!(scratch.weights(0), &[0.5, 0.5]);
     }
 
     #[test]

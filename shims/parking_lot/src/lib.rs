@@ -61,6 +61,11 @@ impl<T> RwLock<T> {
     pub fn new(value: T) -> RwLock<T> {
         RwLock(std::sync::RwLock::new(value))
     }
+
+    /// Consume the rwlock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 impl<T: ?Sized> RwLock<T> {

@@ -99,8 +99,9 @@ pub use mpq_ta as ta;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use mpq_core::{
-        Algorithm, BruteForceMatcher, CapacityMatcher, ChainMatcher, Engine, MatchRequest,
-        MatchSession, Matcher, Matching, MonotoneSkylineMatcher, MpqError, Pair, SkylineMatcher,
+        Algorithm, BatchMetrics, BatchOutcome, BruteForceMatcher, CapacityMatcher, ChainMatcher,
+        Engine, MatchRequest, MatchSession, Matcher, Matching, MonotoneSkylineMatcher, MpqError,
+        Pair, Scratch, SkylineMatcher,
     };
     pub use mpq_datagen::{Distribution, WorkloadBuilder};
     pub use mpq_rtree::{IoSession, PointSet, RTree, RTreeParams};
