@@ -1,51 +1,49 @@
-//! Multi-core scaling harness: requests/sec of `Engine::evaluate_batch`
-//! vs. thread count × algorithm, against the sequential request loop.
+//! Service latency/throughput harness: requests/sec and p50/p99
+//! submit→resolve latency of the [`mpq_core::EngineService`] submission queue
+//! worker count × algorithm, against the sequential request loop.
 //!
-//! This is the repo's first *perf-trajectory* benchmark: it emits a
-//! machine-readable `BENCH_pr3.json` that CI validates and archives, so
-//! future PRs extend the series instead of re-measuring ad hoc.
+//! Extends the perf-trajectory series started by `BENCH_pr3.json` (the
+//! scaling harness): it emits a machine-readable `BENCH_pr4.json`
+//! (schema `mpq.bench.service/1`) that CI validates and archives
+//! **alongside** — not instead of — the PR 3 artifact.
 //!
 //! ```text
-//! cargo run --release -p mpq_bench --bin scaling                 # full run
-//! cargo run --release -p mpq_bench --bin scaling -- --quick      # CI smoke
-//! cargo run --release -p mpq_bench --bin scaling -- --out results.json
-//! cargo run -p mpq_bench --bin scaling -- --validate BENCH_pr3.json
-//! MPQ_OBJECTS=50000 MPQ_REQUESTS=64 MPQ_THREADS=1,2,4,8 ... # env overrides
+//! cargo run --release -p mpq_bench --bin service                 # full run
+//! cargo run --release -p mpq_bench --bin service -- --quick      # CI smoke
+//! cargo run --release -p mpq_bench --bin service -- --out results.json
+//! cargo run -p mpq_bench --bin service -- --validate BENCH_pr4.json
+//! MPQ_OBJECTS=50000 MPQ_REQUESTS=64 MPQ_WORKERS=1,2,4,8 ...     # env overrides
 //! ```
 //!
-//! The workload is fig2-style (independent distribution, `D = 3`, 4 KiB
-//! pages, LRU buffer at 2% of the tree) — one shared engine, a stream of
-//! independent `MatchRequest`s each carrying its own preference-function
-//! batch. Every parallel cell is checked **pair-for-pair, bit-for-bit**
-//! against the sequential evaluation of the same requests; a mismatch
-//! aborts the run. The engine's buffer is sharded to the maximum tested
-//! thread count (`EngineBuilder::buffer_shards`).
-//!
-//! Speedup is machine-dependent: the `host.cores` field records how many
-//! cores the measurement actually had. The acceptance target (≥ 2× at
-//! ≥ 4 threads) is only reachable on a ≥ 4-core host; on fewer cores the
-//! harness still measures and records honestly and `acceptance.achieved`
-//! reports `null` (not applicable) rather than a fake pass/fail.
+//! The workload is the same fig2 style as the scaling harness — one
+//! shared engine, a stream of independent `MatchRequest`s — but instead
+//! of a pre-collected `evaluate_batch` call, every request is
+//! **submitted** through a `ServiceClient` and waited on via its
+//! `Ticket`, the way a network front-end would drive the engine. Every
+//! served cell is checked **pair-for-pair, bit-for-bit** against the
+//! sequential evaluation of the same requests; a mismatch aborts the
+//! run. Latency percentiles come from the service's own rolling
+//! [`mpq_core::ServiceMetrics`] window (sized to cover the whole run).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mpq_bench::json::Json;
 use mpq_bench::{env_flag, env_usize, identical_matchings};
-use mpq_core::{Algorithm, Engine, MatchRequest, Matching};
+use mpq_core::{Algorithm, Engine, Matching, ServiceConfig};
 use mpq_datagen::{Distribution, WorkloadBuilder};
 use mpq_ta::FunctionSet;
 
-const SCHEMA: &str = "mpq.bench.scaling/1";
-const ACCEPT_THREADS: usize = 4;
-const ACCEPT_SPEEDUP: f64 = 2.0;
+const SCHEMA: &str = "mpq.bench.service/1";
 
 struct Config {
     objects: usize,
     requests: usize,
     functions_per_request: usize,
     dim: usize,
-    threads: Vec<usize>,
+    workers: Vec<usize>,
     algorithms: Vec<Algorithm>,
+    queue_capacity: usize,
     out: String,
 }
 
@@ -55,7 +53,7 @@ fn main() {
         let path = args
             .get(i + 1)
             .map(String::as_str)
-            .unwrap_or("BENCH_pr3.json");
+            .unwrap_or("BENCH_pr4.json");
         match validate_file(path) {
             Ok(summary) => println!("{path}: OK ({summary})"),
             Err(e) => {
@@ -72,21 +70,22 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
 
     let cfg = Config {
         objects: env_usize("MPQ_OBJECTS", if quick { 4_000 } else { 30_000 }),
         requests: env_usize("MPQ_REQUESTS", if quick { 12 } else { 48 }),
         functions_per_request: env_usize("MPQ_FUNCTIONS", if quick { 20 } else { 50 }),
         dim: env_usize("MPQ_DIM", 3),
-        threads: parse_threads(&std::env::var("MPQ_THREADS").unwrap_or_default(), quick),
+        workers: parse_workers(&std::env::var("MPQ_WORKERS").unwrap_or_default(), quick),
         algorithms: vec![Algorithm::Sb, Algorithm::BruteForce, Algorithm::Chain],
+        queue_capacity: env_usize("MPQ_QUEUE_CAP", 256),
         out,
     };
     run(&cfg);
 }
 
-fn parse_threads(spec: &str, quick: bool) -> Vec<usize> {
+fn parse_workers(spec: &str, quick: bool) -> Vec<usize> {
     let parsed: Vec<usize> = spec
         .split(',')
         .filter_map(|t| t.trim().parse().ok())
@@ -104,14 +103,18 @@ fn parse_threads(spec: &str, quick: bool) -> Vec<usize> {
 
 fn run(cfg: &Config) {
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
-    let max_threads = cfg.threads.iter().copied().max().unwrap_or(1);
+    let max_workers = cfg.workers.iter().copied().max().unwrap_or(1);
     println!(
-        "scaling harness: |O|={} requests={} |F|/req={} D={} threads={:?} cores={}",
-        cfg.objects, cfg.requests, cfg.functions_per_request, cfg.dim, cfg.threads, cores
+        "service harness: |O|={} requests={} |F|/req={} D={} workers={:?} queue_cap={} cores={}",
+        cfg.objects,
+        cfg.requests,
+        cfg.functions_per_request,
+        cfg.dim,
+        cfg.workers,
+        cfg.queue_capacity,
+        cores
     );
 
-    // fig2-style objects, one shared engine, buffer sharded to the
-    // widest tested thread count
     let w = WorkloadBuilder::new()
         .objects(cfg.objects)
         .functions(1)
@@ -120,14 +123,15 @@ fn run(cfg: &Config) {
         .seed(2009)
         .build();
     let build_start = Instant::now();
-    let engine = Engine::builder()
-        .objects(&w.objects)
-        .buffer_shards(max_threads)
-        .build()
-        .expect("workload objects are valid");
+    let engine = Arc::new(
+        Engine::builder()
+            .objects(&w.objects)
+            .buffer_shards(max_workers)
+            .build()
+            .expect("workload objects are valid"),
+    );
     let build_secs = build_start.elapsed().as_secs_f64();
 
-    // one independent preference batch per request
     let function_sets: Vec<FunctionSet> = (0..cfg.requests)
         .map(|i| {
             WorkloadBuilder::new()
@@ -141,23 +145,23 @@ fn run(cfg: &Config) {
         .collect();
 
     let mut series: Vec<Json> = Vec::new();
-    let mut accept_best: Option<f64> = None;
 
     for &algo in &cfg.algorithms {
-        let requests: Vec<MatchRequest> = function_sets
-            .iter()
-            .map(|fs| engine.request(fs).algorithm(algo))
-            .collect();
-
-        // sequential baseline (the pre-batch serving loop)
+        // sequential baseline (the pre-service serving loop)
         engine.tree().clear_buffer();
         let seq_start = Instant::now();
-        let sequential: Vec<Matching> = requests
+        let sequential: Vec<Matching> = function_sets
             .iter()
-            .map(|r| r.evaluate().expect("valid request"))
+            .map(|fs| {
+                engine
+                    .request(fs)
+                    .algorithm(algo)
+                    .evaluate()
+                    .expect("valid request")
+            })
             .collect();
         let seq_wall = seq_start.elapsed().as_secs_f64();
-        let seq_rps = cfg.requests as f64 / seq_wall;
+        let seq_rps = cfg.requests as f64 / seq_wall.max(f64::MIN_POSITIVE);
         println!(
             "  {:<12} sequential: {:>8.2} req/s ({:.3}s)",
             algo.name(),
@@ -172,60 +176,67 @@ fn run(cfg: &Config) {
             seq_wall,
             seq_rps,
             1.0,
+            0.0,
+            0.0,
             true,
         ));
 
-        for &threads in &cfg.threads {
+        for &workers in &cfg.workers {
             engine.tree().clear_buffer();
-            let outcome = engine
-                .evaluate_batch(&requests, threads)
-                .expect("valid requests");
-            let wall = outcome.metrics().wall.as_secs_f64();
-            let rps = outcome.metrics().requests_per_sec();
-            let identical = outcome
-                .matchings()
+            let service = engine.clone().serve(
+                ServiceConfig::default()
+                    .workers(workers)
+                    .queue_capacity(cfg.queue_capacity.max(cfg.requests))
+                    .latency_window(cfg.requests.max(1)),
+            );
+            let client = service.client();
+            let wall_start = Instant::now();
+            let tickets: Vec<_> = function_sets
+                .iter()
+                .map(|fs| {
+                    client
+                        .submit(client.engine().request(fs).algorithm(algo))
+                        .expect("queue sized to the run")
+                })
+                .collect();
+            let served: Vec<Matching> = tickets
+                .into_iter()
+                .map(|t| t.wait().expect("valid request"))
+                .collect();
+            let wall = wall_start.elapsed().as_secs_f64();
+            let metrics = service.metrics();
+            service.shutdown();
+
+            let identical = served
                 .iter()
                 .zip(&sequential)
                 .all(|(a, b)| identical_matchings(a, b));
             assert!(
                 identical,
-                "{algo}: parallel matchings diverged from sequential — this is a bug"
+                "{algo}: served matchings diverged from sequential — this is a bug"
             );
+            assert_eq!(metrics.completed, cfg.requests as u64);
+
+            let rps = cfg.requests as f64 / wall.max(f64::MIN_POSITIVE);
             let speedup = if seq_rps > 0.0 { rps / seq_rps } else { 0.0 };
+            let p50_ms = metrics.p50_latency.as_secs_f64() * 1e3;
+            let p99_ms = metrics.p99_latency.as_secs_f64() * 1e3;
             println!(
-                "  {:<12} t={:<2}      : {:>8.2} req/s  speedup {:>5.2}x  identical={}",
+                "  {:<12} w={:<2}      : {:>8.2} req/s  speedup {:>5.2}x  \
+                 p50 {:>8.3}ms  p99 {:>8.3}ms  identical={}",
                 algo.name(),
-                threads,
+                workers,
                 rps,
                 speedup,
+                p50_ms,
+                p99_ms,
                 identical
             );
-            if threads >= ACCEPT_THREADS {
-                accept_best = Some(accept_best.map_or(speedup, |b: f64| b.max(speedup)));
-            }
             series.push(cell(
-                algo, "batch", threads, cfg, wall, rps, speedup, identical,
+                algo, "service", workers, cfg, wall, rps, speedup, p50_ms, p99_ms, identical,
             ));
         }
     }
-
-    // acceptance verdict: only meaningful with enough cores to scale
-    let acceptance = Json::obj([
-        ("threshold_speedup", Json::Num(ACCEPT_SPEEDUP)),
-        ("at_threads", Json::Num(ACCEPT_THREADS as f64)),
-        (
-            "best_speedup_at_threshold",
-            accept_best.map_or(Json::Null, Json::Num),
-        ),
-        (
-            "achieved",
-            if cores < ACCEPT_THREADS {
-                Json::Null // not measurable on this host
-            } else {
-                Json::Bool(accept_best.unwrap_or(0.0) >= ACCEPT_SPEEDUP)
-            },
-        ),
-    ]);
 
     let doc = Json::obj([
         ("schema", Json::Str(SCHEMA.into())),
@@ -242,6 +253,7 @@ fn run(cfg: &Config) {
                     Json::Num(cfg.functions_per_request as f64),
                 ),
                 ("dim", Json::Num(cfg.dim as f64)),
+                ("queue_capacity", Json::Num(cfg.queue_capacity as f64)),
                 ("build_secs", Json::Num(build_secs)),
                 (
                     "buffer_shards",
@@ -250,7 +262,6 @@ fn run(cfg: &Config) {
             ]),
         ),
         ("series", Json::Arr(series)),
-        ("acceptance", acceptance),
     ]);
 
     std::fs::write(&cfg.out, doc.render() + "\n").expect("write benchmark artifact");
@@ -268,26 +279,30 @@ fn run(cfg: &Config) {
 fn cell(
     algo: Algorithm,
     mode: &str,
-    threads: usize,
+    workers: usize,
     cfg: &Config,
     wall: f64,
     rps: f64,
     speedup: f64,
+    p50_ms: f64,
+    p99_ms: f64,
     identical: bool,
 ) -> Json {
     Json::obj([
         ("algorithm", Json::Str(algo.name().into())),
         ("mode", Json::Str(mode.into())),
-        ("threads", Json::Num(threads as f64)),
+        ("workers", Json::Num(workers as f64)),
         ("requests", Json::Num(cfg.requests as f64)),
         ("wall_secs", Json::Num(wall)),
         ("requests_per_sec", Json::Num(rps)),
         ("speedup_vs_sequential", Json::Num(speedup)),
+        ("latency_p50_ms", Json::Num(p50_ms)),
+        ("latency_p99_ms", Json::Num(p99_ms)),
         ("identical_to_sequential", Json::Bool(identical)),
     ])
 }
 
-/// Validate a `BENCH_pr3.json` artifact: parse, check the schema tag and
+/// Validate a `BENCH_pr4.json` artifact: parse, check the schema tag and
 /// the shape every series entry must have. Returns a one-line summary.
 fn validate_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
@@ -304,7 +319,13 @@ fn validate_file(path: &str) -> Result<String, String> {
         .and_then(Json::as_f64)
         .ok_or("missing 'host.cores'")?;
     let workload = doc.get("workload").ok_or("missing 'workload'")?;
-    for key in ["objects", "requests", "functions_per_request", "dim"] {
+    for key in [
+        "objects",
+        "requests",
+        "functions_per_request",
+        "dim",
+        "queue_capacity",
+    ] {
         workload
             .get(key)
             .and_then(Json::as_f64)
@@ -327,15 +348,17 @@ fn validate_file(path: &str) -> Result<String, String> {
             .get("mode")
             .and_then(Json::as_str)
             .ok_or(format!("series[{i}]: missing 'mode'"))?;
-        if mode != "sequential" && mode != "batch" {
+        if mode != "sequential" && mode != "service" {
             return Err(format!("series[{i}]: bad mode '{mode}'"));
         }
         for key in [
-            "threads",
+            "workers",
             "requests",
             "wall_secs",
             "requests_per_sec",
             "speedup_vs_sequential",
+            "latency_p50_ms",
+            "latency_p99_ms",
         ] {
             let v = entry
                 .get(key)
@@ -344,6 +367,12 @@ fn validate_file(path: &str) -> Result<String, String> {
             if v < 0.0 {
                 return Err(format!("series[{i}]: negative '{key}'"));
             }
+        }
+        // the rolling window covers the whole run, so p50 ≤ p99 must hold
+        let p50 = entry.get("latency_p50_ms").and_then(Json::as_f64).unwrap();
+        let p99 = entry.get("latency_p99_ms").and_then(Json::as_f64).unwrap();
+        if p50 > p99 {
+            return Err(format!("series[{i}]: p50 {p50} > p99 {p99}"));
         }
         if entry
             .get("identical_to_sequential")
@@ -360,11 +389,6 @@ fn validate_file(path: &str) -> Result<String, String> {
             series.len()
         ));
     }
-    let acceptance = doc.get("acceptance").ok_or("missing 'acceptance'")?;
-    acceptance
-        .get("threshold_speedup")
-        .and_then(Json::as_f64)
-        .ok_or("missing 'acceptance.threshold_speedup'")?;
     Ok(format!(
         "{} series entries, all identical to sequential",
         series.len()

@@ -39,6 +39,18 @@ pub struct Cell {
     pub total_score: f64,
 }
 
+/// Byte-level identity of two matchings, the acceptance bar of every
+/// perf-trajectory harness: same pairs, same emission order, same score
+/// **bits** (`f64::to_bits`, so `-0.0 != 0.0` and NaNs never sneak
+/// through a `==`). Shared by the scaling and service harness binaries
+/// so the identity contract cannot drift between them.
+pub fn identical_matchings(a: &Matching, b: &Matching) -> bool {
+    a.len() == b.len()
+        && a.pairs().iter().zip(b.pairs()).all(|(x, y)| {
+            x.fid == y.fid && x.oid == y.oid && x.score.to_bits() == y.score.to_bits()
+        })
+}
+
 /// Build an engine over the workload's objects, timing the index
 /// construction. Build it **once** per workload and pass it to every
 /// [`run_cell_on`] so the cells measure matching, never index builds.

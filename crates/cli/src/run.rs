@@ -9,6 +9,11 @@
 //! mpq throughput --objects rooms.csv --functions users.csv
 //!                [--algo sb|bf|chain] [--requests R] [--threads T]
 //!                # serve R copies of the request on T threads and report req/s
+//! mpq serve --objects rooms.csv --functions users.csv
+//!           [--algo sb|bf|chain] [--requests R] [--workers N]
+//!           [--queue-cap M] [--reject]
+//!           # replay R copies through the EngineService submission
+//!           # queue and report ServiceMetrics
 //! ```
 //!
 //! Object attribute values are expected in `[0, 1]` larger-is-better
@@ -17,8 +22,10 @@
 //! recipe). Function rows are weights; they are normalized to sum to 1.
 
 use std::fs;
+use std::sync::Arc;
 
-use mpq_core::{Algorithm, Engine, MpqError};
+use mpq_core::service::resolved_workers;
+use mpq_core::{Algorithm, BackpressurePolicy, Engine, MpqError, ServiceConfig};
 use mpq_datagen::Distribution;
 use mpq_rtree::PointSet;
 use mpq_ta::FunctionSet;
@@ -57,6 +64,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Some("match") => cmd_match(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("throughput") => cmd_throughput(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => Err(CliError::usage(USAGE)),
         Some(other) => Err(CliError::usage(format!(
             "unknown command '{other}'\n{USAGE}"
@@ -70,7 +78,12 @@ const USAGE: &str = "usage:
   mpq generate --distribution <independent|correlated|anti-correlated|clustered|zillow>
                --objects <N> --dim <D> [--seed <S>]
   mpq throughput --objects <objects.csv> --functions <functions.csv>
-                 [--algo sb|bf|chain] [--requests <R>] [--threads <T>]";
+                 [--algo sb|bf|chain] [--requests <R>] [--threads <T>]
+  mpq serve --objects <objects.csv> --functions <functions.csv>
+            [--algo sb|bf|chain] [--requests <R>] [--workers <N>]
+            [--queue-cap <M>] [--reject]
+            # replay R copies of the request through the EngineService
+            # worker pool and report ServiceMetrics";
 
 fn arg_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -192,25 +205,14 @@ fn build_inputs(
 /// report the throughput against the sequential loop. The batch results
 /// are verified identical to the sequential ones before anything is
 /// reported.
-fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
+/// Shared workload loader of the serving subcommands (`throughput`,
+/// `serve`): read the `--objects`/`--functions` CSVs and build the
+/// validated input sets.
+fn load_workload(args: &[String]) -> Result<(PointSet, FunctionSet), CliError> {
     let objects_path = arg_value(args, "--objects")
         .ok_or_else(|| CliError::usage(format!("--objects is required\n{USAGE}")))?;
     let functions_path = arg_value(args, "--functions")
         .ok_or_else(|| CliError::usage(format!("--functions is required\n{USAGE}")))?;
-    let algorithm: Algorithm = arg_value(args, "--algo")
-        .or_else(|| arg_value(args, "--algorithm"))
-        .unwrap_or("sb")
-        .parse()
-        .map_err(CliError::usage)?;
-    let requests: usize = arg_value(args, "--requests")
-        .unwrap_or("32")
-        .parse()
-        .map_err(|_| CliError::usage("--requests must be an integer"))?;
-    let threads: usize = arg_value(args, "--threads")
-        .unwrap_or("0") // 0 = one worker per core
-        .parse()
-        .map_err(|_| CliError::usage("--threads must be an integer"))?;
-
     let objects_text = fs::read_to_string(objects_path)
         .map_err(|e| CliError::runtime(format!("cannot read {objects_path}: {e}")))?;
     let functions_text = fs::read_to_string(functions_path)
@@ -226,16 +228,28 @@ fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
             functions_table.columns.len()
         )));
     }
-    let (objects, functions) = build_inputs(&objects_table, &functions_table)?;
+    build_inputs(&objects_table, &functions_table)
+}
 
-    let effective_threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
-    } else {
-        threads
-    };
+fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
+    let algorithm: Algorithm = arg_value(args, "--algo")
+        .or_else(|| arg_value(args, "--algorithm"))
+        .unwrap_or("sb")
+        .parse()
+        .map_err(CliError::usage)?;
+    let requests: usize = arg_value(args, "--requests")
+        .unwrap_or("32")
+        .parse()
+        .map_err(|_| CliError::usage("--requests must be an integer"))?;
+    let threads: usize = arg_value(args, "--threads")
+        .unwrap_or("0") // 0 = one worker per core
+        .parse()
+        .map_err(|_| CliError::usage("--threads must be an integer"))?;
+    let (objects, functions) = load_workload(args)?;
+
     let engine = Engine::builder()
         .objects(&objects)
-        .buffer_shards(effective_threads)
+        .buffer_shards(resolved_workers(threads))
         .build()
         .map_err(cli_from_mpq)?;
 
@@ -285,6 +299,99 @@ fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
             par_rps / seq_rps
         } else {
             0.0
+        },
+    ))
+}
+
+/// Async-serving demo: load one `(objects, functions)` pair, spawn an
+/// [`EngineService`] worker pool over the shared engine, replay `R`
+/// copies of the request through the submission queue (the same
+/// workload `mpq throughput` uses), wait for all tickets, and print the
+/// rolling [`ServiceMetrics`]. Every served result is verified
+/// bit-identical to a sequential evaluation before anything is
+/// reported.
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let algorithm: Algorithm = arg_value(args, "--algo")
+        .or_else(|| arg_value(args, "--algorithm"))
+        .unwrap_or("sb")
+        .parse()
+        .map_err(CliError::usage)?;
+    let requests: usize = arg_value(args, "--requests")
+        .unwrap_or("32")
+        .parse()
+        .map_err(|_| CliError::usage("--requests must be an integer"))?;
+    let workers: usize = arg_value(args, "--workers")
+        .unwrap_or("0") // 0 = one worker per core
+        .parse()
+        .map_err(|_| CliError::usage("--workers must be an integer"))?;
+    let queue_cap: usize = arg_value(args, "--queue-cap")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|_| CliError::usage("--queue-cap must be an integer"))?;
+    let backpressure = if args.iter().any(|a| a == "--reject") {
+        BackpressurePolicy::Reject
+    } else {
+        BackpressurePolicy::Block
+    };
+    let (objects, functions) = load_workload(args)?;
+
+    let engine = Arc::new(
+        Engine::builder()
+            .objects(&objects)
+            .buffer_shards(resolved_workers(workers))
+            .build()
+            .map_err(cli_from_mpq)?,
+    );
+    let expected = engine
+        .request(&functions)
+        .algorithm(algorithm)
+        .evaluate()
+        .map_err(cli_from_mpq)?
+        .sorted_pairs();
+
+    let service = engine.clone().serve(
+        ServiceConfig::default()
+            .workers(workers)
+            .queue_capacity(queue_cap)
+            .backpressure(backpressure),
+    );
+    let client = service.client();
+    let mut tickets = Vec::with_capacity(requests);
+    let mut rejected = 0usize;
+    for _ in 0..requests {
+        match client.submit(client.engine().request(&functions).algorithm(algorithm)) {
+            Ok(t) => tickets.push(t),
+            Err(MpqError::Overloaded) => rejected += 1,
+            Err(e) => return Err(cli_from_mpq(e)),
+        }
+    }
+    for ticket in tickets {
+        let served = ticket.wait().map_err(cli_from_mpq)?;
+        if served.sorted_pairs() != expected {
+            return Err(CliError::runtime(
+                "served result diverged from sequential evaluation".to_string(),
+            ));
+        }
+    }
+    // Snapshot after the drain: the joined workers have retired every
+    // job, so the queue/in-flight gauges are deterministically zero.
+    service.shutdown();
+    let metrics = client.metrics();
+
+    Ok(format!(
+        "{} x{requests} requests over {} objects via EngineService \
+         (queue cap {queue_cap}, {} backpressure{})\n{metrics}\n\
+         all served matchings identical to sequential\n",
+        algorithm.name(),
+        objects.len(),
+        match backpressure {
+            BackpressurePolicy::Block => "block",
+            BackpressurePolicy::Reject => "reject",
+        },
+        if rejected > 0 {
+            format!(", {rejected} rejected")
+        } else {
+            String::new()
         },
     ))
 }
@@ -472,6 +579,101 @@ mod tests {
         assert!(out.contains("sequential:"), "{out}");
         assert!(out.contains("batch t=2:"), "{out}");
         assert!(out.contains("all matchings identical"), "{out}");
+    }
+
+    #[test]
+    fn serve_replays_workload_through_the_service() {
+        let dir = std::env::temp_dir().join("mpq_cli_serve");
+        fs::create_dir_all(&dir).unwrap();
+        let objects_csv = run_cli(&args(&[
+            "generate",
+            "--distribution",
+            "independent",
+            "--objects",
+            "400",
+            "--dim",
+            "2",
+            "--seed",
+            "17",
+        ]))
+        .unwrap();
+        let opath = dir.join("objects.csv");
+        fs::write(&opath, &objects_csv).unwrap();
+        let fpath = dir.join("functions.csv");
+        fs::write(&fpath, "w0,w1\n0.7,0.3\n0.4,0.6\n0.5,0.5\n").unwrap();
+
+        let out = run_cli(&args(&[
+            "serve",
+            "--objects",
+            opath.to_str().unwrap(),
+            "--functions",
+            fpath.to_str().unwrap(),
+            "--requests",
+            "8",
+            "--workers",
+            "2",
+            "--queue-cap",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("via EngineService"), "{out}");
+        assert!(out.contains("workers 2"), "{out}");
+        assert!(out.contains("submitted 8"), "{out}");
+        assert!(out.contains("completed 8"), "{out}");
+        assert!(out.contains("latency p50"), "{out}");
+        assert!(
+            out.contains("all served matchings identical to sequential"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_reject_mode_sheds_load_but_still_reports() {
+        let dir = std::env::temp_dir().join("mpq_cli_serve_reject");
+        fs::create_dir_all(&dir).unwrap();
+        let objects_csv = run_cli(&args(&[
+            "generate",
+            "--distribution",
+            "anti-correlated",
+            "--objects",
+            "2000",
+            "--dim",
+            "3",
+            "--seed",
+            "23",
+        ]))
+        .unwrap();
+        let opath = dir.join("objects.csv");
+        fs::write(&opath, &objects_csv).unwrap();
+        let fpath = dir.join("functions.csv");
+        let mut fcsv = String::from("w0,w1,w2\n");
+        for i in 0..40 {
+            fcsv.push_str(&format!("0.{:02},0.{:02},0.20\n", 20 + i, 60 - i));
+        }
+        fs::write(&fpath, &fcsv).unwrap();
+
+        // 1 worker + tiny queue + a burst: some submissions are shed in
+        // reject mode, and the report stays truthful about it.
+        let out = run_cli(&args(&[
+            "serve",
+            "--objects",
+            opath.to_str().unwrap(),
+            "--functions",
+            fpath.to_str().unwrap(),
+            "--requests",
+            "16",
+            "--workers",
+            "1",
+            "--queue-cap",
+            "1",
+            "--reject",
+        ]))
+        .unwrap();
+        assert!(out.contains("reject backpressure"), "{out}");
+        assert!(
+            out.contains("all served matchings identical to sequential"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -39,11 +39,10 @@
 //! assert_eq!(sb.sorted_pairs(), bf.sorted_pairs());
 //! ```
 
+use std::borrow::Cow;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 use mpq_rtree::{IoSession, IoStats, PointSet, RTree};
 use mpq_skyline::SkylineMaintainer;
@@ -56,9 +55,13 @@ use crate::error::MpqError;
 use crate::matching::{IndexConfig, Matching, Pair, RunMetrics};
 use crate::sb::{
     run_rescan_on, run_sb_on, sb_loop_round, stream_on, BestPairMode, MaintenanceMode, SbStream,
-    SkylineMatcher,
+    ScratchLease, SkylineMatcher,
 };
 use crate::scratch::Scratch;
+use crate::service::{
+    resolved_workers, safe_rate, worker_loop, EngineService, ServiceConfig, ServiceCore,
+    SubmitOptions,
+};
 
 /// Which stable-matching algorithm a [`MatchRequest`] runs.
 ///
@@ -255,21 +258,61 @@ impl Engine {
         MatchRequest {
             engine: self,
             functions,
-            algorithm: Algorithm::Sb,
-            best_pair: BestPairMode::Ta,
-            maintenance: MaintenanceMode::Incremental,
-            multi_pair: true,
-            bf_strategy: BfStrategy::Incremental,
-            exclude: HashSet::new(),
-            capacities: None,
+            options: RequestOptions::default(),
         }
     }
 
     /// Progressive SB evaluation with default options: stable pairs are
     /// yielded as soon as they are identified. Shorthand for
     /// [`MatchRequest::stream`].
-    pub fn stream(&self, functions: &FunctionSet) -> Result<SbStream<IoSession<'_>>, MpqError> {
+    pub fn stream(
+        &self,
+        functions: &FunctionSet,
+    ) -> Result<SbStream<'static, IoSession<'_>>, MpqError> {
         self.request(functions).stream()
+    }
+
+    /// Progressive SB evaluation served from a caller-owned reusable
+    /// [`Scratch`] (see [`MatchRequest::stream_with`]): consumers that
+    /// open many streams get zero-alloc rounds after the first.
+    /// Shorthand for [`MatchRequest::stream_with`].
+    pub fn stream_with<'e, 's>(
+        &'e self,
+        functions: &FunctionSet,
+        scratch: &'s mut Scratch,
+    ) -> Result<SbStream<'s, IoSession<'e>>, MpqError> {
+        self.request(functions).stream_with(scratch)
+    }
+
+    /// Start a long-lived [`EngineService`] over this engine — the
+    /// blessed serving entry point: a worker pool behind a bounded
+    /// submission queue, fed by cheap cloneable
+    /// [`ServiceClient`](crate::service::ServiceClient) handles, so a
+    /// network front-end can stream requests in as they arrive instead
+    /// of pre-collecting synchronous batches. Shorthand for
+    /// [`EngineService::spawn`].
+    ///
+    /// The engine must be in an [`Arc`] because the workers are real
+    /// threads that outlive any borrow:
+    ///
+    /// ```
+    /// # use std::sync::Arc;
+    /// # use mpq_core::{Engine, ServiceConfig};
+    /// # use mpq_rtree::PointSet;
+    /// # use mpq_ta::FunctionSet;
+    /// # let mut objects = PointSet::new(2);
+    /// # for p in [[0.9_f64, 0.2], [0.2, 0.9], [0.7, 0.7]] { objects.push(&p); }
+    /// let engine = Arc::new(Engine::builder().objects(&objects).build().unwrap());
+    /// let service = engine.clone().serve(ServiceConfig::default().workers(2));
+    /// let client = service.client();
+    /// let functions = FunctionSet::from_rows(2, &[vec![0.5, 0.5]]);
+    /// let ticket = client.submit(client.engine().request(&functions)).unwrap();
+    /// let matching = ticket.wait().unwrap();
+    /// assert_eq!(matching.len(), 1);
+    /// service.shutdown();
+    /// ```
+    pub fn serve(self: Arc<Self>, config: ServiceConfig) -> EngineService {
+        EngineService::spawn(self, config)
     }
 
     /// Open a persistent [`MatchSession`]: batches submitted over time
@@ -292,21 +335,26 @@ impl Engine {
     /// worker pool, returning the matchings **in input order** plus
     /// aggregated [`BatchMetrics`].
     ///
-    /// `threads == 0` means "one worker per available core". Workers
-    /// pull requests from a shared atomic cursor, each reusing one
-    /// [`Scratch`] across its whole stream, and read the shared index
-    /// through per-run [`IoSession`]s — so every returned
+    /// This is a thin submit-all-then-wait wrapper over the same
+    /// scheduling machinery that powers the long-lived [`EngineService`]
+    /// — one code path decides which worker runs which request. The
+    /// workers are scoped threads; each owns one persistent [`Scratch`]
+    /// across its whole request stream, and every run reads the shared
+    /// index through its own per-run [`IoSession`] — so every returned
     /// [`Matching::metrics`] still reports exactly its own run's I/O,
     /// and the result of every request is **identical to evaluating it
     /// sequentially** (each evaluation is deterministic and the index is
     /// never mutated; only buffer hit/miss counts feel the concurrency).
+    ///
+    /// `threads == 0` means "one worker per available core".
     ///
     /// For multi-core scaling pair this with
     /// [`EngineBuilder::buffer_shards`] (shards ≈ threads), otherwise
     /// every worker funnels through the buffer pool's single lock.
     ///
     /// If any request fails validation, the error of the first failing
-    /// request (in input order) is returned.
+    /// request (in input order) is returned before any evaluation work
+    /// is spent.
     pub fn evaluate_batch(
         &self,
         requests: &[MatchRequest<'_, '_>],
@@ -314,37 +362,57 @@ impl Engine {
     ) -> Result<BatchOutcome, MpqError> {
         let wall_start = Instant::now();
         let n = requests.len();
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, usize::from)
-        } else {
-            threads
-        }
-        .clamp(1, n.max(1));
+        let threads = resolved_workers(threads).clamp(1, n.max(1));
 
         // Fail fast: all evaluation errors are request-shape errors, so
         // an invalid request is caught here — in input order — before
-        // any work is spent on the rest of the batch.
+        // any work is spent on the rest of the batch. Requests built on
+        // a *different* engine are refused outright (same guard as
+        // `ServiceClient::submit_with`): this engine's workers would
+        // otherwise evaluate them against the wrong inventory.
         for request in requests {
+            if !std::ptr::eq(request.engine(), self) {
+                return Err(MpqError::UnsupportedRequest(
+                    "request was built against a different engine than this batch's",
+                ));
+            }
             request.validate()?;
         }
 
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<Matching, MpqError>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        // The batch is one drained service run: a queue sized to the
+        // batch (so submission never blocks), FIFO order, scoped workers
+        // borrowing `self` instead of the long-lived service's Arc. The
+        // queue payloads are *borrowed* from `requests` (the workers
+        // cannot outlive the slice), so no request is cloned to travel
+        // the queue.
+        let core = ServiceCore::new(
+            &ServiceConfig::default()
+                .workers(threads)
+                .queue_capacity(n.max(1)),
+            threads,
+        );
+        let mut results: Vec<Result<Matching, MpqError>> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| {
-                    let mut scratch = Scratch::new();
-                    loop {
-                        let i = next.fetch_add(1, AtomicOrdering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let result = requests[i].evaluate_with(&mut scratch);
-                        *slots[i].lock() = Some(result);
-                    }
-                });
+                let core = &core;
+                scope.spawn(move || worker_loop(core, self));
             }
+            let tickets: Vec<_> = requests
+                .iter()
+                .map(|r| {
+                    let (functions, options) = r.parts();
+                    core.enqueue(
+                        Cow::Borrowed(functions),
+                        Cow::Borrowed(options),
+                        SubmitOptions::default(),
+                    )
+                    .expect("batch queue is sized to the batch and not shutting down")
+                })
+                .collect();
+            results.extend(tickets.into_iter().map(|t| t.wait()));
+            // All tickets resolved: let the scoped workers drain out so
+            // the scope can join them.
+            core.begin_shutdown();
         });
 
         let mut matchings = Vec::with_capacity(n);
@@ -353,10 +421,7 @@ impl Engine {
             requests: n,
             ..BatchMetrics::default()
         };
-        for slot in slots {
-            let result = slot
-                .into_inner()
-                .expect("every slot is filled before the scope ends");
+        for result in results {
             let m = result?;
             let met = m.metrics();
             metrics.io += met.io;
@@ -405,47 +470,181 @@ impl Engine {
 pub struct MatchRequest<'e, 'f> {
     engine: &'e Engine,
     functions: &'f FunctionSet,
-    algorithm: Algorithm,
-    best_pair: BestPairMode,
-    maintenance: MaintenanceMode,
-    multi_pair: bool,
-    bf_strategy: BfStrategy,
-    exclude: HashSet<u64>,
-    capacities: Option<Vec<u32>>,
+    options: RequestOptions,
+}
+
+/// The owned, engine-independent core of a [`MatchRequest`]: every knob
+/// except the borrowed engine and function set. Detaching the options
+/// (plus a clone of the functions) is what lets a request outlive its
+/// submission scope and travel through the [`crate::service`] queue to a
+/// worker thread.
+#[derive(Debug, Clone)]
+pub(crate) struct RequestOptions {
+    pub(crate) algorithm: Algorithm,
+    pub(crate) best_pair: BestPairMode,
+    pub(crate) maintenance: MaintenanceMode,
+    pub(crate) multi_pair: bool,
+    pub(crate) bf_strategy: BfStrategy,
+    pub(crate) exclude: HashSet<u64>,
+    pub(crate) capacities: Option<Vec<u32>>,
+}
+
+impl Default for RequestOptions {
+    fn default() -> RequestOptions {
+        RequestOptions {
+            algorithm: Algorithm::Sb,
+            best_pair: BestPairMode::Ta,
+            maintenance: MaintenanceMode::Incremental,
+            multi_pair: true,
+            bf_strategy: BfStrategy::Incremental,
+            exclude: HashSet::new(),
+            capacities: None,
+        }
+    }
+}
+
+/// Request-shape checks shared by direct evaluation and the service
+/// queue: everything evaluation can fail on, with no evaluation work.
+/// [`Engine::evaluate_batch`] and [`crate::service::ServiceClient`] run
+/// this *before* enqueueing, so an invalid request is reported to the
+/// submitter instead of travelling to a worker first.
+pub(crate) fn validate_options(
+    engine: &Engine,
+    functions: &FunctionSet,
+    options: &RequestOptions,
+) -> Result<(), MpqError> {
+    engine.validate_functions(functions)?;
+    if let Some(caps) = &options.capacities {
+        if caps.len() != engine.n_objects {
+            return Err(MpqError::CapacityMismatch {
+                expected: engine.n_objects,
+                got: caps.len(),
+            });
+        }
+        if options.algorithm != Algorithm::Sb {
+            return Err(MpqError::UnsupportedRequest(
+                "capacities are only supported with Algorithm::Sb",
+            ));
+        }
+        // Reject — rather than silently ignore — SB ablation knobs
+        // the capacitated path does not implement. (multi_pair does
+        // not apply: the capacitated greedy emits one pair per loop.)
+        if options.maintenance != MaintenanceMode::Incremental {
+            return Err(MpqError::UnsupportedRequest(
+                "capacities do not support the rescan maintenance ablation",
+            ));
+        }
+        if options.best_pair != BestPairMode::Ta {
+            return Err(MpqError::UnsupportedRequest(
+                "capacities only support the TA best-pair mode",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The one evaluation code path: validate and run `options` over
+/// `functions` against the engine's shared index, serving working state
+/// from `scratch`. Direct [`MatchRequest::evaluate_with`] calls, the
+/// batch workers, and the [`crate::service`] workers all land here.
+pub(crate) fn evaluate_options(
+    engine: &Engine,
+    functions: &FunctionSet,
+    options: &RequestOptions,
+    scratch: &mut Scratch,
+) -> Result<Matching, MpqError> {
+    validate_options(engine, functions, options)?;
+    let session = IoSession::new(&engine.tree);
+
+    if let Some(caps) = &options.capacities {
+        return Ok(run_capacity_on(&session, functions, caps, &options.exclude));
+    }
+
+    match options.algorithm {
+        Algorithm::Sb => {
+            let cfg = sb_config_of(engine, options);
+            match options.maintenance {
+                MaintenanceMode::Incremental => Ok(run_sb_on(
+                    &cfg,
+                    &session,
+                    functions,
+                    &options.exclude,
+                    scratch,
+                )),
+                MaintenanceMode::Rescan => Ok(run_rescan_on(
+                    &cfg,
+                    &session,
+                    functions,
+                    &options.exclude,
+                    scratch,
+                )),
+            }
+        }
+        Algorithm::BruteForce => match options.bf_strategy {
+            BfStrategy::Incremental => Ok(run_incremental_on(
+                &session,
+                functions,
+                &options.exclude,
+                scratch,
+            )),
+            BfStrategy::Restart => Ok(run_restart_on(
+                &session,
+                functions,
+                &options.exclude,
+                scratch,
+            )),
+        },
+        Algorithm::Chain => Ok(run_chain_on(
+            &engine.config,
+            &session,
+            functions,
+            &options.exclude,
+            scratch,
+        )),
+    }
+}
+
+fn sb_config_of(engine: &Engine, options: &RequestOptions) -> SkylineMatcher {
+    SkylineMatcher {
+        index: engine.config.clone(),
+        multi_pair: options.multi_pair,
+        best_pair: options.best_pair,
+        maintenance: options.maintenance,
+    }
 }
 
 impl<'e> MatchRequest<'e, '_> {
     /// Select the algorithm (default [`Algorithm::Sb`]).
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
-        self.algorithm = algorithm;
+        self.options.algorithm = algorithm;
         self
     }
 
     /// SB only: how the best function per skyline object is located
     /// (default [`BestPairMode::Ta`]).
     pub fn best_pair(mut self, mode: BestPairMode) -> Self {
-        self.best_pair = mode;
+        self.options.best_pair = mode;
         self
     }
 
     /// SB only: skyline currency strategy (default
     /// [`MaintenanceMode::Incremental`]).
     pub fn maintenance(mut self, mode: MaintenanceMode) -> Self {
-        self.maintenance = mode;
+        self.options.maintenance = mode;
         self
     }
 
     /// SB only: report all mutually-best pairs per loop (§IV-C, default
     /// `true`) or only the canonical best.
     pub fn multi_pair(mut self, multi: bool) -> Self {
-        self.multi_pair = multi;
+        self.options.multi_pair = multi;
         self
     }
 
     /// Brute Force only: re-search strategy (default
     /// [`BfStrategy::Incremental`]).
     pub fn bf_strategy(mut self, strategy: BfStrategy) -> Self {
-        self.bf_strategy = strategy;
+        self.options.bf_strategy = strategy;
         self
     }
 
@@ -454,7 +653,7 @@ impl<'e> MatchRequest<'e, '_> {
     /// nor allowed to shadow other objects. Ids not present in the
     /// engine are ignored. Accumulates across calls.
     pub fn exclude<I: IntoIterator<Item = u64>>(mut self, oids: I) -> Self {
-        self.exclude.extend(oids);
+        self.options.exclude.extend(oids);
         self
     }
 
@@ -462,8 +661,28 @@ impl<'e> MatchRequest<'e, '_> {
     /// users may share object `oid`. Requires [`Algorithm::Sb`] and a
     /// capacity for every object.
     pub fn capacities(mut self, caps: &[u32]) -> Self {
-        self.capacities = Some(caps.to_vec());
+        self.options.capacities = Some(caps.to_vec());
         self
+    }
+
+    /// The engine this request was built against (the service checks
+    /// submissions target its own engine).
+    pub(crate) fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// Detach the request into owned parts — a clone of the function set
+    /// plus the owned options — so it can travel through the long-lived
+    /// service queue to a worker thread.
+    pub(crate) fn owned_parts(&self) -> (FunctionSet, RequestOptions) {
+        (self.functions.clone(), self.options.clone())
+    }
+
+    /// Borrow the request's parts without detaching (the scoped
+    /// [`Engine::evaluate_batch`] path, whose workers cannot outlive the
+    /// request slice — no clones needed).
+    pub(crate) fn parts(&self) -> (&FunctionSet, &RequestOptions) {
+        (self.functions, &self.options)
     }
 
     /// Validate and evaluate the request against the engine's shared
@@ -486,60 +705,7 @@ impl<'e> MatchRequest<'e, '_> {
     /// allocator is hit; reuse one per thread across any sequence of
     /// requests.
     pub fn evaluate_with(&self, scratch: &mut Scratch) -> Result<Matching, MpqError> {
-        self.validate()?;
-        let session = IoSession::new(&self.engine.tree);
-
-        if let Some(caps) = &self.capacities {
-            return Ok(run_capacity_on(
-                &session,
-                self.functions,
-                caps,
-                &self.exclude,
-            ));
-        }
-
-        match self.algorithm {
-            Algorithm::Sb => {
-                let cfg = self.sb_config();
-                match self.maintenance {
-                    MaintenanceMode::Incremental => Ok(run_sb_on(
-                        &cfg,
-                        &session,
-                        self.functions,
-                        &self.exclude,
-                        scratch,
-                    )),
-                    MaintenanceMode::Rescan => Ok(run_rescan_on(
-                        &cfg,
-                        &session,
-                        self.functions,
-                        &self.exclude,
-                        scratch,
-                    )),
-                }
-            }
-            Algorithm::BruteForce => match self.bf_strategy {
-                BfStrategy::Incremental => Ok(run_incremental_on(
-                    &session,
-                    self.functions,
-                    &self.exclude,
-                    scratch,
-                )),
-                BfStrategy::Restart => Ok(run_restart_on(
-                    &session,
-                    self.functions,
-                    &self.exclude,
-                    scratch,
-                )),
-            },
-            Algorithm::Chain => Ok(run_chain_on(
-                &self.engine.config,
-                &session,
-                self.functions,
-                &self.exclude,
-                scratch,
-            )),
-        }
+        evaluate_options(self.engine, self.functions, &self.options, scratch)
     }
 
     /// Progressive SB evaluation: returns a stream that yields stable
@@ -548,75 +714,67 @@ impl<'e> MatchRequest<'e, '_> {
     ///
     /// Requires [`Algorithm::Sb`] with incremental maintenance and no
     /// capacities.
-    pub fn stream(&self) -> Result<SbStream<IoSession<'e>>, MpqError> {
+    pub fn stream(&self) -> Result<SbStream<'static, IoSession<'e>>, MpqError> {
+        self.check_streamable()?;
+        let session = IoSession::new(&self.engine.tree);
+        Ok(stream_on(
+            &sb_config_of(self.engine, &self.options),
+            session,
+            self.functions,
+            &self.options.exclude,
+            ScratchLease::fresh(),
+        ))
+    }
+
+    /// Like [`MatchRequest::stream`], but serving the stream's per-run
+    /// state — working function set, rank-list caches, round buffers —
+    /// from a caller-owned reusable [`Scratch`] instead of fresh
+    /// allocations. Progressive consumers that open many streams (one
+    /// per arriving batch) get the same zero-alloc rounds as
+    /// [`MatchRequest::evaluate_with`]; the scratch never changes which
+    /// pairs are yielded (asserted by the allocation regression test).
+    ///
+    /// The scratch is borrowed for the stream's lifetime and is ready
+    /// for reuse as soon as the stream is dropped.
+    pub fn stream_with<'s>(
+        &self,
+        scratch: &'s mut Scratch,
+    ) -> Result<SbStream<'s, IoSession<'e>>, MpqError> {
+        self.check_streamable()?;
+        let session = IoSession::new(&self.engine.tree);
+        Ok(stream_on(
+            &sb_config_of(self.engine, &self.options),
+            session,
+            self.functions,
+            &self.options.exclude,
+            ScratchLease::Leased(scratch),
+        ))
+    }
+
+    fn check_streamable(&self) -> Result<(), MpqError> {
         self.engine.validate_functions(self.functions)?;
-        if self.algorithm != Algorithm::Sb {
+        if self.options.algorithm != Algorithm::Sb {
             return Err(MpqError::UnsupportedRequest(
                 "streaming is only supported with Algorithm::Sb",
             ));
         }
-        if self.maintenance != MaintenanceMode::Incremental {
+        if self.options.maintenance != MaintenanceMode::Incremental {
             return Err(MpqError::UnsupportedRequest(
                 "streaming requires incremental skyline maintenance",
             ));
         }
-        if self.capacities.is_some() {
+        if self.options.capacities.is_some() {
             return Err(MpqError::UnsupportedRequest(
                 "streaming does not support capacities",
             ));
         }
-        let session = IoSession::new(&self.engine.tree);
-        Ok(stream_on(
-            &self.sb_config(),
-            session,
-            self.functions,
-            &self.exclude,
-        ))
-    }
-
-    /// All the request-shape checks evaluation can fail on, with no
-    /// evaluation work. [`Engine::evaluate_batch`] runs this over every
-    /// request *before* spawning workers, so an invalid request aborts
-    /// the batch up front instead of after every other request has been
-    /// evaluated and discarded.
-    fn validate(&self) -> Result<(), MpqError> {
-        self.engine.validate_functions(self.functions)?;
-        if let Some(caps) = &self.capacities {
-            if caps.len() != self.engine.n_objects {
-                return Err(MpqError::CapacityMismatch {
-                    expected: self.engine.n_objects,
-                    got: caps.len(),
-                });
-            }
-            if self.algorithm != Algorithm::Sb {
-                return Err(MpqError::UnsupportedRequest(
-                    "capacities are only supported with Algorithm::Sb",
-                ));
-            }
-            // Reject — rather than silently ignore — SB ablation knobs
-            // the capacitated path does not implement. (multi_pair does
-            // not apply: the capacitated greedy emits one pair per loop.)
-            if self.maintenance != MaintenanceMode::Incremental {
-                return Err(MpqError::UnsupportedRequest(
-                    "capacities do not support the rescan maintenance ablation",
-                ));
-            }
-            if self.best_pair != BestPairMode::Ta {
-                return Err(MpqError::UnsupportedRequest(
-                    "capacities only support the TA best-pair mode",
-                ));
-            }
-        }
         Ok(())
     }
 
-    fn sb_config(&self) -> SkylineMatcher {
-        SkylineMatcher {
-            index: self.engine.config.clone(),
-            multi_pair: self.multi_pair,
-            best_pair: self.best_pair,
-            maintenance: self.maintenance,
-        }
+    /// All the request-shape checks evaluation can fail on, with no
+    /// evaluation work (see [`validate_options`]).
+    pub(crate) fn validate(&self) -> Result<(), MpqError> {
+        validate_options(self.engine, self.functions, &self.options)
     }
 }
 
@@ -684,15 +842,13 @@ pub struct BatchMetrics {
 }
 
 impl BatchMetrics {
-    /// Batch throughput: requests per wall-clock second (0 for an empty
-    /// or unmeasurably fast batch).
+    /// Batch throughput: requests per wall-clock second. Guarded
+    /// arithmetic (shared with
+    /// [`ServiceMetrics`](crate::service::ServiceMetrics)): an empty
+    /// batch or an unmeasurably fast / zero-duration wall clock yields
+    /// `0.0`, never `inf` or NaN.
     pub fn requests_per_sec(&self) -> f64 {
-        let secs = self.wall.as_secs_f64();
-        if secs > 0.0 {
-            self.requests as f64 / secs
-        } else {
-            0.0
-        }
+        safe_rate(self.requests as u64, self.wall)
     }
 }
 

@@ -61,6 +61,24 @@ pub enum MpqError {
     /// The request combines options the engine cannot serve together
     /// (e.g. capacities with a non-SB algorithm).
     UnsupportedRequest(&'static str),
+    /// The service's submission queue is full and its backpressure
+    /// policy is [`BackpressurePolicy::Reject`]. The request was not
+    /// enqueued; back off and resubmit.
+    ///
+    /// [`BackpressurePolicy::Reject`]: crate::service::BackpressurePolicy::Reject
+    Overloaded,
+    /// The request's deadline passed before a worker could start it.
+    /// The evaluation was never run.
+    DeadlineExceeded,
+    /// The request was cancelled via [`crate::service::Ticket::cancel`]
+    /// before its result was delivered.
+    Cancelled,
+    /// The service has begun shutting down and no longer accepts
+    /// submissions (already-queued requests still drain to completion).
+    ServiceStopped,
+    /// A service worker panicked while evaluating this request. The
+    /// worker survives and keeps serving; only this request is lost.
+    WorkerPanicked,
 }
 
 impl std::fmt::Display for MpqError {
@@ -89,6 +107,20 @@ impl std::fmt::Display for MpqError {
                 "capacity vector has {got} entries, engine holds {expected} objects"
             ),
             MpqError::UnsupportedRequest(msg) => write!(f, "unsupported request: {msg}"),
+            MpqError::Overloaded => write!(
+                f,
+                "service queue is full (reject backpressure); back off and resubmit"
+            ),
+            MpqError::DeadlineExceeded => {
+                write!(f, "request deadline passed before evaluation started")
+            }
+            MpqError::Cancelled => write!(f, "request was cancelled"),
+            MpqError::ServiceStopped => {
+                write!(f, "service is shutting down and no longer accepts requests")
+            }
+            MpqError::WorkerPanicked => {
+                write!(f, "a service worker panicked while evaluating this request")
+            }
         }
     }
 }

@@ -46,6 +46,17 @@
 //! [`Engine::stream`] yields stable pairs progressively. The legacy
 //! one-shot [`Matcher::run`] survives as a deprecated shim that builds a
 //! private engine per call.
+//!
+//! ## Serving goes through the [`EngineService`]
+//!
+//! For a long-lived deployment — requests streaming in from a network
+//! front-end rather than pre-collected into batches — wrap the engine in
+//! the [`service`] layer: [`Engine::serve`] starts a worker pool behind
+//! a bounded submission queue; cloneable [`ServiceClient`] handles
+//! submit requests and get back pollable/blockable [`Ticket`]s with
+//! deadlines, priorities, cancellation and typed backpressure.
+//! [`Engine::evaluate_batch`] is a submit-all-then-wait wrapper over the
+//! same scheduling core.
 
 #![warn(missing_docs)]
 
@@ -60,6 +71,7 @@ pub mod online;
 pub mod reference;
 pub mod sb;
 pub mod scratch;
+pub mod service;
 pub mod verify;
 
 pub use brute_force::{BfStrategy, BruteForceMatcher};
@@ -74,4 +86,8 @@ pub use monotone::{MonotoneFunction, MonotoneSkylineMatcher};
 pub use reference::{reference_matching, reference_matching_excluding};
 pub use sb::{BestPairMode, MaintenanceMode, SbStream, SkylineMatcher};
 pub use scratch::Scratch;
+pub use service::{
+    BackpressurePolicy, EngineService, QueueOrdering, ServiceClient, ServiceConfig, ServiceMetrics,
+    SubmitOptions, Ticket,
+};
 pub use verify::{verify_stable, verify_weakly_stable};

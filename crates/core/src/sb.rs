@@ -139,8 +139,55 @@ impl SkylineMatcher {
     /// Panics if configured with [`MaintenanceMode::Rescan`] (streaming
     /// is only meaningful for the incremental algorithm) or if the tree
     /// and function dimensionalities disagree.
-    pub fn stream<'a>(&self, tree: &'a RTree, functions: &FunctionSet) -> SbStream<&'a RTree> {
-        stream_on(self, tree, functions, &HashSet::new())
+    pub fn stream<'a>(
+        &self,
+        tree: &'a RTree,
+        functions: &FunctionSet,
+    ) -> SbStream<'static, &'a RTree> {
+        stream_on(
+            self,
+            tree,
+            functions,
+            &HashSet::new(),
+            ScratchLease::fresh(),
+        )
+    }
+}
+
+/// How an [`SbStream`] holds its per-run working state: a private
+/// freshly-allocated [`Scratch`], or a lease on a caller-owned one
+/// ([`crate::MatchRequest::stream_with`]) whose warm buffers make the
+/// stream's rounds as allocation-light as
+/// [`crate::MatchRequest::evaluate_with`]. The lease never changes
+/// which pairs are yielded — only how often the allocator is hit.
+#[derive(Debug)]
+pub(crate) enum ScratchLease<'s> {
+    /// Stream-private state, allocated at construction.
+    Owned(Box<Scratch>),
+    /// Caller-owned state, borrowed for the stream's lifetime.
+    Leased(&'s mut Scratch),
+}
+
+impl ScratchLease<'static> {
+    /// A stream-private scratch (the non-leased path).
+    pub(crate) fn fresh() -> ScratchLease<'static> {
+        ScratchLease::Owned(Box::default())
+    }
+}
+
+impl ScratchLease<'_> {
+    fn get_mut(&mut self) -> &mut Scratch {
+        match self {
+            ScratchLease::Owned(s) => s,
+            ScratchLease::Leased(s) => s,
+        }
+    }
+
+    fn get(&self) -> &Scratch {
+        match self {
+            ScratchLease::Owned(s) => s,
+            ScratchLease::Leased(s) => s,
+        }
     }
 }
 
@@ -203,17 +250,20 @@ fn peel_masked<R: NodeSource>(
 /// Build a progressive SB stream over any node source (a bare tree or a
 /// run-scoped I/O session, which the source *owns*). Objects in
 /// `excluded` are invisible: removed from the initial skyline along with
-/// every excluded promotion they uncover.
+/// every excluded promotion they uncover. The stream's whole per-run
+/// state lives in `lease` — a fresh private scratch, or a caller-owned
+/// one whose warm buffers are reused instead of reallocated.
 ///
 /// # Panics
 /// Panics if `cfg` uses [`MaintenanceMode::Rescan`] or dimensionalities
 /// disagree (the engine request path validates these up front).
-pub(crate) fn stream_on<R: NodeSource>(
+pub(crate) fn stream_on<'s, R: NodeSource>(
     cfg: &SkylineMatcher,
     src: R,
     functions: &FunctionSet,
     excluded: &HashSet<u64>,
-) -> SbStream<R> {
+    mut lease: ScratchLease<'s>,
+) -> SbStream<'s, R> {
     assert_eq!(
         cfg.maintenance,
         MaintenanceMode::Incremental,
@@ -225,25 +275,29 @@ pub(crate) fn stream_on<R: NodeSource>(
         "tree and functions must share dimensionality"
     );
     let io_start = src.io_snapshot();
-    let fs = functions.clone();
+    let scratch = lease.get_mut();
+    scratch.fs.copy_from(functions);
+    scratch.seed_assigned(excluded);
+    scratch.fbest.clear();
+    scratch.obest.clear();
     let rt1 = match cfg.best_pair {
         BestPairMode::Scan => None,
-        _ => Some(ReverseTopOne::build(&fs)),
+        _ => Some(ReverseTopOne::build(&scratch.fs)),
     };
     let mut maintainer = SkylineMaintainer::build(&src);
-    let mut bufs = RoundBufs::default();
-    peel_masked(&mut maintainer, &src, excluded, &mut bufs.masked);
+    peel_masked(
+        &mut maintainer,
+        &src,
+        &scratch.assigned,
+        &mut scratch.round.masked,
+    );
     SbStream {
         src,
-        fs,
         rt1,
         maintainer,
-        excluded: excluded.clone(),
         best_pair: cfg.best_pair,
         multi_pair: cfg.multi_pair,
-        fbest: HashMap::new(),
-        obest: HashMap::new(),
-        bufs,
+        scratch: lease,
         pending: VecDeque::new(),
         metrics: RunMetrics::default(),
         io_start,
@@ -489,33 +543,25 @@ pub(crate) fn finalize_loop_pairs(pairs: &mut Vec<Pair>, multi_pair: bool) {
 /// Generic over the node source it *owns*: `&RTree` for the legacy
 /// direct path, or an [`mpq_rtree::IoSession`] when streaming from a
 /// shared [`Engine`] (per-run I/O attribution).
-pub struct SbStream<R: NodeSource> {
+pub struct SbStream<'s, R: NodeSource> {
     src: R,
-    fs: FunctionSet,
     rt1: Option<ReverseTopOne>,
     maintainer: SkylineMaintainer,
-    /// Masked objects: peeled from the initial skyline at construction
-    /// and from every mid-run promotion wave, so they can neither be
-    /// assigned nor shadow other objects.
-    excluded: HashSet<u64>,
     best_pair: BestPairMode,
     multi_pair: bool,
-    /// oid → certified top-`M` alive functions (dead prefix entries are
-    /// drained lazily; empty ⇒ re-run the TA scan).
-    fbest: HashMap<u64, Vec<(u32, f64)>>,
-    /// fid → top-`K` current skyline objects (entries whose object left
-    /// the skyline are drained lazily; promotions are folded in; empty ⇒
-    /// rescan the skyline).
-    obest: HashMap<u32, Vec<(u64, f64)>>,
-    /// Round-local buffers, reused so a loop allocates nothing.
-    bufs: RoundBufs,
+    /// The run's working state — working function-set copy, masked
+    /// objects (`assigned`, peeled from the initial skyline and every
+    /// mid-run promotion wave), fbest/obest rank-list caches, and the
+    /// round-local buffers — either stream-private or leased from a
+    /// caller-owned reusable [`Scratch`].
+    scratch: ScratchLease<'s>,
     pending: VecDeque<Pair>,
     metrics: RunMetrics,
     io_start: IoStats,
     done: bool,
 }
 
-impl<R: NodeSource> SbStream<R> {
+impl<R: NodeSource> SbStream<'_, R> {
     /// Metrics accumulated so far (typically read after exhaustion).
     /// `elapsed` is not populated by the stream — callers time their own
     /// consumption (see [`crate::MatchRequest::evaluate`]).
@@ -541,30 +587,31 @@ impl<R: NodeSource> SbStream<R> {
 
     /// Number of functions still awaiting assignment.
     pub fn unassigned_functions(&self) -> usize {
-        self.fs.n_alive()
+        self.scratch.get().fs.n_alive()
     }
 
     /// One SB loop (Algorithm 1 lines 3–9): refresh caches, find the
     /// mutually-best pairs, apply the removals, and queue the pairs.
     fn loop_once(&mut self) {
-        if self.fs.n_alive() == 0 || self.maintainer.is_empty() {
+        let scratch = self.scratch.get_mut();
+        if scratch.fs.n_alive() == 0 || self.maintainer.is_empty() {
             self.done = true;
             return;
         }
         sb_loop_round(
             &self.src,
             &mut self.maintainer,
-            &mut self.fs,
+            &mut scratch.fs,
             &mut self.rt1,
-            &mut self.fbest,
-            &mut self.obest,
-            &mut self.bufs,
-            &self.excluded,
+            &mut scratch.fbest,
+            &mut scratch.obest,
+            &mut scratch.round,
+            &scratch.assigned,
             self.best_pair,
             self.multi_pair,
             &mut self.metrics,
         );
-        self.pending.extend(self.bufs.pairs.iter().copied());
+        self.pending.extend(scratch.round.pairs.iter().copied());
 
         #[cfg(debug_assertions)]
         if std::env::var("MPQ_SB_CHECK").is_ok() {
@@ -576,13 +623,14 @@ impl<R: NodeSource> SbStream<R> {
     /// above an obest list's stored minimum must be in that list.
     #[cfg(debug_assertions)]
     fn check_obest_invariant(&self) {
-        for (fid, list) in &self.obest {
+        let scratch = self.scratch.get();
+        for (fid, list) in &scratch.obest {
             if list.is_empty() {
                 continue;
             }
             let (mo, ms) = *list.last().unwrap();
             for e in self.maintainer.iter() {
-                let s = self.fs.score(*fid, e.point);
+                let s = scratch.fs.score(*fid, e.point);
                 let better = s > ms || (s == ms && e.oid < mo);
                 if better && !list.iter().any(|&(o, _)| o == e.oid) {
                     panic!(
@@ -779,7 +827,7 @@ pub(crate) fn fold_promotion(list: &mut Vec<(u64, f64)>, k: usize, oid: u64, s: 
     list.truncate(k);
 }
 
-impl<R: NodeSource> Iterator for SbStream<R> {
+impl<R: NodeSource> Iterator for SbStream<'_, R> {
     type Item = Pair;
 
     fn next(&mut self) -> Option<Pair> {

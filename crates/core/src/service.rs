@@ -1,0 +1,1038 @@
+//! The async serving layer: a submission queue in front of a shared
+//! [`Engine`].
+//!
+//! The paper's premise (§I) is *many* preference queries arriving
+//! against one inventory — but [`Engine::evaluate_batch`] forces callers
+//! to pre-collect synchronous batches, which a network front-end cannot
+//! do: requests stream in one at a time, get revised, cancelled and
+//! resubmitted (Chomicki's preference-revision line of work is the
+//! motivating related literature). [`EngineService`] inverts the
+//! control flow:
+//!
+//! * [`EngineService::spawn`] (or the blessed [`Engine::serve`]) starts
+//!   a pool of worker threads, each owning a persistent [`Scratch`] so
+//!   every evaluation after its first is allocation-light;
+//! * any number of cheap, cloneable [`ServiceClient`] handles feed a
+//!   **bounded** submission queue — when it is full the configured
+//!   [`BackpressurePolicy`] either blocks the submitter or rejects with
+//!   [`MpqError::Overloaded`];
+//! * every submission returns a [`Ticket`] — a std-only future
+//!   (`Condvar`-backed oneshot, mirroring the `shims/` philosophy of
+//!   zero external dependencies) that can be blocked on ([`Ticket::wait`],
+//!   [`Ticket::wait_timeout`]), polled ([`Ticket::try_take`]) and
+//!   cancelled ([`Ticket::cancel`]);
+//! * per-request **deadlines** ([`SubmitOptions::deadline`]) expire
+//!   queued work with a typed [`MpqError::DeadlineExceeded`] instead of
+//!   wasting a worker on an answer nobody is waiting for;
+//! * the queue pops in FIFO or priority order ([`QueueOrdering`]);
+//! * [`EngineService::shutdown`] is graceful: submissions stop, queued
+//!   and in-flight work drains to completion, workers are joined;
+//! * [`EngineService::metrics`] exposes rolling [`ServiceMetrics`]
+//!   (queue depth, in-flight count, p50/p99 latency, throughput).
+//!
+//! Results are **bit-identical** to sequential [`MatchRequest::evaluate`]
+//! calls whatever the worker count: evaluation is deterministic, the
+//! shared index is never mutated, and a scratch affects allocation, not
+//! output (asserted by `tests/service.rs`).
+//!
+//! There is exactly one scheduling code path: [`Engine::evaluate_batch`]
+//! is a submit-all-then-wait wrapper over the same `ServiceCore` used
+//! here, with scoped workers borrowing the engine instead of long-lived
+//! threads holding an [`Arc`].
+
+use std::borrow::Cow;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use mpq_ta::FunctionSet;
+
+use crate::engine::{evaluate_options, Engine, MatchRequest, RequestOptions};
+use crate::error::MpqError;
+use crate::matching::Matching;
+use crate::scratch::Scratch;
+
+/// Lock a mutex, ignoring poisoning: all protected state is kept
+/// consistent by construction (a panicking worker resolves its ticket
+/// through a guard before unwinding past the lock).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Guarded throughput arithmetic shared by
+/// [`BatchMetrics`](crate::BatchMetrics) and [`ServiceMetrics`]:
+/// `count / wall` as a rate per second, except that a zero count or a
+/// zero-duration (or unmeasurably fast) wall clock yields `0.0` — never
+/// `inf`, never NaN.
+pub(crate) fn safe_rate(count: u64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if count == 0 || secs <= 0.0 || !secs.is_finite() {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
+/// What [`ServiceClient::submit`] does when the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the submitting thread until a slot frees up (or the service
+    /// shuts down, which fails the submission with
+    /// [`MpqError::ServiceStopped`]). The right default for in-process
+    /// producers: the queue bound becomes a natural rate limiter.
+    #[default]
+    Block,
+    /// Fail fast with [`MpqError::Overloaded`] and do not enqueue. The
+    /// right policy for a network front-end that would rather shed load
+    /// (HTTP 429) than accumulate unbounded latency.
+    Reject,
+}
+
+/// The order in which queued requests reach workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueOrdering {
+    /// Strict submission order; [`SubmitOptions::priority`] is ignored.
+    #[default]
+    Fifo,
+    /// Higher [`SubmitOptions::priority`] first; ties in submission
+    /// order, so equal-priority traffic is still FIFO.
+    Priority,
+}
+
+/// Configuration of an [`EngineService`] worker pool and queue.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Maximum queued (not yet running) requests; clamped to at least 1.
+    pub queue_capacity: usize,
+    /// Full-queue behavior.
+    pub backpressure: BackpressurePolicy,
+    /// Pop order.
+    pub ordering: QueueOrdering,
+    /// How many recent completion latencies the rolling p50/p99 window
+    /// keeps; clamped to at least 1.
+    pub latency_window: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 256,
+            backpressure: BackpressurePolicy::Block,
+            ordering: QueueOrdering::Fifo,
+            latency_window: 1024,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Set the worker count (`0` = one per available core).
+    pub fn workers(mut self, workers: usize) -> ServiceConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the queue bound (clamped to at least 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the full-queue behavior.
+    pub fn backpressure(mut self, policy: BackpressurePolicy) -> ServiceConfig {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Set the pop order.
+    pub fn ordering(mut self, ordering: QueueOrdering) -> ServiceConfig {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Set the rolling latency window (clamped to at least 1).
+    pub fn latency_window(mut self, window: usize) -> ServiceConfig {
+        self.latency_window = window;
+        self
+    }
+}
+
+/// Per-submission options (see [`ServiceClient::submit_with`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Evaluation must *start* within this budget of submission time;
+    /// a request still queued when it lapses resolves to
+    /// [`MpqError::DeadlineExceeded`] without touching a worker.
+    pub deadline: Option<Duration>,
+    /// Pop priority (higher first) under [`QueueOrdering::Priority`];
+    /// ignored under FIFO.
+    pub priority: i32,
+}
+
+impl SubmitOptions {
+    /// Set the queueing deadline.
+    pub fn deadline(mut self, deadline: Duration) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the pop priority (higher first; only meaningful under
+    /// [`QueueOrdering::Priority`]).
+    pub fn priority(mut self, priority: i32) -> SubmitOptions {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Lifecycle of one submitted request, protected by the ticket's mutex.
+/// The `Done` payload dwarfs the other variants, but there is exactly
+/// one `TicketState` per in-flight request — boxing the result would
+/// buy nothing and cost an indirection on every poll.
+#[allow(clippy::large_enum_variant)]
+enum TicketState {
+    /// In the queue, not yet claimed by a worker.
+    Queued,
+    /// A worker is evaluating it.
+    Running,
+    /// [`Ticket::cancel`] arrived while running; the worker discards its
+    /// result on completion.
+    CancelPending,
+    /// Resolved; the result waits for [`Ticket::wait`]/[`Ticket::try_take`].
+    Done(Result<Matching, MpqError>),
+    /// The result has been moved out to the caller.
+    Claimed,
+}
+
+/// The `Condvar`-backed oneshot shared between a [`Ticket`] and the
+/// worker that resolves it.
+struct TicketShared {
+    state: Mutex<TicketState>,
+    done: Condvar,
+}
+
+/// A pollable, blockable handle to one submitted request — the
+/// std-only future returned by [`ServiceClient::submit`].
+///
+/// The ticket is independent of the service handle: it stays valid (and
+/// its result retrievable) after [`EngineService::shutdown`], and
+/// dropping it simply discards the eventual result.
+pub struct Ticket {
+    seq: u64,
+    shared: Arc<TicketShared>,
+    /// The service's counters, for attributing a winning [`Ticket::cancel`]
+    /// — shared directly (not via the core) so tickets stay free of the
+    /// core's queue-payload lifetime.
+    metrics: Arc<Mutex<MetricsInner>>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match *lock(&self.shared.state) {
+            TicketState::Queued => "queued",
+            TicketState::Running => "running",
+            TicketState::CancelPending => "cancel-pending",
+            TicketState::Done(_) => "done",
+            TicketState::Claimed => "claimed",
+        };
+        f.debug_struct("Ticket")
+            .field("seq", &self.seq)
+            .field("state", &state)
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Submission sequence number (unique per service, monotonically
+    /// increasing — also the FIFO tie-break).
+    pub fn id(&self) -> u64 {
+        self.seq
+    }
+
+    /// `true` once a result (success, error, cancellation or deadline
+    /// expiry) is available without blocking.
+    pub fn is_done(&self) -> bool {
+        matches!(
+            *lock(&self.shared.state),
+            TicketState::Done(_) | TicketState::Claimed
+        )
+    }
+
+    /// Block until the request resolves and return its result.
+    pub fn wait(self) -> Result<Matching, MpqError> {
+        let mut state = lock(&self.shared.state);
+        loop {
+            if let Some(result) = Self::take_done(&mut state) {
+                return result;
+            }
+            state = self
+                .shared
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block for at most `timeout`; `Ok(result)` if the request resolved
+    /// in time, `Err(self)` (the ticket, still live) on timeout. A
+    /// timeout too large to represent as an instant (e.g.
+    /// [`Duration::MAX`] as a wait-forever sentinel) degrades to an
+    /// unbounded [`Ticket::wait`] instead of panicking.
+    #[allow(clippy::result_large_err)] // Err is the ticket itself, by design
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Matching, MpqError>, Ticket> {
+        let Some(deadline) = Instant::now().checked_add(timeout) else {
+            return Ok(self.wait());
+        };
+        {
+            let mut state = lock(&self.shared.state);
+            loop {
+                if let Some(result) = Self::take_done(&mut state) {
+                    return Ok(result);
+                }
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                state = self
+                    .shared
+                    .done
+                    .wait_timeout(state, remaining)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        }
+        Err(self)
+    }
+
+    /// Non-blocking poll: `Ok(result)` if the request has resolved,
+    /// `Err(self)` (the ticket, still live) otherwise.
+    #[allow(clippy::result_large_err)] // Err is the ticket itself, by design
+    pub fn try_take(self) -> Result<Result<Matching, MpqError>, Ticket> {
+        {
+            let mut state = lock(&self.shared.state);
+            if let Some(result) = Self::take_done(&mut state) {
+                return Ok(result);
+            }
+        }
+        Err(self)
+    }
+
+    /// Cancel the request. Returns `true` iff **this call** wins — the
+    /// ticket will resolve to [`MpqError::Cancelled`]: a queued request
+    /// resolves immediately and is skipped when a worker pops it; a
+    /// running request keeps the worker busy but its result is
+    /// discarded. Returns `false` if the request had already resolved
+    /// or a previous cancel already won.
+    pub fn cancel(&self) -> bool {
+        let mut state = lock(&self.shared.state);
+        match *state {
+            TicketState::Queued => {
+                *state = TicketState::Done(Err(MpqError::Cancelled));
+                // Count before notifying so a woken waiter observes the
+                // metrics update.
+                lock(&self.metrics).cancelled += 1;
+                drop(state);
+                self.shared.done.notify_all();
+                true
+            }
+            TicketState::Running => {
+                *state = TicketState::CancelPending;
+                lock(&self.metrics).cancelled += 1;
+                true
+            }
+            TicketState::CancelPending | TicketState::Done(_) | TicketState::Claimed => false,
+        }
+    }
+
+    /// If resolved, move the result out (state becomes `Claimed`).
+    fn take_done(state: &mut TicketState) -> Option<Result<Matching, MpqError>> {
+        if matches!(*state, TicketState::Done(_)) {
+            match std::mem::replace(state, TicketState::Claimed) {
+                TicketState::Done(result) => Some(result),
+                _ => unreachable!("just matched Done"),
+            }
+        } else {
+            None
+        }
+    }
+}
+
+/// One queued request plus its scheduling envelope. The request payload
+/// is `Cow`: the long-lived service detaches submissions into owned
+/// copies (they must outlive the submitter's borrow), while the scoped
+/// [`Engine::evaluate_batch`] wrapper enqueues *borrowed* requests —
+/// its workers cannot outlive the batch slice, so the PR 3 zero-clone
+/// batch path is preserved.
+struct Job<'a> {
+    functions: Cow<'a, FunctionSet>,
+    options: Cow<'a, RequestOptions>,
+    /// Evaluation must start before this instant (lazily enforced when a
+    /// worker pops the job).
+    deadline: Option<Instant>,
+    submitted: Instant,
+    ticket: Arc<TicketShared>,
+}
+
+/// Heap entry: pops by `(priority desc, seq asc)`. Under FIFO ordering
+/// every job is enqueued with priority 0, which degenerates to strict
+/// submission order.
+struct QueuedJob<'a> {
+    priority: i32,
+    seq: u64,
+    job: Job<'a>,
+}
+
+impl PartialEq for QueuedJob<'_> {
+    fn eq(&self, other: &QueuedJob<'_>) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for QueuedJob<'_> {}
+impl PartialOrd for QueuedJob<'_> {
+    fn partial_cmp(&self, other: &QueuedJob<'_>) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob<'_> {
+    fn cmp(&self, other: &QueuedJob<'_>) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: greater pops first.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Queue state behind the core's mutex.
+struct QueueState<'a> {
+    heap: BinaryHeap<QueuedJob<'a>>,
+    next_seq: u64,
+    /// Set by shutdown: no new submissions; workers drain the heap and
+    /// then exit.
+    stopping: bool,
+    /// Jobs popped by a worker and not yet resolved.
+    in_flight: usize,
+}
+
+/// Rolling counters behind the core's metrics mutex.
+#[derive(Default)]
+struct MetricsInner {
+    submitted: u64,
+    completed: u64,
+    cancelled: u64,
+    rejected: u64,
+    expired: u64,
+    panicked: u64,
+    /// Most recent completion latencies (submit → resolve), bounded by
+    /// the configured window.
+    latencies: VecDeque<Duration>,
+}
+
+/// The scheduling heart shared by the long-lived [`EngineService`]
+/// (Arc'd workers) and the scoped [`Engine::evaluate_batch`] wrapper
+/// (borrowing workers): a bounded `Mutex + Condvar` priority queue with
+/// backpressure, deadlines, and rolling metrics. Engine-agnostic — the
+/// engine is passed to [`worker_loop`], which is what lets one core
+/// serve both ownership models.
+pub(crate) struct ServiceCore<'a> {
+    workers: usize,
+    queue_capacity: usize,
+    backpressure: BackpressurePolicy,
+    ordering: QueueOrdering,
+    latency_window: usize,
+    queue: Mutex<QueueState<'a>>,
+    /// Workers wait here for jobs (or shutdown).
+    jobs: Condvar,
+    /// Blocked submitters wait here for queue space (or shutdown).
+    space: Condvar,
+    /// Arc'd so [`Ticket`]s can count winning cancellations without
+    /// holding (and thereby lifetime-infecting themselves with) the core.
+    metrics: Arc<Mutex<MetricsInner>>,
+    started: Instant,
+}
+
+impl<'a> ServiceCore<'a> {
+    pub(crate) fn new(config: &ServiceConfig, workers: usize) -> ServiceCore<'a> {
+        ServiceCore {
+            workers,
+            queue_capacity: config.queue_capacity.max(1),
+            backpressure: config.backpressure,
+            ordering: config.ordering,
+            latency_window: config.latency_window.max(1),
+            queue: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                stopping: false,
+                in_flight: 0,
+            }),
+            jobs: Condvar::new(),
+            space: Condvar::new(),
+            metrics: Arc::new(Mutex::new(MetricsInner::default())),
+            started: Instant::now(),
+        }
+    }
+
+    /// Enqueue a request (owned and detached from the service path,
+    /// borrowed from the scoped batch path), honoring the backpressure
+    /// policy.
+    pub(crate) fn enqueue(
+        &self,
+        functions: Cow<'a, FunctionSet>,
+        options: Cow<'a, RequestOptions>,
+        submit: SubmitOptions,
+    ) -> Result<Ticket, MpqError> {
+        let now = Instant::now();
+        let shared = Arc::new(TicketShared {
+            state: Mutex::new(TicketState::Queued),
+            done: Condvar::new(),
+        });
+        let seq;
+        {
+            let mut queue = lock(&self.queue);
+            loop {
+                if queue.stopping {
+                    return Err(MpqError::ServiceStopped);
+                }
+                if queue.heap.len() < self.queue_capacity {
+                    break;
+                }
+                match self.backpressure {
+                    BackpressurePolicy::Reject => {
+                        lock(&self.metrics).rejected += 1;
+                        return Err(MpqError::Overloaded);
+                    }
+                    BackpressurePolicy::Block => {
+                        queue = self
+                            .space
+                            .wait(queue)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+            seq = queue.next_seq;
+            queue.next_seq += 1;
+            let priority = match self.ordering {
+                QueueOrdering::Fifo => 0,
+                QueueOrdering::Priority => submit.priority,
+            };
+            queue.heap.push(QueuedJob {
+                priority,
+                seq,
+                job: Job {
+                    functions,
+                    options,
+                    deadline: submit.deadline.map(|d| now + d),
+                    submitted: now,
+                    ticket: Arc::clone(&shared),
+                },
+            });
+            // Count while the job is provably in the queue (and before
+            // any worker can complete it) so no snapshot ever observes
+            // completed > submitted.
+            lock(&self.metrics).submitted += 1;
+        }
+        self.jobs.notify_one();
+        Ok(Ticket {
+            seq,
+            shared,
+            metrics: Arc::clone(&self.metrics),
+        })
+    }
+
+    /// Worker side: block for the next job. `None` means the service is
+    /// stopping *and* the queue has drained — the worker should exit.
+    fn next_job(&self) -> Option<Job<'a>> {
+        let mut queue = lock(&self.queue);
+        loop {
+            if let Some(entry) = queue.heap.pop() {
+                queue.in_flight += 1;
+                drop(queue);
+                self.space.notify_one();
+                return Some(entry.job);
+            }
+            if queue.stopping {
+                return None;
+            }
+            queue = self
+                .jobs
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Run one popped job to resolution on `engine`, then release its
+    /// in-flight slot.
+    fn execute(&self, engine: &Engine, job: Job<'_>, scratch: &mut Scratch) {
+        // Claim the ticket: Queued → Running, unless a queue-side
+        // cancellation already resolved it or the deadline lapsed.
+        let claimed = {
+            let mut state = lock(&job.ticket.state);
+            match *state {
+                TicketState::Queued => {
+                    if job.deadline.is_some_and(|d| Instant::now() > d) {
+                        *state = TicketState::Done(Err(MpqError::DeadlineExceeded));
+                        // Count before notifying so a woken waiter
+                        // observes the metrics update.
+                        lock(&self.metrics).expired += 1;
+                        drop(state);
+                        job.ticket.done.notify_all();
+                        false
+                    } else {
+                        *state = TicketState::Running;
+                        true
+                    }
+                }
+                // Cancelled while queued (already resolved + counted) —
+                // possibly with the Cancelled result already claimed by
+                // a waiter before the worker reached the stale job.
+                TicketState::Done(_) | TicketState::Claimed => false,
+                TicketState::Running | TicketState::CancelPending => {
+                    unreachable!("a queued job is claimed exactly once")
+                }
+            }
+        };
+
+        if claimed {
+            // A panicking evaluation must not leave the ticket
+            // unresolved (its waiter would block forever) nor take the
+            // worker down with it.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                evaluate_options(engine, &job.functions, &job.options, scratch)
+            }))
+            .unwrap_or_else(|_| {
+                // The scratch may have been mid-mutation; replace it.
+                *scratch = Scratch::new();
+                lock(&self.metrics).panicked += 1;
+                Err(MpqError::WorkerPanicked)
+            });
+
+            let latency = job.submitted.elapsed();
+            {
+                let mut state = lock(&job.ticket.state);
+                match *state {
+                    TicketState::Running => {
+                        *state = TicketState::Done(result);
+                        // Count before notifying (still under the state
+                        // lock, which every metrics taker acquires
+                        // first) so a woken waiter observes the update.
+                        let mut metrics = lock(&self.metrics);
+                        metrics.completed += 1;
+                        metrics.latencies.push_back(latency);
+                        while metrics.latencies.len() > self.latency_window {
+                            metrics.latencies.pop_front();
+                        }
+                    }
+                    // cancel() won mid-run (and counted itself):
+                    // discard the computed result.
+                    TicketState::CancelPending => {
+                        *state = TicketState::Done(Err(MpqError::Cancelled));
+                    }
+                    _ => unreachable!("only the owning worker resolves a running ticket"),
+                }
+            }
+            job.ticket.done.notify_all();
+        }
+
+        lock(&self.queue).in_flight -= 1;
+    }
+
+    /// Stop accepting submissions and wake everyone: blocked submitters
+    /// fail with [`MpqError::ServiceStopped`]; workers drain the queue
+    /// and exit.
+    pub(crate) fn begin_shutdown(&self) {
+        lock(&self.queue).stopping = true;
+        self.jobs.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Snapshot the rolling metrics.
+    pub(crate) fn metrics_snapshot(&self) -> ServiceMetrics {
+        let (queue_depth, in_flight) = {
+            let queue = lock(&self.queue);
+            (queue.heap.len(), queue.in_flight)
+        };
+        let metrics = lock(&self.metrics);
+        let mut sorted: Vec<Duration> = metrics.latencies.iter().copied().collect();
+        sorted.sort_unstable();
+        ServiceMetrics {
+            workers: self.workers,
+            queue_depth,
+            in_flight,
+            submitted: metrics.submitted,
+            completed: metrics.completed,
+            cancelled: metrics.cancelled,
+            rejected: metrics.rejected,
+            expired: metrics.expired,
+            panicked: metrics.panicked,
+            uptime: self.started.elapsed(),
+            p50_latency: percentile(&sorted, 0.50),
+            p99_latency: percentile(&sorted, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample; an empty
+/// sample yields zero (the same guarded-arithmetic stance as
+/// [`safe_rate`]).
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A worker's whole life: pop, evaluate, resolve, repeat — one
+/// persistent [`Scratch`] across the entire stream — until shutdown
+/// drains the queue. Shared verbatim between the long-lived service
+/// (Arc'd engine) and the scoped batch wrapper (borrowed engine).
+pub(crate) fn worker_loop(core: &ServiceCore<'_>, engine: &Engine) {
+    let mut scratch = Scratch::new();
+    while let Some(job) = core.next_job() {
+        core.execute(engine, job, &mut scratch);
+    }
+}
+
+/// Rolling service health counters (see [`EngineService::metrics`]).
+///
+/// A point-in-time snapshot: gauges (`queue_depth`, `in_flight`) are
+/// instantaneous, counters are since spawn, and the latency percentiles
+/// cover the configured rolling window of recent completions.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceMetrics {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Requests queued and not yet claimed by a worker.
+    pub queue_depth: usize,
+    /// Requests currently being evaluated.
+    pub in_flight: usize,
+    /// Accepted submissions since spawn.
+    pub submitted: u64,
+    /// Successfully resolved evaluations since spawn (excludes
+    /// cancellations and deadline expiries).
+    pub completed: u64,
+    /// Cancellations that won (queued or mid-run) since spawn.
+    pub cancelled: u64,
+    /// Submissions rejected by [`BackpressurePolicy::Reject`].
+    pub rejected: u64,
+    /// Requests whose deadline lapsed in the queue.
+    pub expired: u64,
+    /// Evaluations lost to a worker panic.
+    pub panicked: u64,
+    /// Time since the service was spawned.
+    pub uptime: Duration,
+    /// Median submit→resolve latency over the rolling window.
+    pub p50_latency: Duration,
+    /// 99th-percentile submit→resolve latency over the rolling window.
+    pub p99_latency: Duration,
+}
+
+impl ServiceMetrics {
+    /// Completed requests per second of uptime. Guarded arithmetic
+    /// (shared with [`BatchMetrics`](crate::BatchMetrics)): zero
+    /// completions or zero uptime yield `0.0`, never `inf` or NaN.
+    pub fn requests_per_sec(&self) -> f64 {
+        safe_rate(self.completed, self.uptime)
+    }
+}
+
+impl std::fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "workers {}  queue {}  in-flight {}",
+            self.workers, self.queue_depth, self.in_flight
+        )?;
+        writeln!(
+            f,
+            "submitted {}  completed {}  cancelled {}  rejected {}  expired {}",
+            self.submitted, self.completed, self.cancelled, self.rejected, self.expired
+        )?;
+        write!(
+            f,
+            "throughput {:.2} req/s  latency p50 {:.3}ms  p99 {:.3}ms",
+            self.requests_per_sec(),
+            self.p50_latency.as_secs_f64() * 1e3,
+            self.p99_latency.as_secs_f64() * 1e3
+        )
+    }
+}
+
+/// A long-lived worker pool serving one shared [`Engine`] through a
+/// bounded submission queue (see the [module docs](self)).
+///
+/// Spawn with [`Engine::serve`] or [`EngineService::spawn`]; feed it
+/// through [`ServiceClient`] handles; stop it with
+/// [`EngineService::shutdown`] (dropping the service shuts down
+/// gracefully too, draining all queued work first).
+pub struct EngineService {
+    engine: Arc<Engine>,
+    core: Arc<ServiceCore<'static>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Resolve a configured worker/thread count: `0` means "one per
+/// available core". Shared by [`EngineService::spawn`],
+/// [`Engine::evaluate_batch`] and the CLI so the resolution policy
+/// cannot drift between surfaces.
+pub fn resolved_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    }
+}
+
+impl std::fmt::Debug for EngineService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineService")
+            .field("engine", &self.engine)
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl EngineService {
+    /// Start a worker pool over `engine`. Each worker owns a persistent
+    /// [`Scratch`] for its whole lifetime, so steady-state evaluations
+    /// reuse warm buffers instead of allocating per request.
+    pub fn spawn(engine: Arc<Engine>, config: ServiceConfig) -> EngineService {
+        let workers = resolved_workers(config.workers);
+        let core = Arc::new(ServiceCore::new(&config, workers));
+        let handles = (0..workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                let engine = Arc::clone(&engine);
+                std::thread::Builder::new()
+                    .name(format!("mpq-worker-{i}"))
+                    .spawn(move || worker_loop(&core, &engine))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        EngineService {
+            engine,
+            core,
+            handles,
+        }
+    }
+
+    /// A cheap, cloneable submission handle. Clients stay valid for the
+    /// service's lifetime; submissions after shutdown fail with
+    /// [`MpqError::ServiceStopped`].
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            engine: Arc::clone(&self.engine),
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Snapshot the rolling [`ServiceMetrics`].
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.core.metrics_snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting submissions, let the workers
+    /// **drain** every queued and in-flight request to resolution, then
+    /// join them. Outstanding [`Ticket`]s stay valid — their results can
+    /// be collected after this returns.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.core.begin_shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EngineService {
+    /// Dropping the service performs the same drained graceful shutdown
+    /// as [`EngineService::shutdown`].
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// A cheap, cloneable handle for submitting requests to an
+/// [`EngineService`].
+#[derive(Clone)]
+pub struct ServiceClient {
+    engine: Arc<Engine>,
+    core: Arc<ServiceCore<'static>>,
+}
+
+impl std::fmt::Debug for ServiceClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceClient")
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+impl ServiceClient {
+    /// The served engine — build requests against it:
+    /// `client.submit(client.engine().request(&functions))`.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Submit a request with default [`SubmitOptions`] (no deadline,
+    /// priority 0).
+    pub fn submit(&self, request: MatchRequest<'_, '_>) -> Result<Ticket, MpqError> {
+        self.submit_with(request, SubmitOptions::default())
+    }
+
+    /// Submit a request with a deadline and/or priority. The request is
+    /// validated *now* — shape errors surface to the submitter instead
+    /// of travelling to a worker — then detached (owned function-set
+    /// copy + options) and enqueued under the backpressure policy.
+    pub fn submit_with(
+        &self,
+        request: MatchRequest<'_, '_>,
+        options: SubmitOptions,
+    ) -> Result<Ticket, MpqError> {
+        if !std::ptr::eq(request.engine(), &*self.engine) {
+            return Err(MpqError::UnsupportedRequest(
+                "request was built against a different engine than this service serves",
+            ));
+        }
+        request.validate()?;
+        let (functions, request_options) = request.owned_parts();
+        self.core
+            .enqueue(Cow::Owned(functions), Cow::Owned(request_options), options)
+    }
+
+    /// Snapshot the rolling [`ServiceMetrics`].
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.core.metrics_snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::BatchMetrics;
+
+    #[test]
+    fn safe_rate_guards_zero_and_degenerate_inputs() {
+        assert_eq!(safe_rate(0, Duration::ZERO), 0.0);
+        assert_eq!(safe_rate(0, Duration::from_secs(3)), 0.0);
+        assert_eq!(safe_rate(10, Duration::ZERO), 0.0);
+        let r = safe_rate(10, Duration::from_secs(2));
+        assert!((r - 5.0).abs() < 1e-12);
+        assert!(safe_rate(u64::MAX, Duration::from_nanos(1)).is_finite());
+    }
+
+    #[test]
+    fn batch_metrics_rate_never_inf_or_nan() {
+        // zero-duration batch (wall never measured)
+        let zero_wall = BatchMetrics {
+            requests: 7,
+            ..BatchMetrics::default()
+        };
+        assert_eq!(zero_wall.requests_per_sec(), 0.0);
+        // zero-request batch with measurable wall
+        let zero_requests = BatchMetrics {
+            wall: Duration::from_millis(5),
+            ..BatchMetrics::default()
+        };
+        assert_eq!(zero_requests.requests_per_sec(), 0.0);
+        // the degenerate empty batch
+        let empty = BatchMetrics::default();
+        let r = empty.requests_per_sec();
+        assert!(r == 0.0 && !r.is_nan());
+    }
+
+    #[test]
+    fn service_metrics_rate_never_inf_or_nan() {
+        let mut m = ServiceMetrics {
+            workers: 1,
+            queue_depth: 0,
+            in_flight: 0,
+            submitted: 0,
+            completed: 0,
+            cancelled: 0,
+            rejected: 0,
+            expired: 0,
+            panicked: 0,
+            uptime: Duration::ZERO,
+            p50_latency: Duration::ZERO,
+            p99_latency: Duration::ZERO,
+        };
+        assert_eq!(m.requests_per_sec(), 0.0); // 0 / 0
+        m.completed = 12;
+        assert_eq!(m.requests_per_sec(), 0.0); // n / 0
+        m.uptime = Duration::from_secs(4);
+        assert!((m.requests_per_sec() - 3.0).abs() < 1e-12);
+        m.completed = 0;
+        assert_eq!(m.requests_per_sec(), 0.0); // 0 / n
+        assert!(!m.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn percentile_is_guarded_and_nearest_rank() {
+        assert_eq!(percentile(&[], 0.99), Duration::ZERO);
+        let one = [Duration::from_millis(7)];
+        assert_eq!(percentile(&one, 0.50), Duration::from_millis(7));
+        assert_eq!(percentile(&one, 0.99), Duration::from_millis(7));
+        let many: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&many, 0.50), Duration::from_millis(51));
+        assert_eq!(percentile(&many, 0.99), Duration::from_millis(99));
+    }
+
+    #[test]
+    fn queue_pops_fifo_and_priority_orders() {
+        use mpq_rtree::PointSet;
+
+        let mut objects = PointSet::new(2);
+        for p in [[0.9_f64, 0.2], [0.2, 0.9], [0.7, 0.7]] {
+            objects.push(&p);
+        }
+        let functions = FunctionSet::from_rows(2, &[vec![0.5, 0.5]]);
+
+        // No workers: enqueue, then drain the heap directly and observe
+        // the pop order deterministically.
+        let pops = |ordering: QueueOrdering, priorities: &[i32]| -> Vec<u64> {
+            let core = Arc::new(ServiceCore::new(
+                &ServiceConfig::default()
+                    .ordering(ordering)
+                    .queue_capacity(8),
+                1,
+            ));
+            for &p in priorities {
+                core.enqueue(
+                    Cow::Owned(functions.clone()),
+                    Cow::Owned(RequestOptions::default()),
+                    SubmitOptions::default().priority(p),
+                )
+                .unwrap();
+            }
+            let mut order = Vec::new();
+            for _ in priorities {
+                let mut queue = lock(&core.queue);
+                let entry = queue.heap.pop().unwrap();
+                order.push(entry.seq);
+            }
+            order
+        };
+
+        // FIFO ignores priorities entirely: submission order.
+        assert_eq!(pops(QueueOrdering::Fifo, &[0, 5, 0, 9]), vec![0, 1, 2, 3]);
+        // Priority: higher first, FIFO among equals.
+        assert_eq!(
+            pops(QueueOrdering::Priority, &[0, 5, 0, 9, 5]),
+            vec![3, 1, 4, 0, 2]
+        );
+    }
+}

@@ -17,10 +17,10 @@
 //!   Threshold Algorithm with tight thresholds (§IV-A).
 //! * [`datagen`] — synthetic workload generators (independent,
 //!   anti-correlated, clustered, Zillow surrogate).
-//! * [`core`] — the [`core::Engine`] plus the matchers: skyline-based
-//!   **SB** (the paper's contribution, §III-B/§IV), **Brute Force**
-//!   (§III-A) and **Chain** (the adapted competitor of §V), plus
-//!   verification utilities.
+//! * [`core`] — the [`core::Engine`] and the [`core::EngineService`]
+//!   serving layer, plus the matchers: skyline-based **SB** (the paper's
+//!   contribution, §III-B/§IV), **Brute Force** (§III-A) and **Chain**
+//!   (the adapted competitor of §V), plus verification utilities.
 //!
 //! ## Quickstart
 //!
@@ -83,12 +83,43 @@
 //! | `CapacityMatcher::default().run(&o, &f, &caps)` | `engine.request(&f).capacities(&caps).evaluate()?` |
 //! | `matcher.stream(&tree, &f)` | `engine.stream(&f)?` |
 //! | `OnlineSession::new(&tree)` | `engine.session()` |
+//! | `engine.evaluate_batch(&reqs, t)` (pre-collected batches) | `engine.serve(config)` + `client.submit(..)` per request |
 //!
 //! where `let engine = Engine::builder().objects(&o).build()?;` is built
 //! once and shared (it is `Sync`; evaluation never mutates the index).
 //! Invalid input now surfaces as a typed [`core::MpqError`] instead of a
 //! panic, and per-run [`core::RunMetrics`] stay exact even when requests
 //! run concurrently.
+//!
+//! ## Serving
+//!
+//! For a long-lived deployment, wrap the engine in the
+//! [`core::EngineService`] submission queue ([`core::Engine::serve`] is
+//! the blessed entry point): requests stream in through cloneable
+//! [`core::ServiceClient`] handles and resolve through pollable,
+//! blockable, cancellable [`core::Ticket`]s, with per-request deadlines,
+//! bounded-queue backpressure (block or reject), FIFO/priority ordering,
+//! graceful draining shutdown and rolling [`core::ServiceMetrics`].
+//! `evaluate_batch` still exists — as a submit-all-then-wait wrapper
+//! over the same scheduling core — but new serving code should hold a
+//! service:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mpq::core::ServiceConfig;
+//! use mpq::prelude::*;
+//! # let mut objects = PointSet::new(2);
+//! # for p in [[0.9_f64, 0.2], [0.2, 0.9], [0.7, 0.7]] { objects.push(&p); }
+//! # let functions = FunctionSet::from_rows(2, &[vec![0.5, 0.5]]);
+//!
+//! let engine = Arc::new(Engine::builder().objects(&objects).build().unwrap());
+//! let service = engine.serve(ServiceConfig::default().workers(2));
+//! let client = service.client();
+//! let ticket = client.submit(client.engine().request(&functions)).unwrap();
+//! let matching = ticket.wait().unwrap();
+//! # assert_eq!(matching.len(), 1);
+//! service.shutdown(); // graceful: drains queued + in-flight work
+//! ```
 
 pub use mpq_core as core;
 pub use mpq_datagen as datagen;
@@ -100,8 +131,9 @@ pub use mpq_ta as ta;
 pub mod prelude {
     pub use mpq_core::{
         Algorithm, BatchMetrics, BatchOutcome, BruteForceMatcher, CapacityMatcher, ChainMatcher,
-        Engine, MatchRequest, MatchSession, Matcher, Matching, MonotoneSkylineMatcher, MpqError,
-        Pair, Scratch, SkylineMatcher,
+        Engine, EngineService, MatchRequest, MatchSession, Matcher, Matching,
+        MonotoneSkylineMatcher, MpqError, Pair, Scratch, ServiceClient, ServiceConfig,
+        ServiceMetrics, SkylineMatcher, Ticket,
     };
     pub use mpq_datagen::{Distribution, WorkloadBuilder};
     pub use mpq_rtree::{IoSession, PointSet, RTree, RTreeParams};

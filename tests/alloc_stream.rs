@@ -1,0 +1,119 @@
+//! Allocation-behavior regression test for scratch-pooled streaming.
+//!
+//! `Engine::stream_with(&functions, &mut scratch)` leases the stream's
+//! per-run state — working function-set copy, masked set, rank-list
+//! caches, round buffers — from a caller-owned reusable [`Scratch`], so
+//! a progressive consumer that opens many streams gets the same
+//! zero-alloc rounds as `evaluate_with`. This test pins that behavior
+//! with a counting global allocator: a warm leased stream must perform
+//! strictly fewer heap allocations than an owned one, and identical
+//! pairs.
+//!
+//! One `#[test]` only: the counter is process-global, and a second
+//! concurrently-running test would pollute the deltas.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mpq::datagen::{Distribution, WorkloadBuilder};
+use mpq::prelude::*;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Allocation count of `f`, plus its result.
+fn counting<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let value = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, value)
+}
+
+#[test]
+fn leased_stream_allocates_strictly_less_than_owned_and_is_identical() {
+    let w = WorkloadBuilder::new()
+        .objects(3_000)
+        .functions(1)
+        .dim(3)
+        .distribution(Distribution::Independent)
+        .seed(2009)
+        .build();
+    let engine = Engine::builder().objects(&w.objects).build().unwrap();
+    let functions = WorkloadBuilder::new()
+        .objects(1)
+        .functions(60)
+        .dim(3)
+        .seed(7)
+        .build()
+        .functions;
+
+    // Warm the scratch (its buffers grow to the workload's size once)
+    // and the shared page buffer, so both measured passes below run
+    // against identical cache state.
+    let mut scratch = Scratch::new();
+    let warm: Vec<Pair> = engine
+        .stream_with(&functions, &mut scratch)
+        .unwrap()
+        .collect();
+    assert!(!warm.is_empty());
+
+    let (owned_allocs, owned) =
+        counting(|| -> Vec<Pair> { engine.stream(&functions).unwrap().collect() });
+    let (leased_allocs, leased) = counting(|| -> Vec<Pair> {
+        engine
+            .stream_with(&functions, &mut scratch)
+            .unwrap()
+            .collect()
+    });
+
+    // The scratch never changes what is computed …
+    assert_eq!(owned.len(), leased.len());
+    assert_eq!(warm.len(), leased.len());
+    for ((a, b), c) in owned.iter().zip(&leased).zip(&warm) {
+        assert_eq!(a.fid, b.fid);
+        assert_eq!(a.oid, b.oid);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        assert_eq!(a.score.to_bits(), c.score.to_bits());
+    }
+    // … only how often the allocator is hit: the owned stream pays for
+    // a fresh Scratch (function-set copy, hash tables, round buffers)
+    // that the lease serves from warm buffers.
+    assert!(
+        leased_allocs < owned_allocs,
+        "leased stream must allocate strictly less: leased={leased_allocs} owned={owned_allocs}"
+    );
+
+    // And a reused lease stays warm: a third pass allocates no more
+    // than the second (within the jitter of per-entry rank-list vecs,
+    // which both passes pay identically — so exact equality holds).
+    let (leased_again, _) = counting(|| -> Vec<Pair> {
+        engine
+            .stream_with(&functions, &mut scratch)
+            .unwrap()
+            .collect()
+    });
+    assert!(
+        leased_again <= leased_allocs,
+        "a warm lease must not allocate more over time: \
+         second={leased_allocs} third={leased_again}"
+    );
+}
