@@ -11,9 +11,10 @@
 //!                # serve R copies of the request on T threads and report req/s
 //! mpq serve --objects rooms.csv --functions users.csv
 //!           [--algo sb|bf|chain] [--requests R] [--workers N]
-//!           [--queue-cap M] [--reject]
+//!           [--queue-cap M] [--reject] [--cache N]
 //!           # replay R copies through the EngineService submission
-//!           # queue and report ServiceMetrics
+//!           # queue and report ServiceMetrics (repeat-heavy: the
+//!           # replay exercises the result cache; --cache 0 disables)
 //! ```
 //!
 //! Object attribute values are expected in `[0, 1]` larger-is-better
@@ -81,9 +82,10 @@ const USAGE: &str = "usage:
                  [--algo sb|bf|chain] [--requests <R>] [--threads <T>]
   mpq serve --objects <objects.csv> --functions <functions.csv>
             [--algo sb|bf|chain] [--requests <R>] [--workers <N>]
-            [--queue-cap <M>] [--reject]
+            [--queue-cap <M>] [--reject] [--cache <N>]
             # replay R copies of the request through the EngineService
-            # worker pool and report ServiceMetrics";
+            # worker pool and report ServiceMetrics; --cache N bounds the
+            # result cache to N entries (0 disables caching + dedupe)";
 
 fn arg_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -199,12 +201,6 @@ fn build_inputs(
     Ok((objects, functions))
 }
 
-/// Parallel serving demo: load one `(objects, functions)` pair, build
-/// the engine once (buffer sharded to the worker count), then serve `R`
-/// copies of the request on `T` threads via `Engine::evaluate_batch` and
-/// report the throughput against the sequential loop. The batch results
-/// are verified identical to the sequential ones before anything is
-/// reported.
 /// Shared workload loader of the serving subcommands (`throughput`,
 /// `serve`): read the `--objects`/`--functions` CSVs and build the
 /// validated input sets.
@@ -231,6 +227,12 @@ fn load_workload(args: &[String]) -> Result<(PointSet, FunctionSet), CliError> {
     build_inputs(&objects_table, &functions_table)
 }
 
+/// Parallel serving demo: load one `(objects, functions)` pair, build
+/// the engine once (buffer sharded to the worker count), then serve `R`
+/// copies of the request on `T` threads via `Engine::evaluate_batch` and
+/// report the throughput against the sequential loop. The batch results
+/// are verified identical to the sequential ones before anything is
+/// reported.
 fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
     let algorithm: Algorithm = arg_value(args, "--algo")
         .or_else(|| arg_value(args, "--algorithm"))
@@ -328,6 +330,10 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         .unwrap_or("64")
         .parse()
         .map_err(|_| CliError::usage("--queue-cap must be an integer"))?;
+    let cache: usize = arg_value(args, "--cache")
+        .unwrap_or("256")
+        .parse()
+        .map_err(|_| CliError::usage("--cache must be an integer (entries; 0 disables)"))?;
     let backpressure = if args.iter().any(|a| a == "--reject") {
         BackpressurePolicy::Reject
     } else {
@@ -353,7 +359,8 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         ServiceConfig::default()
             .workers(workers)
             .queue_capacity(queue_cap)
-            .backpressure(backpressure),
+            .backpressure(backpressure)
+            .cache_capacity(cache),
     );
     let client = service.client();
     let mut tickets = Vec::with_capacity(requests);
@@ -621,6 +628,52 @@ mod tests {
         assert!(out.contains("submitted 8"), "{out}");
         assert!(out.contains("completed 8"), "{out}");
         assert!(out.contains("latency p50"), "{out}");
+        // The replay is 8 copies of one request: with the default cache
+        // on, all but the first are hits or in-flight attaches.
+        assert!(out.contains("cache hits"), "{out}");
+        assert!(
+            out.contains("all served matchings identical to sequential"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_cache_flag_disables_caching() {
+        let dir = std::env::temp_dir().join("mpq_cli_serve_nocache");
+        fs::create_dir_all(&dir).unwrap();
+        let objects_csv = run_cli(&args(&[
+            "generate",
+            "--distribution",
+            "independent",
+            "--objects",
+            "300",
+            "--dim",
+            "2",
+            "--seed",
+            "19",
+        ]))
+        .unwrap();
+        let opath = dir.join("objects.csv");
+        fs::write(&opath, &objects_csv).unwrap();
+        let fpath = dir.join("functions.csv");
+        fs::write(&fpath, "w0,w1\n0.7,0.3\n0.4,0.6\n").unwrap();
+
+        let out = run_cli(&args(&[
+            "serve",
+            "--objects",
+            opath.to_str().unwrap(),
+            "--functions",
+            fpath.to_str().unwrap(),
+            "--requests",
+            "4",
+            "--workers",
+            "1",
+            "--cache",
+            "0",
+        ]))
+        .unwrap();
+        assert!(out.contains("cache disabled"), "{out}");
+        assert!(out.contains("completed 4"), "{out}");
         assert!(
             out.contains("all served matchings identical to sequential"),
             "{out}"
@@ -653,7 +706,9 @@ mod tests {
         fs::write(&fpath, &fcsv).unwrap();
 
         // 1 worker + tiny queue + a burst: some submissions are shed in
-        // reject mode, and the report stays truthful about it.
+        // reject mode, and the report stays truthful about it. Caching
+        // is off — the replayed requests are identical, and the default
+        // cache would (correctly) dedupe them instead of shedding.
         let out = run_cli(&args(&[
             "serve",
             "--objects",
@@ -667,6 +722,8 @@ mod tests {
             "--queue-cap",
             "1",
             "--reject",
+            "--cache",
+            "0",
         ]))
         .unwrap();
         assert!(out.contains("reject backpressure"), "{out}");

@@ -1,0 +1,564 @@
+//! Cross-request result caching: a canonical request key and a bounded,
+//! inventory-versioned LRU over finished [`Matching`]s.
+//!
+//! The paper's premise is that *many* users' preference queries arrive
+//! against one shared inventory — and real multi-user traffic is
+//! repeat-heavy: identical function sets recur constantly (the same
+//! search form resubmitted, the same default weights, polling clients).
+//! Evaluation is deterministic and the engine's index is immutable, so
+//! an identical request against the same inventory **must** produce the
+//! bit-identical matching — which makes the pair `(request key,
+//! inventory version)` a sound cache key with no staleness hazard
+//! beyond inventory replacement.
+//!
+//! Two layers use this module:
+//!
+//! * [`ResultCache`] — the bounded LRU itself (entry- and byte-capped),
+//!   usable standalone. Every entry is stamped with the
+//!   [`Engine::inventory_version`](crate::Engine::inventory_version) it
+//!   was computed against; a lookup under a different version is a miss
+//!   (and drops the stale entry), so a cache outliving an engine rebuild
+//!   can never serve results from the old inventory. [`ResultCache::invalidate`]
+//!   clears everything at once.
+//! * the [`service`](crate::service) layer — consults a `ResultCache`
+//!   before enqueueing and adds **in-flight dedupe** on top: a second
+//!   identical submission attaches to the first job instead of paying a
+//!   queue slot and a duplicate evaluation.
+//!
+//! The key ([`RequestKey`]) is *canonical*: it covers the function-set
+//! rows (weight bits, in function-id order, with tombstone flags), the
+//! [`Algorithm`] and every evaluation knob of the
+//! request, the exclusion set (**order-insensitively** — `HashSet`
+//! iteration order never leaks into the key), and the capacity vector.
+//! Equality compares the full key material, not just the 64-bit hash,
+//! so a hash collision can never surface a wrong cached matching — the
+//! bit-identical guarantee survives adversarial inputs.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use mpq_ta::FunctionSet;
+
+use crate::engine::{Algorithm, RequestOptions};
+use crate::matching::Matching;
+use crate::sb::{BestPairMode, MaintenanceMode};
+
+/// A canonical, collision-proof identity of one evaluation request:
+/// everything that can change the resulting [`Matching`], and nothing
+/// that cannot.
+///
+/// Build one with [`MatchRequest::cache_key`](crate::MatchRequest::cache_key).
+/// Two requests have equal keys **iff** evaluating them against the same
+/// inventory is guaranteed to produce bit-identical matchings: the
+/// function rows (bit-exact weights, in function-id order, including
+/// tombstones), the algorithm and all its knobs, the exclusion set
+/// (compared as a set — insertion order is irrelevant) and the capacity
+/// vector all agree. Equality compares the full material, so the
+/// precomputed hash only accelerates lookups — it can never cause a
+/// false hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestKey {
+    hash: u64,
+    material: Box<[u64]>,
+}
+
+impl std::hash::Hash for RequestKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl RequestKey {
+    /// The precomputed 64-bit FNV-1a digest of the key material
+    /// (diagnostic; equality does not trust it).
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+
+    /// Approximate heap footprint of the key, for cache byte accounting.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<RequestKey>() + self.material.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Build the canonical key of `(functions, options)` — see
+/// [`RequestKey`] for what it covers. The inventory version is *not*
+/// part of the key; it stamps cache entries instead
+/// ([`ResultCache::insert`]), so one cache can safely span engine
+/// rebuilds.
+pub(crate) fn request_key(functions: &FunctionSet, options: &RequestOptions) -> RequestKey {
+    let mut m: Vec<u64> = Vec::with_capacity(8 + functions.len() * (functions.dim() + 1));
+
+    // Function rows, in function-id order: ids are semantic (a matching
+    // names them), so row order is part of the identity — but exclusion
+    // order below is not.
+    m.push(functions.dim() as u64);
+    m.push(functions.len() as u64);
+    for fid in 0..functions.len() as u32 {
+        m.push(u64::from(functions.is_alive(fid)));
+        m.extend(functions.weights(fid).iter().map(|w| w.to_bits()));
+    }
+
+    // Every evaluation knob of RequestOptions.
+    m.push(match options.algorithm {
+        Algorithm::Sb => 0,
+        Algorithm::BruteForce => 1,
+        Algorithm::Chain => 2,
+    });
+    m.push(match options.best_pair {
+        BestPairMode::Ta => 0,
+        BestPairMode::TaNaiveThreshold => 1,
+        BestPairMode::Scan => 2,
+    });
+    m.push(match options.maintenance {
+        MaintenanceMode::Incremental => 0,
+        MaintenanceMode::Rescan => 1,
+    });
+    m.push(u64::from(options.multi_pair));
+    m.push(match options.bf_strategy {
+        crate::brute_force::BfStrategy::Incremental => 0,
+        crate::brute_force::BfStrategy::Restart => 1,
+    });
+
+    // Exclusions are a set: sort so HashSet iteration order cannot make
+    // two identical requests key differently.
+    let mut excluded: Vec<u64> = options.exclude.iter().copied().collect();
+    excluded.sort_unstable();
+    m.push(excluded.len() as u64);
+    m.extend(excluded);
+
+    match &options.capacities {
+        None => m.push(0),
+        Some(caps) => {
+            m.push(1);
+            m.push(caps.len() as u64);
+            m.extend(caps.iter().map(|&c| u64::from(c)));
+        }
+    }
+
+    // FNV-1a over the material words: deterministic across processes
+    // (unlike SipHash's random keys), so keys are stable for logging and
+    // cross-run comparison.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in &m {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    RequestKey {
+        hash,
+        material: m.into_boxed_slice(),
+    }
+}
+
+/// Rolling counters of one cache (embedded in
+/// [`ServiceMetrics::cache`](crate::service::ServiceMetrics)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheMetrics {
+    /// `false` when the service runs with caching disabled
+    /// (`cache_capacity == 0`); all counters stay zero.
+    pub enabled: bool,
+    /// Lookups served straight from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or a stale inventory version) and had
+    /// to evaluate. In-flight dedupe attaches are misses at the cache
+    /// level (counted in `attaches` too).
+    pub misses: u64,
+    /// Submissions that attached to an identical in-flight job instead
+    /// of enqueueing a duplicate evaluation (service layer only).
+    pub attaches: u64,
+    /// Results stored.
+    pub insertions: u64,
+    /// Entries dropped to respect the entry/byte bounds (stale-version
+    /// entries dropped on lookup count here too).
+    pub evictions: u64,
+    /// Current number of cached entries.
+    pub entries: usize,
+    /// Current approximate heap footprint of the cached entries.
+    pub bytes: usize,
+}
+
+impl CacheMetrics {
+    /// `hits / (hits + misses)`, guarded (the same stance as
+    /// [`safe_rate`](crate::service::ServiceMetrics::requests_per_sec)):
+    /// no lookups yet yields `0.0`, never NaN.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// One cached result plus its bookkeeping.
+struct CacheEntry {
+    matching: Matching,
+    /// Inventory version the result was computed against; a lookup under
+    /// any other version treats the entry as absent.
+    version: u64,
+    /// Approximate heap footprint (key + matching).
+    bytes: usize,
+    /// Recency tick (key into the LRU index).
+    tick: u64,
+}
+
+/// A bounded LRU of finished [`Matching`]s keyed by [`RequestKey`] and
+/// stamped with the inventory version they were computed against.
+///
+/// Capacity is double-bounded: at most `max_entries` results and at most
+/// `max_bytes` of approximate heap footprint — whichever bound is hit
+/// first evicts the least-recently-used entry. Both bounds are clamped
+/// to sane minimums so a cache that exists can always hold one entry
+/// (construct via [`ServiceConfig`](crate::service::ServiceConfig) with
+/// `cache_capacity == 0` to disable caching entirely instead).
+///
+/// ```
+/// use mpq_core::{Engine, ResultCache};
+/// use mpq_rtree::PointSet;
+/// use mpq_ta::FunctionSet;
+///
+/// let mut objects = PointSet::new(2);
+/// for p in [[0.9_f64, 0.2], [0.2, 0.9], [0.7, 0.7]] { objects.push(&p); }
+/// let engine = Engine::builder().objects(&objects).build().unwrap();
+/// let functions = FunctionSet::from_rows(2, &[vec![0.5, 0.5]]);
+///
+/// let mut cache = ResultCache::new(64, 1 << 20);
+/// let request = engine.request(&functions);
+/// let key = request.cache_key();
+/// let fresh = request.evaluate().unwrap();
+/// cache.insert(&key, engine.inventory_version(), &fresh);
+///
+/// // Same inventory: hit, bit-identical.
+/// let hit = cache.get(&key, engine.inventory_version()).unwrap();
+/// assert_eq!(hit.sorted_pairs(), fresh.sorted_pairs());
+///
+/// // A rebuilt engine has a new inventory version: the stale entry is
+/// // a miss (and is dropped), never served.
+/// let rebuilt = Engine::builder().objects(&objects).build().unwrap();
+/// assert!(cache.get(&key, rebuilt.inventory_version()).is_none());
+/// ```
+pub struct ResultCache {
+    max_entries: usize,
+    max_bytes: usize,
+    entries: HashMap<Arc<RequestKey>, CacheEntry>,
+    /// Recency index: tick → key, oldest first. Ticks are unique (one
+    /// per touch), so this is a faithful LRU order.
+    lru: BTreeMap<u64, Arc<RequestKey>>,
+    next_tick: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("entries", &self.entries.len())
+            .field("bytes", &self.bytes)
+            .field("max_entries", &self.max_entries)
+            .field("max_bytes", &self.max_bytes)
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// An empty cache bounded to `max_entries` results and `max_bytes`
+    /// of approximate footprint (each clamped to at least 1 entry /
+    /// 4 KiB).
+    pub fn new(max_entries: usize, max_bytes: usize) -> ResultCache {
+        ResultCache {
+            max_entries: max_entries.max(1),
+            max_bytes: max_bytes.max(4096),
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_tick: 0,
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key` under inventory `version`. A hit returns a clone of
+    /// the cached matching (pairs bit-identical to the original
+    /// evaluation; the [`RunMetrics`](crate::RunMetrics) are the
+    /// *original run's* — a hit does no I/O of its own) and refreshes
+    /// recency. An entry stamped with a different version is dropped and
+    /// reported as a miss: the inventory it was computed against no
+    /// longer exists.
+    pub fn get(&mut self, key: &RequestKey, version: u64) -> Option<Matching> {
+        let Some(entry) = self.entries.get(key) else {
+            self.misses += 1;
+            return None;
+        };
+        if entry.version != version {
+            self.misses += 1;
+            self.evictions += 1;
+            let tick = entry.tick;
+            let bytes = entry.bytes;
+            self.entries.remove(key);
+            self.lru.remove(&tick);
+            self.bytes -= bytes;
+            return None;
+        }
+        self.hits += 1;
+        // Refresh recency: move the entry to the newest tick.
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let entry = self.entries.get_mut(key).expect("entry just found");
+        let old = std::mem::replace(&mut entry.tick, tick);
+        let matching = entry.matching.clone();
+        let key = self.lru.remove(&old).expect("lru tracks every entry");
+        self.lru.insert(tick, key);
+        Some(matching)
+    }
+
+    /// Store `matching` for `key` under inventory `version`, evicting
+    /// least-recently-used entries until both bounds hold. A result too
+    /// large to ever fit the byte bound is not stored (the cache is an
+    /// accelerator, not a spill).
+    pub fn insert(&mut self, key: &RequestKey, version: u64, matching: &Matching) {
+        let bytes = key.approx_bytes() + matching.approx_bytes();
+        if bytes > self.max_bytes {
+            return;
+        }
+        // Replace any stale entry for this key first so the bounds see
+        // consistent accounting.
+        if let Some(old) = self.entries.remove(key) {
+            self.lru.remove(&old.tick);
+            self.bytes -= old.bytes;
+        }
+        while self.entries.len() + 1 > self.max_entries || self.bytes + bytes > self.max_bytes {
+            let Some((&oldest, _)) = self.lru.iter().next() else {
+                break;
+            };
+            let victim = self.lru.remove(&oldest).expect("just observed");
+            let dropped = self.entries.remove(&victim).expect("lru tracks entries");
+            self.bytes -= dropped.bytes;
+            self.evictions += 1;
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let key = Arc::new(key.clone());
+        self.lru.insert(tick, Arc::clone(&key));
+        self.entries.insert(
+            key,
+            CacheEntry {
+                matching: matching.clone(),
+                version,
+                bytes,
+                tick,
+            },
+        );
+        self.bytes += bytes;
+        self.insertions += 1;
+    }
+
+    /// Drop every entry (e.g. the engine behind the cache was rebuilt
+    /// and the stale versions should stop occupying space). Counters
+    /// survive; dropped entries count as evictions.
+    pub fn invalidate(&mut self) {
+        self.evictions += self.entries.len() as u64;
+        self.entries.clear();
+        self.lru.clear();
+        self.bytes = 0;
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate heap footprint of the cached entries.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Snapshot the rolling counters. `attaches` is always 0 here — the
+    /// service layer owns that counter and merges it into its
+    /// [`ServiceMetrics`](crate::service::ServiceMetrics) snapshot.
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            enabled: true,
+            hits: self.hits,
+            misses: self.misses,
+            attaches: 0,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{Pair, RunMetrics};
+
+    fn matching_of(n: usize) -> Matching {
+        let pairs = (0..n)
+            .map(|i| Pair {
+                fid: i as u32,
+                oid: i as u64,
+                score: 1.0 - i as f64 * 0.01,
+            })
+            .collect();
+        Matching::new(pairs, RunMetrics::default())
+    }
+
+    fn key_of(rows: &[Vec<f64>]) -> RequestKey {
+        let functions = FunctionSet::from_rows(2, rows);
+        request_key(&functions, &RequestOptions::default())
+    }
+
+    #[test]
+    fn key_is_order_insensitive_over_exclusions_only() {
+        let functions = FunctionSet::from_rows(2, &[vec![0.5, 0.5], vec![0.9, 0.1]]);
+        let mut a = RequestOptions::default();
+        a.exclude.extend([3u64, 7, 11]);
+        let mut b = RequestOptions::default();
+        b.exclude.extend([11u64, 3, 7]);
+        assert_eq!(request_key(&functions, &a), request_key(&functions, &b));
+
+        // ...but function row order is semantic (fids name the rows).
+        let swapped = FunctionSet::from_rows(2, &[vec![0.9, 0.1], vec![0.5, 0.5]]);
+        assert_ne!(
+            request_key(&functions, &RequestOptions::default()),
+            request_key(&swapped, &RequestOptions::default())
+        );
+    }
+
+    #[test]
+    fn key_covers_every_knob() {
+        let functions = FunctionSet::from_rows(2, &[vec![0.5, 0.5]]);
+        let base = request_key(&functions, &RequestOptions::default());
+        let o = RequestOptions {
+            algorithm: Algorithm::Chain,
+            ..RequestOptions::default()
+        };
+        assert_ne!(base, request_key(&functions, &o));
+        let o = RequestOptions {
+            multi_pair: false,
+            ..RequestOptions::default()
+        };
+        assert_ne!(base, request_key(&functions, &o));
+        let o = RequestOptions {
+            capacities: Some(vec![1, 2, 3]),
+            ..RequestOptions::default()
+        };
+        assert_ne!(base, request_key(&functions, &o));
+        let mut o = RequestOptions::default();
+        o.exclude.insert(5);
+        assert_ne!(base, request_key(&functions, &o));
+        // tombstones are part of the identity
+        let mut dead = FunctionSet::from_rows(2, &[vec![0.5, 0.5], vec![0.9, 0.1]]);
+        dead.remove(1);
+        let alive = FunctionSet::from_rows(2, &[vec![0.5, 0.5], vec![0.9, 0.1]]);
+        assert_ne!(
+            request_key(&dead, &RequestOptions::default()),
+            request_key(&alive, &RequestOptions::default())
+        );
+    }
+
+    #[test]
+    fn lru_evicts_by_recency_and_respects_entry_bound() {
+        let mut cache = ResultCache::new(2, 1 << 20);
+        let (ka, kb, kc) = (
+            key_of(&[vec![0.1, 0.9]]),
+            key_of(&[vec![0.2, 0.8]]),
+            key_of(&[vec![0.3, 0.7]]),
+        );
+        cache.insert(&ka, 1, &matching_of(1));
+        cache.insert(&kb, 1, &matching_of(1));
+        assert!(cache.get(&ka, 1).is_some()); // refresh a: b is now LRU
+        cache.insert(&kc, 1, &matching_of(1)); // evicts b
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&ka, 1).is_some());
+        assert!(cache.get(&kb, 1).is_none(), "b was least recently used");
+        assert!(cache.get(&kc, 1).is_some());
+        assert_eq!(cache.metrics().evictions, 1);
+    }
+
+    #[test]
+    fn byte_bound_evicts_and_oversize_results_are_not_stored() {
+        // Entries big enough that the byte bound (not the entry bound)
+        // is what binds: ~24 KiB of pairs each, bound at ~2 entries.
+        let bulky = matching_of(1000);
+        let per_entry = key_of(&[vec![0.1, 0.9]]).approx_bytes() + bulky.approx_bytes();
+        let mut cache = ResultCache::new(1024, per_entry * 2);
+        let keys: Vec<RequestKey> = (0..4)
+            .map(|i| key_of(&[vec![0.1 + i as f64 * 0.05, 0.5]]))
+            .collect();
+        for k in &keys {
+            cache.insert(k, 1, &bulky);
+        }
+        assert!(
+            cache.bytes() <= cache.max_bytes,
+            "byte bound must hold after inserts"
+        );
+        assert!(cache.len() < 4, "byte bound must have evicted something");
+
+        let huge = matching_of(100_000);
+        let before = cache.len();
+        cache.insert(&key_of(&[vec![0.9, 0.1]]), 1, &huge);
+        assert_eq!(cache.len(), before, "oversize result must not be stored");
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss_and_drops_the_stale_entry() {
+        let mut cache = ResultCache::new(8, 1 << 20);
+        let key = key_of(&[vec![0.4, 0.6]]);
+        cache.insert(&key, 7, &matching_of(3));
+        assert!(cache.get(&key, 7).is_some());
+        assert!(cache.get(&key, 8).is_none(), "stale version must miss");
+        assert!(
+            cache.get(&key, 7).is_none(),
+            "the stale entry is gone, not resurrected"
+        );
+        let m = cache.metrics();
+        assert_eq!((m.hits, m.misses), (1, 2));
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let mut cache = ResultCache::new(8, 1 << 20);
+        for i in 0..3 {
+            cache.insert(
+                &key_of(&[vec![0.1 * (i + 1) as f64, 0.5]]),
+                1,
+                &matching_of(1),
+            );
+        }
+        assert_eq!(cache.len(), 3);
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.metrics().evictions, 3);
+    }
+
+    #[test]
+    fn hit_rate_is_guarded() {
+        let cache = ResultCache::new(8, 1 << 20);
+        assert_eq!(cache.metrics().hit_rate(), 0.0);
+        let mut cache = cache;
+        let key = key_of(&[vec![0.5, 0.5]]);
+        cache.insert(&key, 1, &matching_of(1));
+        let _ = cache.get(&key, 1);
+        let _ = cache.get(&key_of(&[vec![0.6, 0.4]]), 1);
+        let rate = cache.metrics().hit_rate();
+        assert!((rate - 0.5).abs() < 1e-12, "{rate}");
+    }
+}

@@ -41,6 +41,7 @@
 
 use std::borrow::Cow;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -188,9 +189,19 @@ impl<'o> EngineBuilder<'o> {
             n_objects: objects.len(),
             config: self.index,
             tree,
+            version: NEXT_INVENTORY_VERSION.fetch_add(1, AtomicOrdering::Relaxed),
+            evaluations: AtomicU64::new(0),
         })
     }
 }
+
+/// Process-global inventory version source: every built engine gets a
+/// distinct, monotonically increasing stamp (starting at 1 so 0 can
+/// serve as a "no engine" sentinel in caller code). The stamp is what
+/// makes a [`ResultCache`](crate::ResultCache) entry safe across engine
+/// rebuilds: results computed against inventory version *v* are only
+/// ever served to lookups against the same *v*.
+static NEXT_INVENTORY_VERSION: AtomicU64 = AtomicU64::new(1);
 
 /// A prepared matching engine: one validated, bulk-loaded object index
 /// serving any number of [`MatchRequest`]s.
@@ -204,6 +215,11 @@ pub struct Engine {
     n_objects: usize,
     config: IndexConfig,
     tree: RTree,
+    /// Distinct per built engine (see [`Engine::inventory_version`]).
+    version: u64,
+    /// Evaluations actually run against this engine (see
+    /// [`Engine::evaluation_count`]).
+    evaluations: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -212,6 +228,7 @@ impl std::fmt::Debug for Engine {
             .field("dim", &self.dim)
             .field("objects", &self.n_objects)
             .field("pages", &self.tree.page_count())
+            .field("version", &self.version)
             .finish()
     }
 }
@@ -237,6 +254,26 @@ impl Engine {
     /// The index configuration the engine was built with.
     pub fn index_config(&self) -> &IndexConfig {
         &self.config
+    }
+
+    /// The engine's **inventory version**: a process-globally unique,
+    /// monotonically increasing stamp assigned at build time. Two
+    /// engines never share a version — even when built over identical
+    /// objects — so a [`ResultCache`](crate::ResultCache) entry stamped
+    /// with one engine's version can never be served against another
+    /// engine's inventory: rebuilding the engine *is* the invalidation.
+    #[inline]
+    pub fn inventory_version(&self) -> u64 {
+        self.version
+    }
+
+    /// How many evaluations have actually run against this engine —
+    /// cache hits and dedupe attaches do **not** count, which is exactly
+    /// what makes this the observable for "N identical submissions paid
+    /// one evaluation" assertions (see `tests/cache.rs`).
+    #[inline]
+    pub fn evaluation_count(&self) -> u64 {
+        self.evaluations.load(AtomicOrdering::Relaxed)
     }
 
     /// The shared object R-tree (read-only access; engine evaluation
@@ -384,11 +421,14 @@ impl Engine {
         // borrowing `self` instead of the long-lived service's Arc. The
         // queue payloads are *borrowed* from `requests` (the workers
         // cannot outlive the slice), so no request is cloned to travel
-        // the queue.
+        // the queue. Caching is off: a batch is explicit about its
+        // request list, and per-request [`RunMetrics`] stay exact only
+        // when every request pays its own run.
         let core = ServiceCore::new(
             &ServiceConfig::default()
                 .workers(threads)
-                .queue_capacity(n.max(1)),
+                .queue_capacity(n.max(1))
+                .cache_capacity(0),
             threads,
         );
         let mut results: Vec<Result<Matching, MpqError>> = Vec::with_capacity(n);
@@ -554,6 +594,7 @@ pub(crate) fn evaluate_options(
     scratch: &mut Scratch,
 ) -> Result<Matching, MpqError> {
     validate_options(engine, functions, options)?;
+    engine.evaluations.fetch_add(1, AtomicOrdering::Relaxed);
     let session = IoSession::new(&engine.tree);
 
     if let Some(caps) = &options.capacities {
@@ -683,6 +724,18 @@ impl<'e> MatchRequest<'e, '_> {
     /// request slice — no clones needed).
     pub(crate) fn parts(&self) -> (&FunctionSet, &RequestOptions) {
         (self.functions, &self.options)
+    }
+
+    /// The canonical cache identity of this request: covers the function
+    /// rows (bit-exact, in function-id order, with tombstones), the
+    /// algorithm and every evaluation knob, the exclusion set
+    /// (order-insensitively) and the capacity vector. Pair it with
+    /// [`Engine::inventory_version`] to use a
+    /// [`ResultCache`](crate::ResultCache) standalone; the
+    /// [`EngineService`] computes the same key
+    /// internally on every submission.
+    pub fn cache_key(&self) -> crate::cache::RequestKey {
+        crate::cache::request_key(self.functions, &self.options)
     }
 
     /// Validate and evaluate the request against the engine's shared

@@ -55,12 +55,16 @@
 //! a bounded submission queue; cloneable [`ServiceClient`] handles
 //! submit requests and get back pollable/blockable [`Ticket`]s with
 //! deadlines, priorities, cancellation and typed backpressure.
-//! [`Engine::evaluate_batch`] is a submit-all-then-wait wrapper over the
-//! same scheduling core.
+//! Identical requests are served from a bounded, inventory-versioned
+//! [`ResultCache`] (with in-flight dedupe: a duplicate submission
+//! attaches to the running job instead of re-evaluating — see the
+//! [`cache`] module). [`Engine::evaluate_batch`] is a
+//! submit-all-then-wait wrapper over the same scheduling core.
 
 #![warn(missing_docs)]
 
 pub mod brute_force;
+pub mod cache;
 pub mod capacity;
 pub mod chain;
 pub mod engine;
@@ -75,6 +79,7 @@ pub mod service;
 pub mod verify;
 
 pub use brute_force::{BfStrategy, BruteForceMatcher};
+pub use cache::{CacheMetrics, RequestKey, ResultCache};
 pub use capacity::{CapacityMatcher, CapacityMatching};
 pub use chain::ChainMatcher;
 pub use engine::{

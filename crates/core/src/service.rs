@@ -1,5 +1,5 @@
 //! The async serving layer: a submission queue in front of a shared
-//! [`Engine`].
+//! [`Engine`], with cross-request result caching and in-flight dedupe.
 //!
 //! The paper's premise (§I) is *many* preference queries arriving
 //! against one inventory — but [`Engine::evaluate_batch`] forces callers
@@ -23,30 +23,48 @@
 //!   cancelled ([`Ticket::cancel`]);
 //! * per-request **deadlines** ([`SubmitOptions::deadline`]) expire
 //!   queued work with a typed [`MpqError::DeadlineExceeded`] instead of
-//!   wasting a worker on an answer nobody is waiting for;
-//! * the queue pops in FIFO or priority order ([`QueueOrdering`]);
+//!   wasting a worker on an answer nobody is waiting for — and expiry is
+//!   **eager**: expired jobs are swept out of the queue (freeing their
+//!   slots and resolving their waiters) by submit-side pressure and by
+//!   workers purging expired heads, not just lazily when popped;
+//! * because evaluation is deterministic and the shared index immutable,
+//!   identical requests are served from a bounded, inventory-versioned
+//!   [`ResultCache`] (consulted before enqueueing), and a submission
+//!   identical to one *already queued or running* **attaches** to that
+//!   job instead of paying a queue slot and a duplicate evaluation —
+//!   each attached submission keeps its own ticket, deadline and
+//!   cancellation;
+//! * the queue pops in FIFO or priority order ([`QueueOrdering`]); a
+//!   nonzero [`SubmitOptions::priority`] under FIFO is **rejected** with
+//!   a typed error rather than silently ignored;
 //! * [`EngineService::shutdown`] is graceful: submissions stop, queued
 //!   and in-flight work drains to completion, workers are joined;
 //! * [`EngineService::metrics`] exposes rolling [`ServiceMetrics`]
-//!   (queue depth, in-flight count, p50/p99 latency, throughput).
+//!   (queue depth, in-flight count, p50/p99 latency, throughput, cache
+//!   hit rate).
 //!
 //! Results are **bit-identical** to sequential [`MatchRequest::evaluate`]
-//! calls whatever the worker count: evaluation is deterministic, the
-//! shared index is never mutated, and a scratch affects allocation, not
-//! output (asserted by `tests/service.rs`).
+//! calls whatever the worker count — including results served from the
+//! cache or through dedupe: evaluation is deterministic, the shared
+//! index is never mutated, and the cache key covers everything that can
+//! change the matching (asserted by `tests/service.rs` and
+//! `tests/cache.rs`).
 //!
 //! There is exactly one scheduling code path: [`Engine::evaluate_batch`]
 //! is a submit-all-then-wait wrapper over the same `ServiceCore` used
-//! here, with scoped workers borrowing the engine instead of long-lived
+//! here (with caching off — a batch is explicit about its request list),
+//! with scoped workers borrowing the engine instead of long-lived
 //! threads holding an [`Arc`].
 
 use std::borrow::Cow;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use mpq_ta::FunctionSet;
 
+use crate::cache::{request_key, CacheMetrics, RequestKey, ResultCache};
 use crate::engine::{evaluate_options, Engine, MatchRequest, RequestOptions};
 use crate::error::MpqError;
 use crate::matching::Matching;
@@ -73,6 +91,16 @@ pub(crate) fn safe_rate(count: u64, wall: Duration) -> f64 {
     }
 }
 
+/// The typed refusal for a nonzero [`SubmitOptions::priority`] under
+/// [`QueueOrdering::Fifo`] — callers must not believe they bought a
+/// priority the queue will never honor.
+const FIFO_PRIORITY_MSG: &str =
+    "SubmitOptions::priority requires QueueOrdering::Priority; this service pops FIFO";
+
+/// Floor for deadline-aware condvar waits so a just-lapsed deadline
+/// cannot degenerate into a hot spin.
+const MIN_DEADLINE_WAIT: Duration = Duration::from_millis(1);
+
 /// What [`ServiceClient::submit`] does when the bounded queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackpressurePolicy {
@@ -80,18 +108,25 @@ pub enum BackpressurePolicy {
     /// shuts down, which fails the submission with
     /// [`MpqError::ServiceStopped`]). The right default for in-process
     /// producers: the queue bound becomes a natural rate limiter.
+    /// Blocked submitters also wake themselves when a queued job's
+    /// deadline lapses, sweep it out, and take its slot — no worker
+    /// round-trip needed.
     #[default]
     Block,
     /// Fail fast with [`MpqError::Overloaded`] and do not enqueue. The
     /// right policy for a network front-end that would rather shed load
-    /// (HTTP 429) than accumulate unbounded latency.
+    /// (HTTP 429) than accumulate unbounded latency. Expired queue
+    /// entries are swept before the rejection verdict, so a queue full
+    /// of dead jobs does not shed live traffic.
     Reject,
 }
 
 /// The order in which queued requests reach workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QueueOrdering {
-    /// Strict submission order; [`SubmitOptions::priority`] is ignored.
+    /// Strict submission order. A nonzero [`SubmitOptions::priority`] is
+    /// **rejected** with [`MpqError::UnsupportedRequest`] — it would be
+    /// silently meaningless here.
     #[default]
     Fifo,
     /// Higher [`SubmitOptions::priority`] first; ties in submission
@@ -113,6 +148,13 @@ pub struct ServiceConfig {
     /// How many recent completion latencies the rolling p50/p99 window
     /// keeps; clamped to at least 1.
     pub latency_window: usize,
+    /// Maximum entries of the cross-request [`ResultCache`]; `0`
+    /// disables result caching **and** in-flight dedupe (every
+    /// submission pays its own evaluation). Default 256.
+    pub cache_capacity: usize,
+    /// Approximate byte bound of the result cache (evicts LRU-first
+    /// when exceeded). Default 32 MiB.
+    pub cache_max_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -123,6 +165,8 @@ impl Default for ServiceConfig {
             backpressure: BackpressurePolicy::Block,
             ordering: QueueOrdering::Fifo,
             latency_window: 1024,
+            cache_capacity: 256,
+            cache_max_bytes: 32 << 20,
         }
     }
 }
@@ -157,6 +201,19 @@ impl ServiceConfig {
         self.latency_window = window;
         self
     }
+
+    /// Set the result-cache entry bound (`0` disables caching and
+    /// in-flight dedupe).
+    pub fn cache_capacity(mut self, entries: usize) -> ServiceConfig {
+        self.cache_capacity = entries;
+        self
+    }
+
+    /// Set the result-cache approximate byte bound.
+    pub fn cache_max_bytes(mut self, bytes: usize) -> ServiceConfig {
+        self.cache_max_bytes = bytes;
+        self
+    }
 }
 
 /// Per-submission options (see [`ServiceClient::submit_with`]).
@@ -164,10 +221,15 @@ impl ServiceConfig {
 pub struct SubmitOptions {
     /// Evaluation must *start* within this budget of submission time;
     /// a request still queued when it lapses resolves to
-    /// [`MpqError::DeadlineExceeded`] without touching a worker.
+    /// [`MpqError::DeadlineExceeded`] without touching a worker. Expiry
+    /// is eager (swept by submit-side pressure and worker head-purges),
+    /// so an expired request frees its queue slot promptly. A deadline
+    /// too large to represent as an instant (e.g. [`Duration::MAX`])
+    /// means "no deadline".
     pub deadline: Option<Duration>,
-    /// Pop priority (higher first) under [`QueueOrdering::Priority`];
-    /// ignored under FIFO.
+    /// Pop priority (higher first) under [`QueueOrdering::Priority`].
+    /// Nonzero values under FIFO are rejected with
+    /// [`MpqError::UnsupportedRequest`].
     pub priority: i32,
 }
 
@@ -178,7 +240,7 @@ impl SubmitOptions {
         self
     }
 
-    /// Set the pop priority (higher first; only meaningful under
+    /// Set the pop priority (higher first; requires
     /// [`QueueOrdering::Priority`]).
     pub fn priority(mut self, priority: i32) -> SubmitOptions {
         self.priority = priority;
@@ -192,13 +254,9 @@ impl SubmitOptions {
 /// buy nothing and cost an indirection on every poll.
 #[allow(clippy::large_enum_variant)]
 enum TicketState {
-    /// In the queue, not yet claimed by a worker.
+    /// Waiting for a result: in the queue, attached to an identical
+    /// in-flight job, or being evaluated right now.
     Queued,
-    /// A worker is evaluating it.
-    Running,
-    /// [`Ticket::cancel`] arrived while running; the worker discards its
-    /// result on completion.
-    CancelPending,
     /// Resolved; the result waits for [`Ticket::wait`]/[`Ticket::try_take`].
     Done(Result<Matching, MpqError>),
     /// The result has been moved out to the caller.
@@ -231,8 +289,6 @@ impl std::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let state = match *lock(&self.shared.state) {
             TicketState::Queued => "queued",
-            TicketState::Running => "running",
-            TicketState::CancelPending => "cancel-pending",
             TicketState::Done(_) => "done",
             TicketState::Claimed => "claimed",
         };
@@ -278,7 +334,8 @@ impl Ticket {
     /// in time, `Err(self)` (the ticket, still live) on timeout. A
     /// timeout too large to represent as an instant (e.g.
     /// [`Duration::MAX`] as a wait-forever sentinel) degrades to an
-    /// unbounded [`Ticket::wait`] instead of panicking.
+    /// unbounded [`Ticket::wait`] instead of returning instantly or
+    /// panicking (pinned by a unit test).
     #[allow(clippy::result_large_err)] // Err is the ticket itself, by design
     pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Matching, MpqError>, Ticket> {
         let Some(deadline) = Instant::now().checked_add(timeout) else {
@@ -318,11 +375,13 @@ impl Ticket {
     }
 
     /// Cancel the request. Returns `true` iff **this call** wins — the
-    /// ticket will resolve to [`MpqError::Cancelled`]: a queued request
-    /// resolves immediately and is skipped when a worker pops it; a
-    /// running request keeps the worker busy but its result is
-    /// discarded. Returns `false` if the request had already resolved
-    /// or a previous cancel already won.
+    /// ticket resolves to [`MpqError::Cancelled`] immediately, whether
+    /// it was queued, attached to an identical in-flight job, or being
+    /// evaluated (the evaluation may still finish for other attached
+    /// submissions — or for the cache — but this ticket's result is
+    /// discarded). Cancelling one submission never cancels an identical
+    /// one that deduped onto the same job. Returns `false` if the
+    /// request had already resolved.
     pub fn cancel(&self) -> bool {
         let mut state = lock(&self.shared.state);
         match *state {
@@ -335,12 +394,7 @@ impl Ticket {
                 self.shared.done.notify_all();
                 true
             }
-            TicketState::Running => {
-                *state = TicketState::CancelPending;
-                lock(&self.metrics).cancelled += 1;
-                true
-            }
-            TicketState::CancelPending | TicketState::Done(_) | TicketState::Claimed => false,
+            TicketState::Done(_) | TicketState::Claimed => false,
         }
     }
 
@@ -357,25 +411,58 @@ impl Ticket {
     }
 }
 
-/// One queued request plus its scheduling envelope. The request payload
-/// is `Cow`: the long-lived service detaches submissions into owned
-/// copies (they must outlive the submitter's borrow), while the scoped
-/// [`Engine::evaluate_batch`] wrapper enqueues *borrowed* requests —
-/// its workers cannot outlive the batch slice, so the PR 3 zero-clone
-/// batch path is preserved.
+/// One submission attached to a job: its oneshot, its own deadline, its
+/// own submission instant (for latency attribution). Several members
+/// share one evaluation when in-flight dedupe coalesces identical
+/// requests.
+struct Member {
+    ticket: Arc<TicketShared>,
+    /// Evaluation must start before this instant or *this member* (and
+    /// only this member) resolves to [`MpqError::DeadlineExceeded`].
+    deadline: Option<Instant>,
+    submitted: Instant,
+}
+
+/// The fan-out target of one queued/running evaluation: every submission
+/// that deduped onto it. `open` gates attachment — it flips off when a
+/// worker claims the job (or the job dies wholesale), after which an
+/// identical submission starts a fresh job instead of racing the
+/// fan-out.
+struct GroupState {
+    open: bool,
+    members: Vec<Member>,
+}
+
+/// A dedupe group: the set of tickets one evaluation resolves. Jobs
+/// without a cache identity (batch path, caching disabled) still carry a
+/// group — with `key: None` and exactly one member — so there is a
+/// single claim/expire/fan-out code path.
+struct DedupeGroup {
+    /// The canonical request identity, when caching is on; used to
+    /// unregister from the in-flight index when the group closes.
+    key: Option<Arc<RequestKey>>,
+    /// The pop priority its job was (or will be) enqueued with. A
+    /// submission with a *higher* priority must not attach — it would
+    /// silently inherit this lower one — and starts its own job instead.
+    priority: i32,
+    state: Mutex<GroupState>,
+}
+
+/// One queued evaluation plus its scheduling envelope. The request
+/// payload is `Cow`: the long-lived service detaches submissions into
+/// owned copies (they must outlive the submitter's borrow), while the
+/// scoped [`Engine::evaluate_batch`] wrapper enqueues *borrowed*
+/// requests — its workers cannot outlive the batch slice, so the PR 3
+/// zero-clone batch path is preserved.
 struct Job<'a> {
     functions: Cow<'a, FunctionSet>,
     options: Cow<'a, RequestOptions>,
-    /// Evaluation must start before this instant (lazily enforced when a
-    /// worker pops the job).
-    deadline: Option<Instant>,
-    submitted: Instant,
-    ticket: Arc<TicketShared>,
+    group: Arc<DedupeGroup>,
 }
 
 /// Heap entry: pops by `(priority desc, seq asc)`. Under FIFO ordering
-/// every job is enqueued with priority 0, which degenerates to strict
-/// submission order.
+/// every job carries priority 0 (nonzero is rejected at submission),
+/// which degenerates to strict submission order.
 struct QueuedJob<'a> {
     priority: i32,
     seq: u64,
@@ -405,7 +492,6 @@ impl Ord for QueuedJob<'_> {
 /// Queue state behind the core's mutex.
 struct QueueState<'a> {
     heap: BinaryHeap<QueuedJob<'a>>,
-    next_seq: u64,
     /// Set by shutdown: no new submissions; workers drain the heap and
     /// then exit.
     stopping: bool,
@@ -422,17 +508,30 @@ struct MetricsInner {
     rejected: u64,
     expired: u64,
     panicked: u64,
+    /// Submissions that attached to an identical in-flight job.
+    dedupe_attaches: u64,
     /// Most recent completion latencies (submit → resolve), bounded by
     /// the configured window.
     latencies: VecDeque<Duration>,
 }
 
+/// The caching layer behind one mutex: the result LRU plus the index of
+/// identical jobs currently queued or running (for dedupe attachment).
+///
+/// Lock order (outermost first): queue → cache layer → group state →
+/// ticket state → metrics. Paths only ever take locks left-to-right
+/// along this chain (skipping is fine), so the hierarchy is cycle-free.
+struct CacheLayer {
+    cache: ResultCache,
+    inflight: HashMap<Arc<RequestKey>, Arc<DedupeGroup>>,
+}
+
 /// The scheduling heart shared by the long-lived [`EngineService`]
 /// (Arc'd workers) and the scoped [`Engine::evaluate_batch`] wrapper
 /// (borrowing workers): a bounded `Mutex + Condvar` priority queue with
-/// backpressure, deadlines, and rolling metrics. Engine-agnostic — the
-/// engine is passed to [`worker_loop`], which is what lets one core
-/// serve both ownership models.
+/// backpressure, eager deadlines, result caching + dedupe, and rolling
+/// metrics. Engine-agnostic — the engine is passed to [`worker_loop`],
+/// which is what lets one core serve both ownership models.
 pub(crate) struct ServiceCore<'a> {
     workers: usize,
     queue_capacity: usize,
@@ -442,8 +541,14 @@ pub(crate) struct ServiceCore<'a> {
     queue: Mutex<QueueState<'a>>,
     /// Workers wait here for jobs (or shutdown).
     jobs: Condvar,
-    /// Blocked submitters wait here for queue space (or shutdown).
+    /// Blocked submitters wait here for queue space (or shutdown, or the
+    /// earliest queued deadline — whichever comes first).
     space: Condvar,
+    /// `None` when `cache_capacity == 0`: no caching, no dedupe.
+    cached: Option<Mutex<CacheLayer>>,
+    /// Ticket ids, also the FIFO tie-break; atomic so cache hits and
+    /// dedupe attaches can mint ids without the queue lock.
+    ticket_ids: AtomicU64,
     /// Arc'd so [`Ticket`]s can count winning cancellations without
     /// holding (and thereby lifetime-infecting themselves with) the core.
     metrics: Arc<Mutex<MetricsInner>>,
@@ -460,40 +565,191 @@ impl<'a> ServiceCore<'a> {
             latency_window: config.latency_window.max(1),
             queue: Mutex::new(QueueState {
                 heap: BinaryHeap::new(),
-                next_seq: 0,
                 stopping: false,
                 in_flight: 0,
             }),
             jobs: Condvar::new(),
             space: Condvar::new(),
+            cached: (config.cache_capacity > 0).then(|| {
+                Mutex::new(CacheLayer {
+                    cache: ResultCache::new(config.cache_capacity, config.cache_max_bytes),
+                    inflight: HashMap::new(),
+                })
+            }),
+            ticket_ids: AtomicU64::new(0),
             metrics: Arc::new(Mutex::new(MetricsInner::default())),
             started: Instant::now(),
         }
     }
 
-    /// Enqueue a request (owned and detached from the service path,
-    /// borrowed from the scoped batch path), honoring the backpressure
-    /// policy.
+    /// Mint a fresh queued ticket (and its shared oneshot).
+    fn new_ticket(&self) -> (Ticket, Arc<TicketShared>) {
+        let shared = Arc::new(TicketShared {
+            state: Mutex::new(TicketState::Queued),
+            done: Condvar::new(),
+        });
+        let ticket = Ticket {
+            seq: self.ticket_ids.fetch_add(1, AtomicOrdering::Relaxed),
+            shared: Arc::clone(&shared),
+            metrics: Arc::clone(&self.metrics),
+        };
+        (ticket, shared)
+    }
+
+    /// Resolve expired members (their own [`MpqError::DeadlineExceeded`])
+    /// and drop members already resolved elsewhere (cancelled). Caller
+    /// holds the group lock.
+    fn prune_members_locked(&self, group: &mut GroupState, now: Instant) {
+        group.members.retain(|member| {
+            let mut state = lock(&member.ticket.state);
+            match *state {
+                TicketState::Done(_) | TicketState::Claimed => false,
+                TicketState::Queued => {
+                    if member.deadline.is_some_and(|d| now > d) {
+                        *state = TicketState::Done(Err(MpqError::DeadlineExceeded));
+                        // Count before notifying so a woken waiter
+                        // observes the metrics update.
+                        lock(&self.metrics).expired += 1;
+                        drop(state);
+                        member.ticket.done.notify_all();
+                        false
+                    } else {
+                        true
+                    }
+                }
+            }
+        });
+    }
+
+    /// Prune a job's members; `false` means the job is dead (no live
+    /// member remains) and its group has been closed.
+    fn prune_group(&self, group: &DedupeGroup, now: Instant) -> bool {
+        let mut state = lock(&group.state);
+        self.prune_members_locked(&mut state, now);
+        if state.members.is_empty() {
+            state.open = false;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Sweep every dead job (all members resolved or expired) out of the
+    /// queue, freeing its slot immediately. Returns the number of slots
+    /// freed. Caller holds the queue lock.
+    fn sweep_expired_locked(&self, queue: &mut QueueState<'a>, now: Instant) -> usize {
+        let before = queue.heap.len();
+        let mut dead: Vec<Arc<DedupeGroup>> = Vec::new();
+        queue.heap.retain(|entry| {
+            let live = self.prune_group(&entry.job.group, now);
+            if !live {
+                dead.push(Arc::clone(&entry.job.group));
+            }
+            live
+        });
+        for group in &dead {
+            self.release_inflight(group);
+        }
+        before - queue.heap.len()
+    }
+
+    /// The earliest deadline of any live queued member — when a blocked
+    /// submitter should wake to sweep, absent other traffic. Caller
+    /// holds the queue lock.
+    fn earliest_deadline_locked(&self, queue: &QueueState<'a>) -> Option<Instant> {
+        let mut earliest: Option<Instant> = None;
+        for entry in queue.heap.iter() {
+            let state = lock(&entry.job.group.state);
+            for member in &state.members {
+                let Some(deadline) = member.deadline else {
+                    continue;
+                };
+                if matches!(*lock(&member.ticket.state), TicketState::Queued) {
+                    earliest = Some(earliest.map_or(deadline, |e| e.min(deadline)));
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Unregister `group` from the in-flight dedupe index (if it is
+    /// still the registered group for its key).
+    fn release_inflight(&self, group: &Arc<DedupeGroup>) {
+        let (Some(key), Some(cached)) = (&group.key, &self.cached) else {
+            return;
+        };
+        let mut layer = lock(cached);
+        if layer
+            .inflight
+            .get(key)
+            .is_some_and(|g| Arc::ptr_eq(g, group))
+        {
+            layer.inflight.remove(key);
+        }
+    }
+
+    /// Enqueue a request with no cache identity (the batch path, or a
+    /// service with caching disabled).
     pub(crate) fn enqueue(
         &self,
         functions: Cow<'a, FunctionSet>,
         options: Cow<'a, RequestOptions>,
         submit: SubmitOptions,
     ) -> Result<Ticket, MpqError> {
-        let now = Instant::now();
-        let shared = Arc::new(TicketShared {
-            state: Mutex::new(TicketState::Queued),
-            done: Condvar::new(),
+        let group = Arc::new(DedupeGroup {
+            key: None,
+            priority: submit.priority,
+            state: Mutex::new(GroupState {
+                open: true,
+                members: Vec::new(),
+            }),
         });
-        let seq;
+        self.enqueue_with_group(functions, options, submit, group)
+    }
+
+    /// Enqueue a request whose fan-out group is already prepared (and,
+    /// for keyed jobs, registered in the in-flight index), honoring the
+    /// backpressure policy. The submitting ticket joins the group only
+    /// once the queue admits the job.
+    fn enqueue_with_group(
+        &self,
+        functions: Cow<'a, FunctionSet>,
+        options: Cow<'a, RequestOptions>,
+        submit: SubmitOptions,
+        group: Arc<DedupeGroup>,
+    ) -> Result<Ticket, MpqError> {
+        if self.ordering == QueueOrdering::Fifo && submit.priority != 0 {
+            return Err(MpqError::UnsupportedRequest(FIFO_PRIORITY_MSG));
+        }
+        let now = Instant::now();
+        let (ticket, shared) = self.new_ticket();
+        // An unrepresentable deadline (now + huge) means "no deadline",
+        // mirroring Ticket::wait_timeout's overflow stance.
+        let deadline = submit.deadline.and_then(|d| now.checked_add(d));
         {
             let mut queue = lock(&self.queue);
             loop {
                 if queue.stopping {
                     return Err(MpqError::ServiceStopped);
                 }
+                // While this leader is blocked its group is already
+                // attachable (it is registered in the in-flight index
+                // but in no heap entry), so the queue sweeps cannot see
+                // its followers: expire them here, or their deadlines
+                // would silently stall until the job finally enqueues.
+                {
+                    let mut state = lock(&group.state);
+                    self.prune_members_locked(&mut state, Instant::now());
+                }
                 if queue.heap.len() < self.queue_capacity {
                     break;
+                }
+                // Submit-side pressure: sweep expired jobs before
+                // blocking or shedding — a queue full of dead work must
+                // not stall live traffic.
+                if self.sweep_expired_locked(&mut queue, Instant::now()) > 0 {
+                    self.space.notify_all();
+                    continue;
                 }
                 match self.backpressure {
                     BackpressurePolicy::Reject => {
@@ -501,28 +757,59 @@ impl<'a> ServiceCore<'a> {
                         return Err(MpqError::Overloaded);
                     }
                     BackpressurePolicy::Block => {
-                        queue = self
-                            .space
-                            .wait(queue)
-                            .unwrap_or_else(PoisonError::into_inner);
+                        // Wake on freed space *or* when the earliest
+                        // deadline lapses — among queued jobs AND this
+                        // group's own attached followers — whichever
+                        // comes first, then re-sweep. This is what lets
+                        // a blocked submitter unblock (and its
+                        // followers expire) without any worker ever
+                        // popping the dead jobs.
+                        let own = {
+                            let state = lock(&group.state);
+                            state
+                                .members
+                                .iter()
+                                .filter(|m| matches!(*lock(&m.ticket.state), TicketState::Queued))
+                                .filter_map(|m| m.deadline)
+                                .min()
+                        };
+                        let wake = match (self.earliest_deadline_locked(&queue), own) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, b) => a.or(b),
+                        };
+                        queue = match wake {
+                            Some(wake) => {
+                                let wait = wake
+                                    .saturating_duration_since(Instant::now())
+                                    .max(MIN_DEADLINE_WAIT);
+                                self.space
+                                    .wait_timeout(queue, wait)
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .0
+                            }
+                            None => self
+                                .space
+                                .wait(queue)
+                                .unwrap_or_else(PoisonError::into_inner),
+                        };
                     }
                 }
             }
-            seq = queue.next_seq;
-            queue.next_seq += 1;
-            let priority = match self.ordering {
-                QueueOrdering::Fifo => 0,
-                QueueOrdering::Priority => submit.priority,
-            };
+            {
+                let mut state = lock(&group.state);
+                state.members.push(Member {
+                    ticket: Arc::clone(&shared),
+                    deadline,
+                    submitted: now,
+                });
+            }
             queue.heap.push(QueuedJob {
-                priority,
-                seq,
+                priority: submit.priority,
+                seq: ticket.seq,
                 job: Job {
                     functions,
                     options,
-                    deadline: submit.deadline.map(|d| now + d),
-                    submitted: now,
-                    ticket: Arc::clone(&shared),
+                    group,
                 },
             });
             // Count while the job is provably in the queue (and before
@@ -531,18 +818,149 @@ impl<'a> ServiceCore<'a> {
             lock(&self.metrics).submitted += 1;
         }
         self.jobs.notify_one();
-        Ok(Ticket {
-            seq,
-            shared,
-            metrics: Arc::clone(&self.metrics),
-        })
+        Ok(ticket)
+    }
+
+    /// The full service submission path: consult the result cache, then
+    /// the in-flight index (attach to an identical queued/running job),
+    /// and only then pay a queue slot. `version` is the submitting
+    /// engine's [`Engine::inventory_version`] — cache entries from any
+    /// other inventory are misses.
+    pub(crate) fn submit_owned(
+        &self,
+        functions: FunctionSet,
+        options: RequestOptions,
+        submit: SubmitOptions,
+        version: u64,
+    ) -> Result<Ticket, MpqError> {
+        if self.ordering == QueueOrdering::Fifo && submit.priority != 0 {
+            return Err(MpqError::UnsupportedRequest(FIFO_PRIORITY_MSG));
+        }
+        // The post-shutdown contract holds for every path, including a
+        // would-be cache hit: a stopped service accepts nothing.
+        if lock(&self.queue).stopping {
+            return Err(MpqError::ServiceStopped);
+        }
+        let Some(cached) = &self.cached else {
+            return self.enqueue(Cow::Owned(functions), Cow::Owned(options), submit);
+        };
+        let start = Instant::now();
+        let key = request_key(&functions, &options);
+        let group = {
+            let mut layer = lock(cached);
+            if let Some(matching) = layer.cache.get(&key, version) {
+                // Hit: resolve a ticket on the spot — no queue slot, no
+                // worker, bit-identical result by construction.
+                let (ticket, shared) = self.new_ticket();
+                *lock(&shared.state) = TicketState::Done(Ok(matching));
+                let mut metrics = lock(&self.metrics);
+                metrics.submitted += 1;
+                metrics.completed += 1;
+                metrics.latencies.push_back(start.elapsed());
+                while metrics.latencies.len() > self.latency_window {
+                    metrics.latencies.pop_front();
+                }
+                return Ok(ticket);
+            }
+            if let Some(group) = layer.inflight.get(&key) {
+                // A higher-priority duplicate must not quietly inherit
+                // the queued job's lower priority: it pays its own
+                // (correctly ordered) evaluation instead of attaching.
+                let attachable = submit.priority <= group.priority;
+                let mut state = lock(&group.state);
+                if state.open && attachable {
+                    // Identical job already queued or running: attach.
+                    // The member keeps its own deadline and can be
+                    // cancelled without touching its siblings.
+                    let (ticket, shared) = self.new_ticket();
+                    let deadline = submit.deadline.and_then(|d| start.checked_add(d));
+                    state.members.push(Member {
+                        ticket: shared,
+                        deadline,
+                        submitted: start,
+                    });
+                    drop(state);
+                    {
+                        let mut metrics = lock(&self.metrics);
+                        metrics.submitted += 1;
+                        metrics.dedupe_attaches += 1;
+                    }
+                    if deadline.is_some() {
+                        // A blocked submitter may be parked in an
+                        // *untimed* wait computed before this deadline
+                        // existed: nudge it so it re-derives its wake
+                        // instant (and can later sweep this member).
+                        self.space.notify_all();
+                    }
+                    return Ok(ticket);
+                }
+                // Closed (a worker claimed it, or it died wholesale):
+                // fall through and start a fresh job; the insert below
+                // replaces the stale index entry.
+            }
+            let key = Arc::new(key);
+            let group = Arc::new(DedupeGroup {
+                key: Some(Arc::clone(&key)),
+                priority: submit.priority,
+                state: Mutex::new(GroupState {
+                    open: true,
+                    members: Vec::new(),
+                }),
+            });
+            layer.inflight.insert(key, Arc::clone(&group));
+            group
+        };
+        match self.enqueue_with_group(
+            Cow::Owned(functions),
+            Cow::Owned(options),
+            submit,
+            Arc::clone(&group),
+        ) {
+            Ok(ticket) => Ok(ticket),
+            Err(e) => {
+                // The leader was refused (Overloaded / ServiceStopped):
+                // unregister the group and fail any follower that
+                // attached while the leader was blocked at a full queue
+                // — their evaluation will never run.
+                self.release_inflight(&group);
+                let members = {
+                    let mut state = lock(&group.state);
+                    state.open = false;
+                    std::mem::take(&mut state.members)
+                };
+                for member in members {
+                    let mut state = lock(&member.ticket.state);
+                    if matches!(*state, TicketState::Queued) {
+                        *state = TicketState::Done(Err(e.clone()));
+                        drop(state);
+                        member.ticket.done.notify_all();
+                    }
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Worker side: block for the next job. `None` means the service is
     /// stopping *and* the queue has drained — the worker should exit.
+    /// Expired heads are purged (resolved and dropped) eagerly on the
+    /// way, freeing their slots without a worker committing to them.
     fn next_job(&self) -> Option<Job<'a>> {
         let mut queue = lock(&self.queue);
         loop {
+            let now = Instant::now();
+            let mut freed = 0usize;
+            while let Some(top) = queue.heap.peek() {
+                if self.prune_group(&top.job.group, now) {
+                    break;
+                }
+                let entry = queue.heap.pop().expect("just peeked a head");
+                self.release_inflight(&entry.job.group);
+                freed += 1;
+            }
+            if freed > 0 {
+                self.space.notify_all();
+            }
             if let Some(entry) = queue.heap.pop() {
                 queue.in_flight += 1;
                 drop(queue);
@@ -560,57 +978,58 @@ impl<'a> ServiceCore<'a> {
     }
 
     /// Run one popped job to resolution on `engine`, then release its
-    /// in-flight slot.
+    /// in-flight slot: close the group, expire lapsed members, evaluate
+    /// once, publish to the cache, fan the result out to every surviving
+    /// member.
     fn execute(&self, engine: &Engine, job: Job<'_>, scratch: &mut Scratch) {
-        // Claim the ticket: Queued → Running, unless a queue-side
-        // cancellation already resolved it or the deadline lapsed.
-        let claimed = {
-            let mut state = lock(&job.ticket.state);
-            match *state {
-                TicketState::Queued => {
-                    if job.deadline.is_some_and(|d| Instant::now() > d) {
-                        *state = TicketState::Done(Err(MpqError::DeadlineExceeded));
-                        // Count before notifying so a woken waiter
-                        // observes the metrics update.
-                        lock(&self.metrics).expired += 1;
-                        drop(state);
-                        job.ticket.done.notify_all();
-                        false
-                    } else {
-                        *state = TicketState::Running;
-                        true
-                    }
-                }
-                // Cancelled while queued (already resolved + counted) —
-                // possibly with the Cancelled result already claimed by
-                // a waiter before the worker reached the stale job.
-                TicketState::Done(_) | TicketState::Claimed => false,
-                TicketState::Running | TicketState::CancelPending => {
-                    unreachable!("a queued job is claimed exactly once")
-                }
-            }
+        // Claim: close the group first so an identical submission
+        // arriving from here on starts a fresh job instead of racing the
+        // fan-out; then expire members whose deadline lapsed before
+        // evaluation could start.
+        let now = Instant::now();
+        let members = {
+            let mut state = lock(&job.group.state);
+            state.open = false;
+            self.prune_members_locked(&mut state, now);
+            std::mem::take(&mut state.members)
         };
 
-        if claimed {
-            // A panicking evaluation must not leave the ticket
-            // unresolved (its waiter would block forever) nor take the
-            // worker down with it.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                evaluate_options(engine, &job.functions, &job.options, scratch)
-            }))
-            .unwrap_or_else(|_| {
-                // The scratch may have been mid-mutation; replace it.
-                *scratch = Scratch::new();
-                lock(&self.metrics).panicked += 1;
-                Err(MpqError::WorkerPanicked)
-            });
+        if members.is_empty() {
+            // Cancelled or expired wholesale: nothing left to serve.
+            self.release_inflight(&job.group);
+            lock(&self.queue).in_flight -= 1;
+            return;
+        }
 
-            let latency = job.submitted.elapsed();
+        // A panicking evaluation must not leave any member unresolved
+        // (its waiter would block forever) nor take the worker down.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            evaluate_options(engine, &job.functions, &job.options, scratch)
+        }))
+        .unwrap_or_else(|_| {
+            // The scratch may have been mid-mutation; replace it.
+            *scratch = Scratch::new();
+            lock(&self.metrics).panicked += 1;
+            Err(MpqError::WorkerPanicked)
+        });
+
+        // Publish to the cache *before* resolving any ticket: a caller
+        // that observed its ticket resolve and immediately resubmits
+        // must hit.
+        if let (Some(key), Some(cached), Ok(matching)) = (&job.group.key, &self.cached, &result) {
+            lock(cached)
+                .cache
+                .insert(key, engine.inventory_version(), matching);
+        }
+        self.release_inflight(&job.group);
+
+        for member in members {
+            let latency = member.submitted.elapsed();
             {
-                let mut state = lock(&job.ticket.state);
+                let mut state = lock(&member.ticket.state);
                 match *state {
-                    TicketState::Running => {
-                        *state = TicketState::Done(result);
+                    TicketState::Queued => {
+                        *state = TicketState::Done(result.clone());
                         // Count before notifying (still under the state
                         // lock, which every metrics taker acquires
                         // first) so a woken waiter observes the update.
@@ -621,15 +1040,13 @@ impl<'a> ServiceCore<'a> {
                             metrics.latencies.pop_front();
                         }
                     }
-                    // cancel() won mid-run (and counted itself):
-                    // discard the computed result.
-                    TicketState::CancelPending => {
-                        *state = TicketState::Done(Err(MpqError::Cancelled));
-                    }
-                    _ => unreachable!("only the owning worker resolves a running ticket"),
+                    // Cancelled while we evaluated (and counted): this
+                    // member's resolution stands; the result is
+                    // discarded for them.
+                    TicketState::Done(_) | TicketState::Claimed => {}
                 }
             }
-            job.ticket.done.notify_all();
+            member.ticket.done.notify_all();
         }
 
         lock(&self.queue).in_flight -= 1;
@@ -650,7 +1067,12 @@ impl<'a> ServiceCore<'a> {
             let queue = lock(&self.queue);
             (queue.heap.len(), queue.in_flight)
         };
+        let mut cache = match &self.cached {
+            None => CacheMetrics::default(),
+            Some(cached) => lock(cached).cache.metrics(),
+        };
         let metrics = lock(&self.metrics);
+        cache.attaches = metrics.dedupe_attaches;
         let mut sorted: Vec<Duration> = metrics.latencies.iter().copied().collect();
         sorted.sort_unstable();
         ServiceMetrics {
@@ -663,6 +1085,7 @@ impl<'a> ServiceCore<'a> {
             rejected: metrics.rejected,
             expired: metrics.expired,
             panicked: metrics.panicked,
+            cache,
             uptime: self.started.elapsed(),
             p50_latency: percentile(&sorted, 0.50),
             p99_latency: percentile(&sorted, 0.99),
@@ -705,19 +1128,24 @@ pub struct ServiceMetrics {
     pub queue_depth: usize,
     /// Requests currently being evaluated.
     pub in_flight: usize,
-    /// Accepted submissions since spawn.
+    /// Accepted submissions since spawn (including cache hits and
+    /// dedupe attaches).
     pub submitted: u64,
-    /// Successfully resolved evaluations since spawn (excludes
-    /// cancellations and deadline expiries).
+    /// Successfully resolved requests since spawn (excludes
+    /// cancellations and deadline expiries; includes cache hits and
+    /// every submission served through a dedupe fan-out).
     pub completed: u64,
-    /// Cancellations that won (queued or mid-run) since spawn.
+    /// Cancellations that won since spawn.
     pub cancelled: u64,
     /// Submissions rejected by [`BackpressurePolicy::Reject`].
     pub rejected: u64,
-    /// Requests whose deadline lapsed in the queue.
+    /// Requests whose deadline lapsed before evaluation started.
     pub expired: u64,
     /// Evaluations lost to a worker panic.
     pub panicked: u64,
+    /// Result-cache and dedupe counters (all zero when caching is
+    /// disabled — see [`CacheMetrics::enabled`]).
+    pub cache: CacheMetrics,
     /// Time since the service was spawned.
     pub uptime: Duration,
     /// Median submit→resolve latency over the rolling window.
@@ -747,6 +1175,21 @@ impl std::fmt::Display for ServiceMetrics {
             "submitted {}  completed {}  cancelled {}  rejected {}  expired {}",
             self.submitted, self.completed, self.cancelled, self.rejected, self.expired
         )?;
+        if self.cache.enabled {
+            writeln!(
+                f,
+                "cache hits {}  misses {}  attaches {}  evictions {}  hit-rate {:.1}%  ({} entries, {} KiB)",
+                self.cache.hits,
+                self.cache.misses,
+                self.cache.attaches,
+                self.cache.evictions,
+                self.cache.hit_rate() * 100.0,
+                self.cache.entries,
+                self.cache.bytes / 1024
+            )?;
+        } else {
+            writeln!(f, "cache disabled")?;
+        }
         write!(
             f,
             "throughput {:.2} req/s  latency p50 {:.3}ms  p99 {:.3}ms",
@@ -895,8 +1338,11 @@ impl ServiceClient {
 
     /// Submit a request with a deadline and/or priority. The request is
     /// validated *now* — shape errors surface to the submitter instead
-    /// of travelling to a worker — then detached (owned function-set
-    /// copy + options) and enqueued under the backpressure policy.
+    /// of travelling to a worker — then served from the result cache if
+    /// an identical request already completed against this inventory,
+    /// attached to an identical queued/running job if one is in flight,
+    /// and only otherwise detached (owned function-set copy + options)
+    /// and enqueued under the backpressure policy.
     pub fn submit_with(
         &self,
         request: MatchRequest<'_, '_>,
@@ -909,8 +1355,12 @@ impl ServiceClient {
         }
         request.validate()?;
         let (functions, request_options) = request.owned_parts();
-        self.core
-            .enqueue(Cow::Owned(functions), Cow::Owned(request_options), options)
+        self.core.submit_owned(
+            functions,
+            request_options,
+            options,
+            self.engine.inventory_version(),
+        )
     }
 
     /// Snapshot the rolling [`ServiceMetrics`].
@@ -966,6 +1416,7 @@ mod tests {
             rejected: 0,
             expired: 0,
             panicked: 0,
+            cache: CacheMetrics::default(),
             uptime: Duration::ZERO,
             p50_latency: Duration::ZERO,
             p99_latency: Duration::ZERO,
@@ -978,6 +1429,9 @@ mod tests {
         m.completed = 0;
         assert_eq!(m.requests_per_sec(), 0.0); // 0 / n
         assert!(!m.to_string().contains("NaN"));
+        assert!(m.to_string().contains("cache disabled"));
+        m.cache.enabled = true;
+        assert!(m.to_string().contains("hit-rate"));
     }
 
     #[test]
@@ -991,28 +1445,27 @@ mod tests {
         assert_eq!(percentile(&many, 0.99), Duration::from_millis(99));
     }
 
+    fn test_functions() -> FunctionSet {
+        FunctionSet::from_rows(2, &[vec![0.5, 0.5]])
+    }
+
+    fn uncached_core(config: ServiceConfig) -> Arc<ServiceCore<'static>> {
+        Arc::new(ServiceCore::new(&config.cache_capacity(0), 0))
+    }
+
     #[test]
     fn queue_pops_fifo_and_priority_orders() {
-        use mpq_rtree::PointSet;
-
-        let mut objects = PointSet::new(2);
-        for p in [[0.9_f64, 0.2], [0.2, 0.9], [0.7, 0.7]] {
-            objects.push(&p);
-        }
-        let functions = FunctionSet::from_rows(2, &[vec![0.5, 0.5]]);
-
         // No workers: enqueue, then drain the heap directly and observe
         // the pop order deterministically.
         let pops = |ordering: QueueOrdering, priorities: &[i32]| -> Vec<u64> {
-            let core = Arc::new(ServiceCore::new(
-                &ServiceConfig::default()
+            let core = uncached_core(
+                ServiceConfig::default()
                     .ordering(ordering)
                     .queue_capacity(8),
-                1,
-            ));
+            );
             for &p in priorities {
                 core.enqueue(
-                    Cow::Owned(functions.clone()),
+                    Cow::Owned(test_functions()),
                     Cow::Owned(RequestOptions::default()),
                     SubmitOptions::default().priority(p),
                 )
@@ -1027,12 +1480,298 @@ mod tests {
             order
         };
 
-        // FIFO ignores priorities entirely: submission order.
-        assert_eq!(pops(QueueOrdering::Fifo, &[0, 5, 0, 9]), vec![0, 1, 2, 3]);
+        // FIFO pops in submission order (priority 0 only — nonzero is
+        // rejected, tested below).
+        assert_eq!(pops(QueueOrdering::Fifo, &[0, 0, 0, 0]), vec![0, 1, 2, 3]);
         // Priority: higher first, FIFO among equals.
         assert_eq!(
             pops(QueueOrdering::Priority, &[0, 5, 0, 9, 5]),
             vec![3, 1, 4, 0, 2]
         );
+    }
+
+    #[test]
+    fn fifo_rejects_nonzero_priority_instead_of_pinning_it() {
+        let core = uncached_core(ServiceConfig::default());
+        let err = core
+            .enqueue(
+                Cow::Owned(test_functions()),
+                Cow::Owned(RequestOptions::default()),
+                SubmitOptions::default().priority(3),
+            )
+            .unwrap_err();
+        assert!(matches!(err, MpqError::UnsupportedRequest(_)), "{err:?}");
+        // Nothing was accepted: the caller must not believe it bought a
+        // priority the queue would silently discard.
+        assert_eq!(lock(&core.metrics).submitted, 0);
+        assert_eq!(lock(&core.queue).heap.len(), 0);
+        // The keyed submission path refuses identically.
+        let err = core
+            .submit_owned(
+                test_functions(),
+                RequestOptions::default(),
+                SubmitOptions::default().priority(-1),
+                1,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MpqError::UnsupportedRequest(_)), "{err:?}");
+        // Priority 0 is the FIFO-legal spelling and still enqueues.
+        core.enqueue(
+            Cow::Owned(test_functions()),
+            Cow::Owned(RequestOptions::default()),
+            SubmitOptions::default().priority(0),
+        )
+        .unwrap();
+        assert_eq!(lock(&core.queue).heap.len(), 1);
+    }
+
+    #[test]
+    fn wait_timeout_duration_max_means_wait_forever_not_instant_return() {
+        // Duration::MAX overflows Instant::now() + timeout; the intended
+        // semantics are "wait forever", not "return the ticket
+        // immediately" (and certainly not a panic).
+        let shared = Arc::new(TicketShared {
+            state: Mutex::new(TicketState::Queued),
+            done: Condvar::new(),
+        });
+        let ticket = Ticket {
+            seq: 0,
+            shared: Arc::clone(&shared),
+            metrics: Arc::new(Mutex::new(MetricsInner::default())),
+        };
+        let resolver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            *lock(&shared.state) = TicketState::Done(Err(MpqError::Cancelled));
+            shared.done.notify_all();
+        });
+        // Before the fix pattern, this would return Err(ticket) at once
+        // (checked_add = None treated as an already-lapsed deadline).
+        let result = ticket.wait_timeout(Duration::MAX);
+        resolver.join().unwrap();
+        match result {
+            Ok(inner) => assert_eq!(inner.unwrap_err(), MpqError::Cancelled),
+            Err(_) => panic!("Duration::MAX must wait for the result, not return the ticket"),
+        }
+    }
+
+    /// Regression for the lazy-expiry bug: a queue full of jobs whose
+    /// deadlines already lapsed must not block a `Block`-mode submitter
+    /// until a worker drains to them. There are NO workers here at all —
+    /// the submitter itself sweeps the dead jobs and takes a freed slot.
+    #[test]
+    fn block_submitter_unblocks_on_expired_queue_without_any_worker() {
+        let core = uncached_core(ServiceConfig::default().queue_capacity(2));
+        let dead: Vec<Ticket> = (0..2)
+            .map(|_| {
+                core.enqueue(
+                    Cow::Owned(test_functions()),
+                    Cow::Owned(RequestOptions::default()),
+                    SubmitOptions::default().deadline(Duration::ZERO),
+                )
+                .unwrap()
+            })
+            .collect();
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let blocked_core = Arc::clone(&core);
+        std::thread::spawn(move || {
+            let ticket = blocked_core.enqueue(
+                Cow::Owned(test_functions()),
+                Cow::Owned(RequestOptions::default()),
+                SubmitOptions::default(),
+            );
+            tx.send(ticket).unwrap();
+        });
+        let accepted = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("submit must unblock by sweeping the expired jobs — no worker exists")
+            .expect("swept slots admit the live submission");
+        assert!(!accepted.is_done(), "the live job is queued, not served");
+
+        // The swept jobs resolved to DeadlineExceeded without any worker.
+        for ticket in dead {
+            assert_eq!(ticket.wait().unwrap_err(), MpqError::DeadlineExceeded);
+        }
+        assert_eq!(lock(&core.metrics).expired, 2);
+        assert_eq!(lock(&core.queue).heap.len(), 1, "only the live job remains");
+    }
+
+    /// Same regression through the timed-wait path: the deadlines lapse
+    /// only *after* the submitter has started blocking, so it must wake
+    /// itself on the earliest queued deadline and sweep.
+    #[test]
+    fn block_submitter_wakes_itself_when_queued_deadlines_lapse() {
+        let core = uncached_core(ServiceConfig::default().queue_capacity(1));
+        let dead = core
+            .enqueue(
+                Cow::Owned(test_functions()),
+                Cow::Owned(RequestOptions::default()),
+                SubmitOptions::default().deadline(Duration::from_millis(60)),
+            )
+            .unwrap();
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let blocked_core = Arc::clone(&core);
+        let start = Instant::now();
+        std::thread::spawn(move || {
+            let ticket = blocked_core.enqueue(
+                Cow::Owned(test_functions()),
+                Cow::Owned(RequestOptions::default()),
+                SubmitOptions::default(),
+            );
+            tx.send(ticket).unwrap();
+        });
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("submitter must self-wake at the queued job's deadline")
+            .expect("the freed slot admits the live submission");
+        // Not a proof of promptness, but it must beat the 10s hang by a
+        // wide margin: the wake-up is scheduled at the 60ms deadline.
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(dead.wait().unwrap_err(), MpqError::DeadlineExceeded);
+    }
+
+    /// Under priority ordering, a higher-priority duplicate must not
+    /// quietly inherit a queued twin's lower priority by attaching to
+    /// it: it starts its own, correctly ordered job. Equal or lower
+    /// priorities still dedupe.
+    #[test]
+    fn higher_priority_duplicate_does_not_attach_to_a_lower_priority_job() {
+        let core = Arc::new(ServiceCore::new(
+            &ServiceConfig::default()
+                .ordering(QueueOrdering::Priority)
+                .queue_capacity(8),
+            0,
+        ));
+        let low = core
+            .submit_owned(
+                test_functions(),
+                RequestOptions::default(),
+                SubmitOptions::default().priority(0),
+                1,
+            )
+            .unwrap();
+        // Identical request, higher priority: its own heap entry.
+        let high = core
+            .submit_owned(
+                test_functions(),
+                RequestOptions::default(),
+                SubmitOptions::default().priority(10),
+                1,
+            )
+            .unwrap();
+        assert_eq!(lock(&core.queue).heap.len(), 2);
+        assert_eq!(lock(&core.metrics).dedupe_attaches, 0);
+        // Identical request, lower priority than the (now registered)
+        // priority-10 job: attaches — it only ever pops *sooner* than
+        // it paid for, never later.
+        let _attached = core
+            .submit_owned(
+                test_functions(),
+                RequestOptions::default(),
+                SubmitOptions::default().priority(5),
+                1,
+            )
+            .unwrap();
+        assert_eq!(lock(&core.queue).heap.len(), 2);
+        assert_eq!(lock(&core.metrics).dedupe_attaches, 1);
+        // The higher-priority twin pops first.
+        let first = lock(&core.queue).heap.pop().unwrap().seq;
+        assert_eq!(first, high.id());
+        let second = lock(&core.queue).heap.pop().unwrap().seq;
+        assert_eq!(second, low.id());
+    }
+
+    /// A follower attached to a leader that is itself *blocked* at a
+    /// full queue lives in no heap entry, so the queue sweeps cannot see
+    /// it: the blocked leader must expire it. No workers exist here.
+    #[test]
+    fn follower_of_a_blocked_leader_still_expires() {
+        let core = Arc::new(ServiceCore::new(
+            &ServiceConfig::default().queue_capacity(1),
+            0,
+        ));
+        // A *distinct* (keyless) job occupies the only slot forever.
+        core.enqueue(
+            Cow::Owned(FunctionSet::from_rows(2, &[vec![0.9, 0.1]])),
+            Cow::Owned(RequestOptions::default()),
+            SubmitOptions::default(),
+        )
+        .unwrap();
+
+        // The leader blocks at the full queue — after registering its
+        // group in the in-flight index.
+        let leader_core = Arc::clone(&core);
+        let leader = std::thread::spawn(move || {
+            leader_core.submit_owned(
+                test_functions(),
+                RequestOptions::default(),
+                SubmitOptions::default(),
+                1,
+            )
+        });
+        let registered = |core: &ServiceCore<'static>| {
+            core.cached
+                .as_ref()
+                .is_some_and(|c| !lock(c).inflight.is_empty())
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !registered(&core) {
+            assert!(Instant::now() < deadline, "leader never registered");
+            std::thread::yield_now();
+        }
+
+        // Attach a zero-budget follower: only the blocked leader can
+        // expire it, and must.
+        let follower = core
+            .submit_owned(
+                test_functions(),
+                RequestOptions::default(),
+                SubmitOptions::default().deadline(Duration::ZERO),
+                1,
+            )
+            .unwrap();
+        assert_eq!(lock(&core.metrics).dedupe_attaches, 1);
+        assert_eq!(
+            follower.wait().unwrap_err(),
+            MpqError::DeadlineExceeded,
+            "the blocked leader must prune its own followers"
+        );
+
+        // Release the parked leader and fold the thread.
+        core.begin_shutdown();
+        assert_eq!(
+            leader.join().unwrap().unwrap_err(),
+            MpqError::ServiceStopped
+        );
+    }
+
+    /// Reject mode sweeps expired jobs before shedding: a queue full of
+    /// dead work must not 429 live traffic.
+    #[test]
+    fn reject_mode_sweeps_expired_jobs_before_shedding() {
+        let core = uncached_core(
+            ServiceConfig::default()
+                .queue_capacity(1)
+                .backpressure(BackpressurePolicy::Reject),
+        );
+        let dead = core
+            .enqueue(
+                Cow::Owned(test_functions()),
+                Cow::Owned(RequestOptions::default()),
+                SubmitOptions::default().deadline(Duration::ZERO),
+            )
+            .unwrap();
+        // Queue is "full" — but only of an expired job, so this must be
+        // accepted, not rejected.
+        let live = core
+            .enqueue(
+                Cow::Owned(test_functions()),
+                Cow::Owned(RequestOptions::default()),
+                SubmitOptions::default(),
+            )
+            .expect("sweep must free the slot before the reject verdict");
+        assert_eq!(dead.wait().unwrap_err(), MpqError::DeadlineExceeded);
+        assert!(!live.is_done());
+        assert_eq!(lock(&core.metrics).rejected, 0);
     }
 }

@@ -44,7 +44,9 @@ fn main() {
     // The blessed serving entry point: a worker pool behind a bounded
     // submission queue. Queue depth 32 + block backpressure = natural
     // rate limiting for in-process producers.
-    let service = engine.serve(ServiceConfig::default().workers(4).queue_capacity(32));
+    let service = engine
+        .clone()
+        .serve(ServiceConfig::default().workers(4).queue_capacity(32));
     println!("service: {} workers", service.workers());
 
     // Three front-end threads, each streaming its own request mix.
@@ -107,6 +109,40 @@ fn main() {
         let (p, algo, confirmed) = producer.join().unwrap();
         println!("producer {p} ({algo}): {confirmed} assignments confirmed");
     }
+
+    // Repeat-heavy traffic: the same search form submitted over and
+    // over. The first submission evaluates; every identical one after
+    // it is a cache hit (or an in-flight dedupe attach) — bit-identical
+    // result, no second evaluation.
+    let popular = WorkloadBuilder::new()
+        .objects(1)
+        .functions(40)
+        .dim(3)
+        .seed(7_777)
+        .build()
+        .functions;
+    let evals_before = engine.evaluation_count();
+    let first = client
+        .submit(client.engine().request(&popular))
+        .unwrap()
+        .wait()
+        .unwrap();
+    for _ in 0..9 {
+        let repeat = client
+            .submit(client.engine().request(&popular))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(repeat.sorted_pairs(), first.sorted_pairs());
+    }
+    let m = client.metrics();
+    println!(
+        "popular request x10: {} evaluation(s), {} cache hits, {} attaches (hit rate {:.0}%)",
+        engine.evaluation_count() - evals_before,
+        m.cache.hits,
+        m.cache.attaches,
+        m.cache.hit_rate() * 100.0
+    );
 
     // Graceful shutdown: drains anything still queued, joins workers.
     // Snapshotting after the drain makes the queue/in-flight gauges

@@ -100,6 +100,10 @@
 //! blockable, cancellable [`core::Ticket`]s, with per-request deadlines,
 //! bounded-queue backpressure (block or reject), FIFO/priority ordering,
 //! graceful draining shutdown and rolling [`core::ServiceMetrics`].
+//! Because evaluation is deterministic over an immutable index,
+//! identical requests are served from a bounded, inventory-versioned
+//! [`core::ResultCache`] and deduped while in flight — a repeat
+//! submission costs a lookup, not an evaluation.
 //! `evaluate_batch` still exists — as a submit-all-then-wait wrapper
 //! over the same scheduling core — but new serving code should hold a
 //! service:
@@ -113,11 +117,21 @@
 //! # let functions = FunctionSet::from_rows(2, &[vec![0.5, 0.5]]);
 //!
 //! let engine = Arc::new(Engine::builder().objects(&objects).build().unwrap());
-//! let service = engine.serve(ServiceConfig::default().workers(2));
+//! let service = engine
+//!     .clone()
+//!     .serve(ServiceConfig::default().workers(2).cache_capacity(256));
 //! let client = service.client();
 //! let ticket = client.submit(client.engine().request(&functions)).unwrap();
 //! let matching = ticket.wait().unwrap();
 //! # assert_eq!(matching.len(), 1);
+//!
+//! // An identical request is a cache hit: bit-identical result, no
+//! // second evaluation (the engine's evaluation counter stands still).
+//! let evals = engine.evaluation_count();
+//! let repeat = client.submit(client.engine().request(&functions)).unwrap();
+//! assert_eq!(repeat.wait().unwrap().sorted_pairs(), matching.sorted_pairs());
+//! assert_eq!(engine.evaluation_count(), evals);
+//! assert_eq!(client.metrics().cache.hits, 1);
 //! service.shutdown(); // graceful: drains queued + in-flight work
 //! ```
 
@@ -130,10 +144,10 @@ pub use mpq_ta as ta;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use mpq_core::{
-        Algorithm, BatchMetrics, BatchOutcome, BruteForceMatcher, CapacityMatcher, ChainMatcher,
-        Engine, EngineService, MatchRequest, MatchSession, Matcher, Matching,
-        MonotoneSkylineMatcher, MpqError, Pair, Scratch, ServiceClient, ServiceConfig,
-        ServiceMetrics, SkylineMatcher, Ticket,
+        Algorithm, BatchMetrics, BatchOutcome, BruteForceMatcher, CacheMetrics, CapacityMatcher,
+        ChainMatcher, Engine, EngineService, MatchRequest, MatchSession, Matcher, Matching,
+        MonotoneSkylineMatcher, MpqError, Pair, RequestKey, ResultCache, Scratch, ServiceClient,
+        ServiceConfig, ServiceMetrics, SkylineMatcher, Ticket,
     };
     pub use mpq_datagen::{Distribution, WorkloadBuilder};
     pub use mpq_rtree::{IoSession, PointSet, RTree, RTreeParams};

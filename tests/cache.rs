@@ -1,0 +1,381 @@
+//! Acceptance tests for cross-request result caching and in-flight
+//! dedupe (PR 5): identical submissions pay exactly one evaluation
+//! (observable via [`Engine::evaluation_count`]), every served result is
+//! **bit-identical** to fresh sequential evaluation, cancellation and
+//! deadlines stay per-submission (a follower's fate never touches the
+//! leader), and inventory-version stamping makes cache entries die with
+//! the engine they were computed against.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpq::core::{ResultCache, ServiceConfig, SubmitOptions};
+use mpq::datagen::{Distribution, WorkloadBuilder};
+use mpq::prelude::*;
+use mpq::ta::FunctionSet;
+
+/// A shared inventory sized so one SB evaluation takes long enough
+/// (~10ms release, ~130ms debug) to deterministically occupy a worker
+/// while the test manipulates the queue behind it.
+fn slow_engine() -> Arc<Engine> {
+    let w = WorkloadBuilder::new()
+        .objects(15_000)
+        .functions(1)
+        .dim(3)
+        .distribution(Distribution::AntiCorrelated)
+        .seed(42)
+        .build();
+    Arc::new(Engine::builder().objects(&w.objects).build().unwrap())
+}
+
+/// A heavy request batch for the slow engine.
+fn slow_functions() -> FunctionSet {
+    WorkloadBuilder::new()
+        .objects(1)
+        .functions(150)
+        .dim(3)
+        .seed(43)
+        .build()
+        .functions
+}
+
+/// A small request batch (fast to evaluate); equal seeds produce
+/// bit-identical rows, i.e. identical cache keys.
+fn fast_functions(seed: u64) -> FunctionSet {
+    WorkloadBuilder::new()
+        .objects(1)
+        .functions(10)
+        .dim(3)
+        .seed(seed)
+        .build()
+        .functions
+}
+
+/// Spin until the service reports `in_flight` requests being evaluated
+/// and `queued` requests waiting, or panic after a generous timeout.
+fn await_state(client: &mpq::core::ServiceClient, in_flight: usize, queued: usize) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let m = client.metrics();
+        if m.in_flight == in_flight && m.queue_depth == queued {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "service never reached in_flight={in_flight} queue={queued}; metrics: {m:?}"
+        );
+        std::thread::yield_now();
+    }
+}
+
+fn assert_identical(a: &Matching, b: &Matching, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: pair count");
+    for (x, y) in a.sorted_pairs().iter().zip(b.sorted_pairs()) {
+        assert_eq!(x.fid, y.fid, "{ctx}: fid");
+        assert_eq!(x.oid, y.oid, "{ctx}: oid");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{ctx}: score must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn identical_concurrent_submissions_pay_exactly_one_evaluation() {
+    const N: usize = 6;
+    let engine = slow_engine();
+    let functions = fast_functions(900);
+    let sequential = engine.request(&functions).evaluate().unwrap();
+
+    let service = engine
+        .clone()
+        .serve(ServiceConfig::default().workers(1).queue_capacity(32));
+    let client = service.client();
+
+    // Occupy the single worker so the N identical submissions all land
+    // while their leader is still queued — the deterministic dedupe
+    // window.
+    let slow = slow_functions();
+    let blocker = client.submit(client.engine().request(&slow)).unwrap();
+    await_state(&client, 1, 0);
+
+    let evals_before = engine.evaluation_count();
+    let barrier = Arc::new(std::sync::Barrier::new(N));
+    let tickets: Vec<_> = (0..N)
+        .map(|_| {
+            let client = client.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let functions = fast_functions(900);
+                barrier.wait();
+                client.submit(client.engine().request(&functions)).unwrap()
+            })
+        })
+        .collect();
+    let tickets: Vec<_> = tickets.into_iter().map(|t| t.join().unwrap()).collect();
+
+    assert!(blocker.wait().is_ok());
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let served = ticket.wait().unwrap();
+        assert_identical(&served, &sequential, &format!("deduped submission {i}"));
+    }
+
+    // One evaluation for the blocker was already counted before the
+    // snapshot; the N identical submissions must have added exactly one.
+    assert_eq!(
+        engine.evaluation_count() - evals_before,
+        1,
+        "{N} identical concurrent submissions must share one evaluation"
+    );
+    let m = client.metrics();
+    assert_eq!(m.cache.attaches, N as u64 - 1, "all but the leader attach");
+    assert_eq!(m.completed, N as u64 + 1);
+    service.shutdown();
+}
+
+#[test]
+fn cache_hit_skips_evaluation_and_is_bit_identical() {
+    let engine = slow_engine();
+    let functions = fast_functions(901);
+    let sequential = engine.request(&functions).evaluate().unwrap();
+
+    let service = engine.clone().serve(ServiceConfig::default().workers(1));
+    let client = service.client();
+
+    let first = client
+        .submit(client.engine().request(&functions))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let evals_after_first = engine.evaluation_count();
+
+    // The result is published to the cache before the first ticket
+    // resolves, so this re-submission must hit — no new evaluation.
+    let second = client
+        .submit(client.engine().request(&functions))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(engine.evaluation_count(), evals_after_first);
+
+    assert_identical(&first, &sequential, "first (evaluated)");
+    assert_identical(&second, &sequential, "second (cache hit)");
+    let m = client.metrics();
+    assert!(m.cache.enabled);
+    assert_eq!(m.cache.hits, 1);
+    assert!(m.cache.hit_rate() > 0.0);
+    assert_eq!(m.completed, 2, "a hit still counts as a served request");
+    service.shutdown();
+}
+
+#[test]
+fn cancelling_a_follower_leaves_the_leader_running() {
+    let engine = slow_engine();
+    let functions = fast_functions(902);
+    let sequential = engine.request(&functions).evaluate().unwrap();
+
+    let service = engine
+        .clone()
+        .serve(ServiceConfig::default().workers(1).queue_capacity(8));
+    let client = service.client();
+
+    let slow = slow_functions();
+    let blocker = client.submit(client.engine().request(&slow)).unwrap();
+    await_state(&client, 1, 0);
+
+    let evals_before = engine.evaluation_count();
+    let leader = client.submit(client.engine().request(&functions)).unwrap();
+    let follower = client.submit(client.engine().request(&functions)).unwrap();
+    assert_eq!(client.metrics().cache.attaches, 1);
+
+    assert!(follower.cancel(), "queued follower must be cancellable");
+    assert_eq!(follower.wait().unwrap_err(), MpqError::Cancelled);
+
+    assert!(blocker.wait().is_ok());
+    let served = leader.wait().expect("the leader must be unaffected");
+    assert_identical(&served, &sequential, "leader after follower cancel");
+    assert_eq!(engine.evaluation_count() - evals_before, 1);
+    assert!(client.metrics().cancelled >= 1);
+    service.shutdown();
+}
+
+#[test]
+fn follower_deadline_expires_only_that_follower() {
+    let engine = slow_engine();
+    let functions = fast_functions(903);
+    let sequential = engine.request(&functions).evaluate().unwrap();
+
+    let service = engine
+        .clone()
+        .serve(ServiceConfig::default().workers(1).queue_capacity(8));
+    let client = service.client();
+
+    let slow = slow_functions();
+    let blocker = client.submit(client.engine().request(&slow)).unwrap();
+    await_state(&client, 1, 0);
+
+    // Leader without a deadline; follower with a zero budget — by the
+    // time the busy worker claims the shared job, only the follower has
+    // expired.
+    let leader = client.submit(client.engine().request(&functions)).unwrap();
+    let follower = client
+        .submit_with(
+            client.engine().request(&functions),
+            SubmitOptions::default().deadline(Duration::ZERO),
+        )
+        .unwrap();
+    assert_eq!(client.metrics().cache.attaches, 1);
+
+    assert!(blocker.wait().is_ok());
+    assert_eq!(follower.wait().unwrap_err(), MpqError::DeadlineExceeded);
+    let served = leader.wait().expect("only the expired follower dies");
+    assert_identical(&served, &sequential, "leader after follower expiry");
+    assert_eq!(client.metrics().expired, 1);
+    service.shutdown();
+}
+
+#[test]
+fn leader_cancellation_still_serves_the_followers() {
+    let engine = slow_engine();
+    let functions = fast_functions(904);
+    let sequential = engine.request(&functions).evaluate().unwrap();
+
+    let service = engine
+        .clone()
+        .serve(ServiceConfig::default().workers(1).queue_capacity(8));
+    let client = service.client();
+
+    let slow = slow_functions();
+    let blocker = client.submit(client.engine().request(&slow)).unwrap();
+    await_state(&client, 1, 0);
+
+    let leader = client.submit(client.engine().request(&functions)).unwrap();
+    let follower = client.submit(client.engine().request(&functions)).unwrap();
+
+    // Cancelling the *first* submission must not starve the second —
+    // the job survives as long as any attached submission wants it.
+    assert!(leader.cancel());
+    assert_eq!(leader.wait().unwrap_err(), MpqError::Cancelled);
+
+    assert!(blocker.wait().is_ok());
+    let served = follower
+        .wait()
+        .expect("follower must be served despite the leader's cancellation");
+    assert_identical(&served, &sequential, "follower after leader cancel");
+    service.shutdown();
+}
+
+#[test]
+fn inventory_version_makes_rebuilt_engines_miss() {
+    let w = WorkloadBuilder::new()
+        .objects(2_000)
+        .functions(1)
+        .dim(3)
+        .distribution(Distribution::Independent)
+        .seed(77)
+        .build();
+    let engine1 = Engine::builder().objects(&w.objects).build().unwrap();
+    let engine2 = Engine::builder().objects(&w.objects).build().unwrap();
+    assert!(
+        engine2.inventory_version() > engine1.inventory_version(),
+        "every build gets a fresh inventory version"
+    );
+
+    let functions = fast_functions(905);
+    let request = engine1.request(&functions);
+    let key = request.cache_key();
+    let fresh = request.evaluate().unwrap();
+
+    let mut cache = ResultCache::new(16, 1 << 20);
+    cache.insert(&key, engine1.inventory_version(), &fresh);
+
+    let hit = cache
+        .get(&key, engine1.inventory_version())
+        .expect("same inventory: hit");
+    assert_identical(&hit, &fresh, "cache hit vs fresh evaluation");
+
+    // The rebuilt engine produces the same key (same request) but a new
+    // inventory version: the stale entry must be a miss, never served.
+    assert_eq!(engine2.request(&functions).cache_key(), key);
+    assert!(
+        cache.get(&key, engine2.inventory_version()).is_none(),
+        "cache hit after engine rebuild must be a miss"
+    );
+}
+
+#[test]
+fn disabling_the_cache_restores_pay_per_submission() {
+    let engine = slow_engine();
+    let functions = fast_functions(906);
+
+    let service = engine
+        .clone()
+        .serve(ServiceConfig::default().workers(1).cache_capacity(0));
+    let client = service.client();
+
+    let evals_before = engine.evaluation_count();
+    let a = client
+        .submit(client.engine().request(&functions))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let b = client
+        .submit(client.engine().request(&functions))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        engine.evaluation_count() - evals_before,
+        2,
+        "cache_capacity(0) must evaluate every submission"
+    );
+    assert_identical(&a, &b, "determinism holds regardless");
+    let m = client.metrics();
+    assert!(!m.cache.enabled);
+    assert_eq!((m.cache.hits, m.cache.attaches), (0, 0));
+    service.shutdown();
+}
+
+#[test]
+fn distinct_requests_never_collide_in_the_cache() {
+    // Same function set, different knobs → different keys; exclusion
+    // insertion order → same key. End-to-end over a served engine.
+    let engine = slow_engine();
+    let functions = fast_functions(907);
+
+    let service = engine.clone().serve(ServiceConfig::default().workers(1));
+    let client = service.client();
+
+    let plain = client
+        .submit(client.engine().request(&functions))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let masked = client
+        .submit(client.engine().request(&functions).exclude([0u64, 5]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    // Exclusions change the request identity: no false hit.
+    assert_eq!(client.metrics().cache.hits, 0);
+
+    // ...but exclusion *order* does not: this is the same request again.
+    let masked_again = client
+        .submit(client.engine().request(&functions).exclude([5u64, 0]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(client.metrics().cache.hits, 1);
+    assert_identical(&masked, &masked_again, "order-insensitive exclusions");
+
+    let seq_plain = engine.request(&functions).evaluate().unwrap();
+    let seq_masked = engine
+        .request(&functions)
+        .exclude([0u64, 5])
+        .evaluate()
+        .unwrap();
+    assert_identical(&plain, &seq_plain, "plain vs sequential");
+    assert_identical(&masked, &seq_masked, "masked vs sequential");
+    service.shutdown();
+}

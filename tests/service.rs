@@ -247,13 +247,24 @@ fn reject_backpressure_sheds_load_with_typed_error() {
 
     let fast = fast_functions(4);
     let t2 = client.submit(client.engine().request(&fast)).unwrap(); // fills the queue
-    let overload = client.submit(client.engine().request(&fast));
+
+    // A submission *identical* to the queued one needs no slot: it
+    // attaches to t2's job (in-flight dedupe) instead of being shed.
+    let twin = client.submit(client.engine().request(&fast)).unwrap();
+    assert_eq!(client.metrics().cache.attaches, 1);
+    assert_eq!(client.metrics().rejected, 0);
+
+    // A *distinct* request has no job to attach to and is rejected.
+    let other = fast_functions(40);
+    let overload = client.submit(client.engine().request(&other));
     assert_eq!(overload.unwrap_err(), MpqError::Overloaded);
     assert_eq!(client.metrics().rejected, 1);
 
     // Accepted work is unaffected by the shed request.
     assert!(t1.wait().is_ok());
-    assert!(t2.wait().is_ok());
+    let served = t2.wait().unwrap();
+    let deduped = twin.wait().unwrap();
+    assert_eq!(served.sorted_pairs(), deduped.sorted_pairs());
     service.shutdown();
 }
 
@@ -322,10 +333,15 @@ fn graceful_shutdown_drains_queued_and_in_flight_work() {
     assert_eq!(metrics.queue_depth, 0);
     assert_eq!(metrics.in_flight, 0);
 
-    // The drained service no longer accepts submissions.
+    // The drained service no longer accepts submissions — not even one
+    // identical to an already-served request, which would otherwise be
+    // a cache hit: the post-shutdown contract beats the cache.
     let fs = fast_functions(200);
     let refused = client.submit(client.engine().request(&fs));
     assert_eq!(refused.unwrap_err(), MpqError::ServiceStopped);
+    let served_before = fast_functions(100);
+    let refused_hit = client.submit(client.engine().request(&served_before));
+    assert_eq!(refused_hit.unwrap_err(), MpqError::ServiceStopped);
 }
 
 #[test]
