@@ -35,7 +35,7 @@ fn bench_insert_delete(c: &mut Criterion) {
     c.bench_function("rtree/insert_1k", |b| {
         b.iter_batched(
             || RTree::bulk_load(&ps, params()),
-            |mut tree| {
+            |tree| {
                 for (i, p) in extra.iter() {
                     tree.insert(p, (100_000 + i) as u64);
                 }
@@ -47,7 +47,7 @@ fn bench_insert_delete(c: &mut Criterion) {
     c.bench_function("rtree/delete_1k", |b| {
         b.iter_batched(
             || RTree::bulk_load(&ps, params()),
-            |mut tree| {
+            |tree| {
                 for (i, p) in ps.iter().take(1_000) {
                     tree.delete(p, i as u64);
                 }

@@ -11,10 +11,16 @@
 //!                # serve R copies of the request on T threads and report req/s
 //! mpq serve --objects rooms.csv --functions users.csv
 //!           [--algo sb|bf|chain] [--requests R] [--workers N]
-//!           [--queue-cap M] [--reject] [--cache N]
+//!           [--queue-cap M] [--reject] [--cache N] [--data-dir DIR]
 //!           # replay R copies through the EngineService submission
 //!           # queue and report ServiceMetrics (repeat-heavy: the
-//!           # replay exercises the result cache; --cache 0 disables)
+//!           # replay exercises the result cache; --cache 0 disables).
+//!           # With --data-dir the engine is disk-backed: a directory
+//!           # already holding a persisted engine is reopened (no
+//!           # --objects needed), an empty one is populated from the CSV
+//! mpq compact --data-dir DIR
+//!           # checkpoint a persisted engine: fold the WAL into the page
+//!           # file so the next open replays nothing
 //! ```
 //!
 //! Object attribute values are expected in `[0, 1]` larger-is-better
@@ -66,6 +72,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Some("generate") => cmd_generate(&args[1..]),
         Some("throughput") => cmd_throughput(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("--help" | "-h" | "help") | None => Err(CliError::usage(USAGE)),
         Some(other) => Err(CliError::usage(format!(
             "unknown command '{other}'\n{USAGE}"
@@ -82,10 +89,15 @@ const USAGE: &str = "usage:
                  [--algo sb|bf|chain] [--requests <R>] [--threads <T>]
   mpq serve --objects <objects.csv> --functions <functions.csv>
             [--algo sb|bf|chain] [--requests <R>] [--workers <N>]
-            [--queue-cap <M>] [--reject] [--cache <N>]
+            [--queue-cap <M>] [--reject] [--cache <N>] [--data-dir <dir>]
             # replay R copies of the request through the EngineService
             # worker pool and report ServiceMetrics; --cache N bounds the
-            # result cache to N entries (0 disables caching + dedupe)";
+            # result cache to N entries (0 disables caching + dedupe);
+            # --data-dir persists the engine (or reopens one already
+            # persisted there, in which case --objects is not needed)
+  mpq compact --data-dir <dir>
+            # checkpoint a persisted engine: fold the WAL into the page
+            # file so the next open replays nothing";
 
 fn arg_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -227,6 +239,59 @@ fn load_workload(args: &[String]) -> Result<(PointSet, FunctionSet), CliError> {
     build_inputs(&objects_table, &functions_table)
 }
 
+/// Objects-only loader for `serve --data-dir` building a fresh
+/// persistent engine.
+fn load_objects(args: &[String]) -> Result<PointSet, CliError> {
+    let path = arg_value(args, "--objects")
+        .ok_or_else(|| CliError::usage(format!("--objects is required\n{USAGE}")))?;
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let table = parse(&text).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    let dim = table.columns.len();
+    let mut objects = PointSet::with_capacity(dim, table.rows());
+    for i in 0..table.rows() {
+        let row = table.row(i);
+        if row.iter().any(|&v| !(0.0..=1.0).contains(&v)) {
+            return Err(CliError::runtime(format!(
+                "object '{}' has attributes outside [0,1]; normalize your data \
+                 to larger-is-better unit scale first",
+                table.ids[i]
+            )));
+        }
+        objects.push(row);
+    }
+    Ok(objects)
+}
+
+/// Functions-only loader for `serve --data-dir` against a reopened
+/// engine, whose dimensionality comes from the page file rather than an
+/// objects CSV.
+fn load_functions(args: &[String], dim: usize) -> Result<FunctionSet, CliError> {
+    let path = arg_value(args, "--functions")
+        .ok_or_else(|| CliError::usage(format!("--functions is required\n{USAGE}")))?;
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let table = parse(&text).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    if table.columns.len() != dim {
+        return Err(CliError::runtime(format!(
+            "dimensionality mismatch: engine has {dim} attributes, functions have {}",
+            table.columns.len()
+        )));
+    }
+    let mut functions = FunctionSet::new(dim);
+    for i in 0..table.rows() {
+        let row = table.row(i);
+        if row.iter().any(|&v| v < 0.0) || row.iter().all(|&v| v == 0.0) {
+            return Err(CliError::runtime(format!(
+                "function '{}' must have non-negative, not-all-zero weights",
+                table.ids[i]
+            )));
+        }
+        functions.push(row);
+    }
+    Ok(functions)
+}
+
 /// Parallel serving demo: load one `(objects, functions)` pair, build
 /// the engine once (buffer sharded to the worker count), then serve `R`
 /// copies of the request on `T` threads via `Engine::evaluate_batch` and
@@ -339,15 +404,33 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     } else {
         BackpressurePolicy::Block
     };
-    let (objects, functions) = load_workload(args)?;
+    let data_dir = arg_value(args, "--data-dir").map(std::path::PathBuf::from);
 
-    let engine = Arc::new(
-        Engine::builder()
-            .objects(&objects)
-            .buffer_shards(resolved_workers(workers))
-            .build()
-            .map_err(cli_from_mpq)?,
-    );
+    // A directory already holding a persisted engine is reopened —
+    // page file plus WAL replay — so mutations from earlier runs are
+    // visible; otherwise build from the objects CSV (persisting to
+    // `--data-dir` when given).
+    let (engine, storage) = match &data_dir {
+        Some(dir) if Engine::persisted_at(dir) => {
+            let engine = Engine::open(dir).map_err(cli_from_mpq)?;
+            (Arc::new(engine), format!(", opened from {}", dir.display()))
+        }
+        _ => {
+            let objects = load_objects(args)?;
+            let mut builder = Engine::builder()
+                .objects(&objects)
+                .buffer_shards(resolved_workers(workers));
+            let storage = match &data_dir {
+                Some(dir) => {
+                    builder = builder.data_dir(dir);
+                    format!(", persisted to {}", dir.display())
+                }
+                None => String::new(),
+            };
+            (Arc::new(builder.build().map_err(cli_from_mpq)?), storage)
+        }
+    };
+    let functions = load_functions(args, engine.dim())?;
     let expected = engine
         .request(&functions)
         .algorithm(algorithm)
@@ -387,10 +470,10 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
 
     Ok(format!(
         "{} x{requests} requests over {} objects via EngineService \
-         (queue cap {queue_cap}, {} backpressure{})\n{metrics}\n\
+         (queue cap {queue_cap}, {} backpressure{}{storage})\n{metrics}\n\
          all served matchings identical to sequential\n",
         algorithm.name(),
-        objects.len(),
+        engine.n_objects(),
         match backpressure {
             BackpressurePolicy::Block => "block",
             BackpressurePolicy::Reject => "reject",
@@ -400,6 +483,28 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         } else {
             String::new()
         },
+    ))
+}
+
+/// Checkpoint a persisted engine: reopen it (replaying the WAL), fold
+/// the recovered state into the page file, and truncate the WAL — the
+/// next `serve --data-dir` opens instantly, replaying nothing.
+fn cmd_compact(args: &[String]) -> Result<String, CliError> {
+    let dir = arg_value(args, "--data-dir")
+        .ok_or_else(|| CliError::usage(format!("--data-dir is required\n{USAGE}")))?;
+    if !Engine::persisted_at(dir) {
+        return Err(CliError::runtime(format!(
+            "no persisted engine under {dir} (run `mpq serve --data-dir` first)"
+        )));
+    }
+    let engine = Engine::open(dir).map_err(cli_from_mpq)?;
+    let wal_before = engine.wal_bytes();
+    engine.checkpoint().map_err(cli_from_mpq)?;
+    let wal_after = engine.wal_bytes();
+    Ok(format!(
+        "compacted {dir}: {} objects over {} pages, wal {wal_before} -> {wal_after} bytes\n",
+        engine.n_objects(),
+        engine.tree().page_count(),
     ))
 }
 
@@ -769,5 +874,123 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.message.contains("outside [0,1]"), "{}", err.message);
+    }
+
+    #[test]
+    fn serve_with_data_dir_persists_across_invocations() {
+        let dir = std::env::temp_dir().join("mpq_cli_persist");
+        let store = dir.join("store");
+        let _ = fs::remove_dir_all(&store);
+        fs::create_dir_all(&dir).unwrap();
+        let objects_csv = run_cli(&args(&[
+            "generate",
+            "--distribution",
+            "independent",
+            "--objects",
+            "100",
+            "--dim",
+            "2",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        let opath = dir.join("objects.csv");
+        fs::write(&opath, &objects_csv).unwrap();
+        let fpath = dir.join("functions.csv");
+        fs::write(&fpath, "w0,w1\n0.8,0.2\n0.2,0.8\n").unwrap();
+
+        // First run builds the engine from the CSV and persists it.
+        let first = run_cli(&args(&[
+            "serve",
+            "--objects",
+            opath.to_str().unwrap(),
+            "--functions",
+            fpath.to_str().unwrap(),
+            "--data-dir",
+            store.to_str().unwrap(),
+            "--requests",
+            "4",
+            "--workers",
+            "1",
+        ]))
+        .unwrap();
+        assert!(first.contains("over 100 objects"), "{first}");
+        assert!(first.contains("persisted to"), "{first}");
+
+        // Mutate the persisted engine out of band: the WAL carries it.
+        let engine = Engine::open(&store).unwrap();
+        engine.insert_object(&[0.99, 0.99]).unwrap();
+        drop(engine);
+
+        // Second run reopens from disk — no --objects — and sees the
+        // mutated inventory.
+        let second = run_cli(&args(&[
+            "serve",
+            "--functions",
+            fpath.to_str().unwrap(),
+            "--data-dir",
+            store.to_str().unwrap(),
+            "--requests",
+            "4",
+            "--workers",
+            "1",
+        ]))
+        .unwrap();
+        assert!(second.contains("opened from"), "{second}");
+        assert!(second.contains("over 101 objects"), "{second}");
+        assert!(
+            second.contains("all served matchings identical"),
+            "{second}"
+        );
+    }
+
+    #[test]
+    fn compact_checkpoints_the_wal_and_preserves_the_matching() {
+        let store = std::env::temp_dir().join("mpq_cli_compact").join("store");
+        let _ = fs::remove_dir_all(&store);
+
+        let mut objects = mpq_rtree::PointSet::new(2);
+        for p in [[0.9_f64, 0.1], [0.1, 0.9], [0.5, 0.5]] {
+            objects.push(&p);
+        }
+        let engine = Engine::builder()
+            .objects(&objects)
+            .data_dir(&store)
+            .build()
+            .unwrap();
+        engine.insert_object(&[0.7, 0.7]).unwrap();
+        engine.insert_object(&[0.2, 0.6]).unwrap();
+        engine.remove_object(2).unwrap();
+        assert!(engine.wal_bytes() > 0);
+        let functions = mpq_ta::FunctionSet::from_rows(2, &[vec![0.8, 0.2], vec![0.2, 0.8]]);
+        let expected = engine
+            .request(&functions)
+            .evaluate()
+            .unwrap()
+            .sorted_pairs();
+        drop(engine);
+
+        let report = run_cli(&args(&["compact", "--data-dir", store.to_str().unwrap()])).unwrap();
+        assert!(report.contains("-> 0 bytes"), "{report}");
+
+        let reopened = Engine::open(&store).unwrap();
+        assert_eq!(reopened.wal_bytes(), 0, "WAL folded into the page file");
+        let served = reopened
+            .request(&functions)
+            .evaluate()
+            .unwrap()
+            .sorted_pairs();
+        assert_eq!(served, expected);
+
+        // Compacting an empty directory is a clean runtime error.
+        let missing = std::env::temp_dir().join("mpq_cli_compact").join("nope");
+        let err =
+            run_cli(&args(&["compact", "--data-dir", missing.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(
+            err.message.contains("no persisted engine"),
+            "{}",
+            err.message
+        );
     }
 }

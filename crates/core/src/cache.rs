@@ -34,13 +34,15 @@
 //! so a hash collision can never surface a wrong cached matching — the
 //! bit-identical guarantee survives adversarial inputs.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
+
+use std::sync::Mutex;
 
 use mpq_ta::FunctionSet;
 
 use crate::engine::{Algorithm, RequestOptions};
-use crate::matching::Matching;
+use crate::matching::{Matching, Pair};
 use crate::sb::{BestPairMode, MaintenanceMode};
 
 /// A canonical, collision-proof identity of one evaluation request:
@@ -153,6 +155,231 @@ pub(crate) fn request_key(functions: &FunctionSet, options: &RequestOptions) -> 
     }
 }
 
+/// One committed inventory mutation, as the cache's scoped invalidation
+/// sees it.
+#[derive(Debug, Clone)]
+pub enum MutationEvent {
+    /// Object `oid` at `point` entered the inventory.
+    Insert {
+        /// The new object's id.
+        oid: u64,
+        /// Its attribute vector.
+        point: Arc<[f64]>,
+    },
+    /// Object `oid` left the inventory.
+    Remove {
+        /// The removed object's id.
+        oid: u64,
+    },
+    /// Object `oid` now has attribute vector `point`.
+    Update {
+        /// The updated object's id.
+        oid: u64,
+        /// Its attribute vector *after* the update.
+        point: Arc<[f64]>,
+    },
+}
+
+impl MutationEvent {
+    /// The object this event mutates.
+    pub fn oid(&self) -> u64 {
+        match self {
+            MutationEvent::Insert { oid, .. }
+            | MutationEvent::Remove { oid }
+            | MutationEvent::Update { oid, .. } => *oid,
+        }
+    }
+}
+
+/// A bounded ring of recent `(version, event)` mutations, shared between
+/// a mutable [`Engine`](crate::Engine) and the caches serving it.
+///
+/// Each committed mutation bumps the engine's inventory version and
+/// records the event here. [`ResultCache::get_with_log`] uses the window
+/// to *catch entries up* across versions instead of treating every
+/// version change as a full invalidation: an entry whose result provably
+/// does not depend on the mutated objects is restamped and served. The
+/// ring is bounded; entries older than the window fall back to the
+/// conservative drop.
+#[derive(Debug)]
+pub struct MutationLog {
+    inner: Mutex<MutationLogInner>,
+}
+
+#[derive(Debug)]
+struct MutationLogInner {
+    /// `(version_after_commit, event)`, oldest first.
+    events: VecDeque<(u64, MutationEvent)>,
+    cap: usize,
+    /// Highest version dropped from the front of the ring (0 = nothing
+    /// dropped): windows starting before it are incomplete.
+    truncated_at: u64,
+}
+
+impl Default for MutationLog {
+    fn default() -> MutationLog {
+        MutationLog::new(64)
+    }
+}
+
+impl MutationLog {
+    /// A log retaining the most recent `cap` events (clamped to ≥ 1).
+    pub fn new(cap: usize) -> MutationLog {
+        MutationLog {
+            inner: Mutex::new(MutationLogInner {
+                events: VecDeque::new(),
+                cap: cap.max(1),
+                truncated_at: 0,
+            }),
+        }
+    }
+
+    /// Record a committed mutation: `version` is the inventory version
+    /// the commit published.
+    pub fn record(&self, version: u64, event: MutationEvent) {
+        let mut inner = self.inner.lock().expect("mutation log poisoned");
+        while inner.events.len() >= inner.cap {
+            if let Some((v, _)) = inner.events.pop_front() {
+                inner.truncated_at = v;
+            }
+        }
+        inner.events.push_back((version, event));
+    }
+
+    /// All events with version in `(since, upto]`, oldest first — or
+    /// `None` if the ring no longer covers the whole window (the caller
+    /// must then fall back to full invalidation).
+    pub fn events_between(&self, since: u64, upto: u64) -> Option<Vec<(u64, MutationEvent)>> {
+        let inner = self.inner.lock().expect("mutation log poisoned");
+        if since < inner.truncated_at {
+            return None;
+        }
+        Some(
+            inner
+                .events
+                .iter()
+                .filter(|(v, _)| *v > since && *v <= upto)
+                .cloned()
+                .collect(),
+        )
+    }
+}
+
+/// A read-only view over a [`RequestKey`]'s material: the decoded
+/// function weights and exclusion set, which scoped invalidation needs
+/// to reason about whether a mutation can affect the cached result.
+struct KeyView<'k> {
+    dim: usize,
+    n_fns: usize,
+    material: &'k [u64],
+    excl: &'k [u64],
+    has_caps: bool,
+}
+
+impl<'k> KeyView<'k> {
+    fn parse(material: &'k [u64]) -> Option<KeyView<'k>> {
+        let dim = *material.first()? as usize;
+        let n_fns = *material.get(1)? as usize;
+        let rows_end = 2 + n_fns.checked_mul(dim + 1)?;
+        // rows, then 5 knob words, then the exclusion count
+        let n_excl_at = rows_end + 5;
+        let n_excl = *material.get(n_excl_at)? as usize;
+        let excl = material.get(n_excl_at + 1..n_excl_at + 1 + n_excl)?;
+        let has_caps = *material.get(n_excl_at + 1 + n_excl)? != 0;
+        Some(KeyView {
+            dim,
+            n_fns,
+            material,
+            excl,
+            has_caps,
+        })
+    }
+
+    fn is_alive(&self, fid: usize) -> bool {
+        self.material[2 + fid * (self.dim + 1)] != 0
+    }
+
+    /// Score of function `fid` on `point` (weights are stored bit-exact).
+    fn score(&self, fid: usize, point: &[f64]) -> f64 {
+        let base = 2 + fid * (self.dim + 1) + 1;
+        self.material[base..base + self.dim]
+            .iter()
+            .zip(point)
+            .map(|(&bits, &x)| f64::from_bits(bits) * x)
+            .sum()
+    }
+
+    /// Sorted-set membership test over the key's exclusions.
+    fn excludes(&self, oid: u64) -> bool {
+        self.excl.binary_search(&oid).is_ok()
+    }
+}
+
+/// Does the cached `matching` for `key` provably survive `event`
+/// unchanged?
+///
+/// The rules are exact consequences of the canonical greedy (pick the
+/// globally best remaining pair, `(score desc, fid asc, oid asc)`):
+///
+/// * **Remove**: deleting an object the matching never assigned cannot
+///   change any greedy pick (a non-maximal candidate was removed).
+/// * **Insert**: if every alive function is matched and each function's
+///   assigned pair [`Pair::beats`] its candidate pair with the new
+///   object, the new object is never the global maximum at any step.
+/// * **Update** is remove-then-insert: the object must be unassigned
+///   *and* beaten at its new position.
+/// * An object the request excludes is invisible: any mutation of it
+///   survives trivially.
+/// * Capacitated requests never survive (their greedy consumes capacity
+///   units; the pairwise argument above does not apply).
+fn survives_event(key: &RequestKey, matching: &Matching, event: &MutationEvent) -> bool {
+    let Some(view) = KeyView::parse(&key.material) else {
+        return false;
+    };
+    if view.has_caps {
+        return false;
+    }
+    let assigned = |oid: u64| matching.pairs().iter().any(|p| p.oid == oid);
+    match event {
+        MutationEvent::Remove { oid } => view.excludes(*oid) || !assigned(*oid),
+        MutationEvent::Insert { oid, point } => {
+            view.excludes(*oid) || beaten_everywhere(&view, matching, *oid, point)
+        }
+        MutationEvent::Update { oid, point } => {
+            view.excludes(*oid)
+                || (!assigned(*oid) && beaten_everywhere(&view, matching, *oid, point))
+        }
+    }
+}
+
+/// True iff every alive function is matched and its assigned pair beats
+/// the candidate pair `(fid, oid, score(fid, point))` — the condition
+/// under which the new/moved object can never win a greedy round.
+fn beaten_everywhere(view: &KeyView<'_>, matching: &Matching, oid: u64, point: &[f64]) -> bool {
+    if point.len() != view.dim {
+        return false;
+    }
+    let by_fid: HashMap<u32, &Pair> = matching.pairs().iter().map(|p| (p.fid, p)).collect();
+    for fid in 0..view.n_fns {
+        if !view.is_alive(fid) {
+            continue;
+        }
+        let Some(assigned) = by_fid.get(&(fid as u32)) else {
+            // an unmatched function would grab the new object
+            return false;
+        };
+        let candidate = Pair {
+            fid: fid as u32,
+            oid,
+            score: view.score(fid, point),
+        };
+        if !assigned.beats(&candidate) {
+            return false;
+        }
+    }
+    true
+}
+
 /// Rolling counters of one cache (embedded in
 /// [`ServiceMetrics::cache`](crate::service::ServiceMetrics)).
 #[derive(Debug, Clone, Copy, Default)]
@@ -174,6 +401,11 @@ pub struct CacheMetrics {
     /// Entries dropped to respect the entry/byte bounds (stale-version
     /// entries dropped on lookup count here too).
     pub evictions: u64,
+    /// Entries restamped across inventory versions by scoped
+    /// invalidation ([`ResultCache::get_with_log`]): the mutation log
+    /// proved the cached result unaffected, so the entry was caught up
+    /// instead of dropped.
+    pub revalidations: u64,
     /// Current number of cached entries.
     pub entries: usize,
     /// Current approximate heap footprint of the cached entries.
@@ -254,6 +486,7 @@ pub struct ResultCache {
     misses: u64,
     insertions: u64,
     evictions: u64,
+    revalidations: u64,
 }
 
 impl std::fmt::Debug for ResultCache {
@@ -283,6 +516,7 @@ impl ResultCache {
             misses: 0,
             insertions: 0,
             evictions: 0,
+            revalidations: 0,
         }
     }
 
@@ -397,9 +631,108 @@ impl ResultCache {
             attaches: 0,
             insertions: self.insertions,
             evictions: self.evictions,
+            revalidations: self.revalidations,
             entries: self.entries.len(),
             bytes: self.bytes,
         }
+    }
+
+    /// Like [`ResultCache::get`], but with **scoped invalidation**: an
+    /// entry stamped with an older inventory version is caught up
+    /// through the mutation `log` instead of being dropped outright.
+    /// Each intervening mutation is checked against the cached matching
+    /// (`survives_event`'s exact greedy argument); if all of them
+    /// provably leave the result unchanged, the entry is restamped to
+    /// `version` and served as a hit. Only when a mutation *can* affect
+    /// the result — or the log window no longer covers the gap — does
+    /// the entry fall back to the drop-and-miss of plain `get`.
+    pub fn get_with_log(
+        &mut self,
+        key: &RequestKey,
+        version: u64,
+        log: &MutationLog,
+    ) -> Option<Matching> {
+        if let Some(entry) = self.entries.get(key) {
+            if entry.version > version {
+                // The entry is *newer* than the looker's version read (a
+                // mutation and a publish slipped in between): not
+                // servable backwards, but evicting the current result
+                // would punish the next — current — looker. Plain miss.
+                self.misses += 1;
+                return None;
+            }
+            if entry.version < version && !self.try_catch_up(key, version, log) {
+                self.misses += 1;
+                self.evictions += 1;
+                let entry = self.entries.remove(key).expect("entry just found");
+                self.lru.remove(&entry.tick);
+                self.bytes -= entry.bytes;
+                return None;
+            }
+        }
+        self.get(key, version)
+    }
+
+    /// Catch the entry for `key` up to `version`: `true` iff the log
+    /// covers the whole version gap and every event in it provably
+    /// leaves the cached matching unchanged (the entry is restamped).
+    fn try_catch_up(&mut self, key: &RequestKey, version: u64, log: &MutationLog) -> bool {
+        let Some(entry) = self.entries.get(key) else {
+            return false;
+        };
+        if entry.version > version {
+            return false;
+        }
+        let Some(events) = log.events_between(entry.version, version) else {
+            return false;
+        };
+        let survives = events
+            .iter()
+            .all(|(_, event)| survives_event(key, &entry.matching, event));
+        if survives {
+            let entry = self.entries.get_mut(key).expect("entry just found");
+            entry.version = version;
+            self.revalidations += 1;
+        }
+        survives
+    }
+
+    /// Like [`ResultCache::insert`], but first eagerly sweeps entries
+    /// stamped with any other version: each is caught up through `log`
+    /// (restamped if it survives) or evicted on the spot. Plain `get`
+    /// only drops a stale entry when its exact key is looked up again,
+    /// so after a mutation the `entries`/`bytes` metrics would keep
+    /// counting results that can never be served; sweeping at insert
+    /// time keeps the accounting honest without a periodic task.
+    pub fn insert_with_log(
+        &mut self,
+        key: &RequestKey,
+        version: u64,
+        matching: &Matching,
+        log: &MutationLog,
+    ) {
+        // Only entries *older* than the publish stamp are sweepable: a
+        // worker that captured its version before a mutation must not
+        // evict entries already published under the newer version.
+        let stale: Vec<Arc<RequestKey>> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.version < version)
+            .map(|(k, _)| Arc::clone(k))
+            .collect();
+        for k in stale {
+            if !self.try_catch_up(&k, version, log) {
+                if let Some(entry) = self.entries.remove(&*k) {
+                    self.lru.remove(&entry.tick);
+                    self.bytes -= entry.bytes;
+                    self.evictions += 1;
+                }
+            }
+        }
+        if self.entries.get(key).is_some_and(|e| e.version > version) {
+            return; // a newer result for this key is already published
+        }
+        self.insert(key, version, matching);
     }
 }
 
@@ -560,5 +893,197 @@ mod tests {
         let _ = cache.get(&key_of(&[vec![0.6, 0.4]]), 1);
         let rate = cache.metrics().hit_rate();
         assert!((rate - 0.5).abs() < 1e-12, "{rate}");
+    }
+
+    // ------------------------------------------------------------------
+    // Scoped invalidation: MutationLog + survives_event
+    // ------------------------------------------------------------------
+
+    /// A two-function key whose canonical matching assigns object 0 to
+    /// function 0 and object 1 to function 1 (scores 0.82 each).
+    fn orthogonal_key(options: &RequestOptions) -> RequestKey {
+        let functions = FunctionSet::from_rows(2, &[vec![0.9, 0.1], vec![0.1, 0.9]]);
+        request_key(&functions, options)
+    }
+
+    fn orthogonal_matching() -> Matching {
+        Matching::new(
+            vec![
+                Pair {
+                    fid: 0,
+                    oid: 0,
+                    score: 0.82,
+                },
+                Pair {
+                    fid: 1,
+                    oid: 1,
+                    score: 0.82,
+                },
+            ],
+            RunMetrics::default(),
+        )
+    }
+
+    #[test]
+    fn mutation_log_window_covers_exactly_the_retained_events() {
+        let log = MutationLog::new(2);
+        log.record(10, MutationEvent::Remove { oid: 1 });
+        log.record(11, MutationEvent::Remove { oid: 2 });
+        log.record(12, MutationEvent::Remove { oid: 3 });
+        // The version-10 event fell out of the ring: a gap starting
+        // before it can no longer be proven safe.
+        assert!(log.events_between(9, 12).is_none());
+        let covered = log.events_between(10, 12).expect("window covers 11..=12");
+        assert_eq!(covered.len(), 2);
+        // An empty gap is trivially covered.
+        assert_eq!(log.events_between(12, 12).expect("empty gap").len(), 0);
+    }
+
+    #[test]
+    fn removing_an_unassigned_object_revalidates_removing_assigned_drops() {
+        let key = orthogonal_key(&RequestOptions::default());
+        let mut cache = ResultCache::new(8, 1 << 20);
+        let log = MutationLog::default();
+        cache.insert(&key, 5, &orthogonal_matching());
+
+        log.record(6, MutationEvent::Remove { oid: 3 });
+        assert!(cache.get_with_log(&key, 6, &log).is_some());
+        assert_eq!(cache.metrics().revalidations, 1);
+
+        log.record(7, MutationEvent::Remove { oid: 0 });
+        assert!(cache.get_with_log(&key, 7, &log).is_none());
+        assert!(cache.is_empty(), "an affected entry is dropped outright");
+    }
+
+    #[test]
+    fn beaten_everywhere_inserts_revalidate_dominating_inserts_drop() {
+        let key = orthogonal_key(&RequestOptions::default());
+        let mut cache = ResultCache::new(8, 1 << 20);
+        let log = MutationLog::default();
+        cache.insert(&key, 5, &orthogonal_matching());
+
+        // Both functions score the newcomer below their assigned pair.
+        log.record(
+            6,
+            MutationEvent::Insert {
+                oid: 9,
+                point: Arc::from([0.01, 0.02].as_slice()),
+            },
+        );
+        assert!(cache.get_with_log(&key, 6, &log).is_some());
+
+        // Function 0 scores this newcomer 0.875 > 0.82: can steal.
+        log.record(
+            7,
+            MutationEvent::Insert {
+                oid: 10,
+                point: Arc::from([0.95, 0.2].as_slice()),
+            },
+        );
+        assert!(cache.get_with_log(&key, 7, &log).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn mutations_of_an_excluded_object_always_survive() {
+        let mut options = RequestOptions::default();
+        options.exclude.insert(2);
+        let key = orthogonal_key(&options);
+        let mut cache = ResultCache::new(8, 1 << 20);
+        let log = MutationLog::default();
+        cache.insert(&key, 5, &orthogonal_matching());
+
+        // Even a would-dominate-everything update is invisible to a
+        // request that excludes the object.
+        log.record(
+            6,
+            MutationEvent::Update {
+                oid: 2,
+                point: Arc::from([1.0, 1.0].as_slice()),
+            },
+        );
+        assert!(cache.get_with_log(&key, 6, &log).is_some());
+        log.record(7, MutationEvent::Remove { oid: 2 });
+        assert!(cache.get_with_log(&key, 7, &log).is_some());
+        assert_eq!(cache.metrics().revalidations, 2);
+    }
+
+    #[test]
+    fn capacitated_entries_never_revalidate() {
+        let options = RequestOptions {
+            capacities: Some(vec![1, 1, 1, 1]),
+            ..RequestOptions::default()
+        };
+        let key = orthogonal_key(&options);
+        let mut cache = ResultCache::new(8, 1 << 20);
+        let log = MutationLog::default();
+        cache.insert(&key, 5, &orthogonal_matching());
+
+        // Harmless on its face, but the capacitated greedy's survival
+        // argument is not implemented — must fall back to drop.
+        log.record(6, MutationEvent::Remove { oid: 3 });
+        assert!(cache.get_with_log(&key, 6, &log).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn uncovered_version_gap_drops_instead_of_guessing() {
+        let key = orthogonal_key(&RequestOptions::default());
+        let mut cache = ResultCache::new(8, 1 << 20);
+        let log = MutationLog::new(1);
+        cache.insert(&key, 5, &orthogonal_matching());
+        log.record(6, MutationEvent::Remove { oid: 3 });
+        log.record(7, MutationEvent::Remove { oid: 3 }); // evicts v6
+        assert!(cache.get_with_log(&key, 7, &log).is_none());
+    }
+
+    #[test]
+    fn insert_with_log_sweeps_dead_entries_and_keeps_survivors() {
+        let key_a = orthogonal_key(&RequestOptions::default());
+        let mut excl = RequestOptions::default();
+        excl.exclude.insert(0);
+        let key_b = orthogonal_key(&excl);
+        let key_c = key_of(&[vec![0.5, 0.5]]);
+
+        let mut cache = ResultCache::new(8, 1 << 20);
+        let log = MutationLog::default();
+        cache.insert(&key_a, 5, &orthogonal_matching());
+        // Entry B's matching does not assign object 0 (it excludes it).
+        cache.insert(
+            &key_b,
+            5,
+            &Matching::new(
+                vec![Pair {
+                    fid: 1,
+                    oid: 1,
+                    score: 0.82,
+                }],
+                RunMetrics::default(),
+            ),
+        );
+        let bytes_before = cache.bytes();
+
+        // Removing assigned object 0 kills A; B excluded it — survives.
+        log.record(6, MutationEvent::Remove { oid: 0 });
+        cache.insert_with_log(&key_c, 6, &matching_of(1), &log);
+        assert_eq!(cache.len(), 2, "A swept, B restamped, C inserted");
+        assert!(cache.get(&key_b, 6).is_some());
+        assert!(cache.get(&key_c, 6).is_some());
+        assert!(
+            cache.bytes() < bytes_before + key_c.approx_bytes() + matching_of(1).approx_bytes() + 1
+        );
+        assert_eq!(cache.metrics().evictions, 1);
+
+        // A publish stamped *older* than live entries must not evict
+        // them (the worker-raced-a-mutation case).
+        cache.insert_with_log(&key_a, 5, &orthogonal_matching(), &log);
+        assert!(
+            cache.get(&key_b, 6).is_some(),
+            "newer entries survive an old-stamp publish"
+        );
+        // The old-stamped entry itself installs, and its next versioned
+        // lookup catches it up through the log — here: kills it, since
+        // the remove hit its assigned object.
+        assert!(cache.get_with_log(&key_a, 6, &log).is_none());
     }
 }

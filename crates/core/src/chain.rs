@@ -97,7 +97,7 @@ pub(crate) fn run_chain_on<R: NodeSource>(
         fun_points.push(w);
         fid_of_row.push(fid);
     }
-    let mut fun_tree = RTree::bulk_load(
+    let fun_tree = RTree::bulk_load(
         &fun_points,
         RTreeParams {
             page_size: index.page_size,

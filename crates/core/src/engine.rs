@@ -40,16 +40,18 @@
 //! ```
 
 use std::borrow::Cow;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use mpq_rtree::{IoSession, IoStats, PointSet, RTree};
+use mpq_rtree::{DiskPager, IoSession, IoStats, PointSet, RTree};
 use mpq_skyline::SkylineMaintainer;
 use mpq_ta::{FunctionSet, ReverseTopOne};
 
 use crate::brute_force::{run_incremental_on, run_restart_on, BfStrategy};
+use crate::cache::{MutationEvent, MutationLog};
 use crate::capacity::run_capacity_on;
 use crate::chain::run_chain_on;
 use crate::error::MpqError;
@@ -63,6 +65,19 @@ use crate::service::{
     resolved_workers, safe_rate, worker_loop, EngineService, ServiceConfig, ServiceCore,
     SubmitOptions,
 };
+use crate::wal::{Wal, WalRecord};
+
+/// Page file name inside an engine's data directory.
+const PAGE_FILE: &str = "pages.mpq";
+/// Write-ahead log file name inside an engine's data directory.
+const WAL_FILE: &str = "wal.mpq";
+
+/// Lock a mutex, ignoring poisoning: every critical section in the
+/// engine leaves the protected state consistent even if a caller
+/// panicked mid-evaluation elsewhere.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Which stable-matching algorithm a [`MatchRequest`] runs.
 ///
@@ -120,6 +135,7 @@ pub struct EngineBuilder<'o> {
     index: IndexConfig,
     objects: Option<&'o PointSet>,
     buffer_shards: Option<usize>,
+    data_dir: Option<PathBuf>,
 }
 
 impl<'o> EngineBuilder<'o> {
@@ -150,6 +166,17 @@ impl<'o> EngineBuilder<'o> {
         self
     }
 
+    /// Persist the engine under `dir`: index pages go to a disk-backed
+    /// pager (`pages.mpq`) and every mutation is logged to a write-ahead
+    /// log (`wal.mpq`) before it is applied, so the engine survives a
+    /// restart — reopen it with [`Engine::open`]. The directory is
+    /// created if missing; any files from a previous engine in it are
+    /// overwritten.
+    pub fn data_dir(mut self, dir: impl AsRef<Path>) -> EngineBuilder<'o> {
+        self.data_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
     /// Validate the inventory and bulk-load the object R-tree (exactly
     /// once for the engine's lifetime).
     ///
@@ -163,44 +190,89 @@ impl<'o> EngineBuilder<'o> {
             return Err(MpqError::EmptyObjects);
         }
         for (i, p) in objects.iter() {
-            for (d, &v) in p.iter().enumerate() {
-                if !v.is_finite() {
-                    return Err(MpqError::NonFiniteCoordinate {
-                        oid: i as u64,
-                        dim: d,
-                        value: v,
-                    });
-                }
-                if !(0.0..=1.0).contains(&v) {
-                    return Err(MpqError::CoordinateOutOfRange {
-                        oid: i as u64,
-                        dim: d,
-                        value: v,
-                    });
-                }
-            }
+            validate_point(i as u64, objects.dim(), p)?;
         }
-        let mut tree = self.index.build_tree(objects);
+        let mut tree = match &self.data_dir {
+            None => self.index.build_tree(objects),
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let store = DiskPager::create(&dir.join(PAGE_FILE), self.index.page_size)?;
+                self.index.build_tree_in(store, objects)
+            }
+        };
         if let Some(shards) = self.buffer_shards {
             tree.set_buffer_shards(shards.clamp(1, tree.buffer_capacity()));
         }
+        let wal = match &self.data_dir {
+            None => None,
+            Some(dir) => {
+                // A fresh build supersedes whatever a previous engine
+                // left in the directory: discard any stale WAL tail and
+                // commit the bulk-loaded tree as checkpoint zero.
+                let (mut wal, _stale) = Wal::open(&dir.join(WAL_FILE))?;
+                wal.truncate()?;
+                tree.checkpoint(&0u64.to_le_bytes())?;
+                Some(Mutex::new(wal))
+            }
+        };
+        let map: BTreeMap<u64, Box<[f64]>> = objects
+            .iter()
+            .map(|(i, p)| (i as u64, Box::from(p)))
+            .collect();
         Ok(Engine {
             dim: objects.dim(),
-            n_objects: objects.len(),
             config: self.index,
             tree,
-            version: NEXT_INVENTORY_VERSION.fetch_add(1, AtomicOrdering::Relaxed),
+            next_oid: AtomicU64::new(objects.len() as u64),
+            objects: Mutex::new(map),
+            version: AtomicU64::new(NEXT_INVENTORY_VERSION.fetch_add(1, AtomicOrdering::Relaxed)),
             evaluations: AtomicU64::new(0),
+            mutations: MutationLog::default(),
+            wal,
+            data_dir: self.data_dir,
+            mutator: Mutex::new(()),
         })
     }
 }
 
-/// Process-global inventory version source: every built engine gets a
-/// distinct, monotonically increasing stamp (starting at 1 so 0 can
-/// serve as a "no engine" sentinel in caller code). The stamp is what
-/// makes a [`ResultCache`](crate::ResultCache) entry safe across engine
-/// rebuilds: results computed against inventory version *v* are only
-/// ever served to lookups against the same *v*.
+/// Shared point validation for the bulk build path and the incremental
+/// mutation path: the preference space is `[0, 1]^dim` with finite
+/// coordinates everywhere.
+fn validate_point(oid: u64, dim: usize, p: &[f64]) -> Result<(), MpqError> {
+    if p.len() != dim {
+        return Err(MpqError::PointDimensionMismatch {
+            engine: dim,
+            point: p.len(),
+        });
+    }
+    for (d, &v) in p.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(MpqError::NonFiniteCoordinate {
+                oid,
+                dim: d,
+                value: v,
+            });
+        }
+        if !(0.0..=1.0).contains(&v) {
+            return Err(MpqError::CoordinateOutOfRange {
+                oid,
+                dim: d,
+                value: v,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Process-global inventory version source: every built engine — and
+/// every committed mutation — gets a distinct, monotonically increasing
+/// stamp (starting at 1 so 0 can serve as a "no engine" sentinel in
+/// caller code). The stamp is what makes a
+/// [`ResultCache`](crate::ResultCache) entry safe across engine rebuilds
+/// *and* in-place mutations: results computed against inventory version
+/// *v* are only served to lookups against the same *v*, unless the
+/// engine's [`MutationLog`] proves every intervening mutation irrelevant
+/// to the entry.
 static NEXT_INVENTORY_VERSION: AtomicU64 = AtomicU64::new(1);
 
 /// A prepared matching engine: one validated, bulk-loaded object index
@@ -212,23 +284,38 @@ static NEXT_INVENTORY_VERSION: AtomicU64 = AtomicU64::new(1);
 /// — so requests cannot observe each other.
 pub struct Engine {
     dim: usize,
-    n_objects: usize,
     config: IndexConfig,
     tree: RTree,
-    /// Distinct per built engine (see [`Engine::inventory_version`]).
-    version: u64,
+    /// The live inventory by object id. Mirrors the R-tree's leaf
+    /// entries; the map is what gives mutations O(log n) point lookup
+    /// and what recovery replays the WAL against.
+    objects: Mutex<BTreeMap<u64, Box<[f64]>>>,
+    /// Ids `>= next_oid` have never been assigned; ids below it may have
+    /// been removed. Removal never recycles an id.
+    next_oid: AtomicU64,
+    /// Bumped on every mutation (see [`Engine::inventory_version`]).
+    version: AtomicU64,
     /// Evaluations actually run against this engine (see
     /// [`Engine::evaluation_count`]).
     evaluations: AtomicU64,
+    /// Recent mutations by version, for scoped cache invalidation.
+    mutations: MutationLog,
+    /// Write-ahead log; present iff the engine is disk-backed.
+    wal: Option<Mutex<Wal>>,
+    /// Data directory; present iff the engine is disk-backed.
+    data_dir: Option<PathBuf>,
+    /// Serializes mutations and checkpoints; readers never take it.
+    mutator: Mutex<()>,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("dim", &self.dim)
-            .field("objects", &self.n_objects)
+            .field("objects", &self.n_objects())
             .field("pages", &self.tree.page_count())
-            .field("version", &self.version)
+            .field("version", &self.inventory_version())
+            .field("data_dir", &self.data_dir)
             .finish()
     }
 }
@@ -245,10 +332,24 @@ impl Engine {
         self.dim
     }
 
-    /// Number of indexed objects.
+    /// Number of indexed objects (live inventory after mutations).
     #[inline]
     pub fn n_objects(&self) -> usize {
-        self.n_objects
+        lock(&self.objects).len()
+    }
+
+    /// One past the highest object id ever assigned. Object ids are
+    /// never recycled, so per-object vectors (capacities, exclusion
+    /// bitmaps) sized to this bound cover every id the engine can
+    /// report.
+    #[inline]
+    pub fn oid_bound(&self) -> u64 {
+        self.next_oid.load(AtomicOrdering::Acquire)
+    }
+
+    /// The point currently stored for `oid`, if the engine holds it.
+    pub fn object_point(&self, oid: u64) -> Option<Box<[f64]>> {
+        lock(&self.objects).get(&oid).cloned()
     }
 
     /// The index configuration the engine was built with.
@@ -257,14 +358,57 @@ impl Engine {
     }
 
     /// The engine's **inventory version**: a process-globally unique,
-    /// monotonically increasing stamp assigned at build time. Two
-    /// engines never share a version — even when built over identical
-    /// objects — so a [`ResultCache`](crate::ResultCache) entry stamped
-    /// with one engine's version can never be served against another
-    /// engine's inventory: rebuilding the engine *is* the invalidation.
+    /// monotonically increasing stamp assigned at build time and
+    /// re-minted on every mutation. Two engines never share a version —
+    /// even when built over identical objects — so a
+    /// [`ResultCache`](crate::ResultCache) entry stamped with one
+    /// engine's version can never be served against another engine's
+    /// inventory, and an entry stamped before a mutation is stale unless
+    /// the [`Engine::mutation_log`] proves the mutation could not have
+    /// changed it (see [`ResultCache::get_with_log`]).
+    ///
+    /// [`ResultCache::get_with_log`]: crate::ResultCache::get_with_log
     #[inline]
     pub fn inventory_version(&self) -> u64 {
-        self.version
+        self.version.load(AtomicOrdering::Acquire)
+    }
+
+    /// The engine's recent-mutation log: every mutation records its
+    /// event under the version stamp it minted, which is what lets a
+    /// [`ResultCache`](crate::ResultCache) revalidate entries that a
+    /// mutation provably did not affect instead of flushing wholesale.
+    #[inline]
+    pub fn mutation_log(&self) -> &MutationLog {
+        &self.mutations
+    }
+
+    /// True iff the engine persists to a data directory (pages + WAL).
+    #[inline]
+    pub fn is_persistent(&self) -> bool {
+        self.data_dir.is_some()
+    }
+
+    /// The data directory the engine persists under, if disk-backed.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.data_dir.as_deref()
+    }
+
+    /// Does `dir` hold a persisted engine — i.e. would [`Engine::open`]
+    /// have a page file to load? Lets callers (the CLI's
+    /// `serve --data-dir`) decide between opening and building fresh
+    /// without hard-coding the on-disk file names.
+    pub fn persisted_at(dir: impl AsRef<Path>) -> bool {
+        dir.as_ref().join(PAGE_FILE).is_file()
+    }
+
+    /// Current size of the write-ahead log in bytes (0 for an in-memory
+    /// engine). Grows with every mutation; drops back to zero at a
+    /// [`Engine::checkpoint`].
+    pub fn wal_bytes(&self) -> u64 {
+        match &self.wal {
+            None => 0,
+            Some(wal) => lock(wal).len_bytes(),
+        }
     }
 
     /// How many evaluations have actually run against this engine —
@@ -280,6 +424,222 @@ impl Engine {
     /// never mutates it).
     pub fn tree(&self) -> &RTree {
         &self.tree
+    }
+
+    /// Reopen a persistent engine from `dir` with the default
+    /// [`IndexConfig`] (shorthand for [`Engine::open_with`]).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Engine, MpqError> {
+        Engine::open_with(dir, IndexConfig::default())
+    }
+
+    /// Reopen a persistent engine from the `pages.mpq` + `wal.mpq` pair
+    /// under `dir`, created earlier by [`EngineBuilder::data_dir`].
+    ///
+    /// Recovery loads the last checkpointed tree image, then **replays**
+    /// every intact WAL record past the checkpoint's high-water mark —
+    /// a torn tail (crash mid-append) is discarded at the first corrupt
+    /// frame, so the engine reopens to the last fully-synced mutation.
+    /// The reopened engine serves matchings bit-identical to a freshly
+    /// built engine over the same surviving inventory.
+    ///
+    /// `config.page_size` must equal the page size the directory was
+    /// created with; the buffer is re-sized from `config` (buffer
+    /// geometry is a runtime choice, not persistent state).
+    pub fn open_with(dir: impl AsRef<Path>, config: IndexConfig) -> Result<Engine, MpqError> {
+        let dir = dir.as_ref();
+        let store = DiskPager::open(&dir.join(PAGE_FILE), config.page_size)?;
+        let (tree, extra) = RTree::open(store, config.min_buffer_pages.max(1))?;
+        tree.set_buffer_capacity(config.buffer_pages_for(tree.page_count()));
+        let ckpt_seq = if extra.len() >= 8 {
+            u64::from_le_bytes(extra[..8].try_into().expect("8-byte slice"))
+        } else {
+            0
+        };
+
+        let (mut wal, records) = Wal::open(&dir.join(WAL_FILE))?;
+        // A checkpoint truncates the WAL but sequence numbers must stay
+        // monotonic across it, or replayed records could collide with
+        // the checkpoint's high-water mark after the *next* crash.
+        wal.ensure_next_seq(ckpt_seq + 1);
+
+        let mut objects: BTreeMap<u64, Box<[f64]>> = BTreeMap::new();
+        tree.for_each_point(|oid, p| {
+            objects.insert(oid, Box::from(p));
+        });
+        for (seq, rec) in records {
+            if seq <= ckpt_seq {
+                continue; // already part of the checkpointed image
+            }
+            match rec {
+                WalRecord::Insert { oid, point } => {
+                    tree.insert(&point, oid);
+                    objects.insert(oid, point);
+                }
+                WalRecord::Remove { oid, point } => {
+                    tree.delete(&point, oid);
+                    objects.remove(&oid);
+                }
+                WalRecord::Update { oid, old, new } => {
+                    tree.delete(&old, oid);
+                    tree.insert(&new, oid);
+                    objects.insert(oid, new);
+                }
+            }
+        }
+        if objects.is_empty() {
+            return Err(MpqError::EmptyObjects);
+        }
+        let next_oid = objects.keys().next_back().map_or(0, |k| k + 1);
+        Ok(Engine {
+            dim: tree.dim(),
+            config,
+            tree,
+            objects: Mutex::new(objects),
+            next_oid: AtomicU64::new(next_oid),
+            version: AtomicU64::new(NEXT_INVENTORY_VERSION.fetch_add(1, AtomicOrdering::Relaxed)),
+            evaluations: AtomicU64::new(0),
+            mutations: MutationLog::default(),
+            wal: Some(Mutex::new(wal)),
+            data_dir: Some(dir.to_path_buf()),
+            mutator: Mutex::new(()),
+        })
+    }
+
+    /// Insert a new object, returning its assigned id (ids are handed
+    /// out monotonically and never recycled).
+    ///
+    /// The mutation is durable before it is visible: on a disk-backed
+    /// engine the WAL record is appended and fsynced first, then the
+    /// R-tree is updated in place (copy-on-write — in-flight evaluations
+    /// keep reading their pinned epoch), and only then does
+    /// [`Engine::inventory_version`] advance.
+    pub fn insert_object(&self, point: &[f64]) -> Result<u64, MpqError> {
+        let _m = lock(&self.mutator);
+        let oid = self.next_oid.load(AtomicOrdering::Relaxed);
+        validate_point(oid, self.dim, point)?;
+        self.log_wal(&WalRecord::Insert {
+            oid,
+            point: Box::from(point),
+        })?;
+        self.tree.insert(point, oid);
+        lock(&self.objects).insert(oid, Box::from(point));
+        self.next_oid.store(oid + 1, AtomicOrdering::Release);
+        self.commit_mutation(MutationEvent::Insert {
+            oid,
+            point: Arc::from(point),
+        });
+        Ok(oid)
+    }
+
+    /// Remove an object from the inventory.
+    ///
+    /// Fails with [`MpqError::UnknownObject`] if the engine does not
+    /// hold `oid`, and refuses to empty the inventory entirely (an
+    /// engine over zero objects violates the build-time contract; build
+    /// a new engine instead).
+    pub fn remove_object(&self, oid: u64) -> Result<(), MpqError> {
+        let _m = lock(&self.mutator);
+        let point = {
+            let objects = lock(&self.objects);
+            if objects.len() == 1 && objects.contains_key(&oid) {
+                return Err(MpqError::UnsupportedRequest(
+                    "removing the last object would empty the inventory",
+                ));
+            }
+            objects
+                .get(&oid)
+                .cloned()
+                .ok_or(MpqError::UnknownObject { oid })?
+        };
+        self.log_wal(&WalRecord::Remove {
+            oid,
+            point: point.clone(),
+        })?;
+        let removed = self.tree.delete(&point, oid);
+        debug_assert!(removed, "object map and tree disagree on oid {oid}");
+        lock(&self.objects).remove(&oid);
+        self.commit_mutation(MutationEvent::Remove { oid });
+        Ok(())
+    }
+
+    /// Move an existing object to a new point (same id, new
+    /// coordinates): a single logical mutation — one WAL record, one
+    /// version bump — implemented as delete + re-insert on the index.
+    pub fn update_object(&self, oid: u64, point: &[f64]) -> Result<(), MpqError> {
+        let _m = lock(&self.mutator);
+        validate_point(oid, self.dim, point)?;
+        let old = lock(&self.objects)
+            .get(&oid)
+            .cloned()
+            .ok_or(MpqError::UnknownObject { oid })?;
+        self.log_wal(&WalRecord::Update {
+            oid,
+            old: old.clone(),
+            new: Box::from(point),
+        })?;
+        let removed = self.tree.delete(&old, oid);
+        debug_assert!(removed, "object map and tree disagree on oid {oid}");
+        self.tree.insert(point, oid);
+        lock(&self.objects).insert(oid, Box::from(point));
+        self.commit_mutation(MutationEvent::Update {
+            oid,
+            point: Arc::from(point),
+        });
+        Ok(())
+    }
+
+    /// Durably append a WAL record (no-op for in-memory engines). Called
+    /// with the mutator lock held, *before* the in-memory state changes:
+    /// if the append or fsync fails, the mutation is reported as
+    /// [`MpqError::Io`] and was not applied.
+    fn log_wal(&self, rec: &WalRecord) -> Result<(), MpqError> {
+        if let Some(wal) = &self.wal {
+            let mut wal = lock(wal);
+            wal.append(rec)?;
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Publish a committed mutation: record the event under a freshly
+    /// minted version stamp, then advance the engine's version. The
+    /// order matters — once a reader observes the new version, the log
+    /// already holds every event up to it.
+    fn commit_mutation(&self, event: MutationEvent) {
+        let v = NEXT_INVENTORY_VERSION.fetch_add(1, AtomicOrdering::Relaxed);
+        self.mutations.record(v, event);
+        self.version.store(v, AtomicOrdering::Release);
+    }
+
+    /// Checkpoint a disk-backed engine: flush every dirty page, durably
+    /// commit the current tree epoch (with the WAL high-water mark) into
+    /// the page file's header, then truncate the WAL. After a
+    /// checkpoint, reopening replays nothing; between checkpoints, the
+    /// WAL alone carries the delta. A no-op for in-memory engines.
+    pub fn checkpoint(&self) -> Result<(), MpqError> {
+        let _m = lock(&self.mutator);
+        match &self.wal {
+            None => Ok(()),
+            Some(wal) => {
+                let mut wal = lock(wal);
+                self.tree.checkpoint(&wal.last_seq().to_le_bytes())?;
+                wal.truncate()?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Cumulative storage-level I/O: the index's logical/physical page
+    /// traffic plus, on a disk-backed engine, the real disk reads,
+    /// writes and fsyncs of the pager and the WAL.
+    pub fn storage_stats(&self) -> IoStats {
+        let mut s = self.tree.io_stats();
+        if let Some(wal) = &self.wal {
+            let wal = lock(wal);
+            s.disk_writes += wal.appends();
+            s.fsyncs += wal.syncs();
+        }
+        s
     }
 
     /// Build a [`FunctionSet`] from raw weight rows, reporting malformed
@@ -555,9 +915,13 @@ pub(crate) fn validate_options(
 ) -> Result<(), MpqError> {
     engine.validate_functions(functions)?;
     if let Some(caps) = &options.capacities {
-        if caps.len() != engine.n_objects {
+        // Capacities are indexed by object id; ids are never recycled,
+        // so the vector must cover the full id bound even when removals
+        // left holes below it.
+        let expected = engine.oid_bound() as usize;
+        if caps.len() != expected {
             return Err(MpqError::CapacityMismatch {
-                expected: engine.n_objects,
+                expected,
                 got: caps.len(),
             });
         }

@@ -79,6 +79,28 @@ pub enum MpqError {
     /// A service worker panicked while evaluating this request. The
     /// worker survives and keeps serving; only this request is lost.
     WorkerPanicked,
+    /// A mutation named an object id the engine does not hold.
+    UnknownObject {
+        /// The missing object id.
+        oid: u64,
+    },
+    /// A mutation's point does not share the engine's dimensionality.
+    PointDimensionMismatch {
+        /// Dimensionality the engine was built with.
+        engine: usize,
+        /// Dimensionality of the mutation's point.
+        point: usize,
+    },
+    /// A persistence (disk) operation failed; carries the OS error text.
+    /// The engine's in-memory state is unchanged — a failed mutation was
+    /// not applied.
+    Io(String),
+}
+
+impl From<std::io::Error> for MpqError {
+    fn from(e: std::io::Error) -> MpqError {
+        MpqError::Io(e.to_string())
+    }
 }
 
 impl std::fmt::Display for MpqError {
@@ -121,6 +143,14 @@ impl std::fmt::Display for MpqError {
             MpqError::WorkerPanicked => {
                 write!(f, "a service worker panicked while evaluating this request")
             }
+            MpqError::UnknownObject { oid } => {
+                write!(f, "engine holds no object with id {oid}")
+            }
+            MpqError::PointDimensionMismatch { engine, point } => write!(
+                f,
+                "point has dimensionality {point}, engine was built with {engine}"
+            ),
+            MpqError::Io(msg) => write!(f, "persistence error: {msg}"),
         }
     }
 }

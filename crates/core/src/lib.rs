@@ -60,6 +60,23 @@
 //! attaches to the running job instead of re-evaluating — see the
 //! [`cache`] module). [`Engine::evaluate_batch`] is a
 //! submit-all-then-wait wrapper over the same scheduling core.
+//!
+//! ## The inventory is mutable — and can persist
+//!
+//! [`Engine::insert_object`], [`Engine::remove_object`] and
+//! [`Engine::update_object`] maintain the R-tree incrementally under
+//! copy-on-write epochs: in-flight evaluations finish on the snapshot
+//! they pinned, and each committed mutation bumps
+//! [`Engine::inventory_version`] and is recorded in a [`MutationLog`]
+//! so the [`ResultCache`] can drop only the entries a mutation could
+//! actually change (the rest are revalidated in place). With
+//! [`EngineBuilder::data_dir`](engine::EngineBuilder::data_dir) the
+//! engine is disk-backed: index pages live in a CRC-checked page file
+//! and every mutation is appended to a write-ahead log ([`wal`]) and
+//! fsynced *before* it is applied, so [`Engine::open`] recovers the
+//! inventory — bit-identical matchings included — after a crash.
+//! [`Engine::checkpoint`] folds the WAL into the page file so the next
+//! open replays nothing.
 
 #![warn(missing_docs)]
 
@@ -77,9 +94,10 @@ pub mod sb;
 pub mod scratch;
 pub mod service;
 pub mod verify;
+pub mod wal;
 
 pub use brute_force::{BfStrategy, BruteForceMatcher};
-pub use cache::{CacheMetrics, RequestKey, ResultCache};
+pub use cache::{CacheMetrics, MutationEvent, MutationLog, RequestKey, ResultCache};
 pub use capacity::{CapacityMatcher, CapacityMatching};
 pub use chain::ChainMatcher;
 pub use engine::{
@@ -96,3 +114,4 @@ pub use service::{
     SubmitOptions, Ticket,
 };
 pub use verify::{verify_stable, verify_weakly_stable};
+pub use wal::{Wal, WalRecord};

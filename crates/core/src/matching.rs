@@ -239,20 +239,35 @@ impl IndexConfig {
     /// Bulk-load `objects` and size the buffer; I/O counters start at
     /// zero with a cold buffer.
     pub fn build_tree(&self, objects: &PointSet) -> RTree {
+        self.build_tree_in(mpq_rtree::MemPager::new(self.page_size), objects)
+    }
+
+    /// Like [`IndexConfig::build_tree`], but persisting the pages into a
+    /// caller-supplied [`PageStore`](mpq_rtree::PageStore) — e.g. a
+    /// [`DiskPager`](mpq_rtree::DiskPager) for a disk-backed engine.
+    /// The store's page size must equal [`IndexConfig::page_size`].
+    pub fn build_tree_in<S: mpq_rtree::PageStore + 'static>(
+        &self,
+        store: S,
+        objects: &PointSet,
+    ) -> RTree {
         INDEX_BUILDS.fetch_add(1, AtomicOrdering::Relaxed);
         let params = RTreeParams {
             page_size: self.page_size,
             min_fill_ratio: 0.4,
             buffer_capacity: self.min_buffer_pages.max(1),
         };
-        let tree = RTree::bulk_load(objects, params);
-        // Round to the nearest page: truncation under-sizes the buffer by
-        // up to one page, which is visible at the paper's 2% default on
-        // small trees.
-        let cap = ((tree.page_count() as f64 * self.buffer_fraction).round() as usize)
-            .max(self.min_buffer_pages);
-        tree.set_buffer_capacity(cap);
+        let tree = RTree::bulk_load_in(store, objects, params);
+        tree.set_buffer_capacity(self.buffer_pages_for(tree.page_count()));
         tree
+    }
+
+    /// The buffer capacity this configuration prescribes for a tree of
+    /// `page_count` pages. Rounds to the nearest page: truncation
+    /// under-sizes the buffer by up to one page, which is visible at the
+    /// paper's 2% default on small trees.
+    pub fn buffer_pages_for(&self, page_count: usize) -> usize {
+        ((page_count as f64 * self.buffer_fraction).round() as usize).max(self.min_buffer_pages)
     }
 }
 

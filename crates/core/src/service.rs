@@ -64,7 +64,7 @@ use std::time::{Duration, Instant};
 
 use mpq_ta::FunctionSet;
 
-use crate::cache::{request_key, CacheMetrics, RequestKey, ResultCache};
+use crate::cache::{request_key, CacheMetrics, MutationLog, RequestKey, ResultCache};
 use crate::engine::{evaluate_options, Engine, MatchRequest, RequestOptions};
 use crate::error::MpqError;
 use crate::matching::Matching;
@@ -825,13 +825,16 @@ impl<'a> ServiceCore<'a> {
     /// the in-flight index (attach to an identical queued/running job),
     /// and only then pay a queue slot. `version` is the submitting
     /// engine's [`Engine::inventory_version`] — cache entries from any
-    /// other inventory are misses.
+    /// other inventory are misses, except that `log` (the engine's
+    /// [`MutationLog`], when available) may revalidate an older entry
+    /// whose result provably survived every intervening mutation.
     pub(crate) fn submit_owned(
         &self,
         functions: FunctionSet,
         options: RequestOptions,
         submit: SubmitOptions,
         version: u64,
+        log: Option<&MutationLog>,
     ) -> Result<Ticket, MpqError> {
         if self.ordering == QueueOrdering::Fifo && submit.priority != 0 {
             return Err(MpqError::UnsupportedRequest(FIFO_PRIORITY_MSG));
@@ -848,7 +851,11 @@ impl<'a> ServiceCore<'a> {
         let key = request_key(&functions, &options);
         let group = {
             let mut layer = lock(cached);
-            if let Some(matching) = layer.cache.get(&key, version) {
+            let hit = match log {
+                Some(log) => layer.cache.get_with_log(&key, version, log),
+                None => layer.cache.get(&key, version),
+            };
+            if let Some(matching) = hit {
                 // Hit: resolve a ticket on the spot — no queue slot, no
                 // worker, bit-identical result by construction.
                 let (ticket, shared) = self.new_ticket();
@@ -1003,6 +1010,13 @@ impl<'a> ServiceCore<'a> {
 
         // A panicking evaluation must not leave any member unresolved
         // (its waiter would block forever) nor take the worker down.
+        //
+        // The cache stamp is captured *before* evaluating: the
+        // evaluation reads a tree snapshot pinned at or after this
+        // version, so stamping the result with a possibly-older version
+        // only makes the cache conservative. Reading the version *after*
+        // evaluating would stamp a pre-mutation result as current.
+        let version = engine.inventory_version();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             evaluate_options(engine, &job.functions, &job.options, scratch)
         }))
@@ -1019,7 +1033,7 @@ impl<'a> ServiceCore<'a> {
         if let (Some(key), Some(cached), Ok(matching)) = (&job.group.key, &self.cached, &result) {
             lock(cached)
                 .cache
-                .insert(key, engine.inventory_version(), matching);
+                .insert_with_log(key, version, matching, engine.mutation_log());
         }
         self.release_inflight(&job.group);
 
@@ -1086,6 +1100,7 @@ impl<'a> ServiceCore<'a> {
             expired: metrics.expired,
             panicked: metrics.panicked,
             cache,
+            storage: mpq_rtree::IoStats::default(),
             uptime: self.started.elapsed(),
             p50_latency: percentile(&sorted, 0.50),
             p99_latency: percentile(&sorted, 0.99),
@@ -1146,6 +1161,12 @@ pub struct ServiceMetrics {
     /// Result-cache and dedupe counters (all zero when caching is
     /// disabled — see [`CacheMetrics::enabled`]).
     pub cache: CacheMetrics,
+    /// Cumulative storage I/O of the served engine (logical/physical
+    /// page traffic plus, on a disk-backed engine, real disk reads,
+    /// writes and fsyncs of the pager and the WAL). All zero when the
+    /// snapshot was taken through a bare `ServiceCore` without an
+    /// engine attached.
+    pub storage: mpq_rtree::IoStats,
     /// Time since the service was spawned.
     pub uptime: Duration,
     /// Median submit→resolve latency over the rolling window.
@@ -1178,17 +1199,21 @@ impl std::fmt::Display for ServiceMetrics {
         if self.cache.enabled {
             writeln!(
                 f,
-                "cache hits {}  misses {}  attaches {}  evictions {}  hit-rate {:.1}%  ({} entries, {} KiB)",
+                "cache hits {}  misses {}  attaches {}  evictions {}  revalidations {}  hit-rate {:.1}%  ({} entries, {} KiB)",
                 self.cache.hits,
                 self.cache.misses,
                 self.cache.attaches,
                 self.cache.evictions,
+                self.cache.revalidations,
                 self.cache.hit_rate() * 100.0,
                 self.cache.entries,
                 self.cache.bytes / 1024
             )?;
         } else {
             writeln!(f, "cache disabled")?;
+        }
+        if self.storage != mpq_rtree::IoStats::default() {
+            writeln!(f, "storage {}", self.storage)?;
         }
         write!(
             f,
@@ -1280,7 +1305,9 @@ impl EngineService {
 
     /// Snapshot the rolling [`ServiceMetrics`].
     pub fn metrics(&self) -> ServiceMetrics {
-        self.core.metrics_snapshot()
+        let mut m = self.core.metrics_snapshot();
+        m.storage = self.engine.storage_stats();
+        m
     }
 
     /// Graceful shutdown: stop accepting submissions, let the workers
@@ -1360,12 +1387,15 @@ impl ServiceClient {
             request_options,
             options,
             self.engine.inventory_version(),
+            Some(self.engine.mutation_log()),
         )
     }
 
     /// Snapshot the rolling [`ServiceMetrics`].
     pub fn metrics(&self) -> ServiceMetrics {
-        self.core.metrics_snapshot()
+        let mut m = self.core.metrics_snapshot();
+        m.storage = self.engine.storage_stats();
+        m
     }
 }
 
@@ -1417,6 +1447,7 @@ mod tests {
             expired: 0,
             panicked: 0,
             cache: CacheMetrics::default(),
+            storage: mpq_rtree::IoStats::default(),
             uptime: Duration::ZERO,
             p50_latency: Duration::ZERO,
             p99_latency: Duration::ZERO,
@@ -1512,6 +1543,7 @@ mod tests {
                 RequestOptions::default(),
                 SubmitOptions::default().priority(-1),
                 1,
+                None,
             )
             .unwrap_err();
         assert!(matches!(err, MpqError::UnsupportedRequest(_)), "{err:?}");
@@ -1648,6 +1680,7 @@ mod tests {
                 RequestOptions::default(),
                 SubmitOptions::default().priority(0),
                 1,
+                None,
             )
             .unwrap();
         // Identical request, higher priority: its own heap entry.
@@ -1657,6 +1690,7 @@ mod tests {
                 RequestOptions::default(),
                 SubmitOptions::default().priority(10),
                 1,
+                None,
             )
             .unwrap();
         assert_eq!(lock(&core.queue).heap.len(), 2);
@@ -1670,6 +1704,7 @@ mod tests {
                 RequestOptions::default(),
                 SubmitOptions::default().priority(5),
                 1,
+                None,
             )
             .unwrap();
         assert_eq!(lock(&core.queue).heap.len(), 2);
@@ -1707,6 +1742,7 @@ mod tests {
                 RequestOptions::default(),
                 SubmitOptions::default(),
                 1,
+                None,
             )
         });
         let registered = |core: &ServiceCore<'static>| {
@@ -1728,6 +1764,7 @@ mod tests {
                 RequestOptions::default(),
                 SubmitOptions::default().deadline(Duration::ZERO),
                 1,
+                None,
             )
             .unwrap();
         assert_eq!(lock(&core.metrics).dedupe_attaches, 1);

@@ -45,7 +45,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::node::Node;
-use crate::pager::{MemPager, PageId};
+use crate::pager::{PageId, PageStore};
 use crate::stats::IoStats;
 
 const NIL: usize = usize::MAX;
@@ -68,14 +68,17 @@ struct Shard {
     scratch: Vec<u8>,
 }
 
-/// A thread-safe, sharded LRU buffer pool over a [`MemPager`].
+/// A thread-safe, sharded LRU buffer pool over any [`PageStore`]
+/// (in-memory [`crate::pager::MemPager`] or file-backed
+/// [`crate::disk::DiskPager`]).
 ///
 /// All node traffic of an [`crate::RTree`] flows through this type, which
 /// is what makes the I/O accounting exact: `logical` counts every request,
 /// `physical_reads` counts misses, `physical_writes` counts dirty
-/// write-backs. See the [module docs](self) for the sharding model.
+/// write-backs (and a disk-backed store contributes its `disk_*` device
+/// counters). See the [module docs](self) for the sharding model.
 pub struct BufferPool {
-    pager: RwLock<MemPager>,
+    store: RwLock<Box<dyn PageStore>>,
     dim: usize,
     page_size: usize,
     cap: AtomicUsize,
@@ -94,17 +97,34 @@ impl std::fmt::Debug for BufferPool {
 }
 
 impl BufferPool {
-    /// Create a single-shard pool over `pager` caching up to `capacity`
+    /// Create a single-shard pool over `store` caching up to `capacity`
     /// nodes of a `dim`-dimensional tree — the classic one-lock LRU.
     /// Capacities below 1 are clamped to 1.
-    pub fn new(pager: MemPager, dim: usize, capacity: usize) -> BufferPool {
-        BufferPool::with_shards(pager, dim, capacity, 1)
+    pub fn new<S: PageStore + 'static>(store: S, dim: usize, capacity: usize) -> BufferPool {
+        BufferPool::with_shards(store, dim, capacity, 1)
     }
 
     /// Create a pool with `shards` lock shards (clamped to ≥ 1). The
     /// `capacity` is the **global** bound across all shards.
-    pub fn with_shards(pager: MemPager, dim: usize, capacity: usize, shards: usize) -> BufferPool {
-        let page = pager.page_size();
+    pub fn with_shards<S: PageStore + 'static>(
+        store: S,
+        dim: usize,
+        capacity: usize,
+        shards: usize,
+    ) -> BufferPool {
+        BufferPool::with_boxed_store(Box::new(store), dim, capacity, shards)
+    }
+
+    /// Like [`BufferPool::with_shards`] but taking an already-boxed store
+    /// (avoids double boxing when a pool is rebuilt around an existing
+    /// store, e.g. on re-sharding).
+    pub fn with_boxed_store(
+        store: Box<dyn PageStore>,
+        dim: usize,
+        capacity: usize,
+        shards: usize,
+    ) -> BufferPool {
+        let page = store.page_size();
         let n = shards.max(1);
         let shards = (0..n)
             .map(|_| {
@@ -120,7 +140,7 @@ impl BufferPool {
             })
             .collect();
         BufferPool {
-            pager: RwLock::new(pager),
+            store: RwLock::new(store),
             dim,
             page_size: page,
             cap: AtomicUsize::new(capacity.max(1)),
@@ -147,17 +167,24 @@ impl BufferPool {
         cap / n + usize::from(i < cap % n)
     }
 
-    /// Flush every shard and unwrap the underlying pager (used when the
+    /// Flush every shard and unwrap the underlying store (used when the
     /// pool is rebuilt with a different shard count).
-    pub(crate) fn into_pager(self) -> MemPager {
+    pub(crate) fn into_store(self) -> Box<dyn PageStore> {
         self.flush();
-        self.pager.into_inner()
+        self.store.into_inner()
     }
 
     /// Seed the aggregate I/O counters (credited to shard 0). Used when a
-    /// pool is rebuilt so re-sharding never loses accounting history.
+    /// pool is rebuilt so re-sharding never loses accounting history. The
+    /// `disk_*` fields are stripped: the store travels with the rebuild
+    /// and keeps its own device counters.
     pub(crate) fn seed_stats(&self, stats: IoStats) {
-        self.shards[0].lock().stats = stats;
+        self.shards[0].lock().stats = IoStats {
+            disk_reads: 0,
+            disk_writes: 0,
+            fsyncs: 0,
+            ..stats
+        };
     }
 
     /// Fetch a node, reading and decoding the page on a miss.
@@ -178,12 +205,14 @@ impl BufferPool {
         }
         g.stats.physical_reads += 1;
         let node = {
-            let pager = self.pager.read();
-            Arc::new(Node::decode(self.dim, pager.read(pid)))
+            let store = self.store.read();
+            store.read_into(pid, &mut g.scratch);
+            drop(store);
+            Arc::new(Node::decode(self.dim, &g.scratch))
         };
         let share = self.share(si);
         if share > 0 {
-            g.install(pid, Arc::clone(&node), false, share, &self.pager);
+            g.install(pid, Arc::clone(&node), false, share, &self.store);
         }
         (node, true)
     }
@@ -204,15 +233,15 @@ impl BufferPool {
         }
         let share = self.share(si);
         if share > 0 {
-            g.install(pid, node, true, share, &self.pager);
+            g.install(pid, node, true, share, &self.store);
         } else {
-            g.write_through(pid, &node, &self.pager);
+            g.write_through(pid, &node, &self.store);
         }
     }
 
-    /// Allocate a fresh page in the underlying pager.
+    /// Allocate a fresh page in the underlying store.
     pub fn allocate(&self) -> PageId {
-        self.pager.write().allocate()
+        self.store.write().allocate()
     }
 
     /// Drop any cached copy of `pid` (without write-back) and free the
@@ -225,7 +254,7 @@ impl BufferPool {
             g.frames[slot].node = Arc::new(Node::Leaf(crate::node::LeafNode::new(1)));
             g.free_slots.push(slot);
         }
-        self.pager.write().free(pid);
+        self.store.write().free(pid);
     }
 
     /// Write back all dirty frames (counted as physical writes).
@@ -234,7 +263,7 @@ impl BufferPool {
             let mut g = shard.lock();
             let slots: Vec<usize> = g.map.values().copied().collect();
             for slot in slots {
-                g.write_back(slot, &self.pager);
+                g.write_back(slot, &self.store);
             }
         }
     }
@@ -247,7 +276,7 @@ impl BufferPool {
             let mut g = shard.lock();
             let slots: Vec<usize> = g.map.values().copied().collect();
             for slot in slots {
-                g.write_back(slot, &self.pager);
+                g.write_back(slot, &self.store);
             }
             g.map.clear();
             g.frames.clear();
@@ -267,7 +296,7 @@ impl BufferPool {
             let share = self.share(i);
             let mut g = shard.lock();
             while g.map.len() > share {
-                g.evict_lru(&self.pager);
+                g.evict_lru(&self.store);
             }
         }
     }
@@ -282,27 +311,26 @@ impl BufferPool {
         self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
-    /// Number of live pages in the pager (i.e., size of the tree on
-    /// "disk", in pages).
+    /// Number of live pages in the store (i.e., size of the tree on
+    /// disk, in pages).
     pub fn live_pages(&self) -> usize {
-        self.pager.read().live_pages()
+        self.store.read().live_pages()
     }
 
-    /// Page size of the underlying pager, in bytes.
+    /// Page size of the underlying store, in bytes.
     pub fn page_size(&self) -> usize {
         self.page_size
     }
 
-    /// Snapshot of the I/O counters, summed across shards.
+    /// Snapshot of the I/O counters: buffer traffic summed across shards,
+    /// plus the store's device counters (`disk_*`, zero for in-memory
+    /// stores).
     pub fn stats(&self) -> IoStats {
         let mut total = IoStats::default();
         for shard in self.shards.iter() {
-            let s = shard.lock().stats;
-            total.logical += s.logical;
-            total.physical_reads += s.physical_reads;
-            total.physical_writes += s.physical_writes;
+            total += shard.lock().stats;
         }
-        total
+        total + self.store.read().disk_stats()
     }
 
     /// Zero the I/O counters (e.g., after bulk loading, so experiments
@@ -311,6 +339,30 @@ impl BufferPool {
         for shard in self.shards.iter() {
             shard.lock().stats = IoStats::default();
         }
+        self.store.read().reset_disk_stats();
+    }
+
+    /// Flush every dirty frame and checkpoint the underlying store with
+    /// `meta` as its recovery metadata (a no-op for in-memory stores).
+    pub fn checkpoint(&self, meta: &[u8]) -> std::io::Result<()> {
+        self.flush();
+        self.store.write().checkpoint(meta)
+    }
+
+    /// Recovery metadata installed by the store's most recent checkpoint.
+    pub fn store_meta(&self) -> Option<Vec<u8>> {
+        self.store.read().meta()
+    }
+
+    /// Seed the store's free list after recovery (see
+    /// [`PageStore::seed_free`]).
+    pub fn seed_free(&self, free: &[u32]) {
+        self.store.write().seed_free(free);
+    }
+
+    /// One past the highest page id ever allocated in the store.
+    pub fn page_bound(&self) -> u32 {
+        self.store.read().page_bound()
     }
 }
 
@@ -354,11 +406,11 @@ impl Shard {
         node: Arc<Node>,
         dirty: bool,
         share: usize,
-        pager: &RwLock<MemPager>,
+        store: &RwLock<Box<dyn PageStore>>,
     ) {
         debug_assert!(share > 0, "zero-share shards must not cache");
         while self.map.len() >= share {
-            self.evict_lru(pager);
+            self.evict_lru(store);
         }
         let slot = if let Some(s) = self.free_slots.pop() {
             self.frames[s] = Frame {
@@ -383,38 +435,38 @@ impl Shard {
         self.push_front(slot);
     }
 
-    fn evict_lru(&mut self, pager: &RwLock<MemPager>) {
+    fn evict_lru(&mut self, store: &RwLock<Box<dyn PageStore>>) {
         let victim = self.tail;
         debug_assert!(victim != NIL, "evict called on empty shard");
-        self.write_back(victim, pager);
+        self.write_back(victim, store);
         let pid = self.frames[victim].pid;
         self.unlink(victim);
         self.map.remove(&pid);
         self.free_slots.push(victim);
     }
 
-    fn write_back(&mut self, slot: usize, pager: &RwLock<MemPager>) {
+    fn write_back(&mut self, slot: usize, store: &RwLock<Box<dyn PageStore>>) {
         if !self.frames[slot].dirty {
             return;
         }
         let pid = PageId(self.frames[slot].pid);
         let node = Arc::clone(&self.frames[slot].node);
-        self.encode_and_write(pid, &node, pager);
+        self.encode_and_write(pid, &node, store);
         self.frames[slot].dirty = false;
         self.stats.physical_writes += 1;
     }
 
     /// Uncached write of `node` to `pid` (zero-share shards).
-    fn write_through(&mut self, pid: PageId, node: &Node, pager: &RwLock<MemPager>) {
-        self.encode_and_write(pid, node, pager);
+    fn write_through(&mut self, pid: PageId, node: &Node, store: &RwLock<Box<dyn PageStore>>) {
+        self.encode_and_write(pid, node, store);
         self.stats.physical_writes += 1;
     }
 
-    fn encode_and_write(&mut self, pid: PageId, node: &Node, pager: &RwLock<MemPager>) {
+    fn encode_and_write(&mut self, pid: PageId, node: &Node, store: &RwLock<Box<dyn PageStore>>) {
         self.scratch.fill(0);
         node.encode(&mut self.scratch);
         let len = node.encoded_len();
-        pager.write().write(pid, &self.scratch[..len]);
+        store.write().write(pid, &self.scratch[..len]);
     }
 }
 
@@ -422,6 +474,7 @@ impl Shard {
 mod tests {
     use super::*;
     use crate::node::LeafNode;
+    use crate::pager::MemPager;
 
     fn leaf_node(dim: usize, seed: f64) -> Node {
         let mut n = LeafNode::new(dim);

@@ -1,4 +1,4 @@
-//! # mpq-rtree — a disk-simulated, paged R\*-tree
+//! # mpq-rtree — a disk-backed, paged R\*-tree
 //!
 //! This crate provides the storage substrate used by the ICDE 2009 paper
 //! *"Efficient Evaluation of Multiple Preference Queries"*: a
@@ -9,16 +9,23 @@
 //!
 //! Features:
 //!
-//! * **Paged storage** ([`pager::MemPager`]) — every node occupies exactly
-//!   one page (default 4096 bytes, as in the paper); nodes are serialized
-//!   to a compact binary layout ([`node`]).
+//! * **Paged storage** behind the [`pager::PageStore`] trait — every node
+//!   occupies exactly one page (default 4096 bytes, as in the paper);
+//!   nodes are serialized to a compact binary layout ([`node`]). Pages
+//!   live in memory ([`pager::MemPager`], the paper's simulated disk) or
+//!   in a real file ([`disk::DiskPager`]: CRC-checked pages, alternating
+//!   header slots, durable [`RTree::checkpoint`] and
+//!   [`RTree::open`] recovery).
 //! * **LRU buffer pool** ([`buffer::BufferPool`]) with logical/physical
 //!   access counters ([`stats::IoStats`]).
 //! * **STR bulk loading** ([`RTree::bulk_load`]) — Sort-Tile-Recursive
 //!   packing for the initial dataset.
 //! * **Dynamic updates** — R\*-style [`RTree::insert`] and Guttman
 //!   condense-tree [`RTree::delete`] (needed by the Brute Force and Chain
-//!   matchers, which remove assigned objects from the index).
+//!   matchers, which remove assigned objects from the index), applied
+//!   under copy-on-write **epochs**: a writer installs the next snapshot
+//!   while in-flight readers ([`tree::Snapshot`], [`session::IoSession`])
+//!   finish on the one they pinned.
 //! * **Branch-and-bound ranked search** ([`topk`]) — the "BRS" top-k /
 //!   top-1 algorithm of Tao et al. (Information Systems 32(3), 2007) for
 //!   linear scoring functions, plus an incremental iterator.
@@ -42,6 +49,7 @@
 
 pub mod buffer;
 pub mod bulk;
+pub mod disk;
 pub mod geometry;
 pub mod knn;
 pub mod node;
@@ -53,14 +61,15 @@ pub mod stats;
 pub mod topk;
 pub mod tree;
 
+pub use disk::DiskPager;
 pub use geometry::Mbr;
 pub use knn::{NnHit, NnIter};
 pub use node::{InnerNode, LeafNode, Node};
-pub use pager::PageId;
+pub use pager::{MemPager, PageId, PageStore};
 pub use points::PointSet;
 pub use session::{IoSession, NodeSource};
 pub use stats::IoStats;
 pub use topk::{
     LinearScorer, LinearScorerRef, MonotoneScorer, RankedHit, RankedIter, Scorer, SearchBuf,
 };
-pub use tree::{RTree, RTreeParams};
+pub use tree::{RTree, RTreeParams, Snapshot};

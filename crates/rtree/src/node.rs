@@ -390,6 +390,12 @@ impl InnerNode {
         self.children.push(child.0);
     }
 
+    /// Replace the child page id of entry `i` (copy-on-write parent
+    /// rewiring: the child was rewritten to a fresh page).
+    pub fn set_child(&mut self, i: usize, child: PageId) {
+        self.children[i] = child.0;
+    }
+
     /// Replace the MBR of entry `i`.
     pub fn set_mbr(&mut self, i: usize, lo: &[f64], hi: &[f64]) {
         let base = i * 2 * self.dim;

@@ -1,13 +1,19 @@
-//! The simulated disk: a page-granular byte store.
+//! Page-granular byte stores: the [`PageStore`] abstraction, plus the
+//! in-memory [`MemPager`].
 //!
-//! Real deployments of the paper's system would put the object R-tree on
-//! disk; for a reproducible laptop-scale experiment we simulate the disk
-//! with an in-memory page store. The simulation is faithful at the level
-//! that matters for the paper's metrics: every node access that misses the
-//! LRU buffer pool costs one *physical* page transfer, counted by
-//! [`crate::stats::IoStats`] in the buffer layer above.
+//! Real deployments of the paper's system put the object R-tree on disk;
+//! [`crate::disk::DiskPager`] does exactly that with a file-backed store.
+//! For reproducible laptop-scale experiments the in-memory [`MemPager`]
+//! simulates the disk instead. Both sit behind the same [`PageStore`]
+//! trait, so the LRU buffer pool above ([`crate::buffer::BufferPool`])
+//! and everything above *it* is storage-agnostic. The simulation is
+//! faithful at the level that matters for the paper's metrics: every node
+//! access that misses the buffer costs one *physical* page transfer,
+//! counted by [`crate::stats::IoStats`] in the buffer layer.
 
-/// Identifier of a fixed-size page in a [`MemPager`].
+use crate::stats::IoStats;
+
+/// Identifier of a fixed-size page in a [`PageStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
@@ -25,6 +31,141 @@ impl PageId {
 impl std::fmt::Display for PageId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "p{}", self.0)
+    }
+}
+
+/// A page-granular byte store: fixed-size pages addressed by [`PageId`],
+/// with allocate/free/read/write plus an optional durability protocol.
+///
+/// Implementations:
+///
+/// * [`MemPager`] — in-memory simulated disk (no durability; checkpoints
+///   are no-ops).
+/// * [`crate::disk::DiskPager`] — file-backed store with a double-slot
+///   CRC'd header and `fsync`-fenced checkpoints.
+///
+/// The buffer pool holds the store behind a `RwLock`, so reads take
+/// `&self` (concurrent) and mutations take `&mut self` (exclusive).
+pub trait PageStore: Send + Sync {
+    /// Page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Number of live (allocated, not freed) pages.
+    fn live_pages(&self) -> usize;
+
+    /// One past the highest page id ever allocated. Every live page id is
+    /// `< page_bound()`; recovery walks `0..page_bound()` to classify
+    /// pages as reachable or free.
+    fn page_bound(&self) -> u32;
+
+    /// Allocate a page and return its id. Contents are undefined until
+    /// the first [`PageStore::write`].
+    fn allocate(&mut self) -> PageId;
+
+    /// Return a page to the free list. A durable store may defer reuse of
+    /// the id until the next checkpoint (the last checkpoint may still
+    /// reference the page).
+    ///
+    /// # Panics
+    /// May panic if the page is not currently allocated (double free).
+    fn free(&mut self, id: PageId);
+
+    /// Read a page's bytes into `out` (whose length must be at least the
+    /// page size; exactly `page_size` bytes are written).
+    ///
+    /// # Panics
+    /// Panics if the page is not allocated or `out` is too short.
+    fn read_into(&self, id: PageId, out: &mut [u8]);
+
+    /// Overwrite a page's bytes. `data` may be shorter than the page; the
+    /// remainder is zero-filled.
+    ///
+    /// # Panics
+    /// Panics if the page is not allocated or `data` exceeds the page
+    /// size.
+    fn write(&mut self, id: PageId, data: &[u8]);
+
+    /// Make all previously written pages durable and atomically install
+    /// `meta` as the store's recovery metadata. After a successful
+    /// checkpoint, reopening the store yields exactly the checkpointed
+    /// pages and `meta`. In-memory stores treat this as a no-op.
+    fn checkpoint(&mut self, meta: &[u8]) -> std::io::Result<()> {
+        let _ = meta;
+        Ok(())
+    }
+
+    /// The recovery metadata installed by the most recent successful
+    /// [`PageStore::checkpoint`], or `None` if the store has never been
+    /// checkpointed (or does not persist anything).
+    fn meta(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Counters of actual device traffic (`disk_reads` / `disk_writes` /
+    /// `fsyncs`); all-zero for in-memory stores.
+    fn disk_stats(&self) -> IoStats {
+        IoStats::default()
+    }
+
+    /// Zero the device-traffic counters (no-op for in-memory stores).
+    fn reset_disk_stats(&self) {}
+
+    /// Seed the free list after recovery: `free` lists page ids that
+    /// exist in the store but are unreachable from the recovered root
+    /// (the caller computes reachability by walking the tree). In-memory
+    /// stores never recover, so the default is a no-op.
+    fn seed_free(&mut self, free: &[u32]) {
+        let _ = free;
+    }
+}
+
+impl<S: PageStore + ?Sized> PageStore for Box<S> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+
+    fn live_pages(&self) -> usize {
+        (**self).live_pages()
+    }
+
+    fn page_bound(&self) -> u32 {
+        (**self).page_bound()
+    }
+
+    fn allocate(&mut self) -> PageId {
+        (**self).allocate()
+    }
+
+    fn free(&mut self, id: PageId) {
+        (**self).free(id)
+    }
+
+    fn read_into(&self, id: PageId, out: &mut [u8]) {
+        (**self).read_into(id, out)
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) {
+        (**self).write(id, data)
+    }
+
+    fn checkpoint(&mut self, meta: &[u8]) -> std::io::Result<()> {
+        (**self).checkpoint(meta)
+    }
+
+    fn meta(&self) -> Option<Vec<u8>> {
+        (**self).meta()
+    }
+
+    fn disk_stats(&self) -> IoStats {
+        (**self).disk_stats()
+    }
+
+    fn reset_disk_stats(&self) {
+        (**self).reset_disk_stats()
+    }
+
+    fn seed_free(&mut self, free: &[u32]) {
+        (**self).seed_free(free)
     }
 }
 
@@ -123,6 +264,37 @@ impl MemPager {
             .unwrap_or_else(|| panic!("write to unallocated page {id}"));
         page[..data.len()].copy_from_slice(data);
         page[data.len()..].fill(0);
+    }
+}
+
+impl PageStore for MemPager {
+    fn page_size(&self) -> usize {
+        MemPager::page_size(self)
+    }
+
+    fn live_pages(&self) -> usize {
+        MemPager::live_pages(self)
+    }
+
+    fn page_bound(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn allocate(&mut self) -> PageId {
+        MemPager::allocate(self)
+    }
+
+    fn free(&mut self, id: PageId) {
+        MemPager::free(self, id)
+    }
+
+    fn read_into(&self, id: PageId, out: &mut [u8]) {
+        let page = MemPager::read(self, id);
+        out[..page.len()].copy_from_slice(page);
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) {
+        MemPager::write(self, id, data)
     }
 }
 

@@ -26,7 +26,7 @@ use crate::node::Node;
 use crate::pager::PageId;
 use crate::stats::IoStats;
 use crate::topk::{LinearScorer, RankedHit, RankedIter, Scorer};
-use crate::tree::RTree;
+use crate::tree::{RTree, Snapshot};
 
 /// Read access to an R-tree's nodes, with I/O accounting.
 ///
@@ -118,20 +118,34 @@ impl<T: NodeSource + ?Sized> NodeSource for &T {
 /// reports exactly the traffic this run caused, no matter how many other
 /// sessions hammer the same tree concurrently (each from its own
 /// thread — the session itself is single-threaded and `!Sync`).
+///
+/// Opening a session pins a [`Snapshot`] of the current epoch: the whole
+/// run traverses one frozen version of the tree, unaffected by
+/// concurrent mutations, and pages of that version stay allocated until
+/// the session drops.
 pub struct IoSession<'t> {
     tree: &'t RTree,
+    snap: Snapshot<'t>,
     logical: Cell<u64>,
     physical_reads: Cell<u64>,
 }
 
 impl<'t> IoSession<'t> {
-    /// Open a session over `tree` with zeroed counters.
+    /// Open a session over `tree` with zeroed counters, pinned to the
+    /// tree's current epoch.
     pub fn new(tree: &'t RTree) -> IoSession<'t> {
         IoSession {
             tree,
+            snap: tree.snapshot(),
             logical: Cell::new(0),
             physical_reads: Cell::new(0),
         }
+    }
+
+    /// The epoch this session is pinned to.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch()
     }
 
     /// The underlying shared tree.
@@ -146,7 +160,7 @@ impl<'t> IoSession<'t> {
         IoStats {
             logical: self.logical.get(),
             physical_reads: self.physical_reads.get(),
-            physical_writes: 0,
+            ..IoStats::default()
         }
     }
 
@@ -184,12 +198,12 @@ impl NodeSource for IoSession<'_> {
 
     #[inline]
     fn root_page(&self) -> PageId {
-        self.tree.root_page()
+        self.snap.root_page()
     }
 
     #[inline]
     fn len(&self) -> u64 {
-        self.tree.len()
+        self.snap.len()
     }
 
     fn read_node(&self, pid: PageId) -> Arc<Node> {
@@ -288,5 +302,23 @@ mod tests {
         assert_eq!(s1.stats().logical, s2.stats().logical);
         // the second run found a warmer buffer
         assert!(s2.stats().physical_reads <= s1.stats().physical_reads);
+    }
+
+    #[test]
+    fn session_is_pinned_across_concurrent_mutations() {
+        let t = tree();
+        let s = IoSession::new(&t);
+        let before: Vec<u64> = s.ranked_iter(&[0.5, 0.5]).take(10).map(|h| h.oid).collect();
+        // Delete the session's current best and insert a dominating point.
+        let top = s.top1(&[0.5, 0.5]).unwrap();
+        assert!(t.delete(&top.point, top.oid));
+        t.insert(&[1.0, 1.0], 999_999);
+        // The pinned session still answers from its frozen epoch...
+        let after: Vec<u64> = s.ranked_iter(&[0.5, 0.5]).take(10).map(|h| h.oid).collect();
+        assert_eq!(before, after);
+        // ...while a fresh session sees the new version.
+        let s2 = IoSession::new(&t);
+        assert_eq!(s2.top1(&[0.5, 0.5]).unwrap().oid, 999_999);
+        assert!(s2.epoch() > s.epoch());
     }
 }

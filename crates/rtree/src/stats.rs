@@ -10,6 +10,16 @@
 //!
 //! The paper's "I/O accesses" metric corresponds to
 //! [`IoStats::physical`], the sum of physical reads and writes.
+//!
+//! With a disk-backed store ([`crate::disk::DiskPager`]) three more
+//! counters track *actual* device traffic, one level below the pager
+//! abstraction:
+//!
+//! * `disk_reads` — page reads served from the backing file,
+//! * `disk_writes` — page writes issued to the backing file,
+//! * `fsyncs` — durability barriers (`fsync`) issued at checkpoints.
+//!
+//! For [`crate::pager::MemPager`] trees these stay zero.
 
 use std::ops::{Add, AddAssign, Sub};
 
@@ -25,6 +35,12 @@ pub struct IoStats {
     pub physical_reads: u64,
     /// Dirty pages written back to the pager (eviction or explicit flush).
     pub physical_writes: u64,
+    /// Page reads served from a backing file (zero for in-memory stores).
+    pub disk_reads: u64,
+    /// Page writes issued to a backing file (zero for in-memory stores).
+    pub disk_writes: u64,
+    /// `fsync` barriers issued against a backing file (checkpoints).
+    pub fsyncs: u64,
 }
 
 impl IoStats {
@@ -51,6 +67,9 @@ impl IoStats {
             logical: self.logical.saturating_sub(earlier.logical),
             physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
             physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
+            disk_reads: self.disk_reads.saturating_sub(earlier.disk_reads),
+            disk_writes: self.disk_writes.saturating_sub(earlier.disk_writes),
+            fsyncs: self.fsyncs.saturating_sub(earlier.fsyncs),
         }
     }
 }
@@ -70,6 +89,9 @@ impl AddAssign for IoStats {
         self.logical += rhs.logical;
         self.physical_reads += rhs.physical_reads;
         self.physical_writes += rhs.physical_writes;
+        self.disk_reads += rhs.disk_reads;
+        self.disk_writes += rhs.disk_writes;
+        self.fsyncs += rhs.fsyncs;
     }
 }
 
@@ -91,7 +113,15 @@ impl std::fmt::Display for IoStats {
             self.physical_reads,
             self.physical_writes,
             self.physical()
-        )
+        )?;
+        if self.disk_reads != 0 || self.disk_writes != 0 || self.fsyncs != 0 {
+            write!(
+                f,
+                " disk_reads={} disk_writes={} fsyncs={}",
+                self.disk_reads, self.disk_writes, self.fsyncs
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -105,6 +135,7 @@ mod tests {
             logical: 10,
             physical_reads: 3,
             physical_writes: 2,
+            ..Default::default()
         };
         assert_eq!(s.physical(), 5);
     }
@@ -115,11 +146,13 @@ mod tests {
             logical: 5,
             physical_reads: 1,
             physical_writes: 0,
+            ..Default::default()
         };
         let b = IoStats {
             logical: 7,
             physical_reads: 4,
             physical_writes: 1,
+            ..Default::default()
         };
         let d = b.since(a);
         assert_eq!(d.logical, 2);
@@ -138,6 +171,7 @@ mod tests {
             logical: 4,
             physical_reads: 1,
             physical_writes: 0,
+            ..Default::default()
         };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
     }
@@ -148,11 +182,13 @@ mod tests {
             logical: 2,
             physical_reads: 2,
             physical_writes: 2,
+            ..Default::default()
         };
         let b = IoStats {
             logical: 9,
             physical_reads: 5,
             physical_writes: 3,
+            ..Default::default()
         };
         assert_eq!(b - a, b.since(a));
     }

@@ -464,7 +464,7 @@ mod tests {
     #[test]
     fn top1_respects_deletions() {
         let ps = seeded_points(300, 2, 77);
-        let mut tree = RTree::bulk_load(&ps, params());
+        let tree = RTree::bulk_load(&ps, params());
         let w = [0.7, 0.3];
         let first = tree.top1(&w).unwrap();
         assert!(tree.delete(&first.point, first.oid));

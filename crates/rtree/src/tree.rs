@@ -9,14 +9,45 @@
 //! The tree stores points (objects with `D` attributes in `[0,1]`), keyed
 //! by a `u64` object id. Duplicate points and duplicate ids are allowed;
 //! a deletion removes the entry matching both the coordinates and the id.
+//!
+//! # Copy-on-write epochs
+//!
+//! Mutations take `&self` and never overwrite a live page. Instead the
+//! writer *path-copies*: every node touched by an insert or delete is
+//! rewritten to a freshly allocated page, parents are rewired
+//! ([`crate::node::InnerNode::set_child`]) up to a new root, and the new
+//! root is published atomically as the next **epoch**. Readers pin a
+//! [`Snapshot`] (see [`RTree::snapshot`]) and traverse a frozen root;
+//! in-flight readers on older epochs keep seeing their version while
+//! writers advance. Pages superseded by a mutation are *retired*, not
+//! freed — they are reclaimed only once no pinned snapshot is old enough
+//! to reference them (epoch-based reclamation).
+//!
+//! Writers are serialized by an internal lock; readers never block
+//! writers and vice versa (beyond per-page buffer-pool latching).
+//!
+//! # Persistence
+//!
+//! Any [`PageStore`] can back the tree. With a
+//! [`crate::disk::DiskPager`], [`RTree::checkpoint`] flushes all dirty
+//! pages and durably commits the current root/epoch (plus caller
+//! metadata, e.g. a WAL sequence number) into the store's header;
+//! [`RTree::open`] recovers that state, then walks the tree from the
+//! recovered root to re-seed the store's free list with every
+//! unreachable page — no free list needs to be persisted, and the walk
+//! doubles as a structural validation of the recovered tree.
 
+use std::collections::{BTreeMap, HashSet};
+use std::io;
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
 use crate::bulk::str_bulk_load;
 use crate::geometry::{enlargement, rect_area, rect_contains_point, rect_overlap, Mbr};
 use crate::node::{InnerNode, LeafNode, Node};
-use crate::pager::{MemPager, PageId};
+use crate::pager::{MemPager, PageId, PageStore};
 use crate::points::PointSet;
 use crate::split::{rstar_split, SplitEntry};
 use crate::stats::IoStats;
@@ -44,7 +75,106 @@ impl Default for RTreeParams {
     }
 }
 
-/// A disk-simulated R\*-tree over `D`-dimensional points.
+/// The published tree version: root page, shape, and epoch stamp.
+#[derive(Debug, Clone, Copy)]
+struct TreeState {
+    root: PageId,
+    height: u32,
+    len: u64,
+    epoch: u64,
+}
+
+/// Epoch bookkeeping: which epochs have pinned readers, and which retired
+/// pages await reclamation.
+#[derive(Default)]
+struct Epochs {
+    /// Pinned reader count per epoch.
+    active: BTreeMap<u64, usize>,
+    /// `(retire_epoch, page)`: the page was superseded when
+    /// `retire_epoch` was published, so readers pinned at epochs `<
+    /// retire_epoch` may still need it. Freed once the minimum pinned
+    /// epoch reaches `retire_epoch`.
+    retired: Vec<(u64, PageId)>,
+}
+
+/// A pinned, immutable view of one tree epoch.
+///
+/// While a snapshot is alive, every page reachable from its root stays
+/// allocated even if concurrent writers supersede them — traversals from
+/// [`Snapshot::root_page`] are stable. Dropping the snapshot unpins the
+/// epoch and lets deferred reclamation free superseded pages.
+pub struct Snapshot<'t> {
+    tree: &'t RTree,
+    root: PageId,
+    height: u32,
+    len: u64,
+    epoch: u64,
+}
+
+impl Snapshot<'_> {
+    /// Root page of the pinned epoch.
+    #[inline]
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Tree height of the pinned epoch (1 = the root is a leaf).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of indexed points in the pinned epoch.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff the pinned epoch holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The epoch stamp this snapshot pins.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for Snapshot<'_> {
+    fn drop(&mut self) {
+        self.tree.unpin(self.epoch);
+    }
+}
+
+/// Scratch state of one in-flight mutation: the working (unpublished)
+/// root/shape, pages allocated by this mutation (invisible to readers —
+/// freed immediately if superseded again), and live pages it superseded
+/// (retired at publish).
+struct MutCtx {
+    root: PageId,
+    height: u32,
+    len: u64,
+    fresh: HashSet<u32>,
+    retired: Vec<PageId>,
+}
+
+impl MutCtx {
+    fn from_state(st: TreeState) -> MutCtx {
+        MutCtx {
+            root: st.root,
+            height: st.height,
+            len: st.len,
+            fresh: HashSet::new(),
+            retired: Vec::new(),
+        }
+    }
+}
+
+/// A paged R\*-tree over `D`-dimensional points, mutable in place with
+/// copy-on-write epoch snapshots.
 ///
 /// See the [crate docs](crate) for an example.
 pub struct RTree {
@@ -53,18 +183,22 @@ pub struct RTree {
     inner_cap: usize,
     leaf_min: usize,
     inner_min: usize,
+    min_fill_ratio: f64,
     buf: BufferPool,
-    root: PageId,
-    height: u32,
-    len: u64,
+    state: Mutex<TreeState>,
+    /// Serializes mutators; readers never take this.
+    writer: Mutex<()>,
+    epochs: Mutex<Epochs>,
 }
 
 impl std::fmt::Debug for RTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = *self.state.lock();
         f.debug_struct("RTree")
             .field("dim", &self.dim)
-            .field("len", &self.len)
-            .field("height", &self.height)
+            .field("len", &st.len)
+            .field("height", &st.height)
+            .field("epoch", &st.epoch)
             .field("pages", &self.buf.live_pages())
             .finish()
     }
@@ -102,14 +236,65 @@ impl Pending {
 }
 
 struct RecResult {
+    /// Copy-on-write replacement page of the visited node.
+    new_pid: PageId,
     /// Tight MBR of the visited node after the insertion.
     mbr: Mbr,
     /// Set when the visited node split: the new sibling and its MBR.
     split: Option<(Mbr, PageId)>,
 }
 
+/// Fixed prefix of the checkpoint metadata: dim, root, height, reserved,
+/// len, epoch, min_fill_ratio (all little-endian).
+const TREE_META_LEN: usize = 40;
+
+fn encode_tree_meta(dim: usize, ratio: f64, st: TreeState, extra: &[u8]) -> Vec<u8> {
+    let mut m = Vec::with_capacity(TREE_META_LEN + extra.len());
+    m.extend_from_slice(&(dim as u32).to_le_bytes());
+    m.extend_from_slice(&st.root.0.to_le_bytes());
+    m.extend_from_slice(&st.height.to_le_bytes());
+    m.extend_from_slice(&0u32.to_le_bytes());
+    m.extend_from_slice(&st.len.to_le_bytes());
+    m.extend_from_slice(&st.epoch.to_le_bytes());
+    m.extend_from_slice(&ratio.to_le_bytes());
+    m.extend_from_slice(extra);
+    m
+}
+
+fn decode_tree_meta(meta: &[u8]) -> io::Result<(usize, TreeState, f64, Vec<u8>)> {
+    if meta.len() < TREE_META_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "checkpoint metadata too short for a tree header",
+        ));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(meta[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(meta[o..o + 8].try_into().unwrap());
+    let dim = u32_at(0) as usize;
+    let st = TreeState {
+        root: PageId(u32_at(4)),
+        height: u32_at(8),
+        len: u64_at(16),
+        epoch: u64_at(24),
+    };
+    let ratio = f64::from_le_bytes(meta[32..40].try_into().unwrap());
+    if dim == 0 || !st.root.is_valid() || st.height == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "checkpoint metadata describes an impossible tree",
+        ));
+    }
+    if !(0.0..=0.5).contains(&ratio) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "checkpoint metadata has an out-of-range min fill ratio",
+        ));
+    }
+    Ok((dim, st, ratio, meta[TREE_META_LEN..].to_vec()))
+}
+
 impl RTree {
-    /// Create an empty tree.
+    /// Create an empty tree on an in-memory store.
     ///
     /// # Panics
     /// Panics if `dim == 0` or the page size cannot hold at least two
@@ -126,21 +311,45 @@ impl RTree {
             inner_cap,
             leaf_min,
             inner_min,
+            min_fill_ratio: params.min_fill_ratio,
             buf,
-            root,
-            height: 1,
-            len: 0,
+            state: Mutex::new(TreeState {
+                root,
+                height: 1,
+                len: 0,
+                epoch: 1,
+            }),
+            writer: Mutex::new(()),
+            epochs: Mutex::new(Epochs::default()),
         }
     }
 
-    /// Build a tree over `points` with STR bulk loading. Object ids are
-    /// the point indices. The buffer is flushed, emptied and the I/O
-    /// counters reset afterwards, so subsequent queries are measured from
-    /// a cold buffer.
+    /// Build a tree over `points` with STR bulk loading on an in-memory
+    /// store. Object ids are the point indices. The buffer is flushed,
+    /// emptied and the I/O counters reset afterwards, so subsequent
+    /// queries are measured from a cold buffer.
     pub fn bulk_load(points: &PointSet, params: RTreeParams) -> RTree {
+        RTree::bulk_load_in(MemPager::new(params.page_size), points, params)
+    }
+
+    /// Like [`RTree::bulk_load`], but into a caller-provided store (e.g.
+    /// a [`crate::disk::DiskPager`] for a disk-backed tree).
+    ///
+    /// # Panics
+    /// Panics if `store.page_size() != params.page_size`.
+    pub fn bulk_load_in<S: PageStore + 'static>(
+        store: S,
+        points: &PointSet,
+        params: RTreeParams,
+    ) -> RTree {
+        assert_eq!(
+            store.page_size(),
+            params.page_size,
+            "store page size must match params.page_size"
+        );
         let dim = points.dim();
         let (leaf_cap, inner_cap) = Self::capacities(params.page_size, dim);
-        let buf = BufferPool::new(MemPager::new(params.page_size), dim, params.buffer_capacity);
+        let buf = BufferPool::new(store, dim, params.buffer_capacity);
         let res = str_bulk_load(&buf, points, leaf_cap, inner_cap);
         buf.clear();
         buf.reset_stats();
@@ -151,11 +360,85 @@ impl RTree {
             inner_cap,
             leaf_min,
             inner_min,
+            min_fill_ratio: params.min_fill_ratio,
             buf,
-            root: res.root,
-            height: res.height,
-            len: res.len,
+            state: Mutex::new(TreeState {
+                root: res.root,
+                height: res.height,
+                len: res.len,
+                epoch: 1,
+            }),
+            writer: Mutex::new(()),
+            epochs: Mutex::new(Epochs::default()),
         }
+    }
+
+    /// Reopen a tree from a store's most recent checkpoint. Returns the
+    /// tree plus the caller metadata (`extra`) that was passed to the
+    /// matching [`RTree::checkpoint`].
+    ///
+    /// Recovery walks the tree from the checkpointed root and hands every
+    /// unreachable page back to the store's free list, so no free list is
+    /// persisted and leaked pages cannot accumulate across restarts. The
+    /// buffer restarts cold with zeroed I/O counters.
+    pub fn open<S: PageStore + 'static>(
+        store: S,
+        buffer_capacity: usize,
+    ) -> io::Result<(RTree, Vec<u8>)> {
+        let meta = store.meta().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "store holds no checkpoint metadata",
+            )
+        })?;
+        let (dim, st, ratio, extra) = decode_tree_meta(&meta)?;
+        let (leaf_cap, inner_cap) = Self::capacities(store.page_size(), dim);
+        let (leaf_min, inner_min) = Self::min_fills(leaf_cap, inner_cap, ratio);
+        let buf = BufferPool::new(store, dim, buffer_capacity.max(1));
+        let tree = RTree {
+            dim,
+            leaf_cap,
+            inner_cap,
+            leaf_min,
+            inner_min,
+            min_fill_ratio: ratio,
+            buf,
+            state: Mutex::new(st),
+            writer: Mutex::new(()),
+            epochs: Mutex::new(Epochs::default()),
+        };
+        let mut reachable = HashSet::new();
+        tree.collect_reachable(st.root, &mut reachable);
+        let free: Vec<u32> = (0..tree.buf.page_bound())
+            .filter(|i| !reachable.contains(i))
+            .collect();
+        tree.buf.seed_free(&free);
+        tree.buf.clear();
+        tree.buf.reset_stats();
+        Ok((tree, extra))
+    }
+
+    fn collect_reachable(&self, pid: PageId, out: &mut HashSet<u32>) {
+        if !out.insert(pid.0) {
+            return;
+        }
+        let node = self.buf.get(pid);
+        if let Node::Inner(inner) = &*node {
+            for i in 0..inner.len() {
+                self.collect_reachable(inner.child(i), out);
+            }
+        }
+    }
+
+    /// Flush all dirty pages and durably commit the current epoch into
+    /// the store's header, together with `extra` caller metadata (the
+    /// engine stores its WAL high-water mark here). A no-op commit for
+    /// in-memory stores.
+    pub fn checkpoint(&self, extra: &[u8]) -> io::Result<()> {
+        let _w = self.writer.lock();
+        let st = *self.state.lock();
+        let meta = encode_tree_meta(self.dim, self.min_fill_ratio, st, extra);
+        self.buf.checkpoint(&meta)
     }
 
     fn capacities(page_size: usize, dim: usize) -> (usize, usize) {
@@ -180,6 +463,90 @@ impl RTree {
     }
 
     // ------------------------------------------------------------------
+    // Snapshots & epochs
+    // ------------------------------------------------------------------
+
+    /// Pin the current epoch and return an immutable view of it. Pages of
+    /// the pinned version stay allocated until the snapshot drops, even
+    /// while concurrent mutations publish newer epochs.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        let st = *self.state.lock();
+        *self.epochs.lock().active.entry(st.epoch).or_insert(0) += 1;
+        Snapshot {
+            tree: self,
+            root: st.root,
+            height: st.height,
+            len: st.len,
+            epoch: st.epoch,
+        }
+    }
+
+    fn unpin(&self, epoch: u64) {
+        let mut ep = self.epochs.lock();
+        if let Some(c) = ep.active.get_mut(&epoch) {
+            *c -= 1;
+            if *c == 0 {
+                ep.active.remove(&epoch);
+            }
+        }
+        self.reclaim_locked(&mut ep);
+    }
+
+    /// Free every retired page no pinned snapshot can still reference.
+    fn reclaim_locked(&self, ep: &mut Epochs) {
+        let min_active = ep.active.keys().next().copied().unwrap_or(u64::MAX);
+        let mut i = 0;
+        while i < ep.retired.len() {
+            if ep.retired[i].0 <= min_active {
+                let (_, pid) = ep.retired.swap_remove(i);
+                self.buf.free(pid);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Install the mutation's root as the next epoch and queue its
+    /// superseded pages for reclamation.
+    fn publish(&self, ctx: MutCtx) {
+        let epoch;
+        {
+            let mut st = self.state.lock();
+            epoch = st.epoch + 1;
+            *st = TreeState {
+                root: ctx.root,
+                height: ctx.height,
+                len: ctx.len,
+                epoch,
+            };
+        }
+        let mut ep = self.epochs.lock();
+        for pid in ctx.retired {
+            ep.retired.push((epoch, pid));
+        }
+        self.reclaim_locked(&mut ep);
+    }
+
+    /// Allocate a page invisible to readers (it belongs to the
+    /// in-flight mutation until publish).
+    fn alloc_fresh(&self, ctx: &mut MutCtx) -> PageId {
+        let pid = self.buf.allocate();
+        ctx.fresh.insert(pid.0);
+        pid
+    }
+
+    /// Supersede `pid`: pages of the published version are retired until
+    /// reclamation; pages this same mutation allocated were never visible
+    /// and are freed on the spot.
+    fn retire_page(&self, ctx: &mut MutCtx, pid: PageId) {
+        if ctx.fresh.remove(&pid.0) {
+            self.buf.free(pid);
+        } else {
+            ctx.retired.push(pid);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
 
@@ -189,28 +556,36 @@ impl RTree {
         self.dim
     }
 
-    /// Number of indexed points.
+    /// Number of indexed points (in the current epoch).
     #[inline]
     pub fn len(&self) -> u64 {
-        self.len
+        self.state.lock().len
     }
 
     /// True iff the tree holds no points.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Number of levels (1 = the root is a leaf).
     #[inline]
     pub fn height(&self) -> u32 {
-        self.height
+        self.state.lock().height
     }
 
-    /// Root page id (for external traversals such as BBS skyline).
+    /// Root page id of the current epoch (for external traversals such
+    /// as BBS skyline). With concurrent writers, prefer
+    /// [`RTree::snapshot`], which keeps the returned root's pages alive.
     #[inline]
     pub fn root_page(&self) -> PageId {
-        self.root
+        self.state.lock().root
+    }
+
+    /// The current epoch stamp; each published mutation increments it.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
     }
 
     /// Maximum entries per leaf node.
@@ -283,7 +658,8 @@ impl RTree {
     /// one mutex (see the [`crate::buffer`] docs for the sharding
     /// model). The global capacity is preserved, dirty pages are flushed
     /// and the buffer restarts cold; the aggregate I/O counters carry
-    /// over.
+    /// over, and the underlying store (in-memory or disk) travels to the
+    /// new pool untouched.
     ///
     /// Takes `&mut self`: re-sharding is a (re)configuration step done
     /// before a tree is shared, never during concurrent traffic.
@@ -295,13 +671,13 @@ impl RTree {
         let cap = self.buf.capacity();
         // Flush *before* snapshotting the counters: the write-backs of
         // dirty pages are physical writes and must stay in the carried-
-        // over stats (into_pager's own flush then finds nothing dirty).
+        // over stats (into_store's own flush then finds nothing dirty).
         self.buf.flush();
         let stats = self.buf.stats();
         let placeholder = BufferPool::new(MemPager::new(64), 1, 1);
         let old = std::mem::replace(&mut self.buf, placeholder);
-        let pager = old.into_pager();
-        self.buf = BufferPool::with_shards(pager, self.dim, cap, shards);
+        let store = old.into_store();
+        self.buf = BufferPool::with_boxed_store(store, self.dim, cap, shards);
         self.buf.seed_stats(stats);
     }
 
@@ -314,8 +690,9 @@ impl RTree {
     pub fn range(&self, lo: &[f64], hi: &[f64]) -> Vec<(u64, Box<[f64]>)> {
         assert_eq!(lo.len(), self.dim);
         assert_eq!(hi.len(), self.dim);
+        let snap = self.snapshot();
         let mut out = Vec::new();
-        self.range_rec(self.root, lo, hi, &mut out);
+        self.range_rec(snap.root_page(), lo, hi, &mut out);
         out
     }
 
@@ -341,14 +718,18 @@ impl RTree {
 
     /// True iff the exact entry `(p, oid)` is indexed.
     pub fn contains(&self, p: &[f64], oid: u64) -> bool {
+        let snap = self.snapshot();
         let mut path = Vec::new();
-        self.find_leaf(self.root, p, oid, &mut path).is_some()
+        self.find_leaf(snap.root_page(), p, oid, &mut path)
+            .is_some()
     }
 
     /// Visit every `(oid, point)` entry (full scan; for tests and
-    /// reference algorithms).
+    /// reference algorithms). The scan runs on a pinned snapshot, so a
+    /// concurrent mutation cannot tear it.
     pub fn for_each_point(&self, mut f: impl FnMut(u64, &[f64])) {
-        self.scan_rec(self.root, &mut f);
+        let snap = self.snapshot();
+        self.scan_rec(snap.root_page(), &mut f);
     }
 
     fn scan_rec(&self, pid: PageId, f: &mut impl FnMut(u64, &[f64])) {
@@ -371,36 +752,41 @@ impl RTree {
     // Insertion
     // ------------------------------------------------------------------
 
-    /// Insert a point with the given object id.
+    /// Insert a point with the given object id, publishing a new epoch.
+    /// Concurrent readers on pinned snapshots are unaffected.
     ///
     /// # Panics
     /// Panics if `p.len() != self.dim()` or any coordinate is not finite.
-    pub fn insert(&mut self, p: &[f64], oid: u64) {
+    pub fn insert(&self, p: &[f64], oid: u64) {
         assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
         assert!(
             p.iter().all(|c| c.is_finite()),
             "point coordinates must be finite"
         );
-        self.insert_pending(Pending::Point { p: p.into(), oid });
-        self.len += 1;
+        let _w = self.writer.lock();
+        let mut ctx = MutCtx::from_state(*self.state.lock());
+        self.insert_pending(&mut ctx, Pending::Point { p: p.into(), oid });
+        ctx.len += 1;
+        self.publish(ctx);
     }
 
-    fn insert_pending(&mut self, ent: Pending) {
-        let res = self.insert_rec(self.root, &ent);
+    fn insert_pending(&self, ctx: &mut MutCtx, ent: Pending) {
+        let res = self.insert_rec(ctx, ctx.root, &ent);
         if let Some((smbr, spid)) = res.split {
-            let old_root = self.root;
-            let old_level = self.buf.get(old_root).level();
-            let mut root = InnerNode::new(self.dim, old_level + 1);
-            root.push(&res.mbr.lo, &res.mbr.hi, old_root);
+            let level = self.buf.get(res.new_pid).level();
+            let mut root = InnerNode::new(self.dim, level + 1);
+            root.push(&res.mbr.lo, &res.mbr.hi, res.new_pid);
             root.push(&smbr.lo, &smbr.hi, spid);
-            let new_pid = self.buf.allocate();
+            let new_pid = self.alloc_fresh(ctx);
             self.buf.put(new_pid, Node::Inner(root));
-            self.root = new_pid;
-            self.height += 1;
+            ctx.root = new_pid;
+            ctx.height += 1;
+        } else {
+            ctx.root = res.new_pid;
         }
     }
 
-    fn insert_rec(&mut self, pid: PageId, ent: &Pending) -> RecResult {
+    fn insert_rec(&self, ctx: &mut MutCtx, pid: PageId, ent: &Pending) -> RecResult {
         let node_arc = self.buf.get(pid);
         let host = ent.host_level();
         debug_assert!(node_arc.level() >= host, "descended below host level");
@@ -419,11 +805,17 @@ impl RTree {
                 Node::Inner(_) => self.inner_cap,
             };
             if node.len() > cap {
-                self.split_node(pid, node)
+                self.split_node(ctx, pid, node)
             } else {
                 let mbr = node.mbr();
-                self.buf.put(pid, node);
-                RecResult { mbr, split: None }
+                let new_pid = self.alloc_fresh(ctx);
+                self.buf.put(new_pid, node);
+                self.retire_page(ctx, pid);
+                RecResult {
+                    new_pid,
+                    mbr,
+                    split: None,
+                }
             }
         } else {
             let (ci, child_pid) = {
@@ -431,20 +823,27 @@ impl RTree {
                 let ci = self.choose_subtree(inner, ent);
                 (ci, inner.child(ci))
             };
-            let res = self.insert_rec(child_pid, ent);
+            let res = self.insert_rec(ctx, child_pid, ent);
             let mut node = (*node_arc).clone();
             drop(node_arc);
             let inner = node.as_inner_mut();
+            inner.set_child(ci, res.new_pid);
             inner.set_mbr(ci, &res.mbr.lo, &res.mbr.hi);
             if let Some((smbr, spid)) = res.split {
                 inner.push(&smbr.lo, &smbr.hi, spid);
                 if inner.len() > self.inner_cap {
-                    return self.split_node(pid, node);
+                    return self.split_node(ctx, pid, node);
                 }
             }
             let mbr = node.mbr();
-            self.buf.put(pid, node);
-            RecResult { mbr, split: None }
+            let new_pid = self.alloc_fresh(ctx);
+            self.buf.put(new_pid, node);
+            self.retire_page(ctx, pid);
+            RecResult {
+                new_pid,
+                mbr,
+                split: None,
+            }
         }
     }
 
@@ -497,10 +896,10 @@ impl RTree {
         }
     }
 
-    /// Split an overflowing node in place: `pid` keeps the left group, a
-    /// new page receives the right group.
-    fn split_node(&mut self, pid: PageId, node: Node) -> RecResult {
-        let new_pid = self.buf.allocate();
+    /// Split an overflowing node: both groups land on fresh pages and the
+    /// overflowed page is superseded (copy-on-write — the old image stays
+    /// readable for pinned snapshots).
+    fn split_node(&self, ctx: &mut MutCtx, pid: PageId, node: Node) -> RecResult {
         let (left, right, left_mbr, right_mbr) = match node {
             Node::Leaf(leaf) => {
                 let entries: Vec<SplitEntry> = (0..leaf.len())
@@ -541,11 +940,15 @@ impl RTree {
                 (Node::Inner(l), Node::Inner(r), lm, rm)
             }
         };
-        self.buf.put(pid, left);
-        self.buf.put(new_pid, right);
+        let left_pid = self.alloc_fresh(ctx);
+        let right_pid = self.alloc_fresh(ctx);
+        self.buf.put(left_pid, left);
+        self.buf.put(right_pid, right);
+        self.retire_page(ctx, pid);
         RecResult {
+            new_pid: left_pid,
             mbr: left_mbr,
-            split: Some((right_mbr, new_pid)),
+            split: Some((right_mbr, right_pid)),
         }
     }
 
@@ -553,13 +956,16 @@ impl RTree {
     // Deletion
     // ------------------------------------------------------------------
 
-    /// Delete the entry matching both `p` and `oid`. Returns `true` if an
-    /// entry was removed. Underflowing nodes are dissolved and their
-    /// entries re-inserted (Guttman's condense-tree).
-    pub fn delete(&mut self, p: &[f64], oid: u64) -> bool {
+    /// Delete the entry matching both `p` and `oid`, publishing a new
+    /// epoch. Returns `true` if an entry was removed. Underflowing nodes
+    /// are dissolved and their entries re-inserted (Guttman's
+    /// condense-tree).
+    pub fn delete(&self, p: &[f64], oid: u64) -> bool {
         assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        let _w = self.writer.lock();
+        let mut ctx = MutCtx::from_state(*self.state.lock());
         let mut path: Vec<(PageId, usize)> = Vec::new();
-        let Some(leaf_pid) = self.find_leaf(self.root, p, oid, &mut path) else {
+        let Some(leaf_pid) = self.find_leaf(ctx.root, p, oid, &mut path) else {
             return false;
         };
 
@@ -570,17 +976,17 @@ impl RTree {
             .find(p, oid)
             .expect("find_leaf returned a leaf without the entry");
         leaf.swap_remove(ei);
-        self.len -= 1;
+        ctx.len -= 1;
 
         let mut orphans: Vec<Pending> = Vec::new();
-        let mut child_pid = leaf_pid;
+        let mut child_old = leaf_pid;
         let mut child_node = Node::Leaf(leaf);
 
         for &(ppid, cidx) in path.iter().rev() {
             let parent_arc = self.buf.get(ppid);
             let mut parent = parent_arc.as_inner().clone();
             drop(parent_arc);
-            debug_assert_eq!(parent.child(cidx), child_pid, "stale deletion path");
+            debug_assert_eq!(parent.child(cidx), child_old, "stale deletion path");
             let underflow = match &child_node {
                 Node::Leaf(l) => l.len() < self.leaf_min,
                 Node::Inner(n) => n.len() < self.inner_min,
@@ -609,30 +1015,42 @@ impl RTree {
                         }
                     }
                 }
-                self.buf.free(child_pid);
+                self.retire_page(&mut ctx, child_old);
             } else {
                 let mbr = child_node.mbr();
+                let new_child = self.alloc_fresh(&mut ctx);
+                self.buf.put(new_child, child_node);
+                self.retire_page(&mut ctx, child_old);
+                parent.set_child(cidx, new_child);
                 parent.set_mbr(cidx, &mbr.lo, &mbr.hi);
-                self.buf.put(child_pid, child_node);
             }
-            child_pid = ppid;
+            child_old = ppid;
             child_node = Node::Inner(parent);
         }
-        self.buf.put(child_pid, child_node);
+        // Install the copy-on-write image of the root.
+        let new_root = self.alloc_fresh(&mut ctx);
+        self.buf.put(new_root, child_node);
+        self.retire_page(&mut ctx, child_old);
+        ctx.root = new_root;
 
         // A root left with no children can only host points again.
-        let root_arc = self.buf.get(self.root);
-        if let Node::Inner(n) = &*root_arc {
-            if n.is_empty() {
-                drop(root_arc);
-                self.buf.put(self.root, Node::Leaf(LeafNode::new(self.dim)));
-                self.height = 1;
+        {
+            let root_arc = self.buf.get(ctx.root);
+            let emptied = matches!(&*root_arc, Node::Inner(n) if n.is_empty());
+            drop(root_arc);
+            if emptied {
+                // The fresh root page is invisible to readers; rewrite it
+                // in place as an empty leaf.
+                self.buf.put(ctx.root, Node::Leaf(LeafNode::new(self.dim)));
+                ctx.height = 1;
                 // all surviving data is in `orphans`; demote subtrees to points
                 let mut points: Vec<Pending> = Vec::new();
                 for o in orphans {
                     match o {
                         Pending::Point { .. } => points.push(o),
-                        Pending::Child { pid, .. } => self.drain_subtree(pid, &mut points),
+                        Pending::Child { pid, .. } => {
+                            self.drain_subtree(&mut ctx, pid, &mut points)
+                        }
                     }
                 }
                 orphans = points;
@@ -642,29 +1060,31 @@ impl RTree {
         // Re-insert orphans, subtrees before points so host levels exist.
         orphans.sort_by_key(|e| std::cmp::Reverse(e.host_level()));
         for ent in orphans {
-            self.insert_pending(ent);
+            self.insert_pending(&mut ctx, ent);
         }
 
         // Collapse chains of single-child roots.
         loop {
-            let root_arc = self.buf.get(self.root);
+            let root_arc = self.buf.get(ctx.root);
             match &*root_arc {
                 Node::Inner(n) if n.len() == 1 => {
                     let child = n.child(0);
                     drop(root_arc);
-                    self.buf.free(self.root);
-                    self.root = child;
-                    self.height -= 1;
+                    let old_root = ctx.root;
+                    self.retire_page(&mut ctx, old_root);
+                    ctx.root = child;
+                    ctx.height -= 1;
                 }
                 _ => break,
             }
         }
+        self.publish(ctx);
         true
     }
 
-    /// Read all points under `pid` into `out` and free the subtree's
-    /// pages (used only on the degenerate empty-root path).
-    fn drain_subtree(&mut self, pid: PageId, out: &mut Vec<Pending>) {
+    /// Read all points under `pid` into `out` and supersede the
+    /// subtree's pages (used only on the degenerate empty-root path).
+    fn drain_subtree(&self, ctx: &mut MutCtx, pid: PageId, out: &mut Vec<Pending>) {
         let node = self.buf.get(pid);
         match &*node {
             Node::Leaf(l) => {
@@ -679,14 +1099,14 @@ impl RTree {
                 let children: Vec<PageId> = (0..n.len()).map(|i| n.child(i)).collect();
                 drop(node);
                 for c in children {
-                    self.drain_subtree(c, out);
+                    self.drain_subtree(ctx, c, out);
                 }
-                self.buf.free(pid);
+                self.retire_page(ctx, pid);
                 return;
             }
         }
         drop(node);
-        self.buf.free(pid);
+        self.retire_page(ctx, pid);
     }
 
     fn find_leaf(
@@ -728,17 +1148,19 @@ impl RTree {
     /// capacity bounds, exact (tight) parent MBRs, and the entry count.
     /// Panics on violation; intended for tests.
     pub fn check_invariants(&self) {
-        let root = self.buf.get(self.root);
+        let snap = self.snapshot();
+        let root_pid = snap.root_page();
+        let root = self.buf.get(root_pid);
         assert_eq!(
             root.level() as u32 + 1,
-            self.height,
+            snap.height(),
             "height does not match root level"
         );
-        let (_, count) = self.check_rec(self.root, root.level());
-        assert_eq!(count, self.len, "entry count mismatch");
+        let (_, count) = self.check_rec(root_pid, root.level(), root_pid);
+        assert_eq!(count, snap.len(), "entry count mismatch");
     }
 
-    fn check_rec(&self, pid: PageId, expected_level: u8) -> (Mbr, u64) {
+    fn check_rec(&self, pid: PageId, expected_level: u8, root_pid: PageId) -> (Mbr, u64) {
         let node = self.buf.get(pid);
         assert_eq!(node.level(), expected_level, "level mismatch at {pid}");
         match &*node {
@@ -748,11 +1170,11 @@ impl RTree {
             }
             Node::Inner(inner) => {
                 assert!(inner.len() <= self.inner_cap, "inner overflow at {pid}");
-                assert!(!inner.is_empty() || pid == self.root, "empty inner node");
+                assert!(!inner.is_empty() || pid == root_pid, "empty inner node");
                 let mut count = 0;
                 for i in 0..inner.len() {
                     let (child_mbr, child_count) =
-                        self.check_rec(inner.child(i), expected_level - 1);
+                        self.check_rec(inner.child(i), expected_level - 1, root_pid);
                     assert_eq!(
                         inner.lo(i),
                         &*child_mbr.lo,
@@ -774,6 +1196,7 @@ impl RTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::disk::DiskPager;
 
     fn small_params() -> RTreeParams {
         RTreeParams {
@@ -803,7 +1226,7 @@ mod tests {
     #[test]
     fn incremental_inserts_match_linear_scan_range() {
         let ps = seeded_points(500, 2, 42);
-        let mut tree = RTree::new(2, small_params());
+        let tree = RTree::new(2, small_params());
         for (i, p) in ps.iter() {
             tree.insert(p, i as u64);
         }
@@ -848,7 +1271,7 @@ mod tests {
     #[test]
     fn delete_removes_exactly_the_requested_entry() {
         let ps = seeded_points(300, 2, 3);
-        let mut tree = RTree::bulk_load(&ps, small_params());
+        let tree = RTree::bulk_load(&ps, small_params());
         assert!(tree.contains(ps.get(17), 17));
         assert!(tree.delete(ps.get(17), 17));
         assert!(!tree.contains(ps.get(17), 17));
@@ -860,7 +1283,7 @@ mod tests {
     #[test]
     fn delete_everything_empties_the_tree() {
         let ps = seeded_points(200, 2, 11);
-        let mut tree = RTree::bulk_load(&ps, small_params());
+        let tree = RTree::bulk_load(&ps, small_params());
         for (i, p) in ps.iter() {
             assert!(tree.delete(p, i as u64), "entry {i} vanished early");
             if i % 37 == 0 {
@@ -875,7 +1298,7 @@ mod tests {
     #[test]
     fn interleaved_inserts_and_deletes_stay_consistent() {
         let ps = seeded_points(400, 2, 99);
-        let mut tree = RTree::new(2, small_params());
+        let tree = RTree::new(2, small_params());
         for (i, p) in ps.iter().take(200) {
             tree.insert(p, i as u64);
         }
@@ -897,7 +1320,7 @@ mod tests {
 
     #[test]
     fn duplicate_points_with_distinct_ids_coexist() {
-        let mut tree = RTree::new(2, small_params());
+        let tree = RTree::new(2, small_params());
         for i in 0..50 {
             tree.insert(&[0.5, 0.5], i);
         }
@@ -973,10 +1396,221 @@ mod tests {
 
     #[test]
     fn empty_tree_behaves() {
-        let mut tree = RTree::new(3, small_params());
+        let tree = RTree::new(3, small_params());
         assert!(tree.is_empty());
         assert_eq!(tree.range(&[0.0; 3], &[1.0; 3]), vec![]);
         assert!(!tree.delete(&[0.5; 3], 0));
+        tree.check_invariants();
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch snapshots
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn mutations_bump_the_epoch() {
+        let tree = RTree::new(2, small_params());
+        let e0 = tree.epoch();
+        tree.insert(&[0.1, 0.2], 1);
+        assert_eq!(tree.epoch(), e0 + 1);
+        tree.insert(&[0.3, 0.4], 2);
+        assert_eq!(tree.epoch(), e0 + 2);
+        tree.delete(&[0.1, 0.2], 1);
+        assert_eq!(tree.epoch(), e0 + 3);
+        // a failed delete publishes nothing
+        tree.delete(&[0.9, 0.9], 777);
+        assert_eq!(tree.epoch(), e0 + 3);
+    }
+
+    #[test]
+    fn pinned_snapshot_sees_the_old_version_across_mutations() {
+        let ps = seeded_points(800, 2, 31);
+        let tree = RTree::bulk_load(&ps, small_params());
+        let snap = tree.snapshot();
+        let len_before = snap.len();
+
+        // Mutate heavily while the snapshot is pinned.
+        for (i, p) in ps.iter().take(400) {
+            assert!(tree.delete(p, i as u64));
+        }
+        for i in 0..100u64 {
+            tree.insert(&[0.5, 0.5], 10_000 + i);
+        }
+        assert_eq!(tree.len(), 500);
+
+        // The pinned snapshot still traverses its frozen version.
+        let mut count = 0u64;
+        let mut stack = vec![snap.root_page()];
+        while let Some(pid) = stack.pop() {
+            let node = tree.read_node(pid);
+            match &*node {
+                Node::Leaf(l) => count += l.len() as u64,
+                Node::Inner(n) => {
+                    for i in 0..n.len() {
+                        stack.push(n.child(i));
+                    }
+                }
+            }
+        }
+        assert_eq!(count, len_before, "snapshot traversal must be frozen");
+        drop(snap);
+
+        // After the pin drops, retired pages are reclaimed: the live page
+        // count reflects only the current version.
+        tree.check_invariants();
+        let live = tree.page_count();
+        let rebuilt = {
+            let mut ps2 = PointSet::with_capacity(2, 500);
+            tree.for_each_point(|_, p| {
+                ps2.push(p);
+            });
+            RTree::bulk_load(&ps2, small_params())
+        };
+        // A packed bulk-loaded tree is denser; COW trees may be sparser,
+        // but not wildly so (retired pages must actually be freed).
+        assert!(
+            live < rebuilt.page_count() * 4 + 8,
+            "retired pages were not reclaimed: {live} live vs {} packed",
+            rebuilt.page_count()
+        );
+    }
+
+    #[test]
+    fn dropping_the_last_pin_frees_retired_pages() {
+        let tree = RTree::new(2, small_params());
+        for i in 0..200u64 {
+            tree.insert(&[(i as f64) / 200.0, 0.5], i);
+        }
+        let pages_settled = tree.page_count();
+        let snap = tree.snapshot();
+        for i in 0..100u64 {
+            assert!(tree.delete(&[(i as f64) / 200.0, 0.5], i));
+        }
+        let pinned_pages = tree.page_count();
+        drop(snap);
+        let after = tree.page_count();
+        assert!(
+            after < pinned_pages,
+            "unpinning must reclaim retired pages ({pinned_pages} -> {after})"
+        );
+        assert!(after <= pages_settled, "shrunken tree must not hold more");
+        tree.check_invariants();
+    }
+
+    // ------------------------------------------------------------------
+    // Disk persistence
+    // ------------------------------------------------------------------
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mpq_tree_disk_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn checkpoint_and_open_round_trip_on_disk() {
+        let path = tmp("round_trip.pages");
+        let ps = seeded_points(700, 2, 77);
+        {
+            let store = DiskPager::create(&path, 256).unwrap();
+            let tree = RTree::bulk_load_in(
+                store,
+                &ps,
+                RTreeParams {
+                    page_size: 256,
+                    min_fill_ratio: 0.4,
+                    buffer_capacity: 64,
+                },
+            );
+            tree.insert(&[0.25, 0.75], 9_001);
+            assert!(tree.delete(ps.get(3), 3));
+            tree.checkpoint(b"wal=42").unwrap();
+        }
+        let store = DiskPager::open(&path, 256).unwrap();
+        let (tree, extra) = RTree::open(store, 64).unwrap();
+        assert_eq!(extra, b"wal=42");
+        assert_eq!(tree.len(), 700); // 700 bulk + 1 insert - 1 delete
+        assert!(tree.contains(&[0.25, 0.75], 9_001));
+        assert!(!tree.contains(ps.get(3), 3));
+        tree.check_invariants();
+
+        // Every point survives bit-identically.
+        let mut seen: Vec<(u64, Vec<f64>)> = Vec::new();
+        tree.for_each_point(|o, p| seen.push((o, p.to_vec())));
+        seen.sort_by_key(|(o, _)| *o);
+        let mut expect: Vec<(u64, Vec<f64>)> = ps
+            .iter()
+            .filter(|(i, _)| *i != 3)
+            .map(|(i, p)| (i as u64, p.to_vec()))
+            .collect();
+        expect.push((9_001, vec![0.25, 0.75]));
+        expect.sort_by_key(|(o, _)| *o);
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn open_recovers_the_free_list_from_reachability() {
+        let path = tmp("free_list.pages");
+        let ps = seeded_points(500, 2, 13);
+        let live_at_checkpoint;
+        {
+            let store = DiskPager::create(&path, 256).unwrap();
+            let tree = RTree::bulk_load_in(
+                store,
+                &ps,
+                RTreeParams {
+                    page_size: 256,
+                    min_fill_ratio: 0.4,
+                    buffer_capacity: 64,
+                },
+            );
+            // Mutate so retired pages pile up in the file...
+            for (i, p) in ps.iter().take(100) {
+                assert!(tree.delete(p, i as u64));
+            }
+            live_at_checkpoint = tree.page_count();
+            tree.checkpoint(&[]).unwrap();
+        }
+        let store = DiskPager::open(&path, 256).unwrap();
+        let (tree, _) = RTree::open(store, 64).unwrap();
+        // ...and reopening frees everything unreachable: page bound may
+        // exceed live pages, but live pages match the checkpoint.
+        assert_eq!(tree.page_count(), live_at_checkpoint);
+        // New allocations recycle recovered free ids rather than growing
+        // the file.
+        let bound_before = tree.buf.page_bound();
+        tree.insert(&[0.5, 0.5], 55_555);
+        assert_eq!(tree.buf.page_bound(), bound_before);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn uncheckpointed_mutations_roll_back_to_the_last_checkpoint() {
+        let path = tmp("rollback.pages");
+        let ps = seeded_points(300, 2, 21);
+        {
+            let store = DiskPager::create(&path, 256).unwrap();
+            let tree = RTree::bulk_load_in(
+                store,
+                &ps,
+                RTreeParams {
+                    page_size: 256,
+                    min_fill_ratio: 0.4,
+                    buffer_capacity: 64,
+                },
+            );
+            tree.checkpoint(b"v1").unwrap();
+            // Post-checkpoint mutations are never committed...
+            tree.insert(&[0.5, 0.5], 777);
+            assert!(tree.delete(ps.get(0), 0));
+            // (no checkpoint; simulated crash)
+        }
+        let store = DiskPager::open(&path, 256).unwrap();
+        let (tree, extra) = RTree::open(store, 64).unwrap();
+        assert_eq!(extra, b"v1");
+        assert_eq!(tree.len(), 300, "uncheckpointed mutations discarded");
+        assert!(tree.contains(ps.get(0), 0));
+        assert!(!tree.contains(&[0.5, 0.5], 777));
         tree.check_invariants();
     }
 }

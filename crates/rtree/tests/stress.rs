@@ -99,7 +99,7 @@ fn minimum_fanout_page_size_works() {
     // page so small that nodes hold only a handful of entries: maximal
     // height, splits and condenses everywhere
     let ps = seeded_points(500, 2, 2);
-    let mut tree = RTree::new(
+    let tree = RTree::new(
         2,
         RTreeParams {
             page_size: 128, // leaf cap (128-8)/24 = 5, inner cap (128-8)/36 = 3
@@ -124,7 +124,7 @@ fn minimum_fanout_page_size_works() {
 #[test]
 fn alternating_insert_delete_churn() {
     let ps = seeded_points(3_000, 3, 3);
-    let mut tree = RTree::new(
+    let tree = RTree::new(
         3,
         RTreeParams {
             page_size: 256,

@@ -8,9 +8,11 @@
 //!
 //! This facade crate re-exports the workspace members:
 //!
-//! * [`rtree`] — the disk-simulated, paged R\*-tree substrate with LRU
-//!   buffering and I/O accounting (per-run attribution via
-//!   [`rtree::IoSession`]).
+//! * [`rtree`] — the paged R\*-tree substrate with LRU buffering and
+//!   I/O accounting (per-run attribution via [`rtree::IoSession`]);
+//!   pages live in an in-memory [`rtree::MemPager`] or a real, CRC'd
+//!   [`rtree::DiskPager`] file, and the tree mutates in place under
+//!   copy-on-write epochs.
 //! * [`skyline`] — BBS skyline computation and the paper's incremental
 //!   maintenance with pruned-entry lists (§IV-B).
 //! * [`ta`] — reverse top-1 search over the function set via the
@@ -84,6 +86,8 @@
 //! | `matcher.stream(&tree, &f)` | `engine.stream(&f)?` |
 //! | `OnlineSession::new(&tree)` | `engine.session()` |
 //! | `engine.evaluate_batch(&reqs, t)` (pre-collected batches) | `engine.serve(config)` + `client.submit(..)` per request |
+//! | rebuild the engine on inventory change | `engine.insert_object(&p)?` / `engine.remove_object(oid)?` / `engine.update_object(oid, &p)?` |
+//! | in-memory only, lost on restart | `Engine::builder().data_dir(dir)` once, `Engine::open(dir)?` after |
 //!
 //! where `let engine = Engine::builder().objects(&o).build()?;` is built
 //! once and shared (it is `Sync`; evaluation never mutates the index).

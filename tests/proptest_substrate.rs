@@ -85,7 +85,7 @@ proptest! {
         ps in grid_points(2, 80),
         delete_mask in proptest::collection::vec(any::<bool>(), 80),
     ) {
-        let mut tree = RTree::bulk_load(&ps, tiny_params());
+        let tree = RTree::bulk_load(&ps, tiny_params());
         let mut remaining: Vec<u64> = Vec::new();
         for (i, p) in ps.iter() {
             if delete_mask.get(i).copied().unwrap_or(false) {
