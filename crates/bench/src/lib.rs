@@ -11,7 +11,11 @@ use std::time::Instant;
 use mpq_core::{Engine, Matcher, Matching};
 use mpq_datagen::Workload;
 
-pub mod json;
+/// Re-export of the dependency-free JSON machinery, which moved down to
+/// [`mpq_core::json`] when the network front-end started sharing it for
+/// its wire codec and `/metrics` endpoint. Harness binaries keep using
+/// `mpq_bench::json::Json` unchanged.
+pub use mpq_core::json;
 
 /// One experiment cell: a matcher's cost on one workload.
 #[derive(Debug, Clone)]

@@ -9,4 +9,4 @@
 pub mod csv;
 pub mod run;
 
-pub use run::{run_cli, CliError};
+pub use run::{run_cli, start_server, CliError};

@@ -18,6 +18,12 @@
 //!           # With --data-dir the engine is disk-backed: a directory
 //!           # already holding a persisted engine is reopened (no
 //!           # --objects needed), an empty one is populated from the CSV
+//! mpq serve --listen ADDR [--tenant NAME=objects.csv[,KEY=VALUE...]]...
+//!           # HTTP mode: host one or more tenants behind a std-only
+//!           # HTTP/1.1 listener (see the `mpq_net` crate). Without
+//!           # --tenant, --objects [--data-dir DIR] forms a single
+//!           # tenant named "default". Stop with Ctrl-C (the process
+//!           # exits; persisted tenants reopen cleanly from their WAL)
 //! mpq compact --data-dir DIR
 //!           # checkpoint a persisted engine: fold the WAL into the page
 //!           # file so the next open replays nothing
@@ -95,6 +101,14 @@ const USAGE: &str = "usage:
             # result cache to N entries (0 disables caching + dedupe);
             # --data-dir persists the engine (or reopens one already
             # persisted there, in which case --objects is not needed)
+  mpq serve --listen <addr> [--tenant NAME=objects.csv[,KEY=VALUE]...]...
+            # HTTP mode: serve match requests over a real socket.
+            # Tenant spec keys: data-dir=DIR (persist/reopen; an empty
+            # objects.csv part reopens an existing store), workers=N,
+            # queue-cap=M, cache=N. Without --tenant, --objects
+            # [--data-dir DIR] hosts a single tenant named 'default'.
+            # Routes: POST /t/NAME/match, GET /t/NAME/metrics,
+            # GET /metrics, GET /healthz
   mpq compact --data-dir <dir>
             # checkpoint a persisted engine: fold the WAL into the page
             # file so the next open replays nothing";
@@ -378,6 +392,9 @@ fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
 /// bit-identical to a sequential evaluation before anything is
 /// reported.
 fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    if arg_value(args, "--listen").is_some() {
+        return cmd_serve_listen(args);
+    }
     let algorithm: Algorithm = arg_value(args, "--algo")
         .or_else(|| arg_value(args, "--algorithm"))
         .unwrap_or("sb")
@@ -484,6 +501,179 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             String::new()
         },
     ))
+}
+
+/// One `--tenant NAME=objects.csv[,KEY=VALUE...]` specification.
+struct TenantSpec {
+    name: String,
+    objects_csv: Option<String>,
+    data_dir: Option<std::path::PathBuf>,
+    config: mpq_net::TenantConfig,
+}
+
+/// Parse a tenant spec. Grammar: `NAME=OBJECTS[,KEY=VALUE]...` where
+/// `OBJECTS` may be empty when `data-dir` points at a persisted store.
+fn parse_tenant_spec(spec: &str) -> Result<TenantSpec, CliError> {
+    let (name, rest) = spec.split_once('=').ok_or_else(|| {
+        CliError::usage(format!(
+            "--tenant '{spec}': expected NAME=objects.csv[,KEY=VALUE...]"
+        ))
+    })?;
+    let mut parts = rest.split(',');
+    let objects = parts.next().unwrap_or_default();
+    let mut out = TenantSpec {
+        name: name.to_string(),
+        objects_csv: (!objects.is_empty()).then(|| objects.to_string()),
+        data_dir: None,
+        config: mpq_net::TenantConfig::default(),
+    };
+    for part in parts {
+        let (key, value) = part.split_once('=').ok_or_else(|| {
+            CliError::usage(format!(
+                "--tenant '{spec}': option '{part}' is not KEY=VALUE"
+            ))
+        })?;
+        let int = |what: &str| -> Result<usize, CliError> {
+            value.parse().map_err(|_| {
+                CliError::usage(format!("--tenant '{spec}': {what} must be an integer"))
+            })
+        };
+        match key {
+            "data-dir" => out.data_dir = Some(std::path::PathBuf::from(value)),
+            "workers" => out.config.workers = int("workers")?,
+            "queue-cap" => out.config.queue_capacity = int("queue-cap")?,
+            "cache" => out.config.cache_capacity = int("cache")?,
+            other => {
+                return Err(CliError::usage(format!(
+                    "--tenant '{spec}': unknown option '{other}' \
+                     (known: data-dir, workers, queue-cap, cache)"
+                )))
+            }
+        }
+    }
+    if out.objects_csv.is_none() && out.data_dir.is_none() {
+        return Err(CliError::usage(format!(
+            "--tenant '{spec}': needs an objects.csv, a data-dir with a \
+             persisted store, or both"
+        )));
+    }
+    Ok(out)
+}
+
+/// Load one tenant CSV into a validated [`PointSet`].
+fn load_objects_csv(path: &str) -> Result<PointSet, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let table = parse(&text).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    let dim = table.columns.len();
+    let mut objects = PointSet::with_capacity(dim, table.rows());
+    for i in 0..table.rows() {
+        let row = table.row(i);
+        if row.iter().any(|&v| !(0.0..=1.0).contains(&v)) {
+            return Err(CliError::runtime(format!(
+                "{path}: object '{}' has attributes outside [0,1]",
+                table.ids[i]
+            )));
+        }
+        objects.push(row);
+    }
+    Ok(objects)
+}
+
+/// Build the tenant registry from `--tenant` specs (or the single
+/// `--objects`/`--data-dir` default tenant) and bind the HTTP server.
+/// Shared with the CLI tests, which bind port 0 and drive the server
+/// over a real socket; dropping the returned server is the clean
+/// shutdown path (Ctrl-C on a foreground `mpq serve --listen` kills the
+/// process, and persisted tenants recover from their WAL on reopen).
+pub fn start_server(args: &[String]) -> Result<mpq_net::Server, CliError> {
+    let listen = arg_value(args, "--listen")
+        .ok_or_else(|| CliError::usage(format!("--listen is required\n{USAGE}")))?;
+
+    let mut specs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tenant" {
+            let spec = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::usage("--tenant needs a value"))?;
+            specs.push(parse_tenant_spec(spec)?);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    if specs.is_empty() {
+        // Single-tenant shorthand: --objects [--data-dir DIR].
+        let objects_csv = arg_value(args, "--objects").map(str::to_string);
+        let data_dir = arg_value(args, "--data-dir").map(std::path::PathBuf::from);
+        if objects_csv.is_none() && data_dir.is_none() {
+            return Err(CliError::usage(format!(
+                "serve --listen needs --tenant specs or --objects\n{USAGE}"
+            )));
+        }
+        let mut config = mpq_net::TenantConfig::default();
+        if let Some(w) = arg_value(args, "--workers") {
+            config.workers = w
+                .parse()
+                .map_err(|_| CliError::usage("--workers must be an integer"))?;
+        }
+        if let Some(q) = arg_value(args, "--queue-cap") {
+            config.queue_capacity = q
+                .parse()
+                .map_err(|_| CliError::usage("--queue-cap must be an integer"))?;
+        }
+        specs.push(TenantSpec {
+            name: "default".to_string(),
+            objects_csv,
+            data_dir,
+            config,
+        });
+    }
+
+    let mut registry = mpq_net::TenantRegistry::new();
+    for spec in specs {
+        let objects = spec
+            .objects_csv
+            .as_deref()
+            .map(load_objects_csv)
+            .transpose()?;
+        let added = match spec.data_dir {
+            Some(dir) => registry.add_persistent(&spec.name, objects.as_ref(), dir, spec.config),
+            None => {
+                let objects = objects.expect("checked by parse_tenant_spec");
+                registry.add_objects(&spec.name, &objects, spec.config)
+            }
+        };
+        added.map_err(|e| CliError::runtime(format!("tenant '{}': {e}", spec.name)))?;
+    }
+
+    mpq_net::Server::bind(listen, registry, mpq_net::ServerConfig::default())
+        .map_err(|e| CliError::runtime(format!("cannot listen on {listen}: {e}")))
+}
+
+/// `mpq serve --listen`: start the server and block until the process
+/// is killed. The bound address goes to stderr immediately (stdout is
+/// reserved for command output), so scripts can scrape it even with
+/// `--listen 127.0.0.1:0`.
+fn cmd_serve_listen(args: &[String]) -> Result<String, CliError> {
+    let server = start_server(args)?;
+    let tenants: Vec<String> = server
+        .registry()
+        .iter()
+        .map(|t| t.name().to_string())
+        .collect();
+    eprintln!(
+        "mpq: listening on {} serving {} tenant(s): {}",
+        server.local_addr(),
+        tenants.len(),
+        tenants.join(", ")
+    );
+    // Serve until killed: the accept loop runs on its own thread, and
+    // there is nothing useful for this one to do but wait.
+    loop {
+        std::thread::park();
+    }
 }
 
 /// Checkpoint a persisted engine: reopen it (replaying the WAL), fold

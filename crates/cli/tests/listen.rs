@@ -1,0 +1,186 @@
+//! `mpq serve --listen` over a real socket: the server starts, serves
+//! matchings, hosts multiple tenants (persistent ones included), and
+//! shuts down cleanly when dropped.
+
+use std::fs;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mpq_cli::{run_cli, start_server};
+use mpq_net::HttpClient;
+
+fn args(s: &[&str]) -> Vec<String> {
+    s.iter().map(|x| x.to_string()).collect()
+}
+
+/// A unique scratch dir per test (temp_dir is shared across runs).
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpq_listen_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_objects_csv(dir: &std::path::Path, name: &str, seed: u64) -> String {
+    let csv = run_cli(&args(&[
+        "generate",
+        "--distribution",
+        "independent",
+        "--objects",
+        "300",
+        "--dim",
+        "2",
+        "--seed",
+        &seed.to_string(),
+    ]))
+    .unwrap();
+    let path = dir.join(name);
+    fs::write(&path, &csv).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+const BODY: &str = r#"{"functions":[[0.7,0.3],[0.4,0.6]]}"#;
+
+#[test]
+fn single_tenant_serves_over_a_real_socket() {
+    let dir = tmp_dir("single");
+    let objects = write_objects_csv(&dir, "objects.csv", 41);
+
+    let server = start_server(&args(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--objects",
+        &objects,
+        "--workers",
+        "1",
+    ]))
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut client = HttpClient::connect(addr).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    // The shorthand tenant is named "default" and is also the sole
+    // tenant, so both routes work.
+    let resp = client.post_json("/t/default/match", BODY).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    let pairs = mpq_net::decode_pairs(&resp.body).unwrap();
+    assert_eq!(pairs.len(), 2);
+    let resp = client.post_json("/match", BODY).unwrap();
+    assert_eq!(resp.status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn multi_tenant_specs_route_independently_and_persist() {
+    let dir = tmp_dir("multi");
+    let hotels = write_objects_csv(&dir, "hotels.csv", 42);
+    let rooms = write_objects_csv(&dir, "rooms.csv", 43);
+    let store = dir.join("rooms_store");
+    let store_str = store.to_str().unwrap().to_string();
+
+    {
+        let server = start_server(&args(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--tenant",
+            &format!("hotels={hotels},workers=1,queue-cap=8"),
+            "--tenant",
+            &format!("rooms={rooms},data-dir={store_str},workers=1"),
+        ]))
+        .unwrap();
+        let addr = server.local_addr();
+        let mut client = HttpClient::connect(addr).unwrap();
+
+        for tenant in ["hotels", "rooms"] {
+            let resp = client
+                .post_json(&format!("/t/{tenant}/match"), BODY)
+                .unwrap();
+            assert_eq!(resp.status, 200, "{tenant}: {}", resp.text());
+        }
+        // Two tenants: plain /match needs a name.
+        assert_eq!(client.post_json("/match", BODY).unwrap().status, 404);
+        // Drop: clean shutdown, flushing the persistent tenant.
+    }
+
+    // The rooms store persisted — reopen it WITHOUT the CSV (empty
+    // objects part in the spec).
+    let server = start_server(&args(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--tenant",
+        &format!("rooms=,data-dir={store_str}"),
+    ]))
+    .unwrap();
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let resp = client.post_json("/t/rooms/match", BODY).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.text());
+    server.shutdown();
+}
+
+#[test]
+fn dropping_the_server_closes_the_listener() {
+    let dir = tmp_dir("drop");
+    let objects = write_objects_csv(&dir, "objects.csv", 44);
+
+    let server = start_server(&args(&["--listen", "127.0.0.1:0", "--objects", &objects])).unwrap();
+    let addr = server.local_addr();
+
+    // Alive: a request round-trips.
+    let mut client = HttpClient::connect(addr).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    drop(server);
+
+    // Dead: new connections are refused (or immediately closed — the
+    // OS may briefly accept into a dying backlog).
+    match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+        Err(_) => {}
+        Ok(stream) => {
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            use std::io::{Read, Write};
+            let mut s = stream;
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = [0u8; 64];
+            // A live server would answer; a dead one EOFs or errors.
+            match s.read(&mut buf) {
+                Ok(0) => {}
+                Ok(_) => panic!("server still answering after drop"),
+                Err(_) => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn listen_mode_usage_errors() {
+    // No tenants at all.
+    let err = start_server(&args(&["--listen", "127.0.0.1:0"])).unwrap_err();
+    assert_eq!(err.code, 2);
+    assert!(err.message.contains("--tenant"), "{}", err.message);
+
+    // Malformed tenant specs.
+    for bad in [
+        "nospec",
+        "name=,",               // no objects, no data-dir
+        "n=o.csv,workers",      // option without value
+        "n=o.csv,bogus=1",      // unknown option
+        "n=o.csv,workers=many", // non-integer
+    ] {
+        let err = start_server(&args(&["--listen", "127.0.0.1:0", "--tenant", bad])).unwrap_err();
+        assert_eq!(err.code, 2, "spec {bad:?} should be a usage error");
+    }
+
+    // A tenant whose CSV does not exist is a runtime error.
+    let err = start_server(&args(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--tenant",
+        "ghost=/definitely/not/here.csv",
+    ]))
+    .unwrap_err();
+    assert_eq!(err.code, 1);
+}

@@ -424,6 +424,28 @@ impl CacheMetrics {
             self.hits as f64 / lookups as f64
         }
     }
+
+    /// Structured rendering shared by the `/metrics` endpoint of the
+    /// network front-end and the benchmark artifacts. The field names
+    /// are a stable contract pinned by a unit test — the JSON and the
+    /// [`Display`](std::fmt::Display) impl of
+    /// [`ServiceMetrics`](crate::service::ServiceMetrics) must never
+    /// drift apart.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("enabled", Json::Bool(self.enabled)),
+            ("hits", Json::Num(self.hits as f64)),
+            ("misses", Json::Num(self.misses as f64)),
+            ("attaches", Json::Num(self.attaches as f64)),
+            ("insertions", Json::Num(self.insertions as f64)),
+            ("evictions", Json::Num(self.evictions as f64)),
+            ("revalidations", Json::Num(self.revalidations as f64)),
+            ("entries", Json::Num(self.entries as f64)),
+            ("bytes", Json::Num(self.bytes as f64)),
+            ("hit_rate", Json::Num(self.hit_rate())),
+        ])
+    }
 }
 
 /// One cached result plus its bookkeeping.

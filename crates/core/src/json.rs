@@ -1,12 +1,15 @@
 //! Minimal JSON value: render and parse, no external dependencies.
 //!
-//! The perf-trajectory harness emits machine-readable benchmark results
-//! (`BENCH_pr3.json`) that CI validates and archives. The build
+//! Born in `mpq_bench` for the machine-readable benchmark artifacts
+//! (`BENCH_pr3.json` onward) that CI validates and archives, and moved
+//! down here once the network front-end needed the same machinery for
+//! its wire codec and `/metrics` endpoint (`mpq_bench::json` re-exports
+//! this module, so the harness call sites are unchanged). The build
 //! container has no registry access, so instead of `serde_json` this is
-//! the smallest JSON subset the harness needs: objects, arrays,
+//! the smallest JSON subset those consumers need: objects, arrays,
 //! strings, finite numbers, booleans and null, with a recursive-descent
-//! parser strict enough to reject the malformed files a broken harness
-//! would produce.
+//! parser strict enough to reject the malformed documents a broken
+//! harness — or a hostile network client — would produce.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -86,6 +86,7 @@ pub mod capacity;
 pub mod chain;
 pub mod engine;
 pub mod error;
+pub mod json;
 pub mod matching;
 pub mod monotone;
 pub mod online;
@@ -104,6 +105,7 @@ pub use engine::{
     Algorithm, BatchMetrics, BatchOutcome, Engine, EngineBuilder, MatchRequest, MatchSession,
 };
 pub use error::MpqError;
+pub use json::Json;
 pub use matching::{index_build_count, IndexConfig, Matcher, Matching, Pair, RunMetrics};
 pub use monotone::{MonotoneFunction, MonotoneSkylineMatcher};
 pub use reference::{reference_matching, reference_matching_excluding};

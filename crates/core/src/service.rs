@@ -1066,6 +1066,19 @@ impl<'a> ServiceCore<'a> {
         lock(&self.queue).in_flight -= 1;
     }
 
+    /// Requests queued and not yet claimed by a worker, right now.
+    /// Cheaper than a full [`ServiceCore::metrics_snapshot`] — one lock,
+    /// no latency sort — so an admission-control path (e.g. the network
+    /// front-end computing a `Retry-After`) can afford it per rejection.
+    pub(crate) fn queue_depth(&self) -> usize {
+        lock(&self.queue).heap.len()
+    }
+
+    /// Requests claimed by a worker and not yet resolved, right now.
+    pub(crate) fn in_flight(&self) -> usize {
+        lock(&self.queue).in_flight
+    }
+
     /// Stop accepting submissions and wake everyone: blocked submitters
     /// fail with [`MpqError::ServiceStopped`]; workers drain the queue
     /// and exit.
@@ -1181,6 +1194,56 @@ impl ServiceMetrics {
     /// completions or zero uptime yield `0.0`, never `inf` or NaN.
     pub fn requests_per_sec(&self) -> f64 {
         safe_rate(self.completed, self.uptime)
+    }
+
+    /// Structured rendering of the full snapshot — counters, gauges,
+    /// cache and storage — shared by the network front-end's `/metrics`
+    /// endpoint and anything else that wants machine-readable service
+    /// health. The field names are a stable contract pinned by a unit
+    /// test, so this and the [`Display`](std::fmt::Display) impl can
+    /// never drift apart: every figure Display prints has a named field
+    /// here.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("workers", Json::Num(self.workers as f64)),
+            ("queue_depth", Json::Num(self.queue_depth as f64)),
+            ("in_flight", Json::Num(self.in_flight as f64)),
+            ("submitted", Json::Num(self.submitted as f64)),
+            ("completed", Json::Num(self.completed as f64)),
+            ("cancelled", Json::Num(self.cancelled as f64)),
+            ("rejected", Json::Num(self.rejected as f64)),
+            ("expired", Json::Num(self.expired as f64)),
+            ("panicked", Json::Num(self.panicked as f64)),
+            ("cache", self.cache.to_json()),
+            (
+                "storage",
+                Json::obj([
+                    ("logical", Json::Num(self.storage.logical as f64)),
+                    (
+                        "physical_reads",
+                        Json::Num(self.storage.physical_reads as f64),
+                    ),
+                    (
+                        "physical_writes",
+                        Json::Num(self.storage.physical_writes as f64),
+                    ),
+                    ("disk_reads", Json::Num(self.storage.disk_reads as f64)),
+                    ("disk_writes", Json::Num(self.storage.disk_writes as f64)),
+                    ("fsyncs", Json::Num(self.storage.fsyncs as f64)),
+                ]),
+            ),
+            ("uptime_secs", Json::Num(self.uptime.as_secs_f64())),
+            ("requests_per_sec", Json::Num(self.requests_per_sec())),
+            (
+                "latency_p50_ms",
+                Json::Num(self.p50_latency.as_secs_f64() * 1e3),
+            ),
+            (
+                "latency_p99_ms",
+                Json::Num(self.p99_latency.as_secs_f64() * 1e3),
+            ),
+        ])
     }
 }
 
@@ -1310,6 +1373,20 @@ impl EngineService {
         m
     }
 
+    /// Requests queued and not yet claimed by a worker, right now — a
+    /// single-lock gauge (no latency sort, no cache lock), cheap enough
+    /// for per-request admission control. Before this existed, the only
+    /// way to observe per-service queue pressure from outside a worker
+    /// was a full [`EngineService::metrics`] snapshot.
+    pub fn queue_depth(&self) -> usize {
+        self.core.queue_depth()
+    }
+
+    /// Requests claimed by a worker and not yet resolved, right now.
+    pub fn in_flight(&self) -> usize {
+        self.core.in_flight()
+    }
+
     /// Graceful shutdown: stop accepting submissions, let the workers
     /// **drain** every queued and in-flight request to resolution, then
     /// join them. Outstanding [`Ticket`]s stay valid — their results can
@@ -1396,6 +1473,17 @@ impl ServiceClient {
         let mut m = self.core.metrics_snapshot();
         m.storage = self.engine.storage_stats();
         m
+    }
+
+    /// Requests queued and not yet claimed by a worker, right now (see
+    /// [`EngineService::queue_depth`]).
+    pub fn queue_depth(&self) -> usize {
+        self.core.queue_depth()
+    }
+
+    /// Requests claimed by a worker and not yet resolved, right now.
+    pub fn in_flight(&self) -> usize {
+        self.core.in_flight()
     }
 }
 
@@ -1810,5 +1898,183 @@ mod tests {
         assert_eq!(dead.wait().unwrap_err(), MpqError::DeadlineExceeded);
         assert!(!live.is_done());
         assert_eq!(lock(&core.metrics).rejected, 0);
+    }
+
+    /// Regression: per-service queue pressure is observable from outside
+    /// a worker. Before `queue_depth()`/`in_flight()` existed the only
+    /// window was a full metrics snapshot, too heavy for an
+    /// admission-control path computing a `Retry-After` per rejection.
+    #[test]
+    fn queue_depth_and_in_flight_snapshots_track_the_queue() {
+        let core = uncached_core(ServiceConfig::default().queue_capacity(8));
+        assert_eq!(core.queue_depth(), 0);
+        assert_eq!(core.in_flight(), 0);
+        for _ in 0..3 {
+            core.enqueue(
+                Cow::Owned(test_functions()),
+                Cow::Owned(RequestOptions::default()),
+                SubmitOptions::default(),
+            )
+            .unwrap();
+        }
+        assert_eq!(core.queue_depth(), 3);
+        assert_eq!(core.in_flight(), 0);
+        // A worker claiming a job moves it from queued to in-flight.
+        let job = core.next_job().expect("job queued");
+        assert_eq!(core.queue_depth(), 2);
+        assert_eq!(core.in_flight(), 1);
+        // Resolving it through the normal execute path clears the gauge.
+        let engine = {
+            let mut objects = mpq_rtree::PointSet::new(2);
+            for p in [[0.9_f64, 0.1], [0.1, 0.9], [0.5, 0.5]] {
+                objects.push(&p);
+            }
+            Engine::builder().objects(&objects).build().unwrap()
+        };
+        let mut scratch = Scratch::new();
+        core.execute(&engine, job, &mut scratch);
+        assert_eq!(core.queue_depth(), 2);
+        assert_eq!(core.in_flight(), 0);
+    }
+
+    /// The public handles surface the same gauges.
+    #[test]
+    fn service_and_client_expose_queue_snapshots() {
+        let mut objects = mpq_rtree::PointSet::new(2);
+        for p in [[0.9_f64, 0.1], [0.1, 0.9], [0.5, 0.5]] {
+            objects.push(&p);
+        }
+        let engine = Arc::new(Engine::builder().objects(&objects).build().unwrap());
+        let service = EngineService::spawn(
+            Arc::clone(&engine),
+            ServiceConfig::default().workers(1).queue_capacity(4),
+        );
+        let client = service.client();
+        let fs = test_functions();
+        let t = client.submit(engine.request(&fs)).unwrap();
+        t.wait().unwrap();
+        // Drained: both gauges are deterministically zero again.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while (service.queue_depth(), service.in_flight()) != (0, 0) {
+            assert!(Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        assert_eq!(client.queue_depth(), 0);
+        assert_eq!(client.in_flight(), 0);
+    }
+
+    /// Pin the `to_json` field names: the `/metrics` endpoint and the
+    /// Display impl must never drift apart, and a renamed field would
+    /// silently break downstream consumers of the JSON.
+    #[test]
+    fn service_metrics_to_json_pins_field_names() {
+        let mut m = ServiceMetrics {
+            workers: 2,
+            queue_depth: 3,
+            in_flight: 1,
+            submitted: 10,
+            completed: 6,
+            cancelled: 1,
+            rejected: 2,
+            expired: 1,
+            panicked: 0,
+            cache: CacheMetrics {
+                enabled: true,
+                hits: 4,
+                misses: 2,
+                attaches: 1,
+                insertions: 2,
+                evictions: 1,
+                revalidations: 1,
+                entries: 1,
+                bytes: 512,
+            },
+            storage: mpq_rtree::IoStats {
+                logical: 100,
+                physical_reads: 10,
+                physical_writes: 5,
+                disk_reads: 3,
+                disk_writes: 2,
+                fsyncs: 1,
+            },
+            uptime: Duration::from_secs(2),
+            p50_latency: Duration::from_millis(5),
+            p99_latency: Duration::from_millis(50),
+        };
+        let json = m.to_json();
+        for key in [
+            "workers",
+            "queue_depth",
+            "in_flight",
+            "submitted",
+            "completed",
+            "cancelled",
+            "rejected",
+            "expired",
+            "panicked",
+            "uptime_secs",
+            "requests_per_sec",
+            "latency_p50_ms",
+            "latency_p99_ms",
+        ] {
+            assert!(
+                json.get(key).and_then(crate::json::Json::as_f64).is_some()
+                    || key == "workers" && json.get(key).is_some(),
+                "missing numeric field '{key}'"
+            );
+        }
+        let cache = json.get("cache").expect("cache sub-object");
+        for key in [
+            "enabled",
+            "hits",
+            "misses",
+            "attaches",
+            "insertions",
+            "evictions",
+            "revalidations",
+            "entries",
+            "bytes",
+            "hit_rate",
+        ] {
+            assert!(cache.get(key).is_some(), "missing cache field '{key}'");
+        }
+        assert_eq!(
+            cache.get("hit_rate").and_then(crate::json::Json::as_f64),
+            Some(m.cache.hit_rate())
+        );
+        let storage = json.get("storage").expect("storage sub-object");
+        for key in [
+            "logical",
+            "physical_reads",
+            "physical_writes",
+            "disk_reads",
+            "disk_writes",
+            "fsyncs",
+        ] {
+            assert!(storage.get(key).is_some(), "missing storage field '{key}'");
+        }
+        assert_eq!(
+            storage.get("fsyncs").and_then(crate::json::Json::as_f64),
+            Some(1.0)
+        );
+        // Round-trips through the parser (field values are finite).
+        let text = json.render();
+        assert_eq!(crate::json::Json::parse(&text).unwrap(), json);
+        // Every figure Display mentions has a named field in the JSON:
+        // spot-check the three that have drifted in review before.
+        assert_eq!(json.get("queue_depth").unwrap().as_f64(), Some(3.0));
+        assert_eq!(json.get("completed").unwrap().as_f64(), Some(6.0));
+        assert_eq!(
+            json.get("latency_p99_ms").unwrap().as_f64(),
+            Some(m.p99_latency.as_secs_f64() * 1e3)
+        );
+        // Disabled cache renders with enabled=false and zero counters,
+        // matching the Display impl's "cache disabled" line.
+        m.cache = CacheMetrics::default();
+        let off = m.to_json();
+        assert_eq!(
+            off.get("cache").unwrap().get("enabled").unwrap().as_bool(),
+            Some(false)
+        );
     }
 }

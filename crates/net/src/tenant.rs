@@ -1,0 +1,301 @@
+//! Multi-tenant hosting: several named engines behind one listener.
+//!
+//! Each [`Tenant`] owns its engine **and its own [`EngineService`]** —
+//! worker pool, bounded queue, result cache. That per-tenant service is
+//! the isolation mechanism: a tenant that saturates its queue sheds its
+//! own load with `429`s while the other tenants' workers, queues and
+//! caches are untouched. The server routes by path (`/t/<name>/match`)
+//! or by the `X-Mpq-Tenant` header; see [`crate::server`].
+//!
+//! Backpressure is forced to [`BackpressurePolicy::Reject`] regardless
+//! of what the config says: a blocking submit would park the connection
+//! thread inside another tenant's queue, which is exactly the coupling
+//! multi-tenancy exists to prevent. The wire answer to a full queue is
+//! `429 Too Many Requests` with a `Retry-After` estimate, never a
+//! stalled socket.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mpq_core::service::{BackpressurePolicy, QueueOrdering};
+use mpq_core::{Engine, EngineService, MpqError, ServiceClient, ServiceConfig};
+use mpq_rtree::PointSet;
+
+/// Configuration for one hosted tenant.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Worker threads of this tenant's service (0 = one per core).
+    pub workers: usize,
+    /// Bounded submission-queue capacity.
+    pub queue_capacity: usize,
+    /// Result-cache entry budget (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Result-cache byte budget.
+    pub cache_max_bytes: usize,
+    /// Rolling latency window for p50/p99 (also feeds `Retry-After`).
+    pub latency_window: usize,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            cache_max_bytes: 32 * 1024 * 1024,
+            latency_window: 1024,
+        }
+    }
+}
+
+impl TenantConfig {
+    fn service_config(&self) -> ServiceConfig {
+        ServiceConfig::default()
+            .workers(self.workers)
+            .queue_capacity(self.queue_capacity)
+            // See the module docs: Reject is structural, not a default.
+            .backpressure(BackpressurePolicy::Reject)
+            // The wire request carries a `priority` field; FIFO would
+            // reject any nonzero value.
+            .ordering(QueueOrdering::Priority)
+            .cache_capacity(self.cache_capacity)
+            .cache_max_bytes(self.cache_max_bytes)
+            .latency_window(self.latency_window)
+    }
+}
+
+/// One hosted engine with its private service.
+pub struct Tenant {
+    name: String,
+    engine: Arc<Engine>,
+    service: EngineService,
+    client: ServiceClient,
+}
+
+impl Tenant {
+    /// The tenant's route name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hosted engine (for request building and direct evaluation in
+    /// tests).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// A cloneable submission handle to this tenant's service.
+    pub fn client(&self) -> &ServiceClient {
+        &self.client
+    }
+
+    /// Snapshot of this tenant's service metrics.
+    pub fn metrics(&self) -> mpq_core::ServiceMetrics {
+        self.service.metrics()
+    }
+
+    /// Worker count of this tenant's pool (for `Retry-After` math).
+    pub fn workers(&self) -> usize {
+        self.service.workers()
+    }
+}
+
+/// `true` iff `name` is usable in a route: non-empty ASCII
+/// `[A-Za-z0-9_-]`.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+/// The set of tenants a server hosts, keyed by route name.
+#[derive(Default)]
+pub struct TenantRegistry {
+    tenants: BTreeMap<String, Arc<Tenant>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Host `engine` as tenant `name`, spawning its service.
+    ///
+    /// Fails with [`MpqError::UnsupportedRequest`] on an invalid or
+    /// duplicate name.
+    pub fn add_engine(
+        &mut self,
+        name: &str,
+        engine: Arc<Engine>,
+        config: TenantConfig,
+    ) -> Result<(), MpqError> {
+        if !valid_tenant_name(name) {
+            return Err(MpqError::UnsupportedRequest(
+                "tenant names must be non-empty [A-Za-z0-9_-]",
+            ));
+        }
+        if self.tenants.contains_key(name) {
+            return Err(MpqError::UnsupportedRequest("duplicate tenant name"));
+        }
+        let service = Arc::clone(&engine).serve(config.service_config());
+        let client = service.client();
+        self.tenants.insert(
+            name.to_string(),
+            Arc::new(Tenant {
+                name: name.to_string(),
+                engine,
+                service,
+                client,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Build an in-memory engine over `objects` and host it.
+    pub fn add_objects(
+        &mut self,
+        name: &str,
+        objects: &PointSet,
+        config: TenantConfig,
+    ) -> Result<(), MpqError> {
+        let engine = Arc::new(Engine::builder().objects(objects).build()?);
+        self.add_engine(name, engine, config)
+    }
+
+    /// Host a disk-backed tenant rooted at `data_dir`. If the directory
+    /// already holds a persisted inventory it is **reopened** (WAL
+    /// replay included); otherwise a fresh engine over `objects` is
+    /// created there. `objects` may be `None` only when reopening.
+    pub fn add_persistent(
+        &mut self,
+        name: &str,
+        objects: Option<&PointSet>,
+        data_dir: PathBuf,
+        config: TenantConfig,
+    ) -> Result<(), MpqError> {
+        let engine = if Engine::persisted_at(&data_dir) {
+            Engine::open(&data_dir)?
+        } else {
+            let objects = objects.ok_or(MpqError::UnsupportedRequest(
+                "no persisted inventory at data_dir and no objects given",
+            ))?;
+            Engine::builder()
+                .objects(objects)
+                .data_dir(&data_dir)
+                .build()?
+        };
+        self.add_engine(name, Arc::new(engine), config)
+    }
+
+    /// Look up a tenant by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<Tenant>> {
+        self.tenants.get(name)
+    }
+
+    /// The single tenant, if exactly one is hosted — lets clients of a
+    /// single-tenant server post to plain `/match` without naming it.
+    pub fn sole_tenant(&self) -> Option<&Arc<Tenant>> {
+        if self.tenants.len() == 1 {
+            self.tenants.values().next()
+        } else {
+            None
+        }
+    }
+
+    /// Iterate tenants in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Tenant>> {
+        self.tenants.values()
+    }
+
+    /// Number of hosted tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// `true` iff no tenants are hosted.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_datagen::WorkloadBuilder;
+
+    fn small_objects() -> PointSet {
+        WorkloadBuilder::new()
+            .objects(50)
+            .functions(4)
+            .dim(2)
+            .seed(7)
+            .build()
+            .objects
+    }
+
+    #[test]
+    fn hosts_tenants_and_routes_by_name() {
+        let objects = small_objects();
+        let mut reg = TenantRegistry::new();
+        reg.add_objects("alpha", &objects, TenantConfig::default())
+            .unwrap();
+        reg.add_objects("beta", &objects, TenantConfig::default())
+            .unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("alpha").is_some());
+        assert!(reg.get("gamma").is_none());
+        assert!(reg.sole_tenant().is_none());
+
+        let names: Vec<_> = reg.iter().map(|t| t.name().to_string()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+    }
+
+    #[test]
+    fn sole_tenant_only_with_exactly_one() {
+        let objects = small_objects();
+        let mut reg = TenantRegistry::new();
+        assert!(reg.sole_tenant().is_none());
+        reg.add_objects("only", &objects, TenantConfig::default())
+            .unwrap();
+        assert_eq!(reg.sole_tenant().unwrap().name(), "only");
+    }
+
+    #[test]
+    fn rejects_bad_and_duplicate_names() {
+        let objects = small_objects();
+        let mut reg = TenantRegistry::new();
+        for bad in ["", "a b", "x/y", "héllo"] {
+            assert!(reg
+                .add_objects(bad, &objects, TenantConfig::default())
+                .is_err());
+        }
+        reg.add_objects("dup", &objects, TenantConfig::default())
+            .unwrap();
+        assert!(reg
+            .add_objects("dup", &objects, TenantConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    fn tenant_services_answer_requests() {
+        let w = WorkloadBuilder::new()
+            .objects(50)
+            .functions(4)
+            .dim(2)
+            .seed(7)
+            .build();
+        let mut reg = TenantRegistry::new();
+        reg.add_objects("t", &w.objects, TenantConfig::default())
+            .unwrap();
+        let tenant = reg.get("t").unwrap();
+        let ticket = tenant
+            .client()
+            .submit(tenant.engine().request(&w.functions))
+            .unwrap();
+        let m = ticket.wait().unwrap();
+        assert_eq!(m.len(), 4);
+    }
+}

@@ -23,6 +23,11 @@
 //!   serving layer, plus the matchers: skyline-based **SB** (the paper's
 //!   contribution, §III-B/§IV), **Brute Force** (§III-A) and **Chain**
 //!   (the adapted competitor of §V), plus verification utilities.
+//! * [`net`] — the std-only HTTP/1.1 front-end: a [`net::Server`]
+//!   hosting one [`net::TenantRegistry`] of named engines, each behind
+//!   its own service (queue, workers, cache), with a JSON wire codec,
+//!   `/metrics` + `/healthz`, `429 Retry-After` load shedding, `504`
+//!   deadlines and disconnect cancellation.
 //!
 //! ## Quickstart
 //!
@@ -88,6 +93,7 @@
 //! | `engine.evaluate_batch(&reqs, t)` (pre-collected batches) | `engine.serve(config)` + `client.submit(..)` per request |
 //! | rebuild the engine on inventory change | `engine.insert_object(&p)?` / `engine.remove_object(oid)?` / `engine.update_object(oid, &p)?` |
 //! | in-memory only, lost on restart | `Engine::builder().data_dir(dir)` once, `Engine::open(dir)?` after |
+//! | in-process `ServiceClient` only | `net::Server::bind(addr, registry, config)?` / `mpq serve --listen ADDR` — HTTP clients `POST /t/<tenant>/match` |
 //!
 //! where `let engine = Engine::builder().objects(&o).build()?;` is built
 //! once and shared (it is `Sync`; evaluation never mutates the index).
@@ -138,9 +144,15 @@
 //! assert_eq!(client.metrics().cache.hits, 1);
 //! service.shutdown(); // graceful: drains queued + in-flight work
 //! ```
+//!
+//! To put that service on the network, host engines as named tenants
+//! in a [`net::TenantRegistry`] and bind a [`net::Server`] (CLI:
+//! `mpq serve --listen ADDR`) — see the [`net`] crate docs and
+//! `examples/client.rs` for the wire protocol.
 
 pub use mpq_core as core;
 pub use mpq_datagen as datagen;
+pub use mpq_net as net;
 pub use mpq_rtree as rtree;
 pub use mpq_skyline as skyline;
 pub use mpq_ta as ta;
@@ -154,6 +166,7 @@ pub mod prelude {
         ServiceConfig, ServiceMetrics, SkylineMatcher, Ticket,
     };
     pub use mpq_datagen::{Distribution, WorkloadBuilder};
+    pub use mpq_net::{HttpClient, Server, ServerConfig, TenantConfig, TenantRegistry};
     pub use mpq_rtree::{IoSession, PointSet, RTree, RTreeParams};
     pub use mpq_ta::FunctionSet;
 }
