@@ -37,7 +37,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use mpq_ta::FunctionSet;
 
@@ -237,7 +237,12 @@ impl MutationLog {
     /// Record a committed mutation: `version` is the inventory version
     /// the commit published.
     pub fn record(&self, version: u64, event: MutationEvent) {
-        let mut inner = self.inner.lock().expect("mutation log poisoned");
+        // Poison recovery: the log's invariants hold at every await-free
+        // point inside the critical sections, so a thread that panicked
+        // while holding the lock left the ring consistent. Inheriting
+        // the poison would instead wedge every future mutation commit
+        // behind one dead evaluation.
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         while inner.events.len() >= inner.cap {
             if let Some((v, _)) = inner.events.pop_front() {
                 inner.truncated_at = v;
@@ -250,7 +255,7 @@ impl MutationLog {
     /// `None` if the ring no longer covers the whole window (the caller
     /// must then fall back to full invalidation).
     pub fn events_between(&self, since: u64, upto: u64) -> Option<Vec<(u64, MutationEvent)>> {
-        let inner = self.inner.lock().expect("mutation log poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if since < inner.truncated_at {
             return None;
         }

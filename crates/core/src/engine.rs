@@ -42,11 +42,13 @@
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use mpq_rtree::{DiskPager, IoSession, IoStats, PointSet, RTree};
+use mpq_rtree::{
+    DiskPager, FaultInjector, FaultPageStore, IoSession, IoStats, MemPager, PointSet, RTree,
+};
 use mpq_skyline::SkylineMaintainer;
 use mpq_ta::{FunctionSet, ReverseTopOne};
 
@@ -136,6 +138,7 @@ pub struct EngineBuilder<'o> {
     objects: Option<&'o PointSet>,
     buffer_shards: Option<usize>,
     data_dir: Option<PathBuf>,
+    fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl<'o> EngineBuilder<'o> {
@@ -177,6 +180,19 @@ impl<'o> EngineBuilder<'o> {
         self
     }
 
+    /// Route every durability operation of this engine — page writes,
+    /// page/header fsyncs, WAL appends and WAL fsyncs — through
+    /// `injector`, so tests and the chaos harness can fail them on a
+    /// deterministic schedule (see [`FaultInjector`]). Applies to both
+    /// in-memory engines (the pager is wrapped in a
+    /// [`FaultPageStore`]) and disk-backed engines (the
+    /// [`DiskPager`] and [`Wal`] consult the injector natively). Zero
+    /// cost when not called.
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> EngineBuilder<'o> {
+        self.fault_injector = Some(injector);
+        self
+    }
+
     /// Validate the inventory and bulk-load the object R-tree (exactly
     /// once for the engine's lifetime).
     ///
@@ -193,10 +209,19 @@ impl<'o> EngineBuilder<'o> {
             validate_point(i as u64, objects.dim(), p)?;
         }
         let mut tree = match &self.data_dir {
-            None => self.index.build_tree(objects),
+            None => match &self.fault_injector {
+                None => self.index.build_tree(objects),
+                Some(inj) => self.index.build_tree_in(
+                    FaultPageStore::new(MemPager::new(self.index.page_size), Arc::clone(inj)),
+                    objects,
+                ),
+            },
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
-                let store = DiskPager::create(&dir.join(PAGE_FILE), self.index.page_size)?;
+                let mut store = DiskPager::create(&dir.join(PAGE_FILE), self.index.page_size)?;
+                if let Some(inj) = &self.fault_injector {
+                    store.attach_injector(Arc::clone(inj));
+                }
                 self.index.build_tree_in(store, objects)
             }
         };
@@ -210,6 +235,9 @@ impl<'o> EngineBuilder<'o> {
                 // left in the directory: discard any stale WAL tail and
                 // commit the bulk-loaded tree as checkpoint zero.
                 let (mut wal, _stale) = Wal::open(&dir.join(WAL_FILE))?;
+                if let Some(inj) = &self.fault_injector {
+                    wal.set_injector(Arc::clone(inj));
+                }
                 wal.truncate()?;
                 tree.checkpoint(&0u64.to_le_bytes())?;
                 Some(Mutex::new(wal))
@@ -231,6 +259,8 @@ impl<'o> EngineBuilder<'o> {
             wal,
             data_dir: self.data_dir,
             mutator: Mutex::new(()),
+            degraded: AtomicBool::new(false),
+            injector: self.fault_injector,
         })
     }
 }
@@ -306,6 +336,13 @@ pub struct Engine {
     data_dir: Option<PathBuf>,
     /// Serializes mutations and checkpoints; readers never take it.
     mutator: Mutex<()>,
+    /// Set when a durability failure left the WAL wedged: mutations are
+    /// refused with [`MpqError::StorageDegraded`] until a successful
+    /// [`Engine::checkpoint`] repairs the log. Reads are unaffected.
+    degraded: AtomicBool,
+    /// The fault injector every durability path consults, if one was
+    /// attached at build/open time.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -446,8 +483,30 @@ impl Engine {
     /// created with; the buffer is re-sized from `config` (buffer
     /// geometry is a runtime choice, not persistent state).
     pub fn open_with(dir: impl AsRef<Path>, config: IndexConfig) -> Result<Engine, MpqError> {
-        let dir = dir.as_ref();
-        let store = DiskPager::open(&dir.join(PAGE_FILE), config.page_size)?;
+        Engine::open_inner(dir.as_ref(), config, None)
+    }
+
+    /// Like [`Engine::open_with`], but routing the reopened engine's
+    /// durability operations through `injector` (see
+    /// [`EngineBuilder::fault_injector`]). Recovery itself runs with the
+    /// injector attached, so reads during replay can be failed too.
+    pub fn open_with_injector(
+        dir: impl AsRef<Path>,
+        config: IndexConfig,
+        injector: Arc<FaultInjector>,
+    ) -> Result<Engine, MpqError> {
+        Engine::open_inner(dir.as_ref(), config, Some(injector))
+    }
+
+    fn open_inner(
+        dir: &Path,
+        config: IndexConfig,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<Engine, MpqError> {
+        let mut store = DiskPager::open(&dir.join(PAGE_FILE), config.page_size)?;
+        if let Some(inj) = &injector {
+            store.attach_injector(Arc::clone(inj));
+        }
         let (tree, extra) = RTree::open(store, config.min_buffer_pages.max(1))?;
         tree.set_buffer_capacity(config.buffer_pages_for(tree.page_count()));
         let ckpt_seq = if extra.len() >= 8 {
@@ -457,6 +516,9 @@ impl Engine {
         };
 
         let (mut wal, records) = Wal::open(&dir.join(WAL_FILE))?;
+        if let Some(inj) = &injector {
+            wal.set_injector(Arc::clone(inj));
+        }
         // A checkpoint truncates the WAL but sequence numbers must stay
         // monotonic across it, or replayed records could collide with
         // the checkpoint's high-water mark after the *next* crash.
@@ -502,6 +564,8 @@ impl Engine {
             wal: Some(Mutex::new(wal)),
             data_dir: Some(dir.to_path_buf()),
             mutator: Mutex::new(()),
+            degraded: AtomicBool::new(false),
+            injector,
         })
     }
 
@@ -515,6 +579,7 @@ impl Engine {
     /// [`Engine::inventory_version`] advance.
     pub fn insert_object(&self, point: &[f64]) -> Result<u64, MpqError> {
         let _m = lock(&self.mutator);
+        self.check_storage()?;
         let oid = self.next_oid.load(AtomicOrdering::Relaxed);
         validate_point(oid, self.dim, point)?;
         self.log_wal(&WalRecord::Insert {
@@ -539,6 +604,7 @@ impl Engine {
     /// a new engine instead).
     pub fn remove_object(&self, oid: u64) -> Result<(), MpqError> {
         let _m = lock(&self.mutator);
+        self.check_storage()?;
         let point = {
             let objects = lock(&self.objects);
             if objects.len() == 1 && objects.contains_key(&oid) {
@@ -567,6 +633,7 @@ impl Engine {
     /// version bump — implemented as delete + re-insert on the index.
     pub fn update_object(&self, oid: u64, point: &[f64]) -> Result<(), MpqError> {
         let _m = lock(&self.mutator);
+        self.check_storage()?;
         validate_point(oid, self.dim, point)?;
         let old = lock(&self.objects)
             .get(&oid)
@@ -588,15 +655,47 @@ impl Engine {
         Ok(())
     }
 
+    /// Refuse mutations while the storage is degraded (a failed WAL
+    /// rollback left the log wedged). Cleared by a successful
+    /// [`Engine::checkpoint`].
+    fn check_storage(&self) -> Result<(), MpqError> {
+        if self.degraded.load(AtomicOrdering::Acquire) {
+            return Err(MpqError::StorageDegraded);
+        }
+        Ok(())
+    }
+
+    /// True while the engine refuses mutations after an unrepaired
+    /// durability failure (see [`MpqError::StorageDegraded`]). Reads
+    /// keep serving the last committed snapshot throughout.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(AtomicOrdering::Acquire)
+    }
+
+    /// The fault injector attached at build/open time, if any — lets
+    /// harness code schedule faults through the engine handle it
+    /// already holds.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
     /// Durably append a WAL record (no-op for in-memory engines). Called
     /// with the mutator lock held, *before* the in-memory state changes:
-    /// if the append or fsync fails, the mutation is reported as
-    /// [`MpqError::Io`] and was not applied.
+    /// if the append or fsync fails, the record is rolled back off the
+    /// log and the mutation is reported as [`MpqError::Io`] without
+    /// having been applied. If even the rollback fails, the WAL is
+    /// wedged and the engine flips to degraded: further mutations are
+    /// refused with [`MpqError::StorageDegraded`] until a successful
+    /// [`Engine::checkpoint`] truncates (and thereby repairs) the log.
     fn log_wal(&self, rec: &WalRecord) -> Result<(), MpqError> {
         if let Some(wal) = &self.wal {
             let mut wal = lock(wal);
-            wal.append(rec)?;
-            wal.sync()?;
+            if let Err(e) = wal.append_sync(rec) {
+                if wal.is_wedged() {
+                    self.degraded.store(true, AtomicOrdering::Release);
+                }
+                return Err(e.into());
+            }
         }
         Ok(())
     }
@@ -616,6 +715,9 @@ impl Engine {
     /// the page file's header, then truncate the WAL. After a
     /// checkpoint, reopening replays nothing; between checkpoints, the
     /// WAL alone carries the delta. A no-op for in-memory engines.
+    /// A successful checkpoint also repairs a degraded engine: the WAL
+    /// truncation wipes any phantom record a failed rollback left
+    /// behind, so mutations are accepted again.
     pub fn checkpoint(&self) -> Result<(), MpqError> {
         let _m = lock(&self.mutator);
         match &self.wal {
@@ -624,6 +726,7 @@ impl Engine {
                 let mut wal = lock(wal);
                 self.tree.checkpoint(&wal.last_seq().to_le_bytes())?;
                 wal.truncate()?;
+                self.degraded.store(false, AtomicOrdering::Release);
                 Ok(())
             }
         }

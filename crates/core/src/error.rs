@@ -95,6 +95,13 @@ pub enum MpqError {
     /// The engine's in-memory state is unchanged — a failed mutation was
     /// not applied.
     Io(String),
+    /// The engine's storage is degraded: a previous durability failure
+    /// left the persistence layer unable to accept new commits (e.g. a
+    /// WAL rollback failed, so the log may hold an unacknowledged
+    /// record). Reads keep serving from the last committed snapshot;
+    /// mutations are refused until a checkpoint repairs the log. Back
+    /// off and retry after the storage recovers.
+    StorageDegraded,
 }
 
 impl From<std::io::Error> for MpqError {
@@ -151,6 +158,12 @@ impl std::fmt::Display for MpqError {
                 "point has dimensionality {point}, engine was built with {engine}"
             ),
             MpqError::Io(msg) => write!(f, "persistence error: {msg}"),
+            MpqError::StorageDegraded => write!(
+                f,
+                "storage is degraded after a durability failure; mutations are \
+                 refused until a checkpoint repairs the log (reads still serve \
+                 the last committed snapshot)"
+            ),
         }
     }
 }

@@ -112,8 +112,8 @@ pub use reference::{reference_matching, reference_matching_excluding};
 pub use sb::{BestPairMode, MaintenanceMode, SbStream, SkylineMatcher};
 pub use scratch::Scratch;
 pub use service::{
-    BackpressurePolicy, EngineService, QueueOrdering, ServiceClient, ServiceConfig, ServiceMetrics,
-    SubmitOptions, Ticket,
+    BackpressurePolicy, EngineService, HealthMonitor, HealthState, QueueOrdering, ServiceClient,
+    ServiceConfig, ServiceMetrics, SubmitOptions, Ticket,
 };
 pub use verify::{verify_stable, verify_weakly_stable};
 pub use wal::{Wal, WalRecord};

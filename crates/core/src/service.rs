@@ -1114,6 +1114,7 @@ impl<'a> ServiceCore<'a> {
             panicked: metrics.panicked,
             cache,
             storage: mpq_rtree::IoStats::default(),
+            health: HealthState::Healthy,
             uptime: self.started.elapsed(),
             p50_latency: percentile(&sorted, 0.50),
             p99_latency: percentile(&sorted, 0.99),
@@ -1180,6 +1181,10 @@ pub struct ServiceMetrics {
     /// snapshot was taken through a bare `ServiceCore` without an
     /// engine attached.
     pub storage: mpq_rtree::IoStats,
+    /// Storage health of the served engine (always
+    /// [`HealthState::Healthy`] in snapshots taken through a bare
+    /// `ServiceCore` without an engine attached).
+    pub health: HealthState,
     /// Time since the service was spawned.
     pub uptime: Duration,
     /// Median submit→resolve latency over the rolling window.
@@ -1233,6 +1238,7 @@ impl ServiceMetrics {
                     ("fsyncs", Json::Num(self.storage.fsyncs as f64)),
                 ]),
             ),
+            ("health", Json::Str(self.health.as_str().to_string())),
             ("uptime_secs", Json::Num(self.uptime.as_secs_f64())),
             ("requests_per_sec", Json::Num(self.requests_per_sec())),
             (
@@ -1251,8 +1257,8 @@ impl std::fmt::Display for ServiceMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "workers {}  queue {}  in-flight {}",
-            self.workers, self.queue_depth, self.in_flight
+            "workers {}  queue {}  in-flight {}  health {}",
+            self.workers, self.queue_depth, self.in_flight, self.health
         )?;
         writeln!(
             f,
@@ -1288,6 +1294,190 @@ impl std::fmt::Display for ServiceMetrics {
     }
 }
 
+/// Storage health of a served engine, as a three-state machine.
+///
+/// Transitions (driven by [`HealthMonitor`]):
+///
+/// * `Healthy → Degraded` on the first reported storage failure;
+/// * `Degraded → Failed` after several *consecutive* failures (the
+///   recovery probes themselves keep failing);
+/// * `Degraded/Failed → Healthy` on any reported success (a mutation
+///   commit or a recovery-probe checkpoint went through).
+///
+/// While degraded or failed, mutations are refused (the network layer
+/// maps this to `503` + `Retry-After`) but **reads keep serving** from
+/// the engine's in-memory snapshot and the result cache — storage
+/// failures never take read traffic down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    /// Storage commits succeed; everything is served.
+    #[default]
+    Healthy,
+    /// A storage failure was reported; mutations are refused while
+    /// recovery probes run. Reads are unaffected.
+    Degraded,
+    /// Recovery probes keep failing; the storage is considered down
+    /// until a probe succeeds. Reads are still served.
+    Failed,
+}
+
+impl HealthState {
+    /// Canonical lowercase name (the wire form used by `/healthz` and
+    /// `/metrics`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Failed => "failed",
+        }
+    }
+
+    /// True iff mutations are currently accepted.
+    pub fn is_healthy(self) -> bool {
+        self == HealthState::Healthy
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Consecutive failures after which [`HealthState::Degraded`] escalates
+/// to [`HealthState::Failed`].
+const FAILED_AFTER: u32 = 5;
+
+struct HealthInner {
+    state: HealthState,
+    consecutive_failures: u32,
+    /// Delay before the *next* recovery probe; doubles per failure up
+    /// to the cap.
+    backoff: Duration,
+    /// When the next recovery probe may run (`None` until the first
+    /// failure).
+    next_probe: Option<Instant>,
+}
+
+/// Tracks a served engine's [`HealthState`] and paces recovery probes
+/// with capped exponential backoff.
+///
+/// The monitor is pure bookkeeping — it never touches storage itself.
+/// Callers report outcomes ([`HealthMonitor::report_failure`] /
+/// [`HealthMonitor::report_success`]) and ask when the next repair
+/// attempt is due ([`HealthMonitor::probe_due`]); the network tenant
+/// runs the actual probe (an [`Engine::checkpoint`] retry) and reports
+/// its outcome back.
+pub struct HealthMonitor {
+    inner: Mutex<HealthInner>,
+    base: Duration,
+    cap: Duration,
+}
+
+impl Default for HealthMonitor {
+    fn default() -> HealthMonitor {
+        HealthMonitor::new()
+    }
+}
+
+impl std::fmt::Debug for HealthMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthMonitor")
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl HealthMonitor {
+    /// A monitor with the default probe pacing: first retry after
+    /// 100 ms, doubling per consecutive failure, capped at 5 s.
+    pub fn new() -> HealthMonitor {
+        HealthMonitor::with_backoff(Duration::from_millis(100), Duration::from_secs(5))
+    }
+
+    /// A monitor with custom probe pacing (tests use millisecond
+    /// backoffs so recovery is observable without real waiting).
+    pub fn with_backoff(base: Duration, cap: Duration) -> HealthMonitor {
+        HealthMonitor {
+            inner: Mutex::new(HealthInner {
+                state: HealthState::Healthy,
+                consecutive_failures: 0,
+                backoff: base,
+                next_probe: None,
+            }),
+            base,
+            cap: cap.max(base),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        lock(&self.inner).state
+    }
+
+    /// Consecutive failures since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        lock(&self.inner).consecutive_failures
+    }
+
+    /// Record a storage failure (a failed mutation commit or a failed
+    /// recovery probe): the state degrades — escalating to
+    /// [`HealthState::Failed`] after `FAILED_AFTER` consecutive
+    /// failures — the next probe is scheduled one backoff out, and the
+    /// backoff doubles (capped). Returns the new state.
+    pub fn report_failure(&self) -> HealthState {
+        let mut g = lock(&self.inner);
+        g.consecutive_failures += 1;
+        g.state = if g.consecutive_failures >= FAILED_AFTER {
+            HealthState::Failed
+        } else {
+            HealthState::Degraded
+        };
+        g.next_probe = Some(Instant::now() + g.backoff);
+        g.backoff = (g.backoff * 2).min(self.cap);
+        g.state
+    }
+
+    /// Record a storage success: back to [`HealthState::Healthy`] with
+    /// the backoff reset.
+    pub fn report_success(&self) {
+        let mut g = lock(&self.inner);
+        g.state = HealthState::Healthy;
+        g.consecutive_failures = 0;
+        g.backoff = self.base;
+        g.next_probe = None;
+    }
+
+    /// True iff the state is unhealthy and the backoff window since the
+    /// last failure (or probe) has elapsed — time to try a repair.
+    pub fn probe_due(&self) -> bool {
+        let g = lock(&self.inner);
+        !g.state.is_healthy() && g.next_probe.is_none_or(|t| t <= Instant::now())
+    }
+
+    /// Claim the due probe: pushes the next probe one backoff out so
+    /// concurrent pollers don't stampede the storage with repairs.
+    /// Call [`HealthMonitor::report_success`] /
+    /// [`HealthMonitor::report_failure`] with the probe's outcome.
+    pub fn begin_probe(&self) {
+        let mut g = lock(&self.inner);
+        g.next_probe = Some(Instant::now() + g.backoff);
+    }
+
+    /// How long a refused client should wait before retrying: the time
+    /// until the next recovery probe. Zero when healthy.
+    pub fn retry_after(&self) -> Duration {
+        let g = lock(&self.inner);
+        if g.state.is_healthy() {
+            return Duration::ZERO;
+        }
+        match g.next_probe {
+            Some(t) => t.saturating_duration_since(Instant::now()),
+            None => g.backoff,
+        }
+    }
+}
+
 /// A long-lived worker pool serving one shared [`Engine`] through a
 /// bounded submission queue (see the [module docs](self)).
 ///
@@ -1298,6 +1488,7 @@ impl std::fmt::Display for ServiceMetrics {
 pub struct EngineService {
     engine: Arc<Engine>,
     core: Arc<ServiceCore<'static>>,
+    health: Arc<HealthMonitor>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -1342,8 +1533,16 @@ impl EngineService {
         EngineService {
             engine,
             core,
+            health: Arc::new(HealthMonitor::new()),
             handles,
         }
+    }
+
+    /// The service's storage [`HealthMonitor`]. The network tenant
+    /// reports mutation-commit outcomes here and runs the recovery
+    /// probes it paces; `/healthz` and `/metrics` read the state.
+    pub fn health(&self) -> &Arc<HealthMonitor> {
+        &self.health
     }
 
     /// A cheap, cloneable submission handle. Clients stay valid for the
@@ -1353,6 +1552,7 @@ impl EngineService {
         ServiceClient {
             engine: Arc::clone(&self.engine),
             core: Arc::clone(&self.core),
+            health: Arc::clone(&self.health),
         }
     }
 
@@ -1370,6 +1570,7 @@ impl EngineService {
     pub fn metrics(&self) -> ServiceMetrics {
         let mut m = self.core.metrics_snapshot();
         m.storage = self.engine.storage_stats();
+        m.health = self.health.state();
         m
     }
 
@@ -1417,6 +1618,7 @@ impl Drop for EngineService {
 pub struct ServiceClient {
     engine: Arc<Engine>,
     core: Arc<ServiceCore<'static>>,
+    health: Arc<HealthMonitor>,
 }
 
 impl std::fmt::Debug for ServiceClient {
@@ -1472,7 +1674,14 @@ impl ServiceClient {
     pub fn metrics(&self) -> ServiceMetrics {
         let mut m = self.core.metrics_snapshot();
         m.storage = self.engine.storage_stats();
+        m.health = self.health.state();
         m
+    }
+
+    /// The service's storage [`HealthMonitor`] (shared with
+    /// [`EngineService::health`]).
+    pub fn health(&self) -> &Arc<HealthMonitor> {
+        &self.health
     }
 
     /// Requests queued and not yet claimed by a worker, right now (see
@@ -1536,6 +1745,7 @@ mod tests {
             panicked: 0,
             cache: CacheMetrics::default(),
             storage: mpq_rtree::IoStats::default(),
+            health: HealthState::Healthy,
             uptime: Duration::ZERO,
             p50_latency: Duration::ZERO,
             p99_latency: Duration::ZERO,
@@ -1551,6 +1761,53 @@ mod tests {
         assert!(m.to_string().contains("cache disabled"));
         m.cache.enabled = true;
         assert!(m.to_string().contains("hit-rate"));
+    }
+
+    #[test]
+    fn health_monitor_degrades_escalates_and_recovers() {
+        let h = HealthMonitor::with_backoff(Duration::from_millis(1), Duration::from_millis(8));
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert!(!h.probe_due(), "healthy monitors never ask for probes");
+        assert_eq!(h.retry_after(), Duration::ZERO);
+
+        assert_eq!(h.report_failure(), HealthState::Degraded);
+        assert!(!h.state().is_healthy());
+        for _ in 0..FAILED_AFTER {
+            h.report_failure();
+        }
+        assert_eq!(h.state(), HealthState::Failed);
+        assert!(h.consecutive_failures() >= FAILED_AFTER);
+
+        h.report_success();
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn health_monitor_backoff_doubles_and_caps() {
+        let h = HealthMonitor::with_backoff(Duration::from_millis(10), Duration::from_millis(25));
+        h.report_failure(); // schedules probe at +10ms, backoff -> 20ms
+        let first = h.retry_after();
+        assert!(first <= Duration::from_millis(10));
+        h.report_failure(); // schedules probe at +20ms, backoff -> 25ms (capped)
+        let second = h.retry_after();
+        assert!(second > first, "backoff must grow between failures");
+        h.report_failure();
+        h.report_failure();
+        assert!(
+            h.retry_after() <= Duration::from_millis(25),
+            "backoff must cap"
+        );
+    }
+
+    #[test]
+    fn health_monitor_probe_pacing() {
+        let h = HealthMonitor::with_backoff(Duration::from_millis(1), Duration::from_millis(1));
+        h.report_failure();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(h.probe_due(), "backoff elapsed: a probe is due");
+        h.begin_probe();
+        assert!(!h.probe_due(), "claiming the probe defers the next one");
     }
 
     #[test]
@@ -1997,6 +2254,7 @@ mod tests {
                 disk_writes: 2,
                 fsyncs: 1,
             },
+            health: HealthState::Degraded,
             uptime: Duration::from_secs(2),
             p50_latency: Duration::from_millis(5),
             p99_latency: Duration::from_millis(50),
@@ -2056,6 +2314,11 @@ mod tests {
         assert_eq!(
             storage.get("fsyncs").and_then(crate::json::Json::as_f64),
             Some(1.0)
+        );
+        assert_eq!(
+            json.get("health").and_then(crate::json::Json::as_str),
+            Some("degraded"),
+            "health must be reported as its lowercase wire name"
         );
         // Round-trips through the parser (field values are finite).
         let text = json.render();

@@ -31,8 +31,10 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use mpq_rtree::disk::crc32;
+use mpq_rtree::fault::{flip_one_bit, FaultInjector, FaultOp, WriteFault};
 
 /// Frame header: length + CRC, 4 bytes each.
 const FRAME_HEADER: usize = 8;
@@ -177,6 +179,19 @@ pub fn decode_frame(buf: &[u8]) -> Option<(u64, WalRecord, usize)> {
 /// Appends are buffered in the OS page cache until [`Wal::sync`]; the
 /// engine syncs once per committed mutation. [`Wal::truncate`] empties
 /// the log after a checkpoint makes its records redundant.
+///
+/// # Failure atomicity
+///
+/// [`Wal::append`] and [`Wal::sync`] are the low-level halves; after a
+/// failed append or sync the file may hold a partial or unsynced frame
+/// past [`Wal::len_bytes`], so further raw appends would land behind
+/// garbage and be discarded at replay. Committing callers use
+/// [`Wal::append_sync`], which rolls the file back to its pre-append
+/// length on any failure — so a record is either durable and
+/// acknowledged, or absent. If even the rollback fails the log is
+/// **wedged** ([`Wal::is_wedged`]): it may hold a frame nobody was told
+/// about, so appends are refused until [`Wal::truncate`] (run by the
+/// next successful checkpoint) wipes the file and clears the flag.
 #[derive(Debug)]
 pub struct Wal {
     file: File,
@@ -184,6 +199,8 @@ pub struct Wal {
     len: u64,
     appends: u64,
     syncs: u64,
+    injector: Option<Arc<FaultInjector>>,
+    wedged: bool,
 }
 
 impl Wal {
@@ -221,17 +238,51 @@ impl Wal {
                 len: off as u64,
                 appends: 0,
                 syncs: 0,
+                injector: None,
+                wedged: false,
             },
             records,
         ))
     }
 
+    /// Route this log's writes and syncs through `injector`, so tests
+    /// can fail them on demand (op classes [`FaultOp::WalWrite`],
+    /// [`FaultOp::WalSync`] and [`FaultOp::WalRollback`]). Zero cost
+    /// when never called.
+    pub fn set_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// True once a failed append could not be rolled back: the file may
+    /// hold a frame that was never acknowledged, so appends are refused
+    /// until [`Wal::truncate`] wipes it.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
     /// Append a record, returning its sequence number. The record is not
-    /// durable until the next [`Wal::sync`].
+    /// durable until the next [`Wal::sync`]. On `Err` the file may hold
+    /// a partial frame — use [`Wal::append_sync`] when the log must stay
+    /// appendable after failures.
     pub fn append(&mut self, rec: &WalRecord) -> io::Result<u64> {
         let seq = self.next_seq;
         let frame = encode_frame(seq, rec);
-        self.file.write_all(&frame)?;
+        match self.consult_write()? {
+            WriteFault::Clean => self.file.write_all(&frame)?,
+            WriteFault::Torn(e) => {
+                // Simulate a crash mid-write: a prefix of the frame
+                // lands, then the device fails.
+                let _ = self.file.write_all(&frame[..frame.len() / 2]);
+                return Err(e);
+            }
+            WriteFault::BitFlip => {
+                // Silent corruption: the write "succeeds" but the frame
+                // is damaged; the CRC rejects it at replay.
+                let mut bad = frame.clone();
+                flip_one_bit(&mut bad);
+                self.file.write_all(&bad)?;
+            }
+        }
         self.next_seq += 1;
         self.len += frame.len() as u64;
         self.appends += 1;
@@ -240,19 +291,79 @@ impl Wal {
 
     /// Force all appended records to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(inj) = &self.injector {
+            inj.on_sync(FaultOp::WalSync)?;
+        }
         self.file.sync_data()?;
         self.syncs += 1;
         Ok(())
     }
 
+    /// Append `rec` and make it durable, as one failure-atomic step.
+    ///
+    /// On success the record is on stable storage and its sequence
+    /// number is returned. On failure the file is rolled back to its
+    /// pre-append length, so the log holds exactly the records whose
+    /// `append_sync` succeeded and stays appendable. If the rollback
+    /// itself fails, the log wedges (see [`Wal::is_wedged`]) and the
+    /// error says so.
+    pub fn append_sync(&mut self, rec: &WalRecord) -> io::Result<u64> {
+        if self.wedged {
+            return Err(io::Error::other(
+                "wal is wedged by an earlier failed rollback; checkpoint to repair",
+            ));
+        }
+        let len_before = self.len;
+        let seq_before = self.next_seq;
+        let result = self.append(rec).and_then(|seq| self.sync().map(|()| seq));
+        match result {
+            Ok(seq) => Ok(seq),
+            Err(e) => {
+                if let Err(rb) = self.rollback_to(len_before) {
+                    self.wedged = true;
+                    return Err(io::Error::other(format!(
+                        "wal append failed ({e}) and rollback failed ({rb}); log is wedged"
+                    )));
+                }
+                self.next_seq = seq_before;
+                self.len = len_before;
+                Err(e)
+            }
+        }
+    }
+
+    /// Trim the file back to `len`, discarding a partial or unsynced
+    /// frame from a failed append.
+    fn rollback_to(&mut self, len: u64) -> io::Result<()> {
+        if let Some(inj) = &self.injector {
+            inj.on_sync(FaultOp::WalRollback)?;
+        }
+        self.file.set_len(len)?;
+        self.file.seek(SeekFrom::Start(len))?;
+        Ok(())
+    }
+
     /// Discard the whole log (every record is covered by a checkpoint).
+    /// A successful truncate also un-wedges the log: whatever phantom
+    /// frame a failed rollback left behind is gone.
     pub fn truncate(&mut self) -> io::Result<()> {
+        if let Some(inj) = &self.injector {
+            inj.on_sync(FaultOp::WalSync)?;
+        }
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_data()?;
         self.len = 0;
         self.syncs += 1;
+        self.wedged = false;
         Ok(())
+    }
+
+    fn consult_write(&self) -> io::Result<WriteFault> {
+        match &self.injector {
+            Some(inj) => inj.on_write(FaultOp::WalWrite),
+            None => Ok(WriteFault::Clean),
+        }
     }
 
     /// Sequence number the next append will receive.
@@ -389,6 +500,94 @@ mod tests {
         let (_, replayed) = Wal::open(&path).unwrap();
         assert_eq!(replayed.len(), 3);
         assert_eq!(replayed[2].1.oid(), 99);
+    }
+
+    #[test]
+    fn append_sync_rolls_back_a_torn_append() {
+        use mpq_rtree::fault::{FaultInjector, FaultKind, FaultOp};
+        let path = tmp("torn_rollback.wal");
+        let recs = sample_records();
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let inj = FaultInjector::shared();
+        wal.set_injector(std::sync::Arc::clone(&inj));
+        wal.append_sync(&recs[0]).unwrap();
+
+        inj.fail_nth(FaultOp::WalWrite, 0, FaultKind::Torn);
+        let err = wal.append_sync(&recs[1]).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert!(!wal.is_wedged());
+
+        // The partial frame was trimmed: the retry lands cleanly and
+        // replay sees exactly the acknowledged records.
+        let seq = wal.append_sync(&recs[1]).unwrap();
+        assert_eq!(seq, 2, "failed append must not burn a sequence number");
+        let (_, replayed) = Wal::open(&path).unwrap();
+        let got: Vec<WalRecord> = replayed.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(got, recs[..2].to_vec());
+    }
+
+    #[test]
+    fn append_sync_rolls_back_a_failed_fsync() {
+        use mpq_rtree::fault::{FaultInjector, FaultKind, FaultOp};
+        let path = tmp("fsync_rollback.wal");
+        let recs = sample_records();
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let inj = FaultInjector::shared();
+        wal.set_injector(std::sync::Arc::clone(&inj));
+
+        inj.fail_nth(FaultOp::WalSync, 0, FaultKind::Error);
+        wal.append_sync(&recs[0]).unwrap_err();
+        assert_eq!(wal.len_bytes(), 0, "unsynced frame must be trimmed");
+
+        // Without the rollback the intact-but-unacknowledged frame would
+        // replay as a phantom record.
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert!(replayed.is_empty());
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append_sync(&recs[0]).unwrap();
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+    }
+
+    #[test]
+    fn failed_rollback_wedges_until_truncate() {
+        use mpq_rtree::fault::{FaultInjector, FaultKind, FaultOp};
+        let path = tmp("wedged.wal");
+        let recs = sample_records();
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let inj = FaultInjector::shared();
+        wal.set_injector(std::sync::Arc::clone(&inj));
+
+        inj.fail_nth(FaultOp::WalSync, 0, FaultKind::Error);
+        inj.fail_nth(FaultOp::WalRollback, 0, FaultKind::Error);
+        let err = wal.append_sync(&recs[0]).unwrap_err();
+        assert!(err.to_string().contains("wedged"), "{err}");
+        assert!(wal.is_wedged());
+
+        let err = wal.append_sync(&recs[1]).unwrap_err();
+        assert!(err.to_string().contains("wedged"), "{err}");
+
+        wal.truncate().unwrap();
+        assert!(!wal.is_wedged());
+        let seq = wal.append_sync(&recs[1]).unwrap();
+        assert!(seq >= 2, "sequence numbers never collide after a wedge");
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "truncate wiped the phantom frame");
+    }
+
+    #[test]
+    fn bit_flipped_append_is_rejected_at_replay() {
+        use mpq_rtree::fault::{FaultInjector, FaultKind, FaultOp};
+        let path = tmp("bitflip.wal");
+        let recs = sample_records();
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let inj = FaultInjector::shared();
+        wal.set_injector(std::sync::Arc::clone(&inj));
+        wal.append_sync(&recs[0]).unwrap();
+        inj.fail_nth(FaultOp::WalWrite, 0, FaultKind::BitFlip);
+        wal.append_sync(&recs[1]).unwrap(); // silent corruption "succeeds"
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "CRC must reject the damaged frame");
     }
 
     #[test]

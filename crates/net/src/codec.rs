@@ -24,6 +24,14 @@
 //! validation (dimension mismatch, empty sets, weight errors) stays in
 //! the engine, which already does it canonically.
 
+//! `POST .../mutate` bodies are a [`WireMutation`]:
+//!
+//! ```json
+//! {"op": "insert", "point": [0.3, 0.7]}
+//! {"op": "remove", "oid": 17}
+//! {"op": "update", "oid": 17, "point": [0.4, 0.6]}
+//! ```
+
 use mpq_core::json::Json;
 use mpq_core::{Algorithm, Matching, Pair};
 use mpq_ta::FunctionSet;
@@ -217,6 +225,68 @@ pub fn decode_pairs(body: &[u8]) -> Result<Vec<Pair>, String> {
     Ok(pairs)
 }
 
+/// A decoded `POST .../mutate` body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMutation {
+    /// Insert a new object at `point`; the ack carries its oid.
+    Insert(Vec<f64>),
+    /// Remove object `oid`.
+    Remove(u64),
+    /// Move object `oid` to `point`.
+    Update(u64, Vec<f64>),
+}
+
+fn field_point(json: &Json) -> Result<Vec<f64>, String> {
+    let arr = json
+        .get("point")
+        .and_then(|p| p.as_arr())
+        .ok_or_else(|| "'point' must be an array of numbers".to_string())?;
+    if arr.is_empty() {
+        return Err("'point' must not be empty".to_string());
+    }
+    let mut point = Vec::with_capacity(arr.len());
+    for (i, v) in arr.iter().enumerate() {
+        let x = v
+            .as_f64()
+            .filter(|x| x.is_finite())
+            .ok_or_else(|| format!("'point[{i}]' must be a finite number"))?;
+        point.push(x);
+    }
+    Ok(point)
+}
+
+/// Decode a mutation body. `Err` carries the message for the `400` body.
+pub fn decode_mutation(body: &[u8]) -> Result<WireMutation, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    let json = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    if !matches!(json, Json::Obj(_)) {
+        return Err("body must be a JSON object".to_string());
+    }
+    let op = json
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| "'op' must be one of \"insert\", \"remove\", \"update\"".to_string())?;
+    let oid = || field_u64(&json, "oid")?.ok_or_else(|| format!("'{op}' requires an 'oid'"));
+    match op {
+        "insert" => Ok(WireMutation::Insert(field_point(&json)?)),
+        "remove" => Ok(WireMutation::Remove(oid()?)),
+        "update" => Ok(WireMutation::Update(oid()?, field_point(&json)?)),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Encode a successful mutation's ack:
+/// `{"ok":true,"oid":..,"inventory_version":..}` (`oid` only for
+/// inserts).
+pub fn encode_mutation_ack(oid: Option<u64>, inventory_version: u64) -> Json {
+    let mut fields = vec![("ok", Json::Bool(true))];
+    if let Some(oid) = oid {
+        fields.push(("oid", Json::Num(oid as f64)));
+    }
+    fields.push(("inventory_version", Json::Num(inventory_version as f64)));
+    Json::obj(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +354,52 @@ mod tests {
         // surfaces that as a 400-worthy message rather than a panic.
         let err = decode_match_request(br#"{"functions":[[-0.5,0.5]]}"#).unwrap_err();
         assert!(err.contains("function 0"), "{err}");
+    }
+
+    #[test]
+    fn decodes_mutations() {
+        assert_eq!(
+            decode_mutation(br#"{"op":"insert","point":[0.3,0.7]}"#).unwrap(),
+            WireMutation::Insert(vec![0.3, 0.7])
+        );
+        assert_eq!(
+            decode_mutation(br#"{"op":"remove","oid":17}"#).unwrap(),
+            WireMutation::Remove(17)
+        );
+        assert_eq!(
+            decode_mutation(br#"{"op":"update","oid":3,"point":[0.1,0.2]}"#).unwrap(),
+            WireMutation::Update(3, vec![0.1, 0.2])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_mutations_with_a_reason() {
+        for (body, needle) in [
+            (&br#"{"point":[0.1]}"#[..], "'op'"),
+            (br#"{"op":"explode"}"#, "unknown op"),
+            (br#"{"op":"insert"}"#, "'point'"),
+            (br#"{"op":"insert","point":[]}"#, "must not be empty"),
+            (br#"{"op":"insert","point":["x"]}"#, "'point[0]'"),
+            (br#"{"op":"remove"}"#, "requires an 'oid'"),
+            (br#"{"op":"remove","oid":-1}"#, "'oid'"),
+            (br#"{"op":"update","oid":1}"#, "'point'"),
+        ] {
+            let err = decode_mutation(body).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "body {:?} gave {err:?}, wanted {needle:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_ack_includes_oid_only_for_inserts() {
+        let with = encode_mutation_ack(Some(5), 9).render();
+        assert!(with.contains("\"oid\":5"), "{with}");
+        let without = encode_mutation_ack(None, 9).render();
+        assert!(!without.contains("oid"), "{without}");
+        assert!(without.contains("\"inventory_version\":9"), "{without}");
     }
 
     #[test]

@@ -37,8 +37,11 @@ pub mod http;
 pub mod server;
 pub mod tenant;
 
-pub use client::{HttpClient, HttpResponse};
-pub use codec::{decode_match_request, decode_pairs, encode_matching, WireRequest};
+pub use client::{HttpClient, HttpResponse, RetryPolicy};
+pub use codec::{
+    decode_match_request, decode_mutation, decode_pairs, encode_matching, encode_mutation_ack,
+    WireMutation, WireRequest,
+};
 pub use http::{HttpError, ParserLimits, Request, RequestParser, Response};
 pub use server::{Server, ServerConfig};
 pub use tenant::{Tenant, TenantConfig, TenantRegistry};

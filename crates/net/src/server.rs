@@ -13,12 +13,14 @@
 //!
 //! | method & path            | behaviour                                     |
 //! |--------------------------|-----------------------------------------------|
-//! | `GET /healthz`           | `200 ok` once the listener is up              |
+//! | `GET /healthz`           | `200` with per-tenant health states as JSON   |
 //! | `GET /metrics`           | all tenants' [`ServiceMetrics`] as JSON       |
 //! | `GET /t/NAME/metrics`    | one tenant's metrics                          |
 //! | `POST /t/NAME/match`     | evaluate a [`WireRequest`] on tenant `NAME`   |
 //! | `POST /match`            | same, tenant from `X-Mpq-Tenant` header — or  |
 //! |                          | the sole tenant of a single-tenant server     |
+//! | `POST /t/NAME/mutate`    | apply a [`WireMutation`] to tenant `NAME`     |
+//! | `POST /mutate`           | same tenant resolution as `POST /match`       |
 //!
 //! ## Status mapping
 //!
@@ -26,6 +28,13 @@
 //!   estimated from the tenant's queue depth and p50 latency,
 //! * queue deadline lapsed ([`MpqError::DeadlineExceeded`]) → `504`,
 //! * service stopped → `503`, worker panic / I/O error → `500`,
+//! * a mutation hitting degraded storage ([`MpqError::StorageDegraded`]
+//!   or an I/O error) → `503` with a `Retry-After` from the tenant's
+//!   health monitor backoff — reads are unaffected and keep serving
+//!   from the engine's snapshot,
+//! * a request head or body that trickles in slower than
+//!   [`ServerConfig::request_read_timeout`] → `408` and close (so a
+//!   slow-loris peer cannot pin a connection slot),
 //! * every validation error → `400` with the reason in the body.
 //!
 //! ## Client disconnects cancel work
@@ -37,6 +46,7 @@
 //!
 //! [`ServiceMetrics`]: mpq_core::ServiceMetrics
 //! [`WireRequest`]: crate::codec::WireRequest
+//! [`WireMutation`]: crate::codec::WireMutation
 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -49,7 +59,7 @@ use std::time::{Duration, Instant};
 use mpq_core::json::Json;
 use mpq_core::{MpqError, SubmitOptions, Ticket};
 
-use crate::codec::{decode_match_request, encode_matching};
+use crate::codec::{decode_match_request, decode_mutation, encode_matching, encode_mutation_ack};
 use crate::http::{ParserLimits, Request, RequestParser, Response};
 use crate::tenant::{Tenant, TenantRegistry};
 
@@ -62,6 +72,12 @@ pub struct ServerConfig {
     pub limits: ParserLimits,
     /// Idle keep-alive connections are closed after this long.
     pub keep_alive_timeout: Duration,
+    /// A started request (some bytes received, framing incomplete) must
+    /// finish arriving within this long, or the connection is answered
+    /// `408` and closed. This is the slow-loris bound: without it a
+    /// peer drip-feeding one byte per keep-alive period holds a
+    /// connection slot forever.
+    pub request_read_timeout: Duration,
     /// Granularity of socket polling — bounds shutdown latency,
     /// disconnect-detection latency and accept latency.
     pub poll_interval: Duration,
@@ -73,6 +89,7 @@ impl Default for ServerConfig {
             max_connections: 256,
             limits: ParserLimits::default(),
             keep_alive_timeout: Duration::from_secs(30),
+            request_read_timeout: Duration::from_secs(10),
             poll_interval: Duration::from_millis(25),
         }
     }
@@ -209,6 +226,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let mut parser = RequestParser::new(shared.config.limits);
     let mut buf = [0u8; 16 * 1024];
     let mut idle_since = Instant::now();
+    // When the current request's first byte arrived — the slow-loris
+    // clock. `None` between requests.
+    let mut request_started: Option<Instant> = None;
     loop {
         // Drain every request the parser already holds (pipelining).
         while let Some(request) = parser.take_request() {
@@ -224,6 +244,11 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 Outcome::PeerGone => return Ok(()),
             }
         }
+        // The drain consumed complete requests; whatever is buffered
+        // now is the (possibly empty) start of the next one.
+        if !parser.mid_request() {
+            request_started = None;
+        }
         if shared.stop.load(Ordering::SeqCst) {
             return Ok(());
         }
@@ -238,6 +263,11 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     let _ = stream.write_all(&resp.write_to(false));
                     return Ok(());
                 }
+                request_started = if parser.mid_request() {
+                    request_started.or(Some(idle_since))
+                } else {
+                    None
+                };
             }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -249,6 +279,17 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => return Ok(()), // reset/broken pipe: nothing to salvage
+        }
+        // Slow-loris bound: a request that started but has not finished
+        // arriving within the budget gets `408` and the slot back. The
+        // check runs every loop turn, so trickled bytes (which reset
+        // `idle_since` but not `request_started`) do not extend it.
+        if let Some(started) = request_started {
+            if started.elapsed() >= shared.config.request_read_timeout {
+                let resp = Response::text(408, "request read timeout\n");
+                let _ = stream.write_all(&resp.write_to(false));
+                return Ok(());
+            }
         }
     }
 }
@@ -263,7 +304,7 @@ fn handle_request(request: &Request, stream: &TcpStream, shared: &Shared) -> Out
     let path = request.path.as_str();
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Outcome::Respond(Response::text(200, "ok\n")),
+        ("GET", ["healthz"]) => Outcome::Respond(healthz(shared)),
         ("GET", ["metrics"]) => Outcome::Respond(all_metrics(shared)),
         ("GET", ["t", name, "metrics"]) => match shared.registry.get(name) {
             Some(tenant) => {
@@ -288,9 +329,55 @@ fn handle_request(request: &Request, stream: &TcpStream, shared: &Shared) -> Out
                 )),
             }
         }
+        ("POST", ["t", name, "mutate"]) => match shared.registry.get(name) {
+            Some(tenant) => Outcome::Respond(handle_mutate(request, tenant)),
+            None => Outcome::Respond(Response::text(404, "no such tenant\n")),
+        },
+        ("POST", ["mutate"]) => {
+            let tenant = match request.header("x-mpq-tenant") {
+                Some(name) => shared.registry.get(name),
+                None => shared.registry.sole_tenant(),
+            };
+            match tenant {
+                Some(tenant) => Outcome::Respond(handle_mutate(request, tenant)),
+                None => Outcome::Respond(Response::text(
+                    404,
+                    "tenant required: use /t/NAME/mutate or X-Mpq-Tenant\n",
+                )),
+            }
+        }
         ("GET" | "POST", _) => Outcome::Respond(Response::text(404, "no such route\n")),
         _ => Outcome::Respond(Response::text(405, "method not allowed\n")),
     }
+}
+
+/// `/healthz`: always `200` while the listener is up (the process is
+/// alive and routing), with each tenant's storage-health state in the
+/// body so operators and load-balancers can see degradation without
+/// taking reads out of rotation — a degraded tenant still serves them.
+fn healthz(shared: &Shared) -> Response {
+    let tenants: BTreeMap<String, Json> = shared
+        .registry
+        .iter()
+        .map(|t| {
+            (
+                t.name().to_string(),
+                Json::Str(t.health().state().as_str().to_string()),
+            )
+        })
+        .collect();
+    let all_healthy = shared
+        .registry
+        .iter()
+        .all(|t| t.health().state().is_healthy());
+    let doc = Json::obj([
+        (
+            "status",
+            Json::Str(if all_healthy { "ok" } else { "degraded" }.to_string()),
+        ),
+        ("tenants", Json::Obj(tenants)),
+    ]);
+    Response::json(200, doc.render())
 }
 
 fn all_metrics(shared: &Shared) -> Response {
@@ -343,6 +430,27 @@ fn handle_match(
             Err(e) => Outcome::Respond(mpq_error_response(&e, tenant)),
         },
         TicketOutcome::PeerGone => Outcome::PeerGone,
+    }
+}
+
+/// Apply a `POST .../mutate` body to the tenant's engine. Mutations
+/// run inline on the connection thread — they are index maintenance,
+/// not evaluations, and never park on a ticket.
+fn handle_mutate(request: &Request, tenant: &Arc<Tenant>) -> Response {
+    let mutation = match decode_mutation(&request.body) {
+        Ok(m) => m,
+        Err(why) => return error_response(400, &why),
+    };
+    match tenant.mutate(&mutation) {
+        Ok((oid, version)) => Response::json(200, encode_mutation_ack(oid, version).render()),
+        Err(e @ (MpqError::Io(_) | MpqError::StorageDegraded)) => {
+            // Storage failure: the tenant is (now) degraded. Tell the
+            // client when the recovery probe will next try, so retries
+            // line up with repair instead of hammering a broken device.
+            let secs = tenant.health().retry_after().as_secs().clamp(1, 30);
+            error_response(503, &e.to_string()).with_header("Retry-After", secs.to_string())
+        }
+        Err(e) => error_response(400, &e.to_string()),
     }
 }
 
@@ -408,7 +516,7 @@ fn mpq_error_response(e: &MpqError, tenant: &Tenant) -> Response {
     let status = match e {
         MpqError::Overloaded => 429,
         MpqError::DeadlineExceeded => 504,
-        MpqError::ServiceStopped | MpqError::Cancelled => 503,
+        MpqError::ServiceStopped | MpqError::Cancelled | MpqError::StorageDegraded => 503,
         MpqError::WorkerPanicked | MpqError::Io(_) => 500,
         _ => 400,
     };

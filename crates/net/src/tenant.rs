@@ -16,10 +16,15 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
 
 use mpq_core::service::{BackpressurePolicy, QueueOrdering};
-use mpq_core::{Engine, EngineService, MpqError, ServiceClient, ServiceConfig};
+use mpq_core::{Engine, EngineService, HealthMonitor, MpqError, ServiceClient, ServiceConfig};
+
+use crate::codec::WireMutation;
 use mpq_rtree::PointSet;
 
 /// Configuration for one hosted tenant.
@@ -66,11 +71,66 @@ impl TenantConfig {
 }
 
 /// One hosted engine with its private service.
+///
+/// ## Health and degraded mode
+///
+/// The tenant's [`HealthMonitor`] (shared with its service) tracks
+/// storage health: a mutation that fails on a storage error flips the
+/// tenant to `Degraded` (escalating to `Failed` after repeated
+/// failures), after which further mutations are refused up front —
+/// the server answers `503` with a `Retry-After` from the monitor's
+/// backoff — while reads keep serving from the engine's pinned epoch
+/// snapshot and result cache. A background **recovery probe** thread
+/// retries [`Engine::checkpoint`] with capped exponential backoff; the
+/// first success restores `Healthy`.
 pub struct Tenant {
     name: String,
     engine: Arc<Engine>,
     service: EngineService,
     client: ServiceClient,
+    probe_stop: Arc<AtomicBool>,
+    probe_handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Drop for Tenant {
+    fn drop(&mut self) {
+        self.probe_stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.probe_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// How often the recovery-probe thread checks whether a probe is due.
+/// Bounds probe latency and tenant-drop latency, nothing else — the
+/// actual retry pacing is the monitor's exponential backoff.
+const PROBE_POLL: Duration = Duration::from_millis(10);
+
+fn spawn_probe(
+    engine: Arc<Engine>,
+    health: Arc<HealthMonitor>,
+    stop: Arc<AtomicBool>,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("mpq-net-probe".to_string())
+        .spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                if health.probe_due() {
+                    health.begin_probe();
+                    // A checkpoint is the repair primitive: it flushes
+                    // the dirty pages, commits a new header and
+                    // truncates (un-wedging) the WAL.
+                    match engine.checkpoint() {
+                        Ok(()) => health.report_success(),
+                        Err(_) => {
+                            let _ = health.report_failure();
+                        }
+                    }
+                }
+                thread::sleep(PROBE_POLL);
+            }
+        })
+        .expect("spawn probe thread")
 }
 
 impl Tenant {
@@ -98,6 +158,45 @@ impl Tenant {
     /// Worker count of this tenant's pool (for `Retry-After` math).
     pub fn workers(&self) -> usize {
         self.service.workers()
+    }
+
+    /// The tenant's health monitor (shared with its service, so
+    /// `/metrics` and `/healthz` report the same state).
+    pub fn health(&self) -> &Arc<HealthMonitor> {
+        self.service.health()
+    }
+
+    /// Apply a wire mutation to the hosted engine.
+    ///
+    /// Returns `(oid, inventory_version)` — `oid` only for inserts.
+    /// Storage failures ([`MpqError::Io`], [`MpqError::StorageDegraded`])
+    /// are reported to the health monitor, and while the tenant is not
+    /// healthy further mutations are refused up front with
+    /// [`MpqError::StorageDegraded`] so a broken device is not hammered
+    /// by every client. Validation errors pass through untouched — they
+    /// say nothing about storage.
+    pub fn mutate(&self, mutation: &WireMutation) -> Result<(Option<u64>, u64), MpqError> {
+        if !self.health().state().is_healthy() {
+            return Err(MpqError::StorageDegraded);
+        }
+        let result = match mutation {
+            WireMutation::Insert(point) => self.engine.insert_object(point).map(Some),
+            WireMutation::Remove(oid) => self.engine.remove_object(*oid).map(|()| None),
+            WireMutation::Update(oid, point) => {
+                self.engine.update_object(*oid, point).map(|()| None)
+            }
+        };
+        match result {
+            Ok(oid) => {
+                self.health().report_success();
+                Ok((oid, self.engine.inventory_version()))
+            }
+            Err(e @ (MpqError::Io(_) | MpqError::StorageDegraded)) => {
+                let _ = self.health().report_failure();
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -142,6 +241,12 @@ impl TenantRegistry {
         }
         let service = Arc::clone(&engine).serve(config.service_config());
         let client = service.client();
+        let probe_stop = Arc::new(AtomicBool::new(false));
+        let probe_handle = spawn_probe(
+            Arc::clone(&engine),
+            Arc::clone(service.health()),
+            Arc::clone(&probe_stop),
+        );
         self.tenants.insert(
             name.to_string(),
             Arc::new(Tenant {
@@ -149,6 +254,8 @@ impl TenantRegistry {
                 engine,
                 service,
                 client,
+                probe_stop,
+                probe_handle: Some(probe_handle),
             }),
         );
         Ok(())

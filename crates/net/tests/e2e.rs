@@ -177,7 +177,15 @@ fn routing_health_and_metrics_endpoints() {
 
     let resp = client.get("/healthz").unwrap();
     assert_eq!(resp.status, 200);
-    assert_eq!(resp.text(), "ok\n");
+    let health = Json::parse(&resp.text()).unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        health
+            .get("tenants")
+            .and_then(|t| t.get("solo"))
+            .and_then(Json::as_str),
+        Some("healthy")
+    );
 
     // Sole tenant: plain /match routes without a name.
     let resp = client

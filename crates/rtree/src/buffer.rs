@@ -39,7 +39,8 @@
 //! node payloads; writers install fresh nodes with [`BufferPool::put`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::io;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -83,6 +84,11 @@ pub struct BufferPool {
     page_size: usize,
     cap: AtomicUsize,
     shards: Box<[Mutex<Shard>]>,
+    /// Dirty write-backs that failed at the store. Each failure leaves
+    /// the frame resident and dirty (possibly over-admitting its shard
+    /// past the capacity share) so no committed data is lost; a later
+    /// [`BufferPool::flush`] or eviction retries the write.
+    write_failures: AtomicU64,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -145,6 +151,7 @@ impl BufferPool {
             page_size: page,
             cap: AtomicUsize::new(capacity.max(1)),
             shards,
+            write_failures: AtomicU64::new(0),
         }
     }
 
@@ -168,9 +175,11 @@ impl BufferPool {
     }
 
     /// Flush every shard and unwrap the underlying store (used when the
-    /// pool is rebuilt with a different shard count).
+    /// pool is rebuilt with a different shard count). Intended for
+    /// healthy stores: a frame whose write-back still fails here is
+    /// dropped with the pool.
     pub(crate) fn into_store(self) -> Box<dyn PageStore> {
-        self.flush();
+        let _ = self.flush();
         self.store.into_inner()
     }
 
@@ -188,6 +197,12 @@ impl BufferPool {
     }
 
     /// Fetch a node, reading and decoding the page on a miss.
+    ///
+    /// # Panics
+    /// Panics if the store fails the physical read — a read that can
+    /// return neither cached nor device bytes has no sound value to
+    /// produce. Callers that must survive device loss catch the unwind
+    /// at the evaluation boundary (the service worker does).
     pub fn get(&self, pid: PageId) -> Arc<Node> {
         self.get_probe(pid).0
     }
@@ -195,6 +210,9 @@ impl BufferPool {
     /// Like [`BufferPool::get`], but also reports whether the request
     /// missed the buffer (i.e. cost a physical read). Used by run-scoped
     /// I/O sessions to attribute the miss to the requesting run.
+    ///
+    /// # Panics
+    /// See [`BufferPool::get`].
     pub fn get_probe(&self, pid: PageId) -> (Arc<Node>, bool) {
         let si = self.shard_of(pid);
         let mut g = self.shards[si].lock();
@@ -206,20 +224,31 @@ impl BufferPool {
         g.stats.physical_reads += 1;
         let node = {
             let store = self.store.read();
-            store.read_into(pid, &mut g.scratch);
+            store
+                .read_into(pid, &mut g.scratch)
+                .unwrap_or_else(|e| panic!("unserviceable read of page {pid}: {e}"));
             drop(store);
             Arc::new(Node::decode(self.dim, &g.scratch))
         };
         let share = self.share(si);
         if share > 0 {
-            g.install(pid, Arc::clone(&node), false, share, &self.store);
+            g.install(
+                pid,
+                Arc::clone(&node),
+                false,
+                share,
+                &self.store,
+                &self.write_failures,
+            );
         }
         (node, true)
     }
 
     /// Install a (possibly new) node image for `pid`, marking it dirty.
     /// On a shard with a zero capacity share the page is written through
-    /// to the pager instead of cached.
+    /// to the pager instead of cached — unless that write fails, in
+    /// which case the frame is cached anyway (over-admitted) so the
+    /// update survives for a later flush to retry.
     pub fn put(&self, pid: PageId, node: Node) {
         let si = self.shard_of(pid);
         let mut g = self.shards[si].lock();
@@ -233,9 +262,10 @@ impl BufferPool {
         }
         let share = self.share(si);
         if share > 0 {
-            g.install(pid, node, true, share, &self.store);
-        } else {
-            g.write_through(pid, &node, &self.store);
+            g.install(pid, node, true, share, &self.store, &self.write_failures);
+        } else if g.write_through(pid, &node, &self.store).is_err() {
+            self.write_failures.fetch_add(1, Ordering::Relaxed);
+            g.force_install(pid, node, true);
         }
     }
 
@@ -257,48 +287,81 @@ impl BufferPool {
         self.store.write().free(pid);
     }
 
-    /// Write back all dirty frames (counted as physical writes).
-    pub fn flush(&self) {
+    /// Write back all dirty frames (counted as physical writes). Every
+    /// frame is attempted; the first store error is returned and the
+    /// frames that failed **stay resident and dirty**, so a later flush
+    /// can retry once the device recovers.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut first_err = None;
         for shard in self.shards.iter() {
             let mut g = shard.lock();
             let slots: Vec<usize> = g.map.values().copied().collect();
             for slot in slots {
-                g.write_back(slot, &self.store);
+                if let Err(e) = g.write_back(slot, &self.store) {
+                    self.write_failures.fetch_add(1, Ordering::Relaxed);
+                    first_err.get_or_insert(e);
+                }
             }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
 
     /// Flush, then drop every cached frame in every shard (a "cold"
     /// buffer), leaving the stats untouched. Useful before measuring a
-    /// query from a cold start.
+    /// query from a cold start. A dirty frame whose write-back fails is
+    /// **not** dropped (that would lose the only copy); it stays
+    /// resident for a later retry, so under an injected store outage the
+    /// pool may remain warm.
     pub fn clear(&self) {
         for shard in self.shards.iter() {
             let mut g = shard.lock();
             let slots: Vec<usize> = g.map.values().copied().collect();
+            let mut kept = false;
             for slot in slots {
-                g.write_back(slot, &self.store);
+                if g.write_back(slot, &self.store).is_err() {
+                    self.write_failures.fetch_add(1, Ordering::Relaxed);
+                    kept = true;
+                    continue;
+                }
+                let pid = g.frames[slot].pid;
+                g.unlink(slot);
+                g.map.remove(&pid);
+                g.free_slots.push(slot);
             }
-            g.map.clear();
-            g.frames.clear();
-            g.free_slots.clear();
-            g.head = NIL;
-            g.tail = NIL;
+            if !kept && g.map.is_empty() {
+                g.frames.clear();
+                g.free_slots.clear();
+                g.head = NIL;
+                g.tail = NIL;
+            }
         }
     }
 
     /// Change the **global** capacity (clamped to ≥ 1), evicting LRU
     /// victims in every shard until the pool is within the new bound:
     /// each shard is trimmed to its share of the global capacity, so the
-    /// total resident count never exceeds the bound.
+    /// total resident count never exceeds the bound (unless unwritable
+    /// dirty frames force over-admission; see [`BufferPool::flush`]).
     pub fn set_capacity(&self, capacity: usize) {
         self.cap.store(capacity.max(1), Ordering::Relaxed);
         for (i, shard) in self.shards.iter().enumerate() {
             let share = self.share(i);
             let mut g = shard.lock();
             while g.map.len() > share {
-                g.evict_lru(&self.store);
+                if !g.evict_one(&self.store, &self.write_failures) {
+                    break;
+                }
             }
         }
+    }
+
+    /// Dirty write-backs that have failed at the store so far (each one
+    /// left its frame resident and dirty for a retry).
+    pub fn write_failures(&self) -> u64 {
+        self.write_failures.load(Ordering::Relaxed)
     }
 
     /// Current global capacity in nodes/pages.
@@ -344,8 +407,10 @@ impl BufferPool {
 
     /// Flush every dirty frame and checkpoint the underlying store with
     /// `meta` as its recovery metadata (a no-op for in-memory stores).
+    /// If any write-back fails the checkpoint is **not** attempted: a
+    /// header must never commit a page image that is not fully on disk.
     pub fn checkpoint(&self, meta: &[u8]) -> std::io::Result<()> {
-        self.flush();
+        self.flush()?;
         self.store.write().checkpoint(meta)
     }
 
@@ -407,11 +472,22 @@ impl Shard {
         dirty: bool,
         share: usize,
         store: &RwLock<Box<dyn PageStore>>,
+        failures: &AtomicU64,
     ) {
         debug_assert!(share > 0, "zero-share shards must not cache");
         while self.map.len() >= share {
-            self.evict_lru(store);
+            if !self.evict_one(store, failures) {
+                // Every candidate victim is dirty and unwritable: admit
+                // the newcomer beyond the share rather than lose data or
+                // refuse the caller. Later evictions retry the victims.
+                break;
+            }
         }
+        self.force_install(pid, node, dirty);
+    }
+
+    /// Insert a frame without evicting (used on over-admission).
+    fn force_install(&mut self, pid: PageId, node: Arc<Node>, dirty: bool) {
         let slot = if let Some(s) = self.free_slots.pop() {
             self.frames[s] = Frame {
                 pid: pid.0,
@@ -435,38 +511,65 @@ impl Shard {
         self.push_front(slot);
     }
 
-    fn evict_lru(&mut self, store: &RwLock<Box<dyn PageStore>>) {
-        let victim = self.tail;
-        debug_assert!(victim != NIL, "evict called on empty shard");
-        self.write_back(victim, store);
-        let pid = self.frames[victim].pid;
-        self.unlink(victim);
-        self.map.remove(&pid);
-        self.free_slots.push(victim);
+    /// Evict one frame, scanning victims from the LRU tail toward the
+    /// head. A dirty victim whose write-back fails is skipped (it stays
+    /// resident so the data survives); returns `false` if no frame could
+    /// be evicted.
+    fn evict_one(&mut self, store: &RwLock<Box<dyn PageStore>>, failures: &AtomicU64) -> bool {
+        debug_assert!(self.tail != NIL, "evict called on empty shard");
+        let mut victim = self.tail;
+        while victim != NIL {
+            match self.write_back(victim, store) {
+                Ok(()) => {
+                    let pid = self.frames[victim].pid;
+                    self.unlink(victim);
+                    self.map.remove(&pid);
+                    self.free_slots.push(victim);
+                    return true;
+                }
+                Err(_) => {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    victim = self.frames[victim].prev;
+                }
+            }
+        }
+        false
     }
 
-    fn write_back(&mut self, slot: usize, store: &RwLock<Box<dyn PageStore>>) {
+    fn write_back(&mut self, slot: usize, store: &RwLock<Box<dyn PageStore>>) -> io::Result<()> {
         if !self.frames[slot].dirty {
-            return;
+            return Ok(());
         }
         let pid = PageId(self.frames[slot].pid);
         let node = Arc::clone(&self.frames[slot].node);
-        self.encode_and_write(pid, &node, store);
+        self.encode_and_write(pid, &node, store)?;
         self.frames[slot].dirty = false;
         self.stats.physical_writes += 1;
+        Ok(())
     }
 
     /// Uncached write of `node` to `pid` (zero-share shards).
-    fn write_through(&mut self, pid: PageId, node: &Node, store: &RwLock<Box<dyn PageStore>>) {
-        self.encode_and_write(pid, node, store);
+    fn write_through(
+        &mut self,
+        pid: PageId,
+        node: &Node,
+        store: &RwLock<Box<dyn PageStore>>,
+    ) -> io::Result<()> {
+        self.encode_and_write(pid, node, store)?;
         self.stats.physical_writes += 1;
+        Ok(())
     }
 
-    fn encode_and_write(&mut self, pid: PageId, node: &Node, store: &RwLock<Box<dyn PageStore>>) {
+    fn encode_and_write(
+        &mut self,
+        pid: PageId,
+        node: &Node,
+        store: &RwLock<Box<dyn PageStore>>,
+    ) -> io::Result<()> {
         self.scratch.fill(0);
         node.encode(&mut self.scratch);
         let len = node.encoded_len();
-        store.write().write(pid, &self.scratch[..len]);
+        store.write().write(pid, &self.scratch[..len])
     }
 }
 
@@ -495,7 +598,7 @@ mod tests {
             pool.put(pid, leaf_node(2, i as f64 * 0.1));
             pids.push(pid);
         }
-        pool.flush();
+        pool.flush().unwrap();
         (pool, pids)
     }
 
@@ -559,9 +662,9 @@ mod tests {
         pool.reset_stats();
         pool.put(pids[0], leaf_node(2, 0.9));
         pool.put(pids[1], leaf_node(2, 0.8));
-        pool.flush();
+        pool.flush().unwrap();
         assert_eq!(pool.stats().physical_writes, 2);
-        pool.flush(); // now clean: no extra writes
+        pool.flush().unwrap(); // now clean: no extra writes
         assert_eq!(pool.stats().physical_writes, 2);
     }
 
@@ -736,5 +839,94 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.logical, 4 * 200, "every access is counted");
         assert!(pool.resident() <= pool.capacity());
+    }
+
+    // ------------------------------------------------------------------
+    // Failure resilience (injected store faults)
+    // ------------------------------------------------------------------
+
+    use crate::fault::{FaultInjector, FaultKind, FaultOp, FaultPageStore};
+
+    fn faulty_pool(cap: usize) -> (BufferPool, Arc<FaultInjector>) {
+        let inj = FaultInjector::shared();
+        let store = FaultPageStore::new(MemPager::new(256), Arc::clone(&inj));
+        (BufferPool::new(store, 2, cap), inj)
+    }
+
+    #[test]
+    fn failed_flush_keeps_frames_dirty_for_retry() {
+        let (pool, inj) = faulty_pool(8);
+        let a = pool.allocate();
+        pool.put(a, leaf_node(2, 0.25));
+        inj.fail_from(FaultOp::PageWrite, 0, FaultKind::Error);
+        assert!(pool.flush().is_err());
+        assert!(pool.write_failures() >= 1);
+        assert_eq!(pool.resident(), 1, "failed frame stays resident");
+        // Device recovers: the retry succeeds and the data lands.
+        inj.clear();
+        pool.flush().unwrap();
+        pool.clear();
+        let back = pool.get(a);
+        assert_eq!(back.as_leaf().point(0), &[0.25, 0.25]);
+    }
+
+    #[test]
+    fn clear_never_drops_an_unwritable_dirty_frame() {
+        let (pool, inj) = faulty_pool(8);
+        let a = pool.allocate();
+        pool.put(a, leaf_node(2, 0.75));
+        inj.fail_from(FaultOp::PageWrite, 0, FaultKind::Enospc);
+        pool.clear();
+        assert_eq!(pool.resident(), 1, "dirty frame must survive clear");
+        inj.clear();
+        pool.flush().unwrap();
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.get(a).as_leaf().point(0), &[0.75, 0.75]);
+    }
+
+    #[test]
+    fn eviction_over_admits_rather_than_losing_data() {
+        let (pool, inj) = faulty_pool(1);
+        let a = pool.allocate();
+        let b = pool.allocate();
+        pool.put(a, leaf_node(2, 0.1)); // dirty, resident
+        inj.fail_from(FaultOp::PageWrite, 0, FaultKind::Error);
+        pool.put(b, leaf_node(2, 0.2)); // wants to evict a; write-back fails
+        assert_eq!(pool.resident(), 2, "over-admitted past capacity 1");
+        inj.clear();
+        pool.flush().unwrap();
+        pool.clear();
+        assert_eq!(pool.get(a).as_leaf().point(0), &[0.1, 0.1]);
+        assert_eq!(pool.get(b).as_leaf().point(0), &[0.2, 0.2]);
+    }
+
+    #[test]
+    fn zero_share_write_through_failure_caches_the_frame() {
+        // cap 1 over 2 shards: shard 1 has share 0 and writes through.
+        let inj = FaultInjector::shared();
+        let store = FaultPageStore::new(MemPager::new(256), Arc::clone(&inj));
+        let pool = BufferPool::with_shards(store, 2, 1, 2);
+        let _a = pool.allocate(); // pid 0 -> shard 0
+        let b = pool.allocate(); // pid 1 -> shard 1 (share 0)
+        inj.fail_from(FaultOp::PageWrite, 0, FaultKind::Error);
+        pool.put(b, leaf_node(2, 0.6)); // write-through fails -> cached
+        assert_eq!(pool.resident(), 1, "update must be retained in memory");
+        assert_eq!(pool.get(b).as_leaf().point(0), &[0.6, 0.6]);
+        inj.clear();
+        pool.flush().unwrap();
+        pool.clear();
+        assert_eq!(pool.get(b).as_leaf().point(0), &[0.6, 0.6]);
+    }
+
+    #[test]
+    fn checkpoint_is_refused_while_pages_cannot_be_flushed() {
+        let (pool, inj) = faulty_pool(4);
+        let a = pool.allocate();
+        pool.put(a, leaf_node(2, 0.3));
+        inj.fail_from(FaultOp::PageWrite, 0, FaultKind::Error);
+        assert!(pool.checkpoint(b"meta").is_err());
+        inj.clear();
+        pool.checkpoint(b"meta").unwrap();
     }
 }

@@ -42,7 +42,9 @@ use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use crate::fault::{flip_one_bit, FaultInjector, FaultOp, WriteFault};
 use crate::pager::{PageId, PageStore};
 use crate::stats::IoStats;
 
@@ -112,6 +114,10 @@ pub struct DiskPager {
     /// Metadata from the most recent checkpoint.
     meta: Option<Vec<u8>>,
     scratch: Vec<u8>,
+    /// Optional fault-injection seam, consulted on every device
+    /// operation at its natural grain (page write, page read, each of
+    /// the two checkpoint fences, the header-slot write).
+    injector: Option<Arc<FaultInjector>>,
     disk_reads: AtomicU64,
     disk_writes: AtomicU64,
     fsyncs: AtomicU64,
@@ -152,6 +158,7 @@ impl DiskPager {
             generation: 0,
             meta: None,
             scratch: vec![0u8; page_size],
+            injector: None,
             disk_reads: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
@@ -210,6 +217,7 @@ impl DiskPager {
                 Some(best.meta)
             },
             scratch: vec![0u8; page_size],
+            injector: None,
             disk_reads: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
@@ -227,6 +235,13 @@ impl DiskPager {
     #[inline]
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Route every subsequent device operation through `injector` (see
+    /// [`crate::fault`]). The already-committed create/open header I/O is
+    /// not retroactively counted.
+    pub fn attach_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
     }
 
     fn offset_of(&self, id: PageId) -> u64 {
@@ -252,8 +267,25 @@ impl DiskPager {
         slot[SLOT_FIXED + meta.len()..SLOT_FIXED + meta.len() + 4]
             .copy_from_slice(&crc.to_le_bytes());
         let slot_offset = (generation % 2) * SLOT_SIZE as u64;
+        if let Some(inj) = &self.injector {
+            match inj.on_write(FaultOp::PageWrite)? {
+                WriteFault::Clean => {}
+                WriteFault::Torn(e) => {
+                    // A torn header write lands half a slot; its CRC can
+                    // never validate, so open falls back to the previous
+                    // generation.
+                    self.file
+                        .write_all_at(&slot[..SLOT_SIZE / 2], slot_offset)?;
+                    return Err(e);
+                }
+                WriteFault::BitFlip => flip_one_bit(&mut slot),
+            }
+        }
         self.file.write_all_at(&slot, slot_offset)?;
         self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(inj) = &self.injector {
+            inj.on_sync(FaultOp::PageSync)?;
+        }
         self.file.sync_all()?;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         self.generation = generation;
@@ -353,18 +385,30 @@ impl PageStore for DiskPager {
         self.quarantine.push(id.0);
     }
 
-    fn read_into(&self, id: PageId, out: &mut [u8]) {
+    fn read_into(&self, id: PageId, out: &mut [u8]) -> io::Result<()> {
         assert!(
             id.0 < self.page_count,
             "read of unallocated page {id} (page_count {})",
             self.page_count
         );
+        let mut flip = false;
+        if let Some(inj) = &self.injector {
+            match inj.on_read(FaultOp::PageRead)? {
+                WriteFault::Clean => {}
+                WriteFault::Torn(e) => return Err(e),
+                WriteFault::BitFlip => flip = true,
+            }
+        }
         read_full_at(&self.file, &mut out[..self.page_size], self.offset_of(id))
-            .unwrap_or_else(|e| panic!("disk read of page {id} failed: {e}"));
+            .map_err(|e| io::Error::new(e.kind(), format!("disk read of page {id} failed: {e}")))?;
+        if flip {
+            flip_one_bit(&mut out[..self.page_size]);
+        }
         self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
+    fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
         assert!(
             data.len() <= self.page_size,
             "write of {} bytes exceeds page size {}",
@@ -379,14 +423,33 @@ impl PageStore for DiskPager {
         self.scratch[..data.len()].copy_from_slice(data);
         self.scratch[data.len()..].fill(0);
         let offset = self.offset_of(id);
+        let mut limit = self.page_size;
+        let mut torn: Option<io::Error> = None;
+        if let Some(inj) = &self.injector {
+            match inj.on_write(FaultOp::PageWrite)? {
+                WriteFault::Clean => {}
+                WriteFault::Torn(e) => {
+                    limit = self.page_size / 2;
+                    torn = Some(e);
+                }
+                WriteFault::BitFlip => flip_one_bit(&mut self.scratch),
+            }
+        }
         let scratch = std::mem::take(&mut self.scratch);
-        let res = self.file.write_all_at(&scratch, offset);
+        let res = self.file.write_all_at(&scratch[..limit], offset);
         self.scratch = scratch;
-        res.unwrap_or_else(|e| panic!("disk write of page {id} failed: {e}"));
+        res.map_err(|e| io::Error::new(e.kind(), format!("disk write of page {id} failed: {e}")))?;
+        if let Some(e) = torn {
+            return Err(e);
+        }
         self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     fn checkpoint(&mut self, meta: &[u8]) -> io::Result<()> {
+        if let Some(inj) = &self.injector {
+            inj.on_sync(FaultOp::PageSync)?;
+        }
         self.file.sync_all()?;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         self.commit_header(meta)?;
@@ -450,13 +513,13 @@ mod tests {
         let mut p = DiskPager::create(&path, 128).unwrap();
         let a = p.allocate();
         let b = p.allocate();
-        p.write(a, &[1, 2, 3]);
-        p.write(b, &[9; 128]);
+        p.write(a, &[1, 2, 3]).unwrap();
+        p.write(b, &[9; 128]).unwrap();
         let mut buf = [0xAAu8; 128];
-        p.read_into(a, &mut buf);
+        p.read_into(a, &mut buf).unwrap();
         assert_eq!(&buf[..3], &[1, 2, 3]);
         assert!(buf[3..].iter().all(|&x| x == 0), "tail must be zero-filled");
-        p.read_into(b, &mut buf);
+        p.read_into(b, &mut buf).unwrap();
         assert_eq!(buf[127], 9);
         let stats = p.disk_stats();
         assert_eq!(stats.disk_reads, 2);
@@ -469,7 +532,7 @@ mod tests {
         let mut p = DiskPager::create(&path, 64).unwrap();
         let a = p.allocate();
         let mut buf = [0xFFu8; 64];
-        p.read_into(a, &mut buf);
+        p.read_into(a, &mut buf).unwrap();
         assert!(buf.iter().all(|&x| x == 0));
     }
 
@@ -479,7 +542,7 @@ mod tests {
         {
             let mut p = DiskPager::create(&path, 64).unwrap();
             let a = p.allocate();
-            p.write(a, b"hello");
+            p.write(a, b"hello").unwrap();
             p.checkpoint(b"root=0").unwrap();
             assert!(p.disk_stats().fsyncs >= 2);
         }
@@ -487,7 +550,7 @@ mod tests {
         assert_eq!(p.page_count(), 1);
         assert_eq!(p.meta().as_deref(), Some(&b"root=0"[..]));
         let mut buf = [0u8; 64];
-        p.read_into(PageId(0), &mut buf);
+        p.read_into(PageId(0), &mut buf).unwrap();
         assert_eq!(&buf[..5], b"hello");
     }
 
@@ -514,7 +577,7 @@ mod tests {
         {
             let mut p = DiskPager::create(&path, 64).unwrap();
             let a = p.allocate();
-            p.write(a, b"gen2 data");
+            p.write(a, b"gen2 data").unwrap();
             p.checkpoint(b"gen2").unwrap(); // generation 2 in slot A or B
         }
         // Corrupt the slot holding the *latest* generation (simulating a

@@ -50,6 +50,7 @@
 pub mod buffer;
 pub mod bulk;
 pub mod disk;
+pub mod fault;
 pub mod geometry;
 pub mod knn;
 pub mod node;
@@ -62,6 +63,7 @@ pub mod topk;
 pub mod tree;
 
 pub use disk::DiskPager;
+pub use fault::{FaultInjector, FaultKind, FaultOp, FaultPageStore, WriteFault};
 pub use geometry::Mbr;
 pub use knn::{NnHit, NnIter};
 pub use node::{InnerNode, LeafNode, Node};

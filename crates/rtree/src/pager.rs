@@ -71,19 +71,23 @@ pub trait PageStore: Send + Sync {
     fn free(&mut self, id: PageId);
 
     /// Read a page's bytes into `out` (whose length must be at least the
-    /// page size; exactly `page_size` bytes are written).
+    /// page size; exactly `page_size` bytes are written). Device failures
+    /// surface as `Err`, never as panics.
     ///
     /// # Panics
-    /// Panics if the page is not allocated or `out` is too short.
-    fn read_into(&self, id: PageId, out: &mut [u8]);
+    /// Panics on *logic* errors only: the page is not allocated or `out`
+    /// is too short.
+    fn read_into(&self, id: PageId, out: &mut [u8]) -> std::io::Result<()>;
 
     /// Overwrite a page's bytes. `data` may be shorter than the page; the
-    /// remainder is zero-filled.
+    /// remainder is zero-filled. Device failures surface as `Err`, never
+    /// as panics; after an error the page's on-device contents are
+    /// unspecified (a torn write may have landed a prefix).
     ///
     /// # Panics
-    /// Panics if the page is not allocated or `data` exceeds the page
-    /// size.
-    fn write(&mut self, id: PageId, data: &[u8]);
+    /// Panics on *logic* errors only: the page is not allocated or `data`
+    /// exceeds the page size.
+    fn write(&mut self, id: PageId, data: &[u8]) -> std::io::Result<()>;
 
     /// Make all previously written pages durable and atomically install
     /// `meta` as the store's recovery metadata. After a successful
@@ -140,11 +144,11 @@ impl<S: PageStore + ?Sized> PageStore for Box<S> {
         (**self).free(id)
     }
 
-    fn read_into(&self, id: PageId, out: &mut [u8]) {
+    fn read_into(&self, id: PageId, out: &mut [u8]) -> std::io::Result<()> {
         (**self).read_into(id, out)
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
+    fn write(&mut self, id: PageId, data: &[u8]) -> std::io::Result<()> {
         (**self).write(id, data)
     }
 
@@ -288,13 +292,15 @@ impl PageStore for MemPager {
         MemPager::free(self, id)
     }
 
-    fn read_into(&self, id: PageId, out: &mut [u8]) {
+    fn read_into(&self, id: PageId, out: &mut [u8]) -> std::io::Result<()> {
         let page = MemPager::read(self, id);
         out[..page.len()].copy_from_slice(page);
+        Ok(())
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
-        MemPager::write(self, id, data)
+    fn write(&mut self, id: PageId, data: &[u8]) -> std::io::Result<()> {
+        MemPager::write(self, id, data);
+        Ok(())
     }
 }
 

@@ -12,7 +12,8 @@
 //!   I/O accounting (per-run attribution via [`rtree::IoSession`]);
 //!   pages live in an in-memory [`rtree::MemPager`] or a real, CRC'd
 //!   [`rtree::DiskPager`] file, and the tree mutates in place under
-//!   copy-on-write epochs.
+//!   copy-on-write epochs; a scriptable [`rtree::FaultInjector`] can
+//!   wrap any store for crash and fault testing.
 //! * [`skyline`] — BBS skyline computation and the paper's incremental
 //!   maintenance with pruned-entry lists (§IV-B).
 //! * [`ta`] — reverse top-1 search over the function set via the
@@ -27,7 +28,9 @@
 //!   hosting one [`net::TenantRegistry`] of named engines, each behind
 //!   its own service (queue, workers, cache), with a JSON wire codec,
 //!   `/metrics` + `/healthz`, `429 Retry-After` load shedding, `504`
-//!   deadlines and disconnect cancellation.
+//!   deadlines, disconnect cancellation, and per-tenant health with a
+//!   degraded mode that refuses mutations (`503`) but keeps serving
+//!   reads through storage failure.
 //!
 //! ## Quickstart
 //!
@@ -94,6 +97,9 @@
 //! | rebuild the engine on inventory change | `engine.insert_object(&p)?` / `engine.remove_object(oid)?` / `engine.update_object(oid, &p)?` |
 //! | in-memory only, lost on restart | `Engine::builder().data_dir(dir)` once, `Engine::open(dir)?` after |
 //! | in-process `ServiceClient` only | `net::Server::bind(addr, registry, config)?` / `mpq serve --listen ADDR` — HTTP clients `POST /t/<tenant>/match` |
+//! | storage failure ⇒ panic / silent corruption | typed [`core::MpqError::Io`] / [`core::MpqError::StorageDegraded`] — a failed commit leaves the tree, the object map and `inventory_version` untouched; degraded tenants answer mutations `503 Retry-After` while reads keep serving ([`core::HealthMonitor`]) |
+//! | failure paths untestable | [`rtree::FaultInjector`] scripted into any pager or WAL (`fail_nth`, `crash_at`, torn/bit-flip/ENOSPC) — the chaos suites reopen after a fault at every durability op |
+//! | hand-rolled client retry loops | [`net::HttpClient::send_with_retry`] with a [`net::RetryPolicy`] (jittered backoff, honors `Retry-After`) |
 //!
 //! where `let engine = Engine::builder().objects(&o).build()?;` is built
 //! once and shared (it is `Sync`; evaluation never mutates the index).
@@ -161,12 +167,16 @@ pub use mpq_ta as ta;
 pub mod prelude {
     pub use mpq_core::{
         Algorithm, BatchMetrics, BatchOutcome, BruteForceMatcher, CacheMetrics, CapacityMatcher,
-        ChainMatcher, Engine, EngineService, MatchRequest, MatchSession, Matcher, Matching,
-        MonotoneSkylineMatcher, MpqError, Pair, RequestKey, ResultCache, Scratch, ServiceClient,
-        ServiceConfig, ServiceMetrics, SkylineMatcher, Ticket,
+        ChainMatcher, Engine, EngineService, HealthMonitor, HealthState, MatchRequest,
+        MatchSession, Matcher, Matching, MonotoneSkylineMatcher, MpqError, Pair, RequestKey,
+        ResultCache, Scratch, ServiceClient, ServiceConfig, ServiceMetrics, SkylineMatcher, Ticket,
     };
     pub use mpq_datagen::{Distribution, WorkloadBuilder};
-    pub use mpq_net::{HttpClient, Server, ServerConfig, TenantConfig, TenantRegistry};
-    pub use mpq_rtree::{IoSession, PointSet, RTree, RTreeParams};
+    pub use mpq_net::{
+        HttpClient, RetryPolicy, Server, ServerConfig, TenantConfig, TenantRegistry,
+    };
+    pub use mpq_rtree::{
+        FaultInjector, FaultKind, FaultOp, IoSession, PointSet, RTree, RTreeParams,
+    };
     pub use mpq_ta::FunctionSet;
 }
