@@ -38,7 +38,7 @@ use std::fs;
 use std::sync::Arc;
 
 use mpq_core::service::resolved_workers;
-use mpq_core::{Algorithm, BackpressurePolicy, Engine, MpqError, ServiceConfig};
+use mpq_core::{Algorithm, BackpressurePolicy, Engine, MpqError, ServiceConfig, ShardedEngine};
 use mpq_datagen::Distribution;
 use mpq_rtree::PointSet;
 use mpq_ta::FunctionSet;
@@ -88,7 +88,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
 
 const USAGE: &str = "usage:
   mpq match --objects <objects.csv> --functions <functions.csv>
-            [--algo sb|bf|chain] [--output <file>]
+            [--algo sb|bf|chain] [--shards <K>] [--output <file>]
+            # --shards K > 1 partitions the objects into K per-shard
+            # R-trees and resolves the (bit-identical) matching with the
+            # scatter-gather merge
   mpq generate --distribution <independent|correlated|anti-correlated|clustered|zillow>
                --objects <N> --dim <D> [--seed <S>]
   mpq throughput --objects <objects.csv> --functions <functions.csv>
@@ -96,22 +99,39 @@ const USAGE: &str = "usage:
   mpq serve --objects <objects.csv> --functions <functions.csv>
             [--algo sb|bf|chain] [--requests <R>] [--workers <N>]
             [--queue-cap <M>] [--reject] [--cache <N>] [--data-dir <dir>]
+            [--shards <K>]
             # replay R copies of the request through the EngineService
             # worker pool and report ServiceMetrics; --cache N bounds the
             # result cache to N entries (0 disables caching + dedupe);
             # --data-dir persists the engine (or reopens one already
-            # persisted there, in which case --objects is not needed)
+            # persisted there, in which case --objects is not needed);
+            # --shards K > 1 serves a partitioned engine
   mpq serve --listen <addr> [--tenant NAME=objects.csv[,KEY=VALUE]...]...
             # HTTP mode: serve match requests over a real socket.
             # Tenant spec keys: data-dir=DIR (persist/reopen; an empty
             # objects.csv part reopens an existing store), workers=N,
-            # queue-cap=M, cache=N. Without --tenant, --objects
-            # [--data-dir DIR] hosts a single tenant named 'default'.
-            # Routes: POST /t/NAME/match, GET /t/NAME/metrics,
+            # queue-cap=M, cache=N, shards=K (K > 1 hosts a partitioned
+            # engine; 0 is rejected). Without --tenant, --objects
+            # [--data-dir DIR] [--shards K] hosts a single tenant named
+            # 'default'. Routes: POST /t/NAME/match, GET /t/NAME/metrics,
             # GET /metrics, GET /healthz
   mpq compact --data-dir <dir>
             # checkpoint a persisted engine: fold the WAL into the page
             # file so the next open replays nothing";
+
+/// Parse the shared `--shards` flag: absent means `1` (unsharded), and
+/// `0` is a usage error everywhere — a partitioned engine needs at
+/// least one shard.
+fn parse_shards(args: &[String]) -> Result<usize, CliError> {
+    let shards: usize = arg_value(args, "--shards")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| CliError::usage("--shards must be an integer"))?;
+    if shards == 0 {
+        return Err(CliError::usage("--shards must be at least 1"));
+    }
+    Ok(shards)
+}
 
 fn arg_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -131,6 +151,7 @@ fn cmd_match(args: &[String]) -> Result<String, CliError> {
         .unwrap_or("sb")
         .parse()
         .map_err(CliError::usage)?;
+    let shards = parse_shards(args)?;
 
     let objects_text = fs::read_to_string(objects_path)
         .map_err(|e| CliError::runtime(format!("cannot read {objects_path}: {e}")))?;
@@ -150,19 +171,37 @@ fn cmd_match(args: &[String]) -> Result<String, CliError> {
     }
     let (objects, functions) = build_inputs(&objects_table, &functions_table)?;
 
-    let engine = Engine::builder()
-        .objects(&objects)
-        .build()
-        .map_err(cli_from_mpq)?;
-    let matching = engine
-        .request(&functions)
-        .algorithm(algorithm)
-        .evaluate()
-        .map_err(cli_from_mpq)?;
+    let matching = if shards > 1 {
+        let engine = ShardedEngine::builder()
+            .objects(&objects)
+            .shards(shards)
+            .build()
+            .map_err(cli_from_mpq)?;
+        engine
+            .request(&functions)
+            .algorithm(algorithm)
+            .evaluate()
+            .map_err(cli_from_mpq)?
+    } else {
+        let engine = Engine::builder()
+            .objects(&objects)
+            .build()
+            .map_err(cli_from_mpq)?;
+        engine
+            .request(&functions)
+            .algorithm(algorithm)
+            .evaluate()
+            .map_err(cli_from_mpq)?
+    };
     let met = matching.metrics();
     eprintln!(
-        "{}: {} pairs, {:.3}s matching, {} physical I/Os ({} loops)",
+        "{}{}: {} pairs, {:.3}s matching, {} physical I/Os ({} loops)",
         algorithm.name(),
+        if shards > 1 {
+            format!(" over {shards} shards")
+        } else {
+            String::new()
+        },
         matching.len(),
         met.elapsed.as_secs_f64(),
         met.io.physical(),
@@ -422,6 +461,22 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         BackpressurePolicy::Block
     };
     let data_dir = arg_value(args, "--data-dir").map(std::path::PathBuf::from);
+    let shards = parse_shards(args)?;
+    if shards > 1 {
+        return serve_sharded(
+            args,
+            ServeFlags {
+                algorithm,
+                requests,
+                workers,
+                queue_cap,
+                cache,
+                backpressure,
+                data_dir,
+                shards,
+            },
+        );
+    }
 
     // A directory already holding a persisted engine is reopened —
     // page file plus WAL replay — so mutations from earlier runs are
@@ -503,7 +558,108 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+/// Parsed `mpq serve` replay flags, bundled so the sharded path shares
+/// them without re-parsing.
+struct ServeFlags {
+    algorithm: Algorithm,
+    requests: usize,
+    workers: usize,
+    queue_cap: usize,
+    cache: usize,
+    backpressure: BackpressurePolicy,
+    data_dir: Option<std::path::PathBuf>,
+    shards: usize,
+}
+
+/// The `--shards K > 1` replay: build (or reopen) a [`ShardedEngine`],
+/// serve the same replay workload through its service, and verify every
+/// served matching bit-identical to a direct scatter-gather evaluation.
+fn serve_sharded(args: &[String], flags: ServeFlags) -> Result<String, CliError> {
+    let ServeFlags {
+        algorithm,
+        requests,
+        workers,
+        queue_cap,
+        cache,
+        backpressure,
+        data_dir,
+        shards,
+    } = flags;
+    let (engine, storage) = match &data_dir {
+        Some(dir) if ShardedEngine::persisted_at(dir) => {
+            let engine = ShardedEngine::open(dir).map_err(cli_from_mpq)?;
+            (Arc::new(engine), format!(", opened from {}", dir.display()))
+        }
+        _ => {
+            let objects = load_objects(args)?;
+            let mut builder = ShardedEngine::builder().objects(&objects).shards(shards);
+            let storage = match &data_dir {
+                Some(dir) => {
+                    builder = builder.data_dir(dir);
+                    format!(", persisted to {}", dir.display())
+                }
+                None => String::new(),
+            };
+            (Arc::new(builder.build().map_err(cli_from_mpq)?), storage)
+        }
+    };
+    let functions = load_functions(args, engine.dim())?;
+    let expected = engine
+        .request(&functions)
+        .algorithm(algorithm)
+        .evaluate()
+        .map_err(cli_from_mpq)?
+        .sorted_pairs();
+
+    let service = Arc::clone(&engine).serve(
+        ServiceConfig::default()
+            .workers(workers)
+            .queue_capacity(queue_cap)
+            .backpressure(backpressure)
+            .cache_capacity(cache),
+    );
+    let client = service.client();
+    let mut tickets = Vec::with_capacity(requests);
+    let mut rejected = 0usize;
+    for _ in 0..requests {
+        match client.submit_sharded(engine.request(&functions).algorithm(algorithm)) {
+            Ok(t) => tickets.push(t),
+            Err(MpqError::Overloaded) => rejected += 1,
+            Err(e) => return Err(cli_from_mpq(e)),
+        }
+    }
+    for ticket in tickets {
+        let served = ticket.wait().map_err(cli_from_mpq)?;
+        if served.sorted_pairs() != expected {
+            return Err(CliError::runtime(
+                "served result diverged from direct sharded evaluation".to_string(),
+            ));
+        }
+    }
+    service.shutdown();
+    let metrics = client.metrics();
+
+    Ok(format!(
+        "{} x{requests} requests over {} objects in {} shards via EngineService \
+         (queue cap {queue_cap}, {} backpressure{}{storage})\n{metrics}\n\
+         all served matchings identical to direct sharded evaluation\n",
+        algorithm.name(),
+        engine.n_objects(),
+        engine.shard_count(),
+        match backpressure {
+            BackpressurePolicy::Block => "block",
+            BackpressurePolicy::Reject => "reject",
+        },
+        if rejected > 0 {
+            format!(", {rejected} rejected")
+        } else {
+            String::new()
+        },
+    ))
+}
+
 /// One `--tenant NAME=objects.csv[,KEY=VALUE...]` specification.
+#[derive(Debug)]
 struct TenantSpec {
     name: String,
     objects_csv: Option<String>,
@@ -543,10 +699,18 @@ fn parse_tenant_spec(spec: &str) -> Result<TenantSpec, CliError> {
             "workers" => out.config.workers = int("workers")?,
             "queue-cap" => out.config.queue_capacity = int("queue-cap")?,
             "cache" => out.config.cache_capacity = int("cache")?,
+            "shards" => {
+                out.config.shards = int("shards")?;
+                if out.config.shards == 0 {
+                    return Err(CliError::usage(format!(
+                        "--tenant '{spec}': shards must be at least 1"
+                    )));
+                }
+            }
             other => {
                 return Err(CliError::usage(format!(
                     "--tenant '{spec}': unknown option '{other}' \
-                     (known: data-dir, workers, queue-cap, cache)"
+                     (known: data-dir, workers, queue-cap, cache, shards)"
                 )))
             }
         }
@@ -623,6 +787,7 @@ pub fn start_server(args: &[String]) -> Result<mpq_net::Server, CliError> {
                 .parse()
                 .map_err(|_| CliError::usage("--queue-cap must be an integer"))?;
         }
+        config.shards = parse_shards(args)?;
         specs.push(TenantSpec {
             name: "default".to_string(),
             objects_csv,
@@ -1024,6 +1189,126 @@ mod tests {
         assert!(out.contains("reject backpressure"), "{out}");
         assert!(
             out.contains("all served matchings identical to sequential"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn match_with_shards_is_bit_identical() {
+        let dir = std::env::temp_dir().join("mpq_cli_shards_match");
+        fs::create_dir_all(&dir).unwrap();
+        let objects_csv = run_cli(&args(&[
+            "generate",
+            "--distribution",
+            "anti-correlated",
+            "--objects",
+            "300",
+            "--dim",
+            "2",
+            "--seed",
+            "29",
+        ]))
+        .unwrap();
+        let opath = dir.join("objects.csv");
+        fs::write(&opath, &objects_csv).unwrap();
+        let fpath = dir.join("functions.csv");
+        let mut fcsv = String::from("w0,w1\n");
+        for i in 0..12 {
+            fcsv.push_str(&format!("0.{:02},0.{:02}\n", 35 + i, 65 - i));
+        }
+        fs::write(&fpath, &fcsv).unwrap();
+
+        let run_shards = |shards: &str| {
+            let mut base = args(&[
+                "match",
+                "--objects",
+                opath.to_str().unwrap(),
+                "--functions",
+                fpath.to_str().unwrap(),
+            ]);
+            if !shards.is_empty() {
+                base.extend(args(&["--shards", shards]));
+            }
+            let mut lines: Vec<String> = run_cli(&base)
+                .unwrap()
+                .trim()
+                .lines()
+                .skip(1)
+                .map(str::to_string)
+                .collect();
+            lines.sort();
+            lines
+        };
+        let unsharded = run_shards("");
+        for k in ["2", "4", "8"] {
+            assert_eq!(unsharded, run_shards(k), "K={k} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn zero_shards_are_a_usage_error_everywhere() {
+        let err = run_cli(&args(&[
+            "match",
+            "--objects",
+            "x.csv",
+            "--functions",
+            "y.csv",
+            "--shards",
+            "0",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--shards must be at least 1"));
+
+        let err = parse_tenant_spec("t=objects.csv,shards=0").unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("shards must be at least 1"));
+
+        // A valid spec carries the shard count into the tenant config.
+        let spec = parse_tenant_spec("t=objects.csv,shards=4").unwrap();
+        assert_eq!(spec.config.shards, 4);
+    }
+
+    #[test]
+    fn serve_with_shards_replays_through_the_sharded_service() {
+        let dir = std::env::temp_dir().join("mpq_cli_serve_shards");
+        fs::create_dir_all(&dir).unwrap();
+        let objects_csv = run_cli(&args(&[
+            "generate",
+            "--distribution",
+            "independent",
+            "--objects",
+            "400",
+            "--dim",
+            "2",
+            "--seed",
+            "31",
+        ]))
+        .unwrap();
+        let opath = dir.join("objects.csv");
+        fs::write(&opath, &objects_csv).unwrap();
+        let fpath = dir.join("functions.csv");
+        fs::write(&fpath, "w0,w1\n0.7,0.3\n0.4,0.6\n0.5,0.5\n").unwrap();
+
+        let out = run_cli(&args(&[
+            "serve",
+            "--objects",
+            opath.to_str().unwrap(),
+            "--functions",
+            fpath.to_str().unwrap(),
+            "--requests",
+            "6",
+            "--workers",
+            "2",
+            "--shards",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("in 4 shards via EngineService"), "{out}");
+        assert!(out.contains("completed 6"), "{out}");
+        assert!(out.contains("shards 4"), "{out}");
+        assert!(
+            out.contains("all served matchings identical to direct sharded evaluation"),
             "{out}"
         );
     }

@@ -87,7 +87,12 @@ impl RequestKey {
 /// [`RequestKey`] for what it covers. The inventory version is *not*
 /// part of the key; it stamps cache entries instead
 /// ([`ResultCache::insert`]), so one cache can safely span engine
-/// rebuilds.
+/// rebuilds. Under sharding the same holds for the whole per-shard
+/// version *vector* ([`ResultCache::insert_with_logs`]): keeping
+/// versions out of the key material means a sharded and an unsharded
+/// service compute the identical key for the identical request, and
+/// version skew shows up as entry-stamp mismatches (catch-up-able) —
+/// never as silently divergent key spaces.
 pub(crate) fn request_key(functions: &FunctionSet, options: &RequestOptions) -> RequestKey {
     let mut m: Vec<u64> = Vec::with_capacity(8 + functions.len() * (functions.dim() + 1));
 
@@ -456,9 +461,12 @@ impl CacheMetrics {
 /// One cached result plus its bookkeeping.
 struct CacheEntry {
     matching: Matching,
-    /// Inventory version the result was computed against; a lookup under
-    /// any other version treats the entry as absent.
-    version: u64,
+    /// Inventory version *vector* the result was computed against — one
+    /// component per shard, in shard order (an unsharded engine is the
+    /// 1-component case). A lookup under any other vector treats the
+    /// entry as absent, unless per-component mutation logs prove the
+    /// intervening mutations harmless (scoped invalidation).
+    stamp: Box<[u64]>,
     /// Approximate heap footprint (key + matching).
     bytes: usize,
     /// Recency tick (key into the LRU index).
@@ -555,11 +563,20 @@ impl ResultCache {
     /// reported as a miss: the inventory it was computed against no
     /// longer exists.
     pub fn get(&mut self, key: &RequestKey, version: u64) -> Option<Matching> {
+        self.get_vec(key, &[version])
+    }
+
+    /// [`ResultCache::get`] for vector-stamped entries: a hit requires
+    /// the entry's whole per-shard version vector to equal `versions`
+    /// (sharded engines stamp with
+    /// [`ShardedEngine::version_vector`](crate::ShardedEngine::version_vector);
+    /// the scalar API is the 1-component special case).
+    pub fn get_vec(&mut self, key: &RequestKey, versions: &[u64]) -> Option<Matching> {
         let Some(entry) = self.entries.get(key) else {
             self.misses += 1;
             return None;
         };
-        if entry.version != version {
+        if entry.stamp[..] != *versions {
             self.misses += 1;
             self.evictions += 1;
             let tick = entry.tick;
@@ -586,6 +603,12 @@ impl ResultCache {
     /// large to ever fit the byte bound is not stored (the cache is an
     /// accelerator, not a spill).
     pub fn insert(&mut self, key: &RequestKey, version: u64, matching: &Matching) {
+        self.insert_vec(key, &[version], matching);
+    }
+
+    /// [`ResultCache::insert`] for vector-stamped entries (one version
+    /// component per shard, in shard order).
+    pub fn insert_vec(&mut self, key: &RequestKey, versions: &[u64], matching: &Matching) {
         let bytes = key.approx_bytes() + matching.approx_bytes();
         if bytes > self.max_bytes {
             return;
@@ -613,7 +636,7 @@ impl ResultCache {
             key,
             CacheEntry {
                 matching: matching.clone(),
-                version,
+                stamp: versions.into(),
                 bytes,
                 tick,
             },
@@ -679,16 +702,34 @@ impl ResultCache {
         version: u64,
         log: &MutationLog,
     ) -> Option<Matching> {
+        self.get_with_logs(key, &[version], &[log])
+    }
+
+    /// [`ResultCache::get_with_log`] for vector-stamped entries: one
+    /// version component and one [`MutationLog`] per shard, in shard
+    /// order. Scoped invalidation is **component-wise**: only the shards
+    /// whose component lags are asked to prove their intervening
+    /// mutations harmless — a mutation on shard A never touches the
+    /// proof (or the validity) of a cached result whose assignments all
+    /// live on shard B.
+    pub fn get_with_logs(
+        &mut self,
+        key: &RequestKey,
+        versions: &[u64],
+        logs: &[&MutationLog],
+    ) -> Option<Matching> {
         if let Some(entry) = self.entries.get(key) {
-            if entry.version > version {
-                // The entry is *newer* than the looker's version read (a
-                // mutation and a publish slipped in between): not
-                // servable backwards, but evicting the current result
-                // would punish the next — current — looker. Plain miss.
+            let comparable = entry.stamp.len() == versions.len();
+            if comparable && entry.stamp.iter().zip(versions).any(|(e, v)| e > v) {
+                // Some component is *newer* than the looker's version
+                // read (a mutation and a publish slipped in between):
+                // not servable backwards, but evicting the current
+                // result would punish the next — current — looker.
+                // Plain miss.
                 self.misses += 1;
                 return None;
             }
-            if entry.version < version && !self.try_catch_up(key, version, log) {
+            if entry.stamp[..] != *versions && !self.try_catch_up(key, versions, logs) {
                 self.misses += 1;
                 self.evictions += 1;
                 let entry = self.entries.remove(key).expect("entry just found");
@@ -697,28 +738,42 @@ impl ResultCache {
                 return None;
             }
         }
-        self.get(key, version)
+        self.get_vec(key, versions)
     }
 
-    /// Catch the entry for `key` up to `version`: `true` iff the log
-    /// covers the whole version gap and every event in it provably
-    /// leaves the cached matching unchanged (the entry is restamped).
-    fn try_catch_up(&mut self, key: &RequestKey, version: u64, log: &MutationLog) -> bool {
+    /// Catch the entry for `key` up to `versions`: `true` iff, for every
+    /// lagging component, that shard's log covers the gap and every
+    /// event in it provably leaves the cached matching unchanged (the
+    /// entry is restamped to the full vector). A shard-count mismatch
+    /// (the topology changed under the cache) is never caught up.
+    fn try_catch_up(&mut self, key: &RequestKey, versions: &[u64], logs: &[&MutationLog]) -> bool {
+        debug_assert_eq!(versions.len(), logs.len());
         let Some(entry) = self.entries.get(key) else {
             return false;
         };
-        if entry.version > version {
+        if entry.stamp.len() != versions.len()
+            || entry.stamp.iter().zip(versions).any(|(e, v)| e > v)
+        {
             return false;
         }
-        let Some(events) = log.events_between(entry.version, version) else {
-            return false;
-        };
-        let survives = events
-            .iter()
-            .all(|(_, event)| survives_event(key, &entry.matching, event));
+        let mut survives = true;
+        'components: for ((&since, &upto), log) in entry.stamp.iter().zip(versions).zip(logs) {
+            if since == upto {
+                continue;
+            }
+            let Some(events) = log.events_between(since, upto) else {
+                return false;
+            };
+            for (_, event) in &events {
+                if !survives_event(key, &entry.matching, event) {
+                    survives = false;
+                    break 'components;
+                }
+            }
+        }
         if survives {
             let entry = self.entries.get_mut(key).expect("entry just found");
-            entry.version = version;
+            entry.stamp = versions.into();
             self.revalidations += 1;
         }
         survives
@@ -738,17 +793,35 @@ impl ResultCache {
         matching: &Matching,
         log: &MutationLog,
     ) {
-        // Only entries *older* than the publish stamp are sweepable: a
-        // worker that captured its version before a mutation must not
-        // evict entries already published under the newer version.
+        self.insert_with_logs(key, &[version], matching, &[log]);
+    }
+
+    /// [`ResultCache::insert_with_log`] for vector-stamped entries (one
+    /// version component and one [`MutationLog`] per shard, in shard
+    /// order).
+    pub fn insert_with_logs(
+        &mut self,
+        key: &RequestKey,
+        versions: &[u64],
+        matching: &Matching,
+        logs: &[&MutationLog],
+    ) {
+        // Only entries *strictly older* than the publish stamp are
+        // sweepable — no component newer, at least one lagging: a worker
+        // that captured its vector before a mutation must not evict
+        // entries already published under a newer component.
         let stale: Vec<Arc<RequestKey>> = self
             .entries
             .iter()
-            .filter(|(_, e)| e.version < version)
+            .filter(|(_, e)| {
+                e.stamp.len() == versions.len()
+                    && e.stamp.iter().zip(versions).all(|(a, b)| a <= b)
+                    && e.stamp[..] != *versions
+            })
             .map(|(k, _)| Arc::clone(k))
             .collect();
         for k in stale {
-            if !self.try_catch_up(&k, version, log) {
+            if !self.try_catch_up(&k, versions, logs) {
                 if let Some(entry) = self.entries.remove(&*k) {
                     self.lru.remove(&entry.tick);
                     self.bytes -= entry.bytes;
@@ -756,10 +829,12 @@ impl ResultCache {
                 }
             }
         }
-        if self.entries.get(key).is_some_and(|e| e.version > version) {
+        if self.entries.get(key).is_some_and(|e| {
+            e.stamp.len() == versions.len() && e.stamp.iter().zip(versions).any(|(a, b)| a > b)
+        }) {
             return; // a newer result for this key is already published
         }
-        self.insert(key, version, matching);
+        self.insert_vec(key, versions, matching);
     }
 }
 

@@ -139,6 +139,13 @@ pub struct EngineBuilder<'o> {
     buffer_shards: Option<usize>,
     data_dir: Option<PathBuf>,
     fault_injector: Option<Arc<FaultInjector>>,
+    /// Explicit object ids for `objects` (shard-internal: a partitioned
+    /// engine indexes globally minted oids in every per-shard tree).
+    oids: Option<&'o [u64]>,
+    /// Permit an empty inventory (shard-internal: a partition may leave
+    /// a shard with zero objects; the sharded engine enforces the
+    /// global non-empty contract itself).
+    allow_empty: bool,
 }
 
 impl<'o> EngineBuilder<'o> {
@@ -193,6 +200,23 @@ impl<'o> EngineBuilder<'o> {
         self
     }
 
+    /// Index `objects[i]` under `oids[i]` instead of the point index —
+    /// and mint new ids from `max(oids) + 1` on. Shard-internal (see
+    /// the `shard` module): every per-shard tree speaks global object
+    /// ids natively, so the merge protocol needs no translation layer.
+    pub(crate) fn explicit_oids(mut self, oids: &'o [u64]) -> EngineBuilder<'o> {
+        self.oids = Some(oids);
+        self
+    }
+
+    /// Accept an empty inventory. Shard-internal: a partition can leave
+    /// a shard with zero objects; the sharded engine enforces the
+    /// global non-empty contract itself.
+    pub(crate) fn allow_empty(mut self) -> EngineBuilder<'o> {
+        self.allow_empty = true;
+        self
+    }
+
     /// Validate the inventory and bulk-load the object R-tree (exactly
     /// once for the engine's lifetime).
     ///
@@ -202,18 +226,27 @@ impl<'o> EngineBuilder<'o> {
     /// for index construction.
     pub fn build(self) -> Result<Engine, MpqError> {
         let objects = self.objects.ok_or(MpqError::EmptyObjects)?;
-        if objects.is_empty() {
+        if objects.is_empty() && !self.allow_empty {
             return Err(MpqError::EmptyObjects);
         }
+        if let Some(ids) = self.oids {
+            assert_eq!(ids.len(), objects.len(), "oid slice length mismatch");
+        }
+        let oid_of = |i: usize| self.oids.map_or(i as u64, |ids| ids[i]);
         for (i, p) in objects.iter() {
-            validate_point(i as u64, objects.dim(), p)?;
+            validate_point(oid_of(i), objects.dim(), p)?;
         }
         let mut tree = match &self.data_dir {
             None => match &self.fault_injector {
-                None => self.index.build_tree(objects),
-                Some(inj) => self.index.build_tree_in(
+                None => self.index.build_tree_with_oids_in(
+                    MemPager::new(self.index.page_size),
+                    objects,
+                    self.oids,
+                ),
+                Some(inj) => self.index.build_tree_with_oids_in(
                     FaultPageStore::new(MemPager::new(self.index.page_size), Arc::clone(inj)),
                     objects,
+                    self.oids,
                 ),
             },
             Some(dir) => {
@@ -222,7 +255,8 @@ impl<'o> EngineBuilder<'o> {
                 if let Some(inj) = &self.fault_injector {
                     store.attach_injector(Arc::clone(inj));
                 }
-                self.index.build_tree_in(store, objects)
+                self.index
+                    .build_tree_with_oids_in(store, objects, self.oids)
             }
         };
         if let Some(shards) = self.buffer_shards {
@@ -245,13 +279,14 @@ impl<'o> EngineBuilder<'o> {
         };
         let map: BTreeMap<u64, Box<[f64]>> = objects
             .iter()
-            .map(|(i, p)| (i as u64, Box::from(p)))
+            .map(|(i, p)| (oid_of(i), Box::from(p)))
             .collect();
+        let next_oid = map.keys().next_back().map_or(0, |k| k + 1);
         Ok(Engine {
             dim: objects.dim(),
             config: self.index,
             tree,
-            next_oid: AtomicU64::new(objects.len() as u64),
+            next_oid: AtomicU64::new(next_oid),
             objects: Mutex::new(map),
             version: AtomicU64::new(NEXT_INVENTORY_VERSION.fetch_add(1, AtomicOrdering::Relaxed)),
             evaluations: AtomicU64::new(0),
@@ -483,7 +518,15 @@ impl Engine {
     /// created with; the buffer is re-sized from `config` (buffer
     /// geometry is a runtime choice, not persistent state).
     pub fn open_with(dir: impl AsRef<Path>, config: IndexConfig) -> Result<Engine, MpqError> {
-        Engine::open_inner(dir.as_ref(), config, None)
+        Engine::open_inner(dir.as_ref(), config, None, false)
+    }
+
+    /// Reopen one shard of a partitioned engine: like
+    /// [`Engine::open_with`], but an empty recovered inventory is legal
+    /// (a shard can hold zero objects; the sharded engine enforces the
+    /// global non-empty contract itself).
+    pub(crate) fn open_shard(dir: &Path, config: IndexConfig) -> Result<Engine, MpqError> {
+        Engine::open_inner(dir, config, None, true)
     }
 
     /// Like [`Engine::open_with`], but routing the reopened engine's
@@ -495,13 +538,14 @@ impl Engine {
         config: IndexConfig,
         injector: Arc<FaultInjector>,
     ) -> Result<Engine, MpqError> {
-        Engine::open_inner(dir.as_ref(), config, Some(injector))
+        Engine::open_inner(dir.as_ref(), config, Some(injector), false)
     }
 
     fn open_inner(
         dir: &Path,
         config: IndexConfig,
         injector: Option<Arc<FaultInjector>>,
+        allow_empty: bool,
     ) -> Result<Engine, MpqError> {
         let mut store = DiskPager::open(&dir.join(PAGE_FILE), config.page_size)?;
         if let Some(inj) = &injector {
@@ -548,7 +592,7 @@ impl Engine {
                 }
             }
         }
-        if objects.is_empty() {
+        if objects.is_empty() && !allow_empty {
             return Err(MpqError::EmptyObjects);
         }
         let next_oid = objects.keys().next_back().map_or(0, |k| k + 1);
@@ -596,6 +640,34 @@ impl Engine {
         Ok(oid)
     }
 
+    /// Insert an object under a caller-chosen id instead of minting one.
+    /// Shard-internal: the sharded engine mints global oids and routes
+    /// each insert to exactly one shard, which must index the global id
+    /// verbatim. Fails if the shard already holds `oid`.
+    pub(crate) fn insert_object_at(&self, oid: u64, point: &[f64]) -> Result<(), MpqError> {
+        let _m = lock(&self.mutator);
+        self.check_storage()?;
+        validate_point(oid, self.dim, point)?;
+        if lock(&self.objects).contains_key(&oid) {
+            return Err(MpqError::UnsupportedRequest(
+                "explicit-oid insert would overwrite an existing object",
+            ));
+        }
+        self.log_wal(&WalRecord::Insert {
+            oid,
+            point: Box::from(point),
+        })?;
+        self.tree.insert(point, oid);
+        lock(&self.objects).insert(oid, Box::from(point));
+        let next = self.next_oid.load(AtomicOrdering::Relaxed).max(oid + 1);
+        self.next_oid.store(next, AtomicOrdering::Release);
+        self.commit_mutation(MutationEvent::Insert {
+            oid,
+            point: Arc::from(point),
+        });
+        Ok(())
+    }
+
     /// Remove an object from the inventory.
     ///
     /// Fails with [`MpqError::UnknownObject`] if the engine does not
@@ -603,11 +675,23 @@ impl Engine {
     /// engine over zero objects violates the build-time contract; build
     /// a new engine instead).
     pub fn remove_object(&self, oid: u64) -> Result<(), MpqError> {
+        self.remove_object_inner(oid, false)
+    }
+
+    /// Remove an object, allowing the shard to go empty. Shard-internal:
+    /// the sharded engine enforces the global "never empty the
+    /// inventory" rule across all shards, so one shard draining to zero
+    /// objects is legal.
+    pub(crate) fn remove_object_allow_empty(&self, oid: u64) -> Result<(), MpqError> {
+        self.remove_object_inner(oid, true)
+    }
+
+    fn remove_object_inner(&self, oid: u64, allow_empty: bool) -> Result<(), MpqError> {
         let _m = lock(&self.mutator);
         self.check_storage()?;
         let point = {
             let objects = lock(&self.objects);
-            if objects.len() == 1 && objects.contains_key(&oid) {
+            if !allow_empty && objects.len() == 1 && objects.contains_key(&oid) {
                 return Err(MpqError::UnsupportedRequest(
                     "removing the last object would empty the inventory",
                 ));
@@ -898,7 +982,7 @@ impl Engine {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let core = &core;
-                scope.spawn(move || worker_loop(core, self));
+                scope.spawn(move || worker_loop(core, crate::service::BackendRef::Single(self)));
             }
             let tickets: Vec<_> = requests
                 .iter()
@@ -1017,11 +1101,22 @@ pub(crate) fn validate_options(
     options: &RequestOptions,
 ) -> Result<(), MpqError> {
     engine.validate_functions(functions)?;
+    validate_options_shape(engine.oid_bound() as usize, options)
+}
+
+/// The engine-independent half of [`validate_options`]: request-shape
+/// checks against an id bound. Shared with the sharded evaluation path,
+/// which validates against the *global* id bound (same errors, same
+/// strings) before scattering.
+pub(crate) fn validate_options_shape(
+    oid_bound: usize,
+    options: &RequestOptions,
+) -> Result<(), MpqError> {
     if let Some(caps) = &options.capacities {
         // Capacities are indexed by object id; ids are never recycled,
         // so the vector must cover the full id bound even when removals
         // left holes below it.
-        let expected = engine.oid_bound() as usize;
+        let expected = oid_bound;
         if caps.len() != expected {
             return Err(MpqError::CapacityMismatch {
                 expected,
@@ -1307,6 +1402,12 @@ pub struct BatchOutcome {
 }
 
 impl BatchOutcome {
+    /// Assemble an outcome (same-crate batch runners: the unsharded
+    /// batch path here and the sharded one in [`crate::shard`]).
+    pub(crate) fn from_parts(matchings: Vec<Matching>, metrics: BatchMetrics) -> BatchOutcome {
+        BatchOutcome { matchings, metrics }
+    }
+
     /// The matchings, one per request, **in input order**.
     pub fn matchings(&self) -> &[Matching] {
         &self.matchings

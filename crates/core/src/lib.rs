@@ -77,6 +77,18 @@
 //! inventory — bit-identical matchings included — after a crash.
 //! [`Engine::checkpoint`] folds the WAL into the page file so the next
 //! open replays nothing.
+//!
+//! ## Scale-out goes through the [`ShardedEngine`]
+//!
+//! The [`shard`] module partitions the object set into `K` independent
+//! shards — each a full [`Engine`] with its own R-tree, buffer pool and
+//! WAL segment — and resolves the global matching with a scatter-gather
+//! best-pair merge whose per-shard score bounds skip shards that
+//! provably cannot produce the next winner. The sharded matching is
+//! bit-identical to the unsharded one; mutations route through a
+//! pluggable [`Partitioner`] to exactly one shard, and the cache stamps
+//! results with a per-shard version vector so one shard's mutations
+//! never invalidate another shard's cached work.
 
 #![warn(missing_docs)]
 
@@ -94,6 +106,7 @@ pub mod reference;
 pub mod sb;
 pub mod scratch;
 pub mod service;
+pub mod shard;
 pub mod verify;
 pub mod wal;
 
@@ -114,6 +127,10 @@ pub use scratch::Scratch;
 pub use service::{
     BackpressurePolicy, EngineService, HealthMonitor, HealthState, QueueOrdering, ServiceClient,
     ServiceConfig, ServiceMetrics, SubmitOptions, Ticket,
+};
+pub use shard::{
+    GridPartitioner, HashPartitioner, Partitioner, ShardGauges, ShardedEngine,
+    ShardedEngineBuilder, ShardedMatchRequest, ShardedStream,
 };
 pub use verify::{verify_stable, verify_weakly_stable};
 pub use wal::{Wal, WalRecord};

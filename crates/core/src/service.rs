@@ -69,6 +69,74 @@ use crate::engine::{evaluate_options, Engine, MatchRequest, RequestOptions};
 use crate::error::MpqError;
 use crate::matching::Matching;
 use crate::scratch::Scratch;
+use crate::shard::{evaluate_sharded_options, ShardGauges, ShardedEngine, ShardedMatchRequest};
+
+/// The engine behind a service, by reference: the scheduling core is
+/// engine-agnostic, and the worker loop dispatches each popped job to
+/// whichever evaluation surface the service was spawned over — a single
+/// [`Engine`] or a [`ShardedEngine`]. `Copy`, so scoped batch workers
+/// can pass it around freely.
+#[derive(Clone, Copy)]
+pub(crate) enum BackendRef<'e> {
+    /// One unsharded engine.
+    Single(&'e Engine),
+    /// A partitioned engine resolved by the scatter-gather merge.
+    Sharded(&'e ShardedEngine),
+}
+
+impl<'e> BackendRef<'e> {
+    /// The per-shard inventory version vector (1-component for a single
+    /// engine) — the cache stamp for results evaluated against this
+    /// backend.
+    fn version_vector(self) -> Vec<u64> {
+        match self {
+            BackendRef::Single(e) => vec![e.inventory_version()],
+            BackendRef::Sharded(s) => s.version_vector(),
+        }
+    }
+
+    /// The per-shard mutation logs, aligned with
+    /// [`BackendRef::version_vector`].
+    fn mutation_logs(self) -> Vec<&'e MutationLog> {
+        match self {
+            BackendRef::Single(e) => vec![e.mutation_log()],
+            BackendRef::Sharded(s) => s.mutation_logs(),
+        }
+    }
+
+    /// Summed storage-level I/O.
+    fn storage_stats(self) -> mpq_rtree::IoStats {
+        match self {
+            BackendRef::Single(e) => e.storage_stats(),
+            BackendRef::Sharded(s) => s.storage_stats(),
+        }
+    }
+}
+
+/// The engine behind a long-lived service, owned (`Arc`'d into every
+/// worker thread and client handle).
+enum Backend {
+    Single(Arc<Engine>),
+    Sharded(Arc<ShardedEngine>),
+}
+
+impl Clone for Backend {
+    fn clone(&self) -> Backend {
+        match self {
+            Backend::Single(e) => Backend::Single(Arc::clone(e)),
+            Backend::Sharded(s) => Backend::Sharded(Arc::clone(s)),
+        }
+    }
+}
+
+impl Backend {
+    fn as_ref(&self) -> BackendRef<'_> {
+        match self {
+            Backend::Single(e) => BackendRef::Single(e),
+            Backend::Sharded(s) => BackendRef::Sharded(s),
+        }
+    }
+}
 
 /// Lock a mutex, ignoring poisoning: all protected state is kept
 /// consistent by construction (a panicking worker resolves its ticket
@@ -823,18 +891,20 @@ impl<'a> ServiceCore<'a> {
 
     /// The full service submission path: consult the result cache, then
     /// the in-flight index (attach to an identical queued/running job),
-    /// and only then pay a queue slot. `version` is the submitting
-    /// engine's [`Engine::inventory_version`] — cache entries from any
-    /// other inventory are misses, except that `log` (the engine's
-    /// [`MutationLog`], when available) may revalidate an older entry
-    /// whose result provably survived every intervening mutation.
+    /// and only then pay a queue slot. `versions` is the submitting
+    /// backend's inventory version vector — one component per shard,
+    /// exactly one for an unsharded [`Engine`]. Cache entries stamped
+    /// from any other inventory are misses, except that `logs` (the
+    /// per-shard [`MutationLog`]s, when available) may revalidate an
+    /// older entry whose result provably survived every intervening
+    /// mutation on every shard.
     pub(crate) fn submit_owned(
         &self,
         functions: FunctionSet,
         options: RequestOptions,
         submit: SubmitOptions,
-        version: u64,
-        log: Option<&MutationLog>,
+        versions: &[u64],
+        logs: Option<&[&MutationLog]>,
     ) -> Result<Ticket, MpqError> {
         if self.ordering == QueueOrdering::Fifo && submit.priority != 0 {
             return Err(MpqError::UnsupportedRequest(FIFO_PRIORITY_MSG));
@@ -851,9 +921,9 @@ impl<'a> ServiceCore<'a> {
         let key = request_key(&functions, &options);
         let group = {
             let mut layer = lock(cached);
-            let hit = match log {
-                Some(log) => layer.cache.get_with_log(&key, version, log),
-                None => layer.cache.get(&key, version),
+            let hit = match logs {
+                Some(logs) => layer.cache.get_with_logs(&key, versions, logs),
+                None => layer.cache.get_vec(&key, versions),
             };
             if let Some(matching) = hit {
                 // Hit: resolve a ticket on the spot — no queue slot, no
@@ -984,11 +1054,11 @@ impl<'a> ServiceCore<'a> {
         }
     }
 
-    /// Run one popped job to resolution on `engine`, then release its
+    /// Run one popped job to resolution on `backend`, then release its
     /// in-flight slot: close the group, expire lapsed members, evaluate
     /// once, publish to the cache, fan the result out to every surviving
     /// member.
-    fn execute(&self, engine: &Engine, job: Job<'_>, scratch: &mut Scratch) {
+    fn execute(&self, backend: BackendRef<'_>, job: Job<'_>, scratch: &mut Scratch) {
         // Claim: close the group first so an identical submission
         // arriving from here on starts a fresh job instead of racing the
         // fan-out; then expire members whose deadline lapsed before
@@ -1016,9 +1086,14 @@ impl<'a> ServiceCore<'a> {
         // version, so stamping the result with a possibly-older version
         // only makes the cache conservative. Reading the version *after*
         // evaluating would stamp a pre-mutation result as current.
-        let version = engine.inventory_version();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            evaluate_options(engine, &job.functions, &job.options, scratch)
+        let versions = backend.version_vector();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match backend {
+            BackendRef::Single(engine) => {
+                evaluate_options(engine, &job.functions, &job.options, scratch)
+            }
+            BackendRef::Sharded(sharded) => {
+                evaluate_sharded_options(sharded, &job.functions, &job.options)
+            }
         }))
         .unwrap_or_else(|_| {
             // The scratch may have been mid-mutation; replace it.
@@ -1031,9 +1106,10 @@ impl<'a> ServiceCore<'a> {
         // that observed its ticket resolve and immediately resubmits
         // must hit.
         if let (Some(key), Some(cached), Ok(matching)) = (&job.group.key, &self.cached, &result) {
+            let logs = backend.mutation_logs();
             lock(cached)
                 .cache
-                .insert_with_log(key, version, matching, engine.mutation_log());
+                .insert_with_logs(key, &versions, matching, &logs);
         }
         self.release_inflight(&job.group);
 
@@ -1115,6 +1191,8 @@ impl<'a> ServiceCore<'a> {
             cache,
             storage: mpq_rtree::IoStats::default(),
             health: HealthState::Healthy,
+            shards: Vec::new(),
+            skipped_shards: 0,
             uptime: self.started.elapsed(),
             p50_latency: percentile(&sorted, 0.50),
             p99_latency: percentile(&sorted, 0.99),
@@ -1136,11 +1214,11 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 /// A worker's whole life: pop, evaluate, resolve, repeat — one
 /// persistent [`Scratch`] across the entire stream — until shutdown
 /// drains the queue. Shared verbatim between the long-lived service
-/// (Arc'd engine) and the scoped batch wrapper (borrowed engine).
-pub(crate) fn worker_loop(core: &ServiceCore<'_>, engine: &Engine) {
+/// (Arc'd backend) and the scoped batch wrapper (borrowed engine).
+pub(crate) fn worker_loop(core: &ServiceCore<'_>, backend: BackendRef<'_>) {
     let mut scratch = Scratch::new();
     while let Some(job) = core.next_job() {
-        core.execute(engine, job, &mut scratch);
+        core.execute(backend, job, &mut scratch);
     }
 }
 
@@ -1149,7 +1227,7 @@ pub(crate) fn worker_loop(core: &ServiceCore<'_>, engine: &Engine) {
 /// A point-in-time snapshot: gauges (`queue_depth`, `in_flight`) are
 /// instantaneous, counters are since spawn, and the latency percentiles
 /// cover the configured rolling window of recent completions.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceMetrics {
     /// Worker threads in the pool.
     pub workers: usize,
@@ -1185,6 +1263,14 @@ pub struct ServiceMetrics {
     /// [`HealthState::Healthy`] in snapshots taken through a bare
     /// `ServiceCore` without an engine attached).
     pub health: HealthState,
+    /// Per-shard gauges when the service serves a
+    /// [`ShardedEngine`] — one entry per shard, in shard order. Empty
+    /// for an unsharded engine (and in snapshots taken through a bare
+    /// `ServiceCore`).
+    pub shards: Vec<ShardGauges>,
+    /// Shards skipped by the scatter-gather merge's score-bound pruning
+    /// since spawn. Always zero for an unsharded engine.
+    pub skipped_shards: u64,
     /// Time since the service was spawned.
     pub uptime: Duration,
     /// Median submit→resolve latency over the rolling window.
@@ -1239,6 +1325,23 @@ impl ServiceMetrics {
                 ]),
             ),
             ("health", Json::Str(self.health.as_str().to_string())),
+            (
+                "shards",
+                Json::Arr(
+                    self.shards
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("objects", Json::Num(s.objects as f64)),
+                                ("tree_height", Json::Num(s.tree_height as f64)),
+                                ("buffer_hit_rate", Json::Num(s.buffer_hit_rate)),
+                                ("wal_bytes", Json::Num(s.wal_bytes as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("skipped_shards", Json::Num(self.skipped_shards as f64)),
             ("uptime_secs", Json::Num(self.uptime.as_secs_f64())),
             ("requests_per_sec", Json::Num(self.requests_per_sec())),
             (
@@ -1283,6 +1386,19 @@ impl std::fmt::Display for ServiceMetrics {
         }
         if self.storage != mpq_rtree::IoStats::default() {
             writeln!(f, "storage {}", self.storage)?;
+        }
+        if !self.shards.is_empty() {
+            writeln!(
+                f,
+                "shards {}  skipped {}  objects [{}]",
+                self.shards.len(),
+                self.skipped_shards,
+                self.shards
+                    .iter()
+                    .map(|s| s.objects.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
         }
         write!(
             f,
@@ -1486,7 +1602,7 @@ impl HealthMonitor {
 /// [`EngineService::shutdown`] (dropping the service shuts down
 /// gracefully too, draining all queued work first).
 pub struct EngineService {
-    engine: Arc<Engine>,
+    backend: Backend,
     core: Arc<ServiceCore<'static>>,
     health: Arc<HealthMonitor>,
     handles: Vec<std::thread::JoinHandle<()>>,
@@ -1506,10 +1622,12 @@ pub fn resolved_workers(requested: usize) -> usize {
 
 impl std::fmt::Debug for EngineService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EngineService")
-            .field("engine", &self.engine)
-            .field("workers", &self.handles.len())
-            .finish()
+        let mut s = f.debug_struct("EngineService");
+        match &self.backend {
+            Backend::Single(engine) => s.field("engine", engine),
+            Backend::Sharded(sharded) => s.field("sharded", sharded),
+        };
+        s.field("workers", &self.handles.len()).finish()
     }
 }
 
@@ -1518,20 +1636,35 @@ impl EngineService {
     /// [`Scratch`] for its whole lifetime, so steady-state evaluations
     /// reuse warm buffers instead of allocating per request.
     pub fn spawn(engine: Arc<Engine>, config: ServiceConfig) -> EngineService {
+        EngineService::spawn_backend(Backend::Single(engine), config)
+    }
+
+    /// Start a worker pool over a [`ShardedEngine`] — the same
+    /// scheduling core, queue, cache and dedupe machinery, with every
+    /// evaluation resolved by the scatter-gather merge. Reached through
+    /// [`ShardedEngine::serve`].
+    pub(crate) fn spawn_sharded(
+        engine: Arc<ShardedEngine>,
+        config: ServiceConfig,
+    ) -> EngineService {
+        EngineService::spawn_backend(Backend::Sharded(engine), config)
+    }
+
+    fn spawn_backend(backend: Backend, config: ServiceConfig) -> EngineService {
         let workers = resolved_workers(config.workers);
         let core = Arc::new(ServiceCore::new(&config, workers));
         let handles = (0..workers)
             .map(|i| {
                 let core = Arc::clone(&core);
-                let engine = Arc::clone(&engine);
+                let backend = backend.clone();
                 std::thread::Builder::new()
                     .name(format!("mpq-worker-{i}"))
-                    .spawn(move || worker_loop(&core, &engine))
+                    .spawn(move || worker_loop(&core, backend.as_ref()))
                     .expect("spawn service worker")
             })
             .collect();
         EngineService {
-            engine,
+            backend,
             core,
             health: Arc::new(HealthMonitor::new()),
             handles,
@@ -1550,15 +1683,34 @@ impl EngineService {
     /// [`MpqError::ServiceStopped`].
     pub fn client(&self) -> ServiceClient {
         ServiceClient {
-            engine: Arc::clone(&self.engine),
+            backend: self.backend.clone(),
             core: Arc::clone(&self.core),
             health: Arc::clone(&self.health),
         }
     }
 
     /// The served engine.
+    ///
+    /// # Panics
+    ///
+    /// If the service serves a [`ShardedEngine`] (spawned through
+    /// [`ShardedEngine::serve`]) — use [`EngineService::sharded`] there.
     pub fn engine(&self) -> &Arc<Engine> {
-        &self.engine
+        match &self.backend {
+            Backend::Single(engine) => engine,
+            Backend::Sharded(_) => {
+                panic!("this service serves a sharded engine; use EngineService::sharded")
+            }
+        }
+    }
+
+    /// The served [`ShardedEngine`], when the service was spawned over
+    /// one; `None` for a plain [`Engine`].
+    pub fn sharded(&self) -> Option<&Arc<ShardedEngine>> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded(sharded) => Some(sharded),
+        }
     }
 
     /// Worker threads in the pool.
@@ -1569,8 +1721,12 @@ impl EngineService {
     /// Snapshot the rolling [`ServiceMetrics`].
     pub fn metrics(&self) -> ServiceMetrics {
         let mut m = self.core.metrics_snapshot();
-        m.storage = self.engine.storage_stats();
+        m.storage = self.backend.as_ref().storage_stats();
         m.health = self.health.state();
+        if let Backend::Sharded(sharded) = &self.backend {
+            m.shards = sharded.shard_gauges();
+            m.skipped_shards = sharded.skipped_shards();
+        }
         m
     }
 
@@ -1616,24 +1772,46 @@ impl Drop for EngineService {
 /// [`EngineService`].
 #[derive(Clone)]
 pub struct ServiceClient {
-    engine: Arc<Engine>,
+    backend: Backend,
     core: Arc<ServiceCore<'static>>,
     health: Arc<HealthMonitor>,
 }
 
 impl std::fmt::Debug for ServiceClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServiceClient")
-            .field("engine", &self.engine)
-            .finish()
+        let mut s = f.debug_struct("ServiceClient");
+        match &self.backend {
+            Backend::Single(engine) => s.field("engine", engine),
+            Backend::Sharded(sharded) => s.field("sharded", sharded),
+        };
+        s.finish()
     }
 }
 
 impl ServiceClient {
     /// The served engine — build requests against it:
     /// `client.submit(client.engine().request(&functions))`.
+    ///
+    /// # Panics
+    ///
+    /// If the service serves a [`ShardedEngine`] — use
+    /// [`ServiceClient::sharded`] there.
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        match &self.backend {
+            Backend::Single(engine) => engine,
+            Backend::Sharded(_) => {
+                panic!("this service serves a sharded engine; use ServiceClient::sharded")
+            }
+        }
+    }
+
+    /// The served [`ShardedEngine`], when the service was spawned over
+    /// one; `None` for a plain [`Engine`].
+    pub fn sharded(&self) -> Option<&ShardedEngine> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded(sharded) => Some(sharded),
+        }
     }
 
     /// Submit a request with default [`SubmitOptions`] (no deadline,
@@ -1654,7 +1832,15 @@ impl ServiceClient {
         request: MatchRequest<'_, '_>,
         options: SubmitOptions,
     ) -> Result<Ticket, MpqError> {
-        if !std::ptr::eq(request.engine(), &*self.engine) {
+        let engine = match &self.backend {
+            Backend::Single(engine) => engine,
+            Backend::Sharded(_) => {
+                return Err(MpqError::UnsupportedRequest(
+                    "request was built against a different engine than this service serves",
+                ))
+            }
+        };
+        if !std::ptr::eq(request.engine(), &**engine) {
             return Err(MpqError::UnsupportedRequest(
                 "request was built against a different engine than this service serves",
             ));
@@ -1665,16 +1851,59 @@ impl ServiceClient {
             functions,
             request_options,
             options,
-            self.engine.inventory_version(),
-            Some(self.engine.mutation_log()),
+            &[engine.inventory_version()],
+            Some(&[engine.mutation_log()]),
+        )
+    }
+
+    /// Submit a sharded request with default [`SubmitOptions`].
+    pub fn submit_sharded(&self, request: ShardedMatchRequest<'_, '_>) -> Result<Ticket, MpqError> {
+        self.submit_sharded_with(request, SubmitOptions::default())
+    }
+
+    /// Submit a request built against the served [`ShardedEngine`].
+    /// Same contract as [`ServiceClient::submit_with`] — validated now,
+    /// cache-first (stamped with the per-shard version vector), deduped
+    /// in flight, and otherwise resolved by a worker running the
+    /// scatter-gather merge.
+    pub fn submit_sharded_with(
+        &self,
+        request: ShardedMatchRequest<'_, '_>,
+        options: SubmitOptions,
+    ) -> Result<Ticket, MpqError> {
+        let sharded = match &self.backend {
+            Backend::Sharded(sharded) => sharded,
+            Backend::Single(_) => {
+                return Err(MpqError::UnsupportedRequest(
+                    "request was built against a different engine than this service serves",
+                ))
+            }
+        };
+        if !std::ptr::eq(request.engine(), &**sharded) {
+            return Err(MpqError::UnsupportedRequest(
+                "request was built against a different engine than this service serves",
+            ));
+        }
+        request.validate()?;
+        let (functions, request_options) = request.owned_parts();
+        self.core.submit_owned(
+            functions,
+            request_options,
+            options,
+            &sharded.version_vector(),
+            Some(&sharded.mutation_logs()),
         )
     }
 
     /// Snapshot the rolling [`ServiceMetrics`].
     pub fn metrics(&self) -> ServiceMetrics {
         let mut m = self.core.metrics_snapshot();
-        m.storage = self.engine.storage_stats();
+        m.storage = self.backend.as_ref().storage_stats();
         m.health = self.health.state();
+        if let Backend::Sharded(sharded) = &self.backend {
+            m.shards = sharded.shard_gauges();
+            m.skipped_shards = sharded.skipped_shards();
+        }
         m
     }
 
@@ -1746,6 +1975,8 @@ mod tests {
             cache: CacheMetrics::default(),
             storage: mpq_rtree::IoStats::default(),
             health: HealthState::Healthy,
+            shards: Vec::new(),
+            skipped_shards: 0,
             uptime: Duration::ZERO,
             p50_latency: Duration::ZERO,
             p99_latency: Duration::ZERO,
@@ -1887,7 +2118,7 @@ mod tests {
                 test_functions(),
                 RequestOptions::default(),
                 SubmitOptions::default().priority(-1),
-                1,
+                &[1],
                 None,
             )
             .unwrap_err();
@@ -2024,7 +2255,7 @@ mod tests {
                 test_functions(),
                 RequestOptions::default(),
                 SubmitOptions::default().priority(0),
-                1,
+                &[1],
                 None,
             )
             .unwrap();
@@ -2034,7 +2265,7 @@ mod tests {
                 test_functions(),
                 RequestOptions::default(),
                 SubmitOptions::default().priority(10),
-                1,
+                &[1],
                 None,
             )
             .unwrap();
@@ -2048,7 +2279,7 @@ mod tests {
                 test_functions(),
                 RequestOptions::default(),
                 SubmitOptions::default().priority(5),
-                1,
+                &[1],
                 None,
             )
             .unwrap();
@@ -2086,7 +2317,7 @@ mod tests {
                 test_functions(),
                 RequestOptions::default(),
                 SubmitOptions::default(),
-                1,
+                &[1],
                 None,
             )
         });
@@ -2108,7 +2339,7 @@ mod tests {
                 test_functions(),
                 RequestOptions::default(),
                 SubmitOptions::default().deadline(Duration::ZERO),
-                1,
+                &[1],
                 None,
             )
             .unwrap();
@@ -2189,7 +2420,7 @@ mod tests {
             Engine::builder().objects(&objects).build().unwrap()
         };
         let mut scratch = Scratch::new();
-        core.execute(&engine, job, &mut scratch);
+        core.execute(BackendRef::Single(&engine), job, &mut scratch);
         assert_eq!(core.queue_depth(), 2);
         assert_eq!(core.in_flight(), 0);
     }
@@ -2255,6 +2486,13 @@ mod tests {
                 fsyncs: 1,
             },
             health: HealthState::Degraded,
+            shards: vec![ShardGauges {
+                objects: 3,
+                tree_height: 1,
+                buffer_hit_rate: 0.5,
+                wal_bytes: 64,
+            }],
+            skipped_shards: 7,
             uptime: Duration::from_secs(2),
             p50_latency: Duration::from_millis(5),
             p99_latency: Duration::from_millis(50),
@@ -2320,6 +2558,25 @@ mod tests {
             Some("degraded"),
             "health must be reported as its lowercase wire name"
         );
+        assert_eq!(
+            json.get("skipped_shards")
+                .and_then(crate::json::Json::as_f64),
+            Some(7.0)
+        );
+        let shards = match json.get("shards").expect("shards array") {
+            crate::json::Json::Arr(items) => items,
+            other => panic!("shards must be an array, got {other:?}"),
+        };
+        assert_eq!(shards.len(), 1);
+        for key in ["objects", "tree_height", "buffer_hit_rate", "wal_bytes"] {
+            assert!(
+                shards[0]
+                    .get(key)
+                    .and_then(crate::json::Json::as_f64)
+                    .is_some(),
+                "missing per-shard field '{key}'"
+            );
+        }
         // Round-trips through the parser (field values are finite).
         let text = json.render();
         assert_eq!(crate::json::Json::parse(&text).unwrap(), json);

@@ -1,0 +1,1358 @@
+//! Partitioned engine: per-shard R-trees with a scatter-gather
+//! best-pair merge (ROADMAP item 3).
+//!
+//! All three matchers reduce to repeatedly finding the best
+//! `(score desc, fid asc, oid asc)` pair over the surviving inventory —
+//! and that reduction decomposes cleanly over a *partitioned* object
+//! set: if every shard reports its locally best candidate pair, the
+//! globally best pair is the best of the candidates. The
+//! [`ShardedEngine`] exploits this with a scatter-gather merge:
+//!
+//! 1. **Partition.** A [`Partitioner`] (hash-by-oid by default,
+//!    pluggable grid/space partitioning via [`GridPartitioner`]) splits
+//!    the object set into `K` independent shards. Each shard is a full
+//!    [`Engine`]: its own bulk-loaded R-tree, buffer pool, WAL segment
+//!    and epoch snapshots — and each shard indexes **global** object
+//!    ids natively, so no id translation sits between the merge
+//!    protocol and the per-shard trees.
+//! 2. **Scatter.** Each evaluation round probes shards for their best
+//!    candidate pair (skyline + reverse top-1, exactly the canonical
+//!    greedy the unsharded capacity path runs).
+//! 3. **Gather + merge.** The driver picks the best candidate, emits
+//!    it, and broadcasts the assignment; only shards whose state the
+//!    assignment touched (the owner of the object, or any shard whose
+//!    cached candidate used the assigned function) re-probe next round.
+//! 4. **Bound pruning.** A shard's stale candidate score is a valid
+//!    *upper bound* on everything it can still produce (assignments
+//!    only remove objects and functions, and domination order implies
+//!    score order for non-negative weights), so a stale shard whose
+//!    bound is strictly below the current winner is **skipped** — the
+//!    Vlachou-style partition bound. Skips are counted in
+//!    [`ShardedEngine::skipped_shards`].
+//!
+//! The merge protocol is **message-shaped**: driver and shards exchange
+//! only candidate [`Pair`]s, assignment broadcasts and bounds — no
+//! shared mutable state — so shards can later live in separate
+//! processes (the north-star scale-out seam).
+//!
+//! Because the canonical stable matching is *unique* (deterministic
+//! tie-breaks end to end), one merge implementation serves all three
+//! algorithms: the sharded result is bit-identical to the unsharded
+//! engine's `sorted_pairs()` for SB, BF and Chain alike, under
+//! exclusions and capacities (asserted by `tests/shard_identity.rs`).
+//!
+//! ## Versioning under sharding
+//!
+//! A single global [`Engine::inventory_version`] stamp would invalidate
+//! cached results for *every* shard on *any* mutation. The sharded
+//! engine instead exposes [`ShardedEngine::version_vector`] — one
+//! version component per shard — and the [`crate::ResultCache`] stamps
+//! entries with the whole vector: a mutation on shard A leaves a cached
+//! result's shard-B components untouched, and the per-shard
+//! [`MutationLog`]s prove irrelevant shard-A mutations harmless
+//! component-wise (see [`crate::ResultCache::get_with_logs`]).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use mpq_rtree::{IoSession, IoStats, PointSet};
+use mpq_skyline::SkylineMaintainer;
+use mpq_ta::{FunctionSet, ReverseTopOne};
+
+use crate::cache::{MutationLog, RequestKey};
+use crate::engine::{
+    validate_options_shape, Algorithm, BatchMetrics, BatchOutcome, Engine, RequestOptions,
+};
+use crate::error::MpqError;
+use crate::matching::{IndexConfig, Matching, Pair, RunMetrics};
+use crate::service::{EngineService, ServiceConfig};
+
+/// Manifest file name inside a sharded data directory.
+const MANIFEST_FILE: &str = "shards.mpq";
+/// First line of a sharded data-dir manifest.
+const MANIFEST_MAGIC: &str = "mpq-shard-manifest/1";
+
+/// Lock a mutex, ignoring poisoning (same policy as the engine: every
+/// critical section leaves the state consistent).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Assigns every object to exactly one of `k` shards.
+///
+/// The contract is a *true partition*: for a fixed `k`, every
+/// `(oid, point)` maps to exactly one shard in `0..k`, deterministically
+/// — the same inputs must map to the same shard across processes and
+/// reopens (asserted by a proptest). Implementations must be cheap:
+/// the router runs under the mutation lock.
+pub trait Partitioner: Send + Sync {
+    /// The shard (`0..k`) that owns object `oid` at `point`.
+    fn shard_of(&self, oid: u64, point: &[f64], k: usize) -> usize;
+
+    /// Stable identifier round-tripped through the data-dir manifest so
+    /// [`ShardedEngine::open`] can reconstruct the partitioner.
+    fn id(&self) -> String;
+}
+
+/// The default partitioner: shard by a fixed 64-bit mix of the object
+/// id (SplitMix64). Id-based routing is *placement-stable*: an object's
+/// shard never changes when its point moves, so updates never migrate
+/// between shards and every mutation touches exactly one WAL.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+/// SplitMix64 finalizer — a fixed, documented mix so the partition is
+/// stable across processes, platforms and reopens.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Partitioner for HashPartitioner {
+    fn shard_of(&self, oid: u64, _point: &[f64], k: usize) -> usize {
+        (splitmix64(oid) % k.max(1) as u64) as usize
+    }
+
+    fn id(&self) -> String {
+        "hash".to_string()
+    }
+}
+
+/// Space partitioner: slice the `[0, 1]` preference space into `k`
+/// equal-width slabs along one axis (`shard = floor(point[axis] * k)`,
+/// clamped). Clusters spatially close objects — and therefore skyline
+/// candidates — into few shards, which the merge's bound pruning turns
+/// into skipped probes.
+///
+/// Point-based routing means [`ShardedEngine::update_object`] may
+/// *migrate* an object between shards (a remove in one WAL plus an
+/// insert in another — two durable operations, not one atomic record;
+/// a crash between them can leave the object present in both shards
+/// until the stale copy is removed). Deployments that mutate under
+/// crash risk should prefer [`HashPartitioner`].
+#[derive(Debug, Clone, Copy)]
+pub struct GridPartitioner {
+    /// The axis (dimension index) the space is sliced along.
+    pub axis: usize,
+}
+
+impl Partitioner for GridPartitioner {
+    fn shard_of(&self, _oid: u64, point: &[f64], k: usize) -> usize {
+        let k = k.max(1);
+        let v = point.get(self.axis).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+        ((v * k as f64) as usize).min(k - 1)
+    }
+
+    fn id(&self) -> String {
+        format!("grid:{}", self.axis)
+    }
+}
+
+/// Reconstruct a partitioner from its manifest [`Partitioner::id`].
+fn partitioner_from_id(id: &str) -> Result<Arc<dyn Partitioner>, MpqError> {
+    if id == "hash" {
+        return Ok(Arc::new(HashPartitioner));
+    }
+    if let Some(axis) = id.strip_prefix("grid:") {
+        if let Ok(axis) = axis.parse::<usize>() {
+            return Ok(Arc::new(GridPartitioner { axis }));
+        }
+    }
+    Err(MpqError::Io(format!(
+        "shard manifest names unknown partitioner '{id}'"
+    )))
+}
+
+/// Builder for [`ShardedEngine`]: configure the partition count, the
+/// partitioner and the per-shard index, then split and bulk-load once.
+pub struct ShardedEngineBuilder<'o> {
+    index: IndexConfig,
+    objects: Option<&'o PointSet>,
+    shards: usize,
+    partitioner: Arc<dyn Partitioner>,
+    data_dir: Option<PathBuf>,
+}
+
+impl Default for ShardedEngineBuilder<'_> {
+    fn default() -> Self {
+        ShardedEngineBuilder {
+            index: IndexConfig::default(),
+            objects: None,
+            shards: 1,
+            partitioner: Arc::new(HashPartitioner),
+            data_dir: None,
+        }
+    }
+}
+
+impl<'o> ShardedEngineBuilder<'o> {
+    /// Index construction/buffering parameters, applied to every shard.
+    pub fn index(mut self, config: IndexConfig) -> ShardedEngineBuilder<'o> {
+        self.index = config;
+        self
+    }
+
+    /// The object inventory to partition and index. Object `i` of the
+    /// set gets global id `i`, exactly as in the unsharded engine.
+    pub fn objects(mut self, objects: &'o PointSet) -> ShardedEngineBuilder<'o> {
+        self.objects = Some(objects);
+        self
+    }
+
+    /// Number of shards `K >= 1` (default 1 — a degenerate but valid
+    /// partition, useful as the merge-overhead baseline).
+    pub fn shards(mut self, k: usize) -> ShardedEngineBuilder<'o> {
+        self.shards = k;
+        self
+    }
+
+    /// The partitioner assigning objects to shards (default
+    /// [`HashPartitioner`]).
+    pub fn partitioner(mut self, p: Arc<dyn Partitioner>) -> ShardedEngineBuilder<'o> {
+        self.partitioner = p;
+        self
+    }
+
+    /// Persist every shard under `dir`: shard `i` lives in
+    /// `dir/shard-i/` as a full engine data directory (its own
+    /// `pages.mpq` + `wal.mpq`), and a manifest records the shard count
+    /// and partitioner so [`ShardedEngine::open`] can reassemble the
+    /// partition.
+    pub fn data_dir(mut self, dir: impl AsRef<Path>) -> ShardedEngineBuilder<'o> {
+        self.data_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// Validate, partition and bulk-load all `K` per-shard R-trees.
+    pub fn build(self) -> Result<ShardedEngine, MpqError> {
+        if self.shards == 0 {
+            return Err(MpqError::UnsupportedRequest(
+                "a sharded engine needs at least one shard",
+            ));
+        }
+        let objects = self.objects.ok_or(MpqError::EmptyObjects)?;
+        if objects.is_empty() {
+            return Err(MpqError::EmptyObjects);
+        }
+        let k = self.shards;
+        // Route every object, building one (points, oids) pair per shard.
+        let mut parts: Vec<PointSet> = (0..k).map(|_| PointSet::new(objects.dim())).collect();
+        let mut oids: Vec<Vec<u64>> = vec![Vec::new(); k];
+        for (i, p) in objects.iter() {
+            let oid = i as u64;
+            let s = self.partitioner.shard_of(oid, p, k).min(k - 1);
+            parts[s].push(p);
+            oids[s].push(oid);
+        }
+        if let Some(dir) = &self.data_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut shards = Vec::with_capacity(k);
+        for (s, (part, ids)) in parts.iter().zip(&oids).enumerate() {
+            let mut b = Engine::builder()
+                .index(self.index.clone())
+                .objects(part)
+                .explicit_oids(ids)
+                .allow_empty();
+            if let Some(dir) = &self.data_dir {
+                b = b.data_dir(shard_dir(dir, s));
+            }
+            shards.push(b.build()?);
+        }
+        if let Some(dir) = &self.data_dir {
+            write_manifest(dir, k, &*self.partitioner)?;
+        }
+        Ok(ShardedEngine {
+            dim: objects.dim(),
+            partitioner: self.partitioner,
+            shards,
+            next_oid: AtomicU64::new(objects.len() as u64),
+            data_dir: self.data_dir,
+            evaluations: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            mutator: Mutex::new(()),
+        })
+    }
+}
+
+/// The data directory of shard `s` under a sharded root.
+fn shard_dir(root: &Path, s: usize) -> PathBuf {
+    root.join(format!("shard-{s}"))
+}
+
+/// Write the sharded data-dir manifest (idempotent, overwrites).
+fn write_manifest(dir: &Path, k: usize, partitioner: &dyn Partitioner) -> Result<(), MpqError> {
+    let body = format!(
+        "{MANIFEST_MAGIC}\nshards={k}\npartitioner={}\n",
+        partitioner.id()
+    );
+    std::fs::write(dir.join(MANIFEST_FILE), body)?;
+    Ok(())
+}
+
+/// Parse a sharded data-dir manifest into `(k, partitioner)`.
+fn read_manifest(dir: &Path) -> Result<(usize, Arc<dyn Partitioner>), MpqError> {
+    let body = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
+    let mut lines = body.lines();
+    if lines.next() != Some(MANIFEST_MAGIC) {
+        return Err(MpqError::Io(format!(
+            "not a shard manifest: {}",
+            dir.join(MANIFEST_FILE).display()
+        )));
+    }
+    let mut k = None;
+    let mut partitioner = None;
+    for line in lines {
+        if let Some(v) = line.strip_prefix("shards=") {
+            k = v.parse::<usize>().ok();
+        } else if let Some(v) = line.strip_prefix("partitioner=") {
+            partitioner = Some(partitioner_from_id(v)?);
+        }
+    }
+    match (k, partitioner) {
+        (Some(k), Some(p)) if k >= 1 => Ok((k, p)),
+        _ => Err(MpqError::Io(format!(
+            "malformed shard manifest: {}",
+            dir.join(MANIFEST_FILE).display()
+        ))),
+    }
+}
+
+/// A partitioned matching engine: `K` independent [`Engine`] shards
+/// (each with its own R-tree, buffer pool, WAL segment and epoch
+/// snapshots) behind the familiar evaluation surface, resolved by a
+/// scatter-gather best-pair merge (see the [module docs](self)).
+///
+/// `ShardedEngine` is `Sync` exactly like [`Engine`]: share it behind
+/// an `Arc` and evaluate requests concurrently; mutations are
+/// serialized internally and route to exactly one shard's WAL (two for
+/// a migrating [`GridPartitioner`] update).
+pub struct ShardedEngine {
+    dim: usize,
+    partitioner: Arc<dyn Partitioner>,
+    shards: Vec<Engine>,
+    /// Global id mint: ids `>= next_oid` have never been assigned, in
+    /// any shard. Removal never recycles an id.
+    next_oid: AtomicU64,
+    data_dir: Option<PathBuf>,
+    /// Evaluations actually run through the merge driver.
+    evaluations: AtomicU64,
+    /// Shard probes skipped because the shard's score bound proved it
+    /// could not produce the round's winner.
+    skipped: AtomicU64,
+    /// Serializes mutations (id minting + routing must be atomic).
+    mutator: Mutex<()>,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("dim", &self.dim)
+            .field("shards", &self.shards.len())
+            .field("objects", &self.n_objects())
+            .field("partitioner", &self.partitioner.id())
+            .field("data_dir", &self.data_dir)
+            .finish()
+    }
+}
+
+impl ShardedEngine {
+    /// Start building a sharded engine.
+    pub fn builder<'o>() -> ShardedEngineBuilder<'o> {
+        ShardedEngineBuilder::default()
+    }
+
+    /// Dimensionality of the indexed preference space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of shards `K`.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard engines, in shard order (read access for metrics
+    /// and tests; mutate through the sharded engine only, so routing
+    /// and id minting stay consistent).
+    pub fn shards(&self) -> &[Engine] {
+        &self.shards
+    }
+
+    /// Total live objects across all shards.
+    pub fn n_objects(&self) -> usize {
+        self.shards.iter().map(Engine::n_objects).sum()
+    }
+
+    /// One past the highest global object id ever assigned (ids are
+    /// never recycled — the same contract as [`Engine::oid_bound`]).
+    #[inline]
+    pub fn oid_bound(&self) -> u64 {
+        self.next_oid.load(AtomicOrdering::Acquire)
+    }
+
+    /// The point currently stored for `oid`, searching all shards.
+    pub fn object_point(&self, oid: u64) -> Option<Box<[f64]>> {
+        self.shards.iter().find_map(|s| s.object_point(oid))
+    }
+
+    /// The shard currently holding `oid`, if any. For a
+    /// [`HashPartitioner`] this is a direct computation; point-routed
+    /// partitioners scan (an updated point may have migrated the
+    /// object), which is `O(K log n)`.
+    fn owner_of(&self, oid: u64) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.object_point(oid).is_some())
+    }
+
+    /// The per-shard inventory version vector, in shard order. This is
+    /// the sharded replacement for [`Engine::inventory_version`]: stamp
+    /// cache entries with the whole vector, and a mutation on one shard
+    /// leaves every other component — and thus the cache soundness
+    /// proof for unaffected entries — intact.
+    pub fn version_vector(&self) -> Vec<u64> {
+        self.shards.iter().map(Engine::inventory_version).collect()
+    }
+
+    /// The per-shard [`MutationLog`]s, in shard order (component-wise
+    /// companions to [`ShardedEngine::version_vector`] for
+    /// [`crate::ResultCache::get_with_logs`]).
+    pub fn mutation_logs(&self) -> Vec<&MutationLog> {
+        self.shards.iter().map(Engine::mutation_log).collect()
+    }
+
+    /// Evaluations actually run through the merge driver (cache hits
+    /// served by a fronting service do not count).
+    #[inline]
+    pub fn evaluation_count(&self) -> u64 {
+        self.evaluations.load(AtomicOrdering::Relaxed)
+    }
+
+    /// How many per-shard probes the merge skipped because the shard's
+    /// score upper bound proved it could not win the round — the
+    /// observable for partition-bound effectiveness (plotted by the
+    /// `shard_scaling` bench).
+    #[inline]
+    pub fn skipped_shards(&self) -> u64 {
+        self.skipped.load(AtomicOrdering::Relaxed)
+    }
+
+    /// True iff the shards persist to a data directory.
+    #[inline]
+    pub fn is_persistent(&self) -> bool {
+        self.data_dir.is_some()
+    }
+
+    /// The sharded data directory, if disk-backed.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.data_dir.as_deref()
+    }
+
+    /// Does `dir` hold a persisted *sharded* engine — i.e. would
+    /// [`ShardedEngine::open`] find a manifest to load?
+    pub fn persisted_at(dir: impl AsRef<Path>) -> bool {
+        dir.as_ref().join(MANIFEST_FILE).is_file()
+    }
+
+    /// Reopen a persisted sharded engine with the default
+    /// [`IndexConfig`] (shorthand for [`ShardedEngine::open_with`]).
+    pub fn open(dir: impl AsRef<Path>) -> Result<ShardedEngine, MpqError> {
+        ShardedEngine::open_with(dir, IndexConfig::default())
+    }
+
+    /// Reopen a persisted sharded engine: read the manifest, then
+    /// recover every shard independently (each shard replays its own
+    /// WAL past its own checkpoint — crash recovery is per-shard, and
+    /// the reopened engine serves matchings bit-identical to the
+    /// pre-crash engine over the surviving inventory).
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        config: IndexConfig,
+    ) -> Result<ShardedEngine, MpqError> {
+        let dir = dir.as_ref();
+        let (k, partitioner) = read_manifest(dir)?;
+        let mut shards = Vec::with_capacity(k);
+        for s in 0..k {
+            shards.push(Engine::open_shard(&shard_dir(dir, s), config.clone())?);
+        }
+        if shards.iter().all(|s| s.n_objects() == 0) {
+            return Err(MpqError::EmptyObjects);
+        }
+        let next_oid = shards.iter().map(Engine::oid_bound).max().unwrap_or(0);
+        Ok(ShardedEngine {
+            dim: shards[0].dim(),
+            partitioner,
+            shards,
+            next_oid: AtomicU64::new(next_oid),
+            data_dir: Some(dir.to_path_buf()),
+            evaluations: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            mutator: Mutex::new(()),
+        })
+    }
+
+    /// Checkpoint every shard: fold each shard's WAL into its page file
+    /// (see [`Engine::checkpoint`]).
+    pub fn checkpoint(&self) -> Result<(), MpqError> {
+        for s in &self.shards {
+            s.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Summed write-ahead-log size across all shards.
+    pub fn wal_bytes(&self) -> u64 {
+        self.shards.iter().map(Engine::wal_bytes).sum()
+    }
+
+    /// Summed storage-level I/O across all shards.
+    pub fn storage_stats(&self) -> IoStats {
+        self.shards
+            .iter()
+            .map(Engine::storage_stats)
+            .fold(IoStats::default(), |a, b| a + b)
+    }
+
+    /// Per-shard operator gauges, in shard order (surfaced by
+    /// `/metrics` so partition skew is visible).
+    pub fn shard_gauges(&self) -> Vec<ShardGauges> {
+        self.shards
+            .iter()
+            .map(|s| ShardGauges {
+                objects: s.n_objects(),
+                tree_height: s.tree().height(),
+                buffer_hit_rate: s.tree().io_stats().hit_ratio(),
+                wal_bytes: s.wal_bytes(),
+            })
+            .collect()
+    }
+
+    /// Insert a new object: mint the next global id, route it through
+    /// the partitioner, and apply it to exactly one shard (one WAL
+    /// record, one version-vector component bumped).
+    pub fn insert_object(&self, point: &[f64]) -> Result<u64, MpqError> {
+        let _m = lock(&self.mutator);
+        let oid = self.next_oid.load(AtomicOrdering::Relaxed);
+        let k = self.shards.len();
+        let s = self.partitioner.shard_of(oid, point, k).min(k - 1);
+        self.shards[s].insert_object_at(oid, point)?;
+        self.next_oid.store(oid + 1, AtomicOrdering::Release);
+        Ok(oid)
+    }
+
+    /// Remove an object from whichever shard holds it. Refuses to empty
+    /// the *global* inventory (a shard may legally drain to zero).
+    pub fn remove_object(&self, oid: u64) -> Result<(), MpqError> {
+        let _m = lock(&self.mutator);
+        let owner = self.owner_of(oid).ok_or(MpqError::UnknownObject { oid })?;
+        if self.n_objects() == 1 {
+            return Err(MpqError::UnsupportedRequest(
+                "removing the last object would empty the inventory",
+            ));
+        }
+        self.shards[owner].remove_object_allow_empty(oid)
+    }
+
+    /// Move an object to a new point. With an id-routed partitioner the
+    /// owner shard updates in place (one WAL record); with a
+    /// point-routed partitioner the object may *migrate* — an insert
+    /// into the new home shard followed by a remove from the old owner
+    /// (two WAL records in two segments, insert first so a crash
+    /// between them never loses the object; see [`GridPartitioner`]).
+    pub fn update_object(&self, oid: u64, point: &[f64]) -> Result<(), MpqError> {
+        let _m = lock(&self.mutator);
+        let owner = self.owner_of(oid).ok_or(MpqError::UnknownObject { oid })?;
+        let k = self.shards.len();
+        let home = self.partitioner.shard_of(oid, point, k).min(k - 1);
+        if home == owner {
+            return self.shards[owner].update_object(oid, point);
+        }
+        self.shards[home].insert_object_at(oid, point)?;
+        self.shards[owner].remove_object_allow_empty(oid)
+    }
+
+    /// Build a [`FunctionSet`] from raw weight rows (same contract as
+    /// [`Engine::functions_from_rows`]).
+    pub fn functions_from_rows(&self, rows: &[Vec<f64>]) -> Result<FunctionSet, MpqError> {
+        FunctionSet::try_from_rows(self.dim, rows)
+            .map_err(|(index, source)| MpqError::InvalidFunction { index, source })
+    }
+
+    /// Start a [`ShardedMatchRequest`] for `functions` with default
+    /// options.
+    pub fn request<'e, 'f>(&'e self, functions: &'f FunctionSet) -> ShardedMatchRequest<'e, 'f> {
+        ShardedMatchRequest {
+            engine: self,
+            functions,
+            options: RequestOptions::default(),
+        }
+    }
+
+    /// Evaluate `functions` with default options (shorthand for
+    /// [`ShardedMatchRequest::evaluate`]).
+    pub fn evaluate(&self, functions: &FunctionSet) -> Result<Matching, MpqError> {
+        self.request(functions).evaluate()
+    }
+
+    /// Progressive evaluation: stable pairs are yielded as soon as the
+    /// merge resolves them, in canonical (descending) order. Mirrors
+    /// [`Engine::stream`]'s request shape: SB with incremental
+    /// maintenance, no capacities.
+    pub fn stream<'e>(&'e self, functions: &FunctionSet) -> Result<ShardedStream<'e>, MpqError> {
+        self.request(functions).stream()
+    }
+
+    /// Evaluate independent requests on a scoped worker pool, returning
+    /// matchings **in input order** plus aggregated [`BatchMetrics`] —
+    /// the sharded mirror of [`Engine::evaluate_batch`]. `threads == 0`
+    /// means one worker per available core.
+    pub fn evaluate_batch(
+        &self,
+        requests: &[ShardedMatchRequest<'_, '_>],
+        threads: usize,
+    ) -> Result<BatchOutcome, MpqError> {
+        let wall_start = Instant::now();
+        let n = requests.len();
+        let threads = crate::service::resolved_workers(threads).clamp(1, n.max(1));
+        for request in requests {
+            if !std::ptr::eq(request.engine, self) {
+                return Err(MpqError::UnsupportedRequest(
+                    "request was built against a different engine than this batch's",
+                ));
+            }
+            request.validate()?;
+        }
+        let next = AtomicU64::new(0);
+        let results: Vec<Mutex<Option<Matching>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, AtomicOrdering::Relaxed) as usize;
+                    if i >= n {
+                        break;
+                    }
+                    let m = run_sharded_merge(self, requests[i].functions, &requests[i].options);
+                    *lock(&results[i]) = Some(m);
+                });
+            }
+        });
+        let matchings: Vec<Matching> = results
+            .into_iter()
+            .map(|m| lock(&m).take().expect("every request evaluated"))
+            .collect();
+        let mut metrics = BatchMetrics {
+            threads,
+            requests: n,
+            ..BatchMetrics::default()
+        };
+        for m in &matchings {
+            let r = m.metrics();
+            metrics.io += r.io;
+            metrics.cpu_total += r.elapsed;
+            metrics.loops += r.loops;
+            metrics.top1_searches += r.top1_searches;
+            metrics.reverse_top1_calls += r.reverse_top1_calls;
+        }
+        metrics.wall = wall_start.elapsed();
+        Ok(BatchOutcome::from_parts(matchings, metrics))
+    }
+
+    /// Start a long-lived [`EngineService`] over this sharded engine —
+    /// the same worker pool, bounded queue, tickets and result cache as
+    /// [`Engine::serve`], with cache entries stamped by the per-shard
+    /// version vector.
+    pub fn serve(self: Arc<Self>, config: ServiceConfig) -> EngineService {
+        EngineService::spawn_sharded(self, config)
+    }
+
+    /// Shared function validation (mirrors the unsharded engine's).
+    fn validate_functions(&self, functions: &FunctionSet) -> Result<(), MpqError> {
+        if functions.n_alive() == 0 {
+            return Err(MpqError::EmptyFunctions);
+        }
+        if functions.dim() != self.dim {
+            return Err(MpqError::DimensionMismatch {
+                engine: self.dim,
+                functions: functions.dim(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Request-shape checks for the sharded path — the same contract as the
+/// unsharded [`validate_options_shape`], against the sharded engine's
+/// global `oid_bound`.
+pub(crate) fn validate_sharded_options(
+    engine: &ShardedEngine,
+    functions: &FunctionSet,
+    options: &RequestOptions,
+) -> Result<(), MpqError> {
+    engine.validate_functions(functions)?;
+    validate_options_shape(engine.oid_bound() as usize, options)
+}
+
+/// The one sharded evaluation path: validate, then run the
+/// scatter-gather merge (all algorithms produce the canonical matching,
+/// so the merge serves every [`Algorithm`]).
+pub(crate) fn evaluate_sharded_options(
+    engine: &ShardedEngine,
+    functions: &FunctionSet,
+    options: &RequestOptions,
+) -> Result<Matching, MpqError> {
+    validate_sharded_options(engine, functions, options)?;
+    Ok(run_sharded_merge(engine, functions, options))
+}
+
+/// One evaluation against a prepared [`ShardedEngine`], configured
+/// fluently — the sharded mirror of [`crate::MatchRequest`]. All three
+/// algorithms resolve through the same merge (the canonical matching is
+/// unique), so [`ShardedMatchRequest::algorithm`] only affects request
+/// validation and cache identity.
+#[derive(Debug)]
+pub struct ShardedMatchRequest<'e, 'f> {
+    engine: &'e ShardedEngine,
+    functions: &'f FunctionSet,
+    options: RequestOptions,
+}
+
+impl<'e> ShardedMatchRequest<'e, '_> {
+    /// Select the algorithm (default [`Algorithm::Sb`]). The sharded
+    /// merge produces the identical canonical matching for all three.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.options.algorithm = algorithm;
+        self
+    }
+
+    /// Mask out objects (same contract as [`crate::MatchRequest::exclude`]).
+    pub fn exclude<I: IntoIterator<Item = u64>>(mut self, oids: I) -> Self {
+        self.options.exclude.extend(oids);
+        self
+    }
+
+    /// Per-object capacities, indexed by global object id up to
+    /// [`ShardedEngine::oid_bound`] (same contract as
+    /// [`crate::MatchRequest::capacities`]).
+    pub fn capacities(mut self, caps: &[u32]) -> Self {
+        self.options.capacities = Some(caps.to_vec());
+        self
+    }
+
+    /// The engine this request was built against.
+    pub(crate) fn engine(&self) -> &'e ShardedEngine {
+        self.engine
+    }
+
+    /// Detach into owned parts for the service queue (mirrors
+    /// [`crate::MatchRequest`]'s pathway).
+    pub(crate) fn owned_parts(&self) -> (FunctionSet, RequestOptions) {
+        (self.functions.clone(), self.options.clone())
+    }
+
+    /// The canonical cache identity of this request — computed by the
+    /// same keying function as the unsharded path, so a sharded
+    /// service's cache behaves identically.
+    pub fn cache_key(&self) -> RequestKey {
+        crate::cache::request_key(self.functions, &self.options)
+    }
+
+    /// All the request-shape checks evaluation can fail on.
+    pub(crate) fn validate(&self) -> Result<(), MpqError> {
+        validate_sharded_options(self.engine, self.functions, &self.options)
+    }
+
+    /// Validate and evaluate the request through the scatter-gather
+    /// merge. Pairs are emitted in canonical (descending) order;
+    /// the matching is bit-identical to the unsharded engine's
+    /// canonical result.
+    pub fn evaluate(&self) -> Result<Matching, MpqError> {
+        evaluate_sharded_options(self.engine, self.functions, &self.options)
+    }
+
+    /// Progressive evaluation: yield stable pairs as the merge resolves
+    /// them. Mirrors [`crate::MatchRequest::stream`]'s shape requirements.
+    pub fn stream(&self) -> Result<ShardedStream<'e>, MpqError> {
+        self.validate()?;
+        if self.options.algorithm != Algorithm::Sb {
+            return Err(MpqError::UnsupportedRequest(
+                "streaming is only supported with Algorithm::Sb",
+            ));
+        }
+        if self.options.capacities.is_some() {
+            return Err(MpqError::UnsupportedRequest(
+                "streaming does not support capacities",
+            ));
+        }
+        self.engine
+            .evaluations
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        Ok(ShardedStream {
+            state: MergeState::new(self.engine, self.functions, &self.options),
+        })
+    }
+}
+
+/// Per-shard operator gauges (object count, tree height, buffer hit
+/// rate, WAL bytes) surfaced by
+/// [`ServiceMetrics`](crate::service::ServiceMetrics) and `/metrics` so
+/// partition skew is visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardGauges {
+    /// Live objects in the shard.
+    pub objects: usize,
+    /// Height of the shard's R-tree (levels; 1 = root leaf).
+    pub tree_height: u32,
+    /// Buffer-pool hit ratio of the shard's tree, in `[0, 1]`.
+    pub buffer_hit_rate: f64,
+    /// Current WAL segment size in bytes (0 for in-memory shards).
+    pub wal_bytes: u64,
+}
+
+/// Progressive sharded evaluation: an iterator yielding stable pairs in
+/// canonical (descending) order as the scatter-gather merge resolves
+/// them (the sharded mirror of [`crate::SbStream`]).
+pub struct ShardedStream<'e> {
+    state: MergeState<'e>,
+}
+
+impl Iterator for ShardedStream<'_> {
+    type Item = Pair;
+
+    fn next(&mut self) -> Option<Pair> {
+        self.state.next_pair()
+    }
+}
+
+/// One shard's evaluator state: its own working function-set copy,
+/// reverse top-1 index, skyline maintainer, cached best-function table
+/// and capacity view. Everything the driver learns from it travels as
+/// candidate [`Pair`] messages; everything it learns from the driver
+/// travels as assignment broadcasts.
+struct ShardProbe<'e> {
+    io: IoSession<'e>,
+    io_start: IoStats,
+    fs: FunctionSet,
+    rt1: ReverseTopOne,
+    sky: SkylineMaintainer,
+    /// Remaining capacity by global oid; only this shard's oids are
+    /// ever consulted (each shard owns a disjoint slice of the id
+    /// space, so a full-length vector is just the simplest container).
+    remaining: Vec<u32>,
+    fbest: HashMap<u64, (u32, f64)>,
+    reverse_top1_calls: u64,
+}
+
+impl<'e> ShardProbe<'e> {
+    fn new(engine: &'e Engine, functions: &FunctionSet, remaining: Vec<u32>) -> ShardProbe<'e> {
+        let io = IoSession::new(engine.tree());
+        let io_start = io.stats();
+        let fs = functions.clone();
+        let rt1 = ReverseTopOne::build(&fs);
+        let sky = SkylineMaintainer::build(&io);
+        let mut probe = ShardProbe {
+            io,
+            io_start,
+            fs,
+            rt1,
+            sky,
+            remaining,
+            fbest: HashMap::new(),
+            reverse_top1_calls: 0,
+        };
+        // Objects unavailable from the start (zero capacity / excluded)
+        // must leave the skyline before the first probe; removal can
+        // promote other unavailable objects, so iterate.
+        let dead: Vec<u64> = probe
+            .sky
+            .iter()
+            .filter(|e| probe.remaining[e.oid as usize] == 0)
+            .map(|e| e.oid)
+            .collect();
+        probe.peel(dead);
+        probe
+    }
+
+    /// Remove exhausted objects from the skyline, peeling promoted
+    /// objects that are themselves exhausted (mirrors the unsharded
+    /// capacity path exactly).
+    fn peel(&mut self, mut to_remove: Vec<u64>) {
+        while !to_remove.is_empty() {
+            let promoted = self.sky.remove(&to_remove, &self.io);
+            to_remove = promoted
+                .iter()
+                .filter(|(oid, _)| self.remaining[*oid as usize] == 0)
+                .map(|(oid, _)| *oid)
+                .collect();
+        }
+    }
+
+    /// Scatter message: compute (or serve from the `fbest` cache) the
+    /// shard's current best candidate pair. `None` means the shard is
+    /// exhausted — its skyline is empty and can never refill.
+    fn probe(&mut self) -> Option<Pair> {
+        if self.fs.n_alive() == 0 {
+            return None;
+        }
+        let mut best: Option<Pair> = None;
+        for e in self.sky.iter() {
+            let &mut (fid, score) = match self.fbest.entry(e.oid) {
+                Entry::Occupied(o) => o.into_mut(),
+                Entry::Vacant(v) => {
+                    self.reverse_top1_calls += 1;
+                    let b = self
+                        .rt1
+                        .best_for(&self.fs, e.point)
+                        .expect("functions remain");
+                    v.insert(b)
+                }
+            };
+            let cand = Pair {
+                fid,
+                oid: e.oid,
+                score,
+            };
+            if best.as_ref().is_none_or(|b| cand.beats(b)) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+
+    /// Assignment broadcast: the global winner is `pair`. Every shard
+    /// retires the assigned function; the owner additionally consumes
+    /// one capacity unit and retires the object when exhausted. Returns
+    /// true iff this shard owned the object.
+    fn assign(&mut self, pair: &Pair) -> bool {
+        self.fs.remove(pair.fid);
+        // cached candidates computed against the retired function are
+        // stale
+        self.fbest.retain(|_, (fid, _)| *fid != pair.fid);
+        let owned = self.sky.contains(pair.oid);
+        if owned {
+            self.remaining[pair.oid as usize] -= 1;
+            if self.remaining[pair.oid as usize] == 0 {
+                self.fbest.remove(&pair.oid);
+                self.peel(vec![pair.oid]);
+            }
+        }
+        owned
+    }
+}
+
+/// Driver state of one scatter-gather merge, usable both as a one-shot
+/// evaluation (drain it) and as a progressive stream (pull pairs).
+struct MergeState<'e> {
+    engine: &'e ShardedEngine,
+    shards: Vec<ShardProbe<'e>>,
+    /// Last gathered candidate per shard. For a stale shard the stored
+    /// score doubles as the shard's upper bound (per-shard best scores
+    /// are non-increasing over assignments).
+    candidates: Vec<Option<Pair>>,
+    /// Shards whose cached candidate may have changed since gathering.
+    stale: Vec<bool>,
+    /// Shards whose skyline drained — they can never produce candidates
+    /// again and are excluded from refreshes.
+    exhausted: Vec<bool>,
+    rounds: u64,
+}
+
+impl<'e> MergeState<'e> {
+    fn new(
+        engine: &'e ShardedEngine,
+        functions: &FunctionSet,
+        options: &RequestOptions,
+    ) -> MergeState<'e> {
+        let oid_bound = engine.oid_bound() as usize;
+        let mut remaining: Vec<u32> = match &options.capacities {
+            Some(caps) => caps.clone(),
+            None => vec![1; oid_bound],
+        };
+        for &oid in &options.exclude {
+            if let Some(slot) = remaining.get_mut(oid as usize) {
+                *slot = 0;
+            }
+        }
+        let k = engine.shards.len();
+        let mut shards: Vec<Option<ShardProbe<'e>>> = (0..k).map(|_| None).collect();
+        let mut candidates: Vec<Option<Pair>> = vec![None; k];
+        if k == 1 {
+            let mut probe = ShardProbe::new(&engine.shards[0], functions, remaining);
+            candidates[0] = probe.probe();
+            shards[0] = Some(probe);
+        } else {
+            // Initial scatter: build and probe every shard in parallel
+            // (the expensive round — later rounds refresh only the
+            // shards an assignment touched).
+            std::thread::scope(|scope| {
+                for ((slot, cand), shard) in shards
+                    .iter_mut()
+                    .zip(candidates.iter_mut())
+                    .zip(&engine.shards)
+                {
+                    let remaining = remaining.clone();
+                    scope.spawn(move || {
+                        let mut probe = ShardProbe::new(shard, functions, remaining);
+                        *cand = probe.probe();
+                        *slot = Some(probe);
+                    });
+                }
+            });
+        }
+        let shards: Vec<ShardProbe<'e>> = shards
+            .into_iter()
+            .map(|s| s.expect("every shard probed"))
+            .collect();
+        let exhausted: Vec<bool> = candidates.iter().map(Option::is_none).collect();
+        MergeState {
+            engine,
+            shards,
+            candidates,
+            stale: vec![false; k],
+            exhausted,
+            rounds: 0,
+        }
+    }
+
+    /// Resolve and emit the next globally best pair, or `None` when the
+    /// matching is complete.
+    fn next_pair(&mut self) -> Option<Pair> {
+        if self.shards.is_empty() || self.shards[0].fs.n_alive() == 0 {
+            return None;
+        }
+        let k = self.shards.len();
+        // Gather/merge loop: the best *fresh* candidate is the winner
+        // once every stale shard either re-probed or was pruned by its
+        // bound. A stale shard's previous candidate score bounds
+        // everything it can still produce, so `bound < winner.score`
+        // (strictly — an equal score could still win the fid/oid
+        // tie-break) proves the shard irrelevant this round.
+        let winner = loop {
+            let best = self
+                .candidates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !self.stale[*i])
+                .filter_map(|(_, c)| *c)
+                .fold(None, |acc: Option<Pair>, c| match acc {
+                    Some(b) if !c.beats(&b) => Some(b),
+                    _ => Some(c),
+                });
+            let mut refreshed = false;
+            for i in 0..k {
+                if !self.stale[i] || self.exhausted[i] {
+                    continue;
+                }
+                let pruned = match (&self.candidates[i], &best) {
+                    (Some(c), Some(w)) => c.score < w.score,
+                    _ => false,
+                };
+                if pruned {
+                    self.engine.skipped.fetch_add(1, AtomicOrdering::Relaxed);
+                    continue;
+                }
+                self.candidates[i] = self.shards[i].probe();
+                if self.candidates[i].is_none() {
+                    self.exhausted[i] = true;
+                }
+                self.stale[i] = false;
+                refreshed = true;
+            }
+            if !refreshed {
+                break best;
+            }
+        };
+        let pair = winner?;
+        self.rounds += 1;
+        // Broadcast the assignment; shards whose cached candidate used
+        // the retired function — and the owner — must re-probe before
+        // their candidate competes again.
+        for i in 0..k {
+            let owned = self.shards[i].assign(&pair);
+            let fid_hit = self.candidates[i].is_some_and(|c| c.fid == pair.fid);
+            if (owned || fid_hit) && !self.exhausted[i] {
+                self.stale[i] = true;
+            }
+        }
+        Some(pair)
+    }
+
+    /// Summed per-shard I/O since the probes were built.
+    fn io_total(&self) -> IoStats {
+        self.shards
+            .iter()
+            .map(|s| s.io.stats().since(s.io_start))
+            .fold(IoStats::default(), |a, b| a + b)
+    }
+
+    fn reverse_top1_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.reverse_top1_calls).sum()
+    }
+}
+
+/// Run one full scatter-gather merge (the sharded mirror of the
+/// unsharded engine's single evaluation path). The caller has already
+/// validated the request shape.
+fn run_sharded_merge(
+    engine: &ShardedEngine,
+    functions: &FunctionSet,
+    options: &RequestOptions,
+) -> Matching {
+    engine.evaluations.fetch_add(1, AtomicOrdering::Relaxed);
+    let start = Instant::now();
+    let mut state = MergeState::new(engine, functions, options);
+    let mut pairs = Vec::new();
+    while let Some(p) = state.next_pair() {
+        pairs.push(p);
+    }
+    let metrics = RunMetrics {
+        elapsed: start.elapsed(),
+        io: state.io_total(),
+        loops: state.rounds,
+        reverse_top1_calls: state.reverse_top1_total(),
+        ..RunMetrics::default()
+    };
+    Matching::new(pairs, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_datagen::WorkloadBuilder;
+
+    fn workload(objects: usize, functions: usize, seed: u64) -> (PointSet, FunctionSet) {
+        let w = WorkloadBuilder::new()
+            .objects(objects)
+            .functions(functions)
+            .dim(3)
+            .seed(seed)
+            .build();
+        (w.objects, w.functions)
+    }
+
+    #[test]
+    fn hash_partitioner_is_stable_and_in_range() {
+        let p = HashPartitioner;
+        for oid in 0..500u64 {
+            for k in [1usize, 2, 4, 8] {
+                let s = p.shard_of(oid, &[0.5, 0.5], k);
+                assert!(s < k);
+                assert_eq!(s, p.shard_of(oid, &[0.1, 0.9], k), "point-independent");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_partitioner_slices_the_axis() {
+        let p = GridPartitioner { axis: 0 };
+        assert_eq!(p.shard_of(0, &[0.0, 0.5], 4), 0);
+        assert_eq!(p.shard_of(0, &[0.99, 0.5], 4), 3);
+        assert_eq!(p.shard_of(0, &[1.0, 0.5], 4), 3, "1.0 clamps into range");
+        assert_eq!(p.shard_of(1, &[0.3, 0.5], 1), 0);
+    }
+
+    #[test]
+    fn partitioner_ids_round_trip() {
+        for p in [
+            Box::new(HashPartitioner) as Box<dyn Partitioner>,
+            Box::new(GridPartitioner { axis: 2 }),
+        ] {
+            let rebuilt = partitioner_from_id(&p.id()).unwrap();
+            for oid in 0..64u64 {
+                let pt = [0.25, 0.5, 0.75];
+                assert_eq!(p.shard_of(oid, &pt, 8), rebuilt.shard_of(oid, &pt, 8));
+            }
+        }
+        assert!(partitioner_from_id("mystery").is_err());
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards_and_empty_objects() {
+        let (objects, _) = workload(10, 4, 1);
+        let err = ShardedEngine::builder()
+            .objects(&objects)
+            .shards(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MpqError::UnsupportedRequest(_)));
+        let empty = PointSet::new(3);
+        let err = ShardedEngine::builder()
+            .objects(&empty)
+            .shards(2)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, MpqError::EmptyObjects);
+    }
+
+    #[test]
+    fn shards_cover_all_objects_disjointly() {
+        let (objects, _) = workload(200, 8, 7);
+        for k in [1usize, 3, 8] {
+            let sharded = ShardedEngine::builder()
+                .objects(&objects)
+                .shards(k)
+                .build()
+                .unwrap();
+            assert_eq!(sharded.shard_count(), k);
+            assert_eq!(sharded.n_objects(), 200);
+            let mut seen = std::collections::HashSet::new();
+            for s in sharded.shards() {
+                for oid in 0..200u64 {
+                    if s.object_point(oid).is_some() && !seen.insert((oid, s as *const Engine)) {
+                        panic!("oid {oid} indexed twice in one shard");
+                    }
+                }
+            }
+            for oid in 0..200u64 {
+                let holders = sharded
+                    .shards()
+                    .iter()
+                    .filter(|s| s.object_point(oid).is_some())
+                    .count();
+                assert_eq!(holders, 1, "oid {oid} held by {holders} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_canonical_result() {
+        let (objects, functions) = workload(300, 24, 11);
+        let unsharded = Engine::builder().objects(&objects).build().unwrap();
+        let want = unsharded
+            .request(&functions)
+            .evaluate()
+            .unwrap()
+            .sorted_pairs();
+        for k in [1usize, 2, 4, 8] {
+            let sharded = ShardedEngine::builder()
+                .objects(&objects)
+                .shards(k)
+                .build()
+                .unwrap();
+            let got = sharded.evaluate(&functions).unwrap().sorted_pairs();
+            assert_eq!(got, want, "K={k} diverged from unsharded");
+        }
+    }
+
+    #[test]
+    fn grid_partitioner_matches_too() {
+        let (objects, functions) = workload(180, 16, 23);
+        let unsharded = Engine::builder().objects(&objects).build().unwrap();
+        let want = unsharded
+            .request(&functions)
+            .evaluate()
+            .unwrap()
+            .sorted_pairs();
+        let sharded = ShardedEngine::builder()
+            .objects(&objects)
+            .shards(4)
+            .partitioner(Arc::new(GridPartitioner { axis: 1 }))
+            .build()
+            .unwrap();
+        assert_eq!(sharded.evaluate(&functions).unwrap().sorted_pairs(), want);
+    }
+
+    #[test]
+    fn stream_yields_the_matching_progressively() {
+        let (objects, functions) = workload(120, 10, 31);
+        let sharded = ShardedEngine::builder()
+            .objects(&objects)
+            .shards(3)
+            .build()
+            .unwrap();
+        let eager = sharded.evaluate(&functions).unwrap();
+        let streamed: Vec<Pair> = sharded.stream(&functions).unwrap().collect();
+        assert_eq!(streamed, eager.pairs().to_vec());
+    }
+
+    #[test]
+    fn mutations_route_to_exactly_one_shard() {
+        let (objects, _) = workload(50, 4, 41);
+        let sharded = ShardedEngine::builder()
+            .objects(&objects)
+            .shards(4)
+            .build()
+            .unwrap();
+        let before = sharded.version_vector();
+        let oid = sharded.insert_object(&[0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(oid, 50);
+        let after = sharded.version_vector();
+        let bumped = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        assert_eq!(bumped, 1, "an insert must bump exactly one component");
+        assert_eq!(sharded.n_objects(), 51);
+        sharded.remove_object(oid).unwrap();
+        assert_eq!(sharded.n_objects(), 50);
+        assert!(matches!(
+            sharded.remove_object(999),
+            Err(MpqError::UnknownObject { oid: 999 })
+        ));
+    }
+
+    #[test]
+    fn skipped_shard_counter_advances_on_pruning() {
+        let (objects, functions) = workload(400, 32, 53);
+        let sharded = ShardedEngine::builder()
+            .objects(&objects)
+            .shards(8)
+            .build()
+            .unwrap();
+        sharded.evaluate(&functions).unwrap();
+        // Not guaranteed for adversarial inputs, but on a random
+        // workload with 8 shards and 32 rounds some shard must lose a
+        // round by a strict margin.
+        assert!(
+            sharded.skipped_shards() > 0,
+            "bound pruning never skipped a probe"
+        );
+    }
+
+    #[test]
+    fn sharded_engine_persists_and_reopens() {
+        let dir = std::env::temp_dir().join(format!(
+            "mpq-shard-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (objects, functions) = workload(90, 12, 67);
+        let want = {
+            let sharded = ShardedEngine::builder()
+                .objects(&objects)
+                .shards(3)
+                .data_dir(&dir)
+                .build()
+                .unwrap();
+            assert!(ShardedEngine::persisted_at(&dir));
+            sharded.insert_object(&[0.4, 0.4, 0.4]).unwrap();
+            sharded.evaluate(&functions).unwrap().sorted_pairs()
+        };
+        let reopened = ShardedEngine::open(&dir).unwrap();
+        assert_eq!(reopened.shard_count(), 3);
+        assert_eq!(reopened.n_objects(), 91);
+        assert_eq!(reopened.oid_bound(), 91);
+        assert_eq!(reopened.evaluate(&functions).unwrap().sorted_pairs(), want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gauges_cover_every_shard() {
+        let (objects, _) = workload(64, 4, 71);
+        let sharded = ShardedEngine::builder()
+            .objects(&objects)
+            .shards(4)
+            .build()
+            .unwrap();
+        let gauges = sharded.shard_gauges();
+        assert_eq!(gauges.len(), 4);
+        assert_eq!(gauges.iter().map(|g| g.objects).sum::<usize>(), 64);
+        assert!(gauges.iter().all(|g| g.tree_height >= 1));
+    }
+}

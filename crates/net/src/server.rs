@@ -407,17 +407,13 @@ fn handle_match(
     if let Some(ms) = wire.deadline_ms {
         options = options.deadline(Duration::from_millis(ms));
     }
-    let submitted = {
-        let engine = tenant.engine();
-        let mut req = engine
-            .request(&wire.functions)
-            .algorithm(wire.algorithm)
-            .exclude(wire.exclude.iter().copied());
-        if let Some(caps) = &wire.capacities {
-            req = req.capacities(caps);
-        }
-        tenant.client().submit_with(req, options)
-    };
+    let submitted = tenant.submit_match(
+        &wire.functions,
+        wire.algorithm,
+        &wire.exclude,
+        wire.capacities.as_deref(),
+        options,
+    );
     let ticket = match submitted {
         Ok(ticket) => ticket,
         Err(e) => return Outcome::Respond(mpq_error_response(&e, tenant)),

@@ -22,7 +22,11 @@ use std::thread;
 use std::time::Duration;
 
 use mpq_core::service::{BackpressurePolicy, QueueOrdering};
-use mpq_core::{Engine, EngineService, HealthMonitor, MpqError, ServiceClient, ServiceConfig};
+use mpq_core::{
+    Algorithm, Engine, EngineService, HealthMonitor, MpqError, ServiceClient, ServiceConfig,
+    ShardedEngine, SubmitOptions, Ticket,
+};
+use mpq_ta::FunctionSet;
 
 use crate::codec::WireMutation;
 use mpq_rtree::PointSet;
@@ -40,6 +44,10 @@ pub struct TenantConfig {
     pub cache_max_bytes: usize,
     /// Rolling latency window for p50/p99 (also feeds `Retry-After`).
     pub latency_window: usize,
+    /// Shards of the hosted engine: `1` hosts a plain [`Engine`], `> 1`
+    /// a [`ShardedEngine`] with this many hash-partitioned shards.
+    /// `0` is rejected at tenant creation.
+    pub shards: usize,
 }
 
 impl Default for TenantConfig {
@@ -50,6 +58,7 @@ impl Default for TenantConfig {
             cache_capacity: 256,
             cache_max_bytes: 32 * 1024 * 1024,
             latency_window: 1024,
+            shards: 1,
         }
     }
 }
@@ -85,11 +94,63 @@ impl TenantConfig {
 /// first success restores `Healthy`.
 pub struct Tenant {
     name: String,
-    engine: Arc<Engine>,
+    engine: TenantEngine,
     service: EngineService,
     client: ServiceClient,
     probe_stop: Arc<AtomicBool>,
     probe_handle: Option<thread::JoinHandle<()>>,
+}
+
+/// The engine a tenant hosts: a plain [`Engine`] or, with
+/// `shards=K > 1` in its [`TenantConfig`], a [`ShardedEngine`]. Both
+/// expose the same wire surface (match submission, mutations,
+/// checkpoint-as-repair), so everything above this enum is
+/// shard-agnostic.
+#[derive(Clone)]
+enum TenantEngine {
+    Single(Arc<Engine>),
+    Sharded(Arc<ShardedEngine>),
+}
+
+impl TenantEngine {
+    fn checkpoint(&self) -> Result<(), MpqError> {
+        match self {
+            TenantEngine::Single(e) => e.checkpoint(),
+            TenantEngine::Sharded(s) => s.checkpoint(),
+        }
+    }
+
+    fn insert_object(&self, point: &[f64]) -> Result<u64, MpqError> {
+        match self {
+            TenantEngine::Single(e) => e.insert_object(point),
+            TenantEngine::Sharded(s) => s.insert_object(point),
+        }
+    }
+
+    fn remove_object(&self, oid: u64) -> Result<(), MpqError> {
+        match self {
+            TenantEngine::Single(e) => e.remove_object(oid),
+            TenantEngine::Sharded(s) => s.remove_object(oid),
+        }
+    }
+
+    fn update_object(&self, oid: u64, point: &[f64]) -> Result<(), MpqError> {
+        match self {
+            TenantEngine::Single(e) => e.update_object(oid, point),
+            TenantEngine::Sharded(s) => s.update_object(oid, point),
+        }
+    }
+
+    /// A monotone scalar version for mutation acks: the single engine's
+    /// inventory version, or the sum of the sharded version vector
+    /// (each mutation bumps exactly one component, so the sum advances
+    /// by one per committed mutation).
+    fn ack_version(&self) -> u64 {
+        match self {
+            TenantEngine::Single(e) => e.inventory_version(),
+            TenantEngine::Sharded(s) => s.version_vector().iter().sum(),
+        }
+    }
 }
 
 impl Drop for Tenant {
@@ -107,7 +168,7 @@ impl Drop for Tenant {
 const PROBE_POLL: Duration = Duration::from_millis(10);
 
 fn spawn_probe(
-    engine: Arc<Engine>,
+    engine: TenantEngine,
     health: Arc<HealthMonitor>,
     stop: Arc<AtomicBool>,
 ) -> thread::JoinHandle<()> {
@@ -141,13 +202,77 @@ impl Tenant {
 
     /// The hosted engine (for request building and direct evaluation in
     /// tests).
+    ///
+    /// # Panics
+    ///
+    /// If the tenant hosts a sharded engine (`shards > 1`) — use
+    /// [`Tenant::sharded`] there, or the shard-agnostic
+    /// [`Tenant::submit_match`].
     pub fn engine(&self) -> &Arc<Engine> {
-        &self.engine
+        match &self.engine {
+            TenantEngine::Single(engine) => engine,
+            TenantEngine::Sharded(_) => {
+                panic!("this tenant hosts a sharded engine; use Tenant::sharded")
+            }
+        }
+    }
+
+    /// The hosted [`ShardedEngine`], when this tenant was created with
+    /// `shards > 1`; `None` for a plain engine.
+    pub fn sharded(&self) -> Option<&Arc<ShardedEngine>> {
+        match &self.engine {
+            TenantEngine::Single(_) => None,
+            TenantEngine::Sharded(sharded) => Some(sharded),
+        }
+    }
+
+    /// Shards of the hosted engine (`1` for a plain engine).
+    pub fn shard_count(&self) -> usize {
+        match &self.engine {
+            TenantEngine::Single(_) => 1,
+            TenantEngine::Sharded(sharded) => sharded.shard_count(),
+        }
     }
 
     /// A cloneable submission handle to this tenant's service.
     pub fn client(&self) -> &ServiceClient {
         &self.client
+    }
+
+    /// Build and submit a match request against whichever engine this
+    /// tenant hosts — the shard-agnostic submission path the wire layer
+    /// uses. Validation, cache consultation and in-flight dedupe all
+    /// behave identically for both engine kinds.
+    pub fn submit_match(
+        &self,
+        functions: &FunctionSet,
+        algorithm: Algorithm,
+        exclude: &[u64],
+        capacities: Option<&[u32]>,
+        options: SubmitOptions,
+    ) -> Result<Ticket, MpqError> {
+        match &self.engine {
+            TenantEngine::Single(engine) => {
+                let mut req = engine
+                    .request(functions)
+                    .algorithm(algorithm)
+                    .exclude(exclude.iter().copied());
+                if let Some(caps) = capacities {
+                    req = req.capacities(caps);
+                }
+                self.client.submit_with(req, options)
+            }
+            TenantEngine::Sharded(sharded) => {
+                let mut req = sharded
+                    .request(functions)
+                    .algorithm(algorithm)
+                    .exclude(exclude.iter().copied());
+                if let Some(caps) = capacities {
+                    req = req.capacities(caps);
+                }
+                self.client.submit_sharded_with(req, options)
+            }
+        }
     }
 
     /// Snapshot of this tenant's service metrics.
@@ -189,7 +314,7 @@ impl Tenant {
         match result {
             Ok(oid) => {
                 self.health().report_success();
-                Ok((oid, self.engine.inventory_version()))
+                Ok((oid, self.engine.ack_version()))
             }
             Err(e @ (MpqError::Io(_) | MpqError::StorageDegraded)) => {
                 let _ = self.health().report_failure();
@@ -231,6 +356,27 @@ impl TenantRegistry {
         engine: Arc<Engine>,
         config: TenantConfig,
     ) -> Result<(), MpqError> {
+        let service = Arc::clone(&engine).serve(config.service_config());
+        self.host(name, TenantEngine::Single(engine), service)
+    }
+
+    /// Host a pre-built [`ShardedEngine`] as tenant `name`.
+    pub fn add_sharded_engine(
+        &mut self,
+        name: &str,
+        engine: Arc<ShardedEngine>,
+        config: TenantConfig,
+    ) -> Result<(), MpqError> {
+        let service = Arc::clone(&engine).serve(config.service_config());
+        self.host(name, TenantEngine::Sharded(engine), service)
+    }
+
+    fn host(
+        &mut self,
+        name: &str,
+        engine: TenantEngine,
+        service: EngineService,
+    ) -> Result<(), MpqError> {
         if !valid_tenant_name(name) {
             return Err(MpqError::UnsupportedRequest(
                 "tenant names must be non-empty [A-Za-z0-9_-]",
@@ -239,11 +385,10 @@ impl TenantRegistry {
         if self.tenants.contains_key(name) {
             return Err(MpqError::UnsupportedRequest("duplicate tenant name"));
         }
-        let service = Arc::clone(&engine).serve(config.service_config());
         let client = service.client();
         let probe_stop = Arc::new(AtomicBool::new(false));
         let probe_handle = spawn_probe(
-            Arc::clone(&engine),
+            engine.clone(),
             Arc::clone(service.health()),
             Arc::clone(&probe_stop),
         );
@@ -261,21 +406,35 @@ impl TenantRegistry {
         Ok(())
     }
 
-    /// Build an in-memory engine over `objects` and host it.
+    /// Build an in-memory engine over `objects` and host it. With
+    /// `config.shards > 1` the engine is a hash-partitioned
+    /// [`ShardedEngine`]; `config.shards == 0` is rejected.
     pub fn add_objects(
         &mut self,
         name: &str,
         objects: &PointSet,
         config: TenantConfig,
     ) -> Result<(), MpqError> {
+        if config.shards != 1 {
+            // 0 is rejected by the builder with a tenant-legible error.
+            let engine = Arc::new(
+                ShardedEngine::builder()
+                    .objects(objects)
+                    .shards(config.shards)
+                    .build()?,
+            );
+            return self.add_sharded_engine(name, engine, config);
+        }
         let engine = Arc::new(Engine::builder().objects(objects).build()?);
         self.add_engine(name, engine, config)
     }
 
     /// Host a disk-backed tenant rooted at `data_dir`. If the directory
     /// already holds a persisted inventory it is **reopened** (WAL
-    /// replay included); otherwise a fresh engine over `objects` is
-    /// created there. `objects` may be `None` only when reopening.
+    /// replay included — per shard when the directory holds a sharded
+    /// layout); otherwise a fresh engine over `objects` is created
+    /// there, sharded when `config.shards > 1`. `objects` may be `None`
+    /// only when reopening.
     pub fn add_persistent(
         &mut self,
         name: &str,
@@ -283,17 +442,33 @@ impl TenantRegistry {
         data_dir: PathBuf,
         config: TenantConfig,
     ) -> Result<(), MpqError> {
-        let engine = if Engine::persisted_at(&data_dir) {
-            Engine::open(&data_dir)?
-        } else {
-            let objects = objects.ok_or(MpqError::UnsupportedRequest(
-                "no persisted inventory at data_dir and no objects given",
-            ))?;
-            Engine::builder()
-                .objects(objects)
-                .data_dir(&data_dir)
-                .build()?
-        };
+        if ShardedEngine::persisted_at(&data_dir) {
+            // An existing sharded layout wins regardless of the
+            // configured shard count: the manifest is authoritative.
+            let engine = Arc::new(ShardedEngine::open(&data_dir)?);
+            return self.add_sharded_engine(name, engine, config);
+        }
+        if Engine::persisted_at(&data_dir) {
+            let engine = Arc::new(Engine::open(&data_dir)?);
+            return self.add_engine(name, engine, config);
+        }
+        let objects = objects.ok_or(MpqError::UnsupportedRequest(
+            "no persisted inventory at data_dir and no objects given",
+        ))?;
+        if config.shards != 1 {
+            let engine = Arc::new(
+                ShardedEngine::builder()
+                    .objects(objects)
+                    .shards(config.shards)
+                    .data_dir(&data_dir)
+                    .build()?,
+            );
+            return self.add_sharded_engine(name, engine, config);
+        }
+        let engine = Engine::builder()
+            .objects(objects)
+            .data_dir(&data_dir)
+            .build()?;
         self.add_engine(name, Arc::new(engine), config)
     }
 
@@ -384,6 +559,63 @@ mod tests {
         assert!(reg
             .add_objects("dup", &objects, TenantConfig::default())
             .is_err());
+    }
+
+    #[test]
+    fn sharded_tenants_serve_and_mutate() {
+        let w = WorkloadBuilder::new()
+            .objects(60)
+            .functions(5)
+            .dim(2)
+            .seed(11)
+            .build();
+        let mut reg = TenantRegistry::new();
+        let config = TenantConfig {
+            shards: 4,
+            ..TenantConfig::default()
+        };
+        reg.add_objects("s", &w.objects, config).unwrap();
+        let tenant = reg.get("s").unwrap();
+        assert_eq!(tenant.shard_count(), 4);
+        assert!(tenant.sharded().is_some());
+
+        // The shard-agnostic submission path resolves to the same
+        // matching an unsharded engine would produce.
+        let ticket = tenant
+            .submit_match(
+                &w.functions,
+                Algorithm::Sb,
+                &[],
+                None,
+                SubmitOptions::default(),
+            )
+            .unwrap();
+        let sharded = ticket.wait().unwrap();
+        let single = Engine::builder().objects(&w.objects).build().unwrap();
+        let unsharded = single.request(&w.functions).evaluate().unwrap();
+        assert_eq!(sharded.sorted_pairs(), unsharded.sorted_pairs());
+
+        // Mutations route through the partitioner and ack a
+        // monotonically advancing version.
+        let (oid, v1) = tenant
+            .mutate(&WireMutation::Insert(vec![0.4, 0.6]))
+            .unwrap();
+        let oid = oid.expect("insert acks its oid");
+        let (_, v2) = tenant.mutate(&WireMutation::Remove(oid)).unwrap();
+        assert!(v2 > v1);
+    }
+
+    #[test]
+    fn zero_shard_tenants_are_rejected() {
+        let objects = small_objects();
+        let mut reg = TenantRegistry::new();
+        let config = TenantConfig {
+            shards: 0,
+            ..TenantConfig::default()
+        };
+        let err = reg.add_objects("z", &objects, config).unwrap_err();
+        assert!(matches!(err, MpqError::UnsupportedRequest(_)), "{err:?}");
+        assert!(reg.is_empty());
     }
 
     #[test]

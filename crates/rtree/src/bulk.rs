@@ -22,13 +22,19 @@ pub(crate) struct BulkResult {
 }
 
 /// Pack `points` into pages through `buf`, returning the new root.
-/// Object ids are the point indices.
+/// Object ids are the point indices, or `oids[i]` when an explicit oid
+/// slice (same length as `points`) is supplied — the hook sharded
+/// engines use to index globally minted ids directly.
 pub(crate) fn str_bulk_load(
     buf: &BufferPool,
     points: &PointSet,
+    oids: Option<&[u64]>,
     leaf_cap: usize,
     inner_cap: usize,
 ) -> BulkResult {
+    if let Some(ids) = oids {
+        assert_eq!(ids.len(), points.len(), "oid slice length mismatch");
+    }
     let dim = points.dim();
     if points.is_empty() {
         let root = buf.allocate();
@@ -53,7 +59,8 @@ pub(crate) fn str_bulk_load(
         let mut mbr = Mbr::empty(dim);
         for &i in &idx[start..end] {
             let p = points.get(i as usize);
-            leaf.push(p, i as u64);
+            let oid = oids.map_or(i as u64, |ids| ids[i as usize]);
+            leaf.push(p, oid);
             mbr.union_point(p);
         }
         let pid = buf.allocate();
@@ -172,6 +179,7 @@ mod tests {
         let res = str_bulk_load(
             &buf,
             points,
+            None,
             leaf_cap(page, points.dim()),
             inner_cap(page, points.dim()),
         );
@@ -235,6 +243,35 @@ mod tests {
         let root = buf.get(res.root);
         assert_eq!(root.as_leaf().oid(0), 0);
         assert_eq!(root.as_leaf().point(0), &[0.3, 0.7]);
+    }
+
+    #[test]
+    fn bulk_load_with_explicit_oids() {
+        let ps = grid_points(10); // 100 points
+        let oids: Vec<u64> = (0..ps.len() as u64).map(|i| i * 7 + 3).collect();
+        let buf = BufferPool::new(MemPager::new(512), ps.dim(), 1024);
+        let res = str_bulk_load(&buf, &ps, Some(&oids), leaf_cap(512, 2), inner_cap(512, 2));
+        assert_eq!(res.len, 100);
+        fn collect(buf: &BufferPool, pid: PageId, out: &mut Vec<u64>) {
+            match &*buf.get(pid) {
+                Node::Leaf(l) => {
+                    for i in 0..l.len() {
+                        out.push(l.oid(i));
+                    }
+                }
+                Node::Inner(n) => {
+                    for i in 0..n.len() {
+                        collect(buf, n.child(i), out);
+                    }
+                }
+            }
+        }
+        let mut seen = Vec::new();
+        collect(&buf, res.root, &mut seen);
+        seen.sort_unstable();
+        let mut want = oids.clone();
+        want.sort_unstable();
+        assert_eq!(seen, want);
     }
 
     #[test]

@@ -342,6 +342,25 @@ impl RTree {
         points: &PointSet,
         params: RTreeParams,
     ) -> RTree {
+        RTree::bulk_load_with_oids_in(store, points, None, params)
+    }
+
+    /// Like [`RTree::bulk_load_in`], but with explicit object ids:
+    /// `points[i]` is indexed under `oids[i]` instead of `i`. Shards of a
+    /// partitioned engine use this to index globally minted oids
+    /// directly, so no translation layer sits between the merge protocol
+    /// and the per-shard trees. Pass `None` to fall back to point
+    /// indices.
+    ///
+    /// # Panics
+    /// Panics if `store.page_size() != params.page_size` or if an oid
+    /// slice is supplied whose length differs from `points.len()`.
+    pub fn bulk_load_with_oids_in<S: PageStore + 'static>(
+        store: S,
+        points: &PointSet,
+        oids: Option<&[u64]>,
+        params: RTreeParams,
+    ) -> RTree {
         assert_eq!(
             store.page_size(),
             params.page_size,
@@ -350,7 +369,7 @@ impl RTree {
         let dim = points.dim();
         let (leaf_cap, inner_cap) = Self::capacities(params.page_size, dim);
         let buf = BufferPool::new(store, dim, params.buffer_capacity);
-        let res = str_bulk_load(&buf, points, leaf_cap, inner_cap);
+        let res = str_bulk_load(&buf, points, oids, leaf_cap, inner_cap);
         buf.clear();
         buf.reset_stats();
         let (leaf_min, inner_min) = Self::min_fills(leaf_cap, inner_cap, params.min_fill_ratio);
