@@ -117,7 +117,8 @@ const USAGE: &str = "usage:
             # GET /metrics, GET /healthz
   mpq compact --data-dir <dir>
             # checkpoint a persisted engine: fold the WAL into the page
-            # file so the next open replays nothing";
+            # file so the next open replays nothing. A sharded store
+            # (shards.mpq manifest) checkpoints every shard";
 
 /// Parse the shared `--shards` flag: absent means `1` (unsharded), and
 /// `0` is a usage error everywhere — a partitioned engine needs at
@@ -843,10 +844,24 @@ fn cmd_serve_listen(args: &[String]) -> Result<String, CliError> {
 
 /// Checkpoint a persisted engine: reopen it (replaying the WAL), fold
 /// the recovered state into the page file, and truncate the WAL — the
-/// next `serve --data-dir` opens instantly, replaying nothing.
+/// next `serve --data-dir` opens instantly, replaying nothing. A
+/// directory holding a *sharded* manifest routes through
+/// [`ShardedEngine`] instead, checkpointing every shard.
 fn cmd_compact(args: &[String]) -> Result<String, CliError> {
     let dir = arg_value(args, "--data-dir")
         .ok_or_else(|| CliError::usage(format!("--data-dir is required\n{USAGE}")))?;
+    if ShardedEngine::persisted_at(dir) {
+        let engine = ShardedEngine::open(dir).map_err(cli_from_mpq)?;
+        let wal_before = engine.wal_bytes();
+        engine.checkpoint().map_err(cli_from_mpq)?;
+        let wal_after = engine.wal_bytes();
+        let pages: usize = engine.shards().iter().map(|s| s.tree().page_count()).sum();
+        return Ok(format!(
+            "compacted {dir}: {} shards, {} objects over {pages} pages, wal {wal_before} -> {wal_after} bytes\n",
+            engine.shards().len(),
+            engine.n_objects(),
+        ));
+    }
     if !Engine::persisted_at(dir) {
         return Err(CliError::runtime(format!(
             "no persisted engine under {dir} (run `mpq serve --data-dir` first)"
@@ -1467,5 +1482,48 @@ mod tests {
             "{}",
             err.message
         );
+    }
+
+    #[test]
+    fn compact_routes_through_the_sharded_engine() {
+        let store = std::env::temp_dir().join("mpq_cli_compact").join("sharded");
+        let _ = fs::remove_dir_all(&store);
+
+        let mut objects = mpq_rtree::PointSet::new(2);
+        for i in 0..12u64 {
+            let t = i as f64 / 12.0;
+            objects.push(&[t, 1.0 - t]);
+        }
+        let engine = ShardedEngine::builder()
+            .objects(&objects)
+            .shards(3)
+            .data_dir(&store)
+            .build()
+            .unwrap();
+        engine.insert_object(&[0.7, 0.7]).unwrap();
+        engine.remove_object(2).unwrap();
+        assert!(engine.wal_bytes() > 0);
+        let functions = mpq_ta::FunctionSet::from_rows(2, &[vec![0.8, 0.2], vec![0.2, 0.8]]);
+        let expected = engine
+            .request(&functions)
+            .evaluate()
+            .unwrap()
+            .sorted_pairs();
+        drop(engine);
+
+        let report = run_cli(&args(&["compact", "--data-dir", store.to_str().unwrap()])).unwrap();
+        assert!(report.contains("3 shards"), "{report}");
+        assert!(report.contains("-> 0 bytes"), "{report}");
+
+        // Every shard's WAL was folded; the matching survives the round
+        // trip bit-identically.
+        let reopened = ShardedEngine::open(&store).unwrap();
+        assert_eq!(reopened.wal_bytes(), 0, "all shard WALs folded");
+        let served = reopened
+            .request(&functions)
+            .evaluate()
+            .unwrap()
+            .sorted_pairs();
+        assert_eq!(served, expected);
     }
 }

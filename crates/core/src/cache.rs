@@ -28,13 +28,27 @@
 //! The key ([`RequestKey`]) is *canonical*: it covers the function-set
 //! rows (weight bits, in function-id order, with tombstone flags), the
 //! [`Algorithm`] and every evaluation knob of the
-//! request, the exclusion set (**order-insensitively** — `HashSet`
-//! iteration order never leaks into the key), and the capacity vector.
+//! request, the exclusion set (**order-insensitively** — it is sorted
+//! and deduplicated once at construction, so `HashSet` iteration order
+//! never leaks into the key), and the capacity vector.
 //! Equality compares the full key material, not just the 64-bit hash,
 //! so a hash collision can never surface a wrong cached matching — the
 //! bit-identical guarantee survives adversarial inputs.
+//!
+//! ## Near-miss lookup
+//!
+//! Beyond exact identity, the cache supports **near-miss** lookup
+//! ([`ResultCache::near_miss`]): each key additionally carries FNV
+//! digests of its three independent components (function rows,
+//! exclusion set, evaluation knobs + capacities), and the cache keeps
+//! secondary indexes over them. On an exact miss, a request can ask for
+//! the cached entry at the smallest *request delta* — number of flipped
+//! exclusions, or number of changed function rows, with everything else
+//! identical — that still holds a usable [`EvalSeed`]. The caller then
+//! evaluates *seeded* from that entry's captured skyline state instead
+//! of cold (see [`crate::seed`]).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use std::sync::{Mutex, PoisonError};
@@ -44,6 +58,7 @@ use mpq_ta::FunctionSet;
 use crate::engine::{Algorithm, RequestOptions};
 use crate::matching::{Matching, Pair};
 use crate::sb::{BestPairMode, MaintenanceMode};
+use crate::seed::EvalSeed;
 
 /// A canonical, collision-proof identity of one evaluation request:
 /// everything that can change the resulting [`Matching`], and nothing
@@ -61,6 +76,12 @@ use crate::sb::{BestPairMode, MaintenanceMode};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestKey {
     hash: u64,
+    /// FNV digest of the function-rows section (dim, count, rows).
+    fns_digest: u64,
+    /// FNV digest of the exclusion-set section (count + sorted unique ids).
+    excl_digest: u64,
+    /// FNV digest of the evaluation-knob and capacity sections.
+    knobs_digest: u64,
     material: Box<[u64]>,
 }
 
@@ -105,6 +126,7 @@ pub(crate) fn request_key(functions: &FunctionSet, options: &RequestOptions) -> 
         m.push(u64::from(functions.is_alive(fid)));
         m.extend(functions.weights(fid).iter().map(|w| w.to_bits()));
     }
+    let rows_end = m.len();
 
     // Every evaluation knob of RequestOptions.
     m.push(match options.algorithm {
@@ -127,12 +149,19 @@ pub(crate) fn request_key(functions: &FunctionSet, options: &RequestOptions) -> 
         crate::brute_force::BfStrategy::Restart => 1,
     });
 
-    // Exclusions are a set: sort so HashSet iteration order cannot make
-    // two identical requests key differently.
+    let knobs_end = m.len();
+
+    // Exclusions are a set: canonicalize (sort + dedupe) once here, so
+    // HashSet iteration order cannot make two identical requests key
+    // differently and every later consumer (`KeyView::excludes`'
+    // binary search, near-miss delta counting) can rely on a sorted
+    // unique list.
     let mut excluded: Vec<u64> = options.exclude.iter().copied().collect();
     excluded.sort_unstable();
+    excluded.dedup();
     m.push(excluded.len() as u64);
     m.extend(excluded);
+    let excl_end = m.len();
 
     match &options.capacities {
         None => m.push(0),
@@ -143,21 +172,38 @@ pub(crate) fn request_key(functions: &FunctionSet, options: &RequestOptions) -> 
         }
     }
 
-    // FNV-1a over the material words: deterministic across processes
-    // (unlike SipHash's random keys), so keys are stable for logging and
-    // cross-run comparison.
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for word in &m {
+    // FNV-1a, both over the whole material and per component section
+    // (the near-miss index groups keys by the sections they share):
+    // deterministic across processes (unlike SipHash's random keys), so
+    // keys are stable for logging and cross-run comparison.
+    let hash = fnv64(FNV_OFFSET, &m);
+    let fns_digest = fnv64(FNV_OFFSET, &m[..rows_end]);
+    let excl_digest = fnv64(FNV_OFFSET, &m[knobs_end..excl_end]);
+    // Capacities fold into the knobs digest: they parameterize the
+    // evaluation rather than either delta axis.
+    let knobs_digest = fnv64(fnv64(FNV_OFFSET, &m[rows_end..knobs_end]), &m[excl_end..]);
+
+    RequestKey {
+        hash,
+        fns_digest,
+        excl_digest,
+        knobs_digest,
+        material: m.into_boxed_slice(),
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a over the little-endian bytes of `words`, chained from `hash`
+/// (pass [`FNV_OFFSET`] to start a fresh digest).
+fn fnv64(mut hash: u64, words: &[u64]) -> u64 {
+    for word in words {
         for byte in word.to_le_bytes() {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
-
-    RequestKey {
-        hash,
-        material: m.into_boxed_slice(),
-    }
+    hash
 }
 
 /// One committed inventory mutation, as the cache's scoped invalidation
@@ -282,7 +328,14 @@ struct KeyView<'k> {
     dim: usize,
     n_fns: usize,
     material: &'k [u64],
+    /// The function-rows section (dim, count, rows) — near-miss
+    /// candidates along the exclusion axis must match it exactly.
+    rows: &'k [u64],
+    /// The 5 evaluation-knob words.
+    knobs: &'k [u64],
     excl: &'k [u64],
+    /// The capacity section (flag onwards).
+    caps: &'k [u64],
     has_caps: bool,
 }
 
@@ -294,13 +347,19 @@ impl<'k> KeyView<'k> {
         // rows, then 5 knob words, then the exclusion count
         let n_excl_at = rows_end + 5;
         let n_excl = *material.get(n_excl_at)? as usize;
+        let rows = material.get(..rows_end)?;
+        let knobs = material.get(rows_end..n_excl_at)?;
         let excl = material.get(n_excl_at + 1..n_excl_at + 1 + n_excl)?;
-        let has_caps = *material.get(n_excl_at + 1 + n_excl)? != 0;
+        let caps = material.get(n_excl_at + 1 + n_excl..)?;
+        let has_caps = *caps.first()? != 0;
         Some(KeyView {
             dim,
             n_fns,
             material,
+            rows,
+            knobs,
             excl,
+            caps,
             has_caps,
         })
     }
@@ -323,6 +382,59 @@ impl<'k> KeyView<'k> {
     fn excludes(&self, oid: u64) -> bool {
         self.excl.binary_search(&oid).is_ok()
     }
+}
+
+/// Symmetric-difference size of two sorted unique id lists.
+fn symdiff_len(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                i += 1;
+                n += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                j += 1;
+                n += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n + (a.len() - i) + (b.len() - j)
+}
+
+/// Request delta along the exclusion axis: the number of objects whose
+/// exclusion status flips between the two keys — provided *everything
+/// else* (function rows, knobs, capacities) is bit-identical, else
+/// `None`. The exact comparison makes digest collisions harmless.
+fn exclusion_delta(a: &KeyView<'_>, b: &KeyView<'_>) -> Option<usize> {
+    (a.rows == b.rows && a.knobs == b.knobs && a.caps == b.caps)
+        .then(|| symdiff_len(a.excl, b.excl))
+}
+
+/// Request delta along the function axis: the number of function rows
+/// (tombstone flag + weight bits) that differ — provided the shapes
+/// match and everything else is bit-identical, else `None`.
+fn function_delta(a: &KeyView<'_>, b: &KeyView<'_>) -> Option<usize> {
+    if a.dim != b.dim
+        || a.n_fns != b.n_fns
+        || a.knobs != b.knobs
+        || a.caps != b.caps
+        || a.excl != b.excl
+    {
+        return None;
+    }
+    let w = a.dim + 1;
+    Some(
+        a.rows[2..]
+            .chunks(w)
+            .zip(b.rows[2..].chunks(w))
+            .filter(|(x, y)| x != y)
+            .count(),
+    )
 }
 
 /// Does the cached `matching` for `key` provably survive `event`
@@ -416,6 +528,14 @@ pub struct CacheMetrics {
     /// proved the cached result unaffected, so the entry was caught up
     /// instead of dropped.
     pub revalidations: u64,
+    /// Near-miss lookups that found a seed-bearing entry within the
+    /// delta bound ([`ResultCache::near_miss`]) — the request was then
+    /// evaluated *seeded* instead of cold.
+    pub seeded_hits: u64,
+    /// Cumulative request delta (flipped exclusions / changed function
+    /// rows) across `seeded_hits`; `seed_delta / seeded_hits` is the
+    /// mean distance a seed was carried.
+    pub seed_delta: u64,
     /// Current number of cached entries.
     pub entries: usize,
     /// Current approximate heap footprint of the cached entries.
@@ -451,6 +571,8 @@ impl CacheMetrics {
             ("insertions", Json::Num(self.insertions as f64)),
             ("evictions", Json::Num(self.evictions as f64)),
             ("revalidations", Json::Num(self.revalidations as f64)),
+            ("seeded_hits", Json::Num(self.seeded_hits as f64)),
+            ("seed_delta", Json::Num(self.seed_delta as f64)),
             ("entries", Json::Num(self.entries as f64)),
             ("bytes", Json::Num(self.bytes as f64)),
             ("hit_rate", Json::Num(self.hit_rate())),
@@ -467,7 +589,12 @@ struct CacheEntry {
     /// entry as absent, unless per-component mutation logs prove the
     /// intervening mutations harmless (scoped invalidation).
     stamp: Box<[u64]>,
-    /// Approximate heap footprint (key + matching).
+    /// Resumable evaluation state captured by the run that produced
+    /// `matching`, for near-miss seeding. Pinned to `stamp`: a restamp
+    /// (scoped revalidation) keeps the matching but drops the seed,
+    /// whose pruned entries reference pages of the original epoch.
+    seed: Option<Arc<EvalSeed>>,
+    /// Approximate heap footprint (key + matching + seed).
     bytes: usize,
     /// Recency tick (key into the LRU index).
     tick: u64,
@@ -515,6 +642,14 @@ pub struct ResultCache {
     /// Recency index: tick → key, oldest first. Ticks are unique (one
     /// per touch), so this is a faithful LRU order.
     lru: BTreeMap<u64, Arc<RequestKey>>,
+    /// Near-miss index, exclusion axis: `(fns_digest, knobs_digest)` →
+    /// resident keys. Keys in one bucket can differ only in their
+    /// exclusion sets (up to digest collisions, which the exact delta
+    /// comparison filters out).
+    by_fns: HashMap<(u64, u64), HashSet<Arc<RequestKey>>>,
+    /// Near-miss index, function axis: `(excl_digest, knobs_digest)` →
+    /// resident keys differing only in their function rows.
+    by_excl: HashMap<(u64, u64), HashSet<Arc<RequestKey>>>,
     next_tick: u64,
     bytes: usize,
     hits: u64,
@@ -522,6 +657,8 @@ pub struct ResultCache {
     insertions: u64,
     evictions: u64,
     revalidations: u64,
+    seeded_hits: u64,
+    seed_delta: u64,
 }
 
 impl std::fmt::Debug for ResultCache {
@@ -545,6 +682,8 @@ impl ResultCache {
             max_bytes: max_bytes.max(4096),
             entries: HashMap::new(),
             lru: BTreeMap::new(),
+            by_fns: HashMap::new(),
+            by_excl: HashMap::new(),
             next_tick: 0,
             bytes: 0,
             hits: 0,
@@ -552,7 +691,49 @@ impl ResultCache {
             insertions: 0,
             evictions: 0,
             revalidations: 0,
+            seeded_hits: 0,
+            seed_delta: 0,
         }
+    }
+
+    /// Register `key` in the near-miss secondary indexes.
+    fn index_key(&mut self, key: &Arc<RequestKey>) {
+        self.by_fns
+            .entry((key.fns_digest, key.knobs_digest))
+            .or_default()
+            .insert(Arc::clone(key));
+        self.by_excl
+            .entry((key.excl_digest, key.knobs_digest))
+            .or_default()
+            .insert(Arc::clone(key));
+    }
+
+    /// Drop `key` from the near-miss secondary indexes.
+    fn unindex_key(&mut self, key: &RequestKey) {
+        if let Some(set) = self.by_fns.get_mut(&(key.fns_digest, key.knobs_digest)) {
+            set.remove(key);
+            if set.is_empty() {
+                self.by_fns.remove(&(key.fns_digest, key.knobs_digest));
+            }
+        }
+        if let Some(set) = self.by_excl.get_mut(&(key.excl_digest, key.knobs_digest)) {
+            set.remove(key);
+            if set.is_empty() {
+                self.by_excl.remove(&(key.excl_digest, key.knobs_digest));
+            }
+        }
+    }
+
+    /// Remove `key`'s entry and every piece of bookkeeping that tracks
+    /// it (LRU slot, byte accounting, near-miss indexes). The single
+    /// removal path — the eviction *counter* stays with the callers,
+    /// which know why the entry left.
+    fn detach(&mut self, key: &RequestKey) -> Option<CacheEntry> {
+        let entry = self.entries.remove(key)?;
+        self.lru.remove(&entry.tick);
+        self.bytes -= entry.bytes;
+        self.unindex_key(key);
+        Some(entry)
     }
 
     /// Look up `key` under inventory `version`. A hit returns a clone of
@@ -579,11 +760,7 @@ impl ResultCache {
         if entry.stamp[..] != *versions {
             self.misses += 1;
             self.evictions += 1;
-            let tick = entry.tick;
-            let bytes = entry.bytes;
-            self.entries.remove(key);
-            self.lru.remove(&tick);
-            self.bytes -= bytes;
+            self.detach(key);
             return None;
         }
         self.hits += 1;
@@ -609,34 +786,57 @@ impl ResultCache {
     /// [`ResultCache::insert`] for vector-stamped entries (one version
     /// component per shard, in shard order).
     pub fn insert_vec(&mut self, key: &RequestKey, versions: &[u64], matching: &Matching) {
-        let bytes = key.approx_bytes() + matching.approx_bytes();
+        self.insert_vec_seeded(key, versions, matching, None);
+    }
+
+    /// [`ResultCache::insert_vec`], additionally attaching the
+    /// [`EvalSeed`] the evaluation captured (if any) so later near-miss
+    /// lookups can resume from this entry. The seed must have been
+    /// captured at exactly `versions`. If the seed would blow the byte
+    /// bound the *matching* still caches — the seed is dropped first
+    /// (it is an accelerator of an accelerator).
+    pub fn insert_vec_seeded(
+        &mut self,
+        key: &RequestKey,
+        versions: &[u64],
+        matching: &Matching,
+        mut seed: Option<Arc<EvalSeed>>,
+    ) {
+        debug_assert!(
+            seed.as_ref().is_none_or(|s| s.usable_at(versions)),
+            "seed captured at a different version vector than the entry stamp"
+        );
+        let base = key.approx_bytes() + matching.approx_bytes();
+        let mut bytes = base + seed.as_ref().map_or(0, |s| s.approx_bytes());
+        if bytes > self.max_bytes {
+            seed = None;
+            bytes = base;
+        }
         if bytes > self.max_bytes {
             return;
         }
         // Replace any stale entry for this key first so the bounds see
         // consistent accounting.
-        if let Some(old) = self.entries.remove(key) {
-            self.lru.remove(&old.tick);
-            self.bytes -= old.bytes;
-        }
+        self.detach(key);
         while self.entries.len() + 1 > self.max_entries || self.bytes + bytes > self.max_bytes {
-            let Some((&oldest, _)) = self.lru.iter().next() else {
+            let Some((_, victim)) = self.lru.iter().next() else {
                 break;
             };
-            let victim = self.lru.remove(&oldest).expect("just observed");
-            let dropped = self.entries.remove(&victim).expect("lru tracks entries");
-            self.bytes -= dropped.bytes;
+            let victim = Arc::clone(victim);
+            self.detach(&victim).expect("lru tracks entries");
             self.evictions += 1;
         }
         let tick = self.next_tick;
         self.next_tick += 1;
         let key = Arc::new(key.clone());
         self.lru.insert(tick, Arc::clone(&key));
+        self.index_key(&key);
         self.entries.insert(
             key,
             CacheEntry {
                 matching: matching.clone(),
                 stamp: versions.into(),
+                seed,
                 bytes,
                 tick,
             },
@@ -652,6 +852,8 @@ impl ResultCache {
         self.evictions += self.entries.len() as u64;
         self.entries.clear();
         self.lru.clear();
+        self.by_fns.clear();
+        self.by_excl.clear();
         self.bytes = 0;
     }
 
@@ -682,6 +884,8 @@ impl ResultCache {
             insertions: self.insertions,
             evictions: self.evictions,
             revalidations: self.revalidations,
+            seeded_hits: self.seeded_hits,
+            seed_delta: self.seed_delta,
             entries: self.entries.len(),
             bytes: self.bytes,
         }
@@ -732,9 +936,7 @@ impl ResultCache {
             if entry.stamp[..] != *versions && !self.try_catch_up(key, versions, logs) {
                 self.misses += 1;
                 self.evictions += 1;
-                let entry = self.entries.remove(key).expect("entry just found");
-                self.lru.remove(&entry.tick);
-                self.bytes -= entry.bytes;
+                self.detach(key).expect("entry just found");
                 return None;
             }
         }
@@ -774,6 +976,13 @@ impl ResultCache {
         if survives {
             let entry = self.entries.get_mut(key).expect("entry just found");
             entry.stamp = versions.into();
+            // The matching survives the mutations; the seed does not —
+            // its pruned entries reference pages of the original epoch.
+            if let Some(seed) = entry.seed.take() {
+                let freed = seed.approx_bytes();
+                entry.bytes -= freed;
+                self.bytes -= freed;
+            }
             self.revalidations += 1;
         }
         survives
@@ -806,6 +1015,21 @@ impl ResultCache {
         matching: &Matching,
         logs: &[&MutationLog],
     ) {
+        self.insert_with_logs_seeded(key, versions, matching, logs, None);
+    }
+
+    /// [`ResultCache::insert_with_logs`], additionally attaching the
+    /// [`EvalSeed`] the evaluation captured (see
+    /// [`ResultCache::insert_vec_seeded`] for the seed's byte-bound
+    /// policy).
+    pub fn insert_with_logs_seeded(
+        &mut self,
+        key: &RequestKey,
+        versions: &[u64],
+        matching: &Matching,
+        logs: &[&MutationLog],
+        seed: Option<Arc<EvalSeed>>,
+    ) {
         // Only entries *strictly older* than the publish stamp are
         // sweepable — no component newer, at least one lagging: a worker
         // that captured its vector before a mutation must not evict
@@ -821,12 +1045,8 @@ impl ResultCache {
             .map(|(k, _)| Arc::clone(k))
             .collect();
         for k in stale {
-            if !self.try_catch_up(&k, versions, logs) {
-                if let Some(entry) = self.entries.remove(&*k) {
-                    self.lru.remove(&entry.tick);
-                    self.bytes -= entry.bytes;
-                    self.evictions += 1;
-                }
+            if !self.try_catch_up(&k, versions, logs) && self.detach(&k).is_some() {
+                self.evictions += 1;
             }
         }
         if self.entries.get(key).is_some_and(|e| {
@@ -834,7 +1054,81 @@ impl ResultCache {
         }) {
             return; // a newer result for this key is already published
         }
-        self.insert_vec(key, versions, matching);
+        self.insert_vec_seeded(key, versions, matching, seed);
+    }
+
+    /// **Near-miss** lookup: on an exact miss, find the resident entry
+    /// at the smallest *request delta* from `key` — differing from it
+    /// only in its exclusion set (delta = flipped exclusions) or only
+    /// in its function rows (delta = changed rows) — that still holds
+    /// an [`EvalSeed`] usable at exactly `versions`. Returns the seed
+    /// and its delta if one exists with `0 < delta <= bound`; ties
+    /// break toward the most recently used donor. A successful lookup
+    /// counts into `seeded_hits`/`seed_delta`; it does **not** count as
+    /// a cache hit (the caller still evaluates — just warm).
+    ///
+    /// Capacitated requests never near-miss (the capacitated greedy
+    /// consumes the matching differently; the seeded SB path declines
+    /// them anyway).
+    pub fn near_miss(
+        &mut self,
+        key: &RequestKey,
+        versions: &[u64],
+        bound: usize,
+    ) -> Option<(Arc<EvalSeed>, usize)> {
+        if bound == 0 {
+            return None;
+        }
+        let view = KeyView::parse(&key.material)?;
+        if view.has_caps {
+            return None;
+        }
+        let axes = [
+            (self.by_fns.get(&(key.fns_digest, key.knobs_digest)), true),
+            (
+                self.by_excl.get(&(key.excl_digest, key.knobs_digest)),
+                false,
+            ),
+        ];
+        let mut best: Option<(usize, u64, Arc<EvalSeed>)> = None;
+        for (bucket, excl_axis) in axes {
+            let Some(bucket) = bucket else { continue };
+            for cand in bucket {
+                if cand.as_ref() == key {
+                    continue;
+                }
+                let Some(entry) = self.entries.get(cand) else {
+                    continue;
+                };
+                let Some(seed) = &entry.seed else { continue };
+                if !seed.usable_at(versions) {
+                    continue;
+                }
+                let Some(cview) = KeyView::parse(&cand.material) else {
+                    continue;
+                };
+                let delta = if excl_axis {
+                    exclusion_delta(&view, &cview)
+                } else {
+                    function_delta(&view, &cview)
+                };
+                let Some(delta) = delta else { continue };
+                if delta == 0 || delta > bound {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((bd, bt, _)) => delta < *bd || (delta == *bd && entry.tick > *bt),
+                };
+                if better {
+                    best = Some((delta, entry.tick, Arc::clone(seed)));
+                }
+            }
+        }
+        let (delta, _, seed) = best?;
+        self.seeded_hits += 1;
+        self.seed_delta += delta as u64;
+        Some((seed, delta))
     }
 }
 
@@ -1187,5 +1481,139 @@ mod tests {
         // lookup catches it up through the log — here: kills it, since
         // the remove hit its assigned object.
         assert!(cache.get_with_log(&key_a, 6, &log).is_none());
+    }
+
+    // ------------------------------------------------------------------
+    // Near-miss lookup + seeds
+    // ------------------------------------------------------------------
+
+    fn seed_at(versions: &[u64]) -> Arc<EvalSeed> {
+        Arc::new(EvalSeed {
+            versions: versions.to_vec(),
+            parts: Vec::new(),
+        })
+    }
+
+    fn key_excluding(excl: &[u64]) -> RequestKey {
+        let functions = FunctionSet::from_rows(2, &[vec![0.5, 0.5], vec![0.9, 0.1]]);
+        let mut o = RequestOptions::default();
+        o.exclude.extend(excl.iter().copied());
+        request_key(&functions, &o)
+    }
+
+    #[test]
+    fn exclusions_are_canonical_at_construction() {
+        // Order-insensitive (already pinned above) *and* stored sorted:
+        // the material's exclusion section is the canonical form every
+        // consumer (binary search, delta counting) relies on.
+        let key = key_excluding(&[11, 3, 7]);
+        let view = KeyView::parse(&key.material).expect("well-formed key");
+        assert_eq!(view.excl, &[3, 7, 11]);
+        assert!(view.excl.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(key, key_excluding(&[3, 7, 11]));
+    }
+
+    #[test]
+    fn near_miss_returns_the_smallest_delta_within_the_bound() {
+        let mut cache = ResultCache::new(8, 1 << 20);
+        // Donors at exclusion-delta 3 and 1 from the probe {3, 7}.
+        cache.insert_vec_seeded(
+            &key_excluding(&[1, 2, 9]),
+            &[4],
+            &matching_of(1),
+            Some(seed_at(&[4])),
+        );
+        cache.insert_vec_seeded(
+            &key_excluding(&[3]),
+            &[4],
+            &matching_of(1),
+            Some(seed_at(&[4])),
+        );
+
+        let probe = key_excluding(&[3, 7]);
+        let (seed, delta) = cache.near_miss(&probe, &[4], 16).expect("delta-1 donor");
+        assert_eq!(delta, 1);
+        assert!(seed.usable_at(&[4]));
+        // Bound excludes everything: {1,2,9} vs {3,7} is delta 5.
+        assert!(cache.near_miss(&key_excluding(&[100]), &[4], 1).is_none());
+        let m = cache.metrics();
+        assert_eq!((m.seeded_hits, m.seed_delta), (1, 1));
+    }
+
+    #[test]
+    fn near_miss_spans_the_function_axis_too() {
+        let functions = FunctionSet::from_rows(2, &[vec![0.5, 0.5], vec![0.9, 0.1]]);
+        let tweaked = FunctionSet::from_rows(2, &[vec![0.5, 0.5], vec![0.8, 0.2]]);
+        let donor = request_key(&functions, &RequestOptions::default());
+        let probe = request_key(&tweaked, &RequestOptions::default());
+        let mut cache = ResultCache::new(8, 1 << 20);
+        cache.insert_vec_seeded(&donor, &[1], &matching_of(1), Some(seed_at(&[1])));
+        let (_, delta) = cache.near_miss(&probe, &[1], 4).expect("one tweaked row");
+        assert_eq!(delta, 1);
+        // A request differing on *both* axes is not a near miss.
+        let mut o = RequestOptions::default();
+        o.exclude.insert(5);
+        assert!(cache
+            .near_miss(&request_key(&tweaked, &o), &[1], 4)
+            .is_none());
+    }
+
+    #[test]
+    fn near_miss_requires_a_seed_at_exactly_the_lookup_versions() {
+        let mut cache = ResultCache::new(8, 1 << 20);
+        let probe = key_excluding(&[3, 7]);
+        // Seedless entry: never a donor.
+        cache.insert_vec(&key_excluding(&[3]), &[4], &matching_of(1));
+        assert!(cache.near_miss(&probe, &[4], 16).is_none());
+        // Seed pinned to version 4: unusable at 5.
+        cache.insert_vec_seeded(
+            &key_excluding(&[7]),
+            &[4],
+            &matching_of(1),
+            Some(seed_at(&[4])),
+        );
+        assert!(cache.near_miss(&probe, &[5], 16).is_none());
+        assert!(cache.near_miss(&probe, &[4], 16).is_some());
+        // Bound 0 disables the machinery outright.
+        assert!(cache.near_miss(&probe, &[4], 0).is_none());
+    }
+
+    #[test]
+    fn revalidation_keeps_the_matching_but_drops_the_seed() {
+        let key = orthogonal_key(&RequestOptions::default());
+        let donor = {
+            let functions = FunctionSet::from_rows(2, &[vec![0.9, 0.1], vec![0.1, 0.9]]);
+            let mut o = RequestOptions::default();
+            o.exclude.insert(42);
+            request_key(&functions, &o)
+        };
+        let mut cache = ResultCache::new(8, 1 << 20);
+        let log = MutationLog::default();
+        cache.insert_vec_seeded(&donor, &[5], &orthogonal_matching(), Some(seed_at(&[5])));
+        let bytes_with_seed = cache.bytes();
+        assert!(cache.near_miss(&key, &[5], 16).is_some());
+
+        // A harmless remove revalidates the entry to version 6 — the
+        // matching is served, but the seed (pinned to the version-5
+        // epoch) is gone and its bytes are released.
+        log.record(6, MutationEvent::Remove { oid: 3 });
+        assert!(cache.get_with_log(&donor, 6, &log).is_some());
+        assert!(cache.near_miss(&key, &[6], 16).is_none());
+        assert!(cache.bytes() < bytes_with_seed);
+    }
+
+    #[test]
+    fn eviction_unindexes_the_donor() {
+        let mut cache = ResultCache::new(1, 1 << 20);
+        cache.insert_vec_seeded(
+            &key_excluding(&[3]),
+            &[4],
+            &matching_of(1),
+            Some(seed_at(&[4])),
+        );
+        // Capacity 1: the second insert evicts the donor.
+        cache.insert_vec(&key_of(&[vec![0.5, 0.5]]), &[4], &matching_of(1));
+        assert!(cache.near_miss(&key_excluding(&[3, 7]), &[4], 16).is_none());
+        assert!(cache.by_fns.len() <= 1 && cache.by_excl.len() <= 1);
     }
 }

@@ -59,10 +59,11 @@ use crate::chain::run_chain_on;
 use crate::error::MpqError;
 use crate::matching::{IndexConfig, Matching, Pair, RunMetrics};
 use crate::sb::{
-    run_rescan_on, run_sb_on, sb_loop_round, stream_on, BestPairMode, MaintenanceMode, SbStream,
-    ScratchLease, SkylineMatcher,
+    run_rescan_on, run_sb_seeded, sb_loop_round, stream_on, BestPairMode, MaintenanceMode,
+    SbStream, ScratchLease, SkylineMatcher,
 };
 use crate::scratch::Scratch;
+use crate::seed::{EvalSeed, SeedPart};
 use crate::service::{
     resolved_workers, safe_rate, worker_loop, EngineService, ServiceConfig, ServiceCore,
     SubmitOptions,
@@ -1155,8 +1156,30 @@ pub(crate) fn evaluate_options(
     options: &RequestOptions,
     scratch: &mut Scratch,
 ) -> Result<Matching, MpqError> {
+    evaluate_options_seeded(engine, functions, options, scratch, None, None)
+}
+
+/// Seed-capable form of [`evaluate_options`] — the actual single
+/// evaluation code path. Dispatch is **uniform**: every configuration
+/// takes the same `seed`/`capture` arguments, and only the resumable
+/// one (SB, incremental maintenance, no capacities) honors them — it
+/// primes the skyline from `seed` when the seed is still pinned to the
+/// engine's current inventory, and leaves this run's own [`EvalSeed`]
+/// in `capture`. Every other configuration silently declines both and
+/// runs cold, so callers (the service workers, the bench harnesses)
+/// never branch on the algorithm. Seeded and cold evaluation of the
+/// same request are score-bit-identical (see [`crate::seed`]).
+pub(crate) fn evaluate_options_seeded(
+    engine: &Engine,
+    functions: &FunctionSet,
+    options: &RequestOptions,
+    scratch: &mut Scratch,
+    seed: Option<&EvalSeed>,
+    capture: Option<&mut Option<EvalSeed>>,
+) -> Result<Matching, MpqError> {
     validate_options(engine, functions, options)?;
     engine.evaluations.fetch_add(1, AtomicOrdering::Relaxed);
+    let version_before = engine.inventory_version();
     let session = IoSession::new(&engine.tree);
 
     if let Some(caps) = &options.capacities {
@@ -1167,13 +1190,36 @@ pub(crate) fn evaluate_options(
         Algorithm::Sb => {
             let cfg = sb_config_of(engine, options);
             match options.maintenance {
-                MaintenanceMode::Incremental => Ok(run_sb_on(
-                    &cfg,
-                    &session,
-                    functions,
-                    &options.exclude,
-                    scratch,
-                )),
+                MaintenanceMode::Incremental => {
+                    // A mutation that straddled the session pin makes
+                    // the pinned epoch ambiguous: decline the seed and
+                    // capture nothing rather than guess. (Versions are
+                    // monotone and minted at commit, so equality here
+                    // proves the pinned tree *is* the `version` epoch.)
+                    let version = engine.inventory_version();
+                    let stable = version == version_before;
+                    let part = seed
+                        .filter(|s| stable && s.parts.len() == 1 && s.usable_at(&[version]))
+                        .map(|s| &s.parts[0]);
+                    let mut captured: Option<SeedPart> = None;
+                    let slot = (capture.is_some() && stable).then_some(&mut captured);
+                    let matching = run_sb_seeded(
+                        &cfg,
+                        &session,
+                        functions,
+                        &options.exclude,
+                        scratch,
+                        part,
+                        slot,
+                    );
+                    if let Some(out) = capture {
+                        *out = captured.map(|p| EvalSeed {
+                            versions: vec![version],
+                            parts: vec![p],
+                        });
+                    }
+                    Ok(matching)
+                }
                 MaintenanceMode::Rescan => Ok(run_rescan_on(
                     &cfg,
                     &session,
@@ -1321,6 +1367,35 @@ impl<'e> MatchRequest<'e, '_> {
     /// requests.
     pub fn evaluate_with(&self, scratch: &mut Scratch) -> Result<Matching, MpqError> {
         evaluate_options(self.engine, self.functions, &self.options, scratch)
+    }
+
+    /// Seed-capable [`MatchRequest::evaluate_with`]: primes the run from
+    /// `seed` when the configuration is resumable (SB, incremental
+    /// maintenance, no capacities) and the seed is still pinned to the
+    /// engine's current inventory — otherwise runs cold; the dispatch is
+    /// uniform, so callers never branch on the algorithm. Returns the
+    /// matching together with the [`EvalSeed`] this run captured (when
+    /// resumable), which can prime the next refinement of this request.
+    ///
+    /// Seeded and cold evaluation are score-bit-identical. The
+    /// [`EngineService`] drives this machinery
+    /// automatically through the result cache's near-miss lookup; call
+    /// it directly to manage refinement chains by hand.
+    pub fn evaluate_seeded(
+        &self,
+        scratch: &mut Scratch,
+        seed: Option<&EvalSeed>,
+    ) -> Result<(Matching, Option<EvalSeed>), MpqError> {
+        let mut captured = None;
+        let matching = evaluate_options_seeded(
+            self.engine,
+            self.functions,
+            &self.options,
+            scratch,
+            seed,
+            Some(&mut captured),
+        )?;
+        Ok((matching, captured))
     }
 
     /// Progressive SB evaluation: returns a stream that yields stable

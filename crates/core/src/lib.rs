@@ -105,6 +105,7 @@ pub mod online;
 pub mod reference;
 pub mod sb;
 pub mod scratch;
+pub mod seed;
 pub mod service;
 pub mod shard;
 pub mod verify;
@@ -124,6 +125,7 @@ pub use monotone::{MonotoneFunction, MonotoneSkylineMatcher};
 pub use reference::{reference_matching, reference_matching_excluding};
 pub use sb::{BestPairMode, MaintenanceMode, SbStream, SkylineMatcher};
 pub use scratch::Scratch;
+pub use seed::EvalSeed;
 pub use service::{
     BackpressurePolicy, EngineService, HealthMonitor, HealthState, QueueOrdering, ServiceClient,
     ServiceConfig, ServiceMetrics, SubmitOptions, Ticket,

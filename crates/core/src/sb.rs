@@ -49,6 +49,7 @@ use crate::engine::{Algorithm, Engine};
 use crate::error::MpqError;
 use crate::matching::{IndexConfig, Matcher, Matching, Pair, RunMetrics};
 use crate::scratch::Scratch;
+use crate::seed::{PeeledLog, SeedPart};
 
 /// Certified reverse-top-`M` cached per skyline object. Deeper lists
 /// amortize one TA scan over more function removals; the marginal scan
@@ -218,12 +219,15 @@ pub(crate) struct RoundBufs {
 /// Remove every masked (`excluded`) object from the maintained skyline.
 /// Peeling can promote further masked objects — their dominator just
 /// left — so iterate until the skyline is clean. `buf` is scratch
-/// storage for the per-wave removal list.
+/// storage for the per-wave removal list. When `peeled` is provided,
+/// every removed object is logged with its point — the seed-capture
+/// journal that lets a later request re-admit it without a tree read.
 fn peel_masked<R: NodeSource>(
     maintainer: &mut SkylineMaintainer,
     src: &R,
     excluded: &HashSet<u64>,
     buf: &mut Vec<u64>,
+    mut peeled: Option<&mut PeeledLog>,
 ) {
     if excluded.is_empty() {
         return;
@@ -235,16 +239,61 @@ fn peel_masked<R: NodeSource>(
             .filter(|e| excluded.contains(&e.oid))
             .map(|e| e.oid),
     );
+    if let Some(log) = peeled.as_deref_mut() {
+        for &oid in buf.iter() {
+            let point = maintainer.get(oid).expect("member being peeled");
+            log.push((oid, point.into()));
+        }
+    }
     while !buf.is_empty() {
         let promoted = maintainer.remove(buf, src);
         buf.clear();
-        buf.extend(
-            promoted
-                .into_iter()
-                .filter(|(oid, _)| excluded.contains(oid))
-                .map(|(oid, _)| oid),
-        );
+        for (oid, point) in promoted {
+            if excluded.contains(&oid) {
+                buf.push(oid);
+                if let Some(log) = peeled.as_deref_mut() {
+                    log.push((oid, point));
+                }
+            }
+        }
     }
+}
+
+/// Prime a maintainer for a run: cold (BBS over the whole tree) or
+/// resumed from a [`SeedPart`] — clone the snapshot, re-admit the
+/// objects the seed had peeled that this request no longer excludes,
+/// then peel this request's own exclusions. Either way the returned
+/// maintainer holds exactly the skyline of the non-excluded inventory,
+/// so the matching loop downstream cannot tell the histories apart.
+/// When `peeled` is provided (seed capture), it receives the exact
+/// removed-object journal for the returned state.
+fn prime_maintainer<R: NodeSource>(
+    src: &R,
+    excluded: &HashSet<u64>,
+    seed: Option<&SeedPart>,
+    buf: &mut Vec<u64>,
+    mut peeled: Option<&mut PeeledLog>,
+) -> SkylineMaintainer {
+    let mut maintainer = match seed {
+        None => SkylineMaintainer::build(src),
+        Some(part) => {
+            let mut m = part.sky.clone();
+            for (oid, point) in &part.peeled {
+                if excluded.contains(oid) {
+                    // Still excluded: stays peeled, carries over into
+                    // the capture journal.
+                    if let Some(log) = peeled.as_deref_mut() {
+                        log.push((*oid, point.clone()));
+                    }
+                } else {
+                    m.insert(*oid, point.clone());
+                }
+            }
+            m
+        }
+    };
+    peel_masked(&mut maintainer, src, excluded, buf, peeled);
+    maintainer
 }
 
 /// Build a progressive SB stream over any node source (a bare tree or a
@@ -284,12 +333,12 @@ pub(crate) fn stream_on<'s, R: NodeSource>(
         BestPairMode::Scan => None,
         _ => Some(ReverseTopOne::build(&scratch.fs)),
     };
-    let mut maintainer = SkylineMaintainer::build(&src);
-    peel_masked(
-        &mut maintainer,
+    let maintainer = prime_maintainer(
         &src,
         &scratch.assigned,
+        None,
         &mut scratch.round.masked,
+        None,
     );
     SbStream {
         src,
@@ -315,17 +364,28 @@ pub(crate) fn stream_on<'s, R: NodeSource>(
 ///
 /// Produces exactly the pairs the progressive [`SbStream`] would, in the
 /// same order (asserted by tests).
-pub(crate) fn run_sb_on<R: NodeSource>(
+///
+/// Seed-capable: `seed`
+/// resumes from a prior request's post-peel skyline snapshot instead of
+/// running BBS from scratch, and a `capture` slot receives this run's
+/// own snapshot (taken after priming, before the matching loop consumes
+/// the skyline) so refinement chains keep seeding. Pass `None, None`
+/// for a plain cold run. Both paths run the identical round body over
+/// content-identical skylines, so seeded matchings are
+/// score-bit-identical to cold ones (pinned by `tests/seed_identity.rs`).
+pub(crate) fn run_sb_seeded<R: NodeSource>(
     cfg: &SkylineMatcher,
     src: &R,
     functions: &FunctionSet,
     excluded: &HashSet<u64>,
     scratch: &mut Scratch,
+    seed: Option<&SeedPart>,
+    capture: Option<&mut Option<SeedPart>>,
 ) -> Matching {
     assert_eq!(
         cfg.maintenance,
         MaintenanceMode::Incremental,
-        "run_sb_on implements the incremental algorithm"
+        "run_sb_seeded implements the incremental algorithm"
     );
     let start = Instant::now();
     let io_start = src.io_snapshot();
@@ -335,8 +395,21 @@ pub(crate) fn run_sb_on<R: NodeSource>(
         BestPairMode::Scan => None,
         _ => Some(ReverseTopOne::build(&scratch.fs)),
     };
-    let mut maintainer = SkylineMaintainer::build(src);
-    peel_masked(&mut maintainer, src, excluded, &mut scratch.round.masked);
+    let mut peeled_log = PeeledLog::new();
+    let capturing = capture.is_some();
+    let mut maintainer = prime_maintainer(
+        src,
+        excluded,
+        seed,
+        &mut scratch.round.masked,
+        capturing.then_some(&mut peeled_log),
+    );
+    if let Some(slot) = capture {
+        *slot = Some(SeedPart {
+            sky: maintainer.clone(),
+            peeled: peeled_log,
+        });
+    }
     scratch.fbest.clear();
     scratch.obest.clear();
 
@@ -650,7 +723,7 @@ impl<R: NodeSource> SbStream<'_, R> {
 /// caller), and apply the removals — function tombstones, cache drops,
 /// and skyline maintenance with masked-promotion peeling. The single
 /// implementation behind the progressive [`SbStream`], the scratch-based
-/// [`run_sb_on`] evaluation, and the engine's persistent
+/// [`run_sb_seeded`] evaluation, and the engine's persistent
 /// [`crate::MatchSession`] batches.
 ///
 /// All round-local collections live in `bufs`, so a round performs no

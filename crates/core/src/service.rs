@@ -65,11 +65,14 @@ use std::time::{Duration, Instant};
 use mpq_ta::FunctionSet;
 
 use crate::cache::{request_key, CacheMetrics, MutationLog, RequestKey, ResultCache};
-use crate::engine::{evaluate_options, Engine, MatchRequest, RequestOptions};
+use crate::engine::{evaluate_options_seeded, Engine, MatchRequest, RequestOptions};
 use crate::error::MpqError;
 use crate::matching::Matching;
 use crate::scratch::Scratch;
-use crate::shard::{evaluate_sharded_options, ShardGauges, ShardedEngine, ShardedMatchRequest};
+use crate::seed::EvalSeed;
+use crate::shard::{
+    evaluate_sharded_options_seeded, ShardGauges, ShardedEngine, ShardedMatchRequest,
+};
 
 /// The engine behind a service, by reference: the scheduling core is
 /// engine-agnostic, and the worker loop dispatches each popped job to
@@ -223,6 +226,13 @@ pub struct ServiceConfig {
     /// Approximate byte bound of the result cache (evicts LRU-first
     /// when exceeded). Default 32 MiB.
     pub cache_max_bytes: usize,
+    /// Near-miss seeding bound: on an exact cache miss, a cached entry
+    /// within this request delta (flipped exclusions or changed
+    /// function rows — see [`ResultCache::near_miss`]) primes the
+    /// evaluation with its captured seed instead of running cold. `0`
+    /// disables near-miss seeding (exact hits and dedupe still work).
+    /// Default 16.
+    pub seed_delta_bound: usize,
 }
 
 impl Default for ServiceConfig {
@@ -235,6 +245,7 @@ impl Default for ServiceConfig {
             latency_window: 1024,
             cache_capacity: 256,
             cache_max_bytes: 32 << 20,
+            seed_delta_bound: 16,
         }
     }
 }
@@ -280,6 +291,13 @@ impl ServiceConfig {
     /// Set the result-cache approximate byte bound.
     pub fn cache_max_bytes(mut self, bytes: usize) -> ServiceConfig {
         self.cache_max_bytes = bytes;
+        self
+    }
+
+    /// Set the near-miss seeding bound (`0` disables near-miss
+    /// seeding).
+    pub fn seed_delta_bound(mut self, bound: usize) -> ServiceConfig {
+        self.seed_delta_bound = bound;
         self
     }
 }
@@ -526,6 +544,11 @@ struct Job<'a> {
     functions: Cow<'a, FunctionSet>,
     options: Cow<'a, RequestOptions>,
     group: Arc<DedupeGroup>,
+    /// A near-miss donor's captured [`EvalSeed`], when the submission
+    /// path found one within the configured delta bound: the worker
+    /// primes the evaluation with it instead of running cold (and may
+    /// still decline it — bit-identity is unconditional either way).
+    seed: Option<Arc<EvalSeed>>,
 }
 
 /// Heap entry: pops by `(priority desc, seq asc)`. Under FIFO ordering
@@ -606,6 +629,8 @@ pub(crate) struct ServiceCore<'a> {
     backpressure: BackpressurePolicy,
     ordering: QueueOrdering,
     latency_window: usize,
+    /// Near-miss seeding delta bound (`0` disables the lookup).
+    seed_delta_bound: usize,
     queue: Mutex<QueueState<'a>>,
     /// Workers wait here for jobs (or shutdown).
     jobs: Condvar,
@@ -631,6 +656,7 @@ impl<'a> ServiceCore<'a> {
             backpressure: config.backpressure,
             ordering: config.ordering,
             latency_window: config.latency_window.max(1),
+            seed_delta_bound: config.seed_delta_bound,
             queue: Mutex::new(QueueState {
                 heap: BinaryHeap::new(),
                 stopping: false,
@@ -772,7 +798,7 @@ impl<'a> ServiceCore<'a> {
                 members: Vec::new(),
             }),
         });
-        self.enqueue_with_group(functions, options, submit, group)
+        self.enqueue_with_group(functions, options, submit, group, None)
     }
 
     /// Enqueue a request whose fan-out group is already prepared (and,
@@ -785,6 +811,7 @@ impl<'a> ServiceCore<'a> {
         options: Cow<'a, RequestOptions>,
         submit: SubmitOptions,
         group: Arc<DedupeGroup>,
+        seed: Option<Arc<EvalSeed>>,
     ) -> Result<Ticket, MpqError> {
         if self.ordering == QueueOrdering::Fifo && submit.priority != 0 {
             return Err(MpqError::UnsupportedRequest(FIFO_PRIORITY_MSG));
@@ -878,6 +905,7 @@ impl<'a> ServiceCore<'a> {
                     functions,
                     options,
                     group,
+                    seed,
                 },
             });
             // Count while the job is provably in the queue (and before
@@ -919,7 +947,7 @@ impl<'a> ServiceCore<'a> {
         };
         let start = Instant::now();
         let key = request_key(&functions, &options);
-        let group = {
+        let (group, seed) = {
             let mut layer = lock(cached);
             let hit = match logs {
                 Some(logs) => layer.cache.get_with_logs(&key, versions, logs),
@@ -975,6 +1003,16 @@ impl<'a> ServiceCore<'a> {
                 // fall through and start a fresh job; the insert below
                 // replaces the stale index entry.
             }
+            // Exact miss, nothing identical in flight: before paying a
+            // cold evaluation, probe the near-miss index for a donor
+            // within the configured delta. A hit enqueues a *seeded*
+            // job under this request's own exact key — it does not
+            // attach to the donor's group (the donor answers a
+            // different request).
+            let seed = layer
+                .cache
+                .near_miss(&key, versions, self.seed_delta_bound)
+                .map(|(seed, _)| seed);
             let key = Arc::new(key);
             let group = Arc::new(DedupeGroup {
                 key: Some(Arc::clone(&key)),
@@ -985,13 +1023,14 @@ impl<'a> ServiceCore<'a> {
                 }),
             });
             layer.inflight.insert(key, Arc::clone(&group));
-            group
+            (group, seed)
         };
         match self.enqueue_with_group(
             Cow::Owned(functions),
             Cow::Owned(options),
             submit,
             Arc::clone(&group),
+            seed,
         ) {
             Ok(ticket) => Ok(ticket),
             Err(e) => {
@@ -1087,13 +1126,29 @@ impl<'a> ServiceCore<'a> {
         // only makes the cache conservative. Reading the version *after*
         // evaluating would stamp a pre-mutation result as current.
         let versions = backend.version_vector();
+        // The donor seed is only honored if it was captured at exactly
+        // this inventory (the evaluation re-checks against its own
+        // pinned snapshot and may still decline); a seed is captured
+        // back only for keyed jobs that can publish it.
+        let seed = job.seed.as_deref().filter(|s| s.usable_at(&versions));
+        let mut captured: Option<EvalSeed> = None;
+        let capture = (job.group.key.is_some() && self.cached.is_some()).then_some(&mut captured);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match backend {
-            BackendRef::Single(engine) => {
-                evaluate_options(engine, &job.functions, &job.options, scratch)
-            }
-            BackendRef::Sharded(sharded) => {
-                evaluate_sharded_options(sharded, &job.functions, &job.options)
-            }
+            BackendRef::Single(engine) => evaluate_options_seeded(
+                engine,
+                &job.functions,
+                &job.options,
+                scratch,
+                seed,
+                capture,
+            ),
+            BackendRef::Sharded(sharded) => evaluate_sharded_options_seeded(
+                sharded,
+                &job.functions,
+                &job.options,
+                seed,
+                capture,
+            ),
         }))
         .unwrap_or_else(|_| {
             // The scratch may have been mid-mutation; replace it.
@@ -1107,9 +1162,14 @@ impl<'a> ServiceCore<'a> {
         // must hit.
         if let (Some(key), Some(cached), Ok(matching)) = (&job.group.key, &self.cached, &result) {
             let logs = backend.mutation_logs();
+            // A seed captured from a snapshot newer than the publish
+            // stamp would violate the entry's version invariant (a
+            // mutation landed mid-evaluation): drop it, keep the
+            // conservative matching-only entry.
+            let captured = captured.filter(|s| s.usable_at(&versions)).map(Arc::new);
             lock(cached)
                 .cache
-                .insert_with_logs(key, &versions, matching, &logs);
+                .insert_with_logs_seeded(key, &versions, matching, &logs, captured);
         }
         self.release_inflight(&job.group);
 
@@ -1371,10 +1431,11 @@ impl std::fmt::Display for ServiceMetrics {
         if self.cache.enabled {
             writeln!(
                 f,
-                "cache hits {}  misses {}  attaches {}  evictions {}  revalidations {}  hit-rate {:.1}%  ({} entries, {} KiB)",
+                "cache hits {}  misses {}  attaches {}  seeded {}  evictions {}  revalidations {}  hit-rate {:.1}%  ({} entries, {} KiB)",
                 self.cache.hits,
                 self.cache.misses,
                 self.cache.attaches,
+                self.cache.seeded_hits,
                 self.cache.evictions,
                 self.cache.revalidations,
                 self.cache.hit_rate() * 100.0,
@@ -2474,6 +2535,8 @@ mod tests {
                 insertions: 2,
                 evictions: 1,
                 revalidations: 1,
+                seeded_hits: 2,
+                seed_delta: 3,
                 entries: 1,
                 bytes: 512,
             },
@@ -2528,12 +2591,18 @@ mod tests {
             "insertions",
             "evictions",
             "revalidations",
+            "seeded_hits",
+            "seed_delta",
             "entries",
             "bytes",
             "hit_rate",
         ] {
             assert!(cache.get(key).is_some(), "missing cache field '{key}'");
         }
+        assert_eq!(
+            cache.get("seeded_hits").and_then(crate::json::Json::as_f64),
+            Some(2.0)
+        );
         assert_eq!(
             cache.get("hit_rate").and_then(crate::json::Json::as_f64),
             Some(m.cache.hit_rate())

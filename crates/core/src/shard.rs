@@ -69,6 +69,7 @@ use crate::engine::{
 };
 use crate::error::MpqError;
 use crate::matching::{IndexConfig, Matching, Pair, RunMetrics};
+use crate::seed::{EvalSeed, PeeledLog, SeedPart};
 use crate::service::{EngineService, ServiceConfig};
 
 /// Manifest file name inside a sharded data directory.
@@ -640,7 +641,13 @@ impl ShardedEngine {
                     if i >= n {
                         break;
                     }
-                    let m = run_sharded_merge(self, requests[i].functions, &requests[i].options);
+                    let m = run_sharded_merge_seeded(
+                        self,
+                        requests[i].functions,
+                        &requests[i].options,
+                        None,
+                        None,
+                    );
                     *lock(&results[i]) = Some(m);
                 });
             }
@@ -709,8 +716,31 @@ pub(crate) fn evaluate_sharded_options(
     functions: &FunctionSet,
     options: &RequestOptions,
 ) -> Result<Matching, MpqError> {
+    evaluate_sharded_options_seeded(engine, functions, options, None, None)
+}
+
+/// Seed-capable form of [`evaluate_sharded_options`] — the sharded
+/// mirror of [`crate::engine::evaluate_options_seeded`], with the same
+/// uniform dispatch contract. An [`EvalSeed`] here carries one
+/// [`SeedPart`] per shard (the partitioner already split the inventory;
+/// seeds follow that split), each pinned to its shard's version
+/// component; every shard independently primes from its part or falls
+/// back to a cold BBS build, and the unchanged scatter-gather merge
+/// runs over the primed probes. Capacitated requests decline seeds and
+/// capture nothing. Because the merge serves every [`Algorithm`]
+/// through the same probes, the sharded path is resumable for all of
+/// them.
+pub(crate) fn evaluate_sharded_options_seeded(
+    engine: &ShardedEngine,
+    functions: &FunctionSet,
+    options: &RequestOptions,
+    seed: Option<&EvalSeed>,
+    capture: Option<&mut Option<EvalSeed>>,
+) -> Result<Matching, MpqError> {
     validate_sharded_options(engine, functions, options)?;
-    Ok(run_sharded_merge(engine, functions, options))
+    Ok(run_sharded_merge_seeded(
+        engine, functions, options, seed, capture,
+    ))
 }
 
 /// One evaluation against a prepared [`ShardedEngine`], configured
@@ -776,6 +806,27 @@ impl<'e> ShardedMatchRequest<'e, '_> {
     /// canonical result.
     pub fn evaluate(&self) -> Result<Matching, MpqError> {
         evaluate_sharded_options(self.engine, self.functions, &self.options)
+    }
+
+    /// Seed-capable [`ShardedMatchRequest::evaluate`] — the sharded
+    /// mirror of [`crate::MatchRequest::evaluate_seeded`]: primes every
+    /// shard's probe from its slice of `seed` (when the seed is still
+    /// pinned to the engine's current version vector; cold otherwise)
+    /// and returns the per-shard [`EvalSeed`] this evaluation captured.
+    /// Seeded and cold evaluation are score-bit-identical.
+    pub fn evaluate_seeded(
+        &self,
+        seed: Option<&EvalSeed>,
+    ) -> Result<(Matching, Option<EvalSeed>), MpqError> {
+        let mut captured = None;
+        let matching = evaluate_sharded_options_seeded(
+            self.engine,
+            self.functions,
+            &self.options,
+            seed,
+            Some(&mut captured),
+        )?;
+        Ok((matching, captured))
     }
 
     /// Progressive evaluation: yield stable pairs as the merge resolves
@@ -852,12 +903,52 @@ struct ShardProbe<'e> {
 }
 
 impl<'e> ShardProbe<'e> {
-    fn new(engine: &'e Engine, functions: &FunctionSet, remaining: Vec<u32>) -> ShardProbe<'e> {
+    /// Build a probe cold or primed from this shard's [`SeedPart`].
+    ///
+    /// `seed` is `(part, version)` — the part is honored only when the
+    /// shard's inventory version still equals `version` on both sides
+    /// of the I/O-session pin (the part's snapshot references pages of
+    /// exactly that epoch). `capture` receives this probe's own
+    /// post-peel snapshot, stamped with the pinned version — again only
+    /// when no mutation straddled the pin.
+    fn new(
+        engine: &'e Engine,
+        functions: &FunctionSet,
+        remaining: Vec<u32>,
+        seed: Option<(&SeedPart, u64)>,
+        mut capture: Option<&mut Option<(SeedPart, u64)>>,
+    ) -> ShardProbe<'e> {
+        let v_before = engine.inventory_version();
         let io = IoSession::new(engine.tree());
+        let stable = engine.inventory_version() == v_before;
+        if !stable {
+            capture = None;
+        }
         let io_start = io.stats();
         let fs = functions.clone();
         let rt1 = ReverseTopOne::build(&fs);
-        let sky = SkylineMaintainer::build(&io);
+        let mut peeled_log: Vec<(u64, Box<[f64]>)> = Vec::new();
+        let capturing = capture.is_some();
+        let sky = match seed.filter(|&(_, v)| stable && v == v_before) {
+            None => SkylineMaintainer::build(&io),
+            Some((part, _)) => {
+                // Resume: re-admit the seed's peeled objects this
+                // request still wants, carry the rest into the capture
+                // journal (the maintainer's content afterwards is what
+                // a cold build over the available inventory yields).
+                let mut m = part.sky.clone();
+                for (oid, point) in &part.peeled {
+                    if remaining[*oid as usize] == 0 {
+                        if capturing {
+                            peeled_log.push((*oid, point.clone()));
+                        }
+                    } else {
+                        m.insert(*oid, point.clone());
+                    }
+                }
+                m
+            }
+        };
         let mut probe = ShardProbe {
             io,
             io_start,
@@ -877,21 +968,41 @@ impl<'e> ShardProbe<'e> {
             .filter(|e| probe.remaining[e.oid as usize] == 0)
             .map(|e| e.oid)
             .collect();
-        probe.peel(dead);
+        if capturing {
+            for &oid in &dead {
+                let point = probe.sky.get(oid).expect("member being peeled");
+                peeled_log.push((oid, point.into()));
+            }
+        }
+        probe.peel(dead, capturing.then_some(&mut peeled_log));
+        if let Some(slot) = capture {
+            *slot = Some((
+                SeedPart {
+                    sky: probe.sky.clone(),
+                    peeled: peeled_log,
+                },
+                v_before,
+            ));
+        }
         probe
     }
 
     /// Remove exhausted objects from the skyline, peeling promoted
     /// objects that are themselves exhausted (mirrors the unsharded
-    /// capacity path exactly).
-    fn peel(&mut self, mut to_remove: Vec<u64>) {
+    /// capacity path exactly). When `peeled` is provided (seed
+    /// capture), it receives every object this call removes.
+    fn peel(&mut self, mut to_remove: Vec<u64>, mut peeled: Option<&mut PeeledLog>) {
         while !to_remove.is_empty() {
             let promoted = self.sky.remove(&to_remove, &self.io);
-            to_remove = promoted
-                .iter()
-                .filter(|(oid, _)| self.remaining[*oid as usize] == 0)
-                .map(|(oid, _)| *oid)
-                .collect();
+            to_remove.clear();
+            for (oid, point) in promoted {
+                if self.remaining[oid as usize] == 0 {
+                    to_remove.push(oid);
+                    if let Some(log) = peeled.as_deref_mut() {
+                        log.push((oid, point));
+                    }
+                }
+            }
         }
     }
 
@@ -941,7 +1052,7 @@ impl<'e> ShardProbe<'e> {
             self.remaining[pair.oid as usize] -= 1;
             if self.remaining[pair.oid as usize] == 0 {
                 self.fbest.remove(&pair.oid);
-                self.peel(vec![pair.oid]);
+                self.peel(vec![pair.oid], None);
             }
         }
         owned
@@ -971,6 +1082,22 @@ impl<'e> MergeState<'e> {
         functions: &FunctionSet,
         options: &RequestOptions,
     ) -> MergeState<'e> {
+        MergeState::new_seeded(engine, functions, options, None, false).0
+    }
+
+    /// [`MergeState::new`] with per-shard seed priming and capture:
+    /// shard `i` primes from `seed.parts[i]` (when still pinned to the
+    /// shard's current version) and, when `capture` is set, reports its
+    /// own post-peel snapshot. The assembled [`EvalSeed`] is returned
+    /// only if *every* shard captured — a partial seed cannot resume a
+    /// whole evaluation.
+    fn new_seeded(
+        engine: &'e ShardedEngine,
+        functions: &FunctionSet,
+        options: &RequestOptions,
+        seed: Option<&EvalSeed>,
+        capture: bool,
+    ) -> (MergeState<'e>, Option<EvalSeed>) {
         let oid_bound = engine.oid_bound() as usize;
         let mut remaining: Vec<u32> = match &options.capacities {
             Some(caps) => caps.clone(),
@@ -982,10 +1109,22 @@ impl<'e> MergeState<'e> {
             }
         }
         let k = engine.shards.len();
+        // Capacitated requests are not resumable (the probes peel by
+        // remaining capacity, which a seed snapshot does not model).
+        let seedable = options.capacities.is_none();
+        let capture = capture && seedable;
+        let seed = seed.filter(|s| seedable && s.parts.len() == k && s.versions.len() == k);
+        let mut captures: Vec<Option<(SeedPart, u64)>> = (0..k).map(|_| None).collect();
         let mut shards: Vec<Option<ShardProbe<'e>>> = (0..k).map(|_| None).collect();
         let mut candidates: Vec<Option<Pair>> = vec![None; k];
         if k == 1 {
-            let mut probe = ShardProbe::new(&engine.shards[0], functions, remaining);
+            let mut probe = ShardProbe::new(
+                &engine.shards[0],
+                functions,
+                remaining,
+                seed.map(|s| (&s.parts[0], s.versions[0])),
+                capture.then_some(&mut captures[0]),
+            );
             candidates[0] = probe.probe();
             shards[0] = Some(probe);
         } else {
@@ -993,14 +1132,23 @@ impl<'e> MergeState<'e> {
             // (the expensive round — later rounds refresh only the
             // shards an assignment touched).
             std::thread::scope(|scope| {
-                for ((slot, cand), shard) in shards
+                for ((((slot, cand), shard), cap), i) in shards
                     .iter_mut()
                     .zip(candidates.iter_mut())
                     .zip(&engine.shards)
+                    .zip(captures.iter_mut())
+                    .zip(0..)
                 {
                     let remaining = remaining.clone();
+                    let part = seed.map(|s| (&s.parts[i], s.versions[i]));
                     scope.spawn(move || {
-                        let mut probe = ShardProbe::new(shard, functions, remaining);
+                        let mut probe = ShardProbe::new(
+                            shard,
+                            functions,
+                            remaining,
+                            part,
+                            capture.then_some(cap),
+                        );
                         *cand = probe.probe();
                         *slot = Some(probe);
                     });
@@ -1011,15 +1159,27 @@ impl<'e> MergeState<'e> {
             .into_iter()
             .map(|s| s.expect("every shard probed"))
             .collect();
+        let captured = if capture && captures.iter().all(Option::is_some) {
+            let (parts, versions): (Vec<SeedPart>, Vec<u64>) = captures
+                .into_iter()
+                .map(|c| c.expect("just checked"))
+                .unzip();
+            Some(EvalSeed { versions, parts })
+        } else {
+            None
+        };
         let exhausted: Vec<bool> = candidates.iter().map(Option::is_none).collect();
-        MergeState {
-            engine,
-            shards,
-            candidates,
-            stale: vec![false; k],
-            exhausted,
-            rounds: 0,
-        }
+        (
+            MergeState {
+                engine,
+                shards,
+                candidates,
+                stale: vec![false; k],
+                exhausted,
+                rounds: 0,
+            },
+            captured,
+        )
     }
 
     /// Resolve and emit the next globally best pair, or `None` when the
@@ -1101,14 +1261,20 @@ impl<'e> MergeState<'e> {
 /// Run one full scatter-gather merge (the sharded mirror of the
 /// unsharded engine's single evaluation path). The caller has already
 /// validated the request shape.
-fn run_sharded_merge(
+fn run_sharded_merge_seeded(
     engine: &ShardedEngine,
     functions: &FunctionSet,
     options: &RequestOptions,
+    seed: Option<&EvalSeed>,
+    capture: Option<&mut Option<EvalSeed>>,
 ) -> Matching {
     engine.evaluations.fetch_add(1, AtomicOrdering::Relaxed);
     let start = Instant::now();
-    let mut state = MergeState::new(engine, functions, options);
+    let (mut state, captured) =
+        MergeState::new_seeded(engine, functions, options, seed, capture.is_some());
+    if let Some(out) = capture {
+        *out = captured;
+    }
     let mut pairs = Vec::new();
     while let Some(p) = state.next_pair() {
         pairs.push(p);

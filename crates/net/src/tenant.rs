@@ -42,6 +42,11 @@ pub struct TenantConfig {
     pub cache_capacity: usize,
     /// Result-cache byte budget.
     pub cache_max_bytes: usize,
+    /// Near-miss seeding delta bound: an exact cache miss within this
+    /// many flipped exclusions / changed function rows of a cached
+    /// entry evaluates *seeded* from that entry's captured skyline
+    /// state (`0` disables; results stay bit-identical either way).
+    pub seed_delta_bound: usize,
     /// Rolling latency window for p50/p99 (also feeds `Retry-After`).
     pub latency_window: usize,
     /// Shards of the hosted engine: `1` hosts a plain [`Engine`], `> 1`
@@ -57,6 +62,7 @@ impl Default for TenantConfig {
             queue_capacity: 64,
             cache_capacity: 256,
             cache_max_bytes: 32 * 1024 * 1024,
+            seed_delta_bound: 16,
             latency_window: 1024,
             shards: 1,
         }
@@ -75,6 +81,7 @@ impl TenantConfig {
             .ordering(QueueOrdering::Priority)
             .cache_capacity(self.cache_capacity)
             .cache_max_bytes(self.cache_max_bytes)
+            .seed_delta_bound(self.seed_delta_bound)
             .latency_window(self.latency_window)
     }
 }

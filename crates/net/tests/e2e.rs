@@ -528,3 +528,64 @@ fn oversized_and_malformed_requests_close_cleanly() {
 
     server.shutdown();
 }
+
+/// A refinement over the wire — the same functions with one more
+/// excluded object — must be served *seeded* from the cached donor
+/// (visible in `/metrics`) and stay bit-identical to a direct cold
+/// evaluation of the refined request.
+#[test]
+fn near_miss_refinement_over_the_wire_is_seeded_and_identical() {
+    let w = WorkloadBuilder::new()
+        .objects(400)
+        .functions(6)
+        .dim(2)
+        .seed(77)
+        .build();
+    let mut registry = TenantRegistry::new();
+    registry
+        .add_objects("solo", &w.objects, TenantConfig::default())
+        .unwrap();
+    let server = Server::bind("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // Warm the cache with the unrefined request.
+    let resp = client
+        .post_json("/t/solo/match", &match_body(&w.functions))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+
+    // One flipped exclusion: an exact miss, but a near miss at delta 1.
+    let body = format!(
+        r#"{{"functions":{},"exclude":[9]}}"#,
+        functions_json(&w.functions)
+    );
+    let resp = client.post_json("/t/solo/match", &body).unwrap();
+    assert_eq!(resp.status, 200);
+    let wire_pairs = decode_pairs(&resp.body).unwrap();
+
+    let engine = server.registry().get("solo").unwrap().engine();
+    let direct = engine
+        .request(&w.functions)
+        .exclude([9u64])
+        .evaluate()
+        .unwrap();
+    assert_eq!(wire_pairs.len(), direct.len());
+    for (a, b) in wire_pairs.iter().zip(direct.pairs()) {
+        assert_eq!(a.fid, b.fid);
+        assert_eq!(a.oid, b.oid);
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "seeded wire result drifted from cold"
+        );
+    }
+
+    let resp = client.get("/t/solo/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = Json::parse(&resp.text()).unwrap();
+    let cache = doc.get("cache").expect("metrics carry the cache block");
+    assert_eq!(metric(cache, "seeded_hits"), 1.0);
+    assert_eq!(metric(cache, "seed_delta"), 1.0);
+
+    server.shutdown();
+}

@@ -28,6 +28,7 @@
 
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mpq_rtree::geometry::mindist_to_best;
 use mpq_rtree::pager::PageId;
@@ -133,14 +134,24 @@ impl Ord for HeapEntry {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SkyObj {
     oid: u64,
     point: Box<[f64]>,
     /// Cached coordinate sum for the dominance fast path.
     sum: f64,
-    /// Entries this object pruned (it is their exclusive owner).
-    plist: Vec<Pruned>,
+    /// Entries this object pruned (it is their exclusive owner). Behind
+    /// an `Arc` so snapshot clones (seeded evaluation) share the pruned
+    /// entries — collectively O(inventory) — copy-on-write: a clone is
+    /// O(skyline), and only the plists a mutation actually touches are
+    /// ever deep-copied.
+    plist: Arc<Vec<Pruned>>,
+}
+
+/// Take a plist by value: the cheap move when this maintainer is the
+/// only owner, a deep copy when a snapshot still shares it.
+fn take_plist(plist: Arc<Vec<Pruned>>) -> Vec<Pruned> {
+    Arc::try_unwrap(plist).unwrap_or_else(|shared| (*shared).clone())
 }
 
 /// The maintained skyline of an R-tree-indexed object set.
@@ -172,6 +183,31 @@ pub struct SkylineMaintainer {
     /// call drained it (promotions and duplicate-representative swaps).
     entered: Vec<(u64, Box<[f64]>)>,
     stats: SkylineStats,
+}
+
+/// Snapshotting support for seeded evaluation: between calls the
+/// candidate heap is always drained (every public mutator ends in the
+/// internal BBS drain), so a clone only has to copy the slab, the
+/// lookup maps and the order index — never in-flight heap entries.
+/// The plists are shared copy-on-write, so the copy is O(skyline).
+impl Clone for SkylineMaintainer {
+    fn clone(&self) -> SkylineMaintainer {
+        debug_assert!(
+            self.heap.is_empty(),
+            "maintainer cloned with a non-drained candidate heap"
+        );
+        SkylineMaintainer {
+            slab: self.slab.clone(),
+            alive: self.alive,
+            by_oid: self.by_oid.clone(),
+            order: self.order.clone(),
+            fresh: self.fresh.clone(),
+            stale: self.stale,
+            heap: BinaryHeap::new(),
+            entered: self.entered.clone(),
+            stats: self.stats,
+        }
+    }
 }
 
 impl SkylineMaintainer {
@@ -263,7 +299,7 @@ impl SkylineMaintainer {
             let obj = self.slab[idx].take().expect("slab and by_oid in sync");
             self.alive -= 1;
             self.stale += 1;
-            orphaned.extend(obj.plist);
+            orphaned.extend(take_plist(obj.plist));
         }
 
         // Re-home entries still dominated by a surviving skyline object;
@@ -282,6 +318,87 @@ impl SkylineMaintainer {
         std::mem::take(&mut self.entered)
     }
 
+    /// Re-admit a previously removed object without touching the tree.
+    ///
+    /// This is the inverse of [`SkylineMaintainer::remove`] for seeded
+    /// evaluation: an object peeled for one request's exclusion set
+    /// comes back when the next request no longer excludes it. If a
+    /// live skyline object dominates (or equals) the point it is
+    /// recorded in that owner's plist; otherwise it is promoted and
+    /// every live member it now dominates is demoted into its plist
+    /// (along with their own plists). Purely in-memory — no pages are
+    /// read — and it does not log to the promotion journal drained by
+    /// [`SkylineMaintainer::remove`].
+    ///
+    /// # Panics
+    /// Panics if `oid` is already in the skyline.
+    pub fn insert(&mut self, oid: u64, point: Box<[f64]>) {
+        assert!(
+            !self.by_oid.contains_key(&oid),
+            "object {oid} is already in the skyline"
+        );
+        debug_assert!(self.heap.is_empty());
+        if let Some(owner) = self.find_dominator(&point) {
+            self.stats.entries_pruned += 1;
+            self.assign_to_owner(owner, Pruned::Point { oid, point });
+            return;
+        }
+        // Nobody dominates-or-equals the point, so no live member can
+        // be coordinate-equal to it: everything it dominates-or-equals
+        // is strictly beneath it and must leave the skyline.
+        let mut plist: Vec<Pruned> = Vec::new();
+        for i in 0..self.slab.len() {
+            let demote = match self.slab[i].as_ref() {
+                Some(obj) => {
+                    self.stats.dominance_checks += 1;
+                    dominates_or_equal(&point, &obj.point)
+                }
+                None => false,
+            };
+            if demote {
+                let obj = self.slab[i].take().expect("just matched Some");
+                self.alive -= 1;
+                self.stale += 1;
+                self.by_oid.remove(&obj.oid);
+                plist.push(Pruned::Point {
+                    oid: obj.oid,
+                    point: obj.point,
+                });
+                plist.extend(take_plist(obj.plist));
+                self.stats.entries_pruned += 1;
+            }
+        }
+        self.stats.points_promoted += 1;
+        self.alive += 1;
+        let sum = point.iter().sum();
+        let idx = self.slab.len();
+        self.by_oid.insert(oid, idx);
+        self.slab.push(Some(SkyObj {
+            oid,
+            point,
+            sum,
+            plist: Arc::new(plist),
+        }));
+        self.fresh.push(idx as u32);
+    }
+
+    /// Approximate heap footprint of the maintained state (slab,
+    /// plists, lookup maps), for cache byte accounting of snapshots.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<SkylineMaintainer>()
+            + self.slab.capacity() * std::mem::size_of::<Option<SkyObj>>()
+            + (self.order.capacity() + self.fresh.capacity()) * std::mem::size_of::<u32>()
+            + self.by_oid.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<usize>());
+        for obj in self.slab.iter().flatten() {
+            bytes += obj.point.len() * std::mem::size_of::<f64>();
+            bytes += obj.plist.capacity() * std::mem::size_of::<Pruned>();
+            for e in obj.plist.iter() {
+                bytes += std::mem::size_of_val(e.hi());
+            }
+        }
+        bytes
+    }
+
     /// Put a pruned entry into a skyline object's plist.
     ///
     /// Note on duplicates: when several objects share identical
@@ -292,11 +409,8 @@ impl SkylineMaintainer {
     /// maintained without defeating the lazy plist design. Removing the
     /// representative eventually surfaces the remaining duplicates.
     fn assign_to_owner(&mut self, owner: usize, entry: Pruned) {
-        self.slab[owner]
-            .as_mut()
-            .expect("owner is alive")
-            .plist
-            .push(entry);
+        let plist = &mut self.slab[owner].as_mut().expect("owner is alive").plist;
+        Arc::make_mut(plist).push(entry);
     }
 
     /// Drain the candidate heap: standard BBS with plist recording.
@@ -364,7 +478,7 @@ impl SkylineMaintainer {
             oid,
             point,
             sum,
-            plist: Vec::new(),
+            plist: Arc::new(Vec::new()),
         }));
         self.fresh.push(idx as u32);
     }
@@ -617,6 +731,94 @@ mod tests {
             "20 incremental updates ({maint_logical} accesses) should cost less than \
              one from-scratch recompute ({recompute_logical} accesses)"
         );
+    }
+
+    #[test]
+    fn insert_reverses_remove_to_the_same_skyline_content() {
+        let ps = seeded_points(600, 3, 21);
+        let tree = RTree::bulk_load(&ps, params());
+        let mut m = SkylineMaintainer::build(&tree);
+        let reference = sky_ids(&m);
+        // Remove five skyline members, then re-admit them in a
+        // different order: the skyline content must round-trip.
+        let victims: Vec<(u64, Box<[f64]>)> =
+            m.iter().take(5).map(|e| (e.oid, e.point.into())).collect();
+        let oids: Vec<u64> = victims.iter().map(|(o, _)| *o).collect();
+        m.remove(&oids, &tree);
+        assert_ne!(sky_ids(&m), reference);
+        for (oid, point) in victims.into_iter().rev() {
+            m.insert(oid, point);
+        }
+        assert_eq!(sky_ids(&m), reference);
+        // The round-tripped state keeps maintaining correctly.
+        let mut removed: HashSet<u64> = HashSet::new();
+        for _ in 0..10 {
+            let victim = m.iter().next().unwrap().oid;
+            removed.insert(victim);
+            m.remove(&[victim], &tree);
+            assert_eq!(sky_ids(&m), naive_skyline_excluding(&ps, &removed));
+        }
+    }
+
+    #[test]
+    fn insert_of_a_dominated_point_stays_hidden_until_its_owner_leaves() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[0.9, 0.9]); // 0: dominates everything
+        ps.push(&[0.5, 0.5]); // 1
+        let tree = RTree::bulk_load(&ps, params());
+        let mut m = SkylineMaintainer::build(&tree);
+        assert_eq!(sky_ids(&m), vec![0]);
+        // Peel the dominated point's representative path: remove 0,
+        // which surfaces 1, remove 1, then re-admit it.
+        m.remove(&[0], &tree);
+        assert_eq!(sky_ids(&m), vec![1]);
+        m.remove(&[1], &tree);
+        assert!(m.is_empty());
+        m.insert(0, Box::from([0.9, 0.9]));
+        assert_eq!(sky_ids(&m), vec![0]);
+        // A dominated insert hides in the dominator's plist ...
+        m.insert(1, Box::from([0.5, 0.5]));
+        assert_eq!(sky_ids(&m), vec![0]);
+        // ... and resurfaces when that owner is removed.
+        m.remove(&[0], &tree);
+        assert_eq!(sky_ids(&m), vec![1]);
+    }
+
+    #[test]
+    fn clone_snapshots_diverge_independently() {
+        let ps = seeded_points(400, 3, 7);
+        let tree = RTree::bulk_load(&ps, params());
+        let mut a = SkylineMaintainer::build(&tree);
+        let baseline = sky_ids(&a);
+        let mut b = a.clone();
+        assert_eq!(sky_ids(&b), baseline);
+        assert!(b.approx_bytes() > 0);
+
+        // Mutating the clone leaves the original untouched, and both
+        // keep tracking the naive skyline through further removals.
+        let victim = b.iter().next().unwrap().oid;
+        b.remove(&[victim], &tree);
+        assert_eq!(sky_ids(&a), baseline);
+        let mut removed = HashSet::new();
+        removed.insert(victim);
+        assert_eq!(sky_ids(&b), naive_skyline_excluding(&ps, &removed));
+
+        let victim_a = a.iter().nth(1).unwrap().oid;
+        a.remove(&[victim_a], &tree);
+        let mut removed_a = HashSet::new();
+        removed_a.insert(victim_a);
+        assert_eq!(sky_ids(&a), naive_skyline_excluding(&ps, &removed_a));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the skyline")]
+    fn inserting_a_live_member_panics() {
+        let ps = seeded_points(50, 2, 3);
+        let tree = RTree::bulk_load(&ps, params());
+        let mut m = SkylineMaintainer::build(&tree);
+        let live = m.iter().next().unwrap().oid;
+        let point: Box<[f64]> = m.get(live).unwrap().into();
+        m.insert(live, point);
     }
 
     #[test]

@@ -170,11 +170,11 @@ pub use mpq_ta as ta;
 pub mod prelude {
     pub use mpq_core::{
         Algorithm, BatchMetrics, BatchOutcome, BruteForceMatcher, CacheMetrics, CapacityMatcher,
-        ChainMatcher, Engine, EngineService, GridPartitioner, HashPartitioner, HealthMonitor,
-        HealthState, MatchRequest, MatchSession, Matcher, Matching, MonotoneSkylineMatcher,
-        MpqError, Pair, Partitioner, RequestKey, ResultCache, Scratch, ServiceClient,
-        ServiceConfig, ServiceMetrics, ShardGauges, ShardedEngine, ShardedEngineBuilder,
-        SkylineMatcher, Ticket,
+        ChainMatcher, Engine, EngineService, EvalSeed, GridPartitioner, HashPartitioner,
+        HealthMonitor, HealthState, MatchRequest, MatchSession, Matcher, Matching,
+        MonotoneSkylineMatcher, MpqError, Pair, Partitioner, RequestKey, ResultCache, Scratch,
+        ServiceClient, ServiceConfig, ServiceMetrics, ShardGauges, ShardedEngine,
+        ShardedEngineBuilder, SkylineMatcher, Ticket,
     };
     pub use mpq_datagen::{Distribution, WorkloadBuilder};
     pub use mpq_net::{

@@ -379,3 +379,90 @@ fn distinct_requests_never_collide_in_the_cache() {
     assert_identical(&masked, &seq_masked, "masked vs sequential");
     service.shutdown();
 }
+
+#[test]
+fn near_miss_submission_is_seeded_and_bit_identical() {
+    // A request one exclusion away from a cached one must not attach
+    // (different identity) and must not hit (different result) — it
+    // evaluates, but *seeded* from the donor's captured skyline state.
+    let engine = slow_engine();
+    let functions = fast_functions(908);
+
+    let service = engine.clone().serve(ServiceConfig::default().workers(1));
+    let client = service.client();
+
+    client
+        .submit(client.engine().request(&functions))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let evals_after_donor = engine.evaluation_count();
+
+    let refined = client
+        .submit(client.engine().request(&functions).exclude([7u64]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    // Seeding is an accelerator, not a cache hit: the refined request
+    // still pays an evaluation of its own.
+    assert_eq!(engine.evaluation_count() - evals_after_donor, 1);
+
+    let m = client.metrics();
+    assert_eq!(m.cache.hits, 0, "a near miss is not an exact hit");
+    assert_eq!(m.cache.attaches, 0, "a near miss starts its own job");
+    assert_eq!(m.cache.seeded_hits, 1, "the donor seed was picked up");
+    assert_eq!(m.cache.seed_delta, 1, "one flipped exclusion");
+
+    let sequential = engine
+        .request(&functions)
+        .exclude([7u64])
+        .evaluate()
+        .unwrap();
+    assert_identical(&refined, &sequential, "seeded vs cold sequential");
+
+    // The seeded evaluation captured its own seed: refining one step
+    // further finds the *closer* donor (delta 1, not 2).
+    client
+        .submit(client.engine().request(&functions).exclude([7u64, 11]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let m = client.metrics();
+    assert_eq!(m.cache.seeded_hits, 2);
+    assert_eq!(m.cache.seed_delta, 2, "each refinement step was delta 1");
+    service.shutdown();
+}
+
+#[test]
+fn seed_delta_bound_zero_disables_near_miss_seeding() {
+    let engine = slow_engine();
+    let functions = fast_functions(909);
+
+    let service = engine
+        .clone()
+        .serve(ServiceConfig::default().workers(1).seed_delta_bound(0));
+    let client = service.client();
+
+    client
+        .submit(client.engine().request(&functions))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let refined = client
+        .submit(client.engine().request(&functions).exclude([3u64]))
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    let m = client.metrics();
+    assert_eq!(m.cache.seeded_hits, 0, "bound 0 must disable the lookup");
+    assert_eq!(m.cache.seed_delta, 0);
+
+    let sequential = engine
+        .request(&functions)
+        .exclude([3u64])
+        .evaluate()
+        .unwrap();
+    assert_identical(&refined, &sequential, "cold vs cold sequential");
+    service.shutdown();
+}
